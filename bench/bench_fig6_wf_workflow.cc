@@ -1,0 +1,48 @@
+// Fig. 6 — the sample workflow using Microsoft WF technology.
+//
+// SQLDatabase₁ (auto-materialized DataSet) → while over the DataSet →
+// invoke + SQLDatabase₂, across workload sizes.
+
+#include "bench/bench_util.h"
+#include "workflows/order_process.h"
+
+namespace sqlflow {
+namespace {
+
+void BM_WfOrderProcess(benchmark::State& state) {
+  patterns::OrdersScenario scenario;
+  scenario.order_count = static_cast<size_t>(state.range(0));
+  scenario.item_types =
+      std::max<size_t>(1, static_cast<size_t>(state.range(1)));
+  patterns::Fixture fixture = bench::ValueOrDie(
+      workflows::MakeWfOrderFixture(scenario), "fixture");
+  for (auto _ : state) {
+    auto result = fixture.engine->RunProcess(workflows::kWfOrderProcess);
+    bench::CheckOk(result.ok() ? result->status : result.status(),
+                   "run");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["bytes_materialized"] = static_cast<double>(
+      fixture.db->stats().bytes_materialized);
+}
+BENCHMARK(BM_WfOrderProcess)
+    ->Args({10, 5})
+    ->Args({100, 5})
+    ->Args({100, 50})
+    ->Args({1000, 50})
+    ->Args({5000, 100})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sqlflow
+
+int main(int argc, char** argv) {
+  sqlflow::bench::PrintBanner(
+      "FIG. 6 — sample workflow using Microsoft WF technology",
+      "same shape as Fig. 4, but every query result is materialized by "
+      "value into the process space (bytes_materialized grows with the "
+      "workload)");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

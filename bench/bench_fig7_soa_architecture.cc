@@ -1,0 +1,107 @@
+// Fig. 7 — "Process Modeling and Execution in Oracle SOA Suite".
+//
+// Measures the pieces of the BPEL PM stack the figure shows: the core
+// BPEL engine running assign activities, the XPath-extension dispatch
+// through the integration-services layer, and the XSQL framework behind
+// processXSQL.
+
+#include "bench/bench_util.h"
+#include "patterns/fixture.h"
+#include "soa/xpath_extensions.h"
+#include "soa/xsql.h"
+
+namespace sqlflow {
+namespace {
+
+using patterns::Fixture;
+
+Fixture MakeSoaFixture() {
+  Fixture fixture =
+      bench::ValueOrDie(patterns::MakeFixture("fig7"), "fixture");
+  soa::SoaConfig config;
+  config.data_sources = &fixture.engine->data_sources();
+  config.default_connection = Fixture::kConnection;
+  bench::CheckOk(soa::RegisterSoaXPathExtensions(
+                     &fixture.engine->xpath_functions(), config),
+                 "register extensions");
+  return fixture;
+}
+
+void BM_CoreEngine_PlainAssign(benchmark::State& state) {
+  Fixture fixture = MakeSoaFixture();
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  assign->CopyExpr("1 + 2", "x");
+  auto definition =
+      std::make_shared<wfc::ProcessDefinition>("plain", assign);
+  fixture.engine->DeployOrReplace(definition);
+  for (auto _ : state) {
+    auto result = fixture.engine->RunProcess("plain");
+    bench::CheckOk(result.ok() ? result->status : result.status(),
+                   "run");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_CoreEngine_PlainAssign)->Unit(benchmark::kMicrosecond);
+
+void BM_ExtensionDispatch_SequenceNextVal(benchmark::State& state) {
+  Fixture fixture = MakeSoaFixture();
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  assign->CopyExpr("ora:sequence-next-val('ConfSeq')", "n");
+  auto definition =
+      std::make_shared<wfc::ProcessDefinition>("seq", assign);
+  fixture.engine->DeployOrReplace(definition);
+  for (auto _ : state) {
+    auto result = fixture.engine->RunProcess("seq");
+    bench::CheckOk(result.ok() ? result->status : result.status(),
+                   "run");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExtensionDispatch_SequenceNextVal)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ExtensionDispatch_QueryDatabase(benchmark::State& state) {
+  Fixture fixture = MakeSoaFixture();
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  assign->CopyExpr(
+      "ora:query-database('SELECT ItemID FROM Items ORDER BY ItemID')",
+      "rs");
+  auto definition =
+      std::make_shared<wfc::ProcessDefinition>("q", assign);
+  fixture.engine->DeployOrReplace(definition);
+  for (auto _ : state) {
+    auto result = fixture.engine->RunProcess("q");
+    bench::CheckOk(result.ok() ? result->status : result.status(),
+                   "run");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_ExtensionDispatch_QueryDatabase)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_XsqlFramework(benchmark::State& state) {
+  Fixture fixture = MakeSoaFixture();
+  for (auto _ : state) {
+    auto results = soa::ExecuteXsqlMarkup(
+        "<xsql connection=\"memdb://orders\">"
+        "<query>SELECT COUNT(*) AS n FROM Orders</query></xsql>",
+        &fixture.engine->data_sources());
+    bench::CheckOk(results.status(), "xsql");
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_XsqlFramework)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sqlflow
+
+int main(int argc, char** argv) {
+  sqlflow::bench::PrintBanner(
+      "FIG. 7 — process modeling and execution in Oracle SOA Suite",
+      "extension-function dispatch adds a bounded overhead on top of a "
+      "plain assign; processXSQL adds XML parse + XSQL framework cost on "
+      "top of the query itself");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

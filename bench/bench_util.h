@@ -1,0 +1,47 @@
+#ifndef SQLFLOW_BENCH_BENCH_UTIL_H_
+#define SQLFLOW_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+
+namespace sqlflow::bench {
+
+/// Aborts the benchmark binary on setup failure — a bench must never
+/// silently measure a broken fixture.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T ValueOrDie(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// Prints the experiment banner: which paper artifact this binary
+/// regenerates and what shape to expect.
+inline void PrintBanner(const char* experiment, const char* expectation) {
+  std::printf("==============================================================="
+              "=\n");
+  std::printf("%s\n", experiment);
+  std::printf("expected shape: %s\n", expectation);
+  std::printf("==============================================================="
+              "=\n");
+}
+
+}  // namespace sqlflow::bench
+
+#endif  // SQLFLOW_BENCH_BENCH_UTIL_H_

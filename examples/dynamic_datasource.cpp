@@ -1,0 +1,92 @@
+// Dynamic data-source binding (Sec. III-B / Table I):
+//
+// The same deployed BIS-style process runs against a test environment
+// and then against production — switched purely by rebinding the data
+// source variable at (re)start time, without redeploying the process.
+// The WF/SOA analogues cannot express this: their connection strings
+// are a static part of the activity.
+//
+// Run:  ./dynamic_datasource
+
+#include <cstdio>
+
+#include "bis/sql_activity.h"
+#include "wfc/engine.h"
+
+using namespace sqlflow;
+
+namespace {
+
+Status RunDemo() {
+  wfc::WorkflowEngine engine("dyn");
+
+  // Two environments with the same schema, different data.
+  for (const char* env : {"memdb://test", "memdb://prod"}) {
+    SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<sql::Database> db,
+                             engine.data_sources().Open(env));
+    SQLFLOW_RETURN_IF_ERROR(db->ExecuteScript(R"sql(
+      CREATE TABLE Orders (OrderID INTEGER PRIMARY KEY, Total DOUBLE);
+      CREATE TABLE Stats (Label VARCHAR(20), OrderCount INTEGER);
+    )sql"));
+  }
+  {
+    SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<sql::Database> test,
+                             engine.data_sources().Get("test"));
+    SQLFLOW_RETURN_IF_ERROR(test->ExecuteScript(
+        "INSERT INTO Orders VALUES (1, 10.0), (2, 20.0)"));
+    SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<sql::Database> prod,
+                             engine.data_sources().Get("prod"));
+    SQLFLOW_RETURN_IF_ERROR(prod->ExecuteScript(
+        "INSERT INTO Orders VALUES (1, 10.0), (2, 20.0), (3, 30.0), "
+        "(4, 40.0), (5, 50.0)"));
+  }
+
+  // One process, deployed once. It aggregates Orders into Stats using
+  // whatever database the DS variable points at.
+  bis::SqlActivity::Config config;
+  config.data_source_variable = "DS";
+  config.statement =
+      "INSERT INTO Stats SELECT :label, COUNT(*) FROM Orders";
+  config.parameters = {{"label", "$EnvLabel"}};
+  auto definition = std::make_shared<wfc::ProcessDefinition>(
+      "aggregate", std::make_shared<bis::SqlActivity>("SQL", config));
+  definition->DeclareVariable("DS");
+  definition->DeclareVariable("EnvLabel");
+  SQLFLOW_RETURN_IF_ERROR(engine.Deploy(definition));
+
+  for (const char* env : {"memdb://test", "memdb://prod"}) {
+    std::map<std::string, wfc::VarValue> inputs{
+        {"DS", wfc::VarValue(wfc::ObjectPtr(
+                   std::make_shared<bis::DataSourceVariable>(env)))},
+        {"EnvLabel", wfc::VarValue(Value::String(env))},
+    };
+    SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                             engine.RunProcess("aggregate", inputs));
+    SQLFLOW_RETURN_IF_ERROR(result.status);
+    std::printf("ran instance %llu against %s\n",
+                static_cast<unsigned long long>(result.instance_id),
+                env);
+  }
+
+  for (const char* env : {"test", "prod"}) {
+    SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<sql::Database> db,
+                             engine.data_sources().Get(env));
+    SQLFLOW_ASSIGN_OR_RETURN(sql::ResultSet stats,
+                             db->Execute("SELECT * FROM Stats"));
+    std::printf("\nStats in %s:\n%s", env,
+                stats.ToAsciiTable().c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status st = RunDemo();
+  if (!st.ok()) {
+    std::fprintf(stderr, "demo failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\ndynamic_datasource OK\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 8 — the sample order workflow realized with the Oracle SOA
+// analogue:
+//
+//   Assign₁ (ora:query-database into an XML RowSet) → while +
+//   Java-Snippet → invoke OrderFromSupplier → Assign₂
+//   (orcl:processXSQL INSERT with positional parameters).
+//
+// Run:  ./order_processing_soa [order_count] [item_types]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "workflows/order_process.h"
+
+using namespace sqlflow;
+
+int main(int argc, char** argv) {
+  patterns::OrdersScenario scenario;
+  if (argc > 1) scenario.order_count = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) scenario.item_types = std::strtoul(argv[2], nullptr, 10);
+
+  auto fixture = workflows::MakeSoaOrderFixture(scenario);
+  if (!fixture.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 fixture.status().ToString().c_str());
+    return 1;
+  }
+  auto result = fixture->engine->RunProcess(workflows::kSoaOrderProcess);
+  if (!result.ok() || !result->status.ok()) {
+    const Status& st = result.ok() ? result->status : result.status();
+    std::fprintf(stderr, "run failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("audit trail (BPEL PM console view):\n%s\n",
+              result->audit.ToString().c_str());
+  auto confirmations = workflows::ReadConfirmations(fixture->db.get());
+  std::printf("OrderConfirmations:\n%s",
+              confirmations->ToAsciiTable().c_str());
+  return 0;
+}

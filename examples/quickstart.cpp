@@ -1,0 +1,154 @@
+// Quickstart: the three SQL-integration styles in one file.
+//
+// Builds a tiny product database, then issues the same query three ways:
+//  1. IBM BIS style   — SQL activity + set references (data stays external)
+//  2. Microsoft WF    — SqlDatabase activity materializing a DataSet
+//  3. Oracle SOA      — assign activity calling ora:query-database
+//
+// Run:  ./quickstart
+
+#include <cstdio>
+
+#include "bis/retrieve_set_activity.h"
+#include "bis/sql_activity.h"
+#include "dataset/data_set.h"
+#include "rowset/xml_rowset.h"
+#include "soa/xpath_extensions.h"
+#include "wf/sql_database_activity.h"
+#include "wfc/engine.h"
+#include "xml/serializer.h"
+
+using namespace sqlflow;
+
+namespace {
+
+Status RunQuickstart() {
+  wfc::WorkflowEngine engine("quickstart");
+
+  // --- substrate: an in-memory SQL database --------------------------------
+  SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<sql::Database> db,
+                           engine.data_sources().Open("memdb://shop"));
+  SQLFLOW_RETURN_IF_ERROR(db->ExecuteScript(R"sql(
+    CREATE TABLE Products (
+      ProductID INTEGER PRIMARY KEY,
+      Name      VARCHAR(40) NOT NULL,
+      Price     DOUBLE
+    );
+    INSERT INTO Products VALUES
+      (1, 'bolt', 0.10), (2, 'nut', 0.05), (3, 'washer', 0.01),
+      (4, 'screw', 0.12), (5, 'anchor', 0.50);
+  )sql"));
+
+  constexpr const char* kQuery =
+      "SELECT Name, Price FROM Products WHERE Price >= 0.10 "
+      "ORDER BY Price DESC";
+
+  // --- 1. IBM BIS style ------------------------------------------------------
+  {
+    bis::SqlActivity::Config sql_config;
+    sql_config.data_source_variable = "DS";
+    sql_config.statement = kQuery;
+    sql_config.result_set_reference = "SR_Result";
+    bis::RetrieveSetActivity::Config retrieve_config;
+    retrieve_config.data_source_variable = "DS";
+    retrieve_config.set_reference = "SR_Result";
+    retrieve_config.set_variable = "SV_Result";
+    std::vector<wfc::ActivityPtr> steps{
+        std::make_shared<bis::SqlActivity>("SQL", sql_config),
+        std::make_shared<bis::RetrieveSetActivity>("Retrieve",
+                                                   retrieve_config)};
+    auto definition = std::make_shared<wfc::ProcessDefinition>(
+        "bis-style", std::make_shared<wfc::SequenceActivity>(
+                         "main", std::move(steps)));
+    definition->DeclareVariable(
+        "DS", wfc::VarValue(wfc::ObjectPtr(
+                  std::make_shared<bis::DataSourceVariable>(
+                      "memdb://shop"))));
+    definition->DeclareVariable(
+        "SR_Result",
+        wfc::VarValue(wfc::ObjectPtr(std::make_shared<bis::SetReference>(
+            bis::SetReference::Kind::kResult, "PriceyProducts"))));
+    engine.DeployOrReplace(definition);
+
+    SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                             engine.RunProcess("bis-style"));
+    SQLFLOW_RETURN_IF_ERROR(result.status);
+    SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rowset,
+                             result.variables.GetXml("SV_Result"));
+    std::printf("== IBM BIS style ==\n");
+    std::printf("external result table: PriceyProducts (%zu rows)\n",
+                db->catalog().FindTable("PriceyProducts")->row_count());
+    std::printf("materialized XML RowSet:\n%s\n",
+                xml::Serialize(*rowset, /*pretty=*/true).c_str());
+  }
+
+  // --- 2. Microsoft WF style ---------------------------------------------------
+  {
+    wf::SqlDatabaseActivity::Config config;
+    config.connection_string = "memdb://shop";
+    config.statement = kQuery;
+    config.result_variable = "DS_Result";
+    auto definition = std::make_shared<wfc::ProcessDefinition>(
+        "wf-style",
+        std::make_shared<wf::SqlDatabaseActivity>("SQLDatabase", config));
+    engine.DeployOrReplace(definition);
+
+    SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                             engine.RunProcess("wf-style"));
+    SQLFLOW_RETURN_IF_ERROR(result.status);
+    SQLFLOW_ASSIGN_OR_RETURN(
+        std::shared_ptr<dataset::DataSet> data_set,
+        result.variables.GetObjectAs<dataset::DataSet>("DS_Result"));
+    SQLFLOW_ASSIGN_OR_RETURN(dataset::DataTablePtr table,
+                             data_set->SoleTable());
+    std::printf("== Microsoft WF style ==\n%s\n%s\n",
+                data_set->Describe().c_str(),
+                table->ToResultSet().ToAsciiTable().c_str());
+  }
+
+  // --- 3. Oracle SOA style -----------------------------------------------------
+  {
+    soa::SoaConfig soa_config;
+    soa_config.data_sources = &engine.data_sources();
+    soa_config.default_connection = "memdb://shop";
+    SQLFLOW_RETURN_IF_ERROR(soa::RegisterSoaXPathExtensions(
+        &engine.xpath_functions(), soa_config));
+
+    auto assign = std::make_shared<wfc::AssignActivity>("Assign");
+    assign->CopyExpr(std::string("ora:query-database('") + kQuery + "')",
+                     "RS");
+    assign->CopyExpr("ora:lookup-table('Price', 'Products', 'Name', "
+                     "'anchor')",
+                     "AnchorPrice");
+    auto definition =
+        std::make_shared<wfc::ProcessDefinition>("soa-style", assign);
+    engine.DeployOrReplace(definition);
+
+    SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                             engine.RunProcess("soa-style"));
+    SQLFLOW_RETURN_IF_ERROR(result.status);
+    SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rowset,
+                             result.variables.GetXml("RS"));
+    SQLFLOW_ASSIGN_OR_RETURN(sql::ResultSet back,
+                             rowset::FromRowSet(rowset));
+    SQLFLOW_ASSIGN_OR_RETURN(Value anchor,
+                             result.variables.GetScalar("AnchorPrice"));
+    std::printf("== Oracle SOA style ==\n%s", back.ToAsciiTable().c_str());
+    std::printf("ora:lookup-table('Price','Products','Name','anchor') = "
+                "%s\n",
+                anchor.ToString().c_str());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status st = RunQuickstart();
+  if (!st.ok()) {
+    std::fprintf(stderr, "quickstart failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nquickstart OK\n");
+  return 0;
+}

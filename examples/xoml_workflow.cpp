@@ -1,0 +1,129 @@
+// Markup authoring mode (Sec. IV-A): a workflow defined entirely in
+// XOML-style XML, including the custom <SqlDatabase> activity the WF
+// module contributes to the loader — the markup face of augmenting the
+// custom activity library.
+//
+// Run:  ./xoml_workflow
+
+#include <cstdio>
+
+#include "dataset/data_set.h"
+#include "wf/sql_database_activity.h"
+#include "wfc/xoml.h"
+
+using namespace sqlflow;
+
+namespace {
+
+constexpr const char* kMarkup = R"xml(
+<Process name="restock-check">
+  <Variables>
+    <Variable name="Threshold" type="integer" value="20"/>
+    <Variable name="Verdict" type="string" value=""/>
+  </Variables>
+  <Sequence name="main">
+    <SqlDatabase name="CountLowStock" connection="memdb://warehouse"
+                 statement="SELECT COUNT(*) AS n FROM Stock WHERE Units &lt; :limit"
+                 result="LowStock">
+      <Param name="limit" expr="$Threshold"/>
+    </SqlDatabase>
+    <Assign name="ExtractCount">
+      <Copy to="LowCount" expr="number($LowStockCount)"/>
+    </Assign>
+    <IfElse name="Decide" condition="$LowCount &gt; 0">
+      <Then>
+        <Assign><Copy to="Verdict" value="RESTOCK NEEDED"/></Assign>
+      </Then>
+      <Else>
+        <Assign><Copy to="Verdict" value="stock ok"/></Assign>
+      </Else>
+    </IfElse>
+  </Sequence>
+</Process>
+)xml";
+
+Status RunDemo() {
+  wfc::WorkflowEngine engine("xoml-demo");
+  SQLFLOW_ASSIGN_OR_RETURN(
+      std::shared_ptr<sql::Database> db,
+      engine.data_sources().Open("memdb://warehouse"));
+  SQLFLOW_RETURN_IF_ERROR(db->ExecuteScript(R"sql(
+    CREATE TABLE Stock (Sku VARCHAR(10) PRIMARY KEY, Units INTEGER);
+    INSERT INTO Stock VALUES ('bolt', 120), ('nut', 3), ('washer', 15);
+  )sql"));
+
+  wfc::XomlLoader loader;
+  SQLFLOW_RETURN_IF_ERROR(wf::RegisterSqlDatabaseXomlActivity(&loader));
+  std::printf("registered activity elements:");
+  for (const std::string& type : loader.RegisteredActivityTypes()) {
+    std::printf(" <%s>", type.c_str());
+  }
+  std::printf("\n\n");
+
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::ProcessDefinitionPtr definition,
+                           loader.LoadProcess(kMarkup));
+  SQLFLOW_RETURN_IF_ERROR(engine.Deploy(definition));
+
+  // The markup's Assign reads $LowStockCount, which a small code
+  // snippet extracts from the DataSet — wire it via a start hook to
+  // keep the markup minimal (code-separation authoring).
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result, [&] {
+    return engine.RunProcess("restock-check");
+  }());
+  // First run fails at $LowStockCount — demonstrate the code-separation
+  // fix: re-load with a snippet step injected around the markup flow.
+  if (!result.status.ok()) {
+    std::printf("code-only variable missing as expected: %s\n\n",
+                result.status.ToString().c_str());
+  }
+
+  // Code-separation mode: markup structure + a code snippet for the
+  // DataSet access.
+  auto extract = std::make_shared<wfc::SnippetActivity>(
+      "ExtractFromDataSet", [](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(
+            std::shared_ptr<dataset::DataSet> set,
+            ctx.variables().GetObjectAs<dataset::DataSet>("LowStock"));
+        SQLFLOW_ASSIGN_OR_RETURN(dataset::DataTablePtr table,
+                                 set->SoleTable());
+        SQLFLOW_ASSIGN_OR_RETURN(Value n, table->Get(0, "n"));
+        ctx.variables().Set("LowStockCount", wfc::VarValue(n));
+        return Status::OK();
+      });
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::ProcessDefinitionPtr markup_def,
+                           loader.LoadProcess(kMarkup));
+  auto root = std::dynamic_pointer_cast<wfc::SequenceActivity>(
+      markup_def->root());
+  // Insert the snippet after the SqlDatabase activity (index 0).
+  std::vector<wfc::ActivityPtr> steps{root->children()[0], extract,
+                                      root->children()[1],
+                                      root->children()[2]};
+  auto combined = std::make_shared<wfc::ProcessDefinition>(
+      "restock-check-v2",
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps)));
+  for (const auto& [name, value] : markup_def->variables()) {
+    combined->DeclareVariable(name, value);
+  }
+  SQLFLOW_RETURN_IF_ERROR(engine.Deploy(combined));
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult v2,
+                           engine.RunProcess("restock-check-v2"));
+  SQLFLOW_RETURN_IF_ERROR(v2.status);
+  SQLFLOW_ASSIGN_OR_RETURN(Value verdict,
+                           v2.variables.GetScalar("Verdict"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value low, v2.variables.GetScalar("LowCount"));
+  std::printf("low-stock SKUs below threshold: %s → verdict: %s\n",
+              low.ToString().c_str(), verdict.ToString().c_str());
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Status st = RunDemo();
+  if (!st.ok()) {
+    std::fprintf(stderr, "demo failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nxoml_workflow OK\n");
+  return 0;
+}

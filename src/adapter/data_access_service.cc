@@ -1,0 +1,60 @@
+#include "adapter/data_access_service.h"
+
+#include "rowset/xml_rowset.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace sqlflow::adapter {
+
+DataAccessService::DataAccessService(
+    std::string name, std::shared_ptr<sql::Database> database)
+    : name_(std::move(name)), database_(std::move(database)) {}
+
+Result<xml::NodePtr> DataAccessService::Invoke(
+    const xml::NodePtr& request) {
+  ++traffic_.requests;
+  traffic_.request_bytes += xml::Serialize(*request).size();
+
+  SQLFLOW_ASSIGN_OR_RETURN(Value statement,
+                           wfc::GetRequestParam(request, "sql"));
+  SQLFLOW_ASSIGN_OR_RETURN(sql::ResultSet result,
+                           database_->Execute(statement.AsString()));
+
+  xml::NodePtr response;
+  if (result.column_count() > 0) {
+    // Serialize the row set into the message payload — the by-value
+    // marshalling cost of the adapter approach.
+    std::string payload = xml::Serialize(*rowset::ToRowSet(result));
+    response = wfc::MakeResponse(Value::String(std::move(payload)));
+    response->SetAttribute("kind", "rowset");
+  } else {
+    response = wfc::MakeResponse(Value::Integer(result.affected_rows()));
+    response->SetAttribute("kind", "affected");
+  }
+  traffic_.response_bytes += xml::Serialize(*response).size();
+  return response;
+}
+
+Result<sql::ResultSet> CallDataAccessService(wfc::WebService* service,
+                                             const std::string& statement) {
+  xml::NodePtr request =
+      wfc::MakeRequest({{"sql", Value::String(statement)}});
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr response,
+                           service->Invoke(request));
+  std::string kind = response->GetAttribute("kind").value_or("affected");
+  if (kind == "rowset") {
+    SQLFLOW_ASSIGN_OR_RETURN(Value payload,
+                             wfc::GetResponseValue(response));
+    SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rowset,
+                             xml::Parse(payload.AsString()));
+    return rowset::FromRowSet(rowset);
+  }
+  SQLFLOW_ASSIGN_OR_RETURN(Value affected,
+                           wfc::GetResponseValue(response));
+  sql::ResultSet out;
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t n, affected.AsInteger());
+  out.set_affected_rows(n);
+  return out;
+}
+
+}  // namespace sqlflow::adapter

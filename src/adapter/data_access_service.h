@@ -1,0 +1,56 @@
+#ifndef SQLFLOW_ADAPTER_DATA_ACCESS_SERVICE_H_
+#define SQLFLOW_ADAPTER_DATA_ACCESS_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sql/database.h"
+#include "wfc/service.h"
+
+namespace sqlflow::adapter {
+
+/// The *adapter technology* of Fig. 1: a service that encapsulates
+/// SQL-specific functionality behind a Web-service facade, keeping data
+/// management issues outside the process logic.
+///
+/// Request protocol (see wfc::MakeRequest):
+///   param "sql"    — the statement to execute
+/// Response:
+///   a STRING response whose payload is the *serialized* XML RowSet for
+///   queries, or the affected-row count for DML/DDL.
+///
+/// The serialize/parse round-trip per call is the point: adapters pass
+/// data by value through messages, which is exactly the overhead the
+/// paper's SQL inline support avoids. Counters expose message volume to
+/// the Fig. 1 benchmark.
+class DataAccessService : public wfc::WebService {
+ public:
+  struct TrafficStats {
+    uint64_t requests = 0;
+    uint64_t request_bytes = 0;
+    uint64_t response_bytes = 0;
+  };
+
+  DataAccessService(std::string name,
+                    std::shared_ptr<sql::Database> database);
+
+  const std::string& name() const override { return name_; }
+  Result<xml::NodePtr> Invoke(const xml::NodePtr& request) override;
+
+  const TrafficStats& traffic() const { return traffic_; }
+
+ private:
+  std::string name_;
+  std::shared_ptr<sql::Database> database_;
+  TrafficStats traffic_;
+};
+
+/// Client-side helper: calls a DataAccessService and parses the response
+/// payload back into a ResultSet (the second half of the by-value cost).
+Result<sql::ResultSet> CallDataAccessService(wfc::WebService* service,
+                                             const std::string& statement);
+
+}  // namespace sqlflow::adapter
+
+#endif  // SQLFLOW_ADAPTER_DATA_ACCESS_SERVICE_H_

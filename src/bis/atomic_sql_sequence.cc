@@ -1,0 +1,40 @@
+#include "bis/atomic_sql_sequence.h"
+
+#include "bis/sql_activity.h"
+
+namespace sqlflow::bis {
+
+AtomicSqlSequence::AtomicSqlSequence(std::string name,
+                                     std::string data_source_variable,
+                                     std::vector<wfc::ActivityPtr> children)
+    : Activity(std::move(name)),
+      data_source_variable_(std::move(data_source_variable)),
+      children_(std::move(children)) {}
+
+Status AtomicSqlSequence::Execute(wfc::ProcessContext& ctx) {
+  SQLFLOW_ASSIGN_OR_RETURN(
+      std::shared_ptr<sql::Database> db,
+      ResolveDataSource(ctx, data_source_variable_));
+
+  SQLFLOW_RETURN_IF_ERROR(db->Begin());
+  ctx.audit().Record(wfc::AuditEventKind::kNote, name(),
+                     "transaction started on " + db->name());
+  for (const wfc::ActivityPtr& child : children_) {
+    Status st = child->Run(ctx);
+    if (!st.ok()) {
+      Status rollback = db->Rollback();
+      ctx.audit().Record(
+          wfc::AuditEventKind::kNote, name(),
+          rollback.ok() ? "transaction rolled back"
+                        : "rollback failed: " + rollback.ToString());
+      return st;
+    }
+    if (ctx.terminate_requested()) break;
+  }
+  SQLFLOW_RETURN_IF_ERROR(db->Commit());
+  ctx.audit().Record(wfc::AuditEventKind::kNote, name(),
+                     "transaction committed");
+  return Status::OK();
+}
+
+}  // namespace sqlflow::bis

@@ -1,0 +1,36 @@
+#ifndef SQLFLOW_BIS_ATOMIC_SQL_SEQUENCE_H_
+#define SQLFLOW_BIS_ATOMIC_SQL_SEQUENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "wfc/activity.h"
+
+namespace sqlflow::bis {
+
+/// BIS's *atomic SQL sequence* activity: embeds a sequence of SQL and
+/// retrieve-set activities that executes as a single transaction on the
+/// bound data source — the paper's mechanism for defining transaction
+/// boundaries in long-running processes. A fault in any child rolls the
+/// whole sequence back and propagates.
+class AtomicSqlSequence : public wfc::Activity {
+ public:
+  AtomicSqlSequence(std::string name, std::string data_source_variable,
+                    std::vector<wfc::ActivityPtr> children);
+
+  std::string TypeName() const override { return "atomic-sql-sequence"; }
+  void Append(wfc::ActivityPtr child) {
+    children_.push_back(std::move(child));
+  }
+
+ protected:
+  Status Execute(wfc::ProcessContext& ctx) override;
+
+ private:
+  std::string data_source_variable_;
+  std::vector<wfc::ActivityPtr> children_;
+};
+
+}  // namespace sqlflow::bis
+
+#endif  // SQLFLOW_BIS_ATOMIC_SQL_SEQUENCE_H_

@@ -1,0 +1,50 @@
+#ifndef SQLFLOW_BIS_DATA_SOURCE_VARIABLE_H_
+#define SQLFLOW_BIS_DATA_SOURCE_VARIABLE_H_
+
+#include <memory>
+#include <string>
+
+#include "sql/data_source.h"
+#include "wfc/object.h"
+
+namespace sqlflow::bis {
+
+/// WID's data source variable: holds the connection string an
+/// information service activity resolves at runtime. Rebinding the
+/// variable switches the target database — test ⇄ production — without
+/// redeploying the process (the *dynamic* cell of Table I's "Reference
+/// to External Data Source" row).
+class DataSourceVariable : public wfc::Object {
+ public:
+  explicit DataSourceVariable(std::string connection_string)
+      : connection_string_(std::move(connection_string)) {}
+
+  std::string TypeName() const override { return "DataSourceVariable"; }
+  std::string Describe() const override {
+    return "DataSource(" + connection_string_ + ")";
+  }
+
+  const std::string& connection_string() const {
+    return connection_string_;
+  }
+  void Rebind(std::string connection_string) {
+    connection_string_ = std::move(connection_string);
+  }
+
+  Result<std::shared_ptr<sql::Database>> Resolve(
+      sql::DataSourceRegistry* registry) const {
+    if (registry == nullptr) {
+      return Status::ExecutionError("no data source registry available");
+    }
+    return registry->Open(connection_string_);
+  }
+
+ private:
+  std::string connection_string_;
+};
+
+using DataSourceVariablePtr = std::shared_ptr<DataSourceVariable>;
+
+}  // namespace sqlflow::bis
+
+#endif  // SQLFLOW_BIS_DATA_SOURCE_VARIABLE_H_

@@ -1,0 +1,69 @@
+#include "bis/lifecycle.h"
+
+#include "bis/sql_activity.h"
+#include "common/string_util.h"
+
+namespace sqlflow::bis {
+
+namespace {
+
+Status RunLifecycleDdl(wfc::ProcessContext& ctx,
+                       const std::string& data_source_variable,
+                       const SetReference& ref, const std::string& ddl) {
+  if (ddl.empty()) return Status::OK();
+  SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<sql::Database> db,
+                           ResolveDataSource(ctx, data_source_variable));
+  std::string statement = ReplaceAll(ddl, "{TABLE}", ref.table_name());
+  ctx.audit().Record(wfc::AuditEventKind::kSqlExecuted, "lifecycle",
+                     statement);
+  auto result = db->Execute(statement);
+  if (!result.ok()) return result.status();
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AttachSetReferenceLifecycle(wfc::ProcessDefinition* definition,
+                                   std::string data_source_variable,
+                                   std::vector<SetReferenceDecl> decls) {
+  for (const SetReferenceDecl& decl : decls) {
+    if (decl.reference == nullptr) {
+      return Status::InvalidArgument("set reference declaration '" +
+                                     decl.variable_name + "' is null");
+    }
+  }
+
+  definition->OnStart([data_source_variable,
+                       decls](wfc::ProcessContext& ctx) -> Status {
+    for (const SetReferenceDecl& decl : decls) {
+      SetReferencePtr instance_ref = decl.reference->Clone();
+      if (!instance_ref->unique_base().empty()) {
+        instance_ref->BindTable(instance_ref->unique_base() + "_" +
+                                std::to_string(ctx.instance_id()));
+      }
+      ctx.variables().Set(decl.variable_name,
+                          wfc::VarValue(wfc::ObjectPtr(instance_ref)));
+      SQLFLOW_RETURN_IF_ERROR(RunLifecycleDdl(ctx, data_source_variable,
+                                              *instance_ref,
+                                              instance_ref->preparation()));
+    }
+    return Status::OK();
+  });
+
+  definition->OnComplete([data_source_variable,
+                          decls](wfc::ProcessContext& ctx) -> Status {
+    Status first_error = Status::OK();
+    for (const SetReferenceDecl& decl : decls) {
+      auto ref =
+          ctx.variables().GetObjectAs<SetReference>(decl.variable_name);
+      if (!ref.ok()) continue;  // variable replaced mid-flow; skip
+      Status st = RunLifecycleDdl(ctx, data_source_variable, **ref,
+                                  (*ref)->cleanup());
+      if (first_error.ok() && !st.ok()) first_error = st;
+    }
+    return first_error;
+  });
+  return Status::OK();
+}
+
+}  // namespace sqlflow::bis

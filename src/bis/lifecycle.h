@@ -1,0 +1,33 @@
+#ifndef SQLFLOW_BIS_LIFECYCLE_H_
+#define SQLFLOW_BIS_LIFECYCLE_H_
+
+#include <string>
+#include <vector>
+
+#include "bis/set_reference.h"
+#include "wfc/process.h"
+
+namespace sqlflow::bis {
+
+/// One set-reference variable of a process, declared from a template.
+/// Each instance gets its own clone, so per-instance rebinding (unique
+/// result table names) never leaks across instances.
+struct SetReferenceDecl {
+  std::string variable_name;
+  SetReferencePtr reference;  // template
+};
+
+/// Installs WID/WPS-style lifecycle management on a process definition
+/// (Table I's "Lifecycle Management for DB Entities"):
+///  - at instance start, each declared reference is cloned into its
+///    variable; references with a unique base are bound to
+///    "<base>_<instance-id>"; preparation DDL (with `{TABLE}` expanded)
+///    runs against the data source;
+///  - at completion (also after a fault), cleanup DDL runs.
+Status AttachSetReferenceLifecycle(wfc::ProcessDefinition* definition,
+                                   std::string data_source_variable,
+                                   std::vector<SetReferenceDecl> decls);
+
+}  // namespace sqlflow::bis
+
+#endif  // SQLFLOW_BIS_LIFECYCLE_H_

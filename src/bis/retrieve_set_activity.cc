@@ -1,0 +1,38 @@
+#include "bis/retrieve_set_activity.h"
+
+#include "bis/set_reference.h"
+#include "bis/sql_activity.h"
+#include "rowset/xml_rowset.h"
+#include "sql/table.h"
+
+namespace sqlflow::bis {
+
+RetrieveSetActivity::RetrieveSetActivity(std::string name, Config config)
+    : Activity(std::move(name)), config_(std::move(config)) {}
+
+Status RetrieveSetActivity::Execute(wfc::ProcessContext& ctx) {
+  SQLFLOW_ASSIGN_OR_RETURN(
+      std::shared_ptr<sql::Database> db,
+      ResolveDataSource(ctx, config_.data_source_variable));
+  SQLFLOW_ASSIGN_OR_RETURN(
+      SetReferencePtr ref,
+      ctx.variables().GetObjectAs<SetReference>(config_.set_reference));
+  SQLFLOW_ASSIGN_OR_RETURN(sql::Table * table,
+                           db->catalog().GetTable(ref->table_name()));
+
+  sql::ResultSet result = table->Scan();
+  db->MutableStats()->rows_read += result.row_count();
+  db->MutableStats()->bytes_materialized += result.ApproxByteSize();
+
+  xml::NodePtr rowset = rowset::ToRowSet(result);
+  ctx.variables().Set(config_.set_variable,
+                      wfc::VarValue(std::move(rowset)));
+  ctx.audit().Record(
+      wfc::AuditEventKind::kNote, name(),
+      "materialized " + std::to_string(result.row_count()) +
+          " rows from " + ref->table_name() + " into set variable " +
+          config_.set_variable);
+  return Status::OK();
+}
+
+}  // namespace sqlflow::bis

@@ -1,0 +1,38 @@
+#ifndef SQLFLOW_BIS_RETRIEVE_SET_ACTIVITY_H_
+#define SQLFLOW_BIS_RETRIEVE_SET_ACTIVITY_H_
+
+#include <string>
+
+#include "wfc/activity.h"
+
+namespace sqlflow::bis {
+
+/// BIS's *retrieve set* activity: the explicit materialization step that
+/// bridges external and internal data processing (Set Retrieval
+/// pattern). Loads the table denoted by a set reference into a set
+/// variable as an XML RowSet, "preserving the relational structure of
+/// the table in an appropriate XML structure".
+class RetrieveSetActivity : public wfc::Activity {
+ public:
+  struct Config {
+    std::string data_source_variable;
+    /// Variable holding the SetReference to materialize.
+    std::string set_reference;
+    /// Target set variable receiving the XML RowSet.
+    std::string set_variable;
+  };
+
+  RetrieveSetActivity(std::string name, Config config);
+
+  std::string TypeName() const override { return "retrieve-set"; }
+
+ protected:
+  Status Execute(wfc::ProcessContext& ctx) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace sqlflow::bis
+
+#endif  // SQLFLOW_BIS_RETRIEVE_SET_ACTIVITY_H_

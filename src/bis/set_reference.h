@@ -1,0 +1,88 @@
+#ifndef SQLFLOW_BIS_SET_REFERENCE_H_
+#define SQLFLOW_BIS_SET_REFERENCE_H_
+
+#include <memory>
+#include <string>
+
+#include "wfc/object.h"
+
+namespace sqlflow::bis {
+
+/// WID's set reference variable (Sec. III-B): a handle to an *external*
+/// table, used in information service activities in place of a static
+/// table name. Passing a SetReference between activities passes the data
+/// **by reference** — the rows never leave the database.
+///
+/// An *input* set reference names a table an activity reads or changes;
+/// a *result* set reference names the table that receives a query's (or
+/// procedure call's) result. Result references typically point at
+/// per-instance temporary tables whose lifecycle is controlled by
+/// preparation/cleanup statements (see lifecycle.h).
+class SetReference : public wfc::Object {
+ public:
+  enum class Kind { kInput, kResult };
+
+  SetReference(Kind kind, std::string table_name)
+      : kind_(kind), table_name_(std::move(table_name)) {}
+
+  std::string TypeName() const override { return "SetReference"; }
+  std::string Describe() const override {
+    return std::string(kind_ == Kind::kInput ? "InputSetReference("
+                                             : "ResultSetReference(") +
+           table_name_ + ")";
+  }
+
+  Kind kind() const { return kind_; }
+  const std::string& table_name() const { return table_name_; }
+
+  /// Dynamic (re)binding: which table this reference denotes can change
+  /// at deployment time or at runtime without touching the process model.
+  void BindTable(std::string table_name) {
+    table_name_ = std::move(table_name);
+  }
+
+  /// A result reference may be redefined as the input reference of a
+  /// consecutive activity (the paper's cross-activity passing): same
+  /// table, input role.
+  std::shared_ptr<SetReference> AsInputReference() const {
+    return std::make_shared<SetReference>(Kind::kInput, table_name_);
+  }
+
+  // --- lifecycle statements (Sec. III-B "Additional Features") --------------
+  /// DDL run before the owning process starts; `{TABLE}` expands to the
+  /// bound table name.
+  void SetPreparation(std::string ddl) { preparation_ = std::move(ddl); }
+  /// DDL run after the owning process completes (even on fault).
+  void SetCleanup(std::string ddl) { cleanup_ = std::move(ddl); }
+  const std::string& preparation() const { return preparation_; }
+  const std::string& cleanup() const { return cleanup_; }
+
+  /// When set, the lifecycle hook binds the reference to
+  /// "<base>_<instance-id>" at instance start — the paper's "table
+  /// created with a generated unique name for each workflow instance".
+  void SetUniquePerInstance(std::string base_name) {
+    unique_base_ = std::move(base_name);
+  }
+  const std::string& unique_base() const { return unique_base_; }
+
+  std::shared_ptr<SetReference> Clone() const {
+    auto copy = std::make_shared<SetReference>(kind_, table_name_);
+    copy->preparation_ = preparation_;
+    copy->cleanup_ = cleanup_;
+    copy->unique_base_ = unique_base_;
+    return copy;
+  }
+
+ private:
+  Kind kind_;
+  std::string table_name_;
+  std::string preparation_;
+  std::string cleanup_;
+  std::string unique_base_;
+};
+
+using SetReferencePtr = std::shared_ptr<SetReference>;
+
+}  // namespace sqlflow::bis
+
+#endif  // SQLFLOW_BIS_SET_REFERENCE_H_

@@ -1,0 +1,131 @@
+#include "bis/sql_activity.h"
+
+#include "sql/parser.h"
+#include "wfc/activities.h"
+
+namespace sqlflow::bis {
+
+Result<std::string> ExpandSetReferences(const std::string& statement,
+                                        wfc::ProcessContext& ctx) {
+  std::string out;
+  out.reserve(statement.size());
+  size_t i = 0;
+  while (i < statement.size()) {
+    char c = statement[i];
+    if (c != '{') {
+      out += c;
+      ++i;
+      continue;
+    }
+    size_t close = statement.find('}', i);
+    if (close == std::string::npos) {
+      return Status::InvalidArgument("unbalanced '{' in SQL statement");
+    }
+    std::string var_name = statement.substr(i + 1, close - i - 1);
+    SQLFLOW_ASSIGN_OR_RETURN(
+        SetReferencePtr ref,
+        ctx.variables().GetObjectAs<SetReference>(var_name));
+    out += ref->table_name();
+    i = close + 1;
+  }
+  return out;
+}
+
+Status MaterializeResultIntoTable(sql::Database* db,
+                                  const std::string& table_name,
+                                  const sql::ResultSet& result) {
+  sql::Table* table = db->catalog().FindTable(table_name);
+  if (table == nullptr) {
+    // Infer a schema: first non-null value per column decides the type;
+    // all-null columns fall back to VARCHAR.
+    std::vector<sql::ColumnDef> columns;
+    for (size_t c = 0; c < result.column_count(); ++c) {
+      sql::ColumnDef col;
+      col.name = result.column_names()[c];
+      col.type = ValueType::kString;
+      for (const sql::Row& row : result.rows()) {
+        if (c < row.size() && !row[c].is_null()) {
+          col.type = row[c].type();
+          break;
+        }
+      }
+      columns.push_back(std::move(col));
+    }
+    SQLFLOW_RETURN_IF_ERROR(db->catalog().CreateTable(
+        sql::TableSchema(table_name, std::move(columns))));
+    table = db->catalog().FindTable(table_name);
+  } else {
+    if (table->schema().column_count() != result.column_count()) {
+      return Status::ExecutionError(
+          "result shape does not match existing table '" + table_name +
+          "'");
+    }
+    table->Clear(db->active_undo());
+  }
+  for (const sql::Row& row : result.rows()) {
+    SQLFLOW_RETURN_IF_ERROR(table->Insert(row, db->active_undo()));
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<sql::Database>> ResolveDataSource(
+    wfc::ProcessContext& ctx, const std::string& var_name) {
+  SQLFLOW_ASSIGN_OR_RETURN(
+      DataSourceVariablePtr ds,
+      ctx.variables().GetObjectAs<DataSourceVariable>(var_name));
+  return ds->Resolve(ctx.data_sources());
+}
+
+SqlActivity::SqlActivity(std::string name, Config config)
+    : Activity(std::move(name)), config_(std::move(config)) {}
+
+Status SqlActivity::Execute(wfc::ProcessContext& ctx) {
+  SQLFLOW_ASSIGN_OR_RETURN(
+      std::shared_ptr<sql::Database> db,
+      ResolveDataSource(ctx, config_.data_source_variable));
+
+  SQLFLOW_ASSIGN_OR_RETURN(std::string statement,
+                           ExpandSetReferences(config_.statement, ctx));
+
+  sql::Params params;
+  for (const auto& [param_name, source_expr] : config_.parameters) {
+    SQLFLOW_ASSIGN_OR_RETURN(xpath::XPathValue v,
+                             ctx.EvalXPath(source_expr));
+    params.Set(param_name, wfc::XPathValueToScalar(v));
+  }
+
+  if (compiled_ == nullptr || compiled_text_ != statement) {
+    SQLFLOW_ASSIGN_OR_RETURN(compiled_, sql::ParseStatement(statement));
+    compiled_text_ = statement;
+  }
+  ctx.audit().Record(wfc::AuditEventKind::kSqlExecuted, name(), statement);
+  SQLFLOW_ASSIGN_OR_RETURN(sql::ResultSet result,
+                           db->ExecuteStatement(*compiled_, params));
+
+  if (!config_.affected_variable.empty()) {
+    ctx.variables().Set(
+        config_.affected_variable,
+        wfc::VarValue(Value::Integer(result.affected_rows())));
+  }
+
+  if (!config_.result_set_reference.empty()) {
+    SQLFLOW_ASSIGN_OR_RETURN(
+        SetReferencePtr ref,
+        ctx.variables().GetObjectAs<SetReference>(
+            config_.result_set_reference));
+    if (ref->kind() != SetReference::Kind::kResult) {
+      return Status::InvalidArgument(
+          "variable '" + config_.result_set_reference +
+          "' is not a result set reference");
+    }
+    SQLFLOW_RETURN_IF_ERROR(
+        MaterializeResultIntoTable(db.get(), ref->table_name(), result));
+    ctx.audit().Record(
+        wfc::AuditEventKind::kNote, name(),
+        "result stored externally in " + ref->table_name() + " (" +
+            std::to_string(result.row_count()) + " rows, by reference)");
+  }
+  return Status::OK();
+}
+
+}  // namespace sqlflow::bis

@@ -1,0 +1,79 @@
+#ifndef SQLFLOW_BIS_SQL_ACTIVITY_H_
+#define SQLFLOW_BIS_SQL_ACTIVITY_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bis/data_source_variable.h"
+#include "sql/ast.h"
+#include "bis/set_reference.h"
+#include "wfc/activity.h"
+
+namespace sqlflow::bis {
+
+/// BIS's *SQL activity* (information service activity, Sec. III-B):
+/// embeds one SQL statement — query, DML, DDL, or CALL — executed on the
+/// database bound through a data source variable.
+///
+/// Set references appear in the statement as `{VariableName}`
+/// placeholders and are expanded to the referenced table's current name
+/// at runtime. Scalar process values enter as named parameters
+/// (`:name`), each bound from an XPath expression over the variable pool.
+///
+/// A query's (or procedure's) result set is **not** passed into the
+/// process space: when `result_set_reference` names a result
+/// SetReference variable, the rows are stored into that table inside the
+/// database, and only the reference travels onward.
+class SqlActivity : public wfc::Activity {
+ public:
+  struct Config {
+    /// Variable holding the DataSourceVariable to execute against.
+    std::string data_source_variable;
+    /// SQL text; may contain `{SetRefVar}` placeholders.
+    std::string statement;
+    /// name → XPath source for `:name` parameters.
+    std::vector<std::pair<std::string, std::string>> parameters;
+    /// Variable holding the result SetReference (queries/CALL only).
+    std::string result_set_reference;
+    /// Optional scalar variable receiving the affected-row count.
+    std::string affected_variable;
+  };
+
+  SqlActivity(std::string name, Config config);
+
+  std::string TypeName() const override { return "sql"; }
+
+ protected:
+  Status Execute(wfc::ProcessContext& ctx) override;
+
+ private:
+  Config config_;
+  // Parse cache keyed by the set-reference-expanded statement text:
+  // reparsing only happens when a reference was rebound to a different
+  // table. The engine is single-threaded per design.
+  std::string compiled_text_;
+  std::unique_ptr<sql::Statement> compiled_;
+};
+
+/// Expands `{VarName}` placeholders against SetReference variables in
+/// `ctx`; unknown variables or non-SetReference variables are errors.
+/// Exposed for reuse by RetrieveSetActivity and tests.
+Result<std::string> ExpandSetReferences(const std::string& statement,
+                                        wfc::ProcessContext& ctx);
+
+/// Stores `result` into `table_name` inside `db`, creating the table
+/// (schema inferred from the result) when it does not exist yet.
+Status MaterializeResultIntoTable(sql::Database* db,
+                                  const std::string& table_name,
+                                  const sql::ResultSet& result);
+
+/// Resolves the Database bound to the DataSourceVariable held in
+/// variable `var_name`.
+Result<std::shared_ptr<sql::Database>> ResolveDataSource(
+    wfc::ProcessContext& ctx, const std::string& var_name);
+
+}  // namespace sqlflow::bis
+
+#endif  // SQLFLOW_BIS_SQL_ACTIVITY_H_

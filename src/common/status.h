@@ -1,0 +1,138 @@
+#ifndef SQLFLOW_COMMON_STATUS_H_
+#define SQLFLOW_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sqlflow {
+
+/// Error categories used across all sqlflow modules. Mirrors the
+/// coarse-grained code sets of Arrow/RocksDB-style status objects.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something malformed
+  kNotFound,          // named entity (table, variable, service...) missing
+  kAlreadyExists,     // entity with that name already present
+  kSyntaxError,       // SQL / XPath / XML / XOML parse failure
+  kTypeError,         // value of the wrong type for an operation
+  kConstraintError,   // schema or integrity constraint violated
+  kUnsupported,       // feature intentionally outside this engine's scope
+  kExecutionError,    // runtime failure while executing a statement/activity
+  kInternal,          // invariant violation inside sqlflow itself
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Operation outcome carried by value. `Status::OK()` is the success
+/// singleton; error statuses carry a code and a message. No exceptions are
+/// used anywhere in sqlflow: fallible functions return `Status` or
+/// `Result<T>`.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status SyntaxError(std::string msg) {
+    return Status(StatusCode::kSyntaxError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status ConstraintError(std::string msg) {
+    return Status(StatusCode::kConstraintError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing `value()` on an
+/// error result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  // Implicit conversions from both alternatives keep call sites terse:
+  //   Result<int> F() { if (bad) return Status::InvalidArgument("..."); return 42; }
+  Result(T value) : value_(std::move(value)) {}          // NOLINT
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T& operator*() & { return *value_; }
+  const T& operator*() const& { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T value_or(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sqlflow
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SQLFLOW_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::sqlflow::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on error returns the Status to the caller.
+#define SQLFLOW_ASSIGN_OR_RETURN(lhs, expr)      \
+  SQLFLOW_ASSIGN_OR_RETURN_IMPL(                 \
+      SQLFLOW_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define SQLFLOW_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define SQLFLOW_CONCAT_(a, b) SQLFLOW_CONCAT_IMPL_(a, b)
+#define SQLFLOW_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SQLFLOW_COMMON_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef SQLFLOW_COMMON_STRING_UTIL_H_
+#define SQLFLOW_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sqlflow {
+
+/// ASCII-only case fold; SQL keywords and identifiers are ASCII here.
+std::string ToUpperAscii(std::string_view s);
+std::string ToLowerAscii(std::string_view s);
+
+/// Case-insensitive ASCII equality (for SQL identifiers/keywords).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Strips leading/trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Replaces all occurrences of `from` with `to`.
+std::string ReplaceAll(std::string s, std::string_view from,
+                       std::string_view to);
+
+}  // namespace sqlflow
+
+#endif  // SQLFLOW_COMMON_STRING_UTIL_H_

@@ -1,0 +1,119 @@
+#include "dataset/data_adapter.h"
+
+#include "common/string_util.h"
+#include "sql/table.h"
+
+namespace sqlflow::dataset {
+
+namespace {
+
+// Builds "col1 = ?, col2 = ?" style fragments with positional parameters.
+std::string Placeholders(size_t n) {
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    if (i > 0) out += ", ";
+    out += "?";
+  }
+  return out;
+}
+
+}  // namespace
+
+DataAdapter::DataAdapter(std::shared_ptr<sql::Database> database,
+                         std::string source_table)
+    : database_(std::move(database)),
+      source_table_(std::move(source_table)) {}
+
+Result<std::string> DataAdapter::KeyColumn() const {
+  const sql::Table* table = database_->catalog().FindTable(source_table_);
+  if (table == nullptr) {
+    return Status::NotFound("no source table '" + source_table_ + "'");
+  }
+  int pk = table->schema().primary_key_index();
+  size_t index = pk >= 0 ? static_cast<size_t>(pk) : 0;
+  return table->schema().columns()[index].name;
+}
+
+Result<DataTablePtr> DataAdapter::Fill(DataSet* target,
+                                       const std::string& select_sql) {
+  SQLFLOW_ASSIGN_OR_RETURN(sql::ResultSet result,
+                           database_->Execute(select_sql));
+  SQLFLOW_ASSIGN_OR_RETURN(
+      DataTablePtr table,
+      target->AddTable(source_table_, result.column_names()));
+  for (const sql::Row& row : result.rows()) {
+    table->LoadRow(row);
+  }
+  return table;
+}
+
+Result<DataAdapter::UpdateCounts> DataAdapter::Update(DataTable* table) {
+  SQLFLOW_ASSIGN_OR_RETURN(std::string key_column, KeyColumn());
+  int key_index = table->FindColumn(key_column);
+  if (key_index < 0) {
+    return Status::ExecutionError(
+        "cached table lacks the source key column '" + key_column + "'");
+  }
+
+  UpdateCounts counts;
+  SQLFLOW_RETURN_IF_ERROR(database_->Begin());
+  auto fail = [&](const Status& st) -> Status {
+    (void)database_->Rollback();
+    return st;
+  };
+
+  for (const DataRow& row : table->rows()) {
+    switch (row.state) {
+      case RowState::kUnchanged:
+        break;
+      case RowState::kAdded: {
+        std::string sql = "INSERT INTO " + source_table_ + " (" +
+                          Join(table->columns(), ", ") + ") VALUES (" +
+                          Placeholders(row.values.size()) + ")";
+        sql::Params params;
+        for (const Value& v : row.values) params.Add(v);
+        auto result = database_->Execute(sql, params);
+        if (!result.ok()) return fail(result.status());
+        ++counts.inserted;
+        break;
+      }
+      case RowState::kModified: {
+        std::string sql = "UPDATE " + source_table_ + " SET ";
+        sql::Params params;
+        for (size_t i = 0; i < table->columns().size(); ++i) {
+          if (i > 0) sql += ", ";
+          sql += table->columns()[i] + " = ?";
+          params.Add(row.values[i]);
+        }
+        sql += " WHERE " + key_column + " = ?";
+        params.Add(row.original[static_cast<size_t>(key_index)]);
+        auto result = database_->Execute(sql, params);
+        if (!result.ok()) return fail(result.status());
+        if (result->affected_rows() == 0) {
+          return fail(Status::ExecutionError(
+              "synchronization conflict: source row with " + key_column +
+              " = " +
+              row.original[static_cast<size_t>(key_index)].ToString() +
+              " no longer exists"));
+        }
+        ++counts.updated;
+        break;
+      }
+      case RowState::kDeleted: {
+        std::string sql = "DELETE FROM " + source_table_ + " WHERE " +
+                          key_column + " = ?";
+        sql::Params params;
+        params.Add(row.original[static_cast<size_t>(key_index)]);
+        auto result = database_->Execute(sql, params);
+        if (!result.ok()) return fail(result.status());
+        ++counts.deleted;
+        break;
+      }
+    }
+  }
+  SQLFLOW_RETURN_IF_ERROR(database_->Commit());
+  table->AcceptChanges();
+  return counts;
+}
+
+}  // namespace sqlflow::dataset

@@ -1,0 +1,51 @@
+#ifndef SQLFLOW_DATASET_DATA_ADAPTER_H_
+#define SQLFLOW_DATASET_DATA_ADAPTER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "dataset/data_set.h"
+#include "sql/database.h"
+
+namespace sqlflow::dataset {
+
+/// Synchronizes a disconnected DataTable with its source database table —
+/// the ADO.NET DataAdapter analogue that realizes the paper's
+/// *Synchronization Pattern* for the WF product.
+///
+/// Update() pushes pending changes back: kAdded rows become INSERTs,
+/// kModified rows UPDATEs, kDeleted rows DELETEs. Modified/deleted rows
+/// are addressed in the source by their *original* key value (optimistic,
+/// key-based addressing; the key column is the source table's PRIMARY
+/// KEY, or the first column when none is declared).
+class DataAdapter {
+ public:
+  struct UpdateCounts {
+    size_t inserted = 0;
+    size_t updated = 0;
+    size_t deleted = 0;
+  };
+
+  DataAdapter(std::shared_ptr<sql::Database> database,
+              std::string source_table);
+
+  /// Runs `select_sql` and loads the result into a new table named after
+  /// the source table inside `target` (AcceptChanges state).
+  Result<DataTablePtr> Fill(DataSet* target, const std::string& select_sql);
+
+  /// Pushes pending changes of `table` to the source, then accepts them.
+  /// All statements run in one transaction; any failure rolls back and
+  /// leaves the DataTable's change state untouched.
+  Result<UpdateCounts> Update(DataTable* table);
+
+ private:
+  Result<std::string> KeyColumn() const;
+
+  std::shared_ptr<sql::Database> database_;
+  std::string source_table_;
+};
+
+}  // namespace sqlflow::dataset
+
+#endif  // SQLFLOW_DATASET_DATA_ADAPTER_H_

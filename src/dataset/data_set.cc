@@ -1,0 +1,235 @@
+#include "dataset/data_set.h"
+
+#include "common/string_util.h"
+
+namespace sqlflow::dataset {
+
+const char* RowStateName(RowState state) {
+  switch (state) {
+    case RowState::kUnchanged:
+      return "Unchanged";
+    case RowState::kAdded:
+      return "Added";
+    case RowState::kModified:
+      return "Modified";
+    case RowState::kDeleted:
+      return "Deleted";
+  }
+  return "Unknown";
+}
+
+DataTable::DataTable(std::string name, std::vector<std::string> columns)
+    : name_(std::move(name)), columns_(std::move(columns)) {}
+
+int DataTable::FindColumn(const std::string& column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i], column)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+size_t DataTable::ActiveRowCount() const {
+  size_t n = 0;
+  for (const DataRow& row : rows_) {
+    if (row.state != RowState::kDeleted) ++n;
+  }
+  return n;
+}
+
+void DataTable::LoadRow(std::vector<Value> values) {
+  DataRow row;
+  row.original = values;
+  row.values = std::move(values);
+  row.state = RowState::kUnchanged;
+  rows_.push_back(std::move(row));
+}
+
+Status DataTable::AddRow(std::vector<Value> values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "AddRow got " + std::to_string(values.size()) + " values for " +
+        std::to_string(columns_.size()) + " columns");
+  }
+  DataRow row;
+  row.values = std::move(values);
+  row.state = RowState::kAdded;
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status DataTable::UpdateValue(size_t row_index, const std::string& column,
+                              const Value& value) {
+  if (row_index >= rows_.size()) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  int col = FindColumn(column);
+  if (col < 0) {
+    return Status::NotFound("no column '" + column + "' in table '" +
+                            name_ + "'");
+  }
+  DataRow& row = rows_[row_index];
+  if (row.state == RowState::kDeleted) {
+    return Status::ExecutionError("cannot update a deleted row");
+  }
+  row.values[static_cast<size_t>(col)] = value;
+  if (row.state == RowState::kUnchanged) {
+    row.state = RowState::kModified;
+  }
+  return Status::OK();
+}
+
+Status DataTable::MarkDeleted(size_t row_index) {
+  if (row_index >= rows_.size()) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  DataRow& row = rows_[row_index];
+  if (row.state == RowState::kAdded) {
+    // A row that never existed in the source simply disappears.
+    rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(row_index));
+    return Status::OK();
+  }
+  row.state = RowState::kDeleted;
+  return Status::OK();
+}
+
+Result<Value> DataTable::Get(size_t row_index,
+                             const std::string& column) const {
+  if (row_index >= rows_.size()) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  int col = FindColumn(column);
+  if (col < 0) {
+    return Status::NotFound("no column '" + column + "' in table '" +
+                            name_ + "'");
+  }
+  return rows_[row_index].values[static_cast<size_t>(col)];
+}
+
+Result<std::vector<Value>> DataTable::GetRowValues(size_t row_index) const {
+  if (row_index >= rows_.size()) {
+    return Status::InvalidArgument("row index out of range");
+  }
+  return rows_[row_index].values;
+}
+
+std::vector<size_t> DataTable::Select(
+    const std::function<bool(const std::vector<Value>&)>& predicate) const {
+  std::vector<size_t> matches;
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].state == RowState::kDeleted) continue;
+    if (predicate(rows_[i].values)) matches.push_back(i);
+  }
+  return matches;
+}
+
+void DataTable::AcceptChanges() {
+  std::vector<DataRow> kept;
+  kept.reserve(rows_.size());
+  for (DataRow& row : rows_) {
+    if (row.state == RowState::kDeleted) continue;
+    row.original = row.values;
+    row.state = RowState::kUnchanged;
+    kept.push_back(std::move(row));
+  }
+  rows_ = std::move(kept);
+}
+
+void DataTable::RejectChanges() {
+  std::vector<DataRow> kept;
+  kept.reserve(rows_.size());
+  for (DataRow& row : rows_) {
+    switch (row.state) {
+      case RowState::kAdded:
+        break;  // never existed upstream; drop
+      case RowState::kModified:
+      case RowState::kDeleted:
+        row.values = row.original;
+        row.state = RowState::kUnchanged;
+        kept.push_back(std::move(row));
+        break;
+      case RowState::kUnchanged:
+        kept.push_back(std::move(row));
+        break;
+    }
+  }
+  rows_ = std::move(kept);
+}
+
+bool DataTable::HasChanges() const {
+  for (const DataRow& row : rows_) {
+    if (row.state != RowState::kUnchanged) return true;
+  }
+  return false;
+}
+
+size_t DataTable::CountState(RowState state) const {
+  size_t n = 0;
+  for (const DataRow& row : rows_) {
+    if (row.state == state) ++n;
+  }
+  return n;
+}
+
+sql::ResultSet DataTable::ToResultSet() const {
+  sql::ResultSet out(columns_);
+  for (const DataRow& row : rows_) {
+    if (row.state == RowState::kDeleted) continue;
+    out.AddRow(row.values);
+  }
+  return out;
+}
+
+std::string DataSet::Describe() const {
+  std::string out = "DataSet{";
+  bool first = true;
+  for (const auto& [name, table] : tables_) {
+    if (!first) out += ", ";
+    first = false;
+    out += name + ":" + std::to_string(table->ActiveRowCount()) + " rows";
+  }
+  out += "}";
+  return out;
+}
+
+Result<DataTablePtr> DataSet::AddTable(std::string name,
+                                       std::vector<std::string> columns) {
+  std::string key = ToUpperAscii(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("DataSet already has table '" + name +
+                                 "'");
+  }
+  auto table =
+      std::make_shared<DataTable>(std::move(name), std::move(columns));
+  tables_.emplace(std::move(key), table);
+  return table;
+}
+
+Result<DataTablePtr> DataSet::GetTable(const std::string& name) const {
+  auto it = tables_.find(ToUpperAscii(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("DataSet has no table '" + name + "'");
+  }
+  return it->second;
+}
+
+bool DataSet::HasTable(const std::string& name) const {
+  return tables_.count(ToUpperAscii(name)) > 0;
+}
+
+std::vector<std::string> DataSet::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+Result<DataTablePtr> DataSet::SoleTable() const {
+  if (tables_.size() != 1) {
+    return Status::ExecutionError(
+        "DataSet holds " + std::to_string(tables_.size()) +
+        " tables; expected exactly one");
+  }
+  return tables_.begin()->second;
+}
+
+}  // namespace sqlflow::dataset

@@ -1,0 +1,115 @@
+#ifndef SQLFLOW_DATASET_DATA_SET_H_
+#define SQLFLOW_DATASET_DATA_SET_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/result_set.h"
+#include "wfc/object.h"
+
+namespace sqlflow::dataset {
+
+/// Change-tracking state of one cached row, mirroring ADO.NET's
+/// DataRowState.
+enum class RowState { kUnchanged, kAdded, kModified, kDeleted };
+
+const char* RowStateName(RowState state);
+
+/// One cached row: current values, the original values as fetched (used
+/// by the DataAdapter to address the source row during synchronization),
+/// and the change state.
+struct DataRow {
+  std::vector<Value> values;
+  std::vector<Value> original;  // empty for kAdded rows
+  RowState state = RowState::kUnchanged;
+};
+
+/// A disconnected, in-memory table of a DataSet. Supports the paper's
+/// internal-data patterns: sequential iteration, random access, tuple
+/// insert/update/delete, all tracked for later synchronization.
+class DataTable {
+ public:
+  DataTable(std::string name, std::vector<std::string> columns);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& columns() const { return columns_; }
+  int FindColumn(const std::string& column) const;
+
+  /// All rows including deleted ones (check `state`).
+  const std::vector<DataRow>& rows() const { return rows_; }
+  /// Rows not marked deleted.
+  size_t ActiveRowCount() const;
+
+  /// Loads a fetched row as kUnchanged (used by DataAdapter::Fill).
+  void LoadRow(std::vector<Value> values);
+
+  /// Tuple IUD pattern -------------------------------------------------------
+  Status AddRow(std::vector<Value> values);            // state kAdded
+  Status UpdateValue(size_t row_index, const std::string& column,
+                     const Value& value);              // → kModified
+  Status MarkDeleted(size_t row_index);                // → kDeleted
+
+  /// Random access ------------------------------------------------------------
+  Result<Value> Get(size_t row_index, const std::string& column) const;
+  Result<std::vector<Value>> GetRowValues(size_t row_index) const;
+
+  /// Linear scan with a predicate over (row values) — ADO.NET's
+  /// DataTable.Select analogue.
+  std::vector<size_t> Select(
+      const std::function<bool(const std::vector<Value>&)>& predicate)
+      const;
+
+  /// Change management ---------------------------------------------------------
+  /// Accepts all pending changes: drops deleted rows, promotes
+  /// added/modified rows to kUnchanged, refreshes originals.
+  void AcceptChanges();
+  /// Discards all pending changes, restoring the last accepted state.
+  void RejectChanges();
+  bool HasChanges() const;
+  size_t CountState(RowState state) const;
+
+  /// Converts active rows to a ResultSet (current values).
+  sql::ResultSet ToResultSet() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> columns_;
+  std::vector<DataRow> rows_;
+};
+
+using DataTablePtr = std::shared_ptr<DataTable>;
+
+/// The client-side cache object stored in a workflow variable by the WF
+/// analogue's SQL database activity ("a cache for relational data on the
+/// client side that holds no connection to the original data").
+class DataSet : public wfc::Object {
+ public:
+  DataSet() = default;
+
+  std::string TypeName() const override { return "DataSet"; }
+  std::string Describe() const override;
+
+  Result<DataTablePtr> AddTable(std::string name,
+                                std::vector<std::string> columns);
+  Result<DataTablePtr> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// The single table of typical single-result usage; error if the set
+  /// holds zero or several tables.
+  Result<DataTablePtr> SoleTable() const;
+
+ private:
+  std::map<std::string, DataTablePtr> tables_;
+};
+
+using DataSetPtr = std::shared_ptr<DataSet>;
+
+}  // namespace sqlflow::dataset
+
+#endif  // SQLFLOW_DATASET_DATA_SET_H_

@@ -1,0 +1,492 @@
+#include "bis/atomic_sql_sequence.h"
+#include "bis/lifecycle.h"
+#include "bis/retrieve_set_activity.h"
+#include "bis/sql_activity.h"
+#include "patterns/evaluators.h"
+#include "patterns/fixture.h"
+#include "rowset/xml_rowset.h"
+#include "sql/table.h"
+
+namespace sqlflow::patterns {
+
+namespace {
+
+using bis::DataSourceVariable;
+using bis::RetrieveSetActivity;
+using bis::SetReference;
+using bis::SqlActivity;
+
+constexpr const char* kDsVar = "DS_Orders";
+
+/// Deploys a process whose variables include the data-source variable
+/// and runs it once.
+Result<wfc::InstanceResult> RunFlow(
+    Fixture* fixture, wfc::ActivityPtr root,
+    const std::function<void(wfc::ProcessDefinition&)>& configure = {}) {
+  auto definition = std::make_shared<wfc::ProcessDefinition>(
+      "scenario", std::move(root));
+  definition->DeclareVariable(
+      kDsVar, wfc::VarValue(wfc::ObjectPtr(
+                  std::make_shared<DataSourceVariable>(
+                      Fixture::kConnection))));
+  if (configure) configure(*definition);
+  fixture->engine->DeployOrReplace(definition);
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                           fixture->engine->RunProcess("scenario"));
+  if (!result.status.ok()) return result.status;
+  return result;
+}
+
+CellRealization Cell(Pattern p, std::string mechanism,
+                     RealizationLevel level, std::string restriction,
+                     const Status& outcome, std::string note) {
+  CellRealization cell;
+  cell.pattern = p;
+  cell.mechanism = std::move(mechanism);
+  cell.level = level;
+  cell.restriction = std::move(restriction);
+  cell.verified = outcome.ok();
+  cell.note = outcome.ok() ? std::move(note) : outcome.ToString();
+  return cell;
+}
+
+/// Declares a result set reference bound to a fixed table name.
+void DeclareResultRef(wfc::ProcessDefinition& definition,
+                      const std::string& variable,
+                      const std::string& table) {
+  definition.DeclareVariable(
+      variable,
+      wfc::VarValue(wfc::ObjectPtr(std::make_shared<SetReference>(
+          SetReference::Kind::kResult, table))));
+}
+
+void DeclareInputRef(wfc::ProcessDefinition& definition,
+                     const std::string& variable,
+                     const std::string& table) {
+  definition.DeclareVariable(
+      variable,
+      wfc::VarValue(wfc::ObjectPtr(std::make_shared<SetReference>(
+          SetReference::Kind::kInput, table))));
+}
+
+// --- scenarios --------------------------------------------------------------
+
+Status QueryScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("bis"));
+  SqlActivity::Config config;
+  config.data_source_variable = kDsVar;
+  config.statement =
+      "SELECT ItemID, SUM(Quantity) AS Quantity FROM {SR_Orders} "
+      "WHERE Approved = TRUE GROUP BY ItemID";
+  config.result_set_reference = "SR_ItemList";
+  auto activity = std::make_shared<SqlActivity>("SQL1", config);
+  SQLFLOW_ASSIGN_OR_RETURN(
+      wfc::InstanceResult result,
+      RunFlow(&fixture, activity, [](wfc::ProcessDefinition& d) {
+        DeclareInputRef(d, "SR_Orders", "Orders");
+        DeclareResultRef(d, "SR_ItemList", "ItemList");
+      }));
+  (void)result;
+  // The result stays external: verify the table exists in the DB and
+  // aggregates correctly.
+  SQLFLOW_ASSIGN_OR_RETURN(
+      sql::ResultSet check,
+      fixture.db->Execute("SELECT SUM(Quantity) FROM ItemList"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value total, check.ScalarValue());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t expected,
+                           ApprovedQuantitySum(fixture.db.get()));
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t actual, total.AsInteger());
+  if (actual != expected) {
+    return Status::ExecutionError("aggregate mismatch");
+  }
+  return Status::OK();
+}
+
+Status SetIudScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("bis"));
+  SqlActivity::Config config;
+  config.data_source_variable = kDsVar;
+  config.statement =
+      "UPDATE {SR_Orders} SET Approved = TRUE WHERE Quantity >= :minq";
+  config.parameters = {{"minq", "3"}};
+  config.affected_variable = "Affected";
+  auto activity = std::make_shared<SqlActivity>("SQL-upd", config);
+  SQLFLOW_ASSIGN_OR_RETURN(
+      wfc::InstanceResult result,
+      RunFlow(&fixture, activity, [](wfc::ProcessDefinition& d) {
+        DeclareInputRef(d, "SR_Orders", "Orders");
+      }));
+  SQLFLOW_ASSIGN_OR_RETURN(Value affected,
+                           result.variables.GetScalar("Affected"));
+  SQLFLOW_ASSIGN_OR_RETURN(
+      sql::ResultSet remaining,
+      fixture.db->Execute("SELECT COUNT(*) FROM Orders WHERE Approved = "
+                          "FALSE AND Quantity >= 3"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value still, remaining.ScalarValue());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t still_count, still.AsInteger());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t affected_count, affected.AsInteger());
+  if (still_count != 0 || affected_count == 0) {
+    return Status::ExecutionError("set update did not apply");
+  }
+  return Status::OK();
+}
+
+Status DataSetupScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("bis"));
+  SqlActivity::Config config;
+  config.data_source_variable = kDsVar;
+  config.statement =
+      "CREATE TABLE AuditLog (EntryID INTEGER PRIMARY KEY, Message "
+      "VARCHAR(80))";
+  auto activity = std::make_shared<SqlActivity>("SQL-ddl", config);
+  SQLFLOW_RETURN_IF_ERROR(RunFlow(&fixture, activity).status());
+  if (fixture.db->catalog().FindTable("AuditLog") == nullptr) {
+    return Status::ExecutionError("DDL did not create the table");
+  }
+  return Status::OK();
+}
+
+Status StoredProcedureScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("bis"));
+  SqlActivity::Config config;
+  config.data_source_variable = kDsVar;
+  config.statement = "CALL TopItems(2)";
+  config.result_set_reference = "SR_Top";
+  auto activity = std::make_shared<SqlActivity>("SQL-call", config);
+  SQLFLOW_RETURN_IF_ERROR(
+      RunFlow(&fixture, activity, [](wfc::ProcessDefinition& d) {
+        DeclareResultRef(d, "SR_Top", "TopItems2");
+      }).status());
+  SQLFLOW_ASSIGN_OR_RETURN(
+      sql::ResultSet check,
+      fixture.db->Execute("SELECT COUNT(*) FROM TopItems2"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value count, check.ScalarValue());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t n, count.AsInteger());
+  if (n != 2) {
+    return Status::ExecutionError("procedure result not materialized");
+  }
+  return Status::OK();
+}
+
+/// Builds the Query → RetrieveSet fragment shared by the internal-data
+/// scenarios and returns the instance result (RowSet in SV_ItemList).
+Result<std::pair<Fixture, wfc::InstanceResult>> QueryAndRetrieve() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("bis"));
+  SqlActivity::Config query_config;
+  query_config.data_source_variable = kDsVar;
+  query_config.statement =
+      "SELECT ItemID, SUM(Quantity) AS Quantity FROM {SR_Orders} "
+      "WHERE Approved = TRUE GROUP BY ItemID ORDER BY ItemID";
+  query_config.result_set_reference = "SR_ItemList";
+  RetrieveSetActivity::Config retrieve_config;
+  retrieve_config.data_source_variable = kDsVar;
+  retrieve_config.set_reference = "SR_ItemList";
+  retrieve_config.set_variable = "SV_ItemList";
+  std::vector<wfc::ActivityPtr> steps;
+  steps.push_back(std::make_shared<SqlActivity>("SQL1", query_config));
+  steps.push_back(
+      std::make_shared<RetrieveSetActivity>("Retrieve", retrieve_config));
+  auto root =
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps));
+  SQLFLOW_ASSIGN_OR_RETURN(
+      wfc::InstanceResult result,
+      RunFlow(&fixture, root, [](wfc::ProcessDefinition& d) {
+        DeclareInputRef(d, "SR_Orders", "Orders");
+        DeclareResultRef(d, "SR_ItemList", "ItemList");
+      }));
+  return std::make_pair(std::move(fixture), std::move(result));
+}
+
+Status SetRetrievalScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(auto pair, QueryAndRetrieve());
+  auto& [fixture, result] = pair;
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rowset,
+                           result.variables.GetXml("SV_ItemList"));
+  SQLFLOW_ASSIGN_OR_RETURN(
+      sql::ResultSet external,
+      fixture.db->Execute("SELECT COUNT(*) FROM ItemList"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value count, external.ScalarValue());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t expected, count.AsInteger());
+  if (rowset::RowCount(rowset) != static_cast<size_t>(expected)) {
+    return Status::ExecutionError("materialized row count mismatch");
+  }
+  return Status::OK();
+}
+
+Status SequentialAccessScenario() {
+  // Workaround: while activity + Java-Snippet cursor (Sec. III-C).
+  SQLFLOW_ASSIGN_OR_RETURN(auto pair, QueryAndRetrieve());
+  auto& [fixture, query_result] = pair;
+  xml::NodePtr rowset_template;
+  {
+    SQLFLOW_ASSIGN_OR_RETURN(rowset_template,
+                             query_result.variables.GetXml("SV_ItemList"));
+  }
+
+  // Second flow: iterate the RowSet, summing quantities.
+  auto body = std::make_shared<wfc::SnippetActivity>(
+      "JavaSnippet", [](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rowset,
+                                 ctx.variables().GetXml("SV_ItemList"));
+        SQLFLOW_ASSIGN_OR_RETURN(Value pos,
+                                 ctx.variables().GetScalar("Pos"));
+        SQLFLOW_ASSIGN_OR_RETURN(int64_t index, pos.AsInteger());
+        SQLFLOW_ASSIGN_OR_RETURN(
+            xml::NodePtr row,
+            rowset::GetRow(rowset, static_cast<size_t>(index)));
+        SQLFLOW_ASSIGN_OR_RETURN(Value qty,
+                                 rowset::GetField(row, "Quantity"));
+        SQLFLOW_ASSIGN_OR_RETURN(Value sum,
+                                 ctx.variables().GetScalar("Sum"));
+        SQLFLOW_ASSIGN_OR_RETURN(int64_t q, qty.AsInteger());
+        SQLFLOW_ASSIGN_OR_RETURN(int64_t s, sum.AsInteger());
+        ctx.variables().Set("Sum", wfc::VarValue(Value::Integer(s + q)));
+        ctx.variables().Set("Pos",
+                            wfc::VarValue(Value::Integer(index + 1)));
+        return Status::OK();
+      });
+  auto loop = std::make_shared<wfc::WhileActivity>(
+      "While", wfc::Condition::XPath("$Pos < count($SV_ItemList/Row)"),
+      body);
+  auto definition =
+      std::make_shared<wfc::ProcessDefinition>("cursor", loop);
+  definition->DeclareVariable("SV_ItemList",
+                              wfc::VarValue(rowset_template));
+  definition->DeclareVariable("Pos", wfc::VarValue(Value::Integer(0)));
+  definition->DeclareVariable("Sum", wfc::VarValue(Value::Integer(0)));
+  fixture.engine->DeployOrReplace(definition);
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                           fixture.engine->RunProcess("cursor"));
+  SQLFLOW_RETURN_IF_ERROR(result.status);
+  SQLFLOW_ASSIGN_OR_RETURN(Value sum, result.variables.GetScalar("Sum"));
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t expected,
+                           ApprovedQuantitySum(fixture.db.get()));
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t actual, sum.AsInteger());
+  if (actual != expected) {
+    return Status::ExecutionError("cursor sum mismatch");
+  }
+  return Status::OK();
+}
+
+Status RandomAccessScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(auto pair, QueryAndRetrieve());
+  auto& [fixture, query_result] = pair;
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rowset,
+                           query_result.variables.GetXml("SV_ItemList"));
+  if (rowset::RowCount(rowset) < 2) {
+    return Status::ExecutionError("scenario needs at least two rows");
+  }
+  // Assign activity with a BPEL XPath expression selecting row 2.
+  auto assign = std::make_shared<wfc::AssignActivity>("Assign");
+  // number() extracts the scalar value of the selected node — the BPEL
+  // idiom for copying one field into a simple-typed variable.
+  assign->CopyExpr("number($SV_ItemList/Row[2]/ItemID)", "SecondItem");
+  auto definition =
+      std::make_shared<wfc::ProcessDefinition>("random", assign);
+  definition->DeclareVariable("SV_ItemList", wfc::VarValue(rowset));
+  fixture.engine->DeployOrReplace(definition);
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                           fixture.engine->RunProcess("random"));
+  SQLFLOW_RETURN_IF_ERROR(result.status);
+  SQLFLOW_ASSIGN_OR_RETURN(Value item,
+                           result.variables.GetScalar("SecondItem"));
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr row2, rowset::GetRow(rowset, 1));
+  SQLFLOW_ASSIGN_OR_RETURN(Value expected,
+                           rowset::GetField(row2, "ItemID"));
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t a, item.AsInteger());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t b, expected.AsInteger());
+  if (a != b) return Status::ExecutionError("random access mismatch");
+  return Status::OK();
+}
+
+Status TupleUpdateViaAssignScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(auto pair, QueryAndRetrieve());
+  auto& [fixture, query_result] = pair;
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rowset,
+                           query_result.variables.GetXml("SV_ItemList"));
+  auto assign = std::make_shared<wfc::AssignActivity>("Assign-upd");
+  assign->CopyExprToNode("999", "SV_ItemList",
+                         "$SV_ItemList/Row[1]/Quantity");
+  auto definition =
+      std::make_shared<wfc::ProcessDefinition>("tuple-upd", assign);
+  definition->DeclareVariable("SV_ItemList", wfc::VarValue(rowset));
+  fixture.engine->DeployOrReplace(definition);
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                           fixture.engine->RunProcess("tuple-upd"));
+  SQLFLOW_RETURN_IF_ERROR(result.status);
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr updated,
+                           result.variables.GetXml("SV_ItemList"));
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr row1, rowset::GetRow(updated, 0));
+  SQLFLOW_ASSIGN_OR_RETURN(Value qty, rowset::GetField(row1, "Quantity"));
+  if (qty.AsString() != "999") {
+    return Status::ExecutionError("assign-based tuple update failed");
+  }
+  return Status::OK();
+}
+
+Status TupleInsertDeleteViaSnippetScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(auto pair, QueryAndRetrieve());
+  auto& [fixture, query_result] = pair;
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rowset,
+                           query_result.variables.GetXml("SV_ItemList"));
+  size_t before = rowset::RowCount(rowset);
+  auto snippet = std::make_shared<wfc::SnippetActivity>(
+      "JavaSnippet-iud", [](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rs,
+                                 ctx.variables().GetXml("SV_ItemList"));
+        SQLFLOW_RETURN_IF_ERROR(rowset::InsertRow(
+            rs, {Value::Integer(777), Value::Integer(1)}));
+        SQLFLOW_RETURN_IF_ERROR(rowset::DeleteRow(rs, 0));
+        return Status::OK();
+      });
+  auto definition =
+      std::make_shared<wfc::ProcessDefinition>("tuple-iud", snippet);
+  definition->DeclareVariable("SV_ItemList", wfc::VarValue(rowset));
+  fixture.engine->DeployOrReplace(definition);
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                           fixture.engine->RunProcess("tuple-iud"));
+  SQLFLOW_RETURN_IF_ERROR(result.status);
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr after,
+                           result.variables.GetXml("SV_ItemList"));
+  if (rowset::RowCount(after) != before) {  // one in, one out
+    return Status::ExecutionError("snippet-based insert/delete failed");
+  }
+  SQLFLOW_ASSIGN_OR_RETURN(
+      xml::NodePtr last,
+      rowset::GetRow(after, rowset::RowCount(after) - 1));
+  SQLFLOW_ASSIGN_OR_RETURN(Value item, rowset::GetField(last, "ItemID"));
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t item_id, item.AsInteger());
+  if (item_id != 777) {
+    return Status::ExecutionError("inserted row not found");
+  }
+  return Status::OK();
+}
+
+Status SynchronizationScenario() {
+  // Workaround: UPDATE statements in an SQL activity propagate the
+  // cache's changes back (Sec. III-C).
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("bis"));
+  // Materialize Items, change a name locally, then push it back via an
+  // SQL activity parameterized from the cache.
+  RetrieveSetActivity::Config retrieve_config;
+  retrieve_config.data_source_variable = kDsVar;
+  retrieve_config.set_reference = "SR_Items";
+  retrieve_config.set_variable = "SV_Items";
+  auto retrieve = std::make_shared<RetrieveSetActivity>("Retrieve",
+                                                        retrieve_config);
+  auto local_change = std::make_shared<wfc::SnippetActivity>(
+      "LocalChange", [](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rs,
+                                 ctx.variables().GetXml("SV_Items"));
+        return rowset::UpdateField(rs, 0, "Name",
+                                   Value::String("renamed-item"));
+      });
+  SqlActivity::Config push_config;
+  push_config.data_source_variable = kDsVar;
+  push_config.statement =
+      "UPDATE {SR_Items} SET Name = :name WHERE ItemID = :id";
+  push_config.parameters = {
+      {"name", "$SV_Items/Row[1]/Name"},
+      {"id", "$SV_Items/Row[1]/ItemID"},
+  };
+  auto push = std::make_shared<SqlActivity>("SQL-sync", push_config);
+  std::vector<wfc::ActivityPtr> steps{retrieve, local_change, push};
+  auto root =
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps));
+  SQLFLOW_RETURN_IF_ERROR(
+      RunFlow(&fixture, root, [](wfc::ProcessDefinition& d) {
+        DeclareInputRef(d, "SR_Items", "Items");
+      }).status());
+  SQLFLOW_ASSIGN_OR_RETURN(
+      sql::ResultSet check,
+      fixture.db->Execute(
+          "SELECT Name FROM Items ORDER BY ItemID LIMIT 1"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value name, check.ScalarValue());
+  if (name.AsString() != "renamed-item") {
+    return Status::ExecutionError("synchronization did not reach source");
+  }
+  return Status::OK();
+}
+
+class BisEvaluator : public ProductEvaluator {
+ public:
+  std::string product_name() const override {
+    return "IBM Business Integration Suite";
+  }
+  std::string short_name() const override { return "IBM BIS"; }
+
+  Result<std::vector<CellRealization>> EvaluatePattern(
+      Pattern pattern) override {
+    std::vector<CellRealization> cells;
+    switch (pattern) {
+      case Pattern::kQuery:
+        cells.push_back(Cell(pattern, "SQL", RealizationLevel::kAbstract,
+                             "", QueryScenario(),
+                             "SQL activity; result stays external via "
+                             "result set reference"));
+        break;
+      case Pattern::kSetIud:
+        cells.push_back(Cell(pattern, "SQL", RealizationLevel::kAbstract,
+                             "", SetIudScenario(),
+                             "SQL activity with UPDATE"));
+        break;
+      case Pattern::kDataSetup:
+        cells.push_back(Cell(pattern, "SQL", RealizationLevel::kAbstract,
+                             "", DataSetupScenario(),
+                             "SQL activity with DDL"));
+        break;
+      case Pattern::kStoredProcedure:
+        cells.push_back(Cell(pattern, "SQL", RealizationLevel::kAbstract,
+                             "", StoredProcedureScenario(),
+                             "SQL activity with CALL"));
+        break;
+      case Pattern::kSetRetrieval:
+        cells.push_back(Cell(pattern, "Retrieve Set",
+                             RealizationLevel::kAbstract, "",
+                             SetRetrievalScenario(),
+                             "retrieve set activity materializes into an "
+                             "XML RowSet set variable"));
+        break;
+      case Pattern::kSequentialSetAccess:
+        cells.push_back(Cell(pattern, "While + Java-Snippet",
+                             RealizationLevel::kWorkaround, "",
+                             SequentialAccessScenario(),
+                             "cursor built from a while activity and a "
+                             "Java-Snippet"));
+        break;
+      case Pattern::kRandomSetAccess:
+        cells.push_back(Cell(pattern, "Assign (BPEL-specific XPath)",
+                             RealizationLevel::kAbstract, "",
+                             RandomAccessScenario(),
+                             "assign activity with an XPath row index"));
+        break;
+      case Pattern::kTupleIud:
+        cells.push_back(Cell(pattern, "Assign (BPEL-specific XPath)",
+                             RealizationLevel::kAbstract, "only UPDATE",
+                             TupleUpdateViaAssignScenario(),
+                             "assign can select and update tuples"));
+        cells.push_back(Cell(pattern, "Java-Snippet",
+                             RealizationLevel::kWorkaround,
+                             "only DELETE and INSERT",
+                             TupleInsertDeleteViaSnippetScenario(),
+                             "insertion/deletion need embedded Java"));
+        break;
+      case Pattern::kSynchronization:
+        cells.push_back(Cell(pattern, "SQL activity UPDATE statements",
+                             RealizationLevel::kWorkaround, "",
+                             SynchronizationScenario(),
+                             "no synchronization activity type; manual "
+                             "UPDATE statements"));
+        break;
+    }
+    return cells;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ProductEvaluator> MakeBisEvaluator() {
+  return std::make_unique<BisEvaluator>();
+}
+
+}  // namespace sqlflow::patterns

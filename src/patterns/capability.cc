@@ -1,0 +1,95 @@
+#include "patterns/capability.h"
+
+#include "bis/atomic_sql_sequence.h"
+#include "bis/retrieve_set_activity.h"
+#include "bis/sql_activity.h"
+#include "common/string_util.h"
+#include "soa/xpath_extensions.h"
+#include "wf/sql_database_activity.h"
+
+namespace sqlflow::patterns {
+
+Result<std::vector<ProductProfile>> BuildProductProfiles() {
+  std::vector<ProductProfile> profiles;
+
+  // --- IBM -------------------------------------------------------------------
+  {
+    ProductProfile ibm;
+    ibm.product = "Business Integration Suite (BIS)";
+    ibm.short_name = "IBM";
+    ibm.workflow_language = "BPEL";
+    ibm.process_modeling_level = "graphical, (markup)";
+    ibm.design_tool = "WebSphere Integration Developer";
+    // Probe the activity-type tags from the live classes.
+    bis::SqlActivity sql_probe("probe", bis::SqlActivity::Config{});
+    bis::RetrieveSetActivity retrieve_probe(
+        "probe", bis::RetrieveSetActivity::Config{});
+    bis::AtomicSqlSequence atomic_probe("probe", "", {});
+    ibm.sql_inline_support = {
+        "SQL Activity [" + sql_probe.TypeName() + "]",
+        "Retrieve Set Activity [" + retrieve_probe.TypeName() + "]",
+        "Atomic SQL Sequence [" + atomic_probe.TypeName() + "]",
+    };
+    ibm.external_data_set_reference = "Set Reference, static text";
+    ibm.materialized_representation = "proprietary XML RowSet";
+    ibm.external_data_source_reference = "dynamic, static";
+    ibm.additional_features = "Lifecycle Management for DB Entities";
+    profiles.push_back(std::move(ibm));
+  }
+
+  // --- Microsoft ---------------------------------------------------------------
+  {
+    ProductProfile ms;
+    ms.product = "Workflow Foundation (WF)";
+    ms.short_name = "Microsoft";
+    ms.workflow_language = "C#, VB, XOML (BPEL)";
+    ms.process_modeling_level = "graphical, code, markup";
+    ms.design_tool = "Workflow Designer";
+    // Probe: the custom activity registers itself with the markup loader.
+    wfc::XomlLoader loader;
+    SQLFLOW_RETURN_IF_ERROR(wf::RegisterSqlDatabaseXomlActivity(&loader));
+    bool registered = false;
+    for (const std::string& type : loader.RegisteredActivityTypes()) {
+      if (type == "SqlDatabase") registered = true;
+    }
+    ms.sql_inline_support = {
+        std::string("customized SQL Activity [sql-database") +
+        (registered ? ", markup <SqlDatabase>]" : "]")};
+    ms.external_data_set_reference = "static text";
+    ms.materialized_representation = "DataSet Object";
+    ms.external_data_source_reference = "static";
+    ms.additional_features = "-";
+    profiles.push_back(std::move(ms));
+  }
+
+  // --- Oracle ---------------------------------------------------------------
+  {
+    ProductProfile oracle;
+    oracle.product = "SOA Suite";
+    oracle.short_name = "Oracle";
+    oracle.workflow_language = "BPEL";
+    oracle.process_modeling_level = "graphical, (markup)";
+    oracle.design_tool = "Process Designer";
+    // Probe the registered extension functions.
+    xpath::FunctionRegistry registry;
+    sql::DataSourceRegistry sources;
+    soa::SoaConfig config;
+    config.data_sources = &sources;
+    config.default_connection = "memdb://probe";
+    SQLFLOW_RETURN_IF_ERROR(
+        soa::RegisterSoaXPathExtensions(&registry, config));
+    std::string functions =
+        "XPath Extension Functions [" +
+        Join(registry.FunctionNames(), ", ") + "]";
+    oracle.sql_inline_support = {std::move(functions)};
+    oracle.external_data_set_reference = "static text";
+    oracle.materialized_representation = "proprietary XML RowSet";
+    oracle.external_data_source_reference = "static";
+    oracle.additional_features = "-";
+    profiles.push_back(std::move(oracle));
+  }
+
+  return profiles;
+}
+
+}  // namespace sqlflow::patterns

@@ -1,0 +1,37 @@
+#ifndef SQLFLOW_PATTERNS_CAPABILITY_H_
+#define SQLFLOW_PATTERNS_CAPABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlflow::patterns {
+
+/// One product column of Table I (general information and data
+/// management capabilities).
+struct ProductProfile {
+  std::string product;           // "IBM Business Integration Suite (BIS)"
+  std::string short_name;        // "IBM"
+  // General information:
+  std::string workflow_language;        // "BPEL" / "C#, VB, XOML (BPEL)"
+  std::string process_modeling_level;   // "graphical, (markup)" ...
+  std::string design_tool;              // "WebSphere Integration Developer"
+  // Data management capabilities:
+  std::vector<std::string> sql_inline_support;  // activity types/functions
+  std::string external_data_set_reference;      // "Set Reference, static text"
+  std::string materialized_representation;      // "proprietary XML RowSet"
+  std::string external_data_source_reference;   // "dynamic, static"
+  std::string additional_features;              // "-" or lifecycle mgmt
+};
+
+/// The three profiles. Where possible the entries are *probed from the
+/// live implementation* (e.g. the inline-support list enumerates the
+/// registered activity types / extension functions), so the table stays
+/// truthful as the code evolves; the rest restates the products' design
+/// decisions encoded in this library.
+Result<std::vector<ProductProfile>> BuildProductProfiles();
+
+}  // namespace sqlflow::patterns
+
+#endif  // SQLFLOW_PATTERNS_CAPABILITY_H_

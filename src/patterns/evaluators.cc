@@ -1,0 +1,26 @@
+#include "patterns/evaluators.h"
+
+namespace sqlflow::patterns {
+
+Result<ProductMatrix> ProductEvaluator::EvaluateAll() {
+  ProductMatrix matrix;
+  matrix.product = product_name();
+  for (Pattern pattern : kAllPatterns) {
+    SQLFLOW_ASSIGN_OR_RETURN(std::vector<CellRealization> cells,
+                             EvaluatePattern(pattern));
+    for (CellRealization& cell : cells) {
+      matrix.cells.push_back(std::move(cell));
+    }
+  }
+  return matrix;
+}
+
+std::vector<std::unique_ptr<ProductEvaluator>> MakeAllEvaluators() {
+  std::vector<std::unique_ptr<ProductEvaluator>> evaluators;
+  evaluators.push_back(MakeBisEvaluator());
+  evaluators.push_back(MakeWfEvaluator());
+  evaluators.push_back(MakeSoaEvaluator());
+  return evaluators;
+}
+
+}  // namespace sqlflow::patterns

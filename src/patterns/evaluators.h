@@ -1,0 +1,45 @@
+#ifndef SQLFLOW_PATTERNS_EVALUATORS_H_
+#define SQLFLOW_PATTERNS_EVALUATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "patterns/realization.h"
+
+namespace sqlflow::patterns {
+
+/// Executes one scenario per (pattern, mechanism) cell for a product and
+/// reports which mechanism realized the pattern at which level. This is
+/// the paper's Table II turned into checkable code: a cell is only
+/// `verified` when the scenario ran end-to-end and its post-conditions
+/// held.
+class ProductEvaluator {
+ public:
+  virtual ~ProductEvaluator() = default;
+
+  virtual std::string product_name() const = 0;
+  /// Short label for Table I column headers ("IBM BIS", "Microsoft WF",
+  /// "Oracle SOA Suite").
+  virtual std::string short_name() const = 0;
+
+  /// Runs the scenarios for one pattern; each returned cell carries its
+  /// verification outcome.
+  virtual Result<std::vector<CellRealization>> EvaluatePattern(
+      Pattern pattern) = 0;
+
+  /// Runs all nine patterns.
+  Result<ProductMatrix> EvaluateAll();
+};
+
+std::unique_ptr<ProductEvaluator> MakeBisEvaluator();
+std::unique_ptr<ProductEvaluator> MakeWfEvaluator();
+std::unique_ptr<ProductEvaluator> MakeSoaEvaluator();
+
+/// All three, in the paper's order.
+std::vector<std::unique_ptr<ProductEvaluator>> MakeAllEvaluators();
+
+}  // namespace sqlflow::patterns
+
+#endif  // SQLFLOW_PATTERNS_EVALUATORS_H_

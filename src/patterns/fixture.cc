@@ -1,0 +1,115 @@
+#include "patterns/fixture.h"
+
+#include "sql/table.h"
+
+namespace sqlflow::patterns {
+
+Status SeedOrdersDatabase(sql::Database* db,
+                          const OrdersScenario& scenario) {
+  SQLFLOW_RETURN_IF_ERROR(db->ExecuteScript(R"sql(
+    CREATE TABLE Orders (
+      OrderID  INTEGER PRIMARY KEY,
+      ItemID   INTEGER NOT NULL,
+      Quantity INTEGER NOT NULL,
+      Approved BOOLEAN NOT NULL
+    );
+    CREATE TABLE Items (
+      ItemID INTEGER PRIMARY KEY,
+      Name   VARCHAR(40) NOT NULL
+    );
+    CREATE TABLE OrderConfirmations (
+      ConfirmationID INTEGER PRIMARY KEY,
+      ItemID         INTEGER NOT NULL,
+      Quantity       INTEGER NOT NULL,
+      Confirmation   VARCHAR(80) NOT NULL
+    );
+    CREATE SEQUENCE ConfSeq START WITH 1;
+  )sql"));
+
+  // Deterministic pseudo-random workload (xorshift32 keeps runs stable
+  // across platforms).
+  uint32_t state = scenario.seed == 0 ? 1 : scenario.seed;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+  };
+
+  for (size_t i = 1; i <= scenario.item_types; ++i) {
+    sql::Params params;
+    params.Add(Value::Integer(static_cast<int64_t>(i)));
+    params.Add(Value::String("item-" + std::to_string(i)));
+    auto result =
+        db->Execute("INSERT INTO Items VALUES (?, ?)", params);
+    if (!result.ok()) return result.status();
+  }
+  for (size_t i = 1; i <= scenario.order_count; ++i) {
+    sql::Params params;
+    params.Add(Value::Integer(static_cast<int64_t>(i)));
+    params.Add(Value::Integer(
+        static_cast<int64_t>(next() % scenario.item_types) + 1));
+    params.Add(Value::Integer(static_cast<int64_t>(next() % 9) + 1));
+    params.Add(Value::Boolean(i % 5 != 0));  // every 5th unapproved
+    auto result =
+        db->Execute("INSERT INTO Orders VALUES (?, ?, ?, ?)", params);
+    if (!result.ok()) return result.status();
+  }
+
+  // TopItems(n): the n item types with the largest approved quantity —
+  // the scenario's "complex data processing expressed by a stored
+  // procedure".
+  sql::StoredProcedure top_items;
+  top_items.name = "TopItems";
+  top_items.arity = 1;
+  top_items.body = [](sql::Database& database,
+                      const std::vector<Value>& args)
+      -> Result<sql::ResultSet> {
+    SQLFLOW_ASSIGN_OR_RETURN(int64_t n, args[0].AsInteger());
+    sql::Params params;
+    return database.Execute(
+        "SELECT ItemID, SUM(Quantity) AS Total FROM Orders "
+        "WHERE Approved = TRUE GROUP BY ItemID "
+        "ORDER BY Total DESC, ItemID LIMIT " +
+            std::to_string(n),
+        params);
+  };
+  SQLFLOW_RETURN_IF_ERROR(db->RegisterProcedure(std::move(top_items)));
+  return Status::OK();
+}
+
+Result<Fixture> MakeFixture(const std::string& engine_name,
+                            const OrdersScenario& scenario) {
+  Fixture fixture;
+  fixture.engine = std::make_unique<wfc::WorkflowEngine>(engine_name);
+  SQLFLOW_ASSIGN_OR_RETURN(
+      fixture.db,
+      fixture.engine->data_sources().Open(Fixture::kConnection));
+  SQLFLOW_RETURN_IF_ERROR(SeedOrdersDatabase(fixture.db.get(), scenario));
+
+  // The supplier service: returns a confirmation string.
+  auto supplier = std::make_shared<wfc::SimpleWebService>(
+      "OrderFromSupplier",
+      std::vector<std::string>{"ItemID", "Quantity"},
+      [](const std::vector<Value>& args) -> Result<Value> {
+        SQLFLOW_ASSIGN_OR_RETURN(int64_t item, args[0].AsInteger());
+        SQLFLOW_ASSIGN_OR_RETURN(int64_t qty, args[1].AsInteger());
+        return Value::String("CONFIRMED item=" + std::to_string(item) +
+                             " qty=" + std::to_string(qty));
+      });
+  SQLFLOW_RETURN_IF_ERROR(
+      fixture.engine->services().Register(std::move(supplier)));
+  return fixture;
+}
+
+Result<int64_t> ApprovedQuantitySum(sql::Database* db) {
+  SQLFLOW_ASSIGN_OR_RETURN(
+      sql::ResultSet result,
+      db->Execute("SELECT SUM(Quantity) FROM Orders WHERE Approved = "
+                  "TRUE"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value v, result.ScalarValue());
+  if (v.is_null()) return static_cast<int64_t>(0);
+  return v.AsInteger();
+}
+
+}  // namespace sqlflow::patterns

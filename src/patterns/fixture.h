@@ -1,0 +1,46 @@
+#ifndef SQLFLOW_PATTERNS_FIXTURE_H_
+#define SQLFLOW_PATTERNS_FIXTURE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "wfc/engine.h"
+
+namespace sqlflow::patterns {
+
+/// The shared evaluation scenario (Sec. III-C's sample business
+/// process): an Orders database, an OrderConfirmations sink, an Items
+/// lookup table, a confirmation-id sequence, a TopItems stored
+/// procedure, and the OrderFromSupplier web service.
+struct OrdersScenario {
+  /// Deterministic workload knobs.
+  size_t order_count = 20;
+  size_t item_types = 5;
+  /// approved ≈ 4/5 of orders (every 5th is unapproved).
+  uint32_t seed = 42;
+};
+
+/// One self-contained evaluation environment: a workflow engine whose
+/// data-source registry contains a seeded `memdb://orders` database and
+/// whose service registry provides `OrderFromSupplier`.
+struct Fixture {
+  std::unique_ptr<wfc::WorkflowEngine> engine;
+  std::shared_ptr<sql::Database> db;  // the orders database
+  static constexpr const char* kConnection = "memdb://orders";
+};
+
+/// Builds a fresh fixture (fresh engine, fresh database).
+Result<Fixture> MakeFixture(const std::string& engine_name,
+                            const OrdersScenario& scenario = {});
+
+/// Seeds the scenario schema and data into an existing database.
+Status SeedOrdersDatabase(sql::Database* db,
+                          const OrdersScenario& scenario = {});
+
+/// Sum of quantities of approved orders (ground truth for checks).
+Result<int64_t> ApprovedQuantitySum(sql::Database* db);
+
+}  // namespace sqlflow::patterns
+
+#endif  // SQLFLOW_PATTERNS_FIXTURE_H_

@@ -1,0 +1,69 @@
+#include "patterns/patterns.h"
+
+namespace sqlflow::patterns {
+
+const char* PatternName(Pattern p) {
+  switch (p) {
+    case Pattern::kQuery:
+      return "Query";
+    case Pattern::kSetIud:
+      return "Set IUD";
+    case Pattern::kDataSetup:
+      return "Data Setup";
+    case Pattern::kStoredProcedure:
+      return "Stored Procedure";
+    case Pattern::kSetRetrieval:
+      return "Set Retrieval";
+    case Pattern::kSequentialSetAccess:
+      return "Seq. Set Access";
+    case Pattern::kRandomSetAccess:
+      return "Random Set Access";
+    case Pattern::kTupleIud:
+      return "Tuple IUD";
+    case Pattern::kSynchronization:
+      return "Synchronization";
+  }
+  return "?";
+}
+
+const char* PatternDescription(Pattern p) {
+  switch (p) {
+    case Pattern::kQuery:
+      return "querying external data by means of SQL queries";
+    case Pattern::kSetIud:
+      return "set-oriented insert, update and delete on external data";
+    case Pattern::kDataSetup:
+      return "executing DDL statements for configuration and setup "
+             "during process execution";
+    case Pattern::kStoredProcedure:
+      return "calling stored procedures on the external data source";
+    case Pattern::kSetRetrieval:
+      return "retrieving external data and materializing it in a "
+             "set-oriented data structure in the process space";
+    case Pattern::kSequentialSetAccess:
+      return "sequential (cursor) access to the process-space data cache";
+    case Pattern::kRandomSetAccess:
+      return "random access to the process-space data cache";
+    case Pattern::kTupleIud:
+      return "insert, update and delete on the process-space data cache";
+    case Pattern::kSynchronization:
+      return "synchronizing the local data cache with the original data "
+             "source";
+  }
+  return "?";
+}
+
+bool IsExternalDataPattern(Pattern p) {
+  switch (p) {
+    case Pattern::kQuery:
+    case Pattern::kSetIud:
+    case Pattern::kDataSetup:
+    case Pattern::kStoredProcedure:
+    case Pattern::kSetRetrieval:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace sqlflow::patterns

@@ -1,0 +1,45 @@
+#ifndef SQLFLOW_PATTERNS_PATTERNS_H_
+#define SQLFLOW_PATTERNS_PATTERNS_H_
+
+#include <array>
+#include <string>
+
+namespace sqlflow::patterns {
+
+/// The nine data management patterns of Sec. II-B (Fig. 2). The first
+/// four process *external* data (managed by the database); the last five
+/// concern *internal* data (the process-space cache) — Set Retrieval is
+/// the bridge.
+enum class Pattern {
+  kQuery = 0,          // SQL queries over external data
+  kSetIud,             // set-oriented INSERT/UPDATE/DELETE, external
+  kDataSetup,          // DDL during process execution
+  kStoredProcedure,    // calling stored procedures
+  kSetRetrieval,       // materialize external data into the process space
+  kSequentialSetAccess,// cursor over the data cache
+  kRandomSetAccess,    // indexed access into the data cache
+  kTupleIud,           // insert/update/delete on the data cache
+  kSynchronization,    // push cache changes back to the source
+};
+
+inline constexpr std::array<Pattern, 9> kAllPatterns = {
+    Pattern::kQuery,          Pattern::kSetIud,
+    Pattern::kDataSetup,      Pattern::kStoredProcedure,
+    Pattern::kSetRetrieval,   Pattern::kSequentialSetAccess,
+    Pattern::kRandomSetAccess, Pattern::kTupleIud,
+    Pattern::kSynchronization,
+};
+
+/// Short column label as used in Table II.
+const char* PatternName(Pattern p);
+
+/// One-sentence description from Sec. II-B.
+const char* PatternDescription(Pattern p);
+
+/// True for the patterns operating on external data (plus Set Retrieval,
+/// which reads external data).
+bool IsExternalDataPattern(Pattern p);
+
+}  // namespace sqlflow::patterns
+
+#endif  // SQLFLOW_PATTERNS_PATTERNS_H_

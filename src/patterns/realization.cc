@@ -1,0 +1,32 @@
+#include "patterns/realization.h"
+
+namespace sqlflow::patterns {
+
+const char* RealizationLevelName(RealizationLevel level) {
+  switch (level) {
+    case RealizationLevel::kAbstract:
+      return "abstract";
+    case RealizationLevel::kWorkaround:
+      return "workaround";
+    case RealizationLevel::kUnsupported:
+      return "unsupported";
+  }
+  return "?";
+}
+
+std::vector<CellRealization> ProductMatrix::ForPattern(Pattern p) const {
+  std::vector<CellRealization> out;
+  for (const CellRealization& cell : cells) {
+    if (cell.pattern == p) out.push_back(cell);
+  }
+  return out;
+}
+
+bool ProductMatrix::AllVerified() const {
+  for (const CellRealization& cell : cells) {
+    if (!cell.verified) return false;
+  }
+  return !cells.empty();
+}
+
+}  // namespace sqlflow::patterns

@@ -1,0 +1,46 @@
+#ifndef SQLFLOW_PATTERNS_REALIZATION_H_
+#define SQLFLOW_PATTERNS_REALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "patterns/patterns.h"
+
+namespace sqlflow::patterns {
+
+/// How a product realizes a pattern — Table II's key distinction:
+/// at the abstract level (a dedicated activity type / function, hiding
+/// implementation details from the process designer) or only through a
+/// workaround (user-specific code such as Java-Snippets / code
+/// activities, or repurposed SQL).
+enum class RealizationLevel { kAbstract, kWorkaround, kUnsupported };
+
+const char* RealizationLevelName(RealizationLevel level);
+
+/// One verified cell of Table II: which mechanism realizes the pattern,
+/// at which level, with which restriction (the paper's footnotes, e.g.
+/// "only UPDATE"), and whether the executable scenario for this claim
+/// actually succeeded.
+struct CellRealization {
+  Pattern pattern = Pattern::kQuery;
+  std::string mechanism;  // Table II row label, e.g. "SQL", "Retrieve Set"
+  RealizationLevel level = RealizationLevel::kAbstract;
+  std::string restriction;  // "" or "only UPDATE" / "only DELETE and INSERT"
+  bool verified = false;    // scenario executed and checked
+  std::string note;         // how it was verified / why it failed
+};
+
+/// All verified cells for one product.
+struct ProductMatrix {
+  std::string product;  // "IBM Business Integration Suite", ...
+  std::vector<CellRealization> cells;
+
+  /// Cells for one pattern (may be several mechanisms).
+  std::vector<CellRealization> ForPattern(Pattern p) const;
+  /// True if every cell's scenario verified.
+  bool AllVerified() const;
+};
+
+}  // namespace sqlflow::patterns
+
+#endif  // SQLFLOW_PATTERNS_REALIZATION_H_

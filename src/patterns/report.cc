@@ -1,0 +1,168 @@
+#include "patterns/report.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sqlflow::patterns {
+
+namespace {
+
+void Rule(std::ostringstream* os, const std::vector<size_t>& widths) {
+  *os << '+';
+  for (size_t w : widths) *os << std::string(w + 2, '-') << '+';
+  *os << '\n';
+}
+
+void RenderRow(std::ostringstream* os, const std::vector<size_t>& widths,
+               const std::vector<std::string>& cells) {
+  *os << '|';
+  for (size_t i = 0; i < widths.size(); ++i) {
+    const std::string& cell = i < cells.size() ? cells[i] : "";
+    *os << ' ' << cell << std::string(widths[i] - cell.size() + 1, ' ')
+        << '|';
+  }
+  *os << '\n';
+}
+
+std::vector<size_t> ComputeWidths(
+    const std::vector<std::vector<std::string>>& rows) {
+  size_t columns = 0;
+  for (const auto& row : rows) columns = std::max(columns, row.size());
+  std::vector<size_t> widths(columns, 0);
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  return widths;
+}
+
+}  // namespace
+
+std::string RenderTableOne(const std::vector<ProductProfile>& profiles) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{""};
+  std::vector<std::string> product_row{""};
+  for (const ProductProfile& p : profiles) {
+    header.push_back(p.short_name);
+    product_row.push_back(p.product);
+  }
+  rows.push_back(header);
+  rows.push_back(product_row);
+
+  auto add = [&](const std::string& label,
+                 const std::function<std::string(const ProductProfile&)>&
+                     get) {
+    std::vector<std::string> row{label};
+    for (const ProductProfile& p : profiles) row.push_back(get(p));
+    rows.push_back(std::move(row));
+  };
+
+  rows.push_back({"-- General Information --"});
+  add("Workflow Language",
+      [](const ProductProfile& p) { return p.workflow_language; });
+  add("Level of Process Modeling",
+      [](const ProductProfile& p) { return p.process_modeling_level; });
+  add("Workflow Design Tool",
+      [](const ProductProfile& p) { return p.design_tool; });
+  rows.push_back({"-- Data Management Capabilities --"});
+  add("SQL Inline Support", [](const ProductProfile& p) {
+    return Join(p.sql_inline_support, "; ");
+  });
+  add("Reference to External Data Set", [](const ProductProfile& p) {
+    return p.external_data_set_reference;
+  });
+  add("Materialized Set Representation", [](const ProductProfile& p) {
+    return p.materialized_representation;
+  });
+  add("Reference to External Data Source", [](const ProductProfile& p) {
+    return p.external_data_source_reference;
+  });
+  add("Additional Features",
+      [](const ProductProfile& p) { return p.additional_features; });
+
+  std::vector<size_t> widths = ComputeWidths(rows);
+  std::ostringstream os;
+  os << "TABLE I — GENERAL INFORMATION AND DATA MANAGEMENT "
+        "CAPABILITIES\n";
+  Rule(&os, widths);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    RenderRow(&os, widths, rows[i]);
+    if (i == 1) Rule(&os, widths);
+  }
+  Rule(&os, widths);
+  return os.str();
+}
+
+std::string RenderTableTwo(const std::vector<ProductMatrix>& matrices) {
+  // Footnote bookkeeping (the paper uses ¹ and ²; we use 1) and 2)).
+  std::vector<std::string> footnotes;
+  auto footnote_mark = [&footnotes](const std::string& restriction) {
+    if (restriction.empty()) return std::string();
+    for (size_t i = 0; i < footnotes.size(); ++i) {
+      if (footnotes[i] == restriction) {
+        return "(" + std::to_string(i + 1) + ")";
+      }
+    }
+    footnotes.push_back(restriction);
+    return "(" + std::to_string(footnotes.size()) + ")";
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> header{"Product / Mechanism"};
+  for (Pattern p : kAllPatterns) header.push_back(PatternName(p));
+  rows.push_back(std::move(header));
+
+  for (const ProductMatrix& matrix : matrices) {
+    rows.push_back({"== " + matrix.product + " =="});
+    // Group cells by mechanism, preserving first-seen order; workaround
+    // mechanisms are folded into one "Only workarounds possible" row to
+    // match the paper's layout.
+    std::vector<std::string> mechanism_order;
+    std::map<std::string, std::vector<CellRealization>> by_mechanism;
+    for (const CellRealization& cell : matrix.cells) {
+      std::string key = cell.level == RealizationLevel::kWorkaround
+                            ? "Only workarounds possible"
+                            : cell.mechanism;
+      if (by_mechanism.find(key) == by_mechanism.end()) {
+        mechanism_order.push_back(key);
+      }
+      by_mechanism[key].push_back(cell);
+    }
+    for (const std::string& mechanism : mechanism_order) {
+      std::vector<std::string> row{mechanism};
+      for (Pattern p : kAllPatterns) {
+        std::string mark;
+        for (const CellRealization& cell : by_mechanism[mechanism]) {
+          if (cell.pattern != p) continue;
+          mark = cell.verified ? "x" : "FAIL";
+          mark += footnote_mark(cell.restriction);
+        }
+        row.push_back(mark);
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::vector<size_t> widths = ComputeWidths(rows);
+  std::ostringstream os;
+  os << "TABLE II — DATA MANAGEMENT PATTERN SUPPORT\n"
+     << "(x = scenario executed and verified)\n";
+  Rule(&os, widths);
+  RenderRow(&os, widths, rows[0]);
+  Rule(&os, widths);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    RenderRow(&os, widths, rows[i]);
+  }
+  Rule(&os, widths);
+  for (size_t i = 0; i < footnotes.size(); ++i) {
+    os << "(" << i + 1 << ") " << footnotes[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sqlflow::patterns

@@ -1,0 +1,25 @@
+#ifndef SQLFLOW_PATTERNS_REPORT_H_
+#define SQLFLOW_PATTERNS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "patterns/capability.h"
+#include "patterns/realization.h"
+
+namespace sqlflow::patterns {
+
+/// Renders Table I ("General Information and Data Management
+/// Capabilities") from the product profiles.
+std::string RenderTableOne(const std::vector<ProductProfile>& profiles);
+
+/// Renders Table II ("Data Management Pattern Support") from the
+/// verified matrices — mechanisms as rows, patterns as columns, `x`
+/// marks with the paper's footnote restrictions (¹only UPDATE, ²only
+/// DELETE and INSERT). Unverified cells render as `FAIL` so a
+/// regression is visible in the table itself.
+std::string RenderTableTwo(const std::vector<ProductMatrix>& matrices);
+
+}  // namespace sqlflow::patterns
+
+#endif  // SQLFLOW_PATTERNS_REPORT_H_

@@ -1,0 +1,392 @@
+#include "dataset/data_adapter.h"
+#include "patterns/evaluators.h"
+#include "patterns/fixture.h"
+#include "sql/table.h"
+#include "wf/cursor.h"
+#include "wf/sql_database_activity.h"
+
+namespace sqlflow::patterns {
+
+namespace {
+
+using dataset::DataAdapter;
+using dataset::DataSet;
+using dataset::DataTablePtr;
+using wf::SqlDatabaseActivity;
+
+Result<wfc::InstanceResult> RunFlow(
+    Fixture* fixture, wfc::ActivityPtr root,
+    const std::function<void(wfc::ProcessDefinition&)>& configure = {}) {
+  auto definition = std::make_shared<wfc::ProcessDefinition>(
+      "scenario", std::move(root));
+  if (configure) configure(*definition);
+  fixture->engine->DeployOrReplace(definition);
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                           fixture->engine->RunProcess("scenario"));
+  if (!result.status.ok()) return result.status;
+  return result;
+}
+
+CellRealization Cell(Pattern p, std::string mechanism,
+                     RealizationLevel level, std::string restriction,
+                     const Status& outcome, std::string note) {
+  CellRealization cell;
+  cell.pattern = p;
+  cell.mechanism = std::move(mechanism);
+  cell.level = level;
+  cell.restriction = std::move(restriction);
+  cell.verified = outcome.ok();
+  cell.note = outcome.ok() ? std::move(note) : outcome.ToString();
+  return cell;
+}
+
+/// SqlDatabaseActivity that aggregates approved orders into a DataSet
+/// stored in variable SV_ItemList.
+wfc::ActivityPtr MakeItemListQuery() {
+  SqlDatabaseActivity::Config config;
+  config.connection_string = Fixture::kConnection;
+  config.statement =
+      "SELECT ItemID, SUM(Quantity) AS Quantity FROM Orders "
+      "WHERE Approved = TRUE GROUP BY ItemID ORDER BY ItemID";
+  config.result_variable = "SV_ItemList";
+  config.result_table_name = "ItemList";
+  return std::make_shared<SqlDatabaseActivity>("SQLDatabase1", config);
+}
+
+Result<DataTablePtr> ItemListTable(const wfc::InstanceResult& result) {
+  SQLFLOW_ASSIGN_OR_RETURN(
+      std::shared_ptr<DataSet> data_set,
+      result.variables.GetObjectAs<DataSet>("SV_ItemList"));
+  return data_set->SoleTable();
+}
+
+// --- scenarios ----------------------------------------------------------------
+
+Status QueryScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("wf"));
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                           RunFlow(&fixture, MakeItemListQuery()));
+  SQLFLOW_ASSIGN_OR_RETURN(DataTablePtr table, ItemListTable(result));
+  int64_t total = 0;
+  for (const dataset::DataRow& row : table->rows()) {
+    SQLFLOW_ASSIGN_OR_RETURN(int64_t q, row.values[1].AsInteger());
+    total += q;
+  }
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t expected,
+                           ApprovedQuantitySum(fixture.db.get()));
+  if (total != expected) {
+    return Status::ExecutionError("aggregate mismatch");
+  }
+  return Status::OK();
+}
+
+Status SetIudScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("wf"));
+  SqlDatabaseActivity::Config config;
+  config.connection_string = Fixture::kConnection;
+  config.statement = "DELETE FROM Orders WHERE Approved = FALSE";
+  config.affected_variable = "Affected";
+  auto activity =
+      std::make_shared<SqlDatabaseActivity>("SQLDatabase-del", config);
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                           RunFlow(&fixture, activity));
+  SQLFLOW_ASSIGN_OR_RETURN(Value affected,
+                           result.variables.GetScalar("Affected"));
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t n, affected.AsInteger());
+  SQLFLOW_ASSIGN_OR_RETURN(
+      sql::ResultSet check,
+      fixture.db->Execute(
+          "SELECT COUNT(*) FROM Orders WHERE Approved = FALSE"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value remaining, check.ScalarValue());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t m, remaining.AsInteger());
+  if (n == 0 || m != 0) {
+    return Status::ExecutionError("set delete did not apply");
+  }
+  return Status::OK();
+}
+
+Status DataSetupScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("wf"));
+  SqlDatabaseActivity::Config config;
+  config.connection_string = Fixture::kConnection;
+  config.statement = "CREATE SEQUENCE BatchSeq START WITH 100";
+  auto activity =
+      std::make_shared<SqlDatabaseActivity>("SQLDatabase-ddl", config);
+  SQLFLOW_RETURN_IF_ERROR(RunFlow(&fixture, activity).status());
+  if (fixture.db->catalog().FindSequence("BatchSeq") == nullptr) {
+    return Status::ExecutionError("DDL did not create the sequence");
+  }
+  return Status::OK();
+}
+
+Status StoredProcedureScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("wf"));
+  SqlDatabaseActivity::Config config;
+  config.connection_string = Fixture::kConnection;
+  config.statement = "CALL TopItems(3)";
+  config.result_variable = "SV_Top";
+  config.result_table_name = "Top3";
+  auto activity =
+      std::make_shared<SqlDatabaseActivity>("SQLDatabase-call", config);
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                           RunFlow(&fixture, activity));
+  SQLFLOW_ASSIGN_OR_RETURN(
+      std::shared_ptr<DataSet> data_set,
+      result.variables.GetObjectAs<DataSet>("SV_Top"));
+  SQLFLOW_ASSIGN_OR_RETURN(DataTablePtr table, data_set->SoleTable());
+  if (table->ActiveRowCount() != 3) {
+    return Status::ExecutionError("procedure result not materialized");
+  }
+  return Status::OK();
+}
+
+Status SetRetrievalScenario() {
+  // Identical mechanism to Query — the materialization IS automatic.
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("wf"));
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                           RunFlow(&fixture, MakeItemListQuery()));
+  SQLFLOW_ASSIGN_OR_RETURN(DataTablePtr table, ItemListTable(result));
+  SQLFLOW_ASSIGN_OR_RETURN(
+      sql::ResultSet check,
+      fixture.db->Execute(
+          "SELECT COUNT(DISTINCT ItemID) FROM Orders WHERE Approved = "
+          "TRUE"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value expected, check.ScalarValue());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t n, expected.AsInteger());
+  if (table->ActiveRowCount() != static_cast<size_t>(n)) {
+    return Status::ExecutionError("DataSet row count mismatch");
+  }
+  return Status::OK();
+}
+
+Status SequentialAccessScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("wf"));
+  // while + code condition + fetch snippet, accumulating in a snippet.
+  auto accumulate = std::make_shared<wfc::SnippetActivity>(
+      "Accumulate", [](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(Value qty,
+                                 ctx.variables().GetScalar("CurrentQty"));
+        SQLFLOW_ASSIGN_OR_RETURN(Value sum,
+                                 ctx.variables().GetScalar("Sum"));
+        SQLFLOW_ASSIGN_OR_RETURN(int64_t q, qty.AsInteger());
+        SQLFLOW_ASSIGN_OR_RETURN(int64_t s, sum.AsInteger());
+        ctx.variables().Set("Sum", wfc::VarValue(Value::Integer(s + q)));
+        return Status::OK();
+      });
+  std::vector<wfc::ActivityPtr> body_steps{
+      wf::FetchRowSnippet("Fetch", "SV_ItemList", "Pos",
+                          {{"Quantity", "CurrentQty"}}),
+      accumulate};
+  auto body = std::make_shared<wfc::SequenceActivity>(
+      "loop-body", std::move(body_steps));
+  auto loop = std::make_shared<wfc::WhileActivity>(
+      "While", wf::DataSetHasMoreRows("SV_ItemList", "Pos"), body);
+  std::vector<wfc::ActivityPtr> steps{MakeItemListQuery(), loop};
+  auto root =
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps));
+  SQLFLOW_ASSIGN_OR_RETURN(
+      wfc::InstanceResult result,
+      RunFlow(&fixture, root, [](wfc::ProcessDefinition& d) {
+        d.DeclareVariable("Pos", wfc::VarValue(Value::Integer(0)));
+        d.DeclareVariable("Sum", wfc::VarValue(Value::Integer(0)));
+      }));
+  SQLFLOW_ASSIGN_OR_RETURN(Value sum, result.variables.GetScalar("Sum"));
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t expected,
+                           ApprovedQuantitySum(fixture.db.get()));
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t actual, sum.AsInteger());
+  if (actual != expected) {
+    return Status::ExecutionError("cursor sum mismatch");
+  }
+  return Status::OK();
+}
+
+Status RandomAccessScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("wf"));
+  auto probe = std::make_shared<wfc::SnippetActivity>(
+      "Code", [](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(
+            std::shared_ptr<DataSet> data_set,
+            ctx.variables().GetObjectAs<DataSet>("SV_ItemList"));
+        SQLFLOW_ASSIGN_OR_RETURN(DataTablePtr table,
+                                 data_set->SoleTable());
+        SQLFLOW_ASSIGN_OR_RETURN(Value item, table->Get(1, "ItemID"));
+        ctx.variables().Set("SecondItem", wfc::VarValue(item));
+        return Status::OK();
+      });
+  std::vector<wfc::ActivityPtr> steps{MakeItemListQuery(), probe};
+  auto root =
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps));
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                           RunFlow(&fixture, root));
+  SQLFLOW_ASSIGN_OR_RETURN(Value item,
+                           result.variables.GetScalar("SecondItem"));
+  SQLFLOW_ASSIGN_OR_RETURN(
+      sql::ResultSet check,
+      fixture.db->Execute(
+          "SELECT ItemID FROM Orders WHERE Approved = TRUE "
+          "GROUP BY ItemID ORDER BY ItemID LIMIT 1 OFFSET 1"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value expected, check.ScalarValue());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t a, item.AsInteger());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t b, expected.AsInteger());
+  if (a != b) return Status::ExecutionError("random access mismatch");
+  return Status::OK();
+}
+
+Status TupleIudScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("wf"));
+  auto mutate = std::make_shared<wfc::SnippetActivity>(
+      "Code-iud", [](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(
+            std::shared_ptr<DataSet> data_set,
+            ctx.variables().GetObjectAs<DataSet>("SV_ItemList"));
+        SQLFLOW_ASSIGN_OR_RETURN(DataTablePtr table,
+                                 data_set->SoleTable());
+        size_t before = table->ActiveRowCount();
+        SQLFLOW_RETURN_IF_ERROR(table->AddRow(
+            {Value::Integer(777), Value::Integer(5)}));
+        SQLFLOW_RETURN_IF_ERROR(
+            table->UpdateValue(0, "Quantity", Value::Integer(999)));
+        SQLFLOW_RETURN_IF_ERROR(table->MarkDeleted(1));
+        if (table->ActiveRowCount() != before) {  // +1 added, -1 deleted
+          return Status::ExecutionError("IUD bookkeeping wrong");
+        }
+        return Status::OK();
+      });
+  std::vector<wfc::ActivityPtr> steps{MakeItemListQuery(), mutate};
+  auto root =
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps));
+  SQLFLOW_ASSIGN_OR_RETURN(wfc::InstanceResult result,
+                           RunFlow(&fixture, root));
+  SQLFLOW_ASSIGN_OR_RETURN(DataTablePtr table, ItemListTable(result));
+  if (table->CountState(dataset::RowState::kAdded) != 1 ||
+      table->CountState(dataset::RowState::kModified) != 1 ||
+      table->CountState(dataset::RowState::kDeleted) != 1) {
+    return Status::ExecutionError("change tracking states wrong");
+  }
+  return Status::OK();
+}
+
+Status SynchronizationScenario() {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture, MakeFixture("wf"));
+  std::shared_ptr<sql::Database> db = fixture.db;
+  // Fill a DataSet from Items, mutate it, push back via DataAdapter.
+  auto sync = std::make_shared<wfc::SnippetActivity>(
+      "Code-sync", [db](wfc::ProcessContext&) -> Status {
+        DataAdapter adapter(db, "Items");
+        DataSet cache;
+        SQLFLOW_ASSIGN_OR_RETURN(
+            DataTablePtr table,
+            adapter.Fill(&cache, "SELECT * FROM Items ORDER BY ItemID"));
+        SQLFLOW_RETURN_IF_ERROR(
+            table->UpdateValue(0, "Name", Value::String("synced-item")));
+        SQLFLOW_RETURN_IF_ERROR(table->AddRow(
+            {Value::Integer(999), Value::String("new-item")}));
+        SQLFLOW_RETURN_IF_ERROR(table->MarkDeleted(1));
+        SQLFLOW_ASSIGN_OR_RETURN(DataAdapter::UpdateCounts counts,
+                                 adapter.Update(table.get()));
+        if (counts.inserted != 1 || counts.updated != 1 ||
+            counts.deleted != 1) {
+          return Status::ExecutionError("unexpected sync counts");
+        }
+        return Status::OK();
+      });
+  SQLFLOW_RETURN_IF_ERROR(RunFlow(&fixture, sync).status());
+  SQLFLOW_ASSIGN_OR_RETURN(
+      sql::ResultSet renamed,
+      db->Execute("SELECT COUNT(*) FROM Items WHERE Name = "
+                  "'synced-item'"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value n1, renamed.ScalarValue());
+  SQLFLOW_ASSIGN_OR_RETURN(
+      sql::ResultSet added,
+      db->Execute("SELECT COUNT(*) FROM Items WHERE ItemID = 999"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value n2, added.ScalarValue());
+  SQLFLOW_ASSIGN_OR_RETURN(
+      sql::ResultSet deleted,
+      db->Execute("SELECT COUNT(*) FROM Items WHERE ItemID = 2"));
+  SQLFLOW_ASSIGN_OR_RETURN(Value n3, deleted.ScalarValue());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t c1, n1.AsInteger());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t c2, n2.AsInteger());
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t c3, n3.AsInteger());
+  if (c1 != 1 || c2 != 1 || c3 != 0) {
+    return Status::ExecutionError("synchronized state wrong");
+  }
+  return Status::OK();
+}
+
+class WfEvaluator : public ProductEvaluator {
+ public:
+  std::string product_name() const override {
+    return "Microsoft Workflow Foundation";
+  }
+  std::string short_name() const override { return "Microsoft WF"; }
+
+  Result<std::vector<CellRealization>> EvaluatePattern(
+      Pattern pattern) override {
+    std::vector<CellRealization> cells;
+    switch (pattern) {
+      case Pattern::kQuery:
+        cells.push_back(Cell(pattern, "SQL Database",
+                             RealizationLevel::kAbstract, "",
+                             QueryScenario(),
+                             "SQL database activity (CAL)"));
+        break;
+      case Pattern::kSetIud:
+        cells.push_back(Cell(pattern, "SQL Database",
+                             RealizationLevel::kAbstract, "",
+                             SetIudScenario(), "DML statement"));
+        break;
+      case Pattern::kDataSetup:
+        cells.push_back(Cell(pattern, "SQL Database",
+                             RealizationLevel::kAbstract, "",
+                             DataSetupScenario(), "DDL statement"));
+        break;
+      case Pattern::kStoredProcedure:
+        cells.push_back(Cell(pattern, "SQL Database",
+                             RealizationLevel::kAbstract, "",
+                             StoredProcedureScenario(),
+                             "stored procedure call"));
+        break;
+      case Pattern::kSetRetrieval:
+        cells.push_back(Cell(pattern, "SQL Database",
+                             RealizationLevel::kAbstract, "",
+                             SetRetrievalScenario(),
+                             "automatic materialization into a DataSet"));
+        break;
+      case Pattern::kSequentialSetAccess:
+        cells.push_back(Cell(pattern, "While + code condition (ADO.NET)",
+                             RealizationLevel::kWorkaround, "",
+                             SequentialAccessScenario(),
+                             "while activity + ADO.NET-based condition "
+                             "and fetch code"));
+        break;
+      case Pattern::kRandomSetAccess:
+        cells.push_back(Cell(pattern, "Code activity (ADO.NET)",
+                             RealizationLevel::kWorkaround, "",
+                             RandomAccessScenario(),
+                             "code activity indexing the DataSet"));
+        break;
+      case Pattern::kTupleIud:
+        cells.push_back(Cell(pattern, "Code activity (ADO.NET)",
+                             RealizationLevel::kWorkaround, "",
+                             TupleIudScenario(),
+                             "code activity mutating the DataSet with "
+                             "change tracking"));
+        break;
+      case Pattern::kSynchronization:
+        cells.push_back(Cell(pattern, "Code activity (ADO.NET)",
+                             RealizationLevel::kWorkaround, "",
+                             SynchronizationScenario(),
+                             "DataAdapter.Update pushes cached changes"));
+        break;
+    }
+    return cells;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ProductEvaluator> MakeWfEvaluator() {
+  return std::make_unique<WfEvaluator>();
+}
+
+}  // namespace sqlflow::patterns

@@ -1,0 +1,203 @@
+#include "rowset/xml_rowset.h"
+
+#include "common/string_util.h"
+
+namespace sqlflow::rowset {
+
+namespace {
+
+void SetCell(const xml::NodePtr& row, const std::string& column,
+             const Value& value) {
+  xml::NodePtr cell = row->FindFirst(column);
+  if (cell == nullptr) {
+    cell = row->AddElement(column, "");
+  }
+  cell->SetAttribute("type", ValueTypeName(value.type()));
+  cell->SetTextContent(value.is_null() ? "" : value.AsString());
+}
+
+Result<Value> DecodeCell(const xml::NodePtr& cell) {
+  std::string type = cell->GetAttribute("type").value_or("STRING");
+  std::string text = cell->TextContent();
+  if (type == "NULL") return Value::Null();
+  if (type == "INTEGER") {
+    SQLFLOW_ASSIGN_OR_RETURN(int64_t v, Value::String(text).AsInteger());
+    return Value::Integer(v);
+  }
+  if (type == "DOUBLE") {
+    SQLFLOW_ASSIGN_OR_RETURN(double v, Value::String(text).AsDouble());
+    return Value::Double(v);
+  }
+  if (type == "BOOLEAN") {
+    SQLFLOW_ASSIGN_OR_RETURN(bool v, Value::String(text).AsBoolean());
+    return Value::Boolean(v);
+  }
+  return Value::String(text);
+}
+
+void Renumber(const xml::NodePtr& rowset) {
+  size_t num = 1;
+  for (const xml::NodePtr& child : rowset->children()) {
+    if (child->is_element() && child->name() == "Row") {
+      child->SetAttribute("num", std::to_string(num++));
+    }
+  }
+}
+
+}  // namespace
+
+xml::NodePtr ToRowSet(const sql::ResultSet& result) {
+  xml::NodePtr rowset = xml::Node::Element("RowSet");
+  rowset->SetAttribute("columns", Join(result.column_names(), ","));
+  size_t num = 1;
+  for (const sql::Row& row : result.rows()) {
+    xml::NodePtr row_node = xml::Node::Element("Row");
+    row_node->SetAttribute("num", std::to_string(num++));
+    for (size_t c = 0; c < result.column_names().size(); ++c) {
+      const Value& v =
+          c < row.size() ? row[c] : Value::Null();
+      xml::NodePtr cell =
+          row_node->AddElement(result.column_names()[c], "");
+      cell->SetAttribute("type", ValueTypeName(v.type()));
+      cell->SetTextContent(v.is_null() ? "" : v.AsString());
+    }
+    rowset->AppendChild(std::move(row_node));
+  }
+  return rowset;
+}
+
+Result<sql::ResultSet> FromRowSet(const xml::NodePtr& rowset) {
+  if (rowset == nullptr || rowset->name() != "RowSet") {
+    return Status::InvalidArgument("not a RowSet document");
+  }
+  std::vector<std::string> columns =
+      Split(rowset->GetAttribute("columns").value_or(""), ',');
+  if (columns.size() == 1 && columns[0].empty()) columns.clear();
+  sql::ResultSet out(columns);
+  for (const xml::NodePtr& child : rowset->children()) {
+    if (!child->is_element() || child->name() != "Row") continue;
+    sql::Row row;
+    row.reserve(columns.size());
+    for (const std::string& column : columns) {
+      xml::NodePtr cell = child->FindFirst(column);
+      if (cell == nullptr) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      SQLFLOW_ASSIGN_OR_RETURN(Value v, DecodeCell(cell));
+      row.push_back(std::move(v));
+    }
+    out.AddRow(std::move(row));
+  }
+  return out;
+}
+
+size_t RowCount(const xml::NodePtr& rowset) {
+  if (rowset == nullptr) return 0;
+  size_t n = 0;
+  for (const xml::NodePtr& child : rowset->children()) {
+    if (child->is_element() && child->name() == "Row") ++n;
+  }
+  return n;
+}
+
+std::vector<std::string> ColumnNames(const xml::NodePtr& rowset) {
+  if (rowset == nullptr) return {};
+  std::vector<std::string> columns =
+      Split(rowset->GetAttribute("columns").value_or(""), ',');
+  if (columns.size() == 1 && columns[0].empty()) columns.clear();
+  return columns;
+}
+
+Result<xml::NodePtr> GetRow(const xml::NodePtr& rowset, size_t index) {
+  size_t i = 0;
+  for (const xml::NodePtr& child : rowset->children()) {
+    if (!child->is_element() || child->name() != "Row") continue;
+    if (i == index) return child;
+    ++i;
+  }
+  return Status::InvalidArgument("row index " + std::to_string(index) +
+                                 " out of range (" + std::to_string(i) +
+                                 " rows)");
+}
+
+Result<Value> GetField(const xml::NodePtr& row, const std::string& column) {
+  xml::NodePtr cell = row->FindFirst(column);
+  if (cell == nullptr) {
+    return Status::NotFound("row has no column '" + column + "'");
+  }
+  return DecodeCell(cell);
+}
+
+Status UpdateField(const xml::NodePtr& rowset, size_t row_index,
+                   const std::string& column, const Value& value) {
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr row, GetRow(rowset, row_index));
+  if (row->FindFirst(column) == nullptr) {
+    return Status::NotFound("RowSet has no column '" + column + "'");
+  }
+  SetCell(row, column, value);
+  return Status::OK();
+}
+
+Status InsertRow(const xml::NodePtr& rowset,
+                 const std::vector<Value>& values) {
+  std::vector<std::string> columns = ColumnNames(rowset);
+  if (values.size() != columns.size()) {
+    return Status::InvalidArgument(
+        "InsertRow got " + std::to_string(values.size()) +
+        " values for " + std::to_string(columns.size()) + " columns");
+  }
+  xml::NodePtr row = xml::Node::Element("Row");
+  for (size_t i = 0; i < columns.size(); ++i) {
+    SetCell(row, columns[i], values[i]);
+  }
+  rowset->AppendChild(std::move(row));
+  Renumber(rowset);
+  return Status::OK();
+}
+
+Status DeleteRow(const xml::NodePtr& rowset, size_t row_index) {
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr row, GetRow(rowset, row_index));
+  SQLFLOW_RETURN_IF_ERROR(rowset->RemoveChild(row));
+  Renumber(rowset);
+  return Status::OK();
+}
+
+RowSetCursor::RowSetCursor(xml::NodePtr rowset)
+    : rowset_(std::move(rowset)) {
+  SkipToNextRow();
+}
+
+void RowSetCursor::SkipToNextRow() {
+  if (rowset_ == nullptr) return;
+  const auto& children = rowset_->children();
+  while (child_index_ < children.size() &&
+         !(children[child_index_]->is_element() &&
+           children[child_index_]->name() == "Row")) {
+    ++child_index_;
+  }
+}
+
+bool RowSetCursor::HasNext() const {
+  return rowset_ != nullptr && child_index_ < rowset_->child_count();
+}
+
+Result<xml::NodePtr> RowSetCursor::Next() {
+  if (!HasNext()) {
+    return Status::ExecutionError("cursor exhausted");
+  }
+  xml::NodePtr row = rowset_->children()[child_index_++];
+  ++position_;
+  SkipToNextRow();
+  return row;
+}
+
+void RowSetCursor::Reset() {
+  position_ = 0;
+  child_index_ = 0;
+  SkipToNextRow();
+}
+
+size_t RowSetCursor::size() const { return RowCount(rowset_); }
+
+}  // namespace sqlflow::rowset

@@ -1,0 +1,88 @@
+#ifndef SQLFLOW_ROWSET_XML_ROWSET_H_
+#define SQLFLOW_ROWSET_XML_ROWSET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/result_set.h"
+#include "xml/node.h"
+
+namespace sqlflow::rowset {
+
+/// The "proprietary XML RowSet" representation used by the IBM and
+/// Oracle analogues (Table I): a materialized result set as an XML tree
+/// in the process space, holding no connection to the data source.
+///
+/// Layout:
+///   <RowSet columns="A,B">
+///     <Row num="1"><A type="INTEGER">1</A><B type="STRING">x</B></Row>
+///     ...
+///   </RowSet>
+///
+/// The `type` attribute preserves SQL types across the XML round-trip;
+/// `num` attributes are maintained by the tuple-IUD helpers below.
+
+/// Materializes a ResultSet as a RowSet document.
+xml::NodePtr ToRowSet(const sql::ResultSet& result);
+
+/// Parses a RowSet document back into a ResultSet (exact inverse).
+Result<sql::ResultSet> FromRowSet(const xml::NodePtr& rowset);
+
+/// Number of <Row> children.
+size_t RowCount(const xml::NodePtr& rowset);
+
+/// Column names declared by the RowSet.
+std::vector<std::string> ColumnNames(const xml::NodePtr& rowset);
+
+// --- random access (Set Access pattern) -------------------------------------
+
+/// 0-based row lookup.
+Result<xml::NodePtr> GetRow(const xml::NodePtr& rowset, size_t index);
+
+/// Typed cell read from a <Row> element.
+Result<Value> GetField(const xml::NodePtr& row, const std::string& column);
+
+// --- tuple IUD (Tuple IUD pattern; Oracle bpelx-style local ops) --------------
+
+/// Overwrites one cell (type attribute updated to the new value's type).
+Status UpdateField(const xml::NodePtr& rowset, size_t row_index,
+                   const std::string& column, const Value& value);
+
+/// Appends a row; `values` must match the RowSet's column order.
+Status InsertRow(const xml::NodePtr& rowset,
+                 const std::vector<Value>& values);
+
+/// Removes a row and renumbers the remaining `num` attributes.
+Status DeleteRow(const xml::NodePtr& rowset, size_t row_index);
+
+// --- sequential access (cursor workaround of Sec. III-C) -----------------------
+
+/// Forward cursor over <Row> elements, the while + snippet idiom both
+/// BPEL-based products need for sequential set access. Iteration is
+/// O(1) per step (the cursor walks the child list once); it must not be
+/// used across structural mutations of the RowSet (re-create or Reset
+/// after InsertRow/DeleteRow).
+class RowSetCursor {
+ public:
+  explicit RowSetCursor(xml::NodePtr rowset);
+
+  bool HasNext() const;
+  /// The next <Row>; ExecutionError when exhausted.
+  Result<xml::NodePtr> Next();
+  void Reset();
+  size_t position() const { return position_; }
+  size_t size() const;
+
+ private:
+  void SkipToNextRow();
+
+  xml::NodePtr rowset_;
+  size_t position_ = 0;     // rows consumed so far
+  size_t child_index_ = 0;  // index of the next <Row> in children()
+};
+
+}  // namespace sqlflow::rowset
+
+#endif  // SQLFLOW_ROWSET_XML_ROWSET_H_

@@ -1,0 +1,32 @@
+#include "soa/bpelx.h"
+
+#include "rowset/xml_rowset.h"
+
+namespace sqlflow::soa {
+
+Status BpelxInsertRow(wfc::ProcessContext& ctx,
+                      const std::string& rowset_variable,
+                      const std::vector<Value>& values) {
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rowset,
+                           ctx.variables().GetXml(rowset_variable));
+  return rowset::InsertRow(rowset, values);
+}
+
+Status BpelxUpdateField(wfc::ProcessContext& ctx,
+                        const std::string& rowset_variable,
+                        size_t row_index, const std::string& column,
+                        const Value& value) {
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rowset,
+                           ctx.variables().GetXml(rowset_variable));
+  return rowset::UpdateField(rowset, row_index, column, value);
+}
+
+Status BpelxDeleteRow(wfc::ProcessContext& ctx,
+                      const std::string& rowset_variable,
+                      size_t row_index) {
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rowset,
+                           ctx.variables().GetXml(rowset_variable));
+  return rowset::DeleteRow(rowset, row_index);
+}
+
+}  // namespace sqlflow::soa

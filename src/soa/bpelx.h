@@ -1,0 +1,37 @@
+#ifndef SQLFLOW_SOA_BPELX_H_
+#define SQLFLOW_SOA_BPELX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "wfc/context.h"
+
+namespace sqlflow::soa {
+
+/// Oracle's bpelx-namespace assign extensions (Sec. V-C): local XML data
+/// manipulation that covers the complete Tuple IUD pattern at the
+/// abstract level — the capability edge SOA Suite has over BIS in
+/// Table II. All three operate on an XML RowSet held in a process
+/// variable.
+
+/// bpelx:insertAfter analogue — appends a row to the RowSet variable.
+Status BpelxInsertRow(wfc::ProcessContext& ctx,
+                      const std::string& rowset_variable,
+                      const std::vector<Value>& values);
+
+/// bpelx:copy analogue for one cell — updates row `row_index` (0-based).
+Status BpelxUpdateField(wfc::ProcessContext& ctx,
+                        const std::string& rowset_variable,
+                        size_t row_index, const std::string& column,
+                        const Value& value);
+
+/// bpelx:remove analogue — deletes row `row_index` (0-based).
+Status BpelxDeleteRow(wfc::ProcessContext& ctx,
+                      const std::string& rowset_variable,
+                      size_t row_index);
+
+}  // namespace sqlflow::soa
+
+#endif  // SQLFLOW_SOA_BPELX_H_

@@ -1,0 +1,143 @@
+#include "soa/xpath_extensions.h"
+
+#include "rowset/xml_rowset.h"
+#include "soa/xsql.h"
+#include "xml/parser.h"
+
+namespace sqlflow::soa {
+
+namespace {
+
+using xpath::XPathValue;
+
+Result<std::shared_ptr<sql::Database>> OpenFor(
+    const SoaConfig& config, const std::vector<XPathValue>& args,
+    size_t connection_arg_index) {
+  std::string connection = config.default_connection;
+  if (args.size() > connection_arg_index) {
+    connection = args[connection_arg_index].ToStringValue();
+  }
+  if (config.data_sources == nullptr) {
+    return Status::ExecutionError("SOA config has no data source registry");
+  }
+  if (connection.empty()) {
+    return Status::InvalidArgument(
+        "no connection string (neither default nor argument)");
+  }
+  return config.data_sources->Open(connection);
+}
+
+}  // namespace
+
+Status RegisterSoaXPathExtensions(xpath::FunctionRegistry* registry,
+                                  SoaConfig config) {
+  if (registry == nullptr) {
+    return Status::InvalidArgument("null function registry");
+  }
+
+  SQLFLOW_RETURN_IF_ERROR(registry->Register(
+      "ora:query-database",
+      [config](const std::vector<XPathValue>& args)
+          -> Result<XPathValue> {
+        if (args.empty()) {
+          return Status::InvalidArgument(
+              "ora:query-database requires an SQL string");
+        }
+        SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<sql::Database> db,
+                                 OpenFor(config, args, 1));
+        SQLFLOW_ASSIGN_OR_RETURN(sql::ResultSet result,
+                                 db->Execute(args[0].ToStringValue()));
+        db->MutableStats()->bytes_materialized += result.ApproxByteSize();
+        return XPathValue::NodeSet({rowset::ToRowSet(result)});
+      }));
+
+  SQLFLOW_RETURN_IF_ERROR(registry->Register(
+      "ora:sequence-next-val",
+      [config](const std::vector<XPathValue>& args)
+          -> Result<XPathValue> {
+        if (args.empty()) {
+          return Status::InvalidArgument(
+              "ora:sequence-next-val requires a sequence name");
+        }
+        SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<sql::Database> db,
+                                 OpenFor(config, args, 1));
+        SQLFLOW_ASSIGN_OR_RETURN(
+            int64_t value,
+            db->catalog().SequenceNextValue(args[0].ToStringValue()));
+        return XPathValue::Number(static_cast<double>(value));
+      }));
+
+  SQLFLOW_RETURN_IF_ERROR(registry->Register(
+      "ora:lookup-table",
+      [config](const std::vector<XPathValue>& args)
+          -> Result<XPathValue> {
+        if (args.size() < 4) {
+          return Status::InvalidArgument(
+              "ora:lookup-table requires (outputColumn, table, "
+              "inputColumn, key)");
+        }
+        SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<sql::Database> db,
+                                 OpenFor(config, args, 4));
+        // Generated query per Sec. V-B:
+        //   SELECT outputColumn FROM table WHERE inputColumn = key
+        std::string statement = "SELECT " + args[0].ToStringValue() +
+                                " FROM " + args[1].ToStringValue() +
+                                " WHERE " + args[2].ToStringValue() +
+                                " = :key";
+        sql::Params params;
+        const XPathValue& key = args[3];
+        if (key.kind() == XPathValue::Kind::kNumber) {
+          double d = key.ToNumber();
+          if (d == static_cast<double>(static_cast<int64_t>(d))) {
+            params.Set("key", Value::Integer(static_cast<int64_t>(d)));
+          } else {
+            params.Set("key", Value::Double(d));
+          }
+        } else {
+          params.Set("key", Value::String(key.ToStringValue()));
+        }
+        SQLFLOW_ASSIGN_OR_RETURN(sql::ResultSet result,
+                                 db->Execute(statement, params));
+        if (result.row_count() != 1) {
+          return Status::ExecutionError(
+              "ora:lookup-table expected exactly one row, got " +
+              std::to_string(result.row_count()));
+        }
+        return XPathValue::String(result.rows()[0][0].AsString());
+      }));
+
+  SQLFLOW_RETURN_IF_ERROR(registry->Register(
+      "orcl:processXSQL",
+      [config](const std::vector<XPathValue>& args)
+          -> Result<XPathValue> {
+        if (args.empty()) {
+          return Status::InvalidArgument(
+              "orcl:processXSQL requires an XSQL document");
+        }
+        xml::NodePtr document;
+        if (args[0].is_node_set()) {
+          document = args[0].FirstNode();
+          if (document == nullptr) {
+            return Status::InvalidArgument(
+                "orcl:processXSQL got an empty node-set");
+          }
+        } else {
+          SQLFLOW_ASSIGN_OR_RETURN(document,
+                                   xml::Parse(args[0].ToStringValue()));
+        }
+        // Remaining string args bind as p1, p2, ... parameters.
+        std::map<std::string, Value> params;
+        for (size_t i = 1; i < args.size(); ++i) {
+          params.emplace("p" + std::to_string(i),
+                         Value::String(args[i].ToStringValue()));
+        }
+        SQLFLOW_ASSIGN_OR_RETURN(
+            xml::NodePtr results,
+            ExecuteXsql(document, config.data_sources, params));
+        return XPathValue::NodeSet({std::move(results)});
+      }));
+
+  return Status::OK();
+}
+
+}  // namespace sqlflow::soa

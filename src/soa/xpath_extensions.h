@@ -1,0 +1,36 @@
+#ifndef SQLFLOW_SOA_XPATH_EXTENSIONS_H_
+#define SQLFLOW_SOA_XPATH_EXTENSIONS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/data_source.h"
+#include "xpath/functions.h"
+
+namespace sqlflow::soa {
+
+/// Configuration for BPEL PM's proprietary XPath extension functions:
+/// the registry resolving connection strings and the default (static)
+/// connection used when a function is not given one explicitly.
+struct SoaConfig {
+  sql::DataSourceRegistry* data_sources = nullptr;
+  std::string default_connection;  // e.g. "memdb://orders"
+};
+
+/// Registers the Sec. V-B functions into `registry`:
+///
+///  - `ora:query-database(sql [, connection])` → node-set holding one
+///    RowSet with the query result.
+///  - `ora:sequence-next-val(sequence [, connection])` → number.
+///  - `ora:lookup-table(outputColumn, table, inputColumn, key
+///    [, connection])` → string; executes the generated
+///    SELECT outputColumn FROM table WHERE inputColumn = key.
+///  - `orcl:processXSQL(xsqlDocument)` → node-set holding
+///    <xsql-results>; the argument is an XSQL document node-set or its
+///    markup as a string.
+Status RegisterSoaXPathExtensions(xpath::FunctionRegistry* registry,
+                                  SoaConfig config);
+
+}  // namespace sqlflow::soa
+
+#endif  // SQLFLOW_SOA_XPATH_EXTENSIONS_H_

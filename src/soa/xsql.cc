@@ -1,0 +1,71 @@
+#include "soa/xsql.h"
+
+#include "rowset/xml_rowset.h"
+#include "xml/parser.h"
+
+namespace sqlflow::soa {
+
+Result<xml::NodePtr> ExecuteXsql(
+    const xml::NodePtr& document, sql::DataSourceRegistry* registry,
+    const std::map<std::string, Value>& params) {
+  if (document == nullptr || document->name() != "xsql") {
+    return Status::InvalidArgument("XSQL root must be <xsql>");
+  }
+  if (registry == nullptr) {
+    return Status::ExecutionError("no data source registry available");
+  }
+  std::optional<std::string> connection =
+      document->GetAttribute("connection");
+  if (!connection.has_value()) {
+    return Status::InvalidArgument("<xsql> requires connection=");
+  }
+  SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<sql::Database> db,
+                           registry->Open(*connection));
+
+  // Defaults from <param> children, overridden by caller bindings.
+  sql::Params bound;
+  for (const xml::NodePtr& child : document->children()) {
+    if (child->is_element() && child->name() == "param") {
+      std::optional<std::string> name = child->GetAttribute("name");
+      if (!name.has_value()) {
+        return Status::InvalidArgument("<param> requires name=");
+      }
+      bound.Set(*name,
+                Value::String(child->GetAttribute("value").value_or("")));
+    }
+  }
+  for (const auto& [name, value] : params) {
+    bound.Set(name, value);
+  }
+
+  xml::NodePtr results = xml::Node::Element("xsql-results");
+  for (const xml::NodePtr& child : document->children()) {
+    if (!child->is_element()) continue;
+    const std::string& kind = child->name();
+    if (kind == "param") continue;
+    if (kind != "query" && kind != "dml" && kind != "call") {
+      return Status::InvalidArgument("unknown XSQL element <" + kind +
+                                     ">");
+    }
+    std::string statement = child->TextContent();
+    SQLFLOW_ASSIGN_OR_RETURN(sql::ResultSet result,
+                             db->Execute(statement, bound));
+    if (result.column_count() > 0) {
+      results->AppendChild(rowset::ToRowSet(result));
+    } else {
+      xml::NodePtr r = xml::Node::Element("result");
+      r->SetAttribute("affected", std::to_string(result.affected_rows()));
+      results->AppendChild(std::move(r));
+    }
+  }
+  return results;
+}
+
+Result<xml::NodePtr> ExecuteXsqlMarkup(
+    const std::string& markup, sql::DataSourceRegistry* registry,
+    const std::map<std::string, Value>& params) {
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr document, xml::Parse(markup));
+  return ExecuteXsql(document, registry, params);
+}
+
+}  // namespace sqlflow::soa

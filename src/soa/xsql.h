@@ -1,0 +1,46 @@
+#ifndef SQLFLOW_SOA_XSQL_H_
+#define SQLFLOW_SOA_XSQL_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/data_source.h"
+#include "xml/node.h"
+
+namespace sqlflow::soa {
+
+/// Minimal XSQL framework (Sec. V-B): executes the SQL statements
+/// embedded in an XSQL document and returns XML results. "It generates
+/// XML results from parameterized SQL queries and supports DML and DDL
+/// operations as well as stored procedures."
+///
+/// Document format:
+///   <xsql connection="memdb://db">
+///     <param name="p" value="literal"/>        <!-- optional defaults -->
+///     <query>SELECT ... WHERE x = :p</query>
+///     <dml>INSERT INTO ... VALUES (:p)</dml>   <!-- or UPDATE/DELETE/DDL -->
+///     <call>CALL proc(:p)</call>
+///   </xsql>
+///
+/// Statements execute in document order. The result is
+///   <xsql-results>
+///     <RowSet .../>                 per row-producing statement
+///     <result affected="n"/>        per DML/DDL statement
+///   </xsql-results>
+///
+/// `params` override same-named `<param>` defaults.
+Result<xml::NodePtr> ExecuteXsql(const xml::NodePtr& document,
+                                 sql::DataSourceRegistry* registry,
+                                 const std::map<std::string, Value>& params =
+                                     {});
+
+/// Parses `markup` and executes it.
+Result<xml::NodePtr> ExecuteXsqlMarkup(
+    const std::string& markup, sql::DataSourceRegistry* registry,
+    const std::map<std::string, Value>& params = {});
+
+}  // namespace sqlflow::soa
+
+#endif  // SQLFLOW_SOA_XSQL_H_

@@ -1,0 +1,254 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace sqlflow::sql {
+
+namespace {
+
+const char* UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNot:
+      return "NOT";
+    case UnaryOp::kNegate:
+      return "-";
+    case UnaryOp::kIsNull:
+      return "IS NULL";
+    case UnaryOp::kIsNotNull:
+      return "IS NOT NULL";
+  }
+  return "?";
+}
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNotEq:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLtEq:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGtEq:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kLike:
+      return "LIKE";
+    case BinaryOp::kConcat:
+      return "||";
+  }
+  return "?";
+}
+
+}  // namespace
+
+Expr::Expr() = default;
+Expr::~Expr() = default;
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.type() == ValueType::kString
+                 ? "'" + literal.str() + "'"
+                 : literal.ToString();
+    case ExprKind::kColumnRef:
+      return table_qualifier.empty() ? column_name
+                                     : table_qualifier + "." + column_name;
+    case ExprKind::kParameter:
+      return param_name.empty() ? "?" : ":" + param_name;
+    case ExprKind::kStar:
+      return "*";
+    case ExprKind::kUnary:
+      if (unary_op == UnaryOp::kIsNull || unary_op == UnaryOp::kIsNotNull) {
+        return "(" + children[0]->ToString() + " " +
+               UnaryOpName(unary_op) + ")";
+      }
+      return std::string("(") + UnaryOpName(unary_op) + " " +
+             children[0]->ToString() + ")";
+    case ExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " +
+             BinaryOpName(binary_op) + " " + children[1]->ToString() + ")";
+    case ExprKind::kFunctionCall: {
+      std::string out = function_name + "(";
+      if (distinct_arg) out += "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case ExprKind::kInList: {
+      std::string out = "(" + children[0]->ToString();
+      out += negated ? " NOT IN (" : " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      out += "))";
+      return out;
+    }
+    case ExprKind::kBetween: {
+      std::string out = "(" + children[0]->ToString();
+      out += negated ? " NOT BETWEEN " : " BETWEEN ";
+      out += children[1]->ToString() + " AND " + children[2]->ToString();
+      out += ")";
+      return out;
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      for (size_t i = 0; i + 1 < children.size(); i += 2) {
+        out += " WHEN " + children[i]->ToString() + " THEN " +
+               children[i + 1]->ToString();
+      }
+      if (case_else != nullptr) {
+        out += " ELSE " + case_else->ToString();
+      }
+      out += " END";
+      return out;
+    }
+    case ExprKind::kSubquery:
+      return "(SELECT ...)";
+    case ExprKind::kExists:
+      return "EXISTS (SELECT ...)";
+  }
+  return "?";
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->table_qualifier = std::move(qualifier);
+  e->column_name = std::move(column);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeFunctionCall(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFunctionCall;
+  e->function_name = ToUpperAscii(name);
+  e->children = std::move(args);
+  return e;
+}
+
+ExprPtr CloneExpr(const Expr& e) {
+  auto out = std::make_unique<Expr>();
+  out->kind = e.kind;
+  out->literal = e.literal;
+  out->table_qualifier = e.table_qualifier;
+  out->column_name = e.column_name;
+  out->param_name = e.param_name;
+  out->param_index = e.param_index;
+  out->unary_op = e.unary_op;
+  out->binary_op = e.binary_op;
+  out->function_name = e.function_name;
+  out->distinct_arg = e.distinct_arg;
+  out->negated = e.negated;
+  out->children.reserve(e.children.size());
+  for (const auto& child : e.children) {
+    out->children.push_back(CloneExpr(*child));
+  }
+  if (e.case_else != nullptr) out->case_else = CloneExpr(*e.case_else);
+  if (e.subquery != nullptr) out->subquery = CloneSelect(*e.subquery);
+  return out;
+}
+
+std::unique_ptr<SelectStatement> CloneSelect(const SelectStatement& s) {
+  auto out = std::make_unique<SelectStatement>();
+  out->distinct = s.distinct;
+  for (const SelectItem& item : s.items) {
+    SelectItem copy;
+    if (item.expr != nullptr) copy.expr = CloneExpr(*item.expr);
+    copy.alias = item.alias;
+    copy.star = item.star;
+    copy.star_qualifier = item.star_qualifier;
+    out->items.push_back(std::move(copy));
+  }
+  for (const TableRef& ref : s.from) {
+    TableRef copy;
+    copy.table_name = ref.table_name;
+    copy.alias = ref.alias;
+    copy.join_type = ref.join_type;
+    if (ref.join_condition != nullptr) {
+      copy.join_condition = CloneExpr(*ref.join_condition);
+    }
+    if (ref.derived != nullptr) {
+      copy.derived = CloneSelect(*ref.derived);
+    }
+    out->from.push_back(std::move(copy));
+  }
+  if (s.where != nullptr) out->where = CloneExpr(*s.where);
+  for (const ExprPtr& g : s.group_by) {
+    out->group_by.push_back(CloneExpr(*g));
+  }
+  if (s.having != nullptr) out->having = CloneExpr(*s.having);
+  for (const OrderByItem& item : s.order_by) {
+    OrderByItem copy;
+    copy.expr = CloneExpr(*item.expr);
+    copy.descending = item.descending;
+    out->order_by.push_back(std::move(copy));
+  }
+  out->limit = s.limit;
+  out->offset = s.offset;
+  if (s.union_next != nullptr) out->union_next = CloneSelect(*s.union_next);
+  out->union_all = s.union_all;
+  return out;
+}
+
+bool IsAggregateFunctionName(const std::string& upper_name) {
+  return upper_name == "COUNT" || upper_name == "SUM" ||
+         upper_name == "AVG" || upper_name == "MIN" || upper_name == "MAX";
+}
+
+bool ContainsAggregate(const Expr& e) {
+  if (e.kind == ExprKind::kFunctionCall &&
+      IsAggregateFunctionName(e.function_name)) {
+    return true;
+  }
+  for (const auto& child : e.children) {
+    if (ContainsAggregate(*child)) return true;
+  }
+  return false;
+}
+
+}  // namespace sqlflow::sql

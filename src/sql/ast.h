@@ -1,0 +1,266 @@
+#ifndef SQLFLOW_SQL_AST_H_
+#define SQLFLOW_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace sqlflow::sql {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kParameter,   // :name or ? (positional index assigned at parse time)
+  kUnary,
+  kBinary,
+  kFunctionCall,  // scalar or aggregate
+  kInList,
+  kBetween,
+  kStar,        // only valid inside COUNT(*)
+  kCase,        // CASE WHEN ... THEN ... [ELSE ...] END
+  kSubquery,    // scalar subquery, or the list side of IN (SELECT ...)
+  kExists,      // EXISTS (SELECT ...)
+};
+
+enum class UnaryOp { kNot, kNegate, kIsNull, kIsNotNull };
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kEq, kNotEq, kLt, kLtEq, kGt, kGtEq,
+  kAnd, kOr,
+  kLike, kConcat,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+struct SelectStatement;
+
+struct Expr {
+  Expr();
+  ~Expr();  // out-of-line: `subquery` points to an incomplete type here
+  Expr(Expr&&) = default;
+  Expr& operator=(Expr&&) = default;
+
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string table_qualifier;  // optional alias/table prefix
+  std::string column_name;
+
+  // kParameter
+  std::string param_name;  // empty for positional
+  int param_index = -1;    // 0-based order of appearance in the statement
+
+  // kUnary / kBinary / function args / IN list / BETWEEN bounds
+  UnaryOp unary_op = UnaryOp::kNot;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  std::vector<ExprPtr> children;
+
+  // kFunctionCall
+  std::string function_name;  // upper-cased
+  bool distinct_arg = false;  // COUNT(DISTINCT x)
+
+  // kInList / kBetween: children[0] is the probe; kInList may be negated.
+  bool negated = false;
+
+  // kCase: children are [when1, then1, when2, then2, ...]; `case_else`
+  // is the optional ELSE expression.
+  ExprPtr case_else;
+
+  // kSubquery / kExists, and IN (SELECT ...) on a kInList node.
+  std::unique_ptr<SelectStatement> subquery;
+
+  /// Debug/round-trip rendering (parenthesized, canonical casing).
+  std::string ToString() const;
+};
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string column);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeFunctionCall(std::string name, std::vector<ExprPtr> args);
+
+/// Deep copy (Expr owns its children through unique_ptr).
+ExprPtr CloneExpr(const Expr& e);
+
+/// True if the expression tree contains an aggregate function call
+/// (COUNT/SUM/AVG/MIN/MAX) at any depth.
+bool ContainsAggregate(const Expr& e);
+
+bool IsAggregateFunctionName(const std::string& upper_name);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StatementKind {
+  kSelect,
+  kInsert,
+  kUpdate,
+  kDelete,
+  kCreateTable,
+  kDropTable,
+  kTruncate,
+  kCreateIndex,
+  kCreateView,
+  kDropView,
+  kCreateSequence,
+  kDropSequence,
+  kCall,
+  kBegin,
+  kCommit,
+  kRollback,
+};
+
+struct SelectItem {
+  ExprPtr expr;          // null for plain `*`
+  std::string alias;     // optional AS alias
+  bool star = false;     // `*` or `t.*`
+  std::string star_qualifier;  // for `t.*`
+};
+
+enum class JoinType { kInner, kLeftOuter, kCross };
+
+struct TableRef {
+  std::string table_name;   // empty for a derived table
+  std::string alias;        // effective name = alias if set, else table_name
+  JoinType join_type = JoinType::kCross;  // how this ref joins the previous
+  ExprPtr join_condition;   // ON expr (null for cross/first)
+  /// Derived table: FROM (SELECT ...) alias.
+  std::unique_ptr<SelectStatement> derived;
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+struct SelectStatement {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::vector<TableRef> from;        // empty ⇒ SELECT without FROM
+  ExprPtr where;
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+  std::optional<int64_t> offset;
+  // UNION [ALL] chain: executed left-to-right, results concatenated;
+  // plain UNION removes duplicates over the combined output.
+  std::unique_ptr<SelectStatement> union_next;
+  bool union_all = false;
+};
+
+/// Deep copy of a SELECT tree (used by CloneExpr for subqueries).
+std::unique_ptr<SelectStatement> CloneSelect(const SelectStatement& s);
+
+struct InsertStatement {
+  std::string table_name;
+  std::vector<std::string> columns;         // empty ⇒ schema order
+  std::vector<std::vector<ExprPtr>> rows;   // VALUES (...), (...)
+  std::unique_ptr<SelectStatement> select;  // INSERT ... SELECT
+};
+
+struct UpdateStatement {
+  std::string table_name;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;
+};
+
+struct DeleteStatement {
+  std::string table_name;
+  ExprPtr where;
+};
+
+struct ColumnDefAst {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool not_null = false;
+  bool primary_key = false;
+  ExprPtr default_value;  // DEFAULT <expr>; must be constant-foldable
+};
+
+struct CreateTableStatement {
+  std::string table_name;
+  std::vector<ColumnDefAst> columns;
+  bool if_not_exists = false;
+  /// Table-level CHECK (<expr>) constraints, evaluated against each
+  /// inserted/updated row.
+  std::vector<ExprPtr> checks;
+};
+
+struct DropTableStatement {
+  std::string table_name;
+  bool if_exists = false;
+};
+
+struct TruncateStatement {
+  std::string table_name;
+};
+
+struct CreateIndexStatement {
+  std::string index_name;
+  std::string table_name;
+  std::vector<std::string> columns;
+  bool unique = false;
+};
+
+struct CreateViewStatement {
+  std::string view_name;
+  std::unique_ptr<SelectStatement> select;
+};
+
+struct DropViewStatement {
+  std::string view_name;
+  bool if_exists = false;
+};
+
+struct CreateSequenceStatement {
+  std::string sequence_name;
+  int64_t start_with = 1;
+};
+
+struct DropSequenceStatement {
+  std::string sequence_name;
+  bool if_exists = false;
+};
+
+struct CallStatement {
+  std::string procedure_name;
+  std::vector<ExprPtr> arguments;
+};
+
+/// A single parsed SQL statement; exactly the member matching `kind` is set.
+struct Statement {
+  StatementKind kind;
+  std::unique_ptr<SelectStatement> select;
+  std::unique_ptr<InsertStatement> insert;
+  std::unique_ptr<UpdateStatement> update;
+  std::unique_ptr<DeleteStatement> del;
+  std::unique_ptr<CreateTableStatement> create_table;
+  std::unique_ptr<DropTableStatement> drop_table;
+  std::unique_ptr<TruncateStatement> truncate;
+  std::unique_ptr<CreateIndexStatement> create_index;
+  std::unique_ptr<CreateViewStatement> create_view;
+  std::unique_ptr<DropViewStatement> drop_view;
+  std::unique_ptr<CreateSequenceStatement> create_sequence;
+  std::unique_ptr<DropSequenceStatement> drop_sequence;
+  std::unique_ptr<CallStatement> call;
+
+  /// Number of parameters (named + positional) appearing in the statement.
+  int parameter_count = 0;
+};
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_AST_H_

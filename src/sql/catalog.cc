@@ -1,0 +1,192 @@
+#include "sql/catalog.h"
+
+#include "common/string_util.h"
+
+namespace sqlflow::sql {
+
+std::string Catalog::Key(const std::string& name) {
+  return ToUpperAscii(name);
+}
+
+Status Catalog::CreateTable(TableSchema schema) {
+  SQLFLOW_RETURN_IF_ERROR(schema.Validate());
+  std::string key = Key(schema.table_name());
+  if (tables_.count(key) > 0 || views_.count(key) > 0) {
+    return Status::AlreadyExists("a table or view named '" +
+                                 schema.table_name() +
+                                 "' already exists");
+  }
+  tables_.emplace(std::move(key),
+                  std::make_unique<Table>(std::move(schema)));
+  return Status::OK();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  tables_.erase(it);
+  // Drop dependent index metadata.
+  for (auto idx = indexes_.begin(); idx != indexes_.end();) {
+    if (EqualsIgnoreCase(idx->second.table_name, name)) {
+      idx = indexes_.erase(idx);
+    } else {
+      ++idx;
+    }
+  }
+  return Status::OK();
+}
+
+Table* Catalog::FindTable(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  Table* t = FindTable(name);
+  if (t == nullptr) {
+    return Status::NotFound("no table '" + name + "'");
+  }
+  return t;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) {
+    names.push_back(table->schema().table_name());
+  }
+  return names;
+}
+
+void Catalog::RestoreTable(std::unique_ptr<Table> table) {
+  std::string key = Key(table->schema().table_name());
+  tables_[std::move(key)] = std::move(table);
+}
+
+std::unique_ptr<Table> Catalog::TakeTable(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) return nullptr;
+  std::unique_ptr<Table> out = std::move(it->second);
+  tables_.erase(it);
+  return out;
+}
+
+Status Catalog::CreateView(const std::string& name,
+                           std::unique_ptr<SelectStatement> select) {
+  std::string key = Key(name);
+  if (views_.count(key) > 0 || tables_.count(key) > 0) {
+    return Status::AlreadyExists("a table or view named '" + name +
+                                 "' already exists");
+  }
+  views_.emplace(std::move(key), std::move(select));
+  return Status::OK();
+}
+
+Status Catalog::DropView(const std::string& name) {
+  if (views_.erase(Key(name)) == 0) {
+    return Status::NotFound("no view '" + name + "'");
+  }
+  return Status::OK();
+}
+
+const SelectStatement* Catalog::FindView(const std::string& name) const {
+  auto it = views_.find(Key(name));
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::ViewNames() const {
+  std::vector<std::string> names;
+  names.reserve(views_.size());
+  for (const auto& [key, select] : views_) names.push_back(key);
+  return names;
+}
+
+std::unique_ptr<SelectStatement> Catalog::TakeView(
+    const std::string& name) {
+  auto it = views_.find(Key(name));
+  if (it == views_.end()) return nullptr;
+  std::unique_ptr<SelectStatement> out = std::move(it->second);
+  views_.erase(it);
+  return out;
+}
+
+Status Catalog::CreateSequence(const std::string& name,
+                               int64_t start_with) {
+  std::string key = Key(name);
+  if (sequences_.count(key) > 0) {
+    return Status::AlreadyExists("sequence '" + name + "' already exists");
+  }
+  Sequence seq;
+  seq.name = name;
+  seq.start_with = start_with;
+  seq.next_value = start_with;
+  sequences_.emplace(std::move(key), std::move(seq));
+  return Status::OK();
+}
+
+Status Catalog::DropSequence(const std::string& name) {
+  if (sequences_.erase(Key(name)) == 0) {
+    return Status::NotFound("no sequence '" + name + "'");
+  }
+  return Status::OK();
+}
+
+Sequence* Catalog::FindSequence(const std::string& name) {
+  auto it = sequences_.find(Key(name));
+  return it == sequences_.end() ? nullptr : &it->second;
+}
+
+Result<int64_t> Catalog::SequenceNextValue(const std::string& name) {
+  Sequence* seq = FindSequence(name);
+  if (seq == nullptr) {
+    return Status::NotFound("no sequence '" + name + "'");
+  }
+  return seq->next_value++;
+}
+
+std::vector<std::string> Catalog::SequenceNames() const {
+  std::vector<std::string> names;
+  names.reserve(sequences_.size());
+  for (const auto& [key, seq] : sequences_) names.push_back(seq.name);
+  return names;
+}
+
+Status Catalog::CreateIndex(const IndexInfo& info) {
+  std::string key = Key(info.name);
+  if (indexes_.count(key) > 0) {
+    return Status::AlreadyExists("index '" + info.name +
+                                 "' already exists");
+  }
+  indexes_.emplace(std::move(key), info);
+  return Status::OK();
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  if (indexes_.erase(Key(name)) == 0) {
+    return Status::NotFound("no index '" + name + "'");
+  }
+  return Status::OK();
+}
+
+const IndexInfo* Catalog::FindIndex(const std::string& name) const {
+  auto it = indexes_.find(Key(name));
+  return it == indexes_.end() ? nullptr : &it->second;
+}
+
+std::vector<IndexInfo> Catalog::IndexesOnTable(
+    const std::string& table) const {
+  std::vector<IndexInfo> out;
+  for (const auto& [key, info] : indexes_) {
+    if (EqualsIgnoreCase(info.table_name, table)) out.push_back(info);
+  }
+  return out;
+}
+
+}  // namespace sqlflow::sql

@@ -1,0 +1,69 @@
+#include "sql/data_source.h"
+
+#include "common/string_util.h"
+
+namespace sqlflow::sql {
+
+Result<ConnectionString> ConnectionString::Parse(const std::string& raw) {
+  size_t sep = raw.find("://");
+  if (sep == std::string::npos) {
+    return Status::InvalidArgument("malformed connection string '" + raw +
+                                   "' (expected scheme://database)");
+  }
+  ConnectionString cs;
+  cs.scheme = ToLowerAscii(raw.substr(0, sep));
+  cs.database = raw.substr(sep + 3);
+  if (cs.scheme != "memdb") {
+    return Status::Unsupported("unsupported scheme '" + cs.scheme +
+                               "' (this build supports memdb://)");
+  }
+  if (cs.database.empty()) {
+    return Status::InvalidArgument("connection string names no database");
+  }
+  return cs;
+}
+
+Result<std::shared_ptr<Database>> DataSourceRegistry::CreateDatabase(
+    const std::string& name) {
+  std::string key = ToUpperAscii(name);
+  if (databases_.count(key) > 0) {
+    return Status::AlreadyExists("database '" + name + "' already exists");
+  }
+  auto db = std::make_shared<Database>(name);
+  databases_.emplace(std::move(key), db);
+  return db;
+}
+
+Result<std::shared_ptr<Database>> DataSourceRegistry::Open(
+    const std::string& connection_string) {
+  SQLFLOW_ASSIGN_OR_RETURN(ConnectionString cs,
+                           ConnectionString::Parse(connection_string));
+  std::string key = ToUpperAscii(cs.database);
+  auto it = databases_.find(key);
+  if (it != databases_.end()) return it->second;
+  auto db = std::make_shared<Database>(cs.database);
+  databases_.emplace(std::move(key), db);
+  return db;
+}
+
+Result<std::shared_ptr<Database>> DataSourceRegistry::Get(
+    const std::string& name) const {
+  auto it = databases_.find(ToUpperAscii(name));
+  if (it == databases_.end()) {
+    return Status::NotFound("no database '" + name + "'");
+  }
+  return it->second;
+}
+
+bool DataSourceRegistry::Exists(const std::string& name) const {
+  return databases_.count(ToUpperAscii(name)) > 0;
+}
+
+std::vector<std::string> DataSourceRegistry::DatabaseNames() const {
+  std::vector<std::string> names;
+  names.reserve(databases_.size());
+  for (const auto& [key, db] : databases_) names.push_back(db->name());
+  return names;
+}
+
+}  // namespace sqlflow::sql

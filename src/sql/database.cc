@@ -1,0 +1,138 @@
+#include "sql/database.h"
+
+#include "common/string_util.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+
+namespace sqlflow::sql {
+
+Database::Database(std::string name) : name_(std::move(name)) {}
+
+Database::~Database() = default;
+
+Result<ResultSet> Database::Execute(std::string_view sql) {
+  return Execute(sql, Params::None());
+}
+
+Result<ResultSet> Database::Execute(std::string_view sql,
+                                    const Params& params) {
+  SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                           ParseStatement(sql));
+  return ExecuteStatement(*stmt, params);
+}
+
+Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
+                                             const Params& params) {
+  Executor executor(this);
+  return executor.Execute(stmt, params);
+}
+
+Result<ResultSet> Database::ExecuteSelect(const SelectStatement& select,
+                                          const Params& params) {
+  Executor executor(this);
+  return executor.ExecuteSelect(select, params);
+}
+
+Status Database::ExecuteScript(std::string_view sql) {
+  SQLFLOW_ASSIGN_OR_RETURN(auto statements, ParseScript(sql));
+  for (const auto& stmt : statements) {
+    Executor executor(this);
+    auto result = executor.Execute(*stmt, Params::None());
+    if (!result.ok()) return result.status();
+  }
+  return Status::OK();
+}
+
+Result<PreparedStatement> Database::Prepare(std::string_view sql) {
+  SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                           ParseStatement(sql));
+  return PreparedStatement(this, std::move(stmt));
+}
+
+Result<ResultSet> PreparedStatement::Execute(const Params& params) const {
+  return db_->ExecuteStatement(*statement_, params);
+}
+
+int PreparedStatement::parameter_count() const {
+  return statement_->parameter_count;
+}
+
+Status Database::Begin() {
+  if (in_transaction_) {
+    return Status::ExecutionError(
+        "transaction already open (no nesting in this engine)");
+  }
+  in_transaction_ = true;
+  undo_log_.Clear();
+  return Status::OK();
+}
+
+Status Database::Commit() {
+  if (!in_transaction_) {
+    return Status::ExecutionError("no open transaction to commit");
+  }
+  in_transaction_ = false;
+  undo_log_.Clear();
+  stats_.transactions_committed++;
+  return Status::OK();
+}
+
+Status Database::Rollback() {
+  if (!in_transaction_) {
+    return Status::ExecutionError("no open transaction to roll back");
+  }
+  in_transaction_ = false;  // raw undo replay must not re-log
+  undo_log_.RollbackInto(this);
+  stats_.transactions_rolled_back++;
+  return Status::OK();
+}
+
+Status Database::RegisterProcedure(StoredProcedure procedure) {
+  std::string key = ToUpperAscii(procedure.name);
+  if (procedures_.count(key) > 0) {
+    return Status::AlreadyExists("procedure '" + procedure.name +
+                                 "' already exists");
+  }
+  procedures_.emplace(std::move(key), std::move(procedure));
+  return Status::OK();
+}
+
+Result<ResultSet> Database::CallProcedure(const std::string& name,
+                                          const std::vector<Value>& args) {
+  auto it = procedures_.find(ToUpperAscii(name));
+  if (it == procedures_.end()) {
+    return Status::NotFound("no stored procedure '" + name + "'");
+  }
+  const StoredProcedure& proc = it->second;
+  if (proc.arity >= 0 &&
+      static_cast<size_t>(proc.arity) != args.size()) {
+    return Status::InvalidArgument(
+        "procedure '" + name + "' expects " + std::to_string(proc.arity) +
+        " arguments, got " + std::to_string(args.size()));
+  }
+  return proc.body(*this, args);
+}
+
+std::vector<std::string> Database::ProcedureNames() const {
+  std::vector<std::string> names;
+  names.reserve(procedures_.size());
+  for (const auto& [key, proc] : procedures_) names.push_back(proc.name);
+  return names;
+}
+
+Result<Value> EvalNextval(Database* db, const std::string& sequence_name) {
+  Sequence* seq = db->catalog().FindSequence(sequence_name);
+  if (seq == nullptr) {
+    return Status::NotFound("no sequence '" + sequence_name + "'");
+  }
+  if (UndoLog* undo = db->active_undo()) {
+    UndoEntry e;
+    e.kind = UndoEntry::Kind::kSequenceAdvance;
+    e.table_name = sequence_name;
+    e.sequence_value = seq->next_value;
+    undo->Record(std::move(e));
+  }
+  return Value::Integer(seq->next_value++);
+}
+
+}  // namespace sqlflow::sql

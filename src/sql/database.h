@@ -1,0 +1,133 @@
+#ifndef SQLFLOW_SQL_DATABASE_H_
+#define SQLFLOW_SQL_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/catalog.h"
+#include "sql/eval.h"
+#include "sql/result_set.h"
+#include "sql/transaction.h"
+
+namespace sqlflow::sql {
+
+/// A native stored procedure: name, expected argument count (-1 = any),
+/// and the body. Procedures receive the owning database and may run
+/// further statements through it.
+struct StoredProcedure {
+  std::string name;
+  int arity = -1;
+  std::function<Result<ResultSet>(class Database&,
+                                  const std::vector<Value>&)>
+      body;
+};
+
+class Database;
+
+/// A parsed statement bound to its database, executable many times with
+/// different parameters — parse once, run often (the engines cache
+/// these per activity). Move-only; must not outlive the database.
+class PreparedStatement {
+ public:
+  PreparedStatement(PreparedStatement&&) = default;
+  PreparedStatement& operator=(PreparedStatement&&) = default;
+
+  Result<ResultSet> Execute(const Params& params = Params()) const;
+
+  /// Number of `?`/`:name` parameters in the statement.
+  int parameter_count() const;
+
+ private:
+  friend class Database;
+  PreparedStatement(Database* db, std::unique_ptr<Statement> statement)
+      : db_(db), statement_(std::move(statement)) {}
+
+  Database* db_;
+  std::unique_ptr<Statement> statement_;
+};
+
+/// An in-memory relational database: catalog + executor + one transaction
+/// slot. Statements run in autocommit mode unless Begin() opened a
+/// transaction, in which case all changes are undo-logged until Commit()
+/// or Rollback().
+class Database {
+ public:
+  /// Execution counters (monotonic; for tests and benchmarks).
+  struct Stats {
+    uint64_t statements_executed = 0;
+    uint64_t rows_read = 0;
+    uint64_t rows_written = 0;
+    uint64_t bytes_materialized = 0;
+    uint64_t transactions_committed = 0;
+    uint64_t transactions_rolled_back = 0;
+  };
+
+  explicit Database(std::string name);
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Parses and executes one statement (without parameters).
+  Result<ResultSet> Execute(std::string_view sql);
+  /// Parses and executes one statement with host-variable bindings.
+  Result<ResultSet> Execute(std::string_view sql, const Params& params);
+  /// Executes an already-parsed statement.
+  Result<ResultSet> ExecuteStatement(const Statement& stmt,
+                                     const Params& params);
+  /// Executes a parsed SELECT (used for subquery evaluation).
+  Result<ResultSet> ExecuteSelect(const SelectStatement& select,
+                                  const Params& params);
+  /// Runs a ';'-separated script; stops at the first error.
+  Status ExecuteScript(std::string_view sql);
+
+  /// Parses `sql` once for repeated execution.
+  Result<PreparedStatement> Prepare(std::string_view sql);
+
+  // --- transactions ---------------------------------------------------------
+  Status Begin();
+  Status Commit();
+  Status Rollback();
+  bool in_transaction() const { return in_transaction_; }
+  /// The open transaction's undo log, or nullptr in autocommit mode.
+  UndoLog* active_undo() {
+    return in_transaction_ ? &undo_log_ : nullptr;
+  }
+
+  // --- stored procedures ------------------------------------------------------
+  Status RegisterProcedure(StoredProcedure procedure);
+  Result<ResultSet> CallProcedure(const std::string& name,
+                                  const std::vector<Value>& args);
+  std::vector<std::string> ProcedureNames() const;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  const Stats& stats() const { return stats_; }
+  Stats* MutableStats() { return &stats_; }
+
+  /// Shared view-expansion depth guard (views may nest, including
+  /// through subqueries, which spawn fresh executors).
+  int* MutableViewDepth() { return &view_expansion_depth_; }
+
+ private:
+  std::string name_;
+  Catalog catalog_;
+  std::map<std::string, StoredProcedure> procedures_;
+  UndoLog undo_log_;
+  bool in_transaction_ = false;
+  Stats stats_;
+  int view_expansion_depth_ = 0;
+};
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_DATABASE_H_

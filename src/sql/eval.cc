@@ -1,0 +1,460 @@
+#include "sql/eval.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "sql/database.h"
+
+namespace sqlflow::sql {
+
+namespace {
+
+bool IsNumeric(const Value& v) {
+  return v.type() == ValueType::kInteger || v.type() == ValueType::kDouble;
+}
+
+Result<Value> Arithmetic(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!IsNumeric(a) || !IsNumeric(b)) {
+    return Status::TypeError("arithmetic on non-numeric values");
+  }
+  bool both_int = a.type() == ValueType::kInteger &&
+                  b.type() == ValueType::kInteger;
+  if (both_int) {
+    int64_t x = a.integer();
+    int64_t y = b.integer();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Integer(x + y);
+      case BinaryOp::kSub:
+        return Value::Integer(x - y);
+      case BinaryOp::kMul:
+        return Value::Integer(x * y);
+      case BinaryOp::kDiv:
+        if (y == 0) return Status::ExecutionError("division by zero");
+        return Value::Integer(x / y);
+      case BinaryOp::kMod:
+        if (y == 0) return Status::ExecutionError("division by zero");
+        return Value::Integer(x % y);
+      default:
+        break;
+    }
+  }
+  SQLFLOW_ASSIGN_OR_RETURN(double x, a.AsDouble());
+  SQLFLOW_ASSIGN_OR_RETURN(double y, b.AsDouble());
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Double(x + y);
+    case BinaryOp::kSub:
+      return Value::Double(x - y);
+    case BinaryOp::kMul:
+      return Value::Double(x * y);
+    case BinaryOp::kDiv:
+      if (y == 0.0) return Status::ExecutionError("division by zero");
+      return Value::Double(x / y);
+    case BinaryOp::kMod:
+      if (y == 0.0) return Status::ExecutionError("division by zero");
+      return Value::Double(std::fmod(x, y));
+    default:
+      break;
+  }
+  return Status::Internal("bad arithmetic operator");
+}
+
+// SQL comparison: NULL operand ⇒ NULL result. A string compared with a
+// number is implicitly cast to the numeric side (host variables arrive
+// as strings from XML-typed process spaces; commercial engines coerce
+// the same way).
+Result<Value> Comparison(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  Value lhs = a;
+  Value rhs = b;
+  if (IsNumeric(lhs) && rhs.type() == ValueType::kString) {
+    SQLFLOW_ASSIGN_OR_RETURN(double v, rhs.AsDouble());
+    rhs = Value::Double(v);
+  } else if (IsNumeric(rhs) && lhs.type() == ValueType::kString) {
+    SQLFLOW_ASSIGN_OR_RETURN(double v, lhs.AsDouble());
+    lhs = Value::Double(v);
+  }
+  bool comparable = (IsNumeric(lhs) && IsNumeric(rhs)) ||
+                    lhs.type() == rhs.type();
+  if (!comparable) {
+    return Status::TypeError(std::string("cannot compare ") +
+                             ValueTypeName(a.type()) + " with " +
+                             ValueTypeName(b.type()));
+  }
+  int cmp = lhs.Compare(rhs);
+  bool out = false;
+  switch (op) {
+    case BinaryOp::kEq:
+      out = cmp == 0;
+      break;
+    case BinaryOp::kNotEq:
+      out = cmp != 0;
+      break;
+    case BinaryOp::kLt:
+      out = cmp < 0;
+      break;
+    case BinaryOp::kLtEq:
+      out = cmp <= 0;
+      break;
+    case BinaryOp::kGt:
+      out = cmp > 0;
+      break;
+    case BinaryOp::kGtEq:
+      out = cmp >= 0;
+      break;
+    default:
+      return Status::Internal("bad comparison operator");
+  }
+  return Value::Boolean(out);
+}
+
+Result<Value> EvalFunction(const Expr& e, const EvalContext& ctx);
+
+}  // namespace
+
+bool IsTrue(const Value& v) {
+  return v.type() == ValueType::kBoolean && v.boolean();
+}
+
+bool LikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative two-pointer wildcard match; '%' = any run, '_' = one char.
+  size_t t = 0;
+  size_t p = 0;
+  size_t star_p = std::string::npos;
+  size_t star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+namespace {
+
+Result<Value> EvalBinary(const Expr& e, const EvalContext& ctx) {
+  // AND/OR need Kleene short-circuit handling over possibly-NULL operands.
+  if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
+    SQLFLOW_ASSIGN_OR_RETURN(Value a, EvaluateExpr(*e.children[0], ctx));
+    bool is_and = e.binary_op == BinaryOp::kAnd;
+    if (!a.is_null()) {
+      SQLFLOW_ASSIGN_OR_RETURN(bool av, a.AsBoolean());
+      if (is_and && !av) return Value::Boolean(false);
+      if (!is_and && av) return Value::Boolean(true);
+    }
+    SQLFLOW_ASSIGN_OR_RETURN(Value b, EvaluateExpr(*e.children[1], ctx));
+    if (!b.is_null()) {
+      SQLFLOW_ASSIGN_OR_RETURN(bool bv, b.AsBoolean());
+      if (is_and && !bv) return Value::Boolean(false);
+      if (!is_and && bv) return Value::Boolean(true);
+    }
+    if (a.is_null() || b.is_null()) return Value::Null();
+    // Both known and not short-circuited: AND ⇒ true, OR ⇒ false.
+    return Value::Boolean(is_and);
+  }
+
+  SQLFLOW_ASSIGN_OR_RETURN(Value a, EvaluateExpr(*e.children[0], ctx));
+  SQLFLOW_ASSIGN_OR_RETURN(Value b, EvaluateExpr(*e.children[1], ctx));
+  switch (e.binary_op) {
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub:
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv:
+    case BinaryOp::kMod:
+      return Arithmetic(e.binary_op, a, b);
+    case BinaryOp::kEq:
+    case BinaryOp::kNotEq:
+    case BinaryOp::kLt:
+    case BinaryOp::kLtEq:
+    case BinaryOp::kGt:
+    case BinaryOp::kGtEq:
+      return Comparison(e.binary_op, a, b);
+    case BinaryOp::kLike: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return Value::Boolean(LikeMatch(a.AsString(), b.AsString()));
+    }
+    case BinaryOp::kConcat: {
+      if (a.is_null() || b.is_null()) return Value::Null();
+      return Value::String(a.AsString() + b.AsString());
+    }
+    default:
+      return Status::Internal("bad binary operator");
+  }
+}
+
+Result<Value> EvalFunction(const Expr& e, const EvalContext& ctx) {
+  const std::string& name = e.function_name;
+  if (IsAggregateFunctionName(name)) {
+    return Status::ExecutionError(
+        "aggregate function " + name +
+        " not allowed in this context (no GROUP BY scope)");
+  }
+  auto arg = [&](size_t i) -> Result<Value> {
+    if (i >= e.children.size()) {
+      return Status::InvalidArgument("missing argument " +
+                                     std::to_string(i + 1) + " to " + name);
+    }
+    return EvaluateExpr(*e.children[i], ctx);
+  };
+
+  if (name == "COALESCE") {
+    for (const ExprPtr& child : e.children) {
+      SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*child, ctx));
+      if (!v.is_null()) return v;
+    }
+    return Value::Null();
+  }
+  if (name == "UPPER") {
+    SQLFLOW_ASSIGN_OR_RETURN(Value v, arg(0));
+    if (v.is_null()) return v;
+    return Value::String(ToUpperAscii(v.AsString()));
+  }
+  if (name == "LOWER") {
+    SQLFLOW_ASSIGN_OR_RETURN(Value v, arg(0));
+    if (v.is_null()) return v;
+    return Value::String(ToLowerAscii(v.AsString()));
+  }
+  if (name == "LENGTH") {
+    SQLFLOW_ASSIGN_OR_RETURN(Value v, arg(0));
+    if (v.is_null()) return v;
+    return Value::Integer(static_cast<int64_t>(v.AsString().size()));
+  }
+  if (name == "ABS") {
+    SQLFLOW_ASSIGN_OR_RETURN(Value v, arg(0));
+    if (v.is_null()) return v;
+    if (v.type() == ValueType::kInteger) {
+      return Value::Integer(v.integer() < 0 ? -v.integer() : v.integer());
+    }
+    SQLFLOW_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    return Value::Double(std::fabs(d));
+  }
+  if (name == "ROUND") {
+    SQLFLOW_ASSIGN_OR_RETURN(Value v, arg(0));
+    if (v.is_null()) return v;
+    SQLFLOW_ASSIGN_OR_RETURN(double d, v.AsDouble());
+    int64_t digits = 0;
+    if (e.children.size() > 1) {
+      SQLFLOW_ASSIGN_OR_RETURN(Value dv, arg(1));
+      SQLFLOW_ASSIGN_OR_RETURN(digits, dv.AsInteger());
+    }
+    double scale = std::pow(10.0, static_cast<double>(digits));
+    return Value::Double(std::round(d * scale) / scale);
+  }
+  if (name == "SUBSTR" || name == "SUBSTRING") {
+    SQLFLOW_ASSIGN_OR_RETURN(Value sv, arg(0));
+    if (sv.is_null()) return sv;
+    std::string s = sv.AsString();
+    SQLFLOW_ASSIGN_OR_RETURN(Value startv, arg(1));
+    SQLFLOW_ASSIGN_OR_RETURN(int64_t start, startv.AsInteger());
+    int64_t len = static_cast<int64_t>(s.size());
+    if (e.children.size() > 2) {
+      SQLFLOW_ASSIGN_OR_RETURN(Value lenv, arg(2));
+      SQLFLOW_ASSIGN_OR_RETURN(len, lenv.AsInteger());
+    }
+    if (start < 1) start = 1;
+    if (start > static_cast<int64_t>(s.size()) || len <= 0) {
+      return Value::String("");
+    }
+    return Value::String(
+        s.substr(static_cast<size_t>(start - 1),
+                 static_cast<size_t>(len)));
+  }
+  if (name == "CONCAT") {
+    std::string out;
+    for (const ExprPtr& child : e.children) {
+      SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*child, ctx));
+      out += v.AsString();
+    }
+    return Value::String(out);
+  }
+  if (name == "NULLIF") {
+    SQLFLOW_ASSIGN_OR_RETURN(Value a, arg(0));
+    SQLFLOW_ASSIGN_OR_RETURN(Value b, arg(1));
+    if (a.Equals(b)) return Value::Null();
+    return a;
+  }
+  if (name == "NEXTVAL") {
+    if (ctx.database == nullptr) {
+      return Status::ExecutionError("NEXTVAL requires a database context");
+    }
+    SQLFLOW_ASSIGN_OR_RETURN(Value seq, arg(0));
+    return EvalNextval(ctx.database, seq.AsString());
+  }
+  return Status::NotFound("unknown function " + name);
+}
+
+namespace {
+
+// Executes an uncorrelated subquery (scalar, EXISTS, or IN-list source).
+// Subqueries may reference host parameters but not outer-row columns.
+Result<ResultSet> RunSubquery(const Expr& e, const EvalContext& ctx) {
+  if (ctx.database == nullptr) {
+    return Status::ExecutionError("subquery requires a database context");
+  }
+  static const Params kNoParams;
+  const Params& params = ctx.params != nullptr ? *ctx.params : kNoParams;
+  return ctx.database->ExecuteSelect(*e.subquery, params);
+}
+
+}  // namespace
+
+}  // namespace
+
+Result<Value> EvaluateExpr(const Expr& e, const EvalContext& ctx) {
+  if (ctx.node_override) {
+    std::optional<Value> v = ctx.node_override(e);
+    if (v.has_value()) return *v;
+  }
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return e.literal;
+    case ExprKind::kStar:
+      return Status::ExecutionError("'*' is only valid inside COUNT(*)");
+    case ExprKind::kColumnRef: {
+      if (ctx.binding == nullptr) {
+        return Status::ExecutionError("column reference '" +
+                                      e.column_name +
+                                      "' outside a row context");
+      }
+      return ctx.binding->Resolve(e.table_qualifier, e.column_name);
+    }
+    case ExprKind::kParameter: {
+      if (ctx.params == nullptr) {
+        return Status::ExecutionError("statement has parameters but none "
+                                      "were bound");
+      }
+      if (!e.param_name.empty()) {
+        auto it = ctx.params->named.find(e.param_name);
+        if (it != ctx.params->named.end()) return it->second;
+      }
+      if (e.param_index >= 0 &&
+          static_cast<size_t>(e.param_index) <
+              ctx.params->positional.size()) {
+        return ctx.params->positional[static_cast<size_t>(e.param_index)];
+      }
+      return Status::NotFound(
+          "unbound parameter " +
+          (e.param_name.empty() ? "?" + std::to_string(e.param_index + 1)
+                                : ":" + e.param_name));
+    }
+    case ExprKind::kUnary: {
+      SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*e.children[0], ctx));
+      switch (e.unary_op) {
+        case UnaryOp::kNot: {
+          if (v.is_null()) return Value::Null();
+          SQLFLOW_ASSIGN_OR_RETURN(bool b, v.AsBoolean());
+          return Value::Boolean(!b);
+        }
+        case UnaryOp::kNegate: {
+          if (v.is_null()) return Value::Null();
+          if (v.type() == ValueType::kInteger) {
+            return Value::Integer(-v.integer());
+          }
+          SQLFLOW_ASSIGN_OR_RETURN(double d, v.AsDouble());
+          return Value::Double(-d);
+        }
+        case UnaryOp::kIsNull:
+          return Value::Boolean(v.is_null());
+        case UnaryOp::kIsNotNull:
+          return Value::Boolean(!v.is_null());
+      }
+      return Status::Internal("bad unary operator");
+    }
+    case ExprKind::kBinary:
+      return EvalBinary(e, ctx);
+    case ExprKind::kFunctionCall:
+      return EvalFunction(e, ctx);
+    case ExprKind::kInList: {
+      SQLFLOW_ASSIGN_OR_RETURN(Value probe,
+                               EvaluateExpr(*e.children[0], ctx));
+      if (probe.is_null()) return Value::Null();
+      // Collect candidate values: the literal list, or the first column
+      // of the IN (SELECT ...) subquery.
+      std::vector<Value> items;
+      if (e.subquery != nullptr) {
+        SQLFLOW_ASSIGN_OR_RETURN(ResultSet rs, RunSubquery(e, ctx));
+        if (rs.column_count() != 1) {
+          return Status::ExecutionError(
+              "IN subquery must return exactly one column");
+        }
+        items.reserve(rs.row_count());
+        for (const Row& row : rs.rows()) items.push_back(row[0]);
+      } else {
+        items.reserve(e.children.size() - 1);
+        for (size_t i = 1; i < e.children.size(); ++i) {
+          SQLFLOW_ASSIGN_OR_RETURN(Value item,
+                                   EvaluateExpr(*e.children[i], ctx));
+          items.push_back(std::move(item));
+        }
+      }
+      bool saw_null = false;
+      for (const Value& item : items) {
+        if (item.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (probe.Equals(item)) {
+          return Value::Boolean(!e.negated);
+        }
+      }
+      if (saw_null) return Value::Null();
+      return Value::Boolean(e.negated);
+    }
+    case ExprKind::kBetween: {
+      SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*e.children[0], ctx));
+      SQLFLOW_ASSIGN_OR_RETURN(Value lo, EvaluateExpr(*e.children[1], ctx));
+      SQLFLOW_ASSIGN_OR_RETURN(Value hi, EvaluateExpr(*e.children[2], ctx));
+      if (v.is_null() || lo.is_null() || hi.is_null()) {
+        return Value::Null();
+      }
+      bool in_range = v.Compare(lo) >= 0 && v.Compare(hi) <= 0;
+      return Value::Boolean(e.negated ? !in_range : in_range);
+    }
+    case ExprKind::kCase: {
+      for (size_t i = 0; i + 1 < e.children.size(); i += 2) {
+        SQLFLOW_ASSIGN_OR_RETURN(Value cond,
+                                 EvaluateExpr(*e.children[i], ctx));
+        if (IsTrue(cond)) {
+          return EvaluateExpr(*e.children[i + 1], ctx);
+        }
+      }
+      if (e.case_else != nullptr) {
+        return EvaluateExpr(*e.case_else, ctx);
+      }
+      return Value::Null();
+    }
+    case ExprKind::kSubquery: {
+      SQLFLOW_ASSIGN_OR_RETURN(ResultSet rs, RunSubquery(e, ctx));
+      if (rs.column_count() != 1) {
+        return Status::ExecutionError(
+            "scalar subquery must return exactly one column");
+      }
+      if (rs.row_count() == 0) return Value::Null();
+      if (rs.row_count() > 1) {
+        return Status::ExecutionError(
+            "scalar subquery returned more than one row");
+      }
+      return rs.rows()[0][0];
+    }
+    case ExprKind::kExists: {
+      SQLFLOW_ASSIGN_OR_RETURN(ResultSet rs, RunSubquery(e, ctx));
+      return Value::Boolean(rs.row_count() > 0);
+    }
+  }
+  return Status::Internal("bad expression kind");
+}
+
+}  // namespace sqlflow::sql

@@ -1,0 +1,74 @@
+#ifndef SQLFLOW_SQL_EVAL_H_
+#define SQLFLOW_SQL_EVAL_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/ast.h"
+
+namespace sqlflow::sql {
+
+class Database;
+
+/// Host-variable bindings for one statement execution. Named parameters
+/// (`:name`) resolve by name; positional (`?`) by order of appearance.
+/// A named parameter may also be satisfied positionally.
+struct Params {
+  std::map<std::string, Value> named;
+  std::vector<Value> positional;
+
+  static Params None() { return Params(); }
+
+  Params& Set(std::string name, Value v) {
+    named[std::move(name)] = std::move(v);
+    return *this;
+  }
+  Params& Add(Value v) {
+    positional.push_back(std::move(v));
+    return *this;
+  }
+};
+
+/// Resolves column references for the current row scope.
+class RowBinding {
+ public:
+  virtual ~RowBinding() = default;
+  /// `qualifier` may be empty (unqualified reference).
+  virtual Result<Value> Resolve(const std::string& qualifier,
+                                const std::string& column) const = 0;
+};
+
+/// Everything an expression needs at evaluation time. All pointers are
+/// optional; expressions touching a missing facility fail cleanly.
+struct EvalContext {
+  const RowBinding* binding = nullptr;
+  const Params* params = nullptr;
+  /// Lets the executor substitute precomputed values for specific nodes
+  /// (used for aggregate calls in grouped queries).
+  std::function<std::optional<Value>(const Expr&)> node_override;
+  /// For NEXTVAL('seq').
+  Database* database = nullptr;
+};
+
+/// Evaluates `e` under `ctx` with SQL three-valued-logic semantics:
+/// comparisons and arithmetic propagate NULL, AND/OR are Kleene, WHERE
+/// should treat a NULL result as not-true.
+Result<Value> EvaluateExpr(const Expr& e, const EvalContext& ctx);
+
+/// True iff `v` is TRUE (NULL and FALSE both fail a predicate).
+bool IsTrue(const Value& v);
+
+/// SQL LIKE with `%` and `_` wildcards.
+bool LikeMatch(const std::string& text, const std::string& pattern);
+
+/// NEXTVAL('seq') — defined in database.cc to avoid a circular include.
+Result<Value> EvalNextval(Database* db, const std::string& sequence_name);
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_EVAL_H_

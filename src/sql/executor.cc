@@ -1,0 +1,944 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/string_util.h"
+#include "sql/database.h"
+#include "sql/table.h"
+#include "sql/transaction.h"
+
+namespace sqlflow::sql {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Row scope over (possibly joined) tables
+// ---------------------------------------------------------------------------
+
+struct ScopeColumn {
+  std::string qualifier;  // table alias (or table name) the column came from
+  std::string name;
+};
+
+/// Resolves column references against one combined row of the FROM scope.
+class ScopeBinding : public RowBinding {
+ public:
+  ScopeBinding(const std::vector<ScopeColumn>* columns, const Row* row)
+      : columns_(columns), row_(row) {}
+
+  void set_row(const Row* row) { row_ = row; }
+
+  Result<Value> Resolve(const std::string& qualifier,
+                        const std::string& column) const override {
+    int found = -1;
+    for (size_t i = 0; i < columns_->size(); ++i) {
+      const ScopeColumn& sc = (*columns_)[i];
+      if (!qualifier.empty() &&
+          !EqualsIgnoreCase(sc.qualifier, qualifier)) {
+        continue;
+      }
+      if (!EqualsIgnoreCase(sc.name, column)) continue;
+      if (found >= 0) {
+        return Status::InvalidArgument("ambiguous column reference '" +
+                                       column + "'");
+      }
+      found = static_cast<int>(i);
+    }
+    if (found < 0) {
+      return Status::NotFound(
+          "no column '" +
+          (qualifier.empty() ? column : qualifier + "." + column) +
+          "' in scope");
+    }
+    return (*row_)[static_cast<size_t>(found)];
+  }
+
+ private:
+  const std::vector<ScopeColumn>* columns_;
+  const Row* row_;
+};
+
+struct FromScope {
+  std::vector<ScopeColumn> columns;
+  std::vector<Row> rows;
+};
+
+// Serializes a row to a collision-safe key (for GROUP BY and DISTINCT).
+std::string RowKey(const Row& row) {
+  std::string key;
+  for (const Value& v : row) {
+    key.push_back(static_cast<char>('0' + static_cast<int>(v.type())));
+    key += v.AsString();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+// Collects pointers to aggregate function-call nodes (not descending into
+// nested aggregates, which our dialect rejects anyway).
+void CollectAggregates(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kFunctionCall &&
+      IsAggregateFunctionName(e.function_name)) {
+    out->push_back(&e);
+    return;
+  }
+  for (const ExprPtr& child : e.children) {
+    CollectAggregates(*child, out);
+  }
+}
+
+/// Computes one aggregate over the rows of a group.
+Result<Value> ComputeAggregate(const Expr& agg,
+                               const std::vector<const Row*>& group,
+                               const std::vector<ScopeColumn>& columns,
+                               const Params& params, Database* db) {
+  const std::string& fn = agg.function_name;
+  bool star = !agg.children.empty() &&
+              agg.children[0]->kind == ExprKind::kStar;
+  if (fn == "COUNT" && star) {
+    return Value::Integer(static_cast<int64_t>(group.size()));
+  }
+  if (agg.children.empty()) {
+    return Status::InvalidArgument(fn + " requires an argument");
+  }
+
+  ScopeBinding binding(&columns, nullptr);
+  EvalContext ctx;
+  ctx.binding = &binding;
+  ctx.params = &params;
+  ctx.database = db;
+
+  int64_t count = 0;
+  std::set<std::string> distinct_seen;
+  bool have = false;
+  Value acc;           // MIN/MAX accumulator
+  int64_t sum_i = 0;   // integer SUM
+  double sum_d = 0.0;  // double SUM
+  bool all_int = true;
+
+  for (const Row* row : group) {
+    binding.set_row(row);
+    SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*agg.children[0], ctx));
+    if (v.is_null()) continue;
+    if (agg.distinct_arg) {
+      std::string key = RowKey({v});
+      if (!distinct_seen.insert(key).second) continue;
+    }
+    ++count;
+    if (fn == "MIN" || fn == "MAX") {
+      if (!have || (fn == "MIN" ? v.Compare(acc) < 0 : v.Compare(acc) > 0)) {
+        acc = v;
+        have = true;
+      }
+    } else if (fn == "SUM" || fn == "AVG") {
+      if (v.type() == ValueType::kInteger) {
+        sum_i += v.integer();
+        sum_d += static_cast<double>(v.integer());
+      } else {
+        SQLFLOW_ASSIGN_OR_RETURN(double d, v.AsDouble());
+        sum_d += d;
+        all_int = false;
+      }
+    }
+  }
+
+  if (fn == "COUNT") return Value::Integer(count);
+  if (count == 0) return Value::Null();  // SQL: aggregates over ∅ are NULL
+  if (fn == "MIN" || fn == "MAX") return acc;
+  if (fn == "SUM") {
+    return all_int ? Value::Integer(sum_i) : Value::Double(sum_d);
+  }
+  if (fn == "AVG") {
+    return Value::Double(sum_d / static_cast<double>(count));
+  }
+  return Status::Internal("bad aggregate " + fn);
+}
+
+// Output-column name for a select item without an alias.
+std::string DeriveColumnName(const Expr& e, size_t ordinal) {
+  if (e.kind == ExprKind::kColumnRef) return e.column_name;
+  if (e.kind == ExprKind::kFunctionCall) return e.function_name;
+  return "col" + std::to_string(ordinal + 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+Result<ResultSet> Executor::ExecuteSelect(const SelectStatement& sel,
+                                          const Params& params) {
+  SQLFLOW_ASSIGN_OR_RETURN(ResultSet left, ExecuteSelectCore(sel, params));
+  if (sel.union_next == nullptr) return left;
+  SQLFLOW_ASSIGN_OR_RETURN(ResultSet right,
+                           ExecuteSelect(*sel.union_next, params));
+  if (left.column_count() != right.column_count()) {
+    return Status::ExecutionError(
+        "UNION branches produce different column counts (" +
+        std::to_string(left.column_count()) + " vs " +
+        std::to_string(right.column_count()) + ")");
+  }
+  // Column names come from the first branch, SQL-style.
+  ResultSet combined(left.column_names());
+  std::set<std::string> seen;
+  auto add = [&](const Row& row) {
+    if (!sel.union_all && !seen.insert(RowKey(row)).second) return;
+    combined.AddRow(row);
+  };
+  for (const Row& row : left.rows()) add(row);
+  for (const Row& row : right.rows()) add(row);
+  return combined;
+}
+
+Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
+                                              const Params& params) {
+  // 1. Build the FROM scope (nested-loop joins in declaration order).
+  // Each reference resolves to either a base table or a view (whose
+  // defining SELECT is executed inline).
+  FromScope scope;
+  bool first_ref = true;
+  for (const TableRef& ref : sel.from) {
+    const std::string& qual =
+        ref.alias.empty() ? ref.table_name : ref.alias;
+    std::vector<ScopeColumn> right_cols;
+    std::vector<Row> right_rows;
+    if (ref.derived != nullptr) {
+      SQLFLOW_ASSIGN_OR_RETURN(ResultSet derived,
+                               ExecuteSelect(*ref.derived, params));
+      for (const std::string& name : derived.column_names()) {
+        right_cols.push_back({qual, name});
+      }
+      right_rows = std::move(derived.mutable_rows());
+    } else if (Table* table = db_->catalog().FindTable(ref.table_name)) {
+      for (const ColumnDef& col : table->schema().columns()) {
+        right_cols.push_back({qual, col.name});
+      }
+      right_rows = table->rows();
+    } else if (const SelectStatement* view =
+                   db_->catalog().FindView(ref.table_name)) {
+      int* depth = db_->MutableViewDepth();
+      if (++*depth > kMaxViewDepth) {
+        --*depth;
+        return Status::ExecutionError(
+            "view expansion too deep (cyclic view definition?)");
+      }
+      auto view_result = ExecuteSelect(*view, params);
+      --*depth;
+      if (!view_result.ok()) return view_result.status();
+      for (const std::string& name : view_result->column_names()) {
+        right_cols.push_back({qual, name});
+      }
+      right_rows = std::move(view_result->mutable_rows());
+    } else {
+      return Status::NotFound("no table or view '" + ref.table_name +
+                              "'");
+    }
+    db_->MutableStats()->rows_read += right_rows.size();
+    if (first_ref) {
+      scope.columns = right_cols;
+      scope.rows = std::move(right_rows);
+      first_ref = false;
+      continue;
+    }
+    std::vector<ScopeColumn> combined_cols = scope.columns;
+    combined_cols.insert(combined_cols.end(), right_cols.begin(),
+                         right_cols.end());
+    std::vector<Row> combined_rows;
+    Row probe;
+    ScopeBinding binding(&combined_cols, &probe);
+    EvalContext ctx;
+    ctx.binding = &binding;
+    ctx.params = &params;
+    ctx.database = db_;
+    for (const Row& left : scope.rows) {
+      bool matched = false;
+      for (const Row& right : right_rows) {
+        probe = left;
+        probe.insert(probe.end(), right.begin(), right.end());
+        bool keep = true;
+        if (ref.join_condition != nullptr) {
+          SQLFLOW_ASSIGN_OR_RETURN(Value cond,
+                                   EvaluateExpr(*ref.join_condition, ctx));
+          keep = IsTrue(cond);
+        }
+        if (keep) {
+          matched = true;
+          combined_rows.push_back(probe);
+        }
+      }
+      if (!matched && ref.join_type == JoinType::kLeftOuter) {
+        Row padded = left;
+        padded.resize(combined_cols.size(), Value::Null());
+        combined_rows.push_back(std::move(padded));
+      }
+    }
+    scope.columns = std::move(combined_cols);
+    scope.rows = std::move(combined_rows);
+  }
+
+  // SELECT without FROM: single empty row scope.
+  if (sel.from.empty()) {
+    scope.rows.push_back(Row{});
+  }
+
+  // 2. WHERE.
+  if (sel.where != nullptr) {
+    std::vector<Row> kept;
+    Row current;
+    ScopeBinding binding(&scope.columns, &current);
+    EvalContext ctx;
+    ctx.binding = &binding;
+    ctx.params = &params;
+    ctx.database = db_;
+    for (Row& row : scope.rows) {
+      current = std::move(row);
+      SQLFLOW_ASSIGN_OR_RETURN(Value cond, EvaluateExpr(*sel.where, ctx));
+      if (IsTrue(cond)) kept.push_back(std::move(current));
+    }
+    scope.rows = std::move(kept);
+  }
+
+  // 3. Expand stars & name output columns.
+  struct OutputItem {
+    const Expr* expr = nullptr;   // null ⇒ direct scope column passthrough
+    size_t scope_index = 0;
+    std::string name;
+  };
+  std::vector<OutputItem> outputs;
+  for (const SelectItem& item : sel.items) {
+    if (item.star) {
+      for (size_t i = 0; i < scope.columns.size(); ++i) {
+        if (!item.star_qualifier.empty() &&
+            !EqualsIgnoreCase(scope.columns[i].qualifier,
+                              item.star_qualifier)) {
+          continue;
+        }
+        OutputItem out;
+        out.scope_index = i;
+        out.name = scope.columns[i].name;
+        outputs.push_back(std::move(out));
+      }
+      continue;
+    }
+    OutputItem out;
+    out.expr = item.expr.get();
+    out.name = !item.alias.empty()
+                   ? item.alias
+                   : DeriveColumnName(*item.expr, outputs.size());
+    outputs.push_back(std::move(out));
+  }
+
+  // 4. Detect grouped execution.
+  bool has_aggregates = false;
+  for (const OutputItem& out : outputs) {
+    if (out.expr != nullptr && ContainsAggregate(*out.expr)) {
+      has_aggregates = true;
+    }
+  }
+  if (sel.having != nullptr && ContainsAggregate(*sel.having)) {
+    has_aggregates = true;
+  }
+  bool grouped = !sel.group_by.empty() || has_aggregates;
+
+  std::vector<std::string> out_names;
+  out_names.reserve(outputs.size());
+  for (const OutputItem& out : outputs) out_names.push_back(out.name);
+  ResultSet result(out_names);
+
+  // Sort keys computed during projection (ORDER BY may reference either
+  // output columns or scope expressions).
+  struct SortableRow {
+    Row output;
+    std::vector<Value> sort_keys;
+  };
+  std::vector<SortableRow> produced;
+
+  // Maps each ORDER BY item to an output ordinal if it is a plain
+  // reference to an output column (alias/name) or an integer ordinal;
+  // otherwise -1 ⇒ evaluate in scope.
+  std::vector<int> order_output_index(sel.order_by.size(), -1);
+  for (size_t i = 0; i < sel.order_by.size(); ++i) {
+    const Expr& e = *sel.order_by[i].expr;
+    if (e.kind == ExprKind::kLiteral &&
+        e.literal.type() == ValueType::kInteger) {
+      int64_t ordinal = e.literal.integer();
+      if (ordinal < 1 || ordinal > static_cast<int64_t>(outputs.size())) {
+        return Status::InvalidArgument("ORDER BY ordinal out of range");
+      }
+      order_output_index[i] = static_cast<int>(ordinal - 1);
+      continue;
+    }
+    if (e.kind == ExprKind::kColumnRef && e.table_qualifier.empty()) {
+      for (size_t j = 0; j < outputs.size(); ++j) {
+        if (EqualsIgnoreCase(outputs[j].name, e.column_name)) {
+          order_output_index[i] = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+  }
+
+  if (grouped) {
+    // Collect aggregate nodes from every expression that needs them.
+    std::vector<const Expr*> agg_nodes;
+    for (const OutputItem& out : outputs) {
+      if (out.expr != nullptr) CollectAggregates(*out.expr, &agg_nodes);
+    }
+    if (sel.having != nullptr) CollectAggregates(*sel.having, &agg_nodes);
+    for (const OrderByItem& ob : sel.order_by) {
+      CollectAggregates(*ob.expr, &agg_nodes);
+    }
+
+    // Partition rows into groups.
+    std::map<std::string, std::vector<const Row*>> groups;
+    std::vector<std::string> group_order;  // first-seen order
+    if (sel.group_by.empty()) {
+      // Implicit single group over all rows (possibly empty).
+      groups[""] = {};
+      group_order.push_back("");
+      for (const Row& row : scope.rows) groups[""].push_back(&row);
+    } else {
+      Row current;
+      ScopeBinding binding(&scope.columns, &current);
+      EvalContext ctx;
+      ctx.binding = &binding;
+      ctx.params = &params;
+      ctx.database = db_;
+      for (const Row& row : scope.rows) {
+        current = row;
+        Row key_values;
+        for (const ExprPtr& g : sel.group_by) {
+          SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*g, ctx));
+          key_values.push_back(std::move(v));
+        }
+        std::string key = RowKey(key_values);
+        auto [it, inserted] = groups.try_emplace(key);
+        if (inserted) group_order.push_back(key);
+        it->second.push_back(&row);
+      }
+    }
+
+    for (const std::string& key : group_order) {
+      const std::vector<const Row*>& group = groups[key];
+      // Representative row for evaluating group-by expressions in the
+      // select list. Empty implicit group has no representative; column
+      // references would be invalid SQL there anyway.
+      Row rep = group.empty() ? Row{} : *group[0];
+
+      std::map<const Expr*, Value> agg_values;
+      for (const Expr* agg : agg_nodes) {
+        SQLFLOW_ASSIGN_OR_RETURN(
+            Value v,
+            ComputeAggregate(*agg, group, scope.columns, params, db_));
+        agg_values[agg] = std::move(v);
+      }
+
+      ScopeBinding binding(&scope.columns, &rep);
+      EvalContext ctx;
+      ctx.binding = group.empty() ? nullptr : &binding;
+      ctx.params = &params;
+      ctx.database = db_;
+      ctx.node_override =
+          [&agg_values](const Expr& e) -> std::optional<Value> {
+        auto it = agg_values.find(&e);
+        if (it == agg_values.end()) return std::nullopt;
+        return it->second;
+      };
+
+      if (sel.having != nullptr) {
+        SQLFLOW_ASSIGN_OR_RETURN(Value cond,
+                                 EvaluateExpr(*sel.having, ctx));
+        if (!IsTrue(cond)) continue;
+      }
+
+      SortableRow out_row;
+      for (const OutputItem& out : outputs) {
+        if (out.expr == nullptr) {
+          if (group.empty()) {
+            return Status::ExecutionError(
+                "cannot select columns from an empty group");
+          }
+          out_row.output.push_back(rep[out.scope_index]);
+        } else {
+          SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*out.expr, ctx));
+          out_row.output.push_back(std::move(v));
+        }
+      }
+      for (size_t i = 0; i < sel.order_by.size(); ++i) {
+        if (order_output_index[i] >= 0) {
+          out_row.sort_keys.push_back(
+              out_row.output[static_cast<size_t>(order_output_index[i])]);
+        } else {
+          SQLFLOW_ASSIGN_OR_RETURN(
+              Value v, EvaluateExpr(*sel.order_by[i].expr, ctx));
+          out_row.sort_keys.push_back(std::move(v));
+        }
+      }
+      produced.push_back(std::move(out_row));
+    }
+  } else {
+    Row current;
+    ScopeBinding binding(&scope.columns, &current);
+    EvalContext ctx;
+    ctx.binding = &binding;
+    ctx.params = &params;
+    ctx.database = db_;
+    for (Row& row : scope.rows) {
+      current = std::move(row);
+      SortableRow out_row;
+      for (const OutputItem& out : outputs) {
+        if (out.expr == nullptr) {
+          out_row.output.push_back(current[out.scope_index]);
+        } else {
+          SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*out.expr, ctx));
+          out_row.output.push_back(std::move(v));
+        }
+      }
+      for (size_t i = 0; i < sel.order_by.size(); ++i) {
+        if (order_output_index[i] >= 0) {
+          out_row.sort_keys.push_back(
+              out_row.output[static_cast<size_t>(order_output_index[i])]);
+        } else {
+          SQLFLOW_ASSIGN_OR_RETURN(
+              Value v, EvaluateExpr(*sel.order_by[i].expr, ctx));
+          out_row.sort_keys.push_back(std::move(v));
+        }
+      }
+      produced.push_back(std::move(out_row));
+    }
+  }
+
+  // 5. DISTINCT.
+  if (sel.distinct) {
+    std::set<std::string> seen;
+    std::vector<SortableRow> unique;
+    for (SortableRow& row : produced) {
+      if (seen.insert(RowKey(row.output)).second) {
+        unique.push_back(std::move(row));
+      }
+    }
+    produced = std::move(unique);
+  }
+
+  // 6. ORDER BY (stable, so equal keys keep input order).
+  if (!sel.order_by.empty()) {
+    std::stable_sort(
+        produced.begin(), produced.end(),
+        [&sel](const SortableRow& a, const SortableRow& b) {
+          for (size_t i = 0; i < sel.order_by.size(); ++i) {
+            int cmp = a.sort_keys[i].Compare(b.sort_keys[i]);
+            if (cmp != 0) {
+              return sel.order_by[i].descending ? cmp > 0 : cmp < 0;
+            }
+          }
+          return false;
+        });
+  }
+
+  // 7. OFFSET / LIMIT.
+  size_t begin = 0;
+  size_t end = produced.size();
+  if (sel.offset.has_value()) {
+    begin = std::min<size_t>(static_cast<size_t>(*sel.offset), end);
+  }
+  if (sel.limit.has_value()) {
+    end = std::min<size_t>(begin + static_cast<size_t>(*sel.limit), end);
+  }
+  for (size_t i = begin; i < end; ++i) {
+    result.AddRow(std::move(produced[i].output));
+  }
+  db_->MutableStats()->bytes_materialized += result.ApproxByteSize();
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+Result<ResultSet> Executor::ExecuteInsert(const InsertStatement& ins,
+                                          const Params& params) {
+  SQLFLOW_ASSIGN_OR_RETURN(Table * table,
+                           db_->catalog().GetTable(ins.table_name));
+  const TableSchema& schema = table->schema();
+
+  // Map the statement's column list onto schema positions.
+  std::vector<int> target(schema.column_count(), -1);
+  if (ins.columns.empty()) {
+    for (size_t i = 0; i < schema.column_count(); ++i) {
+      target[i] = static_cast<int>(i);
+    }
+  } else {
+    for (size_t i = 0; i < ins.columns.size(); ++i) {
+      int idx = schema.FindColumn(ins.columns[i]);
+      if (idx < 0) {
+        return Status::NotFound("no column '" + ins.columns[i] +
+                                "' in table '" + ins.table_name + "'");
+      }
+      target[static_cast<size_t>(idx)] = static_cast<int>(i);
+    }
+  }
+
+  auto build_row = [&](const Row& source,
+                       size_t source_width) -> Result<Row> {
+    if (ins.columns.empty()) {
+      if (source_width != schema.column_count()) {
+        return Status::InvalidArgument(
+            "INSERT supplies " + std::to_string(source_width) +
+            " values for " + std::to_string(schema.column_count()) +
+            " columns");
+      }
+    } else if (source_width != ins.columns.size()) {
+      return Status::InvalidArgument("INSERT value count mismatch");
+    }
+    Row row(schema.column_count(), Value::Null());
+    for (size_t i = 0; i < schema.column_count(); ++i) {
+      if (target[i] >= 0) {
+        row[i] = source[static_cast<size_t>(target[i])];
+      } else if (schema.columns()[i].default_value.has_value()) {
+        row[i] = *schema.columns()[i].default_value;
+      }
+    }
+    return row;
+  };
+
+  int64_t inserted = 0;
+  if (ins.select != nullptr) {
+    SQLFLOW_ASSIGN_OR_RETURN(ResultSet source,
+                             ExecuteSelect(*ins.select, params));
+    for (const Row& src : source.rows()) {
+      SQLFLOW_ASSIGN_OR_RETURN(Row row, build_row(src, src.size()));
+      SQLFLOW_RETURN_IF_ERROR(table->Insert(row, db_->active_undo()));
+      ++inserted;
+    }
+  } else {
+    EvalContext ctx;
+    ctx.params = &params;
+    ctx.database = db_;
+    for (const std::vector<ExprPtr>& value_row : ins.rows) {
+      Row values;
+      for (const ExprPtr& e : value_row) {
+        SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*e, ctx));
+        values.push_back(std::move(v));
+      }
+      SQLFLOW_ASSIGN_OR_RETURN(Row row, build_row(values, values.size()));
+      SQLFLOW_RETURN_IF_ERROR(table->Insert(row, db_->active_undo()));
+      ++inserted;
+    }
+  }
+  db_->MutableStats()->rows_written += static_cast<uint64_t>(inserted);
+  ResultSet rs;
+  rs.set_affected_rows(inserted);
+  return rs;
+}
+
+Result<ResultSet> Executor::ExecuteUpdate(const UpdateStatement& upd,
+                                          const Params& params) {
+  SQLFLOW_ASSIGN_OR_RETURN(Table * table,
+                           db_->catalog().GetTable(upd.table_name));
+  const TableSchema& schema = table->schema();
+
+  std::vector<std::pair<size_t, const Expr*>> assignments;
+  for (const auto& [col, expr] : upd.assignments) {
+    int idx = schema.FindColumn(col);
+    if (idx < 0) {
+      return Status::NotFound("no column '" + col + "' in table '" +
+                              upd.table_name + "'");
+    }
+    assignments.emplace_back(static_cast<size_t>(idx), expr.get());
+  }
+
+  std::vector<ScopeColumn> columns;
+  for (const ColumnDef& col : schema.columns()) {
+    columns.push_back({upd.table_name, col.name});
+  }
+  Row current;
+  ScopeBinding binding(&columns, &current);
+  EvalContext ctx;
+  ctx.binding = &binding;
+  ctx.params = &params;
+  ctx.database = db_;
+
+  // Two passes: find matching indexes, then apply (stable positions).
+  std::vector<size_t> matches;
+  for (size_t i = 0; i < table->row_count(); ++i) {
+    current = table->rows()[i];
+    if (upd.where != nullptr) {
+      SQLFLOW_ASSIGN_OR_RETURN(Value cond, EvaluateExpr(*upd.where, ctx));
+      if (!IsTrue(cond)) continue;
+    }
+    matches.push_back(i);
+  }
+  db_->MutableStats()->rows_read += table->row_count();
+
+  for (size_t idx : matches) {
+    current = table->rows()[idx];
+    Row updated = current;
+    for (const auto& [col_idx, expr] : assignments) {
+      SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, ctx));
+      updated[col_idx] = std::move(v);
+    }
+    SQLFLOW_RETURN_IF_ERROR(
+        table->Update(idx, updated, db_->active_undo()));
+  }
+  db_->MutableStats()->rows_written += matches.size();
+  ResultSet rs;
+  rs.set_affected_rows(static_cast<int64_t>(matches.size()));
+  return rs;
+}
+
+Result<ResultSet> Executor::ExecuteDelete(const DeleteStatement& del,
+                                          const Params& params) {
+  SQLFLOW_ASSIGN_OR_RETURN(Table * table,
+                           db_->catalog().GetTable(del.table_name));
+  std::vector<ScopeColumn> columns;
+  for (const ColumnDef& col : table->schema().columns()) {
+    columns.push_back({del.table_name, col.name});
+  }
+  Row current;
+  ScopeBinding binding(&columns, &current);
+  EvalContext ctx;
+  ctx.binding = &binding;
+  ctx.params = &params;
+  ctx.database = db_;
+
+  std::vector<size_t> matches;
+  for (size_t i = 0; i < table->row_count(); ++i) {
+    current = table->rows()[i];
+    if (del.where != nullptr) {
+      SQLFLOW_ASSIGN_OR_RETURN(Value cond, EvaluateExpr(*del.where, ctx));
+      if (!IsTrue(cond)) continue;
+    }
+    matches.push_back(i);
+  }
+  db_->MutableStats()->rows_read += table->row_count();
+
+  // Delete back-to-front so earlier indexes stay valid.
+  for (auto it = matches.rbegin(); it != matches.rend(); ++it) {
+    SQLFLOW_RETURN_IF_ERROR(table->Delete(*it, db_->active_undo()));
+  }
+  db_->MutableStats()->rows_written += matches.size();
+  ResultSet rs;
+  rs.set_affected_rows(static_cast<int64_t>(matches.size()));
+  return rs;
+}
+
+Result<ResultSet> Executor::ExecuteCall(const CallStatement& call,
+                                        const Params& params) {
+  EvalContext ctx;
+  ctx.params = &params;
+  ctx.database = db_;
+  std::vector<Value> args;
+  for (const ExprPtr& e : call.arguments) {
+    SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*e, ctx));
+    args.push_back(std::move(v));
+  }
+  return db_->CallProcedure(call.procedure_name, args);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------------
+
+Result<ResultSet> Executor::Execute(const Statement& stmt,
+                                    const Params& params) {
+  db_->MutableStats()->statements_executed++;
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      return ExecuteSelect(*stmt.select, params);
+    case StatementKind::kInsert:
+      return ExecuteInsert(*stmt.insert, params);
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(*stmt.update, params);
+    case StatementKind::kDelete:
+      return ExecuteDelete(*stmt.del, params);
+    case StatementKind::kCall:
+      return ExecuteCall(*stmt.call, params);
+
+    case StatementKind::kCreateTable: {
+      const CreateTableStatement& ct = *stmt.create_table;
+      if (ct.if_not_exists &&
+          db_->catalog().FindTable(ct.table_name) != nullptr) {
+        return ResultSet();
+      }
+      std::vector<ColumnDef> columns;
+      for (const ColumnDefAst& ast_col : ct.columns) {
+        ColumnDef col;
+        col.name = ast_col.name;
+        col.type = ast_col.type;
+        col.not_null = ast_col.not_null;
+        col.primary_key = ast_col.primary_key;
+        if (ast_col.default_value != nullptr) {
+          // Defaults are constants, evaluated once at definition time.
+          EvalContext ctx;
+          ctx.params = &params;
+          ctx.database = db_;
+          SQLFLOW_ASSIGN_OR_RETURN(
+              Value v, EvaluateExpr(*ast_col.default_value, ctx));
+          col.default_value = std::move(v);
+        }
+        columns.push_back(std::move(col));
+      }
+      TableSchema schema(ct.table_name, std::move(columns));
+      for (const ExprPtr& check : ct.checks) {
+        schema.AddCheckConstraint(check->ToString());
+      }
+      SQLFLOW_RETURN_IF_ERROR(
+          db_->catalog().CreateTable(std::move(schema)));
+      if (db_->active_undo() != nullptr) {
+        UndoEntry e;
+        e.kind = UndoEntry::Kind::kCreateTable;
+        e.table_name = ct.table_name;
+        db_->active_undo()->Record(std::move(e));
+      }
+      return ResultSet();
+    }
+
+    case StatementKind::kDropTable: {
+      const DropTableStatement& dt = *stmt.drop_table;
+      Table* table = db_->catalog().FindTable(dt.table_name);
+      if (table == nullptr) {
+        if (dt.if_exists) return ResultSet();
+        return Status::NotFound("no table '" + dt.table_name + "'");
+      }
+      if (db_->active_undo() != nullptr) {
+        UndoEntry e;
+        e.kind = UndoEntry::Kind::kDropTable;
+        e.table_name = dt.table_name;
+        e.saved_schema = table->schema();
+        e.saved_rows = table->rows();
+        for (const UniqueConstraint& uc : table->unique_constraints()) {
+          std::vector<std::string> cols;
+          for (size_t idx : uc.column_indexes) {
+            cols.push_back(table->schema().columns()[idx].name);
+          }
+          e.saved_constraints.emplace_back(uc.name, std::move(cols));
+        }
+        db_->active_undo()->Record(std::move(e));
+      }
+      return db_->catalog().DropTable(dt.table_name).ok()
+                 ? Result<ResultSet>(ResultSet())
+                 : Result<ResultSet>(
+                       Status::Internal("drop failed after lookup"));
+    }
+
+    case StatementKind::kTruncate: {
+      SQLFLOW_ASSIGN_OR_RETURN(
+          Table * table, db_->catalog().GetTable(stmt.truncate->table_name));
+      int64_t removed = static_cast<int64_t>(table->row_count());
+      table->Clear(db_->active_undo());
+      ResultSet rs;
+      rs.set_affected_rows(removed);
+      return rs;
+    }
+
+    case StatementKind::kCreateIndex: {
+      const CreateIndexStatement& ci = *stmt.create_index;
+      SQLFLOW_ASSIGN_OR_RETURN(Table * table,
+                               db_->catalog().GetTable(ci.table_name));
+      if (ci.unique) {
+        SQLFLOW_RETURN_IF_ERROR(
+            table->AddUniqueConstraint(ci.index_name, ci.columns));
+      }
+      IndexInfo info;
+      info.name = ci.index_name;
+      info.table_name = ci.table_name;
+      info.columns = ci.columns;
+      info.unique = ci.unique;
+      Status st = db_->catalog().CreateIndex(info);
+      if (!st.ok()) {
+        if (ci.unique) {
+          (void)table->DropUniqueConstraint(ci.index_name);
+        }
+        return st;
+      }
+      if (db_->active_undo() != nullptr) {
+        UndoEntry e;
+        e.kind = UndoEntry::Kind::kCreateIndex;
+        e.table_name = ci.index_name;
+        e.index_table = ci.table_name;
+        db_->active_undo()->Record(std::move(e));
+      }
+      return ResultSet();
+    }
+
+    case StatementKind::kCreateView: {
+      CreateViewStatement& cv = *stmt.create_view;
+      SQLFLOW_RETURN_IF_ERROR(db_->catalog().CreateView(
+          cv.view_name, CloneSelect(*cv.select)));
+      if (db_->active_undo() != nullptr) {
+        UndoEntry e;
+        e.kind = UndoEntry::Kind::kCreateView;
+        e.table_name = cv.view_name;
+        db_->active_undo()->Record(std::move(e));
+      }
+      return ResultSet();
+    }
+
+    case StatementKind::kDropView: {
+      const DropViewStatement& dv = *stmt.drop_view;
+      if (db_->catalog().FindView(dv.view_name) == nullptr) {
+        if (dv.if_exists) return ResultSet();
+        return Status::NotFound("no view '" + dv.view_name + "'");
+      }
+      std::unique_ptr<SelectStatement> saved =
+          db_->catalog().TakeView(dv.view_name);
+      if (db_->active_undo() != nullptr) {
+        UndoEntry e;
+        e.kind = UndoEntry::Kind::kDropView;
+        e.table_name = dv.view_name;
+        e.saved_view = std::move(saved);
+        db_->active_undo()->Record(std::move(e));
+      }
+      return ResultSet();
+    }
+
+    case StatementKind::kCreateSequence: {
+      const CreateSequenceStatement& cs = *stmt.create_sequence;
+      SQLFLOW_RETURN_IF_ERROR(
+          db_->catalog().CreateSequence(cs.sequence_name, cs.start_with));
+      if (db_->active_undo() != nullptr) {
+        UndoEntry e;
+        e.kind = UndoEntry::Kind::kCreateSequence;
+        e.table_name = cs.sequence_name;
+        db_->active_undo()->Record(std::move(e));
+      }
+      return ResultSet();
+    }
+
+    case StatementKind::kDropSequence: {
+      const DropSequenceStatement& ds = *stmt.drop_sequence;
+      Sequence* seq = db_->catalog().FindSequence(ds.sequence_name);
+      if (seq == nullptr) {
+        if (ds.if_exists) return ResultSet();
+        return Status::NotFound("no sequence '" + ds.sequence_name + "'");
+      }
+      if (db_->active_undo() != nullptr) {
+        UndoEntry e;
+        e.kind = UndoEntry::Kind::kDropSequence;
+        e.table_name = ds.sequence_name;
+        e.sequence_value = seq->next_value;
+        db_->active_undo()->Record(std::move(e));
+      }
+      SQLFLOW_RETURN_IF_ERROR(
+          db_->catalog().DropSequence(ds.sequence_name));
+      return ResultSet();
+    }
+
+    case StatementKind::kBegin:
+      SQLFLOW_RETURN_IF_ERROR(db_->Begin());
+      return ResultSet();
+    case StatementKind::kCommit:
+      SQLFLOW_RETURN_IF_ERROR(db_->Commit());
+      return ResultSet();
+    case StatementKind::kRollback:
+      SQLFLOW_RETURN_IF_ERROR(db_->Rollback());
+      return ResultSet();
+  }
+  return Status::Internal("bad statement kind");
+}
+
+}  // namespace sqlflow::sql

@@ -1,0 +1,46 @@
+#ifndef SQLFLOW_SQL_EXECUTOR_H_
+#define SQLFLOW_SQL_EXECUTOR_H_
+
+#include "common/status.h"
+#include "sql/ast.h"
+#include "sql/eval.h"
+#include "sql/result_set.h"
+
+namespace sqlflow::sql {
+
+class Database;
+
+/// Statement interpreter. Stateless apart from the owning database; one
+/// executor per database, invoked through Database::Execute.
+class Executor {
+ public:
+  explicit Executor(Database* db) : db_(db) {}
+
+  Result<ResultSet> Execute(const Statement& stmt, const Params& params);
+
+  /// Runs a SELECT (including any UNION chain); public so subquery
+  /// evaluation can reuse it without re-wrapping into a Statement.
+  Result<ResultSet> ExecuteSelect(const SelectStatement& sel,
+                                  const Params& params);
+
+ private:
+  /// One SELECT body, ignoring `union_next`.
+  Result<ResultSet> ExecuteSelectCore(const SelectStatement& sel,
+                                      const Params& params);
+  Result<ResultSet> ExecuteInsert(const InsertStatement& ins,
+                                  const Params& params);
+  Result<ResultSet> ExecuteUpdate(const UpdateStatement& upd,
+                                  const Params& params);
+  Result<ResultSet> ExecuteDelete(const DeleteStatement& del,
+                                  const Params& params);
+  Result<ResultSet> ExecuteCall(const CallStatement& call,
+                                const Params& params);
+
+  static constexpr int kMaxViewDepth = 16;
+
+  Database* db_;
+};
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_EXECUTOR_H_

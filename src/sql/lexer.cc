@@ -1,0 +1,351 @@
+#include "sql/lexer.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace sqlflow::sql {
+
+namespace {
+
+// The dialect's reserved words. Words not listed here lex as identifiers
+// even if they look keyword-ish, so column names like `status` stay usable.
+constexpr std::array<const char*, 68> kKeywords = {
+    "SELECT", "FROM",     "WHERE",    "GROUP",    "BY",       "HAVING",
+    "ORDER",  "ASC",      "DESC",     "LIMIT",    "OFFSET",   "AS",
+    "AND",    "OR",       "NOT",      "NULL",     "TRUE",     "FALSE",
+    "INSERT", "INTO",     "VALUES",   "UPDATE",   "SET",      "DELETE",
+    "CREATE", "DROP",     "TABLE",    "INDEX",    "SEQUENCE", "PROCEDURE",
+    "CALL",   "BEGIN",    "COMMIT",   "ROLLBACK", "DISTINCT", "INNER",
+    "LEFT",   "OUTER",    "JOIN",     "ON",       "IS",       "IN",
+    "LIKE",   "BETWEEN",  "EXISTS",   "IF",       "PRIMARY",  "KEY",
+    "UNIQUE", "INTEGER",  "INT",      "BIGINT",   "DOUBLE",   "FLOAT",
+    "VARCHAR", "BOOLEAN", "TRANSACTION", "TRUNCATE", "CASE",  "WHEN",
+    "THEN",   "ELSE",     "END",      "UNION",    "ALL",      "VIEW",
+    "CHECK",  "DEFAULT",
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+const char* TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kEnd:
+      return "end of input";
+    case TokenType::kIdentifier:
+      return "identifier";
+    case TokenType::kKeyword:
+      return "keyword";
+    case TokenType::kIntegerLiteral:
+      return "integer literal";
+    case TokenType::kDoubleLiteral:
+      return "double literal";
+    case TokenType::kStringLiteral:
+      return "string literal";
+    case TokenType::kNamedParameter:
+      return "named parameter";
+    case TokenType::kPositionalParameter:
+      return "positional parameter";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kDot:
+      return "'.'";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kSemicolon:
+      return "';'";
+    case TokenType::kStar:
+      return "'*'";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kSlash:
+      return "'/'";
+    case TokenType::kPercent:
+      return "'%'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNotEq:
+      return "'<>'";
+    case TokenType::kLt:
+      return "'<'";
+    case TokenType::kLtEq:
+      return "'<='";
+    case TokenType::kGt:
+      return "'>'";
+    case TokenType::kGtEq:
+      return "'>='";
+    case TokenType::kConcat:
+      return "'||'";
+  }
+  return "token";
+}
+
+bool IsReservedKeyword(std::string_view upper_word) {
+  for (const char* kw : kKeywords) {
+    if (upper_word == kw) return true;
+  }
+  return false;
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&](TokenType type, size_t pos) {
+    Token t;
+    t.type = type;
+    t.position = pos;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      std::string word(input.substr(start, i - start));
+      std::string upper = ToUpperAscii(word);
+      Token t;
+      t.position = start;
+      if (IsReservedKeyword(upper)) {
+        t.type = TokenType::kKeyword;
+        t.text = std::move(upper);
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = std::move(word);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+        ++i;
+      }
+      if (i < n && input[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n &&
+               std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t j = i + 1;
+        if (j < n && (input[j] == '+' || input[j] == '-')) ++j;
+        if (j < n && std::isdigit(static_cast<unsigned char>(input[j]))) {
+          is_double = true;
+          i = j;
+          while (i < n &&
+                 std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        }
+      }
+      std::string num(input.substr(start, i - start));
+      Token t;
+      t.position = start;
+      if (is_double) {
+        t.type = TokenType::kDoubleLiteral;
+        t.dbl = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kIntegerLiteral;
+        t.integer = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string payload;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            payload += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        payload += input[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::SyntaxError("unterminated string literal at offset " +
+                                   std::to_string(start));
+      }
+      Token t;
+      t.type = TokenType::kStringLiteral;
+      t.text = std::move(payload);
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {  // quoted identifier
+      ++i;
+      std::string name;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        name += input[i];
+        ++i;
+      }
+      if (!closed) {
+        return Status::SyntaxError(
+            "unterminated quoted identifier at offset " +
+            std::to_string(start));
+      }
+      Token t;
+      t.type = TokenType::kIdentifier;
+      t.text = std::move(name);
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == ':' && i + 1 < n && IsIdentStart(input[i + 1])) {
+      ++i;
+      size_t name_start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      Token t;
+      t.type = TokenType::kNamedParameter;
+      t.text = std::string(input.substr(name_start, i - name_start));
+      t.position = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '?':
+        push(TokenType::kPositionalParameter, start);
+        ++i;
+        break;
+      case ',':
+        push(TokenType::kComma, start);
+        ++i;
+        break;
+      case '.':
+        push(TokenType::kDot, start);
+        ++i;
+        break;
+      case '(':
+        push(TokenType::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokenType::kRParen, start);
+        ++i;
+        break;
+      case ';':
+        push(TokenType::kSemicolon, start);
+        ++i;
+        break;
+      case '*':
+        push(TokenType::kStar, start);
+        ++i;
+        break;
+      case '+':
+        push(TokenType::kPlus, start);
+        ++i;
+        break;
+      case '-':
+        push(TokenType::kMinus, start);
+        ++i;
+        break;
+      case '/':
+        push(TokenType::kSlash, start);
+        ++i;
+        break;
+      case '%':
+        push(TokenType::kPercent, start);
+        ++i;
+        break;
+      case '=':
+        push(TokenType::kEq, start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kNotEq, start);
+          i += 2;
+        } else {
+          return Status::SyntaxError("unexpected '!' at offset " +
+                                     std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kLtEq, start);
+          i += 2;
+        } else if (i + 1 < n && input[i + 1] == '>') {
+          push(TokenType::kNotEq, start);
+          i += 2;
+        } else {
+          push(TokenType::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && input[i + 1] == '=') {
+          push(TokenType::kGtEq, start);
+          i += 2;
+        } else {
+          push(TokenType::kGt, start);
+          ++i;
+        }
+        break;
+      case '|':
+        if (i + 1 < n && input[i + 1] == '|') {
+          push(TokenType::kConcat, start);
+          i += 2;
+        } else {
+          return Status::SyntaxError("unexpected '|' at offset " +
+                                     std::to_string(start));
+        }
+        break;
+      default:
+        return Status::SyntaxError(std::string("unexpected character '") +
+                                   c + "' at offset " +
+                                   std::to_string(start));
+    }
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace sqlflow::sql

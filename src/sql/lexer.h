@@ -1,0 +1,23 @@
+#ifndef SQLFLOW_SQL_LEXER_H_
+#define SQLFLOW_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/token.h"
+
+namespace sqlflow::sql {
+
+/// Tokenizes an SQL string. Keywords are recognized case-insensitively and
+/// normalized to upper case; identifiers keep their original spelling.
+/// Supports line comments (`-- ...`) and quoted identifiers (`"name"`).
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+/// True if `word` (upper-cased) is a reserved SQL keyword of this dialect.
+bool IsReservedKeyword(std::string_view upper_word);
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_LEXER_H_

@@ -1,0 +1,885 @@
+#include "sql/parser.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace sqlflow::sql {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. One instance parses one
+/// statement (or expression); parameter indices are assigned in order of
+/// appearance.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::unique_ptr<Statement>> ParseSingleStatement() {
+    SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                             ParseStatementInternal());
+    Accept(TokenType::kSemicolon);
+    if (!AtEnd()) {
+      return Error("unexpected trailing input");
+    }
+    stmt->parameter_count = next_param_index_;
+    return stmt;
+  }
+
+  Result<std::vector<std::unique_ptr<Statement>>> ParseScriptStatements() {
+    std::vector<std::unique_ptr<Statement>> out;
+    while (!AtEnd()) {
+      if (Accept(TokenType::kSemicolon)) continue;
+      SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                               ParseStatementInternal());
+      stmt->parameter_count = next_param_index_;
+      out.push_back(std::move(stmt));
+      if (!AtEnd() && !Accept(TokenType::kSemicolon)) {
+        return Error("expected ';' between statements");
+      }
+    }
+    return out;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    SQLFLOW_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (!AtEnd()) return Error("unexpected trailing input in expression");
+    return e;
+  }
+
+ private:
+  // --- token helpers -------------------------------------------------------
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& PeekAhead(size_t k) const {
+    size_t i = pos_ + k;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  bool AtEnd() const { return Peek().type == TokenType::kEnd; }
+
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool Check(TokenType type) const { return Peek().type == type; }
+  bool CheckKeyword(const char* kw) const { return Peek().IsKeyword(kw); }
+
+  bool Accept(TokenType type) {
+    if (Check(type)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (CheckKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (!Accept(type)) {
+      return Error(std::string("expected ") + what);
+    }
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error(std::string("expected keyword ") + kw);
+    }
+    return Status::OK();
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::SyntaxError(msg + " at offset " +
+                               std::to_string(Peek().position) + " (near " +
+                               TokenTypeName(Peek().type) +
+                               (Peek().text.empty() ? "" : " '" + Peek().text + "'") +
+                               ")");
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (!Check(TokenType::kIdentifier)) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  // --- statements -----------------------------------------------------------
+
+  Result<std::unique_ptr<Statement>> ParseStatementInternal() {
+    auto stmt = std::make_unique<Statement>();
+    if (CheckKeyword("SELECT")) {
+      stmt->kind = StatementKind::kSelect;
+      SQLFLOW_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
+      return stmt;
+    }
+    if (AcceptKeyword("INSERT")) {
+      stmt->kind = StatementKind::kInsert;
+      SQLFLOW_ASSIGN_OR_RETURN(stmt->insert, ParseInsert());
+      return stmt;
+    }
+    if (AcceptKeyword("UPDATE")) {
+      stmt->kind = StatementKind::kUpdate;
+      SQLFLOW_ASSIGN_OR_RETURN(stmt->update, ParseUpdate());
+      return stmt;
+    }
+    if (AcceptKeyword("DELETE")) {
+      stmt->kind = StatementKind::kDelete;
+      SQLFLOW_ASSIGN_OR_RETURN(stmt->del, ParseDelete());
+      return stmt;
+    }
+    if (AcceptKeyword("CREATE")) {
+      if (AcceptKeyword("TABLE")) {
+        stmt->kind = StatementKind::kCreateTable;
+        SQLFLOW_ASSIGN_OR_RETURN(stmt->create_table, ParseCreateTable());
+        return stmt;
+      }
+      if (AcceptKeyword("SEQUENCE")) {
+        stmt->kind = StatementKind::kCreateSequence;
+        SQLFLOW_ASSIGN_OR_RETURN(stmt->create_sequence,
+                                 ParseCreateSequence());
+        return stmt;
+      }
+      if (AcceptKeyword("VIEW")) {
+        stmt->kind = StatementKind::kCreateView;
+        auto create = std::make_unique<CreateViewStatement>();
+        SQLFLOW_ASSIGN_OR_RETURN(create->view_name,
+                                 ExpectIdentifier("view name"));
+        SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("AS"));
+        SQLFLOW_ASSIGN_OR_RETURN(create->select, ParseSelect());
+        stmt->create_view = std::move(create);
+        return stmt;
+      }
+      bool unique = AcceptKeyword("UNIQUE");
+      if (AcceptKeyword("INDEX")) {
+        stmt->kind = StatementKind::kCreateIndex;
+        SQLFLOW_ASSIGN_OR_RETURN(stmt->create_index,
+                                 ParseCreateIndex(unique));
+        return stmt;
+      }
+      return Error("expected TABLE, SEQUENCE, VIEW or INDEX after CREATE");
+    }
+    if (AcceptKeyword("DROP")) {
+      if (AcceptKeyword("TABLE")) {
+        stmt->kind = StatementKind::kDropTable;
+        auto drop = std::make_unique<DropTableStatement>();
+        if (AcceptKeyword("IF")) {
+          SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+          drop->if_exists = true;
+        }
+        SQLFLOW_ASSIGN_OR_RETURN(drop->table_name,
+                                 ExpectIdentifier("table name"));
+        stmt->drop_table = std::move(drop);
+        return stmt;
+      }
+      if (AcceptKeyword("SEQUENCE")) {
+        stmt->kind = StatementKind::kDropSequence;
+        auto drop = std::make_unique<DropSequenceStatement>();
+        if (AcceptKeyword("IF")) {
+          SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+          drop->if_exists = true;
+        }
+        SQLFLOW_ASSIGN_OR_RETURN(drop->sequence_name,
+                                 ExpectIdentifier("sequence name"));
+        stmt->drop_sequence = std::move(drop);
+        return stmt;
+      }
+      if (AcceptKeyword("VIEW")) {
+        stmt->kind = StatementKind::kDropView;
+        auto drop = std::make_unique<DropViewStatement>();
+        if (AcceptKeyword("IF")) {
+          SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+          drop->if_exists = true;
+        }
+        SQLFLOW_ASSIGN_OR_RETURN(drop->view_name,
+                                 ExpectIdentifier("view name"));
+        stmt->drop_view = std::move(drop);
+        return stmt;
+      }
+      return Error("expected TABLE, SEQUENCE or VIEW after DROP");
+    }
+    if (AcceptKeyword("TRUNCATE")) {
+      SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
+      stmt->kind = StatementKind::kTruncate;
+      auto trunc = std::make_unique<TruncateStatement>();
+      SQLFLOW_ASSIGN_OR_RETURN(trunc->table_name,
+                               ExpectIdentifier("table name"));
+      stmt->truncate = std::move(trunc);
+      return stmt;
+    }
+    if (AcceptKeyword("CALL")) {
+      stmt->kind = StatementKind::kCall;
+      SQLFLOW_ASSIGN_OR_RETURN(stmt->call, ParseCall());
+      return stmt;
+    }
+    if (AcceptKeyword("BEGIN")) {
+      AcceptKeyword("TRANSACTION");
+      stmt->kind = StatementKind::kBegin;
+      return stmt;
+    }
+    if (AcceptKeyword("COMMIT")) {
+      stmt->kind = StatementKind::kCommit;
+      return stmt;
+    }
+    if (AcceptKeyword("ROLLBACK")) {
+      stmt->kind = StatementKind::kRollback;
+      return stmt;
+    }
+    return Error("expected a statement");
+  }
+
+  Result<std::unique_ptr<SelectStatement>> ParseSelect() {
+    SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    auto sel = std::make_unique<SelectStatement>();
+    sel->distinct = AcceptKeyword("DISTINCT");
+
+    // Select list.
+    while (true) {
+      SelectItem item;
+      if (Accept(TokenType::kStar)) {
+        item.star = true;
+      } else if (Check(TokenType::kIdentifier) &&
+                 PeekAhead(1).type == TokenType::kDot &&
+                 PeekAhead(2).type == TokenType::kStar) {
+        item.star = true;
+        item.star_qualifier = Advance().text;
+        Advance();  // '.'
+        Advance();  // '*'
+      } else {
+        SQLFLOW_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("AS")) {
+          SQLFLOW_ASSIGN_OR_RETURN(item.alias,
+                                   ExpectIdentifier("column alias"));
+        } else if (Check(TokenType::kIdentifier)) {
+          item.alias = Advance().text;  // bare alias
+        }
+      }
+      sel->items.push_back(std::move(item));
+      if (!Accept(TokenType::kComma)) break;
+    }
+
+    if (AcceptKeyword("FROM")) {
+      SQLFLOW_RETURN_IF_ERROR(ParseFromClause(sel.get()));
+    }
+    if (AcceptKeyword("WHERE")) {
+      SQLFLOW_ASSIGN_OR_RETURN(sel->where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        SQLFLOW_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        sel->group_by.push_back(std::move(e));
+        if (!Accept(TokenType::kComma)) break;
+      }
+    }
+    if (AcceptKeyword("HAVING")) {
+      SQLFLOW_ASSIGN_OR_RETURN(sel->having, ParseExpr());
+    }
+    if (AcceptKeyword("ORDER")) {
+      SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        OrderByItem item;
+        SQLFLOW_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("DESC")) {
+          item.descending = true;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        sel->order_by.push_back(std::move(item));
+        if (!Accept(TokenType::kComma)) break;
+      }
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (!Check(TokenType::kIntegerLiteral)) {
+        return Error("expected integer after LIMIT");
+      }
+      sel->limit = Advance().integer;
+    }
+    if (AcceptKeyword("OFFSET")) {
+      if (!Check(TokenType::kIntegerLiteral)) {
+        return Error("expected integer after OFFSET");
+      }
+      sel->offset = Advance().integer;
+    }
+    if (AcceptKeyword("UNION")) {
+      sel->union_all = AcceptKeyword("ALL");
+      SQLFLOW_ASSIGN_OR_RETURN(sel->union_next, ParseSelect());
+    }
+    return sel;
+  }
+
+  Status ParseFromClause(SelectStatement* sel) {
+    // First table.
+    SQLFLOW_ASSIGN_OR_RETURN(TableRef first, ParseTableRef());
+    first.join_type = JoinType::kCross;
+    sel->from.push_back(std::move(first));
+    while (true) {
+      if (Accept(TokenType::kComma)) {
+        SQLFLOW_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+        ref.join_type = JoinType::kCross;
+        sel->from.push_back(std::move(ref));
+        continue;
+      }
+      JoinType jt;
+      if (AcceptKeyword("INNER")) {
+        SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        jt = JoinType::kInner;
+      } else if (AcceptKeyword("LEFT")) {
+        AcceptKeyword("OUTER");
+        SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("JOIN"));
+        jt = JoinType::kLeftOuter;
+      } else if (AcceptKeyword("JOIN")) {
+        jt = JoinType::kInner;
+      } else {
+        break;
+      }
+      SQLFLOW_ASSIGN_OR_RETURN(TableRef ref, ParseTableRef());
+      ref.join_type = jt;
+      SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("ON"));
+      SQLFLOW_ASSIGN_OR_RETURN(ref.join_condition, ParseExpr());
+      sel->from.push_back(std::move(ref));
+    }
+    return Status::OK();
+  }
+
+  Result<TableRef> ParseTableRef() {
+    TableRef ref;
+    if (Accept(TokenType::kLParen)) {
+      // Derived table: (SELECT ...) alias — the alias is mandatory.
+      SQLFLOW_ASSIGN_OR_RETURN(ref.derived, ParseSelect());
+      SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      AcceptKeyword("AS");
+      SQLFLOW_ASSIGN_OR_RETURN(
+          ref.alias, ExpectIdentifier("derived table alias"));
+      return ref;
+    }
+    SQLFLOW_ASSIGN_OR_RETURN(ref.table_name, ExpectIdentifier("table name"));
+    if (AcceptKeyword("AS")) {
+      SQLFLOW_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
+    } else if (Check(TokenType::kIdentifier)) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  Result<std::unique_ptr<InsertStatement>> ParseInsert() {
+    SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    auto ins = std::make_unique<InsertStatement>();
+    SQLFLOW_ASSIGN_OR_RETURN(ins->table_name,
+                             ExpectIdentifier("table name"));
+    if (Accept(TokenType::kLParen)) {
+      while (true) {
+        SQLFLOW_ASSIGN_OR_RETURN(std::string col,
+                                 ExpectIdentifier("column name"));
+        ins->columns.push_back(std::move(col));
+        if (!Accept(TokenType::kComma)) break;
+      }
+      SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    }
+    if (AcceptKeyword("VALUES")) {
+      while (true) {
+        SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+        std::vector<ExprPtr> row;
+        while (true) {
+          SQLFLOW_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+          row.push_back(std::move(e));
+          if (!Accept(TokenType::kComma)) break;
+        }
+        SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        ins->rows.push_back(std::move(row));
+        if (!Accept(TokenType::kComma)) break;
+      }
+      return ins;
+    }
+    if (CheckKeyword("SELECT")) {
+      SQLFLOW_ASSIGN_OR_RETURN(ins->select, ParseSelect());
+      return ins;
+    }
+    return Error("expected VALUES or SELECT in INSERT");
+  }
+
+  Result<std::unique_ptr<UpdateStatement>> ParseUpdate() {
+    auto upd = std::make_unique<UpdateStatement>();
+    SQLFLOW_ASSIGN_OR_RETURN(upd->table_name,
+                             ExpectIdentifier("table name"));
+    SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    while (true) {
+      SQLFLOW_ASSIGN_OR_RETURN(std::string col,
+                               ExpectIdentifier("column name"));
+      SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kEq, "'='"));
+      SQLFLOW_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      upd->assignments.emplace_back(std::move(col), std::move(e));
+      if (!Accept(TokenType::kComma)) break;
+    }
+    if (AcceptKeyword("WHERE")) {
+      SQLFLOW_ASSIGN_OR_RETURN(upd->where, ParseExpr());
+    }
+    return upd;
+  }
+
+  Result<std::unique_ptr<DeleteStatement>> ParseDelete() {
+    SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    auto del = std::make_unique<DeleteStatement>();
+    SQLFLOW_ASSIGN_OR_RETURN(del->table_name,
+                             ExpectIdentifier("table name"));
+    if (AcceptKeyword("WHERE")) {
+      SQLFLOW_ASSIGN_OR_RETURN(del->where, ParseExpr());
+    }
+    return del;
+  }
+
+  Result<std::unique_ptr<CreateTableStatement>> ParseCreateTable() {
+    auto create = std::make_unique<CreateTableStatement>();
+    if (AcceptKeyword("IF")) {
+      SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("NOT"));
+      SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+      create->if_not_exists = true;
+    }
+    SQLFLOW_ASSIGN_OR_RETURN(create->table_name,
+                             ExpectIdentifier("table name"));
+    SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    while (true) {
+      // Table-level CHECK constraint.
+      if (AcceptKeyword("CHECK")) {
+        SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+        SQLFLOW_ASSIGN_OR_RETURN(ExprPtr check, ParseExpr());
+        SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        create->checks.push_back(std::move(check));
+        if (!Accept(TokenType::kComma)) break;
+        continue;
+      }
+      ColumnDefAst col;
+      SQLFLOW_ASSIGN_OR_RETURN(col.name, ExpectIdentifier("column name"));
+      SQLFLOW_ASSIGN_OR_RETURN(col.type, ParseColumnType());
+      while (true) {
+        if (AcceptKeyword("NOT")) {
+          SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+          col.not_null = true;
+          continue;
+        }
+        if (AcceptKeyword("PRIMARY")) {
+          SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("KEY"));
+          col.primary_key = true;
+          col.not_null = true;
+          continue;
+        }
+        if (AcceptKeyword("DEFAULT")) {
+          SQLFLOW_ASSIGN_OR_RETURN(col.default_value, ParseFactor());
+          continue;
+        }
+        if (AcceptKeyword("CHECK")) {
+          // Column-level CHECK is stored as a table-level constraint.
+          SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+          SQLFLOW_ASSIGN_OR_RETURN(ExprPtr check, ParseExpr());
+          SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+          create->checks.push_back(std::move(check));
+          continue;
+        }
+        break;
+      }
+      create->columns.push_back(std::move(col));
+      if (!Accept(TokenType::kComma)) break;
+    }
+    SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    return create;
+  }
+
+  Result<ValueType> ParseColumnType() {
+    if (AcceptKeyword("INTEGER") || AcceptKeyword("INT") ||
+        AcceptKeyword("BIGINT")) {
+      return ValueType::kInteger;
+    }
+    if (AcceptKeyword("DOUBLE") || AcceptKeyword("FLOAT")) {
+      return ValueType::kDouble;
+    }
+    if (AcceptKeyword("BOOLEAN")) {
+      return ValueType::kBoolean;
+    }
+    if (AcceptKeyword("VARCHAR")) {
+      // Optional advisory length: VARCHAR(100).
+      if (Accept(TokenType::kLParen)) {
+        if (!Check(TokenType::kIntegerLiteral)) {
+          return Error("expected length in VARCHAR(n)");
+        }
+        Advance();
+        SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      }
+      return ValueType::kString;
+    }
+    return Error("expected a column type");
+  }
+
+  Result<std::unique_ptr<CreateIndexStatement>> ParseCreateIndex(
+      bool unique) {
+    auto create = std::make_unique<CreateIndexStatement>();
+    create->unique = unique;
+    SQLFLOW_ASSIGN_OR_RETURN(create->index_name,
+                             ExpectIdentifier("index name"));
+    SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    SQLFLOW_ASSIGN_OR_RETURN(create->table_name,
+                             ExpectIdentifier("table name"));
+    SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    while (true) {
+      SQLFLOW_ASSIGN_OR_RETURN(std::string col,
+                               ExpectIdentifier("column name"));
+      create->columns.push_back(std::move(col));
+      if (!Accept(TokenType::kComma)) break;
+    }
+    SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    return create;
+  }
+
+  Result<std::unique_ptr<CreateSequenceStatement>> ParseCreateSequence() {
+    auto create = std::make_unique<CreateSequenceStatement>();
+    SQLFLOW_ASSIGN_OR_RETURN(create->sequence_name,
+                             ExpectIdentifier("sequence name"));
+    // Optional: START WITH <n>. (START is not reserved, so it lexes as an
+    // identifier.)
+    if (Check(TokenType::kIdentifier) &&
+        EqualsIgnoreCase(Peek().text, "START")) {
+      Advance();
+      if (Check(TokenType::kIdentifier) &&
+          EqualsIgnoreCase(Peek().text, "WITH")) {
+        Advance();
+      }
+      bool negative = Accept(TokenType::kMinus);
+      if (!Check(TokenType::kIntegerLiteral)) {
+        return Error("expected integer after START WITH");
+      }
+      create->start_with = Advance().integer * (negative ? -1 : 1);
+    }
+    return create;
+  }
+
+  Result<std::unique_ptr<CallStatement>> ParseCall() {
+    auto call = std::make_unique<CallStatement>();
+    SQLFLOW_ASSIGN_OR_RETURN(call->procedure_name,
+                             ExpectIdentifier("procedure name"));
+    SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    if (!Check(TokenType::kRParen)) {
+      while (true) {
+        SQLFLOW_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        call->arguments.push_back(std::move(e));
+        if (!Accept(TokenType::kComma)) break;
+      }
+    }
+    SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    return call;
+  }
+
+  // --- expressions (precedence climbing) ------------------------------------
+  //
+  //   or_expr    := and_expr (OR and_expr)*
+  //   and_expr   := not_expr (AND not_expr)*
+  //   not_expr   := NOT not_expr | predicate
+  //   predicate  := additive [comparison | IS NULL | IN | BETWEEN | LIKE]
+  //   additive   := term ((+|-|'||') term)*
+  //   term       := factor ((*|/|%) factor)*
+  //   factor     := -factor | primary
+  //   primary    := literal | param | ident[.ident] | func(args) | (expr)
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    SQLFLOW_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      SQLFLOW_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SQLFLOW_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (AcceptKeyword("AND")) {
+      SQLFLOW_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (AcceptKeyword("NOT")) {
+      SQLFLOW_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(operand));
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    SQLFLOW_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // Comparison operators.
+    struct CmpMap {
+      TokenType token;
+      BinaryOp op;
+    };
+    static constexpr CmpMap kCmps[] = {
+        {TokenType::kEq, BinaryOp::kEq},
+        {TokenType::kNotEq, BinaryOp::kNotEq},
+        {TokenType::kLt, BinaryOp::kLt},
+        {TokenType::kLtEq, BinaryOp::kLtEq},
+        {TokenType::kGt, BinaryOp::kGt},
+        {TokenType::kGtEq, BinaryOp::kGtEq},
+    };
+    for (const auto& cmp : kCmps) {
+      if (Accept(cmp.token)) {
+        SQLFLOW_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+        return MakeBinary(cmp.op, std::move(lhs), std::move(rhs));
+      }
+    }
+    if (AcceptKeyword("IS")) {
+      bool negate = AcceptKeyword("NOT");
+      SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("NULL"));
+      return MakeUnary(negate ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
+                       std::move(lhs));
+    }
+    bool negated = false;
+    if (CheckKeyword("NOT") &&
+        (PeekAhead(1).IsKeyword("IN") || PeekAhead(1).IsKeyword("BETWEEN") ||
+         PeekAhead(1).IsKeyword("LIKE"))) {
+      Advance();
+      negated = true;
+    }
+    if (AcceptKeyword("IN")) {
+      SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kInList;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      if (CheckKeyword("SELECT")) {
+        SQLFLOW_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+      } else {
+        while (true) {
+          SQLFLOW_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+          e->children.push_back(std::move(item));
+          if (!Accept(TokenType::kComma)) break;
+        }
+      }
+      SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+      return ExprPtr(std::move(e));
+    }
+    if (AcceptKeyword("BETWEEN")) {
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::kBetween;
+      e->negated = negated;
+      e->children.push_back(std::move(lhs));
+      SQLFLOW_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+      e->children.push_back(std::move(lo));
+      SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      SQLFLOW_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+      e->children.push_back(std::move(hi));
+      return ExprPtr(std::move(e));
+    }
+    if (AcceptKeyword("LIKE")) {
+      SQLFLOW_ASSIGN_OR_RETURN(ExprPtr pattern, ParseAdditive());
+      ExprPtr like =
+          MakeBinary(BinaryOp::kLike, std::move(lhs), std::move(pattern));
+      if (negated) return MakeUnary(UnaryOp::kNot, std::move(like));
+      return like;
+    }
+    if (negated) return Error("expected IN, BETWEEN or LIKE after NOT");
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    SQLFLOW_ASSIGN_OR_RETURN(ExprPtr lhs, ParseTerm());
+    while (true) {
+      BinaryOp op;
+      if (Accept(TokenType::kPlus)) {
+        op = BinaryOp::kAdd;
+      } else if (Accept(TokenType::kMinus)) {
+        op = BinaryOp::kSub;
+      } else if (Accept(TokenType::kConcat)) {
+        op = BinaryOp::kConcat;
+      } else {
+        break;
+      }
+      SQLFLOW_ASSIGN_OR_RETURN(ExprPtr rhs, ParseTerm());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    SQLFLOW_ASSIGN_OR_RETURN(ExprPtr lhs, ParseFactor());
+    while (true) {
+      BinaryOp op;
+      if (Accept(TokenType::kStar)) {
+        op = BinaryOp::kMul;
+      } else if (Accept(TokenType::kSlash)) {
+        op = BinaryOp::kDiv;
+      } else if (Accept(TokenType::kPercent)) {
+        op = BinaryOp::kMod;
+      } else {
+        break;
+      }
+      SQLFLOW_ASSIGN_OR_RETURN(ExprPtr rhs, ParseFactor());
+      lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseFactor() {
+    if (Accept(TokenType::kMinus)) {
+      SQLFLOW_ASSIGN_OR_RETURN(ExprPtr operand, ParseFactor());
+      return MakeUnary(UnaryOp::kNegate, std::move(operand));
+    }
+    if (Accept(TokenType::kPlus)) {
+      return ParseFactor();
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.type) {
+      case TokenType::kIntegerLiteral:
+        Advance();
+        return MakeLiteral(Value::Integer(t.integer));
+      case TokenType::kDoubleLiteral:
+        Advance();
+        return MakeLiteral(Value::Double(t.dbl));
+      case TokenType::kStringLiteral:
+        Advance();
+        return MakeLiteral(Value::String(t.text));
+      case TokenType::kNamedParameter: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kParameter;
+        e->param_name = t.text;
+        e->param_index = next_param_index_++;
+        return ExprPtr(std::move(e));
+      }
+      case TokenType::kPositionalParameter: {
+        Advance();
+        auto e = std::make_unique<Expr>();
+        e->kind = ExprKind::kParameter;
+        e->param_index = next_param_index_++;
+        return ExprPtr(std::move(e));
+      }
+      case TokenType::kLParen: {
+        Advance();
+        if (CheckKeyword("SELECT")) {
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kSubquery;
+          SQLFLOW_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+          SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+          return ExprPtr(std::move(e));
+        }
+        SQLFLOW_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+        SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+        return inner;
+      }
+      case TokenType::kKeyword:
+        if (t.text == "NULL") {
+          Advance();
+          return MakeLiteral(Value::Null());
+        }
+        if (t.text == "TRUE") {
+          Advance();
+          return MakeLiteral(Value::Boolean(true));
+        }
+        if (t.text == "FALSE") {
+          Advance();
+          return MakeLiteral(Value::Boolean(false));
+        }
+        if (t.text == "EXISTS") {
+          Advance();
+          SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kExists;
+          SQLFLOW_ASSIGN_OR_RETURN(e->subquery, ParseSelect());
+          SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+          return ExprPtr(std::move(e));
+        }
+        if (t.text == "CASE") {
+          Advance();
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kCase;
+          bool saw_when = false;
+          while (AcceptKeyword("WHEN")) {
+            saw_when = true;
+            SQLFLOW_ASSIGN_OR_RETURN(ExprPtr when, ParseExpr());
+            SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("THEN"));
+            SQLFLOW_ASSIGN_OR_RETURN(ExprPtr then, ParseExpr());
+            e->children.push_back(std::move(when));
+            e->children.push_back(std::move(then));
+          }
+          if (!saw_when) {
+            return Error("CASE requires at least one WHEN branch");
+          }
+          if (AcceptKeyword("ELSE")) {
+            SQLFLOW_ASSIGN_OR_RETURN(e->case_else, ParseExpr());
+          }
+          SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("END"));
+          return ExprPtr(std::move(e));
+        }
+        return Error("unexpected keyword in expression");
+      case TokenType::kIdentifier: {
+        // Function call?
+        if (PeekAhead(1).type == TokenType::kLParen) {
+          std::string name = Advance().text;
+          Advance();  // '('
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::kFunctionCall;
+          e->function_name = ToUpperAscii(name);
+          if (AcceptKeyword("DISTINCT")) e->distinct_arg = true;
+          if (Accept(TokenType::kStar)) {
+            auto star = std::make_unique<Expr>();
+            star->kind = ExprKind::kStar;
+            e->children.push_back(std::move(star));
+          } else if (!Check(TokenType::kRParen)) {
+            while (true) {
+              SQLFLOW_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+              e->children.push_back(std::move(arg));
+              if (!Accept(TokenType::kComma)) break;
+            }
+          }
+          SQLFLOW_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+          return ExprPtr(std::move(e));
+        }
+        // Qualified or bare column reference.
+        std::string first = Advance().text;
+        if (Accept(TokenType::kDot)) {
+          SQLFLOW_ASSIGN_OR_RETURN(std::string col,
+                                   ExpectIdentifier("column name"));
+          return MakeColumnRef(std::move(first), std::move(col));
+        }
+        return MakeColumnRef("", std::move(first));
+      }
+      default:
+        return Error("expected an expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int next_param_index_ = 0;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Statement>> ParseStatement(std::string_view input) {
+  SQLFLOW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseSingleStatement();
+}
+
+Result<std::vector<std::unique_ptr<Statement>>> ParseScript(
+    std::string_view input) {
+  SQLFLOW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseScriptStatements();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view input) {
+  SQLFLOW_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+}  // namespace sqlflow::sql

@@ -1,0 +1,28 @@
+#ifndef SQLFLOW_SQL_PARSER_H_
+#define SQLFLOW_SQL_PARSER_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace sqlflow::sql {
+
+/// Parses a single SQL statement (an optional trailing ';' is consumed;
+/// trailing garbage is an error).
+Result<std::unique_ptr<Statement>> ParseStatement(std::string_view input);
+
+/// Parses a ';'-separated script into its statements. Empty statements are
+/// skipped.
+Result<std::vector<std::unique_ptr<Statement>>> ParseScript(
+    std::string_view input);
+
+/// Parses a standalone scalar expression (used by tests and by engines that
+/// evaluate conditions, e.g. while-activity conditions over host variables).
+Result<ExprPtr> ParseExpression(std::string_view input);
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_PARSER_H_

@@ -1,0 +1,108 @@
+#include "sql/result_set.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace sqlflow::sql {
+
+int ResultSet::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    if (EqualsIgnoreCase(column_names_[i], name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+Result<Value> ResultSet::Get(size_t row, const std::string& column) const {
+  if (row >= rows_.size()) {
+    return Status::InvalidArgument("row index " + std::to_string(row) +
+                                   " out of range (" +
+                                   std::to_string(rows_.size()) + " rows)");
+  }
+  int col = FindColumn(column);
+  if (col < 0) {
+    return Status::NotFound("no column '" + column + "' in result set");
+  }
+  return rows_[row][static_cast<size_t>(col)];
+}
+
+Result<Value> ResultSet::ScalarValue() const {
+  if (rows_.empty() || rows_[0].empty()) {
+    return Status::NotFound("result set is empty");
+  }
+  return rows_[0][0];
+}
+
+size_t ResultSet::ApproxByteSize() const {
+  size_t total = 0;
+  for (const std::string& name : column_names_) total += name.size();
+  for (const Row& row : rows_) {
+    for (const Value& v : row) {
+      switch (v.type()) {
+        case ValueType::kNull:
+          total += 1;
+          break;
+        case ValueType::kBoolean:
+          total += 1;
+          break;
+        case ValueType::kInteger:
+        case ValueType::kDouble:
+          total += 8;
+          break;
+        case ValueType::kString:
+          total += v.str().size() + 4;  // length prefix
+          break;
+      }
+    }
+  }
+  return total;
+}
+
+std::string ResultSet::ToAsciiTable(size_t max_rows) const {
+  std::vector<size_t> widths(column_names_.size());
+  for (size_t i = 0; i < column_names_.size(); ++i) {
+    widths[i] = column_names_[i].size();
+  }
+  size_t shown = std::min(max_rows, rows_.size());
+  std::vector<std::vector<std::string>> cells(shown);
+  for (size_t r = 0; r < shown; ++r) {
+    cells[r].resize(column_names_.size());
+    for (size_t c = 0; c < column_names_.size() && c < rows_[r].size();
+         ++c) {
+      cells[r][c] = rows_[r][c].ToString();
+      widths[c] = std::max(widths[c], cells[r][c].size());
+    }
+  }
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  rule();
+  os << '|';
+  for (size_t c = 0; c < column_names_.size(); ++c) {
+    os << ' ' << column_names_[c]
+       << std::string(widths[c] - column_names_[c].size() + 1, ' ') << '|';
+  }
+  os << '\n';
+  rule();
+  for (size_t r = 0; r < shown; ++r) {
+    os << '|';
+    for (size_t c = 0; c < column_names_.size(); ++c) {
+      os << ' ' << cells[r][c]
+         << std::string(widths[c] - cells[r][c].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  }
+  rule();
+  if (shown < rows_.size()) {
+    os << "(" << rows_.size() - shown << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace sqlflow::sql

@@ -1,0 +1,65 @@
+#ifndef SQLFLOW_SQL_RESULT_SET_H_
+#define SQLFLOW_SQL_RESULT_SET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sqlflow::sql {
+
+using Row = std::vector<Value>;
+
+/// A fully materialized statement result: column names plus rows. For DML
+/// and DDL the row set is empty and `affected_rows` reports the change
+/// count. ResultSet is the value that crosses the database boundary into
+/// the process space (where engines wrap it as XML RowSet / DataSet).
+class ResultSet {
+ public:
+  ResultSet() = default;
+  explicit ResultSet(std::vector<std::string> column_names)
+      : column_names_(std::move(column_names)) {}
+
+  const std::vector<std::string>& column_names() const {
+    return column_names_;
+  }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+
+  size_t row_count() const { return rows_.size(); }
+  size_t column_count() const { return column_names_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  int64_t affected_rows() const { return affected_rows_; }
+  void set_affected_rows(int64_t n) { affected_rows_ = n; }
+
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Case-insensitive column lookup; -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Value at (row, named column); bounds- and name-checked.
+  Result<Value> Get(size_t row, const std::string& column) const;
+
+  /// First value of the first row — convenience for scalar queries
+  /// (`SELECT COUNT(*) ...`). Error on an empty result.
+  Result<Value> ScalarValue() const;
+
+  /// Rough wire size in bytes if this result were marshalled row by row;
+  /// used by benchmarks to report transfer volumes.
+  size_t ApproxByteSize() const;
+
+  /// Pretty-prints an ASCII table (for examples and bench harnesses).
+  std::string ToAsciiTable(size_t max_rows = 50) const;
+
+ private:
+  std::vector<std::string> column_names_;
+  std::vector<Row> rows_;
+  int64_t affected_rows_ = 0;
+};
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_RESULT_SET_H_

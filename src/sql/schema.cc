@@ -1,0 +1,71 @@
+#include "sql/schema.h"
+
+#include "common/string_util.h"
+
+namespace sqlflow::sql {
+
+int TableSchema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+int TableSchema::primary_key_index() const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].primary_key) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status TableSchema::Validate() const {
+  if (columns_.empty()) {
+    return Status::InvalidArgument("table '" + table_name_ +
+                                   "' has no columns");
+  }
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    for (size_t j = i + 1; j < columns_.size(); ++j) {
+      if (EqualsIgnoreCase(columns_[i].name, columns_[j].name)) {
+        return Status::InvalidArgument("duplicate column '" +
+                                       columns_[i].name + "' in table '" +
+                                       table_name_ + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Value> TableSchema::CoerceValue(size_t column_index,
+                                       const Value& value) const {
+  const ColumnDef& col = columns_[column_index];
+  if (value.is_null()) {
+    if (col.not_null) {
+      return Status::ConstraintError("column '" + col.name +
+                                     "' is NOT NULL");
+    }
+    return value;
+  }
+  switch (col.type) {
+    case ValueType::kInteger: {
+      SQLFLOW_ASSIGN_OR_RETURN(int64_t v, value.AsInteger());
+      return Value::Integer(v);
+    }
+    case ValueType::kDouble: {
+      SQLFLOW_ASSIGN_OR_RETURN(double v, value.AsDouble());
+      return Value::Double(v);
+    }
+    case ValueType::kBoolean: {
+      SQLFLOW_ASSIGN_OR_RETURN(bool v, value.AsBoolean());
+      return Value::Boolean(v);
+    }
+    case ValueType::kString:
+      return Value::String(value.AsString());
+    case ValueType::kNull:
+      return value;  // untyped column accepts anything
+  }
+  return Status::Internal("bad column type");
+}
+
+}  // namespace sqlflow::sql

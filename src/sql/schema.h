@@ -1,0 +1,67 @@
+#ifndef SQLFLOW_SQL_SCHEMA_H_
+#define SQLFLOW_SQL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace sqlflow::sql {
+
+/// One column of a table schema.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  bool not_null = false;
+  bool primary_key = false;
+  /// Value used when INSERT omits the column (constant, evaluated once
+  /// at CREATE TABLE time).
+  std::optional<Value> default_value;
+};
+
+/// An ordered list of typed columns. Column names are unique
+/// case-insensitively.
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string table_name, std::vector<ColumnDef> columns)
+      : table_name_(std::move(table_name)), columns_(std::move(columns)) {}
+
+  const std::string& table_name() const { return table_name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+  size_t column_count() const { return columns_.size(); }
+
+  /// Case-insensitive lookup; -1 if absent.
+  int FindColumn(const std::string& name) const;
+
+  /// Index of the PRIMARY KEY column, or -1 if none is declared.
+  int primary_key_index() const;
+
+  /// Validates uniqueness of column names and non-empty schema.
+  Status Validate() const;
+
+  /// Checks `value` against column i's declared type/nullability; integers
+  /// widen to double columns, anything stringifies into VARCHAR.
+  /// On success returns the (possibly coerced) value.
+  Result<Value> CoerceValue(size_t column_index, const Value& value) const;
+
+  /// CHECK constraints, stored as canonical (re-parseable) expression
+  /// text so the schema stays copyable. Enforced by the Table.
+  void AddCheckConstraint(std::string expr_text) {
+    check_constraints_.push_back(std::move(expr_text));
+  }
+  const std::vector<std::string>& check_constraints() const {
+    return check_constraints_;
+  }
+
+ private:
+  std::string table_name_;
+  std::vector<ColumnDef> columns_;
+  std::vector<std::string> check_constraints_;
+};
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_SCHEMA_H_

@@ -1,0 +1,335 @@
+#include "sql/table.h"
+
+#include <utility>
+
+#include "common/string_util.h"
+#include "sql/eval.h"
+#include "sql/parser.h"
+#include "sql/transaction.h"
+
+namespace sqlflow::sql {
+
+namespace {
+
+/// Resolves unqualified column names against one row of this table.
+class SchemaRowBinding : public RowBinding {
+ public:
+  SchemaRowBinding(const TableSchema* schema, const Row* row)
+      : schema_(schema), row_(row) {}
+
+  Result<Value> Resolve(const std::string& qualifier,
+                        const std::string& column) const override {
+    if (!qualifier.empty() &&
+        !EqualsIgnoreCase(qualifier, schema_->table_name())) {
+      return Status::NotFound("no such qualifier '" + qualifier + "'");
+    }
+    int index = schema_->FindColumn(column);
+    if (index < 0) {
+      return Status::NotFound("no column '" + column +
+                              "' in CHECK constraint scope");
+    }
+    return (*row_)[static_cast<size_t>(index)];
+  }
+
+ private:
+  const TableSchema* schema_;
+  const Row* row_;
+};
+
+}  // namespace
+
+struct Table::ParsedChecks {
+  Status parse_status;
+  std::vector<ExprPtr> expressions;
+};
+
+namespace {
+
+// Serializes one value with a type tag so Integer(1) and String("1")
+// produce distinct keys.
+void AppendKeyPart(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out->push_back('N');
+      break;
+    case ValueType::kBoolean:
+      out->push_back('B');
+      out->push_back(v.boolean() ? '1' : '0');
+      break;
+    case ValueType::kInteger:
+      out->push_back('I');
+      *out += std::to_string(v.integer());
+      break;
+    case ValueType::kDouble:
+      out->push_back('D');
+      *out += std::to_string(v.dbl());
+      break;
+    case ValueType::kString:
+      out->push_back('S');
+      *out += v.str();
+      break;
+  }
+  out->push_back('\x1f');
+}
+
+}  // namespace
+
+Table::Table(TableSchema schema) : schema_(std::move(schema)) {
+  int pk = schema_.primary_key_index();
+  if (pk >= 0) {
+    UniqueConstraint uc;
+    uc.name = "__pk_" + schema_.table_name();
+    uc.column_indexes.push_back(static_cast<size_t>(pk));
+    unique_constraints_.push_back(std::move(uc));
+  }
+}
+
+std::string Table::MakeKey(const UniqueConstraint& uc,
+                           const Row& row) const {
+  std::string key;
+  for (size_t idx : uc.column_indexes) {
+    AppendKeyPart(row[idx], &key);
+  }
+  return key;
+}
+
+Status Table::CheckUnique(const Row& row, size_t ignore_index,
+                          bool has_ignore) const {
+  for (const UniqueConstraint& uc : unique_constraints_) {
+    std::string key = MakeKey(uc, row);
+    if (uc.keys.count(key) == 0) continue;
+    // The key exists. If we're updating a row, the collision may be with
+    // the row being replaced — in that case it's fine if the old row at
+    // ignore_index carries the same key.
+    if (has_ignore) {
+      const Row& old_row = rows_[ignore_index];
+      if (MakeKey(uc, old_row) == key) continue;
+    }
+    return Status::ConstraintError(
+        "unique constraint '" + uc.name + "' violated in table '" +
+        schema_.table_name() + "'");
+  }
+  return Status::OK();
+}
+
+void Table::AddKeys(const Row& row) {
+  for (UniqueConstraint& uc : unique_constraints_) {
+    uc.keys.insert(MakeKey(uc, row));
+  }
+}
+
+void Table::RemoveKeys(const Row& row) {
+  for (UniqueConstraint& uc : unique_constraints_) {
+    uc.keys.erase(MakeKey(uc, row));
+  }
+}
+
+Status Table::CheckRowConstraints(const Row& row) {
+  if (schema_.check_constraints().empty()) return Status::OK();
+  if (parsed_checks_ == nullptr) {
+    auto parsed = std::make_shared<ParsedChecks>();
+    for (const std::string& text : schema_.check_constraints()) {
+      auto expr = ParseExpression(text);
+      if (!expr.ok()) {
+        parsed->parse_status = expr.status();
+        break;
+      }
+      parsed->expressions.push_back(std::move(*expr));
+    }
+    parsed_checks_ = std::move(parsed);
+  }
+  SQLFLOW_RETURN_IF_ERROR(parsed_checks_->parse_status);
+  SchemaRowBinding binding(&schema_, &row);
+  EvalContext ctx;
+  ctx.binding = &binding;
+  for (size_t i = 0; i < parsed_checks_->expressions.size(); ++i) {
+    SQLFLOW_ASSIGN_OR_RETURN(
+        Value v, EvaluateExpr(*parsed_checks_->expressions[i], ctx));
+    // SQL: a CHECK fails only when the condition is definitely FALSE.
+    if (!v.is_null()) {
+      SQLFLOW_ASSIGN_OR_RETURN(bool ok, v.AsBoolean());
+      if (!ok) {
+        return Status::ConstraintError(
+            "CHECK constraint (" + schema_.check_constraints()[i] +
+            ") violated in table '" + schema_.table_name() + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::Insert(const Row& row, UndoLog* undo) {
+  if (row.size() != schema_.column_count()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, table '" +
+        schema_.table_name() + "' has " +
+        std::to_string(schema_.column_count()) + " columns");
+  }
+  Row coerced(row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    SQLFLOW_ASSIGN_OR_RETURN(coerced[i], schema_.CoerceValue(i, row[i]));
+  }
+  SQLFLOW_RETURN_IF_ERROR(CheckUnique(coerced, 0, false));
+  SQLFLOW_RETURN_IF_ERROR(CheckRowConstraints(coerced));
+  AddKeys(coerced);
+  rows_.push_back(std::move(coerced));
+  if (undo != nullptr) {
+    UndoEntry e;
+    e.kind = UndoEntry::Kind::kInsert;
+    e.table_name = schema_.table_name();
+    e.row_index = rows_.size() - 1;
+    undo->Record(std::move(e));
+  }
+  return Status::OK();
+}
+
+Status Table::Update(size_t index, const Row& new_row, UndoLog* undo) {
+  if (index >= rows_.size()) {
+    return Status::InvalidArgument("update index out of range");
+  }
+  if (new_row.size() != schema_.column_count()) {
+    return Status::InvalidArgument("row width mismatch in update");
+  }
+  Row coerced(new_row.size());
+  for (size_t i = 0; i < new_row.size(); ++i) {
+    SQLFLOW_ASSIGN_OR_RETURN(coerced[i],
+                             schema_.CoerceValue(i, new_row[i]));
+  }
+  SQLFLOW_RETURN_IF_ERROR(CheckUnique(coerced, index, true));
+  SQLFLOW_RETURN_IF_ERROR(CheckRowConstraints(coerced));
+  Row old_row = rows_[index];
+  RemoveKeys(old_row);
+  AddKeys(coerced);
+  rows_[index] = std::move(coerced);
+  if (undo != nullptr) {
+    UndoEntry e;
+    e.kind = UndoEntry::Kind::kUpdate;
+    e.table_name = schema_.table_name();
+    e.row_index = index;
+    e.row = std::move(old_row);
+    undo->Record(std::move(e));
+  }
+  return Status::OK();
+}
+
+Status Table::Delete(size_t index, UndoLog* undo) {
+  if (index >= rows_.size()) {
+    return Status::InvalidArgument("delete index out of range");
+  }
+  Row old_row = std::move(rows_[index]);
+  RemoveKeys(old_row);
+  rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(index));
+  if (undo != nullptr) {
+    UndoEntry e;
+    e.kind = UndoEntry::Kind::kDelete;
+    e.table_name = schema_.table_name();
+    e.row_index = index;
+    e.row = std::move(old_row);
+    undo->Record(std::move(e));
+  }
+  return Status::OK();
+}
+
+void Table::Clear(UndoLog* undo) {
+  if (undo != nullptr) {
+    UndoEntry e;
+    e.kind = UndoEntry::Kind::kTruncate;
+    e.table_name = schema_.table_name();
+    e.bulk_rows = rows_;
+    undo->Record(std::move(e));
+  }
+  rows_.clear();
+  for (UniqueConstraint& uc : unique_constraints_) uc.keys.clear();
+}
+
+Status Table::AddUniqueConstraint(
+    const std::string& name, const std::vector<std::string>& columns) {
+  for (const UniqueConstraint& uc : unique_constraints_) {
+    if (EqualsIgnoreCase(uc.name, name)) {
+      return Status::AlreadyExists("constraint '" + name +
+                                   "' already exists");
+    }
+  }
+  UniqueConstraint uc;
+  uc.name = name;
+  for (const std::string& col : columns) {
+    int idx = schema_.FindColumn(col);
+    if (idx < 0) {
+      return Status::NotFound("no column '" + col + "' in table '" +
+                              schema_.table_name() + "'");
+    }
+    uc.column_indexes.push_back(static_cast<size_t>(idx));
+  }
+  for (const Row& row : rows_) {
+    std::string key = MakeKey(uc, row);
+    if (!uc.keys.insert(key).second) {
+      return Status::ConstraintError(
+          "existing data violates unique constraint '" + name + "'");
+    }
+  }
+  unique_constraints_.push_back(std::move(uc));
+  return Status::OK();
+}
+
+Status Table::DropUniqueConstraint(const std::string& name) {
+  for (auto it = unique_constraints_.begin();
+       it != unique_constraints_.end(); ++it) {
+    if (EqualsIgnoreCase(it->name, name)) {
+      unique_constraints_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no constraint '" + name + "'");
+}
+
+ResultSet Table::Scan() const {
+  std::vector<std::string> names;
+  names.reserve(schema_.column_count());
+  for (const ColumnDef& col : schema_.columns()) names.push_back(col.name);
+  ResultSet rs(std::move(names));
+  for (const Row& row : rows_) rs.AddRow(row);
+  return rs;
+}
+
+size_t Table::ApproxByteSize() const {
+  size_t total = 0;
+  for (const Row& row : rows_) {
+    for (const Value& v : row) {
+      total += v.type() == ValueType::kString ? v.str().size() + 4 : 8;
+    }
+  }
+  return total;
+}
+
+void Table::RawInsertAt(size_t index, Row row) {
+  AddKeys(row);
+  if (index >= rows_.size()) {
+    rows_.push_back(std::move(row));
+  } else {
+    rows_.insert(rows_.begin() + static_cast<ptrdiff_t>(index),
+                 std::move(row));
+  }
+}
+
+Row Table::RawRemoveAt(size_t index) {
+  Row row = std::move(rows_[index]);
+  RemoveKeys(row);
+  rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(index));
+  return row;
+}
+
+void Table::RawReplaceAt(size_t index, Row row) {
+  RemoveKeys(rows_[index]);
+  AddKeys(row);
+  rows_[index] = std::move(row);
+}
+
+void Table::RawRestoreAll(std::vector<Row> rows) {
+  rows_ = std::move(rows);
+  for (UniqueConstraint& uc : unique_constraints_) {
+    uc.keys.clear();
+    for (const Row& row : rows_) uc.keys.insert(MakeKey(uc, row));
+  }
+}
+
+}  // namespace sqlflow::sql

@@ -1,0 +1,95 @@
+#ifndef SQLFLOW_SQL_TABLE_H_
+#define SQLFLOW_SQL_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/result_set.h"
+#include "sql/schema.h"
+
+namespace sqlflow::sql {
+
+class UndoLog;
+
+/// Secondary uniqueness constraint created by CREATE UNIQUE INDEX (the
+/// PRIMARY KEY constraint is modelled the same way). Keys are serialized
+/// row projections.
+struct UniqueConstraint {
+  std::string name;
+  std::vector<size_t> column_indexes;
+  std::unordered_set<std::string> keys;
+};
+
+/// Heap-organized in-memory table. All mutations go through Insert/Update/
+/// Delete so that uniqueness constraints stay maintained and undo records
+/// are written when a transaction is active (`undo != nullptr`).
+class Table {
+ public:
+  explicit Table(TableSchema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const TableSchema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+
+  /// Coerces values to the schema, checks constraints, appends the row.
+  Status Insert(const Row& row, UndoLog* undo);
+
+  /// Replaces the row at `index` after coercion/constraint checks.
+  Status Update(size_t index, const Row& new_row, UndoLog* undo);
+
+  /// Removes the row at `index` (later rows shift down by one).
+  Status Delete(size_t index, UndoLog* undo);
+
+  /// Removes all rows (TRUNCATE); one bulk undo record.
+  void Clear(UndoLog* undo);
+
+  /// Adds a uniqueness constraint over the named columns; fails if
+  /// existing data violates it.
+  Status AddUniqueConstraint(const std::string& name,
+                             const std::vector<std::string>& columns);
+  Status DropUniqueConstraint(const std::string& name);
+  const std::vector<UniqueConstraint>& unique_constraints() const {
+    return unique_constraints_;
+  }
+
+  /// Copies all rows (with column names) into a ResultSet.
+  ResultSet Scan() const;
+
+  /// Rough in-memory footprint of the row data (for benchmarks).
+  size_t ApproxByteSize() const;
+
+  // --- low-level access used by UndoLog replay only ------------------------
+  // These bypass coercion (rows were valid when recorded) but still
+  // maintain the uniqueness key sets.
+  void RawInsertAt(size_t index, Row row);
+  Row RawRemoveAt(size_t index);
+  void RawReplaceAt(size_t index, Row row);
+  void RawRestoreAll(std::vector<Row> rows);
+
+ private:
+  Status CheckUnique(const Row& row, size_t ignore_index,
+                     bool has_ignore) const;
+  /// Evaluates the schema's CHECK constraints against `row`; a FALSE
+  /// result is a constraint error (NULL/unknown passes, per SQL).
+  Status CheckRowConstraints(const Row& row);
+  void AddKeys(const Row& row);
+  void RemoveKeys(const Row& row);
+  std::string MakeKey(const UniqueConstraint& uc, const Row& row) const;
+
+  TableSchema schema_;
+  std::vector<Row> rows_;
+  std::vector<UniqueConstraint> unique_constraints_;
+  /// Parsed CHECK expressions, built lazily from the schema's text.
+  struct ParsedChecks;
+  std::shared_ptr<ParsedChecks> parsed_checks_;
+};
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_TABLE_H_

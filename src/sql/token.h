@@ -1,0 +1,52 @@
+#ifndef SQLFLOW_SQL_TOKEN_H_
+#define SQLFLOW_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sqlflow::sql {
+
+enum class TokenType {
+  kEnd = 0,
+  kIdentifier,      // table1, MyColumn (case preserved; compared fold-case)
+  kKeyword,         // SELECT, FROM, ... (normalized to upper case in text)
+  kIntegerLiteral,  // 42
+  kDoubleLiteral,   // 3.14
+  kStringLiteral,   // 'abc' (text holds the unescaped payload)
+  kNamedParameter,  // :name (text holds "name")
+  kPositionalParameter,  // ?
+  // Punctuation / operators:
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kPercent,
+  kEq,        // =
+  kNotEq,     // <> or !=
+  kLt,
+  kLtEq,
+  kGt,
+  kGtEq,
+  kConcat,    // ||
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;        // identifier/keyword/string payload
+  int64_t integer = 0;     // for kIntegerLiteral
+  double dbl = 0.0;        // for kDoubleLiteral
+  size_t position = 0;     // byte offset in the input, for error messages
+
+  bool IsKeyword(const char* kw) const;
+};
+
+const char* TokenTypeName(TokenType type);
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_TOKEN_H_

@@ -1,0 +1,97 @@
+#include "sql/transaction.h"
+
+#include "sql/database.h"
+#include "sql/table.h"
+
+namespace sqlflow::sql {
+
+void UndoLog::RollbackInto(Database* db) {
+  Catalog& catalog = db->catalog();
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    UndoEntry& e = *it;
+    switch (e.kind) {
+      case UndoEntry::Kind::kInsert: {
+        Table* table = catalog.FindTable(e.table_name);
+        if (table != nullptr && e.row_index < table->row_count()) {
+          table->RawRemoveAt(e.row_index);
+        }
+        break;
+      }
+      case UndoEntry::Kind::kDelete: {
+        Table* table = catalog.FindTable(e.table_name);
+        if (table != nullptr) {
+          table->RawInsertAt(e.row_index, std::move(e.row));
+        }
+        break;
+      }
+      case UndoEntry::Kind::kUpdate: {
+        Table* table = catalog.FindTable(e.table_name);
+        if (table != nullptr && e.row_index < table->row_count()) {
+          table->RawReplaceAt(e.row_index, std::move(e.row));
+        }
+        break;
+      }
+      case UndoEntry::Kind::kTruncate: {
+        Table* table = catalog.FindTable(e.table_name);
+        if (table != nullptr) {
+          table->RawRestoreAll(std::move(e.bulk_rows));
+        }
+        break;
+      }
+      case UndoEntry::Kind::kCreateTable:
+        (void)catalog.DropTable(e.table_name);
+        break;
+      case UndoEntry::Kind::kDropTable: {
+        auto table = std::make_unique<Table>(e.saved_schema);
+        // Re-create secondary constraints, then restore the data. The
+        // PRIMARY KEY constraint is rebuilt by the Table constructor;
+        // skip saved constraints with the same auto-generated name.
+        for (const auto& [name, cols] : e.saved_constraints) {
+          bool is_pk = !table->unique_constraints().empty() &&
+                       table->unique_constraints()[0].name == name;
+          if (!is_pk) {
+            (void)table->AddUniqueConstraint(name, cols);
+          }
+        }
+        table->RawRestoreAll(std::move(e.saved_rows));
+        catalog.RestoreTable(std::move(table));
+        break;
+      }
+      case UndoEntry::Kind::kCreateSequence:
+        (void)catalog.DropSequence(e.table_name);
+        break;
+      case UndoEntry::Kind::kDropSequence: {
+        (void)catalog.CreateSequence(e.table_name, e.sequence_value);
+        if (Sequence* seq = catalog.FindSequence(e.table_name)) {
+          seq->next_value = e.sequence_value;
+        }
+        break;
+      }
+      case UndoEntry::Kind::kSequenceAdvance: {
+        if (Sequence* seq = catalog.FindSequence(e.table_name)) {
+          seq->next_value = e.sequence_value;
+        }
+        break;
+      }
+      case UndoEntry::Kind::kCreateIndex: {
+        Table* table = catalog.FindTable(e.index_table);
+        if (table != nullptr) {
+          (void)table->DropUniqueConstraint(e.table_name);
+        }
+        (void)catalog.DropIndex(e.table_name);
+        break;
+      }
+      case UndoEntry::Kind::kDropIndex:
+        break;  // not emitted
+      case UndoEntry::Kind::kCreateView:
+        (void)catalog.DropView(e.table_name);
+        break;
+      case UndoEntry::Kind::kDropView:
+        (void)catalog.CreateView(e.table_name, std::move(e.saved_view));
+        break;
+    }
+  }
+  entries_.clear();
+}
+
+}  // namespace sqlflow::sql

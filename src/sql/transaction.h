@@ -1,0 +1,69 @@
+#ifndef SQLFLOW_SQL_TRANSACTION_H_
+#define SQLFLOW_SQL_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/result_set.h"
+#include "sql/schema.h"
+
+namespace sqlflow::sql {
+
+class Database;
+
+/// One logical change, with enough information to reverse it. Entries are
+/// replayed in reverse order on rollback; tables are addressed by name so
+/// that CREATE/DROP interleavings stay correct.
+struct UndoEntry {
+  enum class Kind {
+    kInsert,          // undo: remove row at `row_index`
+    kDelete,          // undo: re-insert `row` at `row_index`
+    kUpdate,          // undo: restore `row` at `row_index`
+    kTruncate,        // undo: restore `bulk_rows`
+    kCreateTable,     // undo: drop the table
+    kDropTable,       // undo: re-register the saved table
+    kCreateSequence,  // undo: drop the sequence
+    kDropSequence,    // undo: re-create with `sequence_value`
+    kSequenceAdvance, // undo: restore `sequence_value`
+    kCreateIndex,     // undo: drop the constraint
+    kDropIndex,       // not currently emitted (no DROP INDEX statement)
+    kCreateView,      // undo: drop the view
+    kDropView,        // undo: re-register `saved_view`
+  };
+
+  Kind kind;
+  std::string table_name;   // or sequence/index name
+  size_t row_index = 0;
+  Row row;
+  std::vector<Row> bulk_rows;
+  int64_t sequence_value = 0;
+  // For kDropTable: the saved schema + data + constraints.
+  TableSchema saved_schema;
+  std::vector<Row> saved_rows;
+  std::vector<std::pair<std::string, std::vector<std::string>>>
+      saved_constraints;  // name → column names
+  std::string index_table;           // for kCreateIndex
+  std::unique_ptr<SelectStatement> saved_view;  // for kDropView
+};
+
+/// Ordered list of undo records for one open transaction.
+class UndoLog {
+ public:
+  void Record(UndoEntry entry) { entries_.push_back(std::move(entry)); }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Applies all entries in reverse and clears the log.
+  void RollbackInto(Database* db);
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<UndoEntry> entries_;
+};
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_TRANSACTION_H_

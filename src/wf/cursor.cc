@@ -1,0 +1,71 @@
+#include "wf/cursor.h"
+
+#include "dataset/data_set.h"
+
+namespace sqlflow::wf {
+
+namespace {
+
+Result<dataset::DataTablePtr> SoleTableOf(wfc::ProcessContext& ctx,
+                                          const std::string& variable) {
+  SQLFLOW_ASSIGN_OR_RETURN(
+      std::shared_ptr<dataset::DataSet> data_set,
+      ctx.variables().GetObjectAs<dataset::DataSet>(variable));
+  return data_set->SoleTable();
+}
+
+}  // namespace
+
+wfc::Condition DataSetHasMoreRows(std::string dataset_variable,
+                                  std::string position_variable) {
+  return wfc::Condition::Native(
+      [dataset_variable = std::move(dataset_variable),
+       position_variable = std::move(position_variable)](
+          wfc::ProcessContext& ctx) -> Result<bool> {
+        SQLFLOW_ASSIGN_OR_RETURN(dataset::DataTablePtr table,
+                                 SoleTableOf(ctx, dataset_variable));
+        SQLFLOW_ASSIGN_OR_RETURN(
+            Value pos, ctx.variables().GetScalar(position_variable));
+        SQLFLOW_ASSIGN_OR_RETURN(int64_t position, pos.AsInteger());
+        return static_cast<size_t>(position) < table->rows().size();
+      });
+}
+
+wfc::ActivityPtr FetchRowSnippet(
+    std::string activity_name, std::string dataset_variable,
+    std::string position_variable,
+    std::vector<std::pair<std::string, std::string>> column_to_variable) {
+  return std::make_shared<wfc::SnippetActivity>(
+      std::move(activity_name),
+      [dataset_variable = std::move(dataset_variable),
+       position_variable = std::move(position_variable),
+       column_to_variable = std::move(column_to_variable)](
+          wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(dataset::DataTablePtr table,
+                                 SoleTableOf(ctx, dataset_variable));
+        SQLFLOW_ASSIGN_OR_RETURN(
+            Value pos, ctx.variables().GetScalar(position_variable));
+        SQLFLOW_ASSIGN_OR_RETURN(int64_t position, pos.AsInteger());
+        // Advance past deleted rows.
+        size_t index = static_cast<size_t>(position);
+        while (index < table->rows().size() &&
+               table->rows()[index].state ==
+                   dataset::RowState::kDeleted) {
+          ++index;
+        }
+        if (index >= table->rows().size()) {
+          return Status::ExecutionError(
+              "DataSet cursor advanced past the last row");
+        }
+        for (const auto& [column, target] : column_to_variable) {
+          SQLFLOW_ASSIGN_OR_RETURN(Value v, table->Get(index, column));
+          ctx.variables().Set(target, wfc::VarValue(std::move(v)));
+        }
+        ctx.variables().Set(
+            position_variable,
+            wfc::VarValue(Value::Integer(static_cast<int64_t>(index) + 1)));
+        return Status::OK();
+      });
+}
+
+}  // namespace sqlflow::wf

@@ -1,0 +1,31 @@
+#ifndef SQLFLOW_WF_CURSOR_H_
+#define SQLFLOW_WF_CURSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "wfc/activities.h"
+
+namespace sqlflow::wf {
+
+/// Helpers codifying the paper's WF iteration idiom (Sec. IV-C): a while
+/// activity whose condition is ADO.NET-based code, plus a code activity
+/// that fetches the current row into host variables.
+
+/// Condition `position < row count` over the DataSet in `dataset_variable`
+/// (sole table), reading the 0-based position from scalar
+/// `position_variable` (declare it initialized to 0).
+wfc::Condition DataSetHasMoreRows(std::string dataset_variable,
+                                  std::string position_variable);
+
+/// Code activity that copies the current row's columns into scalar
+/// variables (`column` → `target_variable`) and advances the position.
+/// Skips rows marked deleted.
+wfc::ActivityPtr FetchRowSnippet(
+    std::string activity_name, std::string dataset_variable,
+    std::string position_variable,
+    std::vector<std::pair<std::string, std::string>> column_to_variable);
+
+}  // namespace sqlflow::wf
+
+#endif  // SQLFLOW_WF_CURSOR_H_

@@ -1,0 +1,114 @@
+#include "wf/sql_database_activity.h"
+
+#include "sql/parser.h"
+#include "wfc/activities.h"
+
+namespace sqlflow::wf {
+
+SqlDatabaseActivity::SqlDatabaseActivity(std::string name, Config config)
+    : Activity(std::move(name)), config_(std::move(config)) {}
+
+Status SqlDatabaseActivity::Execute(wfc::ProcessContext& ctx) {
+  if (config_.before != nullptr) {
+    SQLFLOW_RETURN_IF_ERROR(config_.before(ctx));
+  }
+
+  if (ctx.data_sources() == nullptr) {
+    return Status::ExecutionError("no data source registry available");
+  }
+  // Static connection: opened for this statement, conceptually closed
+  // again afterwards (Sec. IV-B).
+  SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<sql::Database> db,
+                           ctx.data_sources()->Open(
+                               config_.connection_string));
+
+  sql::Params params;
+  for (const auto& [param_name, source_expr] : config_.parameters) {
+    SQLFLOW_ASSIGN_OR_RETURN(xpath::XPathValue v,
+                             ctx.EvalXPath(source_expr));
+    params.Set(param_name, wfc::XPathValueToScalar(v));
+  }
+
+  if (compiled_ == nullptr) {
+    SQLFLOW_ASSIGN_OR_RETURN(compiled_,
+                             sql::ParseStatement(config_.statement));
+  }
+  ctx.audit().Record(wfc::AuditEventKind::kSqlExecuted, name(),
+                     config_.statement);
+  SQLFLOW_ASSIGN_OR_RETURN(sql::ResultSet result,
+                           db->ExecuteStatement(*compiled_, params));
+
+  if (config_.after != nullptr) {
+    SQLFLOW_RETURN_IF_ERROR(config_.after(ctx, result));
+  }
+
+  if (!config_.affected_variable.empty()) {
+    ctx.variables().Set(
+        config_.affected_variable,
+        wfc::VarValue(Value::Integer(result.affected_rows())));
+  }
+
+  // Automatic materialization into a DataSet for statements that
+  // produced rows (queries and procedure calls).
+  if (!config_.result_variable.empty() && result.column_count() > 0) {
+    auto data_set = std::make_shared<dataset::DataSet>();
+    SQLFLOW_ASSIGN_OR_RETURN(
+        dataset::DataTablePtr table,
+        data_set->AddTable(config_.result_table_name,
+                           result.column_names()));
+    for (const sql::Row& row : result.rows()) {
+      table->LoadRow(row);
+    }
+    db->MutableStats()->bytes_materialized += result.ApproxByteSize();
+    ctx.variables().Set(config_.result_variable,
+                        wfc::VarValue(wfc::ObjectPtr(data_set)));
+    ctx.audit().Record(
+        wfc::AuditEventKind::kNote, name(),
+        "materialized " + std::to_string(result.row_count()) +
+            " rows into DataSet variable " + config_.result_variable);
+  }
+  return Status::OK();
+}
+
+Status RegisterSqlDatabaseXomlActivity(wfc::XomlLoader* loader) {
+  return loader->RegisterActivityType(
+      "SqlDatabase",
+      [](const xml::Node& element,
+         wfc::XomlLoader&) -> Result<wfc::ActivityPtr> {
+        std::optional<std::string> connection =
+            element.GetAttribute("connection");
+        std::optional<std::string> statement =
+            element.GetAttribute("statement");
+        if (!connection.has_value() || !statement.has_value()) {
+          return Status::InvalidArgument(
+              "<SqlDatabase> requires connection= and statement=");
+        }
+        SqlDatabaseActivity::Config config;
+        config.connection_string = *connection;
+        config.statement = *statement;
+        config.result_variable = element.GetAttribute("result").value_or("");
+        config.result_table_name =
+            element.GetAttribute("resultTable").value_or("Result");
+        config.affected_variable =
+            element.GetAttribute("affected").value_or("");
+        for (const xml::NodePtr& child : element.children()) {
+          if (!child->is_element()) continue;
+          if (child->name() != "Param") {
+            return Status::InvalidArgument(
+                "<SqlDatabase> children must be <Param>");
+          }
+          std::optional<std::string> param = child->GetAttribute("name");
+          std::optional<std::string> expr = child->GetAttribute("expr");
+          if (!param.has_value() || !expr.has_value()) {
+            return Status::InvalidArgument(
+                "<Param> requires name= and expr=");
+          }
+          config.parameters.emplace_back(*param, *expr);
+        }
+        return wfc::ActivityPtr(std::make_shared<SqlDatabaseActivity>(
+            element.GetAttribute("name").value_or("sql-database"),
+            std::move(config)));
+      });
+}
+
+}  // namespace sqlflow::wf

@@ -1,0 +1,72 @@
+#ifndef SQLFLOW_WF_SQL_DATABASE_ACTIVITY_H_
+#define SQLFLOW_WF_SQL_DATABASE_ACTIVITY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dataset/data_set.h"
+#include "sql/ast.h"
+#include "wfc/activity.h"
+#include "wfc/xoml.h"
+
+namespace sqlflow::wf {
+
+/// The customized *SQL database activity* of WF's custom activity
+/// library (Sec. IV-B): executes one SQL statement — query, DML, DDL, or
+/// CALL — over a **static** connection string, with host-variable input
+/// parameters. Table names are a static part of the statement (no set
+/// references).
+///
+/// Query (and CALL) execution "is always aligned with a consecutive
+/// materialization step": the result set is imported into the process
+/// space as a DataSet object stored in `result_variable` — a client-side
+/// cache holding no connection to the original data.
+///
+/// `before`/`after` are the activity's event handlers: arbitrary code run
+/// around the statement (e.g. to initialize parameter values or to
+/// post-process result data).
+class SqlDatabaseActivity : public wfc::Activity {
+ public:
+  struct Config {
+    /// Static connection string, resolved (and "closed") per execution.
+    std::string connection_string;
+    std::string statement;
+    /// name → XPath source for `:name` host variables.
+    std::vector<std::pair<std::string, std::string>> parameters;
+    /// Variable receiving the DataSet (queries/CALL only).
+    std::string result_variable;
+    /// Name of the DataSet's table (defaults to "Result").
+    std::string result_table_name = "Result";
+    /// Optional scalar variable receiving the affected-row count.
+    std::string affected_variable;
+    /// Event handlers.
+    std::function<Status(wfc::ProcessContext&)> before;
+    std::function<Status(wfc::ProcessContext&, sql::ResultSet&)> after;
+  };
+
+  SqlDatabaseActivity(std::string name, Config config);
+
+  std::string TypeName() const override { return "sql-database"; }
+
+ protected:
+  Status Execute(wfc::ProcessContext& ctx) override;
+
+ private:
+  Config config_;
+  // Statement text is static (Sec. IV-B), so it is parsed once on first
+  // execution and reused. The engine is single-threaded per design.
+  std::unique_ptr<sql::Statement> compiled_;
+};
+
+/// Registers the `<SqlDatabase>` element with a XOML loader — the markup
+/// face of augmenting the custom activity library. Attributes:
+/// connection=, statement=, result=, resultTable=, affected=; children:
+/// `<Param name= expr=/>`.
+Status RegisterSqlDatabaseXomlActivity(wfc::XomlLoader* loader);
+
+}  // namespace sqlflow::wf
+
+#endif  // SQLFLOW_WF_SQL_DATABASE_ACTIVITY_H_

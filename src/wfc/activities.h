@@ -1,0 +1,236 @@
+#ifndef SQLFLOW_WFC_ACTIVITIES_H_
+#define SQLFLOW_WFC_ACTIVITIES_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wfc/activity.h"
+
+namespace sqlflow::wfc {
+
+/// Boolean guard for While/IfElse: either a native callback or an XPath
+/// expression over the instance's variables.
+class Condition {
+ public:
+  using Fn = std::function<Result<bool>(ProcessContext&)>;
+
+  Condition() = default;
+  /// From an XPath expression, e.g. "$HasMore = 'true'".
+  static Condition XPath(std::string expr);
+  /// From a native callback (the "code condition" of WF).
+  static Condition Native(Fn fn);
+
+  Result<bool> Evaluate(ProcessContext& ctx) const;
+  bool valid() const { return fn_ != nullptr || !xpath_.empty(); }
+  const std::string& xpath_text() const { return xpath_; }
+
+ private:
+  Fn fn_;
+  std::string xpath_;
+};
+
+/// Runs children in order; stops at the first fault or termination.
+class SequenceActivity : public Activity {
+ public:
+  SequenceActivity(std::string name, std::vector<ActivityPtr> children);
+  std::string TypeName() const override { return "sequence"; }
+  void Append(ActivityPtr child) { children_.push_back(std::move(child)); }
+  const std::vector<ActivityPtr>& children() const { return children_; }
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  std::vector<ActivityPtr> children_;
+};
+
+/// Repeats the body while the condition holds (guarded against runaway
+/// loops via max_iterations).
+class WhileActivity : public Activity {
+ public:
+  WhileActivity(std::string name, Condition condition, ActivityPtr body,
+                uint64_t max_iterations = 1000000);
+  std::string TypeName() const override { return "while"; }
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  Condition condition_;
+  ActivityPtr body_;
+  uint64_t max_iterations_;
+};
+
+/// BPEL flow: concurrent branches. This single-threaded engine executes
+/// branches in declaration order (the observable semantics of a flow
+/// whose branches are data-independent); a fault in any branch faults
+/// the flow after all branches were attempted, mirroring BPEL's
+/// join behaviour for unsynchronized links.
+class FlowActivity : public Activity {
+ public:
+  FlowActivity(std::string name, std::vector<ActivityPtr> branches);
+  std::string TypeName() const override { return "flow"; }
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  std::vector<ActivityPtr> branches_;
+};
+
+/// BPEL repeatUntil: runs the body, then repeats while the condition is
+/// *false* (the body always executes at least once).
+class RepeatUntilActivity : public Activity {
+ public:
+  RepeatUntilActivity(std::string name, ActivityPtr body,
+                      Condition until, uint64_t max_iterations = 1000000);
+  std::string TypeName() const override { return "repeat-until"; }
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  ActivityPtr body_;
+  Condition until_;
+  uint64_t max_iterations_;
+};
+
+/// Two-armed conditional; either arm may be null (no-op).
+class IfElseActivity : public Activity {
+ public:
+  IfElseActivity(std::string name, Condition condition,
+                 ActivityPtr then_activity, ActivityPtr else_activity);
+  std::string TypeName() const override { return "ifelse"; }
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  Condition condition_;
+  ActivityPtr then_activity_;
+  ActivityPtr else_activity_;
+};
+
+/// BPEL assign: a list of copy specifications evaluated in order. The
+/// source is a literal, an XPath expression over the variable pool, or a
+/// native function; the target is a variable (replaced wholesale) or a
+/// node inside an XML variable selected by an XPath expression.
+class AssignActivity : public Activity {
+ public:
+  struct Copy {
+    // Exactly one source:
+    std::optional<Value> literal;
+    std::string from_xpath;
+    std::function<Result<VarValue>(ProcessContext&)> from_fn;
+    // Target:
+    std::string to_variable;
+    std::string to_xpath;  // optional; selects a node within to_variable
+  };
+
+  explicit AssignActivity(std::string name);
+  std::string TypeName() const override { return "assign"; }
+
+  AssignActivity& CopyLiteral(Value v, std::string to_variable);
+  AssignActivity& CopyExpr(std::string from_xpath, std::string to_variable);
+  /// Writes the source's string-value into the node selected by
+  /// `to_xpath` (which should address into `$to_variable`'s document).
+  AssignActivity& CopyExprToNode(std::string from_xpath,
+                                 std::string to_variable,
+                                 std::string to_xpath);
+  AssignActivity& CopyFn(std::function<Result<VarValue>(ProcessContext&)> fn,
+                         std::string to_variable);
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  std::vector<Copy> copies_;
+};
+
+/// Calls a registered web service: inputs are (parameter name, XPath
+/// source) pairs; the response value lands in `output_variable` (if
+/// non-empty).
+class InvokeActivity : public Activity {
+ public:
+  InvokeActivity(std::string name, std::string service_name,
+                 std::vector<std::pair<std::string, std::string>> inputs,
+                 std::string output_variable);
+  std::string TypeName() const override { return "invoke"; }
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  std::string service_name_;
+  std::vector<std::pair<std::string, std::string>> inputs_;
+  std::string output_variable_;
+};
+
+/// Embedded native code: IBM's Java-Snippet / WF's code activity. The
+/// escape hatch the paper's "workaround" rows rely on.
+class SnippetActivity : public Activity {
+ public:
+  using Fn = std::function<Status(ProcessContext&)>;
+  SnippetActivity(std::string name, Fn fn);
+  std::string TypeName() const override { return "snippet"; }
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  Fn fn_;
+};
+
+/// No-op placeholder.
+class EmptyActivity : public Activity {
+ public:
+  explicit EmptyActivity(std::string name) : Activity(std::move(name)) {}
+  std::string TypeName() const override { return "empty"; }
+
+ protected:
+  Status Execute(ProcessContext&) override { return Status::OK(); }
+};
+
+/// Requests instance termination; subsequent activities are skipped.
+class TerminateActivity : public Activity {
+ public:
+  explicit TerminateActivity(std::string name)
+      : Activity(std::move(name)) {}
+  std::string TypeName() const override { return "terminate"; }
+
+ protected:
+  Status Execute(ProcessContext& ctx) override {
+    ctx.RequestTerminate();
+    return Status::OK();
+  }
+};
+
+/// Runs the body; on fault, runs the fault handler (if any) and reports
+/// success if the handler succeeded.
+class ScopeActivity : public Activity {
+ public:
+  ScopeActivity(std::string name, ActivityPtr body,
+                ActivityPtr fault_handler);
+  std::string TypeName() const override { return "scope"; }
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  ActivityPtr body_;
+  ActivityPtr fault_handler_;
+};
+
+/// Converts an XPath value into a variable value: node-sets become XML
+/// (clone of the first node), numbers become INTEGER when integral else
+/// DOUBLE, booleans/strings map directly.
+VarValue XPathValueToVarValue(const xpath::XPathValue& v);
+
+/// Converts an XPath value to a scalar Value (node-sets via string-value).
+Value XPathValueToScalar(const xpath::XPathValue& v);
+
+}  // namespace sqlflow::wfc
+
+#endif  // SQLFLOW_WFC_ACTIVITIES_H_

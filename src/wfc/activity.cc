@@ -1,0 +1,20 @@
+#include "wfc/activity.h"
+
+namespace sqlflow::wfc {
+
+Status Activity::Run(ProcessContext& ctx) {
+  if (ctx.terminate_requested()) {
+    return Status::OK();  // silently skip the rest of the flow
+  }
+  ctx.audit().Record(AuditEventKind::kActivityStarted, name_, TypeName());
+  Status st = Execute(ctx);
+  if (st.ok()) {
+    ctx.audit().Record(AuditEventKind::kActivityCompleted, name_);
+  } else {
+    ctx.audit().Record(AuditEventKind::kActivityFaulted, name_,
+                       st.ToString());
+  }
+  return st;
+}
+
+}  // namespace sqlflow::wfc

@@ -1,0 +1,45 @@
+#ifndef SQLFLOW_WFC_ACTIVITY_H_
+#define SQLFLOW_WFC_ACTIVITY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "wfc/context.h"
+
+namespace sqlflow::wfc {
+
+/// One discrete processing step of a workflow (BPEL's central
+/// abstraction). Concrete activities override Execute(); Run() wraps it
+/// with audit events and termination handling. Activities are shared
+/// between process instances, so Execute must keep per-instance state in
+/// the ProcessContext, never in members.
+class Activity {
+ public:
+  explicit Activity(std::string name) : name_(std::move(name)) {}
+  virtual ~Activity() = default;
+
+  Activity(const Activity&) = delete;
+  Activity& operator=(const Activity&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Activity type tag for audit/tooling ("sequence", "sql", ...).
+  virtual std::string TypeName() const = 0;
+
+  /// Executes with audit bracketing; skipped when termination was
+  /// requested earlier in the instance.
+  Status Run(ProcessContext& ctx);
+
+ protected:
+  virtual Status Execute(ProcessContext& ctx) = 0;
+
+ private:
+  std::string name_;
+};
+
+using ActivityPtr = std::shared_ptr<Activity>;
+
+}  // namespace sqlflow::wfc
+
+#endif  // SQLFLOW_WFC_ACTIVITY_H_

@@ -1,0 +1,60 @@
+#include "wfc/audit.h"
+
+#include <sstream>
+
+namespace sqlflow::wfc {
+
+const char* AuditEventKindName(AuditEventKind kind) {
+  switch (kind) {
+    case AuditEventKind::kInstanceStarted:
+      return "instance-started";
+    case AuditEventKind::kInstanceCompleted:
+      return "instance-completed";
+    case AuditEventKind::kInstanceFaulted:
+      return "instance-faulted";
+    case AuditEventKind::kActivityStarted:
+      return "activity-started";
+    case AuditEventKind::kActivityCompleted:
+      return "activity-completed";
+    case AuditEventKind::kActivityFaulted:
+      return "activity-faulted";
+    case AuditEventKind::kServiceInvoked:
+      return "service-invoked";
+    case AuditEventKind::kSqlExecuted:
+      return "sql-executed";
+    case AuditEventKind::kNote:
+      return "note";
+  }
+  return "unknown";
+}
+
+void AuditTrail::Record(AuditEventKind kind, const std::string& activity,
+                        const std::string& detail) {
+  AuditEvent e;
+  e.sequence = next_sequence_++;
+  e.kind = kind;
+  e.activity = activity;
+  e.detail = detail;
+  events_.push_back(std::move(e));
+}
+
+size_t AuditTrail::CountKind(AuditEventKind kind) const {
+  size_t n = 0;
+  for (const AuditEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string AuditTrail::ToString() const {
+  std::ostringstream os;
+  for (const AuditEvent& e : events_) {
+    os << e.sequence << " " << AuditEventKindName(e.kind) << " "
+       << e.activity;
+    if (!e.detail.empty()) os << " :: " << e.detail;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sqlflow::wfc

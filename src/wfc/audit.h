@@ -1,0 +1,53 @@
+#ifndef SQLFLOW_WFC_AUDIT_H_
+#define SQLFLOW_WFC_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sqlflow::wfc {
+
+enum class AuditEventKind {
+  kInstanceStarted,
+  kInstanceCompleted,
+  kInstanceFaulted,
+  kActivityStarted,
+  kActivityCompleted,
+  kActivityFaulted,
+  kServiceInvoked,
+  kSqlExecuted,
+  kNote,
+};
+
+const char* AuditEventKindName(AuditEventKind kind);
+
+/// One event of an instance's execution history (the paper's "monitoring"
+/// / "tracking" runtime services).
+struct AuditEvent {
+  uint64_t sequence = 0;
+  AuditEventKind kind = AuditEventKind::kNote;
+  std::string activity;  // activity or component name
+  std::string detail;
+};
+
+/// Append-only execution trace of one process instance.
+class AuditTrail {
+ public:
+  void Record(AuditEventKind kind, const std::string& activity,
+              const std::string& detail = "");
+  const std::vector<AuditEvent>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+
+  /// Number of events of one kind (e.g. how many SQL statements ran).
+  size_t CountKind(AuditEventKind kind) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<AuditEvent> events_;
+  uint64_t next_sequence_ = 1;
+};
+
+}  // namespace sqlflow::wfc
+
+#endif  // SQLFLOW_WFC_AUDIT_H_

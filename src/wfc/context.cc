@@ -1,0 +1,62 @@
+#include "wfc/context.h"
+
+namespace sqlflow::wfc {
+
+ProcessContext::ProcessContext(uint64_t instance_id,
+                               std::string process_name,
+                               ServiceRegistry* services,
+                               sql::DataSourceRegistry* data_sources,
+                               const xpath::FunctionRegistry* xpath_functions)
+    : instance_id_(instance_id),
+      process_name_(std::move(process_name)),
+      services_(services),
+      data_sources_(data_sources),
+      xpath_functions_(xpath_functions) {}
+
+xpath::EvalEnv ProcessContext::XPathEnv() const {
+  xpath::EvalEnv env;
+  env.functions = xpath_functions_;
+  const VariableSet* vars = &variables_;
+  env.variable_resolver =
+      [vars](const std::string& name) -> Result<xpath::XPathValue> {
+    SQLFLOW_ASSIGN_OR_RETURN(VarValue v, vars->Get(name));
+    if (std::holds_alternative<xml::NodePtr>(v)) {
+      xml::NodePtr node = std::get<xml::NodePtr>(v);
+      if (node == nullptr) return xpath::XPathValue::NodeSet({});
+      return xpath::XPathValue::NodeSet({std::move(node)});
+    }
+    if (std::holds_alternative<Value>(v)) {
+      const Value& scalar = std::get<Value>(v);
+      switch (scalar.type()) {
+        case ValueType::kBoolean:
+          return xpath::XPathValue::Boolean(scalar.boolean());
+        case ValueType::kInteger:
+          return xpath::XPathValue::Number(
+              static_cast<double>(scalar.integer()));
+        case ValueType::kDouble:
+          return xpath::XPathValue::Number(scalar.dbl());
+        default:
+          return xpath::XPathValue::String(scalar.AsString());
+      }
+    }
+    if (std::holds_alternative<std::monostate>(v)) {
+      return xpath::XPathValue::String("");
+    }
+    return Status::TypeError("variable '" + name +
+                             "' holds an engine object; it is not "
+                             "addressable from XPath");
+  };
+  return env;
+}
+
+Result<xpath::XPathValue> ProcessContext::EvalXPath(
+    const std::string& expr) const {
+  return xpath::EvaluateXPath(expr, nullptr, XPathEnv());
+}
+
+Result<bool> ProcessContext::EvalCondition(const std::string& expr) const {
+  SQLFLOW_ASSIGN_OR_RETURN(xpath::XPathValue v, EvalXPath(expr));
+  return v.ToBool();
+}
+
+}  // namespace sqlflow::wfc

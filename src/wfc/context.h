@@ -1,0 +1,70 @@
+#ifndef SQLFLOW_WFC_CONTEXT_H_
+#define SQLFLOW_WFC_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "sql/data_source.h"
+#include "wfc/audit.h"
+#include "wfc/service.h"
+#include "wfc/variable.h"
+#include "xpath/evaluator.h"
+
+namespace sqlflow::wfc {
+
+/// Execution state of one running process instance, passed to every
+/// activity. Bundles the variable pool, the engine's shared facilities
+/// (services, data sources, XPath extension functions), and the audit
+/// trail.
+class ProcessContext {
+ public:
+  ProcessContext(uint64_t instance_id, std::string process_name,
+                 ServiceRegistry* services,
+                 sql::DataSourceRegistry* data_sources,
+                 const xpath::FunctionRegistry* xpath_functions);
+
+  uint64_t instance_id() const { return instance_id_; }
+  const std::string& process_name() const { return process_name_; }
+
+  VariableSet& variables() { return variables_; }
+  const VariableSet& variables() const { return variables_; }
+
+  ServiceRegistry* services() { return services_; }
+  sql::DataSourceRegistry* data_sources() { return data_sources_; }
+  const xpath::FunctionRegistry* xpath_functions() const {
+    return xpath_functions_;
+  }
+
+  AuditTrail& audit() { return audit_; }
+  const AuditTrail& audit() const { return audit_; }
+
+  bool terminate_requested() const { return terminate_requested_; }
+  void RequestTerminate() { terminate_requested_ = true; }
+
+  /// XPath environment whose `$name` resolves to this instance's
+  /// variables: XML variables become node-sets, scalars become
+  /// strings/numbers/booleans.
+  xpath::EvalEnv XPathEnv() const;
+
+  /// Evaluates an XPath expression against the variable pool (no
+  /// context node; paths must start from `$variable`).
+  Result<xpath::XPathValue> EvalXPath(const std::string& expr) const;
+
+  /// Evaluates an XPath expression to a boolean (while/if conditions).
+  Result<bool> EvalCondition(const std::string& expr) const;
+
+ private:
+  uint64_t instance_id_;
+  std::string process_name_;
+  VariableSet variables_;
+  ServiceRegistry* services_;
+  sql::DataSourceRegistry* data_sources_;
+  const xpath::FunctionRegistry* xpath_functions_;
+  AuditTrail audit_;
+  bool terminate_requested_ = false;
+};
+
+}  // namespace sqlflow::wfc
+
+#endif  // SQLFLOW_WFC_CONTEXT_H_

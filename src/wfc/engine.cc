@@ -1,0 +1,99 @@
+#include "wfc/engine.h"
+
+namespace sqlflow::wfc {
+
+WorkflowEngine::WorkflowEngine(std::string name)
+    : name_(std::move(name)) {}
+
+Status WorkflowEngine::Deploy(ProcessDefinitionPtr definition) {
+  const std::string& process_name = definition->name();
+  if (processes_.count(process_name) > 0) {
+    return Status::AlreadyExists("process '" + process_name +
+                                 "' already deployed");
+  }
+  processes_.emplace(process_name, std::move(definition));
+  return Status::OK();
+}
+
+void WorkflowEngine::DeployOrReplace(ProcessDefinitionPtr definition) {
+  processes_[definition->name()] = std::move(definition);
+}
+
+Status WorkflowEngine::Undeploy(const std::string& process_name) {
+  if (processes_.erase(process_name) == 0) {
+    return Status::NotFound("no deployed process '" + process_name + "'");
+  }
+  return Status::OK();
+}
+
+bool WorkflowEngine::IsDeployed(const std::string& process_name) const {
+  return processes_.count(process_name) > 0;
+}
+
+std::vector<std::string> WorkflowEngine::DeployedProcessNames() const {
+  std::vector<std::string> names;
+  names.reserve(processes_.size());
+  for (const auto& [name, definition] : processes_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+Result<InstanceResult> WorkflowEngine::RunProcess(
+    const std::string& process_name,
+    const std::map<std::string, VarValue>& inputs) {
+  auto it = processes_.find(process_name);
+  if (it == processes_.end()) {
+    return Status::NotFound("no deployed process '" + process_name + "'");
+  }
+  const ProcessDefinition& def = *it->second;
+
+  ProcessContext ctx(next_instance_id_++, process_name, &services_,
+                     &data_sources_, &xpath_functions_);
+  for (const auto& [var_name, initial] : def.variables()) {
+    ctx.variables().Set(var_name, initial);
+  }
+  for (const auto& [var_name, value] : inputs) {
+    ctx.variables().Set(var_name, value);
+  }
+
+  stats_.instances_started++;
+  ctx.audit().Record(AuditEventKind::kInstanceStarted, process_name);
+
+  Status st = Status::OK();
+  for (const ProcessDefinition::Hook& hook : def.start_hooks()) {
+    st = hook(ctx);
+    if (!st.ok()) break;
+  }
+  if (st.ok()) {
+    st = def.root()->Run(ctx);
+  }
+  // Cleanup hooks run regardless of the flow's outcome (BIS drops its
+  // per-instance result tables even on fault); a hook failure is only
+  // surfaced when the flow itself succeeded.
+  for (const ProcessDefinition::Hook& hook : def.complete_hooks()) {
+    Status hook_status = hook(ctx);
+    if (st.ok() && !hook_status.ok()) st = hook_status;
+  }
+
+  if (st.ok()) {
+    stats_.instances_completed++;
+    ctx.audit().Record(AuditEventKind::kInstanceCompleted, process_name);
+  } else {
+    stats_.instances_faulted++;
+    ctx.audit().Record(AuditEventKind::kInstanceFaulted, process_name,
+                       st.ToString());
+  }
+
+  InstanceResult result;
+  result.instance_id = ctx.instance_id();
+  result.status = st;
+  result.variables = ctx.variables();
+  result.audit = ctx.audit();
+  for (const InstanceListener& listener : listeners_) {
+    listener(result);
+  }
+  return result;
+}
+
+}  // namespace sqlflow::wfc

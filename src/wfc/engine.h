@@ -1,0 +1,83 @@
+#ifndef SQLFLOW_WFC_ENGINE_H_
+#define SQLFLOW_WFC_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "wfc/process.h"
+
+namespace sqlflow::wfc {
+
+/// Outcome of one process instance: final status, variable snapshot, and
+/// the audit trail (monitoring data).
+struct InstanceResult {
+  uint64_t instance_id = 0;
+  Status status;
+  VariableSet variables;
+  AuditTrail audit;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// The process server: deploy process models, run instances. One engine
+/// owns the shared runtime services the paper's architecture figures
+/// show — the service registry (WSDL binding / SOA core stand-in), the
+/// data-source registry, and the XPath extension-function registry
+/// (Oracle's integration services).
+class WorkflowEngine {
+ public:
+  struct EngineStats {
+    uint64_t instances_started = 0;
+    uint64_t instances_completed = 0;
+    uint64_t instances_faulted = 0;
+  };
+
+  explicit WorkflowEngine(std::string name);
+
+  const std::string& name() const { return name_; }
+  ServiceRegistry& services() { return services_; }
+  sql::DataSourceRegistry& data_sources() { return data_sources_; }
+  xpath::FunctionRegistry& xpath_functions() { return xpath_functions_; }
+
+  /// Installs a process model; error if the name is taken.
+  Status Deploy(ProcessDefinitionPtr definition);
+  /// Replaces an existing deployment (re-deploy).
+  void DeployOrReplace(ProcessDefinitionPtr definition);
+  Status Undeploy(const std::string& process_name);
+  bool IsDeployed(const std::string& process_name) const;
+  std::vector<std::string> DeployedProcessNames() const;
+
+  /// Runs one instance to completion; `inputs` overwrite declared
+  /// variables before the flow starts. The returned InstanceResult
+  /// carries the fault (if any) in `status` — the call itself only fails
+  /// for an unknown process name.
+  Result<InstanceResult> RunProcess(
+      const std::string& process_name,
+      const std::map<std::string, VarValue>& inputs = {});
+
+  /// Monitoring hook (the paper's process-monitoring tooling): called
+  /// with every finished instance, after its hooks ran, before
+  /// RunProcess returns. Listeners observe; they cannot veto.
+  using InstanceListener = std::function<void(const InstanceResult&)>;
+  void AddInstanceListener(InstanceListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  const EngineStats& stats() const { return stats_; }
+
+ private:
+  std::string name_;
+  ServiceRegistry services_;
+  sql::DataSourceRegistry data_sources_;
+  xpath::FunctionRegistry xpath_functions_;
+  std::map<std::string, ProcessDefinitionPtr> processes_;
+  std::vector<InstanceListener> listeners_;
+  uint64_t next_instance_id_ = 1;
+  EngineStats stats_;
+};
+
+}  // namespace sqlflow::wfc
+
+#endif  // SQLFLOW_WFC_ENGINE_H_

@@ -1,0 +1,28 @@
+#ifndef SQLFLOW_WFC_OBJECT_H_
+#define SQLFLOW_WFC_OBJECT_H_
+
+#include <memory>
+#include <string>
+
+namespace sqlflow::wfc {
+
+/// Base for engine-specific process-space objects held in workflow
+/// variables (ADO.NET-style DataSets, BIS set references, ...). The
+/// TypeName doubles as the runtime type check when a variable is read
+/// back as a concrete type.
+class Object {
+ public:
+  virtual ~Object() = default;
+
+  /// Stable type tag, e.g. "DataSet", "SetReference".
+  virtual std::string TypeName() const = 0;
+
+  /// One-line human-readable summary for audit trails and debugging.
+  virtual std::string Describe() const { return TypeName(); }
+};
+
+using ObjectPtr = std::shared_ptr<Object>;
+
+}  // namespace sqlflow::wfc
+
+#endif  // SQLFLOW_WFC_OBJECT_H_

@@ -1,0 +1,21 @@
+#include "wfc/process.h"
+
+namespace sqlflow::wfc {
+
+ProcessDefinition& ProcessDefinition::DeclareVariable(std::string name,
+                                                      VarValue initial) {
+  variables_.emplace_back(std::move(name), std::move(initial));
+  return *this;
+}
+
+ProcessDefinition& ProcessDefinition::OnStart(Hook hook) {
+  start_hooks_.push_back(std::move(hook));
+  return *this;
+}
+
+ProcessDefinition& ProcessDefinition::OnComplete(Hook hook) {
+  complete_hooks_.push_back(std::move(hook));
+  return *this;
+}
+
+}  // namespace sqlflow::wfc

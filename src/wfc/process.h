@@ -1,0 +1,57 @@
+#ifndef SQLFLOW_WFC_PROCESS_H_
+#define SQLFLOW_WFC_PROCESS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "wfc/activities.h"
+#include "wfc/activity.h"
+
+namespace sqlflow::wfc {
+
+/// Deployable process model: a name, declared variables, the activity
+/// tree, and lifecycle hooks. Hooks run inside the instance (with its
+/// context) before the root activity and after completion — the BIS
+/// module uses them for preparation/cleanup statements.
+class ProcessDefinition {
+ public:
+  using Hook = std::function<Status(ProcessContext&)>;
+
+  ProcessDefinition(std::string name, ActivityPtr root)
+      : name_(std::move(name)), root_(std::move(root)) {}
+
+  const std::string& name() const { return name_; }
+  const ActivityPtr& root() const { return root_; }
+
+  /// Declares a variable with an initial value.
+  ProcessDefinition& DeclareVariable(std::string name,
+                                     VarValue initial = VarValue{});
+
+  /// Registers a hook run before the root activity / after completion
+  /// (cleanup hooks run even when the flow faulted).
+  ProcessDefinition& OnStart(Hook hook);
+  ProcessDefinition& OnComplete(Hook hook);
+
+  const std::vector<std::pair<std::string, VarValue>>& variables() const {
+    return variables_;
+  }
+  const std::vector<Hook>& start_hooks() const { return start_hooks_; }
+  const std::vector<Hook>& complete_hooks() const {
+    return complete_hooks_;
+  }
+
+ private:
+  std::string name_;
+  ActivityPtr root_;
+  std::vector<std::pair<std::string, VarValue>> variables_;
+  std::vector<Hook> start_hooks_;
+  std::vector<Hook> complete_hooks_;
+};
+
+using ProcessDefinitionPtr = std::shared_ptr<ProcessDefinition>;
+
+}  // namespace sqlflow::wfc
+
+#endif  // SQLFLOW_WFC_PROCESS_H_

@@ -1,0 +1,107 @@
+#include "wfc/service.h"
+
+namespace sqlflow::wfc {
+
+xml::NodePtr MakeRequest(
+    const std::vector<std::pair<std::string, Value>>& params) {
+  xml::NodePtr request = xml::Node::Element("request");
+  for (const auto& [name, value] : params) {
+    xml::NodePtr param = request->AddElement("param", value.AsString());
+    param->SetAttribute("name", name);
+    param->SetAttribute("type", ValueTypeName(value.type()));
+  }
+  return request;
+}
+
+namespace {
+
+Result<Value> DecodeTypedText(const std::string& type,
+                              const std::string& text) {
+  if (type == "NULL") return Value::Null();
+  if (type == "INTEGER") {
+    SQLFLOW_ASSIGN_OR_RETURN(int64_t v, Value::String(text).AsInteger());
+    return Value::Integer(v);
+  }
+  if (type == "DOUBLE") {
+    SQLFLOW_ASSIGN_OR_RETURN(double v, Value::String(text).AsDouble());
+    return Value::Double(v);
+  }
+  if (type == "BOOLEAN") {
+    SQLFLOW_ASSIGN_OR_RETURN(bool v, Value::String(text).AsBoolean());
+    return Value::Boolean(v);
+  }
+  return Value::String(text);
+}
+
+}  // namespace
+
+Result<Value> GetRequestParam(const xml::NodePtr& request,
+                              const std::string& name) {
+  for (const xml::NodePtr& child : request->children()) {
+    if (!child->is_element() || child->name() != "param") continue;
+    std::optional<std::string> param_name = child->GetAttribute("name");
+    if (!param_name.has_value() || *param_name != name) continue;
+    std::string type = child->GetAttribute("type").value_or("STRING");
+    return DecodeTypedText(type, child->TextContent());
+  }
+  return Status::NotFound("request has no parameter '" + name + "'");
+}
+
+xml::NodePtr MakeResponse(const Value& value) {
+  xml::NodePtr response = xml::Node::Element("response");
+  response->SetAttribute("type", ValueTypeName(value.type()));
+  response->SetTextContent(value.AsString());
+  return response;
+}
+
+Result<Value> GetResponseValue(const xml::NodePtr& response) {
+  std::string type = response->GetAttribute("type").value_or("STRING");
+  return DecodeTypedText(type, response->TextContent());
+}
+
+SimpleWebService::SimpleWebService(std::string name,
+                                   std::vector<std::string> param_names,
+                                   Handler handler)
+    : name_(std::move(name)),
+      param_names_(std::move(param_names)),
+      handler_(std::move(handler)) {}
+
+Result<xml::NodePtr> SimpleWebService::Invoke(
+    const xml::NodePtr& request) {
+  ++invocation_count_;
+  std::vector<Value> args;
+  args.reserve(param_names_.size());
+  for (const std::string& param : param_names_) {
+    SQLFLOW_ASSIGN_OR_RETURN(Value v, GetRequestParam(request, param));
+    args.push_back(std::move(v));
+  }
+  SQLFLOW_ASSIGN_OR_RETURN(Value out, handler_(args));
+  return MakeResponse(out);
+}
+
+Status ServiceRegistry::Register(WebServicePtr service) {
+  const std::string& name = service->name();
+  if (services_.count(name) > 0) {
+    return Status::AlreadyExists("service '" + name +
+                                 "' already registered");
+  }
+  services_.emplace(name, std::move(service));
+  return Status::OK();
+}
+
+Result<WebServicePtr> ServiceRegistry::Find(const std::string& name) const {
+  auto it = services_.find(name);
+  if (it == services_.end()) {
+    return Status::NotFound("no service '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ServiceRegistry::ServiceNames() const {
+  std::vector<std::string> names;
+  names.reserve(services_.size());
+  for (const auto& [name, service] : services_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sqlflow::wfc

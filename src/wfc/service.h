@@ -1,0 +1,75 @@
+#ifndef SQLFLOW_WFC_SERVICE_H_
+#define SQLFLOW_WFC_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "xml/node.h"
+
+namespace sqlflow::wfc {
+
+/// A callable service endpoint. Requests and responses are XML messages
+/// (`<request><param name="..">..</param></request>` /
+/// `<response>..</response>`), which is what makes the adapter-vs-inline
+/// comparison of Fig. 1 meaningful: going through a service costs
+/// marshalling even in-process.
+class WebService {
+ public:
+  virtual ~WebService() = default;
+  virtual const std::string& name() const = 0;
+  virtual Result<xml::NodePtr> Invoke(const xml::NodePtr& request) = 0;
+};
+
+using WebServicePtr = std::shared_ptr<WebService>;
+
+/// Builds `<request>` messages and reads `<response>` messages.
+xml::NodePtr MakeRequest(
+    const std::vector<std::pair<std::string, Value>>& params);
+Result<Value> GetRequestParam(const xml::NodePtr& request,
+                              const std::string& name);
+xml::NodePtr MakeResponse(const Value& value);
+Result<Value> GetResponseValue(const xml::NodePtr& response);
+
+/// Wraps a plain function `(args in declared order) → value` as a
+/// WebService. The stand-in for the paper's remote services
+/// (OrderFromSupplier et al.).
+class SimpleWebService : public WebService {
+ public:
+  using Handler =
+      std::function<Result<Value>(const std::vector<Value>& args)>;
+
+  SimpleWebService(std::string name, std::vector<std::string> param_names,
+                   Handler handler);
+
+  const std::string& name() const override { return name_; }
+  Result<xml::NodePtr> Invoke(const xml::NodePtr& request) override;
+
+  uint64_t invocation_count() const { return invocation_count_; }
+
+ private:
+  std::string name_;
+  std::vector<std::string> param_names_;
+  Handler handler_;
+  uint64_t invocation_count_ = 0;
+};
+
+/// Name → endpoint map, shared by all process instances of an engine.
+class ServiceRegistry {
+ public:
+  Status Register(WebServicePtr service);
+  Result<WebServicePtr> Find(const std::string& name) const;
+  std::vector<std::string> ServiceNames() const;
+
+ private:
+  std::map<std::string, WebServicePtr> services_;
+};
+
+}  // namespace sqlflow::wfc
+
+#endif  // SQLFLOW_WFC_SERVICE_H_

@@ -1,0 +1,91 @@
+#include "wfc/variable.h"
+
+namespace sqlflow::wfc {
+
+std::string DescribeVarValue(const VarValue& v) {
+  if (std::holds_alternative<std::monostate>(v)) return "(unset)";
+  if (std::holds_alternative<Value>(v)) {
+    return std::get<Value>(v).ToString();
+  }
+  if (std::holds_alternative<xml::NodePtr>(v)) {
+    const xml::NodePtr& node = std::get<xml::NodePtr>(v);
+    if (node == nullptr) return "(null xml)";
+    return "<" + node->name() + "> (" +
+           std::to_string(node->child_count()) + " children)";
+  }
+  const ObjectPtr& obj = std::get<ObjectPtr>(v);
+  return obj == nullptr ? "(null object)" : obj->Describe();
+}
+
+Status VariableSet::Declare(const std::string& name, VarValue initial) {
+  if (variables_.count(name) > 0) {
+    return Status::AlreadyExists("variable '" + name +
+                                 "' already declared");
+  }
+  variables_.emplace(name, std::move(initial));
+  return Status::OK();
+}
+
+bool VariableSet::Has(const std::string& name) const {
+  return variables_.count(name) > 0;
+}
+
+std::vector<std::string> VariableSet::Names() const {
+  std::vector<std::string> names;
+  names.reserve(variables_.size());
+  for (const auto& [name, value] : variables_) names.push_back(name);
+  return names;
+}
+
+void VariableSet::Set(const std::string& name, VarValue value) {
+  variables_[name] = std::move(value);
+}
+
+Result<VarValue> VariableSet::Get(const std::string& name) const {
+  auto it = variables_.find(name);
+  if (it == variables_.end()) {
+    return Status::NotFound("no variable '" + name + "'");
+  }
+  return it->second;
+}
+
+Status VariableSet::SetScalar(const std::string& name, Value v) {
+  Set(name, VarValue(std::move(v)));
+  return Status::OK();
+}
+
+Result<Value> VariableSet::GetScalar(const std::string& name) const {
+  SQLFLOW_ASSIGN_OR_RETURN(VarValue v, Get(name));
+  if (!std::holds_alternative<Value>(v)) {
+    return Status::TypeError("variable '" + name + "' is not a scalar");
+  }
+  return std::get<Value>(v);
+}
+
+Status VariableSet::SetXml(const std::string& name, xml::NodePtr node) {
+  Set(name, VarValue(std::move(node)));
+  return Status::OK();
+}
+
+Result<xml::NodePtr> VariableSet::GetXml(const std::string& name) const {
+  SQLFLOW_ASSIGN_OR_RETURN(VarValue v, Get(name));
+  if (!std::holds_alternative<xml::NodePtr>(v)) {
+    return Status::TypeError("variable '" + name + "' is not XML");
+  }
+  return std::get<xml::NodePtr>(v);
+}
+
+Status VariableSet::SetObject(const std::string& name, ObjectPtr object) {
+  Set(name, VarValue(std::move(object)));
+  return Status::OK();
+}
+
+Result<ObjectPtr> VariableSet::GetObject(const std::string& name) const {
+  SQLFLOW_ASSIGN_OR_RETURN(VarValue v, Get(name));
+  if (!std::holds_alternative<ObjectPtr>(v)) {
+    return Status::TypeError("variable '" + name + "' is not an object");
+  }
+  return std::get<ObjectPtr>(v);
+}
+
+}  // namespace sqlflow::wfc

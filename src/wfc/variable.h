@@ -1,0 +1,75 @@
+#ifndef SQLFLOW_WFC_VARIABLE_H_
+#define SQLFLOW_WFC_VARIABLE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "wfc/object.h"
+#include "xml/node.h"
+
+namespace sqlflow::wfc {
+
+/// A workflow variable's payload: unset, a scalar, an XML tree (BPEL
+/// message / XML RowSet), or an engine-specific object handle.
+using VarValue =
+    std::variant<std::monostate, Value, xml::NodePtr, ObjectPtr>;
+
+/// Human-readable one-liner ("42", "<RowSet> (3 children)", "DataSet").
+std::string DescribeVarValue(const VarValue& v);
+
+/// The variable pool of one process instance. Variables must be declared
+/// (by the process definition or an engine mechanism) before they can be
+/// read; writes to undeclared names implicitly declare them, mirroring
+/// the permissive binding of the surveyed engines' host environments.
+class VariableSet {
+ public:
+  VariableSet() = default;
+
+  Status Declare(const std::string& name, VarValue initial = VarValue{});
+  bool Has(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+  /// Replaces (declaring if needed).
+  void Set(const std::string& name, VarValue value);
+
+  Result<VarValue> Get(const std::string& name) const;
+
+  // Typed helpers ------------------------------------------------------------
+  Status SetScalar(const std::string& name, Value v);
+  Result<Value> GetScalar(const std::string& name) const;
+
+  Status SetXml(const std::string& name, xml::NodePtr node);
+  Result<xml::NodePtr> GetXml(const std::string& name) const;
+
+  Status SetObject(const std::string& name, ObjectPtr object);
+  Result<ObjectPtr> GetObject(const std::string& name) const;
+
+  /// GetObject + dynamic_cast to the expected type.
+  template <typename T>
+  Result<std::shared_ptr<T>> GetObjectAs(const std::string& name) const {
+    SQLFLOW_ASSIGN_OR_RETURN(ObjectPtr obj, GetObject(name));
+    if (obj == nullptr) {
+      return Status::TypeError("variable '" + name +
+                               "' holds a null object");
+    }
+    auto typed = std::dynamic_pointer_cast<T>(obj);
+    if (typed == nullptr) {
+      return Status::TypeError("variable '" + name +
+                               "' holds an object of type '" +
+                               obj->TypeName() + "'");
+    }
+    return typed;
+  }
+
+ private:
+  std::map<std::string, VarValue> variables_;
+};
+
+}  // namespace sqlflow::wfc
+
+#endif  // SQLFLOW_WFC_VARIABLE_H_

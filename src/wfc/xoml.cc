@@ -1,0 +1,293 @@
+#include "wfc/xoml.h"
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+
+namespace sqlflow::wfc {
+
+namespace {
+
+std::string NameAttr(const xml::Node& element, const char* fallback) {
+  return element.GetAttribute("name").value_or(fallback);
+}
+
+Result<ActivityPtr> BuildSequence(const xml::Node& element,
+                                  XomlLoader& loader) {
+  std::vector<ActivityPtr> children;
+  for (const xml::NodePtr& child : element.children()) {
+    if (!child->is_element()) continue;
+    SQLFLOW_ASSIGN_OR_RETURN(ActivityPtr activity,
+                             loader.BuildActivity(*child));
+    children.push_back(std::move(activity));
+  }
+  return ActivityPtr(std::make_shared<SequenceActivity>(
+      NameAttr(element, "sequence"), std::move(children)));
+}
+
+Result<ActivityPtr> BuildFlow(const xml::Node& element,
+                              XomlLoader& loader) {
+  std::vector<ActivityPtr> branches;
+  for (const xml::NodePtr& child : element.children()) {
+    if (!child->is_element()) continue;
+    SQLFLOW_ASSIGN_OR_RETURN(ActivityPtr branch,
+                             loader.BuildActivity(*child));
+    branches.push_back(std::move(branch));
+  }
+  return ActivityPtr(std::make_shared<FlowActivity>(
+      NameAttr(element, "flow"), std::move(branches)));
+}
+
+Result<ActivityPtr> BuildRepeatUntil(const xml::Node& element,
+                                     XomlLoader& loader) {
+  std::optional<std::string> until = element.GetAttribute("until");
+  if (!until.has_value()) {
+    return Status::InvalidArgument("<RepeatUntil> requires until=");
+  }
+  SQLFLOW_ASSIGN_OR_RETURN(ActivityPtr body,
+                           loader.BuildBody(element, "repeat-body"));
+  return ActivityPtr(std::make_shared<RepeatUntilActivity>(
+      NameAttr(element, "repeat-until"), std::move(body),
+      Condition::XPath(*until)));
+}
+
+Result<ActivityPtr> BuildWhile(const xml::Node& element,
+                               XomlLoader& loader) {
+  std::optional<std::string> condition = element.GetAttribute("condition");
+  if (!condition.has_value()) {
+    return Status::InvalidArgument("<While> requires condition=");
+  }
+  SQLFLOW_ASSIGN_OR_RETURN(ActivityPtr body,
+                           loader.BuildBody(element, "while-body"));
+  return ActivityPtr(std::make_shared<WhileActivity>(
+      NameAttr(element, "while"), Condition::XPath(*condition),
+      std::move(body)));
+}
+
+Result<ActivityPtr> BuildIfElse(const xml::Node& element,
+                                XomlLoader& loader) {
+  std::optional<std::string> condition = element.GetAttribute("condition");
+  if (!condition.has_value()) {
+    return Status::InvalidArgument("<IfElse> requires condition=");
+  }
+  ActivityPtr then_activity;
+  ActivityPtr else_activity;
+  for (const xml::NodePtr& child : element.children()) {
+    if (!child->is_element()) continue;
+    if (child->name() == "Then") {
+      SQLFLOW_ASSIGN_OR_RETURN(then_activity,
+                               loader.BuildBody(*child, "then"));
+    } else if (child->name() == "Else") {
+      SQLFLOW_ASSIGN_OR_RETURN(else_activity,
+                               loader.BuildBody(*child, "else"));
+    } else {
+      return Status::InvalidArgument(
+          "<IfElse> children must be <Then>/<Else>, got <" +
+          child->name() + ">");
+    }
+  }
+  return ActivityPtr(std::make_shared<IfElseActivity>(
+      NameAttr(element, "ifelse"), Condition::XPath(*condition),
+      std::move(then_activity), std::move(else_activity)));
+}
+
+Result<ActivityPtr> BuildAssign(const xml::Node& element, XomlLoader&) {
+  auto assign =
+      std::make_shared<AssignActivity>(NameAttr(element, "assign"));
+  for (const xml::NodePtr& child : element.children()) {
+    if (!child->is_element()) continue;
+    if (child->name() != "Copy") {
+      return Status::InvalidArgument("<Assign> children must be <Copy>");
+    }
+    std::optional<std::string> to = child->GetAttribute("to");
+    if (!to.has_value()) {
+      return Status::InvalidArgument("<Copy> requires to=");
+    }
+    std::optional<std::string> to_node = child->GetAttribute("toNode");
+    std::optional<std::string> expr = child->GetAttribute("expr");
+    std::optional<std::string> value = child->GetAttribute("value");
+    if (expr.has_value() == value.has_value()) {
+      return Status::InvalidArgument(
+          "<Copy> requires exactly one of expr=/value=");
+    }
+    if (value.has_value()) {
+      assign->CopyLiteral(Value::String(*value), *to);
+    } else if (to_node.has_value()) {
+      assign->CopyExprToNode(*expr, *to, *to_node);
+    } else {
+      assign->CopyExpr(*expr, *to);
+    }
+  }
+  return ActivityPtr(std::move(assign));
+}
+
+Result<ActivityPtr> BuildInvoke(const xml::Node& element, XomlLoader&) {
+  std::optional<std::string> service = element.GetAttribute("service");
+  if (!service.has_value()) {
+    return Status::InvalidArgument("<Invoke> requires service=");
+  }
+  std::vector<std::pair<std::string, std::string>> inputs;
+  for (const xml::NodePtr& child : element.children()) {
+    if (!child->is_element()) continue;
+    if (child->name() != "Input") {
+      return Status::InvalidArgument("<Invoke> children must be <Input>");
+    }
+    std::optional<std::string> param = child->GetAttribute("param");
+    std::optional<std::string> expr = child->GetAttribute("expr");
+    if (!param.has_value() || !expr.has_value()) {
+      return Status::InvalidArgument("<Input> requires param= and expr=");
+    }
+    inputs.emplace_back(*param, *expr);
+  }
+  return ActivityPtr(std::make_shared<InvokeActivity>(
+      NameAttr(element, "invoke"), *service, std::move(inputs),
+      element.GetAttribute("output").value_or("")));
+}
+
+Result<ActivityPtr> BuildEmpty(const xml::Node& element, XomlLoader&) {
+  return ActivityPtr(
+      std::make_shared<EmptyActivity>(NameAttr(element, "empty")));
+}
+
+Result<ActivityPtr> BuildTerminate(const xml::Node& element, XomlLoader&) {
+  return ActivityPtr(
+      std::make_shared<TerminateActivity>(NameAttr(element, "terminate")));
+}
+
+Result<VarValue> ParseVariableValue(const xml::Node& element) {
+  std::string type = element.GetAttribute("type").value_or("string");
+  if (type == "xml") {
+    for (const xml::NodePtr& child : element.children()) {
+      if (child->is_element()) {
+        return VarValue(child->Clone());
+      }
+    }
+    return Status::InvalidArgument("xml variable '" +
+                                   NameAttr(element, "?") +
+                                   "' has no element content");
+  }
+  std::string raw = element.GetAttribute("value").value_or("");
+  if (type == "string") return VarValue(Value::String(raw));
+  Value as_string = Value::String(raw);
+  if (type == "integer") {
+    SQLFLOW_ASSIGN_OR_RETURN(int64_t v, as_string.AsInteger());
+    return VarValue(Value::Integer(v));
+  }
+  if (type == "double") {
+    SQLFLOW_ASSIGN_OR_RETURN(double v, as_string.AsDouble());
+    return VarValue(Value::Double(v));
+  }
+  if (type == "boolean") {
+    SQLFLOW_ASSIGN_OR_RETURN(bool v, as_string.AsBoolean());
+    return VarValue(Value::Boolean(v));
+  }
+  return Status::InvalidArgument("unknown variable type '" + type + "'");
+}
+
+}  // namespace
+
+XomlLoader::XomlLoader() {
+  builders_["Sequence"] = BuildSequence;
+  builders_["Flow"] = BuildFlow;
+  builders_["RepeatUntil"] = BuildRepeatUntil;
+  builders_["While"] = BuildWhile;
+  builders_["IfElse"] = BuildIfElse;
+  builders_["Assign"] = BuildAssign;
+  builders_["Invoke"] = BuildInvoke;
+  builders_["Empty"] = BuildEmpty;
+  builders_["Terminate"] = BuildTerminate;
+}
+
+Status XomlLoader::RegisterActivityType(const std::string& element_name,
+                                        ActivityBuilder builder) {
+  if (builders_.count(element_name) > 0) {
+    return Status::AlreadyExists("activity type <" + element_name +
+                                 "> already registered");
+  }
+  builders_.emplace(element_name, std::move(builder));
+  return Status::OK();
+}
+
+Result<ActivityPtr> XomlLoader::BuildActivity(const xml::Node& element) {
+  auto it = builders_.find(element.name());
+  if (it == builders_.end()) {
+    return Status::NotFound("unknown activity element <" + element.name() +
+                            ">");
+  }
+  return it->second(element, *this);
+}
+
+Result<ActivityPtr> XomlLoader::BuildBody(const xml::Node& parent,
+                                          const std::string& implicit_name) {
+  std::vector<ActivityPtr> children;
+  for (const xml::NodePtr& child : parent.children()) {
+    if (!child->is_element()) continue;
+    SQLFLOW_ASSIGN_OR_RETURN(ActivityPtr activity, BuildActivity(*child));
+    children.push_back(std::move(activity));
+  }
+  if (children.empty()) {
+    return Status::InvalidArgument("<" + parent.name() +
+                                   "> has no activity children");
+  }
+  if (children.size() == 1) return children[0];
+  return ActivityPtr(std::make_shared<SequenceActivity>(
+      implicit_name, std::move(children)));
+}
+
+Result<ProcessDefinitionPtr> XomlLoader::LoadProcess(
+    std::string_view markup) {
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr root, xml::Parse(markup));
+  if (root->name() != "Process") {
+    return Status::InvalidArgument("XOML root must be <Process>, got <" +
+                                   root->name() + ">");
+  }
+  std::optional<std::string> process_name = root->GetAttribute("name");
+  if (!process_name.has_value()) {
+    return Status::InvalidArgument("<Process> requires name=");
+  }
+
+  std::vector<std::pair<std::string, VarValue>> variables;
+  ActivityPtr body;
+  for (const xml::NodePtr& child : root->children()) {
+    if (!child->is_element()) continue;
+    if (child->name() == "Variables") {
+      for (const xml::NodePtr& var : child->children()) {
+        if (!var->is_element()) continue;
+        if (var->name() != "Variable") {
+          return Status::InvalidArgument(
+              "<Variables> children must be <Variable>");
+        }
+        std::optional<std::string> var_name = var->GetAttribute("name");
+        if (!var_name.has_value()) {
+          return Status::InvalidArgument("<Variable> requires name=");
+        }
+        SQLFLOW_ASSIGN_OR_RETURN(VarValue initial,
+                                 ParseVariableValue(*var));
+        variables.emplace_back(*var_name, std::move(initial));
+      }
+      continue;
+    }
+    if (body != nullptr) {
+      return Status::InvalidArgument(
+          "<Process> must contain exactly one root activity");
+    }
+    SQLFLOW_ASSIGN_OR_RETURN(body, BuildActivity(*child));
+  }
+  if (body == nullptr) {
+    return Status::InvalidArgument("<Process> has no root activity");
+  }
+  auto definition =
+      std::make_shared<ProcessDefinition>(*process_name, std::move(body));
+  for (auto& [var_name, initial] : variables) {
+    definition->DeclareVariable(var_name, std::move(initial));
+  }
+  return definition;
+}
+
+std::vector<std::string> XomlLoader::RegisteredActivityTypes() const {
+  std::vector<std::string> names;
+  names.reserve(builders_.size());
+  for (const auto& [name, builder] : builders_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sqlflow::wfc

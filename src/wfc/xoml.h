@@ -1,0 +1,64 @@
+#ifndef SQLFLOW_WFC_XOML_H_
+#define SQLFLOW_WFC_XOML_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "wfc/engine.h"
+#include "xml/node.h"
+
+namespace sqlflow::wfc {
+
+/// Markup authoring mode (Microsoft's XOML, Sec. IV-A): builds process
+/// definitions from an XML description. The activity-type table is
+/// extensible — custom activity libraries (e.g. the WF module's
+/// SqlDatabase activity) register their own element names, which is the
+/// markup-side mirror of augmenting the CAL.
+///
+/// Schema (all activity elements take a `name` attribute):
+///   <Process name="P">
+///     <Variables>
+///       <Variable name="N" type="integer|double|boolean|string" value="..."/>
+///       <Variable name="Doc" type="xml"> <AnyRoot/> </Variable>
+///     </Variables>
+///     <Sequence> ...children... </Sequence>
+///   </Process>
+///
+/// Built-in activity elements: Sequence, While (condition=XPath),
+/// IfElse (condition= + <Then>/<Else> wrappers), Assign (<Copy to=
+/// [toNode=] and one of value=/expr=>), Invoke (service=, output=,
+/// <Input param= expr=/>), Empty, Terminate.
+class XomlLoader {
+ public:
+  using ActivityBuilder = std::function<Result<ActivityPtr>(
+      const xml::Node& element, XomlLoader& loader)>;
+
+  XomlLoader();
+
+  /// Registers a custom activity element; error if the name is taken.
+  Status RegisterActivityType(const std::string& element_name,
+                              ActivityBuilder builder);
+
+  /// Parses markup and builds the process definition.
+  Result<ProcessDefinitionPtr> LoadProcess(std::string_view markup);
+
+  /// Builds one activity from its element (dispatching on element name);
+  /// used recursively by builders.
+  Result<ActivityPtr> BuildActivity(const xml::Node& element);
+
+  /// Builds all element children; a single child is returned as-is,
+  /// several are wrapped in an implicit sequence.
+  Result<ActivityPtr> BuildBody(const xml::Node& parent,
+                                const std::string& implicit_name);
+
+  std::vector<std::string> RegisteredActivityTypes() const;
+
+ private:
+  std::map<std::string, ActivityBuilder> builders_;
+};
+
+}  // namespace sqlflow::wfc
+
+#endif  // SQLFLOW_WFC_XOML_H_

@@ -1,0 +1,261 @@
+#include "workflows/order_process.h"
+
+#include "bis/lifecycle.h"
+#include "bis/retrieve_set_activity.h"
+#include "bis/sql_activity.h"
+#include "rowset/xml_rowset.h"
+#include "soa/xpath_extensions.h"
+#include "wf/cursor.h"
+#include "wf/sql_database_activity.h"
+
+namespace sqlflow::workflows {
+
+namespace {
+
+using patterns::Fixture;
+
+constexpr const char* kDsVar = "DS_Orders";
+
+/// The cursor body shared by the BIS and SOA realizations: a
+/// Java-Snippet that binds the current row's values to CurrentItemID /
+/// CurrentQuantity and advances Pos.
+wfc::ActivityPtr MakeRowSetFetchSnippet() {
+  return std::make_shared<wfc::SnippetActivity>(
+      "JavaSnippet", [](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr rowset,
+                                 ctx.variables().GetXml("SV_ItemList"));
+        SQLFLOW_ASSIGN_OR_RETURN(Value pos,
+                                 ctx.variables().GetScalar("Pos"));
+        SQLFLOW_ASSIGN_OR_RETURN(int64_t index, pos.AsInteger());
+        SQLFLOW_ASSIGN_OR_RETURN(
+            xml::NodePtr row,
+            rowset::GetRow(rowset, static_cast<size_t>(index)));
+        SQLFLOW_ASSIGN_OR_RETURN(Value item,
+                                 rowset::GetField(row, "ItemID"));
+        SQLFLOW_ASSIGN_OR_RETURN(Value qty,
+                                 rowset::GetField(row, "Quantity"));
+        ctx.variables().Set("CurrentItemID", wfc::VarValue(item));
+        ctx.variables().Set("CurrentQuantity", wfc::VarValue(qty));
+        ctx.variables().Set("Pos",
+                            wfc::VarValue(Value::Integer(index + 1)));
+        return Status::OK();
+      });
+}
+
+wfc::ActivityPtr MakeSupplierInvoke() {
+  return std::make_shared<wfc::InvokeActivity>(
+      "Invoke", "OrderFromSupplier",
+      std::vector<std::pair<std::string, std::string>>{
+          {"ItemID", "$CurrentItemID"},
+          {"Quantity", "$CurrentQuantity"},
+      },
+      "OrderConfirmation");
+}
+
+}  // namespace
+
+Status DeployBisOrderProcess(Fixture* fixture) {
+  using bis::RetrieveSetActivity;
+  using bis::SetReference;
+  using bis::SqlActivity;
+
+  // SQL1: aggregate approved orders into the per-instance result table.
+  SqlActivity::Config sql1;
+  sql1.data_source_variable = kDsVar;
+  sql1.statement =
+      "SELECT ItemID, SUM(Quantity) AS Quantity FROM {SR_Orders} "
+      "WHERE Approved = TRUE GROUP BY ItemID ORDER BY ItemID";
+  sql1.result_set_reference = "SR_ItemList";
+
+  RetrieveSetActivity::Config retrieve;
+  retrieve.data_source_variable = kDsVar;
+  retrieve.set_reference = "SR_ItemList";
+  retrieve.set_variable = "SV_ItemList";
+
+  // SQL2: record the supplier confirmation persistently.
+  SqlActivity::Config sql2;
+  sql2.data_source_variable = kDsVar;
+  sql2.statement =
+      "INSERT INTO {SR_OrderConfirmations} "
+      "(ConfirmationID, ItemID, Quantity, Confirmation) "
+      "VALUES (NEXTVAL('ConfSeq'), :item, :qty, :conf)";
+  sql2.parameters = {
+      {"item", "$CurrentItemID"},
+      {"qty", "$CurrentQuantity"},
+      {"conf", "$OrderConfirmation"},
+  };
+
+  std::vector<wfc::ActivityPtr> body_steps{
+      MakeRowSetFetchSnippet(), MakeSupplierInvoke(),
+      std::make_shared<SqlActivity>("SQL2", sql2)};
+  auto body = std::make_shared<wfc::SequenceActivity>(
+      "loop-body", std::move(body_steps));
+  auto loop = std::make_shared<wfc::WhileActivity>(
+      "While", wfc::Condition::XPath("$Pos < count($SV_ItemList/Row)"),
+      body);
+
+  std::vector<wfc::ActivityPtr> steps{
+      std::make_shared<SqlActivity>("SQL1", sql1),
+      std::make_shared<RetrieveSetActivity>("RetrieveSet", retrieve),
+      loop};
+  auto root =
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps));
+
+  auto definition = std::make_shared<wfc::ProcessDefinition>(
+      kBisOrderProcess, std::move(root));
+  definition->DeclareVariable(
+      kDsVar, wfc::VarValue(wfc::ObjectPtr(
+                  std::make_shared<bis::DataSourceVariable>(
+                      Fixture::kConnection))));
+  definition->DeclareVariable(
+      "SR_Orders",
+      wfc::VarValue(wfc::ObjectPtr(std::make_shared<SetReference>(
+          SetReference::Kind::kInput, "Orders"))));
+  definition->DeclareVariable(
+      "SR_OrderConfirmations",
+      wfc::VarValue(wfc::ObjectPtr(std::make_shared<SetReference>(
+          SetReference::Kind::kInput, "OrderConfirmations"))));
+  definition->DeclareVariable("Pos", wfc::VarValue(Value::Integer(0)));
+
+  // SR_ItemList: per-instance temporary result table with lifecycle
+  // management (created before the flow, dropped afterwards).
+  auto item_list = std::make_shared<SetReference>(
+      SetReference::Kind::kResult, "ItemList");
+  item_list->SetUniquePerInstance("ItemList");
+  item_list->SetPreparation(
+      "CREATE TABLE {TABLE} (ItemID INTEGER, Quantity INTEGER)");
+  item_list->SetCleanup("DROP TABLE IF EXISTS {TABLE}");
+  SQLFLOW_RETURN_IF_ERROR(bis::AttachSetReferenceLifecycle(
+      definition.get(), kDsVar,
+      {{"SR_ItemList", std::move(item_list)}}));
+
+  fixture->engine->DeployOrReplace(std::move(definition));
+  return Status::OK();
+}
+
+Status DeployWfOrderProcess(Fixture* fixture) {
+  using wf::SqlDatabaseActivity;
+
+  SqlDatabaseActivity::Config sql1;
+  sql1.connection_string = Fixture::kConnection;
+  sql1.statement =
+      "SELECT ItemID, SUM(Quantity) AS Quantity FROM Orders "
+      "WHERE Approved = TRUE GROUP BY ItemID ORDER BY ItemID";
+  sql1.result_variable = "SV_ItemList";
+  sql1.result_table_name = "ItemList";
+
+  SqlDatabaseActivity::Config sql2;
+  sql2.connection_string = Fixture::kConnection;
+  sql2.statement =
+      "INSERT INTO OrderConfirmations "
+      "(ConfirmationID, ItemID, Quantity, Confirmation) "
+      "VALUES (NEXTVAL('ConfSeq'), :item, :qty, :conf)";
+  sql2.parameters = {
+      {"item", "$CurrentItemID"},
+      {"qty", "$CurrentQuantity"},
+      {"conf", "$OrderConfirmation"},
+  };
+
+  std::vector<wfc::ActivityPtr> body_steps{
+      wf::FetchRowSnippet("Fetch", "SV_ItemList", "Pos",
+                          {{"ItemID", "CurrentItemID"},
+                           {"Quantity", "CurrentQuantity"}}),
+      MakeSupplierInvoke(),
+      std::make_shared<SqlDatabaseActivity>("SQLDatabase2", sql2)};
+  auto body = std::make_shared<wfc::SequenceActivity>(
+      "loop-body", std::move(body_steps));
+  auto loop = std::make_shared<wfc::WhileActivity>(
+      "While", wf::DataSetHasMoreRows("SV_ItemList", "Pos"), body);
+
+  std::vector<wfc::ActivityPtr> steps{
+      std::make_shared<SqlDatabaseActivity>("SQLDatabase1", sql1), loop};
+  auto root =
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps));
+
+  auto definition = std::make_shared<wfc::ProcessDefinition>(
+      kWfOrderProcess, std::move(root));
+  definition->DeclareVariable("Pos", wfc::VarValue(Value::Integer(0)));
+  fixture->engine->DeployOrReplace(std::move(definition));
+  return Status::OK();
+}
+
+Status DeploySoaOrderProcess(Fixture* fixture) {
+  // Register the extension functions once per engine.
+  if (fixture->engine->xpath_functions().Find("ora:query-database") ==
+      nullptr) {
+    soa::SoaConfig config;
+    config.data_sources = &fixture->engine->data_sources();
+    config.default_connection = Fixture::kConnection;
+    SQLFLOW_RETURN_IF_ERROR(soa::RegisterSoaXPathExtensions(
+        &fixture->engine->xpath_functions(), config));
+  }
+
+  auto assign1 = std::make_shared<wfc::AssignActivity>("Assign1");
+  assign1->CopyExpr(
+      "ora:query-database('SELECT ItemID, SUM(Quantity) AS Quantity "
+      "FROM Orders WHERE Approved = TRUE GROUP BY ItemID ORDER BY "
+      "ItemID')",
+      "SV_ItemList");
+
+  // Assign2: processXSQL with positional parameters p1..p3. The
+  // document text uses &apos; around the sequence name so the XML
+  // parser restores the quotes the SQL layer needs.
+  auto assign2 = std::make_shared<wfc::AssignActivity>("Assign2");
+  assign2->CopyExpr(
+      "orcl:processXSQL('<xsql connection=\"memdb://orders\">"
+      "<dml>INSERT INTO OrderConfirmations "
+      "(ConfirmationID, ItemID, Quantity, Confirmation) "
+      "VALUES (NEXTVAL(&apos;ConfSeq&apos;), :p1, :p2, :p3)</dml>"
+      "</xsql>', $CurrentItemID, $CurrentQuantity, $OrderConfirmation)",
+      "Status");
+
+  std::vector<wfc::ActivityPtr> body_steps{MakeRowSetFetchSnippet(),
+                                           MakeSupplierInvoke(), assign2};
+  auto body = std::make_shared<wfc::SequenceActivity>(
+      "loop-body", std::move(body_steps));
+  auto loop = std::make_shared<wfc::WhileActivity>(
+      "While", wfc::Condition::XPath("$Pos < count($SV_ItemList/Row)"),
+      body);
+
+  std::vector<wfc::ActivityPtr> steps{assign1, loop};
+  auto root =
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps));
+
+  auto definition = std::make_shared<wfc::ProcessDefinition>(
+      kSoaOrderProcess, std::move(root));
+  definition->DeclareVariable("Pos", wfc::VarValue(Value::Integer(0)));
+  fixture->engine->DeployOrReplace(std::move(definition));
+  return Status::OK();
+}
+
+Result<Fixture> MakeBisOrderFixture(
+    const patterns::OrdersScenario& scenario) {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture,
+                           patterns::MakeFixture("bis", scenario));
+  SQLFLOW_RETURN_IF_ERROR(DeployBisOrderProcess(&fixture));
+  return fixture;
+}
+
+Result<Fixture> MakeWfOrderFixture(
+    const patterns::OrdersScenario& scenario) {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture,
+                           patterns::MakeFixture("wf", scenario));
+  SQLFLOW_RETURN_IF_ERROR(DeployWfOrderProcess(&fixture));
+  return fixture;
+}
+
+Result<Fixture> MakeSoaOrderFixture(
+    const patterns::OrdersScenario& scenario) {
+  SQLFLOW_ASSIGN_OR_RETURN(Fixture fixture,
+                           patterns::MakeFixture("soa", scenario));
+  SQLFLOW_RETURN_IF_ERROR(DeploySoaOrderProcess(&fixture));
+  return fixture;
+}
+
+Result<sql::ResultSet> ReadConfirmations(sql::Database* db) {
+  return db->Execute(
+      "SELECT ItemID, Quantity, Confirmation FROM OrderConfirmations "
+      "ORDER BY ItemID, Quantity");
+}
+
+}  // namespace sqlflow::workflows

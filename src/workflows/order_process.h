@@ -1,0 +1,53 @@
+#ifndef SQLFLOW_WORKFLOWS_ORDER_PROCESS_H_
+#define SQLFLOW_WORKFLOWS_ORDER_PROCESS_H_
+
+#include "common/status.h"
+#include "patterns/fixture.h"
+
+namespace sqlflow::workflows {
+
+/// Builders for the paper's sample workflow — "aggregate approved orders
+/// and determine the required quantity of each item type, order each
+/// from the supplier, and record the confirmations" — realized once per
+/// product exactly as Figs. 4, 6 and 8 describe:
+///
+///  - BIS (Fig. 4): SQL activity into a per-instance result table
+///    (lifecycle-managed, referenced by SR_ItemList) → retrieve set →
+///    while + Java-Snippet cursor → invoke OrderFromSupplier → SQL
+///    activity INSERT into the persistent confirmations table.
+///  - WF (Fig. 6): SQLDatabase activity with automatic DataSet
+///    materialization → while with ADO.NET code condition → invoke →
+///    SQLDatabase INSERT.
+///  - SOA (Fig. 8): assign with ora:query-database into an XML RowSet →
+///    while + Java-Snippet → invoke → assign with orcl:processXSQL
+///    INSERT.
+///
+/// All three leave identical rows in OrderConfirmations for the same
+/// seeded scenario, which the integration tests assert.
+
+inline constexpr const char* kBisOrderProcess = "OrderProcessBIS";
+inline constexpr const char* kWfOrderProcess = "OrderProcessWF";
+inline constexpr const char* kSoaOrderProcess = "OrderProcessSOA";
+
+/// Deploys the Fig. 4 realization onto the fixture's engine.
+Status DeployBisOrderProcess(patterns::Fixture* fixture);
+/// Deploys the Fig. 6 realization onto the fixture's engine.
+Status DeployWfOrderProcess(patterns::Fixture* fixture);
+/// Deploys the Fig. 8 realization (registers the ora:/orcl: extension
+/// functions if not present yet).
+Status DeploySoaOrderProcess(patterns::Fixture* fixture);
+
+/// Fixture + deployed process in one call.
+Result<patterns::Fixture> MakeBisOrderFixture(
+    const patterns::OrdersScenario& scenario = {});
+Result<patterns::Fixture> MakeWfOrderFixture(
+    const patterns::OrdersScenario& scenario = {});
+Result<patterns::Fixture> MakeSoaOrderFixture(
+    const patterns::OrdersScenario& scenario = {});
+
+/// Reads back the confirmations written by a run, ordered by item.
+Result<sql::ResultSet> ReadConfirmations(sql::Database* db);
+
+}  // namespace sqlflow::workflows
+
+#endif  // SQLFLOW_WORKFLOWS_ORDER_PROCESS_H_

@@ -1,0 +1,156 @@
+#include "xml/node.h"
+
+namespace sqlflow::xml {
+
+NodePtr Node::Element(std::string name) {
+  auto node = NodePtr(new Node());
+  node->kind_ = NodeKind::kElement;
+  node->name_ = std::move(name);
+  return node;
+}
+
+NodePtr Node::Text(std::string content) {
+  auto node = NodePtr(new Node());
+  node->kind_ = NodeKind::kText;
+  node->text_ = std::move(content);
+  return node;
+}
+
+NodePtr Node::AppendChild(NodePtr child) {
+  if (NodePtr old_parent = child->parent()) {
+    (void)old_parent->RemoveChild(child);
+  }
+  child->parent_ = weak_from_this();
+  children_.push_back(child);
+  return child;
+}
+
+Status Node::InsertChild(size_t index, NodePtr child) {
+  if (index > children_.size()) {
+    return Status::InvalidArgument("child index out of range");
+  }
+  if (NodePtr old_parent = child->parent()) {
+    (void)old_parent->RemoveChild(child);
+  }
+  child->parent_ = weak_from_this();
+  children_.insert(children_.begin() + static_cast<ptrdiff_t>(index),
+                   std::move(child));
+  return Status::OK();
+}
+
+Status Node::RemoveChildAt(size_t index) {
+  if (index >= children_.size()) {
+    return Status::InvalidArgument("child index out of range");
+  }
+  children_[index]->parent_.reset();
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(index));
+  return Status::OK();
+}
+
+Status Node::RemoveChild(const NodePtr& child) {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i] == child) {
+      return RemoveChildAt(i);
+    }
+  }
+  return Status::NotFound("node is not a child of this element");
+}
+
+int Node::IndexInParent() const {
+  NodePtr p = parent();
+  if (p == nullptr) return -1;
+  for (size_t i = 0; i < p->children_.size(); ++i) {
+    if (p->children_[i].get() == this) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Node::SetAttribute(const std::string& name, std::string value) {
+  for (auto& [attr_name, attr_value] : attributes_) {
+    if (attr_name == name) {
+      attr_value = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(name, std::move(value));
+}
+
+std::optional<std::string> Node::GetAttribute(
+    const std::string& name) const {
+  for (const auto& [attr_name, attr_value] : attributes_) {
+    if (attr_name == name) return attr_value;
+  }
+  return std::nullopt;
+}
+
+bool Node::RemoveAttribute(const std::string& name) {
+  for (auto it = attributes_.begin(); it != attributes_.end(); ++it) {
+    if (it->first == name) {
+      attributes_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Node::TextContent() const {
+  if (is_text()) return text_;
+  std::string out;
+  for (const NodePtr& child : children_) {
+    out += child->TextContent();
+  }
+  return out;
+}
+
+void Node::SetTextContent(const std::string& text) {
+  children_.clear();
+  if (!text.empty()) {
+    AppendChild(Text(text));
+  }
+}
+
+NodePtr Node::FindFirst(const std::string& name) const {
+  for (const NodePtr& child : children_) {
+    if (child->is_element() && child->name_ == name) return child;
+  }
+  return nullptr;
+}
+
+std::vector<NodePtr> Node::FindAll(const std::string& name) const {
+  std::vector<NodePtr> out;
+  for (const NodePtr& child : children_) {
+    if (child->is_element() && child->name_ == name) out.push_back(child);
+  }
+  return out;
+}
+
+NodePtr Node::AddElement(const std::string& name, const std::string& text) {
+  NodePtr element = Element(name);
+  if (!text.empty()) element->AppendChild(Text(text));
+  AppendChild(element);
+  return element;
+}
+
+NodePtr Node::Clone() const {
+  NodePtr copy =
+      is_element() ? Element(name_) : Text(text_);
+  copy->attributes_ = attributes_;
+  for (const NodePtr& child : children_) {
+    copy->AppendChild(child->Clone());
+  }
+  return copy;
+}
+
+bool Node::Equals(const Node& other) const {
+  if (kind_ != other.kind_) return false;
+  if (is_text()) return text_ == other.text_;
+  if (name_ != other.name_) return false;
+  if (attributes_ != other.attributes_) return false;
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace sqlflow::xml

@@ -1,0 +1,99 @@
+#ifndef SQLFLOW_XML_NODE_H_
+#define SQLFLOW_XML_NODE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlflow::xml {
+
+class Node;
+using NodePtr = std::shared_ptr<Node>;
+
+enum class NodeKind { kElement, kText };
+
+/// DOM-lite XML node. Elements carry a name, ordered attributes, and
+/// children; text nodes carry character content. Parent links are weak so
+/// subtrees share ownership downward only.
+///
+/// This is the process-space data representation of the workflow layers:
+/// BPEL variables, XML RowSets, and XSQL documents are all trees of Node.
+class Node : public std::enable_shared_from_this<Node> {
+ public:
+  static NodePtr Element(std::string name);
+  static NodePtr Text(std::string content);
+
+  NodeKind kind() const { return kind_; }
+  bool is_element() const { return kind_ == NodeKind::kElement; }
+  bool is_text() const { return kind_ == NodeKind::kText; }
+
+  /// Element name, or empty for text nodes.
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Text content of a text node (not recursive; see TextContent()).
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  // --- tree structure -------------------------------------------------------
+  NodePtr parent() const { return parent_.lock(); }
+  const std::vector<NodePtr>& children() const { return children_; }
+  size_t child_count() const { return children_.size(); }
+
+  /// Appends `child` (detaching it from any previous parent) and returns it.
+  NodePtr AppendChild(NodePtr child);
+  Status InsertChild(size_t index, NodePtr child);
+  Status RemoveChildAt(size_t index);
+  /// Removes `child` if present; NotFound otherwise.
+  Status RemoveChild(const NodePtr& child);
+  void ClearChildren() { children_.clear(); }
+
+  /// Index of this node in its parent's child list; -1 for roots.
+  int IndexInParent() const;
+
+  // --- attributes -----------------------------------------------------------
+  void SetAttribute(const std::string& name, std::string value);
+  std::optional<std::string> GetAttribute(const std::string& name) const;
+  bool RemoveAttribute(const std::string& name);
+  const std::vector<std::pair<std::string, std::string>>& attributes()
+      const {
+    return attributes_;
+  }
+
+  // --- convenience ----------------------------------------------------------
+  /// Concatenated text of all descendant text nodes (XPath string-value).
+  std::string TextContent() const;
+
+  /// Replaces all children with a single text node (no-op text for "").
+  void SetTextContent(const std::string& text);
+
+  /// First child element with `name`, or nullptr.
+  NodePtr FindFirst(const std::string& name) const;
+  /// All child elements with `name` (direct children only).
+  std::vector<NodePtr> FindAll(const std::string& name) const;
+  /// Appends a child element with a single text child; returns the element.
+  NodePtr AddElement(const std::string& name, const std::string& text);
+
+  /// Deep copy (new identity, no parent).
+  NodePtr Clone() const;
+
+  /// Structural equality: kind, name, attributes (ordered), children.
+  bool Equals(const Node& other) const;
+
+ private:
+  Node() = default;
+
+  NodeKind kind_ = NodeKind::kElement;
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<NodePtr> children_;
+  std::weak_ptr<Node> parent_;
+};
+
+}  // namespace sqlflow::xml
+
+#endif  // SQLFLOW_XML_NODE_H_

@@ -1,0 +1,233 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace sqlflow::xml {
+
+namespace {
+
+class XmlParser {
+ public:
+  explicit XmlParser(std::string_view input) : input_(input) {}
+
+  Result<NodePtr> ParseDocument() {
+    SkipProlog();
+    SQLFLOW_ASSIGN_OR_RETURN(NodePtr root, ParseElement());
+    SkipMisc();
+    if (pos_ != input_.size()) {
+      return Error("trailing content after document element");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::SyntaxError("XML: " + msg + " at offset " +
+                               std::to_string(pos_));
+  }
+
+  char Peek() const { return pos_ < input_.size() ? input_[pos_] : '\0'; }
+  bool StartsWith(std::string_view prefix) const {
+    return input_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool SkipComment() {
+    if (!StartsWith("<!--")) return false;
+    size_t end = input_.find("-->", pos_ + 4);
+    pos_ = end == std::string_view::npos ? input_.size() : end + 3;
+    return true;
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    if (StartsWith("<?xml")) {
+      size_t end = input_.find("?>", pos_);
+      pos_ = end == std::string_view::npos ? input_.size() : end + 2;
+    }
+    SkipMisc();
+  }
+
+  void SkipMisc() {
+    while (true) {
+      SkipWhitespace();
+      if (!SkipComment()) break;
+    }
+  }
+
+  static bool IsNameStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  }
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':' || c == '-' || c == '.';
+  }
+
+  Result<std::string> ParseName() {
+    if (pos_ >= input_.size() || !IsNameStart(input_[pos_])) {
+      return Error("expected a name");
+    }
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> DecodeEntities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return Error("unterminated entity reference");
+      }
+      std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out += '&';
+      } else if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else if (!entity.empty() && entity[0] == '#') {
+        int code = 0;
+        if (entity.size() > 1 && (entity[1] == 'x' || entity[1] == 'X')) {
+          code = static_cast<int>(
+              std::strtol(std::string(entity.substr(2)).c_str(), nullptr,
+                          16));
+        } else {
+          code = static_cast<int>(
+              std::strtol(std::string(entity.substr(1)).c_str(), nullptr,
+                          10));
+        }
+        if (code <= 0 || code > 127) {
+          return Error("unsupported character reference");
+        }
+        out += static_cast<char>(code);
+      } else {
+        return Error("unknown entity '&" + std::string(entity) + ";'");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Result<NodePtr> ParseElement() {
+    if (Peek() != '<') return Error("expected '<'");
+    ++pos_;
+    SQLFLOW_ASSIGN_OR_RETURN(std::string name, ParseName());
+    NodePtr element = Node::Element(std::move(name));
+
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      char c = Peek();
+      if (c == '>' || c == '/') break;
+      SQLFLOW_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+      SkipWhitespace();
+      if (Peek() != '=') return Error("expected '=' after attribute name");
+      ++pos_;
+      SkipWhitespace();
+      char quote = Peek();
+      if (quote != '"' && quote != '\'') {
+        return Error("expected quoted attribute value");
+      }
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < input_.size() && input_[pos_] != quote) ++pos_;
+      if (pos_ >= input_.size()) {
+        return Error("unterminated attribute value");
+      }
+      SQLFLOW_ASSIGN_OR_RETURN(
+          std::string value,
+          DecodeEntities(input_.substr(start, pos_ - start)));
+      ++pos_;  // closing quote
+      element->SetAttribute(attr_name, std::move(value));
+    }
+
+    if (Peek() == '/') {
+      ++pos_;
+      if (Peek() != '>') return Error("expected '>' after '/'");
+      ++pos_;
+      return element;
+    }
+    ++pos_;  // '>'
+
+    // Content.
+    while (true) {
+      if (pos_ >= input_.size()) {
+        return Error("unexpected end inside element <" + element->name() +
+                     ">");
+      }
+      if (StartsWith("</")) {
+        pos_ += 2;
+        SQLFLOW_ASSIGN_OR_RETURN(std::string close_name, ParseName());
+        if (close_name != element->name()) {
+          return Error("mismatched closing tag </" + close_name + "> for <" +
+                       element->name() + ">");
+        }
+        SkipWhitespace();
+        if (Peek() != '>') return Error("expected '>' in closing tag");
+        ++pos_;
+        return element;
+      }
+      if (SkipComment()) continue;
+      if (StartsWith("<![CDATA[")) {
+        size_t end = input_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) {
+          return Error("unterminated CDATA section");
+        }
+        element->AppendChild(
+            Node::Text(std::string(input_.substr(pos_ + 9, end - pos_ - 9))));
+        pos_ = end + 3;
+        continue;
+      }
+      if (Peek() == '<') {
+        SQLFLOW_ASSIGN_OR_RETURN(NodePtr child, ParseElement());
+        element->AppendChild(std::move(child));
+        continue;
+      }
+      // Text run.
+      size_t start = pos_;
+      while (pos_ < input_.size() && input_[pos_] != '<') ++pos_;
+      std::string_view raw = input_.substr(start, pos_ - start);
+      bool all_space = true;
+      for (char c : raw) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          all_space = false;
+          break;
+        }
+      }
+      if (!all_space) {
+        SQLFLOW_ASSIGN_OR_RETURN(std::string text, DecodeEntities(raw));
+        element->AppendChild(Node::Text(std::move(text)));
+      }
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<NodePtr> Parse(std::string_view input) {
+  XmlParser parser(input);
+  return parser.ParseDocument();
+}
+
+}  // namespace sqlflow::xml

@@ -1,0 +1,23 @@
+#ifndef SQLFLOW_XML_PARSER_H_
+#define SQLFLOW_XML_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xml/node.h"
+
+namespace sqlflow::xml {
+
+/// Parses a well-formed XML document (single root element). Supported:
+/// elements, attributes (single or double quoted), text, the five
+/// predefined entities, comments and an optional XML declaration (both
+/// skipped), CDATA sections. Not supported: DTDs, processing
+/// instructions, namespaces beyond treating `a:b` as a plain name.
+///
+/// Whitespace-only text between elements is dropped; mixed content keeps
+/// its text.
+Result<NodePtr> Parse(std::string_view input);
+
+}  // namespace sqlflow::xml
+
+#endif  // SQLFLOW_XML_PARSER_H_

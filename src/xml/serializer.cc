@@ -1,0 +1,95 @@
+#include "xml/serializer.h"
+
+namespace sqlflow::xml {
+
+std::string EscapeText(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+bool OnlyTextChildren(const Node& node) {
+  for (const NodePtr& child : node.children()) {
+    if (!child->is_text()) return false;
+  }
+  return true;
+}
+
+void SerializeInto(const Node& node, bool pretty, int depth,
+                   std::string* out) {
+  if (node.is_text()) {
+    *out += EscapeText(node.text());
+    return;
+  }
+  std::string indent = pretty ? std::string(2 * static_cast<size_t>(depth), ' ') : "";
+  *out += indent;
+  *out += '<';
+  *out += node.name();
+  for (const auto& [name, value] : node.attributes()) {
+    *out += ' ';
+    *out += name;
+    *out += "=\"";
+    *out += EscapeText(value);
+    *out += '"';
+  }
+  if (node.children().empty()) {
+    *out += "/>";
+    if (pretty) *out += '\n';
+    return;
+  }
+  *out += '>';
+  if (!pretty || OnlyTextChildren(node)) {
+    for (const NodePtr& child : node.children()) {
+      SerializeInto(*child, false, 0, out);
+    }
+  } else {
+    *out += '\n';
+    for (const NodePtr& child : node.children()) {
+      if (child->is_text()) {
+        *out += std::string(2 * static_cast<size_t>(depth + 1), ' ');
+        *out += EscapeText(child->text());
+        *out += '\n';
+      } else {
+        SerializeInto(*child, true, depth + 1, out);
+      }
+    }
+    *out += indent;
+  }
+  *out += "</";
+  *out += node.name();
+  *out += '>';
+  if (pretty) *out += '\n';
+}
+
+}  // namespace
+
+std::string Serialize(const Node& node, bool pretty) {
+  std::string out;
+  SerializeInto(node, pretty, 0, &out);
+  return out;
+}
+
+}  // namespace sqlflow::xml

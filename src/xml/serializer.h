@@ -1,0 +1,19 @@
+#ifndef SQLFLOW_XML_SERIALIZER_H_
+#define SQLFLOW_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace sqlflow::xml {
+
+/// Serializes a tree to markup. With `pretty`, elements are indented two
+/// spaces per level; elements whose only child is text stay on one line.
+std::string Serialize(const Node& node, bool pretty = false);
+
+/// Escapes `&`, `<`, `>`, `"`, `'` for use in text/attribute content.
+std::string EscapeText(const std::string& raw);
+
+}  // namespace sqlflow::xml
+
+#endif  // SQLFLOW_XML_SERIALIZER_H_

@@ -1,0 +1,64 @@
+#ifndef SQLFLOW_XPATH_AST_H_
+#define SQLFLOW_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sqlflow::xpath {
+
+enum class XExprKind {
+  kStringLiteral,
+  kNumberLiteral,
+  kVariable,      // $name
+  kFunctionCall,  // name(args) — possibly namespaced ("ora:query-database")
+  kBinary,
+  kUnaryNeg,
+  kPath,          // location path, optionally rooted at a base expression
+};
+
+enum class XBinaryOp {
+  kOr, kAnd,
+  kEq, kNotEq, kLt, kLtEq, kGt, kGtEq,
+  kAdd, kSub, kMul, kDiv, kMod,
+  kUnion,
+};
+
+enum class Axis {
+  kChild,
+  kAttribute,          // yields synthetic text nodes holding the value
+  kSelf,               // '.'
+  kParent,             // '..'
+  kDescendantOrSelf,   // '//'
+};
+
+struct XExpr;
+using XExprPtr = std::unique_ptr<XExpr>;
+
+struct Step {
+  Axis axis = Axis::kChild;
+  std::string name;        // element/attribute name; "*" = wildcard
+  bool text_test = false;  // text() node test
+  std::vector<XExprPtr> predicates;
+};
+
+struct XExpr {
+  XExprKind kind;
+
+  std::string string_value;  // kStringLiteral
+  double number_value = 0;   // kNumberLiteral
+  std::string name;          // kVariable / kFunctionCall
+
+  XBinaryOp op = XBinaryOp::kOr;   // kBinary
+  std::vector<XExprPtr> children;  // binary operands / function args /
+                                   // unary operand
+
+  // kPath:
+  bool absolute = false;   // starts with '/'
+  XExprPtr base;           // filter expression the path applies to, if any
+  std::vector<Step> steps;
+};
+
+}  // namespace sqlflow::xpath
+
+#endif  // SQLFLOW_XPATH_AST_H_

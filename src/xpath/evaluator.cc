@@ -1,0 +1,559 @@
+#include "xpath/evaluator.h"
+
+#include <cmath>
+#include <set>
+
+#include "xpath/parser.h"
+
+namespace sqlflow::xpath {
+
+namespace {
+
+using xml::Node;
+using xml::NodePtr;
+
+NodePtr RootOf(const NodePtr& node) {
+  NodePtr current = node;
+  while (current != nullptr && current->parent() != nullptr) {
+    current = current->parent();
+  }
+  return current;
+}
+
+void CollectDescendantsOrSelf(const NodePtr& node,
+                              std::vector<NodePtr>* out) {
+  out->push_back(node);
+  for (const NodePtr& child : node->children()) {
+    CollectDescendantsOrSelf(child, out);
+  }
+}
+
+class Evaluator {
+ public:
+  explicit Evaluator(const EvalEnv& env) : env_(env) {}
+
+  Result<XPathValue> Eval(const XExpr& e, const NodePtr& context,
+                          size_t position, size_t size) {
+    switch (e.kind) {
+      case XExprKind::kStringLiteral:
+        return XPathValue::String(e.string_value);
+      case XExprKind::kNumberLiteral:
+        return XPathValue::Number(e.number_value);
+      case XExprKind::kVariable: {
+        if (!env_.variable_resolver) {
+          return Status::ExecutionError(
+              "XPath variable $" + e.name +
+              " used but no variable resolver is installed");
+        }
+        return env_.variable_resolver(e.name);
+      }
+      case XExprKind::kUnaryNeg: {
+        SQLFLOW_ASSIGN_OR_RETURN(
+            XPathValue v, Eval(*e.children[0], context, position, size));
+        return XPathValue::Number(-v.ToNumber());
+      }
+      case XExprKind::kFunctionCall:
+        return EvalFunction(e, context, position, size);
+      case XExprKind::kBinary:
+        return EvalBinary(e, context, position, size);
+      case XExprKind::kPath:
+        return EvalPath(e, context, position, size);
+    }
+    return Status::Internal("bad XPath expression kind");
+  }
+
+ private:
+  Result<XPathValue> EvalBinary(const XExpr& e, const NodePtr& context,
+                                size_t position, size_t size) {
+    // Short-circuit logicals.
+    if (e.op == XBinaryOp::kOr || e.op == XBinaryOp::kAnd) {
+      SQLFLOW_ASSIGN_OR_RETURN(
+          XPathValue a, Eval(*e.children[0], context, position, size));
+      bool av = a.ToBool();
+      if (e.op == XBinaryOp::kOr && av) return XPathValue::Boolean(true);
+      if (e.op == XBinaryOp::kAnd && !av) {
+        return XPathValue::Boolean(false);
+      }
+      SQLFLOW_ASSIGN_OR_RETURN(
+          XPathValue b, Eval(*e.children[1], context, position, size));
+      return XPathValue::Boolean(b.ToBool());
+    }
+
+    SQLFLOW_ASSIGN_OR_RETURN(XPathValue a,
+                             Eval(*e.children[0], context, position, size));
+    SQLFLOW_ASSIGN_OR_RETURN(XPathValue b,
+                             Eval(*e.children[1], context, position, size));
+
+    switch (e.op) {
+      case XBinaryOp::kAdd:
+        return XPathValue::Number(a.ToNumber() + b.ToNumber());
+      case XBinaryOp::kSub:
+        return XPathValue::Number(a.ToNumber() - b.ToNumber());
+      case XBinaryOp::kMul:
+        return XPathValue::Number(a.ToNumber() * b.ToNumber());
+      case XBinaryOp::kDiv:
+        return XPathValue::Number(a.ToNumber() / b.ToNumber());
+      case XBinaryOp::kMod:
+        return XPathValue::Number(std::fmod(a.ToNumber(), b.ToNumber()));
+      case XBinaryOp::kUnion: {
+        if (!a.is_node_set() || !b.is_node_set()) {
+          return Status::TypeError("XPath '|' requires node-sets");
+        }
+        std::vector<NodePtr> merged = a.nodes();
+        std::set<const Node*> seen;
+        for (const NodePtr& n : merged) seen.insert(n.get());
+        for (const NodePtr& n : b.nodes()) {
+          if (seen.insert(n.get()).second) merged.push_back(n);
+        }
+        return XPathValue::NodeSet(std::move(merged));
+      }
+      case XBinaryOp::kEq:
+      case XBinaryOp::kNotEq:
+      case XBinaryOp::kLt:
+      case XBinaryOp::kLtEq:
+      case XBinaryOp::kGt:
+      case XBinaryOp::kGtEq:
+        return Compare(e.op, a, b);
+      default:
+        return Status::Internal("bad XPath binary op");
+    }
+  }
+
+  static bool CompareNumbers(XBinaryOp op, double x, double y) {
+    switch (op) {
+      case XBinaryOp::kEq:
+        return x == y;
+      case XBinaryOp::kNotEq:
+        return x != y;
+      case XBinaryOp::kLt:
+        return x < y;
+      case XBinaryOp::kLtEq:
+        return x <= y;
+      case XBinaryOp::kGt:
+        return x > y;
+      case XBinaryOp::kGtEq:
+        return x >= y;
+      default:
+        return false;
+    }
+  }
+
+  static bool CompareStrings(XBinaryOp op, const std::string& x,
+                             const std::string& y) {
+    if (op == XBinaryOp::kEq) return x == y;
+    if (op == XBinaryOp::kNotEq) return x != y;
+    // Relational comparisons always go through numbers in XPath 1.0.
+    return CompareNumbers(op, XPathValue::String(x).ToNumber(),
+                          XPathValue::String(y).ToNumber());
+  }
+
+  static Result<XPathValue> Compare(XBinaryOp op, const XPathValue& a,
+                                    const XPathValue& b) {
+    bool relational = op != XBinaryOp::kEq && op != XBinaryOp::kNotEq;
+    // Node-set vs node-set: existential over string-values.
+    if (a.is_node_set() && b.is_node_set()) {
+      for (const NodePtr& na : a.nodes()) {
+        for (const NodePtr& nb : b.nodes()) {
+          bool hit = relational
+                         ? CompareNumbers(
+                               op,
+                               XPathValue::String(na->TextContent())
+                                   .ToNumber(),
+                               XPathValue::String(nb->TextContent())
+                                   .ToNumber())
+                         : CompareStrings(op, na->TextContent(),
+                                          nb->TextContent());
+          if (hit) return XPathValue::Boolean(true);
+        }
+      }
+      return XPathValue::Boolean(false);
+    }
+    // One node-set: existential against the scalar.
+    if (a.is_node_set() || b.is_node_set()) {
+      const XPathValue& set = a.is_node_set() ? a : b;
+      const XPathValue& scalar = a.is_node_set() ? b : a;
+      bool flipped = !a.is_node_set();  // scalar OP node
+      for (const NodePtr& n : set.nodes()) {
+        std::string sv = n->TextContent();
+        bool hit;
+        if (scalar.kind() == XPathValue::Kind::kNumber || relational) {
+          double nodeside = XPathValue::String(sv).ToNumber();
+          double other = scalar.ToNumber();
+          hit = flipped ? CompareNumbers(op, other, nodeside)
+                        : CompareNumbers(op, nodeside, other);
+        } else if (scalar.kind() == XPathValue::Kind::kBoolean) {
+          bool setb = !set.nodes().empty();
+          hit = CompareNumbers(op, setb ? 1 : 0,
+                               scalar.ToBool() ? 1 : 0);
+        } else {
+          hit = flipped ? CompareStrings(op, scalar.ToStringValue(), sv)
+                        : CompareStrings(op, sv, scalar.ToStringValue());
+        }
+        if (hit) return XPathValue::Boolean(true);
+      }
+      return XPathValue::Boolean(false);
+    }
+    // Scalar vs scalar.
+    if (!relational && (a.kind() == XPathValue::Kind::kBoolean ||
+                        b.kind() == XPathValue::Kind::kBoolean)) {
+      bool eq = a.ToBool() == b.ToBool();
+      return XPathValue::Boolean(op == XBinaryOp::kEq ? eq : !eq);
+    }
+    if (relational || a.kind() == XPathValue::Kind::kNumber ||
+        b.kind() == XPathValue::Kind::kNumber) {
+      return XPathValue::Boolean(
+          CompareNumbers(op, a.ToNumber(), b.ToNumber()));
+    }
+    return XPathValue::Boolean(
+        CompareStrings(op, a.ToStringValue(), b.ToStringValue()));
+  }
+
+  Result<XPathValue> EvalFunction(const XExpr& e, const NodePtr& context,
+                                  size_t position, size_t size) {
+    const std::string& name = e.name;
+
+    // Context-sensitive core functions first.
+    if (name == "position") return XPathValue::Number(
+        static_cast<double>(position));
+    if (name == "last") return XPathValue::Number(
+        static_cast<double>(size));
+
+    std::vector<XPathValue> args;
+    args.reserve(e.children.size());
+    for (const XExprPtr& child : e.children) {
+      SQLFLOW_ASSIGN_OR_RETURN(XPathValue v,
+                               Eval(*child, context, position, size));
+      args.push_back(std::move(v));
+    }
+    auto want = [&](size_t n) -> Status {
+      if (args.size() != n) {
+        return Status::InvalidArgument(
+            "XPath function " + name + " expects " + std::to_string(n) +
+            " arguments, got " + std::to_string(args.size()));
+      }
+      return Status::OK();
+    };
+
+    if (name == "count") {
+      SQLFLOW_RETURN_IF_ERROR(want(1));
+      if (!args[0].is_node_set()) {
+        return Status::TypeError("count() requires a node-set");
+      }
+      return XPathValue::Number(
+          static_cast<double>(args[0].nodes().size()));
+    }
+    if (name == "sum") {
+      SQLFLOW_RETURN_IF_ERROR(want(1));
+      if (!args[0].is_node_set()) {
+        return Status::TypeError("sum() requires a node-set");
+      }
+      double total = 0;
+      for (const NodePtr& node : args[0].nodes()) {
+        total += XPathValue::String(node->TextContent()).ToNumber();
+      }
+      return XPathValue::Number(total);
+    }
+    if (name == "floor") {
+      SQLFLOW_RETURN_IF_ERROR(want(1));
+      return XPathValue::Number(std::floor(args[0].ToNumber()));
+    }
+    if (name == "ceiling") {
+      SQLFLOW_RETURN_IF_ERROR(want(1));
+      return XPathValue::Number(std::ceil(args[0].ToNumber()));
+    }
+    if (name == "round") {
+      SQLFLOW_RETURN_IF_ERROR(want(1));
+      // XPath round(): half rounds toward +infinity.
+      return XPathValue::Number(std::floor(args[0].ToNumber() + 0.5));
+    }
+    if (name == "substring-before" || name == "substring-after") {
+      SQLFLOW_RETURN_IF_ERROR(want(2));
+      std::string s = args[0].ToStringValue();
+      std::string sep = args[1].ToStringValue();
+      size_t pos = s.find(sep);
+      if (pos == std::string::npos) return XPathValue::String("");
+      return XPathValue::String(name == "substring-before"
+                                    ? s.substr(0, pos)
+                                    : s.substr(pos + sep.size()));
+    }
+    if (name == "translate") {
+      SQLFLOW_RETURN_IF_ERROR(want(3));
+      std::string s = args[0].ToStringValue();
+      std::string from = args[1].ToStringValue();
+      std::string to = args[2].ToStringValue();
+      std::string out;
+      out.reserve(s.size());
+      for (char c : s) {
+        size_t pos = from.find(c);
+        if (pos == std::string::npos) {
+          out += c;
+        } else if (pos < to.size()) {
+          out += to[pos];
+        }  // else: mapped to nothing, dropped
+      }
+      return XPathValue::String(out);
+    }
+    if (name == "string") {
+      if (args.empty()) {
+        return XPathValue::String(
+            context == nullptr ? "" : context->TextContent());
+      }
+      return XPathValue::String(args[0].ToStringValue());
+    }
+    if (name == "number") {
+      if (args.empty()) {
+        return XPathValue::Number(
+            XPathValue::String(
+                context == nullptr ? "" : context->TextContent())
+                .ToNumber());
+      }
+      return XPathValue::Number(args[0].ToNumber());
+    }
+    if (name == "boolean") {
+      SQLFLOW_RETURN_IF_ERROR(want(1));
+      return XPathValue::Boolean(args[0].ToBool());
+    }
+    if (name == "not") {
+      SQLFLOW_RETURN_IF_ERROR(want(1));
+      return XPathValue::Boolean(!args[0].ToBool());
+    }
+    if (name == "true") return XPathValue::Boolean(true);
+    if (name == "false") return XPathValue::Boolean(false);
+    if (name == "concat") {
+      std::string out;
+      for (const XPathValue& arg : args) out += arg.ToStringValue();
+      return XPathValue::String(out);
+    }
+    if (name == "contains") {
+      SQLFLOW_RETURN_IF_ERROR(want(2));
+      return XPathValue::Boolean(args[0].ToStringValue().find(
+                                     args[1].ToStringValue()) !=
+                                 std::string::npos);
+    }
+    if (name == "starts-with") {
+      SQLFLOW_RETURN_IF_ERROR(want(2));
+      const std::string s = args[0].ToStringValue();
+      const std::string prefix = args[1].ToStringValue();
+      return XPathValue::Boolean(s.rfind(prefix, 0) == 0);
+    }
+    if (name == "string-length") {
+      SQLFLOW_RETURN_IF_ERROR(want(1));
+      return XPathValue::Number(
+          static_cast<double>(args[0].ToStringValue().size()));
+    }
+    if (name == "normalize-space") {
+      SQLFLOW_RETURN_IF_ERROR(want(1));
+      std::string s = args[0].ToStringValue();
+      std::string out;
+      bool in_space = true;
+      for (char c : s) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+          if (!in_space) {
+            out += ' ';
+            in_space = true;
+          }
+        } else {
+          out += c;
+          in_space = false;
+        }
+      }
+      while (!out.empty() && out.back() == ' ') out.pop_back();
+      return XPathValue::String(out);
+    }
+    if (name == "substring") {
+      if (args.size() < 2 || args.size() > 3) {
+        return Status::InvalidArgument("substring expects 2 or 3 args");
+      }
+      std::string s = args[0].ToStringValue();
+      double start = std::round(args[1].ToNumber());
+      double len = args.size() == 3
+                       ? std::round(args[2].ToNumber())
+                       : static_cast<double>(s.size()) + 1;
+      // XPath: positions are 1-based; handle out-of-range per spec-ish.
+      long long begin = static_cast<long long>(start) - 1;
+      long long count = static_cast<long long>(len);
+      if (begin < 0) {
+        count += begin;
+        begin = 0;
+      }
+      if (count <= 0 || begin >= static_cast<long long>(s.size())) {
+        return XPathValue::String("");
+      }
+      return XPathValue::String(
+          s.substr(static_cast<size_t>(begin),
+                   static_cast<size_t>(count)));
+    }
+    if (name == "name") {
+      if (args.empty()) {
+        return XPathValue::String(
+            context == nullptr ? "" : context->name());
+      }
+      NodePtr n = args[0].FirstNode();
+      return XPathValue::String(n == nullptr ? "" : n->name());
+    }
+
+    // Extension registry (Oracle-style ora:/orcl:/bpws: functions).
+    if (env_.functions != nullptr) {
+      const ExtensionFunction* fn = env_.functions->Find(name);
+      if (fn != nullptr) return (*fn)(args);
+    }
+    return Status::NotFound("unknown XPath function '" + name + "'");
+  }
+
+  Result<XPathValue> EvalPath(const XExpr& e, const NodePtr& context,
+                              size_t position, size_t size) {
+    std::vector<NodePtr> current;
+    if (e.base != nullptr) {
+      SQLFLOW_ASSIGN_OR_RETURN(XPathValue base,
+                               Eval(*e.base, context, position, size));
+      if (!base.is_node_set()) {
+        return Status::TypeError(
+            "XPath path applied to a non-node-set value");
+      }
+      current = base.nodes();
+    } else if (e.absolute) {
+      NodePtr root = RootOf(context);
+      if (root != nullptr) current.push_back(root);
+      // Absolute paths start at the (virtual) document root; our model
+      // uses the root *element*, so a leading step naming the root
+      // element must match it (handled below via a self-match fallback).
+      if (!e.steps.empty() && !current.empty()) {
+        const Step& first = e.steps[0];
+        if (first.axis == Axis::kChild && !first.text_test &&
+            (first.name == "*" || first.name == current[0]->name())) {
+          // Treat the first child step as matching the root element.
+          SQLFLOW_ASSIGN_OR_RETURN(
+              std::vector<NodePtr> filtered,
+              ApplyPredicates(first, current));
+          current = std::move(filtered);
+          return ContinueSteps(e, 1, std::move(current));
+        }
+      }
+    } else {
+      if (context != nullptr) current.push_back(context);
+    }
+    return ContinueSteps(e, 0, std::move(current));
+  }
+
+  Result<XPathValue> ContinueSteps(const XExpr& e, size_t first_step,
+                                   std::vector<NodePtr> current) {
+    for (size_t si = first_step; si < e.steps.size(); ++si) {
+      const Step& step = e.steps[si];
+      std::vector<NodePtr> next;
+      std::set<const Node*> seen;
+      for (const NodePtr& node : current) {
+        SQLFLOW_ASSIGN_OR_RETURN(std::vector<NodePtr> candidates,
+                                 StepCandidates(step, node));
+        SQLFLOW_ASSIGN_OR_RETURN(candidates,
+                                 ApplyPredicates(step, candidates));
+        for (NodePtr& c : candidates) {
+          if (seen.insert(c.get()).second) next.push_back(std::move(c));
+        }
+      }
+      current = std::move(next);
+    }
+    return XPathValue::NodeSet(std::move(current));
+  }
+
+  Result<std::vector<NodePtr>> StepCandidates(const Step& step,
+                                              const NodePtr& node) {
+    std::vector<NodePtr> out;
+    switch (step.axis) {
+      case Axis::kSelf:
+        out.push_back(node);
+        break;
+      case Axis::kParent: {
+        NodePtr p = node->parent();
+        if (p != nullptr) out.push_back(p);
+        break;
+      }
+      case Axis::kChild:
+        for (const NodePtr& child : node->children()) {
+          if (step.text_test) {
+            if (child->is_text()) out.push_back(child);
+          } else if (child->is_element() &&
+                     (step.name == "*" || child->name() == step.name)) {
+            out.push_back(child);
+          }
+        }
+        break;
+      case Axis::kAttribute: {
+        // Attributes surface as synthetic text nodes so downstream
+        // string/number conversion works; they are read-only views.
+        if (step.name == "*") {
+          for (const auto& [attr_name, value] : node->attributes()) {
+            out.push_back(Node::Text(value));
+          }
+        } else {
+          std::optional<std::string> v = node->GetAttribute(step.name);
+          if (v.has_value()) out.push_back(Node::Text(*v));
+        }
+        break;
+      }
+      case Axis::kDescendantOrSelf:
+        CollectDescendantsOrSelf(node, &out);
+        break;
+    }
+    return out;
+  }
+
+  Result<std::vector<NodePtr>> ApplyPredicates(
+      const Step& step, std::vector<NodePtr> candidates) {
+    for (const XExprPtr& pred : step.predicates) {
+      std::vector<NodePtr> kept;
+      size_t total = candidates.size();
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        SQLFLOW_ASSIGN_OR_RETURN(
+            XPathValue v, Eval(*pred, candidates[i], i + 1, total));
+        bool keep = v.kind() == XPathValue::Kind::kNumber
+                        ? v.ToNumber() == static_cast<double>(i + 1)
+                        : v.ToBool();
+        if (keep) kept.push_back(candidates[i]);
+      }
+      candidates = std::move(kept);
+    }
+    return candidates;
+  }
+
+  const EvalEnv& env_;
+};
+
+}  // namespace
+
+Result<XPathValue> EvaluateXPath(const XExpr& expr,
+                                 const xml::NodePtr& context,
+                                 const EvalEnv& env) {
+  Evaluator evaluator(env);
+  return evaluator.Eval(expr, context, 1, 1);
+}
+
+Result<XPathValue> EvaluateXPath(std::string_view expr,
+                                 const xml::NodePtr& context,
+                                 const EvalEnv& env) {
+  SQLFLOW_ASSIGN_OR_RETURN(XExprPtr compiled, ParseXPath(expr));
+  return EvaluateXPath(*compiled, context, env);
+}
+
+Result<std::vector<xml::NodePtr>> SelectNodes(std::string_view expr,
+                                              const xml::NodePtr& context,
+                                              const EvalEnv& env) {
+  SQLFLOW_ASSIGN_OR_RETURN(XPathValue v,
+                           EvaluateXPath(expr, context, env));
+  if (!v.is_node_set()) {
+    return Status::TypeError("XPath expression did not yield a node-set");
+  }
+  return v.nodes();
+}
+
+Result<xml::NodePtr> SelectSingleNode(std::string_view expr,
+                                      const xml::NodePtr& context,
+                                      const EvalEnv& env) {
+  SQLFLOW_ASSIGN_OR_RETURN(std::vector<xml::NodePtr> nodes,
+                           SelectNodes(expr, context, env));
+  if (nodes.empty()) {
+    return Status::NotFound("XPath selected no nodes");
+  }
+  return nodes[0];
+}
+
+}  // namespace sqlflow::xpath

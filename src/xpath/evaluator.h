@@ -1,0 +1,45 @@
+#ifndef SQLFLOW_XPATH_EVALUATOR_H_
+#define SQLFLOW_XPATH_EVALUATOR_H_
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+#include "xpath/functions.h"
+#include "xpath/value.h"
+
+namespace sqlflow::xpath {
+
+/// Everything evaluation may reach beyond the context node: `$variable`
+/// resolution and extension functions. Both are optional.
+struct EvalEnv {
+  std::function<Result<XPathValue>(const std::string&)> variable_resolver;
+  const FunctionRegistry* functions = nullptr;
+};
+
+/// Evaluates a compiled expression against a context node (may be null
+/// for expressions that touch no path, e.g. pure function calls).
+Result<XPathValue> EvaluateXPath(const XExpr& expr,
+                                 const xml::NodePtr& context,
+                                 const EvalEnv& env);
+
+/// Compile-and-evaluate convenience.
+Result<XPathValue> EvaluateXPath(std::string_view expr,
+                                 const xml::NodePtr& context,
+                                 const EvalEnv& env = EvalEnv());
+
+/// Evaluates and requires a node-set result.
+Result<std::vector<xml::NodePtr>> SelectNodes(std::string_view expr,
+                                              const xml::NodePtr& context,
+                                              const EvalEnv& env = EvalEnv());
+
+/// First node of SelectNodes; NotFound when the node-set is empty.
+Result<xml::NodePtr> SelectSingleNode(std::string_view expr,
+                                      const xml::NodePtr& context,
+                                      const EvalEnv& env = EvalEnv());
+
+}  // namespace sqlflow::xpath
+
+#endif  // SQLFLOW_XPATH_EVALUATOR_H_

@@ -1,0 +1,33 @@
+#include "xpath/functions.h"
+
+namespace sqlflow::xpath {
+
+Status FunctionRegistry::Register(const std::string& name,
+                                  ExtensionFunction fn) {
+  if (functions_.count(name) > 0) {
+    return Status::AlreadyExists("XPath function '" + name +
+                                 "' already registered");
+  }
+  functions_.emplace(name, std::move(fn));
+  return Status::OK();
+}
+
+void FunctionRegistry::RegisterOrReplace(const std::string& name,
+                                         ExtensionFunction fn) {
+  functions_[name] = std::move(fn);
+}
+
+const ExtensionFunction* FunctionRegistry::Find(
+    const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> FunctionRegistry::FunctionNames() const {
+  std::vector<std::string> names;
+  names.reserve(functions_.size());
+  for (const auto& [name, fn] : functions_) names.push_back(name);
+  return names;
+}
+
+}  // namespace sqlflow::xpath

@@ -1,0 +1,39 @@
+#ifndef SQLFLOW_XPATH_FUNCTIONS_H_
+#define SQLFLOW_XPATH_FUNCTIONS_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xpath/value.h"
+
+namespace sqlflow::xpath {
+
+/// Signature of a registered (extension) function: evaluated argument
+/// values in, one XPath value out. Extension functions see no node
+/// context — exactly like Oracle's ora:/orcl: functions, which operate on
+/// their string/number arguments only.
+using ExtensionFunction =
+    std::function<Result<XPathValue>(const std::vector<XPathValue>&)>;
+
+/// Name → function map consulted for any call the evaluator's built-in
+/// core library doesn't know. Names may carry a namespace prefix
+/// ("ora:query-database"). This registry is the hook through which the
+/// Oracle SOA analogue injects its SQL support into assign activities.
+class FunctionRegistry {
+ public:
+  Status Register(const std::string& name, ExtensionFunction fn);
+  /// Replaces any existing registration.
+  void RegisterOrReplace(const std::string& name, ExtensionFunction fn);
+  const ExtensionFunction* Find(const std::string& name) const;
+  std::vector<std::string> FunctionNames() const;
+
+ private:
+  std::map<std::string, ExtensionFunction> functions_;
+};
+
+}  // namespace sqlflow::xpath
+
+#endif  // SQLFLOW_XPATH_FUNCTIONS_H_

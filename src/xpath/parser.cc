@@ -1,0 +1,571 @@
+#include "xpath/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace sqlflow::xpath {
+
+namespace {
+
+enum class TokKind {
+  kEnd,
+  kName,       // possibly namespaced: ora:query-database
+  kNumber,
+  kString,
+  kVariable,   // $name
+  kSlash,
+  kDoubleSlash,
+  kLBracket,
+  kRBracket,
+  kLParen,
+  kRParen,
+  kComma,
+  kAt,
+  kDot,
+  kDotDot,
+  kStar,
+  kPipe,
+  kPlus,
+  kMinus,
+  kEq,
+  kNotEq,
+  kLt,
+  kLtEq,
+  kGt,
+  kGtEq,
+};
+
+struct Tok {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  double number = 0;
+  size_t pos = 0;
+};
+
+bool IsNameStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+Result<std::vector<Tok>> Lex(std::string_view in) {
+  std::vector<Tok> out;
+  size_t i = 0;
+  auto push = [&](TokKind k, size_t pos) {
+    Tok t;
+    t.kind = k;
+    t.pos = pos;
+    out.push_back(std::move(t));
+  };
+  while (i < in.size()) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsNameStart(c)) {
+      while (i < in.size() && IsNameChar(in[i])) ++i;
+      Tok t;
+      t.kind = TokKind::kName;
+      t.text = std::string(in.substr(start, i - start));
+      t.pos = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < in.size() &&
+         std::isdigit(static_cast<unsigned char>(in[i + 1])))) {
+      while (i < in.size() &&
+             (std::isdigit(static_cast<unsigned char>(in[i])) ||
+              in[i] == '.')) {
+        ++i;
+      }
+      Tok t;
+      t.kind = TokKind::kNumber;
+      t.number =
+          std::strtod(std::string(in.substr(start, i - start)).c_str(),
+                      nullptr);
+      t.pos = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      ++i;
+      size_t body = i;
+      while (i < in.size() && in[i] != c) ++i;
+      if (i >= in.size()) {
+        return Status::SyntaxError("XPath: unterminated string literal");
+      }
+      Tok t;
+      t.kind = TokKind::kString;
+      t.text = std::string(in.substr(body, i - body));
+      t.pos = start;
+      out.push_back(std::move(t));
+      ++i;
+      continue;
+    }
+    if (c == '$') {
+      ++i;
+      size_t body = i;
+      if (i >= in.size() || !IsNameStart(in[i])) {
+        return Status::SyntaxError("XPath: expected name after '$'");
+      }
+      while (i < in.size() && IsNameChar(in[i])) ++i;
+      Tok t;
+      t.kind = TokKind::kVariable;
+      t.text = std::string(in.substr(body, i - body));
+      t.pos = start;
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '/':
+        if (i + 1 < in.size() && in[i + 1] == '/') {
+          push(TokKind::kDoubleSlash, start);
+          i += 2;
+        } else {
+          push(TokKind::kSlash, start);
+          ++i;
+        }
+        break;
+      case '[':
+        push(TokKind::kLBracket, start);
+        ++i;
+        break;
+      case ']':
+        push(TokKind::kRBracket, start);
+        ++i;
+        break;
+      case '(':
+        push(TokKind::kLParen, start);
+        ++i;
+        break;
+      case ')':
+        push(TokKind::kRParen, start);
+        ++i;
+        break;
+      case ',':
+        push(TokKind::kComma, start);
+        ++i;
+        break;
+      case '@':
+        push(TokKind::kAt, start);
+        ++i;
+        break;
+      case '.':
+        if (i + 1 < in.size() && in[i + 1] == '.') {
+          push(TokKind::kDotDot, start);
+          i += 2;
+        } else {
+          push(TokKind::kDot, start);
+          ++i;
+        }
+        break;
+      case '*':
+        push(TokKind::kStar, start);
+        ++i;
+        break;
+      case '|':
+        push(TokKind::kPipe, start);
+        ++i;
+        break;
+      case '+':
+        push(TokKind::kPlus, start);
+        ++i;
+        break;
+      case '-':
+        push(TokKind::kMinus, start);
+        ++i;
+        break;
+      case '=':
+        push(TokKind::kEq, start);
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          push(TokKind::kNotEq, start);
+          i += 2;
+        } else {
+          return Status::SyntaxError("XPath: unexpected '!'");
+        }
+        break;
+      case '<':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          push(TokKind::kLtEq, start);
+          i += 2;
+        } else {
+          push(TokKind::kLt, start);
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < in.size() && in[i + 1] == '=') {
+          push(TokKind::kGtEq, start);
+          i += 2;
+        } else {
+          push(TokKind::kGt, start);
+          ++i;
+        }
+        break;
+      default:
+        return Status::SyntaxError(
+            std::string("XPath: unexpected character '") + c + "'");
+    }
+  }
+  push(TokKind::kEnd, in.size());
+  return out;
+}
+
+class XPathParser {
+ public:
+  explicit XPathParser(std::vector<Tok> toks) : toks_(std::move(toks)) {}
+
+  Result<XExprPtr> Parse() {
+    SQLFLOW_ASSIGN_OR_RETURN(XExprPtr e, ParseOr());
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::SyntaxError("XPath: trailing input at offset " +
+                                 std::to_string(Peek().pos));
+    }
+    return e;
+  }
+
+ private:
+  const Tok& Peek() const { return toks_[pos_]; }
+  const Tok& PeekAhead(size_t k) const {
+    size_t i = pos_ + k;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Tok& Advance() { return toks_[pos_++]; }
+  bool Accept(TokKind k) {
+    if (Peek().kind == k) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool AcceptName(const char* word) {
+    if (Peek().kind == TokKind::kName && Peek().text == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::SyntaxError("XPath: " + msg + " at offset " +
+                               std::to_string(Peek().pos));
+  }
+
+  static XExprPtr Binary(XBinaryOp op, XExprPtr a, XExprPtr b) {
+    auto e = std::make_unique<XExpr>();
+    e->kind = XExprKind::kBinary;
+    e->op = op;
+    e->children.push_back(std::move(a));
+    e->children.push_back(std::move(b));
+    return e;
+  }
+
+  Result<XExprPtr> ParseOr() {
+    SQLFLOW_ASSIGN_OR_RETURN(XExprPtr lhs, ParseAnd());
+    while (AcceptName("or")) {
+      SQLFLOW_ASSIGN_OR_RETURN(XExprPtr rhs, ParseAnd());
+      lhs = Binary(XBinaryOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<XExprPtr> ParseAnd() {
+    SQLFLOW_ASSIGN_OR_RETURN(XExprPtr lhs, ParseEquality());
+    while (AcceptName("and")) {
+      SQLFLOW_ASSIGN_OR_RETURN(XExprPtr rhs, ParseEquality());
+      lhs = Binary(XBinaryOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<XExprPtr> ParseEquality() {
+    SQLFLOW_ASSIGN_OR_RETURN(XExprPtr lhs, ParseRelational());
+    while (true) {
+      XBinaryOp op;
+      if (Accept(TokKind::kEq)) {
+        op = XBinaryOp::kEq;
+      } else if (Accept(TokKind::kNotEq)) {
+        op = XBinaryOp::kNotEq;
+      } else {
+        break;
+      }
+      SQLFLOW_ASSIGN_OR_RETURN(XExprPtr rhs, ParseRelational());
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<XExprPtr> ParseRelational() {
+    SQLFLOW_ASSIGN_OR_RETURN(XExprPtr lhs, ParseAdditive());
+    while (true) {
+      XBinaryOp op;
+      if (Accept(TokKind::kLt)) {
+        op = XBinaryOp::kLt;
+      } else if (Accept(TokKind::kLtEq)) {
+        op = XBinaryOp::kLtEq;
+      } else if (Accept(TokKind::kGt)) {
+        op = XBinaryOp::kGt;
+      } else if (Accept(TokKind::kGtEq)) {
+        op = XBinaryOp::kGtEq;
+      } else {
+        break;
+      }
+      SQLFLOW_ASSIGN_OR_RETURN(XExprPtr rhs, ParseAdditive());
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<XExprPtr> ParseAdditive() {
+    SQLFLOW_ASSIGN_OR_RETURN(XExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      XBinaryOp op;
+      if (Accept(TokKind::kPlus)) {
+        op = XBinaryOp::kAdd;
+      } else if (Accept(TokKind::kMinus)) {
+        op = XBinaryOp::kSub;
+      } else {
+        break;
+      }
+      SQLFLOW_ASSIGN_OR_RETURN(XExprPtr rhs, ParseMultiplicative());
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<XExprPtr> ParseMultiplicative() {
+    SQLFLOW_ASSIGN_OR_RETURN(XExprPtr lhs, ParseUnary());
+    while (true) {
+      XBinaryOp op;
+      if (Accept(TokKind::kStar)) {
+        op = XBinaryOp::kMul;
+      } else if (AcceptName("div")) {
+        op = XBinaryOp::kDiv;
+      } else if (AcceptName("mod")) {
+        op = XBinaryOp::kMod;
+      } else {
+        break;
+      }
+      SQLFLOW_ASSIGN_OR_RETURN(XExprPtr rhs, ParseUnary());
+      lhs = Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<XExprPtr> ParseUnary() {
+    if (Accept(TokKind::kMinus)) {
+      SQLFLOW_ASSIGN_OR_RETURN(XExprPtr operand, ParseUnary());
+      auto e = std::make_unique<XExpr>();
+      e->kind = XExprKind::kUnaryNeg;
+      e->children.push_back(std::move(operand));
+      return XExprPtr(std::move(e));
+    }
+    return ParseUnion();
+  }
+
+  Result<XExprPtr> ParseUnion() {
+    SQLFLOW_ASSIGN_OR_RETURN(XExprPtr lhs, ParsePathExpr());
+    while (Accept(TokKind::kPipe)) {
+      SQLFLOW_ASSIGN_OR_RETURN(XExprPtr rhs, ParsePathExpr());
+      lhs = Binary(XBinaryOp::kUnion, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // A path expression: either a location path, or a primary (filter)
+  // expression optionally followed by '/...'.
+  Result<XExprPtr> ParsePathExpr() {
+    TokKind k = Peek().kind;
+    // Pure location path starts.
+    if (k == TokKind::kSlash || k == TokKind::kDoubleSlash ||
+        k == TokKind::kAt || k == TokKind::kDot ||
+        k == TokKind::kDotDot ||
+        (k == TokKind::kName && !IsFunctionCallAhead())) {
+      return ParseLocationPath(/*base=*/nullptr, /*absolute_allowed=*/true);
+    }
+    if (k == TokKind::kStar) {
+      // `*` as a name test (child wildcard step).
+      return ParseLocationPath(nullptr, true);
+    }
+    SQLFLOW_ASSIGN_OR_RETURN(XExprPtr primary, ParsePrimary());
+    if (Peek().kind == TokKind::kSlash ||
+        Peek().kind == TokKind::kDoubleSlash ||
+        Peek().kind == TokKind::kLBracket) {
+      return ParseLocationPath(std::move(primary),
+                               /*absolute_allowed=*/false);
+    }
+    return primary;
+  }
+
+  bool IsFunctionCallAhead() const {
+    return Peek().kind == TokKind::kName &&
+           PeekAhead(1).kind == TokKind::kLParen &&
+           // text() is a node test, not a function call.
+           Peek().text != "text";
+  }
+
+  Result<XExprPtr> ParsePrimary() {
+    const Tok& t = Peek();
+    switch (t.kind) {
+      case TokKind::kString: {
+        Advance();
+        auto e = std::make_unique<XExpr>();
+        e->kind = XExprKind::kStringLiteral;
+        e->string_value = t.text;
+        return XExprPtr(std::move(e));
+      }
+      case TokKind::kNumber: {
+        Advance();
+        auto e = std::make_unique<XExpr>();
+        e->kind = XExprKind::kNumberLiteral;
+        e->number_value = t.number;
+        return XExprPtr(std::move(e));
+      }
+      case TokKind::kVariable: {
+        Advance();
+        auto e = std::make_unique<XExpr>();
+        e->kind = XExprKind::kVariable;
+        e->name = t.text;
+        return XExprPtr(std::move(e));
+      }
+      case TokKind::kLParen: {
+        Advance();
+        SQLFLOW_ASSIGN_OR_RETURN(XExprPtr inner, ParseOr());
+        if (!Accept(TokKind::kRParen)) return Error("expected ')'");
+        return inner;
+      }
+      case TokKind::kName: {
+        if (PeekAhead(1).kind == TokKind::kLParen) {
+          std::string fn_name = Advance().text;
+          Advance();  // '('
+          auto e = std::make_unique<XExpr>();
+          e->kind = XExprKind::kFunctionCall;
+          e->name = std::move(fn_name);
+          if (Peek().kind != TokKind::kRParen) {
+            while (true) {
+              SQLFLOW_ASSIGN_OR_RETURN(XExprPtr arg, ParseOr());
+              e->children.push_back(std::move(arg));
+              if (!Accept(TokKind::kComma)) break;
+            }
+          }
+          if (!Accept(TokKind::kRParen)) return Error("expected ')'");
+          return XExprPtr(std::move(e));
+        }
+        return Error("unexpected name in primary expression");
+      }
+      default:
+        return Error("expected a primary expression");
+    }
+  }
+
+  Result<Step> ParseStep() {
+    Step step;
+    if (Accept(TokKind::kDot)) {
+      step.axis = Axis::kSelf;
+      step.name = "*";
+    } else if (Accept(TokKind::kDotDot)) {
+      step.axis = Axis::kParent;
+      step.name = "*";
+    } else {
+      if (Accept(TokKind::kAt)) {
+        step.axis = Axis::kAttribute;
+      }
+      if (Accept(TokKind::kStar)) {
+        step.name = "*";
+      } else if (Peek().kind == TokKind::kName) {
+        std::string name = Advance().text;
+        if (name == "text" && Accept(TokKind::kLParen)) {
+          if (!Accept(TokKind::kRParen)) return Error("expected ')'");
+          step.text_test = true;
+        } else {
+          step.name = std::move(name);
+        }
+      } else {
+        return Error("expected a step");
+      }
+    }
+    while (Accept(TokKind::kLBracket)) {
+      SQLFLOW_ASSIGN_OR_RETURN(XExprPtr pred, ParseOr());
+      step.predicates.push_back(std::move(pred));
+      if (!Accept(TokKind::kRBracket)) return Error("expected ']'");
+    }
+    return step;
+  }
+
+  Result<XExprPtr> ParseLocationPath(XExprPtr base, bool absolute_allowed) {
+    auto path = std::make_unique<XExpr>();
+    path->kind = XExprKind::kPath;
+    path->base = std::move(base);
+
+    // Filter expression with immediate predicates: `$v[1]`.
+    if (path->base != nullptr && Peek().kind == TokKind::kLBracket) {
+      Step self_step;
+      self_step.axis = Axis::kSelf;
+      self_step.name = "*";
+      while (Accept(TokKind::kLBracket)) {
+        SQLFLOW_ASSIGN_OR_RETURN(XExprPtr pred, ParseOr());
+        self_step.predicates.push_back(std::move(pred));
+        if (!Accept(TokKind::kRBracket)) return Error("expected ']'");
+      }
+      path->steps.push_back(std::move(self_step));
+    }
+
+    bool need_step = path->base == nullptr;
+    if (Accept(TokKind::kDoubleSlash)) {
+      if (path->base == nullptr && absolute_allowed) {
+        path->absolute = true;
+      }
+      Step ds;
+      ds.axis = Axis::kDescendantOrSelf;
+      ds.name = "*";
+      path->steps.push_back(std::move(ds));
+      need_step = true;
+    } else if (Accept(TokKind::kSlash)) {
+      if (path->base == nullptr && absolute_allowed) {
+        path->absolute = true;
+        // Bare '/' selects the root.
+        if (Peek().kind == TokKind::kEnd) return XExprPtr(std::move(path));
+      }
+      need_step = true;
+    }
+
+    if (need_step) {
+      SQLFLOW_ASSIGN_OR_RETURN(Step s, ParseStep());
+      path->steps.push_back(std::move(s));
+    }
+
+    while (true) {
+      if (Accept(TokKind::kDoubleSlash)) {
+        Step ds;
+        ds.axis = Axis::kDescendantOrSelf;
+        ds.name = "*";
+        path->steps.push_back(std::move(ds));
+      } else if (!Accept(TokKind::kSlash)) {
+        break;
+      }
+      SQLFLOW_ASSIGN_OR_RETURN(Step s, ParseStep());
+      path->steps.push_back(std::move(s));
+    }
+    return XExprPtr(std::move(path));
+  }
+
+  std::vector<Tok> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<XExprPtr> ParseXPath(std::string_view input) {
+  SQLFLOW_ASSIGN_OR_RETURN(std::vector<Tok> toks, Lex(input));
+  XPathParser parser(std::move(toks));
+  return parser.Parse();
+}
+
+}  // namespace sqlflow::xpath

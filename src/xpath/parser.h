@@ -1,0 +1,21 @@
+#ifndef SQLFLOW_XPATH_PARSER_H_
+#define SQLFLOW_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "xpath/ast.h"
+
+namespace sqlflow::xpath {
+
+/// Compiles an XPath 1.0 (subset) expression into an AST. Supported:
+/// location paths with child/attribute/self/parent axes and `//`,
+/// predicates (positional and boolean), `$variable` references, function
+/// calls (namespaced names allowed), the full operator set (or and = !=
+/// < <= > >= + - * div mod |), string and number literals, and filter
+/// expressions like `$v/Row[2]`.
+Result<XExprPtr> ParseXPath(std::string_view input);
+
+}  // namespace sqlflow::xpath
+
+#endif  // SQLFLOW_XPATH_PARSER_H_

@@ -1,0 +1,74 @@
+#include "xpath/value.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+namespace sqlflow::xpath {
+
+std::string FormatXPathNumber(double n) {
+  if (std::isnan(n)) return "NaN";
+  if (n == static_cast<double>(static_cast<long long>(n)) &&
+      std::fabs(n) < 1e15) {
+    return std::to_string(static_cast<long long>(n));
+  }
+  std::ostringstream os;
+  os << n;
+  return os.str();
+}
+
+std::string XPathValue::ToStringValue() const {
+  switch (kind_) {
+    case Kind::kNodeSet:
+      return nodes_.empty() ? "" : nodes_[0]->TextContent();
+    case Kind::kString:
+      return string_;
+    case Kind::kNumber:
+      return FormatXPathNumber(number_);
+    case Kind::kBoolean:
+      return boolean_ ? "true" : "false";
+  }
+  return "";
+}
+
+double XPathValue::ToNumber() const {
+  switch (kind_) {
+    case Kind::kNodeSet:
+    case Kind::kString: {
+      std::string s = ToStringValue();
+      // Trim whitespace, then strtod; partial parses are NaN per XPath.
+      size_t begin = s.find_first_not_of(" \t\r\n");
+      if (begin == std::string::npos) return std::nan("");
+      size_t end = s.find_last_not_of(" \t\r\n");
+      std::string trimmed = s.substr(begin, end - begin + 1);
+      char* parse_end = nullptr;
+      double v = std::strtod(trimmed.c_str(), &parse_end);
+      if (parse_end != trimmed.c_str() + trimmed.size() ||
+          trimmed.empty()) {
+        return std::nan("");
+      }
+      return v;
+    }
+    case Kind::kNumber:
+      return number_;
+    case Kind::kBoolean:
+      return boolean_ ? 1.0 : 0.0;
+  }
+  return std::nan("");
+}
+
+bool XPathValue::ToBool() const {
+  switch (kind_) {
+    case Kind::kNodeSet:
+      return !nodes_.empty();
+    case Kind::kString:
+      return !string_.empty();
+    case Kind::kNumber:
+      return number_ != 0.0 && !std::isnan(number_);
+    case Kind::kBoolean:
+      return boolean_;
+  }
+  return false;
+}
+
+}  // namespace sqlflow::xpath

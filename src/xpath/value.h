@@ -1,0 +1,80 @@
+#ifndef SQLFLOW_XPATH_VALUE_H_
+#define SQLFLOW_XPATH_VALUE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "xml/node.h"
+
+namespace sqlflow::xpath {
+
+/// The four XPath 1.0 value types. Node-sets keep document order as
+/// produced by the evaluator.
+class XPathValue {
+ public:
+  enum class Kind { kNodeSet, kString, kNumber, kBoolean };
+
+  XPathValue() : kind_(Kind::kNodeSet) {}
+
+  static XPathValue NodeSet(std::vector<xml::NodePtr> nodes) {
+    XPathValue v;
+    v.kind_ = Kind::kNodeSet;
+    v.nodes_ = std::move(nodes);
+    return v;
+  }
+  static XPathValue String(std::string s) {
+    XPathValue v;
+    v.kind_ = Kind::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static XPathValue Number(double n) {
+    XPathValue v;
+    v.kind_ = Kind::kNumber;
+    v.number_ = n;
+    return v;
+  }
+  static XPathValue Boolean(bool b) {
+    XPathValue v;
+    v.kind_ = Kind::kBoolean;
+    v.boolean_ = b;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_node_set() const { return kind_ == Kind::kNodeSet; }
+
+  const std::vector<xml::NodePtr>& nodes() const { return nodes_; }
+
+  /// XPath string(): first node's string-value, the string itself,
+  /// number formatting (integers without decimal point), or true/false.
+  std::string ToStringValue() const;
+
+  /// XPath number(): NaN for non-numeric strings / empty node-sets.
+  double ToNumber() const;
+
+  /// XPath boolean(): non-empty node-set / non-empty string / non-zero,
+  /// non-NaN number.
+  bool ToBool() const;
+
+  /// First node of a node-set, or nullptr (also for non-node-sets).
+  xml::NodePtr FirstNode() const {
+    return nodes_.empty() ? nullptr : nodes_[0];
+  }
+
+ private:
+  Kind kind_;
+  std::vector<xml::NodePtr> nodes_;
+  std::string string_;
+  double number_ = 0.0;
+  bool boolean_ = false;
+};
+
+/// Formats like XPath string(number): integral values without a decimal
+/// point, NaN as "NaN".
+std::string FormatXPathNumber(double n);
+
+}  // namespace sqlflow::xpath
+
+#endif  // SQLFLOW_XPATH_VALUE_H_

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "adapter/data_access_service.h"
+#include "patterns/fixture.h"
+#include "wfc/engine.h"
+
+namespace sqlflow::adapter {
+namespace {
+
+using patterns::Fixture;
+using patterns::MakeFixture;
+
+class AdapterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fixture = MakeFixture("adapter");
+    ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+    fixture_ = std::move(*fixture);
+    service_ =
+        std::make_shared<DataAccessService>("DataAccess", fixture_.db);
+    ASSERT_TRUE(fixture_.engine->services().Register(service_).ok());
+  }
+
+  Fixture fixture_;
+  std::shared_ptr<DataAccessService> service_;
+};
+
+TEST_F(AdapterTest, QueryThroughServiceReturnsRows) {
+  auto result = CallDataAccessService(
+      service_.get(), "SELECT ItemID, Name FROM Items ORDER BY ItemID");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->row_count(), 5u);
+  EXPECT_EQ(*result->Get(0, "Name"), Value::String("item-1"));
+}
+
+TEST_F(AdapterTest, DmlThroughServiceReportsAffected) {
+  auto result = CallDataAccessService(
+      service_.get(), "UPDATE Orders SET Approved = TRUE");
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->affected_rows(), 0);
+  EXPECT_EQ(result->row_count(), 0u);
+}
+
+TEST_F(AdapterTest, SqlErrorPropagatesThroughService) {
+  EXPECT_FALSE(
+      CallDataAccessService(service_.get(), "SELEKT nonsense").ok());
+}
+
+TEST_F(AdapterTest, TrafficCountersGrowWithResultSize) {
+  auto small = CallDataAccessService(
+      service_.get(), "SELECT * FROM Items WHERE ItemID = 1");
+  ASSERT_TRUE(small.ok());
+  uint64_t after_small = service_->traffic().response_bytes;
+  auto big = CallDataAccessService(service_.get(),
+                                   "SELECT * FROM Orders");
+  ASSERT_TRUE(big.ok());
+  uint64_t big_delta = service_->traffic().response_bytes - after_small;
+  EXPECT_GT(big_delta, after_small);  // larger results, larger messages
+  EXPECT_EQ(service_->traffic().requests, 2u);
+}
+
+TEST_F(AdapterTest, InvokeActivityUsesAdapterService) {
+  // The Fig. 1 left-hand side: SQL via an invoke activity.
+  auto invoke = std::make_shared<wfc::InvokeActivity>(
+      "inv", "DataAccess",
+      std::vector<std::pair<std::string, std::string>>{
+          {"sql", "'SELECT COUNT(*) AS n FROM Orders'"}},
+      "Payload");
+  auto definition =
+      std::make_shared<wfc::ProcessDefinition>("p", invoke);
+  fixture_.engine->DeployOrReplace(definition);
+  auto result = fixture_.engine->RunProcess("p");
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  // The payload is a serialized RowSet string: data by value.
+  auto payload = result->variables.GetScalar("Payload");
+  ASSERT_TRUE(payload.ok());
+  EXPECT_NE(payload->str().find("<RowSet"), std::string::npos);
+}
+
+TEST_F(AdapterTest, MissingSqlParameterFaults) {
+  xml::NodePtr request = wfc::MakeRequest({});
+  EXPECT_FALSE(service_->Invoke(request).ok());
+}
+
+}  // namespace
+}  // namespace sqlflow::adapter

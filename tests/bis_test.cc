@@ -1,0 +1,359 @@
+#include <gtest/gtest.h>
+
+#include "bis/atomic_sql_sequence.h"
+#include "bis/lifecycle.h"
+#include "bis/retrieve_set_activity.h"
+#include "bis/sql_activity.h"
+#include "patterns/fixture.h"
+#include "rowset/xml_rowset.h"
+#include "sql/table.h"
+
+namespace sqlflow::bis {
+namespace {
+
+using patterns::Fixture;
+using patterns::MakeFixture;
+
+class BisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fixture = MakeFixture("bis");
+    ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+    fixture_ = std::move(*fixture);
+  }
+
+  Result<wfc::InstanceResult> Run(
+      wfc::ActivityPtr root,
+      const std::function<void(wfc::ProcessDefinition&)>& configure = {}) {
+    auto definition =
+        std::make_shared<wfc::ProcessDefinition>("p", std::move(root));
+    definition->DeclareVariable(
+        "DS", wfc::VarValue(wfc::ObjectPtr(
+                  std::make_shared<DataSourceVariable>(
+                      Fixture::kConnection))));
+    if (configure) configure(*definition);
+    fixture_.engine->DeployOrReplace(definition);
+    return fixture_.engine->RunProcess("p");
+  }
+
+  Fixture fixture_;
+};
+
+TEST_F(BisTest, SetReferenceBasics) {
+  SetReference ref(SetReference::Kind::kInput, "Orders");
+  EXPECT_EQ(ref.TypeName(), "SetReference");
+  EXPECT_EQ(ref.table_name(), "Orders");
+  EXPECT_NE(ref.Describe().find("Orders"), std::string::npos);
+  ref.BindTable("Archive");
+  EXPECT_EQ(ref.table_name(), "Archive");
+
+  SetReference result_ref(SetReference::Kind::kResult, "Tmp");
+  auto as_input = result_ref.AsInputReference();
+  EXPECT_EQ(as_input->kind(), SetReference::Kind::kInput);
+  EXPECT_EQ(as_input->table_name(), "Tmp");
+
+  result_ref.SetPreparation("CREATE TABLE {TABLE} (a INTEGER)");
+  result_ref.SetCleanup("DROP TABLE {TABLE}");
+  result_ref.SetUniquePerInstance("Tmp");
+  auto clone = result_ref.Clone();
+  EXPECT_EQ(clone->preparation(), result_ref.preparation());
+  EXPECT_EQ(clone->unique_base(), "Tmp");
+}
+
+TEST_F(BisTest, DataSourceVariableResolves) {
+  DataSourceVariable ds(Fixture::kConnection);
+  EXPECT_EQ(ds.TypeName(), "DataSourceVariable");
+  auto db = ds.Resolve(&fixture_.engine->data_sources());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db)->name(), "orders");
+  EXPECT_FALSE(ds.Resolve(nullptr).ok());
+  ds.Rebind("memdb://other");
+  auto other = ds.Resolve(&fixture_.engine->data_sources());
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ((*other)->name(), "other");
+}
+
+TEST_F(BisTest, ExpandSetReferencesSubstitutesTables) {
+  auto definition = std::make_shared<wfc::ProcessDefinition>(
+      "p", std::make_shared<wfc::EmptyActivity>("e"));
+  fixture_.engine->DeployOrReplace(definition);
+  wfc::ProcessContext ctx(1, "p", &fixture_.engine->services(),
+                          &fixture_.engine->data_sources(),
+                          &fixture_.engine->xpath_functions());
+  ctx.variables().Set(
+      "SR", wfc::VarValue(wfc::ObjectPtr(std::make_shared<SetReference>(
+                SetReference::Kind::kInput, "Orders"))));
+  auto expanded = ExpandSetReferences("SELECT * FROM {SR} WHERE 1=1", ctx);
+  ASSERT_TRUE(expanded.ok());
+  EXPECT_EQ(*expanded, "SELECT * FROM Orders WHERE 1=1");
+  EXPECT_FALSE(ExpandSetReferences("{Missing}", ctx).ok());
+  EXPECT_FALSE(ExpandSetReferences("{SR", ctx).ok());
+}
+
+TEST_F(BisTest, SqlActivityQueryStoresResultExternally) {
+  SqlActivity::Config config;
+  config.data_source_variable = "DS";
+  config.statement =
+      "SELECT ItemID, SUM(Quantity) AS Quantity FROM Orders "
+      "WHERE Approved = TRUE GROUP BY ItemID";
+  config.result_set_reference = "SR_Result";
+  auto result = Run(std::make_shared<SqlActivity>("sql", config),
+                    [](wfc::ProcessDefinition& d) {
+                      d.DeclareVariable(
+                          "SR_Result",
+                          wfc::VarValue(wfc::ObjectPtr(
+                              std::make_shared<SetReference>(
+                                  SetReference::Kind::kResult,
+                                  "ResultTable"))));
+                    });
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  // Rows live in the database, not in the process space.
+  EXPECT_NE(fixture_.db->catalog().FindTable("ResultTable"), nullptr);
+  EXPECT_FALSE(result->variables.Has("SV_anything"));
+}
+
+TEST_F(BisTest, SqlActivityResultRefMustBeResultKind) {
+  SqlActivity::Config config;
+  config.data_source_variable = "DS";
+  config.statement = "SELECT * FROM Orders";
+  config.result_set_reference = "SR_Input";
+  auto result = Run(std::make_shared<SqlActivity>("sql", config),
+                    [](wfc::ProcessDefinition& d) {
+                      d.DeclareVariable(
+                          "SR_Input",
+                          wfc::VarValue(wfc::ObjectPtr(
+                              std::make_shared<SetReference>(
+                                  SetReference::Kind::kInput, "T"))));
+                    });
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->status.ok());
+}
+
+TEST_F(BisTest, SqlActivityRerunReplacesResultTable) {
+  SqlActivity::Config config;
+  config.data_source_variable = "DS";
+  config.statement = "SELECT OrderID FROM Orders WHERE Approved = TRUE";
+  config.result_set_reference = "SR_R";
+  auto activity = std::make_shared<SqlActivity>("sql", config);
+  auto configure = [](wfc::ProcessDefinition& d) {
+    d.DeclareVariable(
+        "SR_R", wfc::VarValue(wfc::ObjectPtr(std::make_shared<SetReference>(
+                    SetReference::Kind::kResult, "R"))));
+  };
+  ASSERT_TRUE(Run(activity, configure)->status.ok());
+  size_t first = fixture_.db->catalog().FindTable("R")->row_count();
+  ASSERT_TRUE(Run(activity, configure)->status.ok());
+  EXPECT_EQ(fixture_.db->catalog().FindTable("R")->row_count(), first);
+}
+
+TEST_F(BisTest, SqlActivityDynamicDataSourceSwitch) {
+  // The same deployed process, run against test and then production,
+  // only by rebinding the data source variable (Sec. III-B).
+  auto test_db = fixture_.engine->data_sources().Open("memdb://testenv");
+  auto prod_db = fixture_.engine->data_sources().Open("memdb://prodenv");
+  ASSERT_TRUE(test_db.ok() && prod_db.ok());
+  for (auto& db : {*test_db, *prod_db}) {
+    ASSERT_TRUE(db->Execute("CREATE TABLE L (msg VARCHAR(10))").ok());
+  }
+  SqlActivity::Config config;
+  config.data_source_variable = "DS";
+  config.statement = "INSERT INTO L VALUES ('ran')";
+  auto definition = std::make_shared<wfc::ProcessDefinition>(
+      "switch", std::make_shared<SqlActivity>("sql", config));
+  definition->DeclareVariable("DS");
+  fixture_.engine->DeployOrReplace(definition);
+
+  for (const char* target : {"memdb://testenv", "memdb://prodenv"}) {
+    std::map<std::string, wfc::VarValue> inputs{
+        {"DS", wfc::VarValue(wfc::ObjectPtr(
+                   std::make_shared<DataSourceVariable>(target)))}};
+    auto result = fixture_.engine->RunProcess("switch", inputs);
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  }
+  for (auto& db : {*test_db, *prod_db}) {
+    auto count = db->Execute("SELECT COUNT(*) FROM L");
+    EXPECT_EQ(count->rows()[0][0], Value::Integer(1));
+  }
+}
+
+TEST_F(BisTest, RetrieveSetMaterializesRowSet) {
+  RetrieveSetActivity::Config config;
+  config.data_source_variable = "DS";
+  config.set_reference = "SR_Items";
+  config.set_variable = "SV";
+  auto result = Run(
+      std::make_shared<RetrieveSetActivity>("r", config),
+      [](wfc::ProcessDefinition& d) {
+        d.DeclareVariable(
+            "SR_Items",
+            wfc::VarValue(wfc::ObjectPtr(std::make_shared<SetReference>(
+                SetReference::Kind::kInput, "Items"))));
+      });
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  auto rowset = result->variables.GetXml("SV");
+  ASSERT_TRUE(rowset.ok());
+  EXPECT_EQ(rowset::RowCount(*rowset), 5u);
+  EXPECT_EQ(rowset::ColumnNames(*rowset),
+            (std::vector<std::string>{"ItemID", "Name"}));
+}
+
+TEST_F(BisTest, RetrieveSetUnknownTableFaults) {
+  RetrieveSetActivity::Config config;
+  config.data_source_variable = "DS";
+  config.set_reference = "SR_X";
+  config.set_variable = "SV";
+  auto result = Run(
+      std::make_shared<RetrieveSetActivity>("r", config),
+      [](wfc::ProcessDefinition& d) {
+        d.DeclareVariable(
+            "SR_X",
+            wfc::VarValue(wfc::ObjectPtr(std::make_shared<SetReference>(
+                SetReference::Kind::kInput, "NoSuch"))));
+      });
+  EXPECT_FALSE(result->status.ok());
+}
+
+TEST_F(BisTest, AtomicSqlSequenceCommits) {
+  SqlActivity::Config insert1;
+  insert1.data_source_variable = "DS";
+  insert1.statement = "INSERT INTO Items VALUES (100, 'x')";
+  SqlActivity::Config insert2;
+  insert2.data_source_variable = "DS";
+  insert2.statement = "INSERT INTO Items VALUES (101, 'y')";
+  auto atomic = std::make_shared<AtomicSqlSequence>(
+      "atomic", "DS",
+      std::vector<wfc::ActivityPtr>{
+          std::make_shared<SqlActivity>("i1", insert1),
+          std::make_shared<SqlActivity>("i2", insert2)});
+  auto result = Run(atomic);
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  auto count = fixture_.db->Execute(
+      "SELECT COUNT(*) FROM Items WHERE ItemID >= 100");
+  EXPECT_EQ(count->rows()[0][0], Value::Integer(2));
+  EXPECT_FALSE(fixture_.db->in_transaction());
+  EXPECT_EQ(fixture_.db->stats().transactions_committed, 1u);
+}
+
+TEST_F(BisTest, AtomicSqlSequenceRollsBackOnFault) {
+  SqlActivity::Config good;
+  good.data_source_variable = "DS";
+  good.statement = "INSERT INTO Items VALUES (100, 'x')";
+  SqlActivity::Config bad;
+  bad.data_source_variable = "DS";
+  bad.statement = "INSERT INTO Items VALUES (1, 'duplicate-key')";
+  auto atomic = std::make_shared<AtomicSqlSequence>(
+      "atomic", "DS",
+      std::vector<wfc::ActivityPtr>{
+          std::make_shared<SqlActivity>("good", good),
+          std::make_shared<SqlActivity>("bad", bad)});
+  auto result = Run(atomic);
+  EXPECT_FALSE(result->status.ok());
+  // The first insert was rolled back with the failed transaction.
+  auto count = fixture_.db->Execute(
+      "SELECT COUNT(*) FROM Items WHERE ItemID = 100");
+  EXPECT_EQ(count->rows()[0][0], Value::Integer(0));
+  EXPECT_FALSE(fixture_.db->in_transaction());
+  EXPECT_EQ(fixture_.db->stats().transactions_rolled_back, 1u);
+}
+
+TEST_F(BisTest, LifecycleCreatesAndDropsPerInstanceTables) {
+  auto probe = std::make_shared<wfc::SnippetActivity>(
+      "probe", [this](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(
+            SetReferencePtr ref,
+            ctx.variables().GetObjectAs<SetReference>("SR_Tmp"));
+        // Table exists during the flow, with the instance-unique name.
+        if (fixture_.db->catalog().FindTable(ref->table_name()) ==
+            nullptr) {
+          return Status::ExecutionError("prepared table missing");
+        }
+        ctx.variables().Set(
+            "SeenName", wfc::VarValue(Value::String(ref->table_name())));
+        return Status::OK();
+      });
+
+  auto definition =
+      std::make_shared<wfc::ProcessDefinition>("lc", probe);
+  definition->DeclareVariable(
+      "DS", wfc::VarValue(wfc::ObjectPtr(
+                std::make_shared<DataSourceVariable>(
+                    Fixture::kConnection))));
+  auto tmp = std::make_shared<SetReference>(SetReference::Kind::kResult,
+                                            "Tmp");
+  tmp->SetUniquePerInstance("Tmp");
+  tmp->SetPreparation("CREATE TABLE {TABLE} (a INTEGER)");
+  tmp->SetCleanup("DROP TABLE IF EXISTS {TABLE}");
+  ASSERT_TRUE(AttachSetReferenceLifecycle(definition.get(), "DS",
+                                          {{"SR_Tmp", tmp}})
+                  .ok());
+  fixture_.engine->DeployOrReplace(definition);
+
+  auto r1 = fixture_.engine->RunProcess("lc");
+  auto r2 = fixture_.engine->RunProcess("lc");
+  ASSERT_TRUE(r1->status.ok()) << r1->status.ToString();
+  ASSERT_TRUE(r2->status.ok());
+  std::string name1 = r1->variables.GetScalar("SeenName")->str();
+  std::string name2 = r2->variables.GetScalar("SeenName")->str();
+  EXPECT_NE(name1, name2);  // unique per instance
+  // Cleanup dropped both.
+  EXPECT_EQ(fixture_.db->catalog().FindTable(name1), nullptr);
+  EXPECT_EQ(fixture_.db->catalog().FindTable(name2), nullptr);
+}
+
+TEST_F(BisTest, LifecycleCleanupRunsOnFault) {
+  auto bad = std::make_shared<wfc::SnippetActivity>(
+      "bad", [](wfc::ProcessContext&) {
+        return Status::ExecutionError("boom");
+      });
+  auto definition = std::make_shared<wfc::ProcessDefinition>("lc2", bad);
+  definition->DeclareVariable(
+      "DS", wfc::VarValue(wfc::ObjectPtr(
+                std::make_shared<DataSourceVariable>(
+                    Fixture::kConnection))));
+  auto tmp = std::make_shared<SetReference>(SetReference::Kind::kResult,
+                                            "FaultTmp");
+  tmp->SetPreparation("CREATE TABLE {TABLE} (a INTEGER)");
+  tmp->SetCleanup("DROP TABLE IF EXISTS {TABLE}");
+  ASSERT_TRUE(AttachSetReferenceLifecycle(definition.get(), "DS",
+                                          {{"SR_Tmp", tmp}})
+                  .ok());
+  fixture_.engine->DeployOrReplace(definition);
+  auto result = fixture_.engine->RunProcess("lc2");
+  EXPECT_FALSE(result->status.ok());
+  EXPECT_EQ(fixture_.db->catalog().FindTable("FaultTmp"), nullptr);
+}
+
+TEST_F(BisTest, SqlActivityParameterBinding) {
+  SqlActivity::Config config;
+  config.data_source_variable = "DS";
+  config.statement =
+      "UPDATE Orders SET Approved = TRUE WHERE Quantity >= :minq";
+  config.parameters = {{"minq", "$Threshold"}};
+  config.affected_variable = "N";
+  auto result = Run(std::make_shared<SqlActivity>("sql", config),
+                    [](wfc::ProcessDefinition& d) {
+                      d.DeclareVariable(
+                          "Threshold",
+                          wfc::VarValue(Value::Integer(1)));
+                    });
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  auto n = result->variables.GetScalar("N");
+  ASSERT_TRUE(n.ok());
+  EXPECT_GT(n->integer(), 0);
+}
+
+TEST_F(BisTest, AuditRecordsSqlStatements) {
+  SqlActivity::Config config;
+  config.data_source_variable = "DS";
+  config.statement = "SELECT COUNT(*) FROM Orders";
+  auto result = Run(std::make_shared<SqlActivity>("sql", config));
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(result->audit.CountKind(wfc::AuditEventKind::kSqlExecuted),
+            1u);
+}
+
+}  // namespace
+}  // namespace sqlflow::bis

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "dataset/data_adapter.h"
+#include "dataset/data_set.h"
+
+namespace sqlflow::dataset {
+namespace {
+
+DataTable MakeTable() {
+  DataTable table("Items", {"ItemID", "Name"});
+  table.LoadRow({Value::Integer(1), Value::String("a")});
+  table.LoadRow({Value::Integer(2), Value::String("b")});
+  table.LoadRow({Value::Integer(3), Value::String("c")});
+  return table;
+}
+
+TEST(DataTableTest, LoadRowsAreUnchanged) {
+  DataTable table = MakeTable();
+  EXPECT_EQ(table.rows().size(), 3u);
+  EXPECT_EQ(table.ActiveRowCount(), 3u);
+  EXPECT_FALSE(table.HasChanges());
+  EXPECT_EQ(table.CountState(RowState::kUnchanged), 3u);
+}
+
+TEST(DataTableTest, FindColumnCaseInsensitive) {
+  DataTable table = MakeTable();
+  EXPECT_EQ(table.FindColumn("itemid"), 0);
+  EXPECT_EQ(table.FindColumn("NAME"), 1);
+  EXPECT_EQ(table.FindColumn("nope"), -1);
+}
+
+TEST(DataTableTest, AddRowTracksAdded) {
+  DataTable table = MakeTable();
+  ASSERT_TRUE(table.AddRow({Value::Integer(4), Value::String("d")}).ok());
+  EXPECT_EQ(table.CountState(RowState::kAdded), 1u);
+  EXPECT_TRUE(table.HasChanges());
+  EXPECT_FALSE(table.AddRow({Value::Integer(5)}).ok());  // width
+}
+
+TEST(DataTableTest, UpdateTracksModified) {
+  DataTable table = MakeTable();
+  ASSERT_TRUE(table.UpdateValue(0, "Name", Value::String("z")).ok());
+  EXPECT_EQ(table.CountState(RowState::kModified), 1u);
+  EXPECT_EQ(*table.Get(0, "Name"), Value::String("z"));
+  // Original preserved for sync addressing.
+  EXPECT_EQ(table.rows()[0].original[1], Value::String("a"));
+  EXPECT_FALSE(table.UpdateValue(9, "Name", Value::Null()).ok());
+  EXPECT_FALSE(table.UpdateValue(0, "Nope", Value::Null()).ok());
+}
+
+TEST(DataTableTest, UpdatingAddedRowStaysAdded) {
+  DataTable table = MakeTable();
+  ASSERT_TRUE(table.AddRow({Value::Integer(4), Value::String("d")}).ok());
+  ASSERT_TRUE(table.UpdateValue(3, "Name", Value::String("dd")).ok());
+  EXPECT_EQ(table.rows()[3].state, RowState::kAdded);
+}
+
+TEST(DataTableTest, MarkDeletedKeepsRowForSync) {
+  DataTable table = MakeTable();
+  ASSERT_TRUE(table.MarkDeleted(1).ok());
+  EXPECT_EQ(table.rows().size(), 3u);  // still present
+  EXPECT_EQ(table.ActiveRowCount(), 2u);
+  EXPECT_EQ(table.CountState(RowState::kDeleted), 1u);
+  EXPECT_FALSE(table.UpdateValue(1, "Name", Value::Null()).ok());
+  EXPECT_FALSE(table.MarkDeleted(9).ok());
+}
+
+TEST(DataTableTest, DeletingAddedRowRemovesIt) {
+  DataTable table = MakeTable();
+  ASSERT_TRUE(table.AddRow({Value::Integer(4), Value::String("d")}).ok());
+  ASSERT_TRUE(table.MarkDeleted(3).ok());
+  EXPECT_EQ(table.rows().size(), 3u);
+  EXPECT_EQ(table.CountState(RowState::kAdded), 0u);
+}
+
+TEST(DataTableTest, AcceptChangesFlattens) {
+  DataTable table = MakeTable();
+  ASSERT_TRUE(table.AddRow({Value::Integer(4), Value::String("d")}).ok());
+  ASSERT_TRUE(table.UpdateValue(0, "Name", Value::String("z")).ok());
+  ASSERT_TRUE(table.MarkDeleted(1).ok());
+  table.AcceptChanges();
+  EXPECT_EQ(table.rows().size(), 3u);  // deleted dropped
+  EXPECT_FALSE(table.HasChanges());
+  EXPECT_EQ(table.rows()[0].original[1], Value::String("z"));
+}
+
+TEST(DataTableTest, RejectChangesRestores) {
+  DataTable table = MakeTable();
+  ASSERT_TRUE(table.AddRow({Value::Integer(4), Value::String("d")}).ok());
+  ASSERT_TRUE(table.UpdateValue(0, "Name", Value::String("z")).ok());
+  ASSERT_TRUE(table.MarkDeleted(1).ok());
+  table.RejectChanges();
+  EXPECT_EQ(table.rows().size(), 3u);  // added dropped, deleted revived
+  EXPECT_FALSE(table.HasChanges());
+  EXPECT_EQ(*table.Get(0, "Name"), Value::String("a"));
+  EXPECT_EQ(table.ActiveRowCount(), 3u);
+}
+
+TEST(DataTableTest, SelectSkipsDeleted) {
+  DataTable table = MakeTable();
+  ASSERT_TRUE(table.MarkDeleted(0).ok());
+  std::vector<size_t> hits =
+      table.Select([](const std::vector<Value>& row) {
+        return row[0].integer() <= 2;
+      });
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 1u);
+}
+
+TEST(DataTableTest, ToResultSetSkipsDeleted) {
+  DataTable table = MakeTable();
+  ASSERT_TRUE(table.MarkDeleted(2).ok());
+  sql::ResultSet rs = table.ToResultSet();
+  EXPECT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(rs.column_names().size(), 2u);
+}
+
+TEST(DataSetTest, TableManagement) {
+  DataSet set;
+  ASSERT_TRUE(set.AddTable("T", {"a"}).ok());
+  EXPECT_FALSE(set.AddTable("t", {"a"}).ok());  // case-insensitive dup
+  EXPECT_TRUE(set.HasTable("T"));
+  EXPECT_TRUE(set.GetTable("t").ok());
+  EXPECT_FALSE(set.GetTable("u").ok());
+  EXPECT_EQ(set.TableNames().size(), 1u);
+  EXPECT_TRUE(set.SoleTable().ok());
+  ASSERT_TRUE(set.AddTable("U", {"b"}).ok());
+  EXPECT_FALSE(set.SoleTable().ok());
+  EXPECT_EQ(set.TypeName(), "DataSet");
+  EXPECT_NE(set.Describe().find("T"), std::string::npos);
+}
+
+// --- DataAdapter ---------------------------------------------------------------
+
+class DataAdapterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_shared<sql::Database>("src");
+    ASSERT_TRUE(db_->ExecuteScript(R"sql(
+      CREATE TABLE Items (ItemID INTEGER PRIMARY KEY, Name VARCHAR(20));
+      INSERT INTO Items VALUES (1, 'a'), (2, 'b'), (3, 'c');
+    )sql")
+                    .ok());
+  }
+
+  std::shared_ptr<sql::Database> db_;
+};
+
+TEST_F(DataAdapterTest, FillLoadsUnchangedRows) {
+  DataAdapter adapter(db_, "Items");
+  DataSet set;
+  auto table = adapter.Fill(&set, "SELECT * FROM Items ORDER BY ItemID");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->rows().size(), 3u);
+  EXPECT_FALSE((*table)->HasChanges());
+}
+
+TEST_F(DataAdapterTest, UpdatePushesAllChangeKinds) {
+  DataAdapter adapter(db_, "Items");
+  DataSet set;
+  auto table = adapter.Fill(&set, "SELECT * FROM Items ORDER BY ItemID");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(
+      (*table)->UpdateValue(0, "Name", Value::String("a2")).ok());
+  ASSERT_TRUE((*table)->MarkDeleted(1).ok());
+  ASSERT_TRUE(
+      (*table)->AddRow({Value::Integer(9), Value::String("new")}).ok());
+
+  auto counts = adapter.Update(table->get());
+  ASSERT_TRUE(counts.ok()) << counts.status().ToString();
+  EXPECT_EQ(counts->updated, 1u);
+  EXPECT_EQ(counts->deleted, 1u);
+  EXPECT_EQ(counts->inserted, 1u);
+  EXPECT_FALSE((*table)->HasChanges());  // accepted after sync
+
+  auto check = db_->Execute("SELECT Name FROM Items ORDER BY ItemID");
+  ASSERT_TRUE(check.ok());
+  ASSERT_EQ(check->row_count(), 3u);
+  EXPECT_EQ(check->rows()[0][0], Value::String("a2"));
+  EXPECT_EQ(check->rows()[1][0], Value::String("c"));
+  EXPECT_EQ(check->rows()[2][0], Value::String("new"));
+}
+
+TEST_F(DataAdapterTest, KeyBasedAddressingSurvivesKeyChange) {
+  DataAdapter adapter(db_, "Items");
+  DataSet set;
+  auto table = adapter.Fill(&set, "SELECT * FROM Items ORDER BY ItemID");
+  // Change the key itself; the WHERE must use the *original* key.
+  ASSERT_TRUE(
+      (*table)->UpdateValue(0, "ItemID", Value::Integer(100)).ok());
+  auto counts = adapter.Update(table->get());
+  ASSERT_TRUE(counts.ok());
+  auto check = db_->Execute(
+      "SELECT COUNT(*) FROM Items WHERE ItemID = 100");
+  EXPECT_EQ(check->rows()[0][0], Value::Integer(1));
+}
+
+TEST_F(DataAdapterTest, ConflictRollsBackEverything) {
+  DataAdapter adapter(db_, "Items");
+  DataSet set;
+  auto table = adapter.Fill(&set, "SELECT * FROM Items ORDER BY ItemID");
+  ASSERT_TRUE(
+      (*table)->UpdateValue(0, "Name", Value::String("a2")).ok());
+  ASSERT_TRUE(
+      (*table)->UpdateValue(1, "Name", Value::String("b2")).ok());
+  // Simulate a concurrent delete upstream: row 2's source vanishes.
+  ASSERT_TRUE(db_->Execute("DELETE FROM Items WHERE ItemID = 2").ok());
+
+  auto counts = adapter.Update(table->get());
+  EXPECT_FALSE(counts.ok());
+  // First update was rolled back; cache still marked changed.
+  auto check = db_->Execute(
+      "SELECT Name FROM Items WHERE ItemID = 1");
+  EXPECT_EQ(check->rows()[0][0], Value::String("a"));
+  EXPECT_TRUE((*table)->HasChanges());
+}
+
+TEST_F(DataAdapterTest, InsertConflictReportsConstraint) {
+  DataAdapter adapter(db_, "Items");
+  DataSet set;
+  auto table = adapter.Fill(&set, "SELECT * FROM Items");
+  ASSERT_TRUE(
+      (*table)->AddRow({Value::Integer(1), Value::String("dup")}).ok());
+  auto counts = adapter.Update(table->get());
+  ASSERT_FALSE(counts.ok());
+  EXPECT_EQ(counts.status().code(), StatusCode::kConstraintError);
+}
+
+TEST_F(DataAdapterTest, UnknownSourceTable) {
+  DataAdapter adapter(db_, "NoSuch");
+  DataSet set;
+  EXPECT_FALSE(adapter.Fill(&set, "SELECT * FROM NoSuch").ok());
+  DataTable orphan("NoSuch", {"a"});
+  EXPECT_FALSE(adapter.Update(&orphan).ok());
+}
+
+// Property: fill → random mutations → update → refill equals the cache.
+class SyncRoundTripTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SyncRoundTripTest, CacheAndSourceConverge) {
+  auto db = std::make_shared<sql::Database>("prop");
+  ASSERT_TRUE(db->ExecuteScript(R"sql(
+    CREATE TABLE T (K INTEGER PRIMARY KEY, V INTEGER);
+  )sql")
+                  .ok());
+  std::mt19937 rng(GetParam());
+  for (int i = 0; i < 10; ++i) {
+    sql::Params params;
+    params.Add(Value::Integer(i));
+    params.Add(Value::Integer(static_cast<int64_t>(rng() % 50)));
+    ASSERT_TRUE(db->Execute("INSERT INTO T VALUES (?, ?)", params).ok());
+  }
+  DataAdapter adapter(db, "T");
+  DataSet set;
+  auto table = adapter.Fill(&set, "SELECT * FROM T ORDER BY K");
+  ASSERT_TRUE(table.ok());
+
+  int next_key = 100;
+  for (int op = 0; op < 12; ++op) {
+    size_t n = (*table)->rows().size();
+    switch (rng() % 3) {
+      case 0:
+        ASSERT_TRUE((*table)
+                        ->AddRow({Value::Integer(next_key++),
+                                  Value::Integer(static_cast<int64_t>(
+                                      rng() % 50))})
+                        .ok());
+        break;
+      case 1: {
+        size_t idx = rng() % n;
+        if ((*table)->rows()[idx].state != RowState::kDeleted) {
+          ASSERT_TRUE((*table)
+                          ->UpdateValue(idx, "V",
+                                        Value::Integer(static_cast<int64_t>(
+                                            rng() % 50)))
+                          .ok());
+        }
+        break;
+      }
+      case 2: {
+        size_t idx = rng() % n;
+        if ((*table)->rows()[idx].state != RowState::kDeleted) {
+          ASSERT_TRUE((*table)->MarkDeleted(idx).ok());
+        }
+        break;
+      }
+    }
+  }
+  auto counts = adapter.Update(table->get());
+  ASSERT_TRUE(counts.ok()) << counts.status().ToString();
+
+  // Source now equals the cache contents.
+  auto source = db->Execute("SELECT * FROM T ORDER BY K");
+  ASSERT_TRUE(source.ok());
+  sql::ResultSet cache = (*table)->ToResultSet();
+  std::vector<sql::Row> cache_rows = cache.rows();
+  std::sort(cache_rows.begin(), cache_rows.end(),
+            [](const sql::Row& a, const sql::Row& b) {
+              return a[0].Compare(b[0]) < 0;
+            });
+  ASSERT_EQ(source->row_count(), cache_rows.size());
+  for (size_t r = 0; r < cache_rows.size(); ++r) {
+    EXPECT_EQ(source->rows()[r][0], cache_rows[r][0]);
+    EXPECT_EQ(source->rows()[r][1], cache_rows[r][1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SyncRoundTripTest,
+                         ::testing::Values(3u, 17u, 99u, 256u, 1024u));
+
+}  // namespace
+}  // namespace sqlflow::dataset

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "patterns/capability.h"
+#include "patterns/evaluators.h"
+#include "patterns/fixture.h"
+#include "patterns/report.h"
+
+namespace sqlflow::patterns {
+namespace {
+
+TEST(PatternsTest, NinePatternsWithMetadata) {
+  EXPECT_EQ(kAllPatterns.size(), 9u);
+  for (Pattern p : kAllPatterns) {
+    EXPECT_STRNE(PatternName(p), "?");
+    EXPECT_GT(std::string(PatternDescription(p)).size(), 10u);
+  }
+}
+
+TEST(PatternsTest, ExternalInternalSplitMatchesFig2) {
+  // Fig. 2: Query, Set IUD, Data Setup, Stored Procedure and the
+  // retrieval bridge touch external data; the cache patterns do not.
+  EXPECT_TRUE(IsExternalDataPattern(Pattern::kQuery));
+  EXPECT_TRUE(IsExternalDataPattern(Pattern::kSetIud));
+  EXPECT_TRUE(IsExternalDataPattern(Pattern::kDataSetup));
+  EXPECT_TRUE(IsExternalDataPattern(Pattern::kStoredProcedure));
+  EXPECT_TRUE(IsExternalDataPattern(Pattern::kSetRetrieval));
+  EXPECT_FALSE(IsExternalDataPattern(Pattern::kSequentialSetAccess));
+  EXPECT_FALSE(IsExternalDataPattern(Pattern::kRandomSetAccess));
+  EXPECT_FALSE(IsExternalDataPattern(Pattern::kTupleIud));
+  EXPECT_FALSE(IsExternalDataPattern(Pattern::kSynchronization));
+}
+
+TEST(FixtureTest, SeedsDeterministically) {
+  auto f1 = MakeFixture("a");
+  auto f2 = MakeFixture("b");
+  ASSERT_TRUE(f1.ok() && f2.ok());
+  auto r1 = f1->db->Execute("SELECT * FROM Orders ORDER BY OrderID");
+  auto r2 = f2->db->Execute("SELECT * FROM Orders ORDER BY OrderID");
+  EXPECT_EQ(r1->ToAsciiTable(100), r2->ToAsciiTable(100));
+  EXPECT_EQ(*ApprovedQuantitySum(f1->db.get()),
+            *ApprovedQuantitySum(f2->db.get()));
+}
+
+TEST(FixtureTest, ScenarioKnobsApply) {
+  OrdersScenario scenario;
+  scenario.order_count = 50;
+  scenario.item_types = 3;
+  auto fixture = MakeFixture("x", scenario);
+  ASSERT_TRUE(fixture.ok());
+  auto count = fixture->db->Execute("SELECT COUNT(*) FROM Orders");
+  EXPECT_EQ(count->rows()[0][0], Value::Integer(50));
+  auto items = fixture->db->Execute(
+      "SELECT COUNT(DISTINCT ItemID) FROM Orders");
+  EXPECT_LE(items->rows()[0][0].integer(), 3);
+}
+
+TEST(FixtureTest, SuppliesServiceAndProcedure) {
+  auto fixture = MakeFixture("x");
+  ASSERT_TRUE(fixture.ok());
+  EXPECT_TRUE(
+      fixture->engine->services().Find("OrderFromSupplier").ok());
+  EXPECT_TRUE(fixture->db->Execute("CALL TopItems(1)").ok());
+}
+
+// The headline result: every cell of Table II verifies, and its shape
+// matches the paper (abstract vs workaround, restrictions included).
+class MatrixTest : public ::testing::TestWithParam<int> {
+ protected:
+  static const ProductMatrix& MatrixFor(int index) {
+    static std::vector<ProductMatrix>* matrices = [] {
+      auto* out = new std::vector<ProductMatrix>();
+      for (auto& evaluator : MakeAllEvaluators()) {
+        auto matrix = evaluator->EvaluateAll();
+        EXPECT_TRUE(matrix.ok()) << matrix.status().ToString();
+        out->push_back(*matrix);
+      }
+      return out;
+    }();
+    return (*matrices)[static_cast<size_t>(index)];
+  }
+};
+
+TEST_P(MatrixTest, EveryCellVerified) {
+  const ProductMatrix& matrix = MatrixFor(GetParam());
+  for (const CellRealization& cell : matrix.cells) {
+    EXPECT_TRUE(cell.verified)
+        << matrix.product << " / " << PatternName(cell.pattern) << " / "
+        << cell.mechanism << " : " << cell.note;
+  }
+  EXPECT_TRUE(matrix.AllVerified());
+}
+
+TEST_P(MatrixTest, EveryPatternCovered) {
+  const ProductMatrix& matrix = MatrixFor(GetParam());
+  for (Pattern p : kAllPatterns) {
+    EXPECT_FALSE(matrix.ForPattern(p).empty())
+        << matrix.product << " misses " << PatternName(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProducts, MatrixTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(MatrixShapeTest, ExternalPatternsAreAbstractEverywhere) {
+  // Sec. VI-C: "all patterns concerning the processing of external data
+  // can be realized at an abstract level" — in every product.
+  for (auto& evaluator : MakeAllEvaluators()) {
+    auto matrix = evaluator->EvaluateAll();
+    ASSERT_TRUE(matrix.ok());
+    for (Pattern p : kAllPatterns) {
+      if (!IsExternalDataPattern(p)) continue;
+      for (const CellRealization& cell : matrix->ForPattern(p)) {
+        EXPECT_EQ(cell.level, RealizationLevel::kAbstract)
+            << matrix->product << " / " << PatternName(p);
+      }
+    }
+  }
+}
+
+TEST(MatrixShapeTest, SequentialAccessAndSyncNeedWorkaroundsEverywhere) {
+  for (auto& evaluator : MakeAllEvaluators()) {
+    auto matrix = evaluator->EvaluateAll();
+    ASSERT_TRUE(matrix.ok());
+    for (Pattern p :
+         {Pattern::kSequentialSetAccess, Pattern::kSynchronization}) {
+      for (const CellRealization& cell : matrix->ForPattern(p)) {
+        EXPECT_EQ(cell.level, RealizationLevel::kWorkaround)
+            << matrix->product << " / " << PatternName(p);
+      }
+    }
+  }
+}
+
+TEST(MatrixShapeTest, BisTupleIudSplitMatchesFootnotes) {
+  auto matrix = MakeBisEvaluator()->EvaluateAll();
+  ASSERT_TRUE(matrix.ok());
+  std::vector<CellRealization> cells =
+      matrix->ForPattern(Pattern::kTupleIud);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].level, RealizationLevel::kAbstract);
+  EXPECT_EQ(cells[0].restriction, "only UPDATE");
+  EXPECT_EQ(cells[1].level, RealizationLevel::kWorkaround);
+  EXPECT_EQ(cells[1].restriction, "only DELETE and INSERT");
+}
+
+TEST(MatrixShapeTest, WfInternalPatternsAllWorkarounds) {
+  // Sec. VI-C: "In WF the processing of internal data is currently only
+  // possible through user-specific code based on ADO.NET."
+  auto matrix = MakeWfEvaluator()->EvaluateAll();
+  ASSERT_TRUE(matrix.ok());
+  for (Pattern p :
+       {Pattern::kSequentialSetAccess, Pattern::kRandomSetAccess,
+        Pattern::kTupleIud, Pattern::kSynchronization}) {
+    for (const CellRealization& cell : matrix->ForPattern(p)) {
+      EXPECT_EQ(cell.level, RealizationLevel::kWorkaround)
+          << PatternName(p);
+    }
+  }
+}
+
+TEST(MatrixShapeTest, SoaCoversTupleIudAbstractly) {
+  // Table II: Oracle's XPath extension + bpelx ops cover the complete
+  // Tuple IUD pattern at the abstract level — the edge over BIS.
+  auto matrix = MakeSoaEvaluator()->EvaluateAll();
+  ASSERT_TRUE(matrix.ok());
+  bool full_abstract = false;
+  for (const CellRealization& cell :
+       matrix->ForPattern(Pattern::kTupleIud)) {
+    if (cell.level == RealizationLevel::kAbstract &&
+        cell.restriction.empty()) {
+      full_abstract = true;
+    }
+  }
+  EXPECT_TRUE(full_abstract);
+}
+
+TEST(MatrixShapeTest, RandomAccessAbstractForBpelProductsOnly) {
+  auto bis = MakeBisEvaluator()->EvaluateAll();
+  auto soa = MakeSoaEvaluator()->EvaluateAll();
+  auto wf = MakeWfEvaluator()->EvaluateAll();
+  ASSERT_TRUE(bis.ok() && soa.ok() && wf.ok());
+  EXPECT_EQ(bis->ForPattern(Pattern::kRandomSetAccess)[0].level,
+            RealizationLevel::kAbstract);
+  EXPECT_EQ(soa->ForPattern(Pattern::kRandomSetAccess)[0].level,
+            RealizationLevel::kAbstract);
+  EXPECT_EQ(wf->ForPattern(Pattern::kRandomSetAccess)[0].level,
+            RealizationLevel::kWorkaround);
+}
+
+TEST(TableOneTest, ProfilesMatchPaperKeyCells) {
+  auto profiles = BuildProductProfiles();
+  ASSERT_TRUE(profiles.ok()) << profiles.status().ToString();
+  ASSERT_EQ(profiles->size(), 3u);
+  const ProductProfile& ibm = (*profiles)[0];
+  const ProductProfile& ms = (*profiles)[1];
+  const ProductProfile& oracle = (*profiles)[2];
+
+  EXPECT_EQ(ibm.workflow_language, "BPEL");
+  EXPECT_EQ(ms.workflow_language, "C#, VB, XOML (BPEL)");
+  EXPECT_EQ(oracle.workflow_language, "BPEL");
+
+  EXPECT_EQ(ibm.external_data_source_reference, "dynamic, static");
+  EXPECT_EQ(ms.external_data_source_reference, "static");
+  EXPECT_EQ(oracle.external_data_source_reference, "static");
+
+  EXPECT_EQ(ibm.materialized_representation, "proprietary XML RowSet");
+  EXPECT_EQ(ms.materialized_representation, "DataSet Object");
+  EXPECT_EQ(oracle.materialized_representation,
+            "proprietary XML RowSet");
+
+  EXPECT_NE(ibm.additional_features, "-");
+  EXPECT_EQ(ms.additional_features, "-");
+  EXPECT_EQ(oracle.additional_features, "-");
+
+  // Inline-support cells are probed from the live code.
+  EXPECT_EQ(ibm.sql_inline_support.size(), 3u);
+  EXPECT_NE(oracle.sql_inline_support[0].find("ora:query-database"),
+            std::string::npos);
+}
+
+TEST(ReportTest, TableOneRendersAllRows) {
+  auto profiles = BuildProductProfiles();
+  ASSERT_TRUE(profiles.ok());
+  std::string table = RenderTableOne(*profiles);
+  for (const char* label :
+       {"Workflow Language", "Level of Process Modeling",
+        "Workflow Design Tool", "SQL Inline Support",
+        "Reference to External Data Set",
+        "Materialized Set Representation",
+        "Reference to External Data Source", "Additional Features"}) {
+    EXPECT_NE(table.find(label), std::string::npos) << label;
+  }
+}
+
+TEST(ReportTest, TableTwoRendersFootnotes) {
+  std::vector<ProductMatrix> matrices;
+  for (auto& evaluator : MakeAllEvaluators()) {
+    auto matrix = evaluator->EvaluateAll();
+    ASSERT_TRUE(matrix.ok());
+    matrices.push_back(*matrix);
+  }
+  std::string table = RenderTableTwo(matrices);
+  EXPECT_NE(table.find("only UPDATE"), std::string::npos);
+  EXPECT_NE(table.find("only DELETE and INSERT"), std::string::npos);
+  EXPECT_NE(table.find("Only workarounds possible"), std::string::npos);
+  EXPECT_EQ(table.find("FAIL"), std::string::npos)
+      << "a cell failed verification:\n"
+      << table;
+}
+
+}  // namespace
+}  // namespace sqlflow::patterns

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rowset/xml_rowset.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace sqlflow::rowset {
+namespace {
+
+sql::ResultSet SampleResult() {
+  sql::ResultSet rs({"ItemID", "Qty", "Name"});
+  rs.AddRow({Value::Integer(10), Value::Integer(8),
+             Value::String("bolt")});
+  rs.AddRow({Value::Integer(20), Value::Integer(2), Value::Null()});
+  rs.AddRow({Value::Integer(30), Value::Double(1.5),
+             Value::String("x<y&z")});
+  return rs;
+}
+
+TEST(RowSetTest, ToRowSetStructure) {
+  xml::NodePtr rowset = ToRowSet(SampleResult());
+  EXPECT_EQ(rowset->name(), "RowSet");
+  EXPECT_EQ(*rowset->GetAttribute("columns"), "ItemID,Qty,Name");
+  EXPECT_EQ(RowCount(rowset), 3u);
+  auto row1 = GetRow(rowset, 0);
+  ASSERT_TRUE(row1.ok());
+  EXPECT_EQ(*(*row1)->GetAttribute("num"), "1");
+}
+
+TEST(RowSetTest, RoundTripPreservesTypesAndNulls) {
+  sql::ResultSet original = SampleResult();
+  auto back = FromRowSet(ToRowSet(original));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->row_count(), original.row_count());
+  for (size_t r = 0; r < original.row_count(); ++r) {
+    for (size_t c = 0; c < original.column_count(); ++c) {
+      EXPECT_EQ(back->rows()[r][c], original.rows()[r][c])
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(RowSetTest, EmptyResultRoundTrips) {
+  sql::ResultSet empty({"A", "B"});
+  auto back = FromRowSet(ToRowSet(empty));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->row_count(), 0u);
+  EXPECT_EQ(back->column_names().size(), 2u);
+}
+
+TEST(RowSetTest, FromRowSetRejectsWrongRoot) {
+  EXPECT_FALSE(FromRowSet(xml::Node::Element("NotARowSet")).ok());
+  EXPECT_FALSE(FromRowSet(nullptr).ok());
+}
+
+TEST(RowSetTest, GetFieldTyped) {
+  xml::NodePtr rowset = ToRowSet(SampleResult());
+  auto row = GetRow(rowset, 1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*GetField(*row, "ItemID"), Value::Integer(20));
+  EXPECT_TRUE(GetField(*row, "Name")->is_null());
+  EXPECT_FALSE(GetField(*row, "Missing").ok());
+}
+
+TEST(RowSetTest, GetRowOutOfRange) {
+  xml::NodePtr rowset = ToRowSet(SampleResult());
+  EXPECT_FALSE(GetRow(rowset, 3).ok());
+}
+
+TEST(RowSetTest, UpdateField) {
+  xml::NodePtr rowset = ToRowSet(SampleResult());
+  ASSERT_TRUE(UpdateField(rowset, 0, "Qty", Value::Integer(99)).ok());
+  auto row = GetRow(rowset, 0);
+  EXPECT_EQ(*GetField(*row, "Qty"), Value::Integer(99));
+  // Type attribute follows the new value.
+  ASSERT_TRUE(UpdateField(rowset, 0, "Qty", Value::String("text")).ok());
+  EXPECT_EQ(*GetField(*row, "Qty"), Value::String("text"));
+  EXPECT_FALSE(UpdateField(rowset, 0, "Nope", Value::Null()).ok());
+  EXPECT_FALSE(UpdateField(rowset, 9, "Qty", Value::Null()).ok());
+}
+
+TEST(RowSetTest, InsertRowAppendsAndRenumbers) {
+  xml::NodePtr rowset = ToRowSet(SampleResult());
+  ASSERT_TRUE(InsertRow(rowset, {Value::Integer(40), Value::Integer(1),
+                                 Value::String("new")})
+                  .ok());
+  EXPECT_EQ(RowCount(rowset), 4u);
+  auto last = GetRow(rowset, 3);
+  EXPECT_EQ(*(*last)->GetAttribute("num"), "4");
+  EXPECT_EQ(*GetField(*last, "ItemID"), Value::Integer(40));
+}
+
+TEST(RowSetTest, InsertRowChecksWidth) {
+  xml::NodePtr rowset = ToRowSet(SampleResult());
+  EXPECT_FALSE(InsertRow(rowset, {Value::Integer(1)}).ok());
+}
+
+TEST(RowSetTest, DeleteRowRenumbers) {
+  xml::NodePtr rowset = ToRowSet(SampleResult());
+  ASSERT_TRUE(DeleteRow(rowset, 0).ok());
+  EXPECT_EQ(RowCount(rowset), 2u);
+  auto first = GetRow(rowset, 0);
+  EXPECT_EQ(*(*first)->GetAttribute("num"), "1");
+  EXPECT_EQ(*GetField(*first, "ItemID"), Value::Integer(20));
+  EXPECT_FALSE(DeleteRow(rowset, 5).ok());
+}
+
+TEST(RowSetTest, CursorIteratesAllRows) {
+  xml::NodePtr rowset = ToRowSet(SampleResult());
+  RowSetCursor cursor(rowset);
+  EXPECT_EQ(cursor.size(), 3u);
+  int64_t sum = 0;
+  size_t count = 0;
+  while (cursor.HasNext()) {
+    auto row = cursor.Next();
+    ASSERT_TRUE(row.ok());
+    auto item = GetField(*row, "ItemID");
+    sum += item->integer();
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(sum, 60);
+  EXPECT_FALSE(cursor.Next().ok());  // exhausted
+  cursor.Reset();
+  EXPECT_TRUE(cursor.HasNext());
+}
+
+TEST(RowSetTest, ColumnNamesHelper) {
+  EXPECT_EQ(ColumnNames(ToRowSet(SampleResult())).size(), 3u);
+  EXPECT_TRUE(ColumnNames(xml::Node::Element("RowSet")).empty());
+  EXPECT_TRUE(ColumnNames(nullptr).empty());
+}
+
+// Property: random result sets survive the XML round-trip exactly, even
+// through serialization to text and reparsing.
+class RowSetRoundTripTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(RowSetRoundTripTest, ThroughMarkupAndBack) {
+  std::mt19937 rng(GetParam());
+  size_t columns = 1 + rng() % 5;
+  std::vector<std::string> names;
+  for (size_t c = 0; c < columns; ++c) {
+    names.push_back("C" + std::to_string(c));
+  }
+  sql::ResultSet original(names);
+  size_t rows = rng() % 30;
+  for (size_t r = 0; r < rows; ++r) {
+    sql::Row row;
+    for (size_t c = 0; c < columns; ++c) {
+      switch (rng() % 5) {
+        case 0:
+          row.push_back(Value::Null());
+          break;
+        case 1:
+          row.push_back(
+              Value::Integer(static_cast<int64_t>(rng()) - 2147483648LL));
+          break;
+        case 2:
+          row.push_back(Value::Double(static_cast<double>(rng()) / 7.0));
+          break;
+        case 3:
+          row.push_back(Value::Boolean(rng() % 2 == 0));
+          break;
+        case 4: {
+          std::string s;
+          size_t len = rng() % 12;
+          for (size_t i = 0; i < len; ++i) {
+            // Include XML-hostile characters.
+            const char alphabet[] = "ab<>&\"' xyz";
+            s += alphabet[rng() % (sizeof(alphabet) - 1)];
+          }
+          row.push_back(Value::String(s));
+          break;
+        }
+      }
+    }
+    original.AddRow(std::move(row));
+  }
+
+  xml::NodePtr rowset = ToRowSet(original);
+  // Serialize to markup and reparse — the full by-value path.
+  std::string markup = xml::Serialize(*rowset);
+  auto reparsed = xml::Parse(markup);
+  ASSERT_TRUE(reparsed.ok()) << markup;
+  auto back = FromRowSet(*reparsed);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->row_count(), original.row_count());
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < columns; ++c) {
+      if (original.rows()[r][c].type() == ValueType::kDouble) {
+        // Doubles go through decimal text; compare the printed form.
+        EXPECT_EQ(back->rows()[r][c].AsString(),
+                  original.rows()[r][c].AsString());
+      } else {
+        EXPECT_EQ(back->rows()[r][c], original.rows()[r][c]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RowSetRoundTripTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u, 55u, 89u));
+
+}  // namespace
+}  // namespace sqlflow::rowset

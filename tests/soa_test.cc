@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include "patterns/fixture.h"
+#include "rowset/xml_rowset.h"
+#include "soa/bpelx.h"
+#include "soa/xpath_extensions.h"
+#include "soa/xsql.h"
+#include "sql/table.h"
+#include "xml/parser.h"
+
+namespace sqlflow::soa {
+namespace {
+
+using patterns::Fixture;
+using patterns::MakeFixture;
+
+class SoaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fixture = MakeFixture("soa");
+    ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+    fixture_ = std::move(*fixture);
+    SoaConfig config;
+    config.data_sources = &fixture_.engine->data_sources();
+    config.default_connection = Fixture::kConnection;
+    ASSERT_TRUE(RegisterSoaXPathExtensions(
+                    &fixture_.engine->xpath_functions(), config)
+                    .ok());
+  }
+
+  Result<wfc::InstanceResult> Run(
+      wfc::ActivityPtr root,
+      const std::function<void(wfc::ProcessDefinition&)>& configure = {}) {
+    auto definition =
+        std::make_shared<wfc::ProcessDefinition>("p", std::move(root));
+    if (configure) configure(*definition);
+    fixture_.engine->DeployOrReplace(definition);
+    return fixture_.engine->RunProcess("p");
+  }
+
+  Fixture fixture_;
+};
+
+TEST_F(SoaTest, QueryDatabaseReturnsRowSet) {
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  assign->CopyExpr(
+      "ora:query-database('SELECT ItemID, Name FROM Items ORDER BY "
+      "ItemID')",
+      "RS");
+  auto result = Run(assign);
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  auto rowset = result->variables.GetXml("RS");
+  ASSERT_TRUE(rowset.ok());
+  EXPECT_EQ(rowset::RowCount(*rowset), 5u);
+}
+
+TEST_F(SoaTest, QueryDatabaseWithExplicitConnection) {
+  auto other = fixture_.engine->data_sources().Open("memdb://alt");
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE((*other)
+                  ->ExecuteScript("CREATE TABLE A (x INTEGER); "
+                                  "INSERT INTO A VALUES (7)")
+                  .ok());
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  assign->CopyExpr(
+      "ora:query-database('SELECT x FROM A', 'memdb://alt')", "RS");
+  auto result = Run(assign);
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  auto rowset = result->variables.GetXml("RS");
+  auto row = rowset::GetRow(*rowset, 0);
+  EXPECT_EQ(*rowset::GetField(*row, "x"), Value::Integer(7));
+}
+
+TEST_F(SoaTest, SequenceNextVal) {
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  assign->CopyExpr("ora:sequence-next-val('ConfSeq')", "N1");
+  assign->CopyExpr("ora:sequence-next-val('ConfSeq')", "N2");
+  auto result = Run(assign);
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(*result->variables.GetScalar("N1"), Value::Integer(1));
+  EXPECT_EQ(*result->variables.GetScalar("N2"), Value::Integer(2));
+}
+
+TEST_F(SoaTest, SequenceNextValUnknownSequenceFaults) {
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  assign->CopyExpr("ora:sequence-next-val('NoSeq')", "N");
+  EXPECT_FALSE(Run(assign)->status.ok());
+}
+
+TEST_F(SoaTest, LookupTableGeneratesTheDocumentedQuery) {
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  // Paper: lookup-table(outputColumn, table, inputColumn, key).
+  assign->CopyExpr("ora:lookup-table('Name', 'Items', 'ItemID', 2)",
+                   "Name");
+  auto result = Run(assign);
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(*result->variables.GetScalar("Name"),
+            Value::String("item-2"));
+}
+
+TEST_F(SoaTest, LookupTableRequiresExactlyOneRow) {
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  assign->CopyExpr("ora:lookup-table('Name', 'Items', 'ItemID', 999)",
+                   "Name");
+  EXPECT_FALSE(Run(assign)->status.ok());
+}
+
+TEST_F(SoaTest, ProcessXsqlQueryAndDml) {
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  assign->CopyExpr(
+      "orcl:processXSQL('<xsql connection=\"memdb://orders\">"
+      "<dml>UPDATE Items SET Name = &apos;renamed&apos; "
+      "WHERE ItemID = 1</dml>"
+      "<query>SELECT Name FROM Items WHERE ItemID = 1</query>"
+      "</xsql>')",
+      "Out");
+  auto result = Run(assign);
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  auto out = result->variables.GetXml("Out");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->name(), "xsql-results");
+  xml::NodePtr affected = (*out)->FindFirst("result");
+  ASSERT_NE(affected, nullptr);
+  EXPECT_EQ(*affected->GetAttribute("affected"), "1");
+  xml::NodePtr rowset = (*out)->FindFirst("RowSet");
+  ASSERT_NE(rowset, nullptr);
+  auto row = rowset::GetRow(rowset, 0);
+  EXPECT_EQ(*rowset::GetField(*row, "Name"), Value::String("renamed"));
+}
+
+TEST_F(SoaTest, ProcessXsqlPositionalParameters) {
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  assign->CopyExpr(
+      "orcl:processXSQL('<xsql connection=\"memdb://orders\">"
+      "<dml>INSERT INTO Items VALUES (:p1, :p2)</dml></xsql>', "
+      "100, 'extra')",
+      "Out");
+  auto result = Run(assign);
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  auto check = fixture_.db->Execute(
+      "SELECT Name FROM Items WHERE ItemID = 100");
+  ASSERT_TRUE(check.ok());
+  ASSERT_EQ(check->row_count(), 1u);
+  EXPECT_EQ(check->rows()[0][0], Value::String("extra"));
+}
+
+TEST_F(SoaTest, XsqlFrameworkDirect) {
+  auto results = ExecuteXsqlMarkup(
+      "<xsql connection=\"memdb://orders\">"
+      "<param name=\"k\" value=\"3\"/>"
+      "<query>SELECT Name FROM Items WHERE ItemID = :k</query></xsql>",
+      &fixture_.engine->data_sources());
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  xml::NodePtr rowset = (*results)->FindFirst("RowSet");
+  ASSERT_NE(rowset, nullptr);
+  auto row = rowset::GetRow(rowset, 0);
+  EXPECT_EQ(*rowset::GetField(*row, "Name"), Value::String("item-3"));
+}
+
+TEST_F(SoaTest, XsqlCallerParamsOverrideDefaults) {
+  std::map<std::string, Value> overrides{{"k", Value::Integer(1)}};
+  auto results = ExecuteXsqlMarkup(
+      "<xsql connection=\"memdb://orders\">"
+      "<param name=\"k\" value=\"3\"/>"
+      "<query>SELECT Name FROM Items WHERE ItemID = :k</query></xsql>",
+      &fixture_.engine->data_sources(), overrides);
+  ASSERT_TRUE(results.ok());
+  xml::NodePtr rowset = (*results)->FindFirst("RowSet");
+  auto row = rowset::GetRow(rowset, 0);
+  EXPECT_EQ(*rowset::GetField(*row, "Name"), Value::String("item-1"));
+}
+
+TEST_F(SoaTest, XsqlCallStatement) {
+  auto results = ExecuteXsqlMarkup(
+      "<xsql connection=\"memdb://orders\">"
+      "<call>CALL TopItems(1)</call></xsql>",
+      &fixture_.engine->data_sources());
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  xml::NodePtr rowset = (*results)->FindFirst("RowSet");
+  ASSERT_NE(rowset, nullptr);
+  EXPECT_EQ(rowset::RowCount(rowset), 1u);
+}
+
+TEST_F(SoaTest, XsqlErrors) {
+  auto& sources = fixture_.engine->data_sources();
+  EXPECT_FALSE(ExecuteXsqlMarkup("<wrong/>", &sources).ok());
+  EXPECT_FALSE(ExecuteXsqlMarkup("<xsql><query>SELECT 1</query></xsql>",
+                                 &sources)
+                   .ok());  // no connection
+  EXPECT_FALSE(
+      ExecuteXsqlMarkup("<xsql connection=\"memdb://orders\">"
+                        "<bogus>x</bogus></xsql>",
+                        &sources)
+          .ok());
+  EXPECT_FALSE(
+      ExecuteXsqlMarkup("<xsql connection=\"memdb://orders\">"
+                        "<query>SELEKT</query></xsql>",
+                        &sources)
+          .ok());
+  auto doc = xml::Parse("<xsql connection=\"memdb://orders\"/>");
+  EXPECT_FALSE(ExecuteXsql(*doc, nullptr).ok());
+}
+
+TEST_F(SoaTest, ProcessXsqlAcceptsNodeSetArgument) {
+  auto doc = xml::Parse(
+      "<xsql connection=\"memdb://orders\">"
+      "<query>SELECT COUNT(*) AS n FROM Items</query></xsql>");
+  ASSERT_TRUE(doc.ok());
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  assign->CopyExpr("orcl:processXSQL($Doc)", "Out");
+  auto result = Run(assign, [&doc](wfc::ProcessDefinition& d) {
+    d.DeclareVariable("Doc", wfc::VarValue(*doc));
+  });
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  auto out = result->variables.GetXml("Out");
+  xml::NodePtr rowset = (*out)->FindFirst("RowSet");
+  auto row = rowset::GetRow(rowset, 0);
+  EXPECT_EQ(*rowset::GetField(*row, "n"), Value::Integer(5));
+}
+
+TEST_F(SoaTest, BpelxOpsMutateRowSetVariable) {
+  auto assign = std::make_shared<wfc::AssignActivity>("a");
+  assign->CopyExpr(
+      "ora:query-database('SELECT ItemID, Name FROM Items ORDER BY "
+      "ItemID')",
+      "RS");
+  auto mutate = std::make_shared<wfc::SnippetActivity>(
+      "m", [](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_RETURN_IF_ERROR(BpelxInsertRow(
+            ctx, "RS", {Value::Integer(99), Value::String("new")}));
+        SQLFLOW_RETURN_IF_ERROR(BpelxUpdateField(
+            ctx, "RS", 0, "Name", Value::String("patched")));
+        SQLFLOW_RETURN_IF_ERROR(BpelxDeleteRow(ctx, "RS", 1));
+        return Status::OK();
+      });
+  std::vector<wfc::ActivityPtr> steps{assign, mutate};
+  auto result = Run(
+      std::make_shared<wfc::SequenceActivity>("seq", std::move(steps)));
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  auto rowset = result->variables.GetXml("RS");
+  EXPECT_EQ(rowset::RowCount(*rowset), 5u);  // +1 −1
+  auto first = rowset::GetRow(*rowset, 0);
+  EXPECT_EQ(*rowset::GetField(*first, "Name"),
+            Value::String("patched"));
+}
+
+TEST_F(SoaTest, BpelxOnNonXmlVariableFails) {
+  auto definition = std::make_shared<wfc::ProcessDefinition>(
+      "p", std::make_shared<wfc::SnippetActivity>(
+               "m", [](wfc::ProcessContext& ctx) {
+                 return BpelxDeleteRow(ctx, "NotXml", 0);
+               }));
+  definition->DeclareVariable("NotXml",
+                              wfc::VarValue(Value::Integer(1)));
+  fixture_.engine->DeployOrReplace(definition);
+  auto result = fixture_.engine->RunProcess("p");
+  EXPECT_FALSE(result->status.ok());
+}
+
+TEST_F(SoaTest, RegistrationRejectsDuplicates) {
+  SoaConfig config;
+  config.data_sources = &fixture_.engine->data_sources();
+  config.default_connection = Fixture::kConnection;
+  // Already registered in SetUp.
+  EXPECT_FALSE(RegisterSoaXPathExtensions(
+                   &fixture_.engine->xpath_functions(), config)
+                   .ok());
+  EXPECT_FALSE(RegisterSoaXPathExtensions(nullptr, config).ok());
+}
+
+TEST_F(SoaTest, MissingConnectionEverywhereFaults) {
+  xpath::FunctionRegistry registry;
+  SoaConfig config;
+  config.data_sources = &fixture_.engine->data_sources();
+  config.default_connection = "";  // no default
+  ASSERT_TRUE(RegisterSoaXPathExtensions(&registry, config).ok());
+  const xpath::ExtensionFunction* fn = registry.Find("ora:query-database");
+  ASSERT_NE(fn, nullptr);
+  auto out = (*fn)({xpath::XPathValue::String("SELECT 1")});
+  EXPECT_FALSE(out.ok());
+}
+
+}  // namespace
+}  // namespace sqlflow::soa

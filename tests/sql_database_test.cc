@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "sql/data_source.h"
+#include "sql/database.h"
+
+namespace sqlflow::sql {
+namespace {
+
+TEST(DatabaseTest, ExecuteScriptStopsAtFirstError) {
+  Database db("d");
+  Status st = db.ExecuteScript(
+      "CREATE TABLE a (x INTEGER); CREATE TABLE a (x INTEGER); "
+      "CREATE TABLE b (x INTEGER)");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(db.catalog().FindTable("a"), nullptr);
+  EXPECT_EQ(db.catalog().FindTable("b"), nullptr);  // never reached
+}
+
+TEST(DatabaseTest, TableNamesAreCaseInsensitive) {
+  Database db("d");
+  ASSERT_TRUE(db.Execute("CREATE TABLE Foo (x INTEGER)").ok());
+  EXPECT_TRUE(db.Execute("INSERT INTO foo VALUES (1)").ok());
+  EXPECT_TRUE(db.Execute("SELECT * FROM FOO").ok());
+  EXPECT_FALSE(db.Execute("CREATE TABLE FOO (y INTEGER)").ok());
+}
+
+TEST(DatabaseTest, RegisterAndCallProcedure) {
+  Database db("d");
+  StoredProcedure proc;
+  proc.name = "AddOne";
+  proc.arity = 1;
+  proc.body = [](Database&,
+                 const std::vector<Value>& args) -> Result<ResultSet> {
+    ResultSet rs({"out"});
+    SQLFLOW_ASSIGN_OR_RETURN(int64_t v, args[0].AsInteger());
+    rs.AddRow({Value::Integer(v + 1)});
+    return rs;
+  };
+  ASSERT_TRUE(db.RegisterProcedure(std::move(proc)).ok());
+
+  auto result = db.Execute("CALL AddOne(41)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows()[0][0], Value::Integer(42));
+}
+
+TEST(DatabaseTest, ProcedureNameIsCaseInsensitive) {
+  Database db("d");
+  StoredProcedure proc;
+  proc.name = "P";
+  proc.arity = 0;
+  proc.body = [](Database&, const std::vector<Value>&) {
+    return Result<ResultSet>(ResultSet());
+  };
+  ASSERT_TRUE(db.RegisterProcedure(std::move(proc)).ok());
+  EXPECT_TRUE(db.Execute("CALL p()").ok());
+  EXPECT_EQ(db.ProcedureNames().size(), 1u);
+}
+
+TEST(DatabaseTest, ProcedureArityChecked) {
+  Database db("d");
+  StoredProcedure proc;
+  proc.name = "P";
+  proc.arity = 2;
+  proc.body = [](Database&, const std::vector<Value>&) {
+    return Result<ResultSet>(ResultSet());
+  };
+  ASSERT_TRUE(db.RegisterProcedure(std::move(proc)).ok());
+  EXPECT_FALSE(db.Execute("CALL P(1)").ok());
+  EXPECT_TRUE(db.Execute("CALL P(1, 2)").ok());
+}
+
+TEST(DatabaseTest, UnknownProcedureIsNotFound) {
+  Database db("d");
+  auto result = db.Execute("CALL NoSuch()");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, DuplicateProcedureRejected) {
+  Database db("d");
+  StoredProcedure proc;
+  proc.name = "P";
+  proc.body = [](Database&, const std::vector<Value>&) {
+    return Result<ResultSet>(ResultSet());
+  };
+  ASSERT_TRUE(db.RegisterProcedure(proc).ok());
+  EXPECT_FALSE(db.RegisterProcedure(proc).ok());
+}
+
+TEST(DatabaseTest, ProcedureCanRunStatements) {
+  Database db("d");
+  ASSERT_TRUE(db.Execute("CREATE TABLE log (msg VARCHAR(20))").ok());
+  StoredProcedure proc;
+  proc.name = "LogIt";
+  proc.arity = 1;
+  proc.body = [](Database& inner,
+                 const std::vector<Value>& args) -> Result<ResultSet> {
+    Params params;
+    params.Add(args[0]);
+    return inner.Execute("INSERT INTO log VALUES (?)", params);
+  };
+  ASSERT_TRUE(db.RegisterProcedure(std::move(proc)).ok());
+  ASSERT_TRUE(db.Execute("CALL LogIt('hello')").ok());
+  auto rs = db.Execute("SELECT COUNT(*) FROM log");
+  EXPECT_EQ(rs->rows()[0][0], Value::Integer(1));
+}
+
+TEST(DatabaseTest, SequencesAdvance) {
+  Database db("d");
+  ASSERT_TRUE(db.Execute("CREATE SEQUENCE s START WITH 5").ok());
+  EXPECT_EQ(*db.catalog().SequenceNextValue("s"), 5);
+  EXPECT_EQ(*db.catalog().SequenceNextValue("s"), 6);
+  EXPECT_FALSE(db.catalog().SequenceNextValue("nope").ok());
+}
+
+TEST(DatabaseTest, DuplicateSequenceRejected) {
+  Database db("d");
+  ASSERT_TRUE(db.Execute("CREATE SEQUENCE s").ok());
+  EXPECT_FALSE(db.Execute("CREATE SEQUENCE s").ok());
+  EXPECT_TRUE(db.Execute("DROP SEQUENCE s").ok());
+  EXPECT_FALSE(db.Execute("DROP SEQUENCE s").ok());
+  EXPECT_TRUE(db.Execute("DROP SEQUENCE IF EXISTS s").ok());
+}
+
+TEST(PreparedStatementTest, ExecutesRepeatedlyWithParams) {
+  Database db("d");
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (a INTEGER); "
+                               "INSERT INTO t VALUES (1), (2), (3)")
+                  .ok());
+  auto prepared = db.Prepare("SELECT COUNT(*) FROM t WHERE a >= :k");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ(prepared->parameter_count(), 1);
+  for (int k = 1; k <= 3; ++k) {
+    Params params;
+    params.Set("k", Value::Integer(k));
+    auto result = prepared->Execute(params);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->rows()[0][0], Value::Integer(4 - k));
+  }
+}
+
+TEST(PreparedStatementTest, DmlThroughPrepared) {
+  Database db("d");
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a INTEGER)").ok());
+  auto insert = db.Prepare("INSERT INTO t VALUES (?)");
+  ASSERT_TRUE(insert.ok());
+  for (int i = 0; i < 5; ++i) {
+    Params params;
+    params.Add(Value::Integer(i));
+    ASSERT_TRUE(insert->Execute(params).ok());
+  }
+  auto count = db.Execute("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(count->rows()[0][0], Value::Integer(5));
+}
+
+TEST(PreparedStatementTest, ParseErrorSurfacesAtPrepareTime) {
+  Database db("d");
+  EXPECT_FALSE(db.Prepare("SELEKT oops").ok());
+}
+
+TEST(ConnectionStringTest, ParsesScheme) {
+  auto cs = ConnectionString::Parse("memdb://orders");
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs->scheme, "memdb");
+  EXPECT_EQ(cs->database, "orders");
+  EXPECT_EQ(cs->ToString(), "memdb://orders");
+}
+
+TEST(ConnectionStringTest, RejectsMalformed) {
+  EXPECT_FALSE(ConnectionString::Parse("orders").ok());
+  EXPECT_FALSE(ConnectionString::Parse("memdb://").ok());
+  EXPECT_EQ(ConnectionString::Parse("jdbc://x").status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(DataSourceRegistryTest, OpenCreatesOnFirstUse) {
+  DataSourceRegistry registry;
+  EXPECT_FALSE(registry.Exists("orders"));
+  auto db1 = registry.Open("memdb://orders");
+  ASSERT_TRUE(db1.ok());
+  EXPECT_TRUE(registry.Exists("orders"));
+  auto db2 = registry.Open("memdb://orders");
+  ASSERT_TRUE(db2.ok());
+  EXPECT_EQ(db1->get(), db2->get());  // same instance
+}
+
+TEST(DataSourceRegistryTest, NamesAreCaseInsensitive) {
+  DataSourceRegistry registry;
+  ASSERT_TRUE(registry.Open("memdb://Orders").ok());
+  EXPECT_TRUE(registry.Exists("ORDERS"));
+  EXPECT_TRUE(registry.Get("orders").ok());
+}
+
+TEST(DataSourceRegistryTest, CreateRejectsDuplicates) {
+  DataSourceRegistry registry;
+  ASSERT_TRUE(registry.CreateDatabase("x").ok());
+  EXPECT_FALSE(registry.CreateDatabase("X").ok());
+}
+
+TEST(DataSourceRegistryTest, GetUnknownIsNotFound) {
+  DataSourceRegistry registry;
+  EXPECT_EQ(registry.Get("none").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DataSourceRegistryTest, SeparateDatabasesAreIsolated) {
+  DataSourceRegistry registry;
+  auto test_db = registry.Open("memdb://test");
+  auto prod_db = registry.Open("memdb://prod");
+  ASSERT_TRUE(test_db.ok() && prod_db.ok());
+  ASSERT_TRUE((*test_db)->Execute("CREATE TABLE t (a INTEGER)").ok());
+  EXPECT_FALSE((*prod_db)->Execute("SELECT * FROM t").ok());
+  EXPECT_EQ(registry.DatabaseNames().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sqlflow::sql

@@ -1,0 +1,461 @@
+#include <gtest/gtest.h>
+
+#include "sql/database.h"
+#include "sql/parser.h"
+
+namespace sqlflow::sql {
+namespace {
+
+class SqlExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE Orders (
+        OrderID INTEGER PRIMARY KEY,
+        ItemID INTEGER,
+        Quantity INTEGER,
+        Approved BOOLEAN
+      );
+      INSERT INTO Orders VALUES
+        (1, 10, 5, TRUE), (2, 10, 3, TRUE), (3, 20, 7, FALSE),
+        (4, 20, 2, TRUE), (5, 30, 1, TRUE);
+      CREATE TABLE Items (ItemID INTEGER PRIMARY KEY, Name VARCHAR(20));
+      INSERT INTO Items VALUES (10, 'bolt'), (20, 'nut');
+      CREATE TABLE Archive (OrderID INTEGER, ItemID INTEGER,
+                            Quantity INTEGER, Approved BOOLEAN);
+      INSERT INTO Archive VALUES (90, 10, 8, TRUE), (1, 10, 5, TRUE);
+    )sql")
+                    .ok());
+  }
+
+  ResultSet Query(const std::string& sql) {
+    auto result = db_.Execute(sql);
+    EXPECT_TRUE(result.ok()) << sql << " → "
+                             << result.status().ToString();
+    return std::move(result).value_or(ResultSet());
+  }
+
+  Database db_{"ext"};
+};
+
+// --- CASE ---------------------------------------------------------------------
+
+TEST_F(SqlExtensionsTest, CaseBasic) {
+  ResultSet rs = Query(
+      "SELECT OrderID, CASE WHEN Quantity >= 5 THEN 'big' "
+      "WHEN Quantity >= 3 THEN 'mid' ELSE 'small' END AS bucket "
+      "FROM Orders ORDER BY OrderID");
+  EXPECT_EQ(*rs.Get(0, "bucket"), Value::String("big"));
+  EXPECT_EQ(*rs.Get(1, "bucket"), Value::String("mid"));
+  EXPECT_EQ(*rs.Get(4, "bucket"), Value::String("small"));
+}
+
+TEST_F(SqlExtensionsTest, CaseWithoutElseYieldsNull) {
+  ResultSet rs =
+      Query("SELECT CASE WHEN 1 = 2 THEN 'x' END");
+  EXPECT_TRUE(rs.rows()[0][0].is_null());
+}
+
+TEST_F(SqlExtensionsTest, CaseBranchesEvaluateLazily) {
+  // The losing branch would divide by zero if evaluated eagerly.
+  ResultSet rs = Query(
+      "SELECT CASE WHEN TRUE THEN 1 ELSE 1 / 0 END");
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(1));
+}
+
+TEST_F(SqlExtensionsTest, CaseInAggregate) {
+  // Conditional counting — a classic CASE use.
+  ResultSet rs = Query(
+      "SELECT SUM(CASE WHEN Approved = TRUE THEN 1 ELSE 0 END) "
+      "FROM Orders");
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(4));
+}
+
+TEST_F(SqlExtensionsTest, CaseParseErrors) {
+  EXPECT_FALSE(db_.Execute("SELECT CASE END").ok());
+  EXPECT_FALSE(db_.Execute("SELECT CASE WHEN 1 THEN 2").ok());
+  EXPECT_FALSE(db_.Execute("SELECT CASE WHEN 1 ELSE 2 END").ok());
+}
+
+// --- scalar subqueries ----------------------------------------------------------
+
+TEST_F(SqlExtensionsTest, ScalarSubquery) {
+  ResultSet rs = Query(
+      "SELECT OrderID FROM Orders "
+      "WHERE Quantity = (SELECT MAX(Quantity) FROM Orders)");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(3));
+}
+
+TEST_F(SqlExtensionsTest, ScalarSubqueryInSelectList) {
+  ResultSet rs = Query(
+      "SELECT (SELECT COUNT(*) FROM Items) AS items, OrderID "
+      "FROM Orders WHERE OrderID = 1");
+  EXPECT_EQ(*rs.Get(0, "items"), Value::Integer(2));
+}
+
+TEST_F(SqlExtensionsTest, EmptyScalarSubqueryIsNull) {
+  ResultSet rs = Query(
+      "SELECT (SELECT OrderID FROM Orders WHERE OrderID = 999)");
+  EXPECT_TRUE(rs.rows()[0][0].is_null());
+}
+
+TEST_F(SqlExtensionsTest, ScalarSubqueryCardinalityErrors) {
+  EXPECT_FALSE(
+      db_.Execute("SELECT (SELECT OrderID FROM Orders)").ok());
+  EXPECT_FALSE(
+      db_.Execute("SELECT (SELECT OrderID, ItemID FROM Orders WHERE "
+                  "OrderID = 1)")
+          .ok());
+}
+
+// --- IN (SELECT ...) --------------------------------------------------------------
+
+TEST_F(SqlExtensionsTest, InSubquery) {
+  ResultSet rs = Query(
+      "SELECT OrderID FROM Orders "
+      "WHERE ItemID IN (SELECT ItemID FROM Items) ORDER BY OrderID");
+  EXPECT_EQ(rs.row_count(), 4u);  // item 30 is not in Items
+}
+
+TEST_F(SqlExtensionsTest, NotInSubquery) {
+  ResultSet rs = Query(
+      "SELECT OrderID FROM Orders "
+      "WHERE ItemID NOT IN (SELECT ItemID FROM Items)");
+  ASSERT_EQ(rs.row_count(), 1u);
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(5));
+}
+
+TEST_F(SqlExtensionsTest, InSubqueryHonoursParameters) {
+  Params params;
+  params.Set("minq", Value::Integer(5));
+  auto rs = db_.Execute(
+      "SELECT COUNT(*) FROM Items WHERE ItemID IN "
+      "(SELECT ItemID FROM Orders WHERE Quantity >= :minq)",
+      params);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows()[0][0], Value::Integer(2));
+}
+
+// --- EXISTS ------------------------------------------------------------------------
+
+TEST_F(SqlExtensionsTest, ExistsAndNotExists) {
+  ResultSet yes = Query(
+      "SELECT OrderID FROM Orders WHERE EXISTS "
+      "(SELECT 1 FROM Items WHERE ItemID = 10) AND OrderID = 1");
+  EXPECT_EQ(yes.row_count(), 1u);
+  ResultSet no = Query(
+      "SELECT OrderID FROM Orders WHERE NOT EXISTS "
+      "(SELECT 1 FROM Items WHERE ItemID = 999)");
+  EXPECT_EQ(no.row_count(), 5u);
+}
+
+// --- UNION -------------------------------------------------------------------------
+
+TEST_F(SqlExtensionsTest, UnionAllConcatenates) {
+  ResultSet rs = Query(
+      "SELECT OrderID FROM Orders UNION ALL "
+      "SELECT OrderID FROM Archive");
+  EXPECT_EQ(rs.row_count(), 7u);
+}
+
+TEST_F(SqlExtensionsTest, UnionDeduplicates) {
+  // Order 1 appears in both tables with identical values.
+  ResultSet rs = Query(
+      "SELECT OrderID, ItemID FROM Orders UNION "
+      "SELECT OrderID, ItemID FROM Archive");
+  EXPECT_EQ(rs.row_count(), 6u);
+}
+
+TEST_F(SqlExtensionsTest, UnionColumnNamesFromFirstBranch) {
+  ResultSet rs = Query(
+      "SELECT OrderID AS id FROM Orders WHERE OrderID = 1 UNION ALL "
+      "SELECT ItemID FROM Items");
+  EXPECT_EQ(rs.column_names()[0], "id");
+  EXPECT_EQ(rs.row_count(), 3u);
+}
+
+TEST_F(SqlExtensionsTest, UnionChainOfThree) {
+  ResultSet rs = Query(
+      "SELECT 1 UNION ALL SELECT 2 UNION ALL SELECT 3");
+  EXPECT_EQ(rs.row_count(), 3u);
+}
+
+TEST_F(SqlExtensionsTest, UnionShapeMismatchIsError) {
+  EXPECT_FALSE(db_.Execute("SELECT OrderID FROM Orders UNION ALL "
+                           "SELECT OrderID, ItemID FROM Orders")
+                   .ok());
+}
+
+TEST_F(SqlExtensionsTest, InsertSelectUnion) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE AllIds (id INTEGER)").ok());
+  auto result = db_.Execute(
+      "INSERT INTO AllIds SELECT OrderID FROM Orders UNION ALL "
+      "SELECT OrderID FROM Archive");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->affected_rows(), 7);
+}
+
+// --- derived tables ---------------------------------------------------------------
+
+TEST_F(SqlExtensionsTest, DerivedTableBasic) {
+  ResultSet rs = Query(
+      "SELECT d.ItemID, d.Total FROM "
+      "(SELECT ItemID, SUM(Quantity) AS Total FROM Orders "
+      " GROUP BY ItemID) d WHERE d.Total > 5 ORDER BY d.ItemID");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(*rs.Get(0, "ItemID"), Value::Integer(10));
+}
+
+TEST_F(SqlExtensionsTest, DerivedTableJoinsBaseTable) {
+  ResultSet rs = Query(
+      "SELECT i.Name, t.Total FROM "
+      "(SELECT ItemID, SUM(Quantity) AS Total FROM Orders GROUP BY "
+      "ItemID) AS t INNER JOIN Items i ON t.ItemID = i.ItemID "
+      "ORDER BY t.Total DESC");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(*rs.Get(0, "Name"), Value::String("nut"));
+}
+
+TEST_F(SqlExtensionsTest, NestedDerivedTables) {
+  ResultSet rs = Query(
+      "SELECT COUNT(*) FROM (SELECT * FROM "
+      "(SELECT OrderID FROM Orders WHERE Approved = TRUE) inner1) "
+      "outer1");
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(4));
+}
+
+TEST_F(SqlExtensionsTest, DerivedTableRequiresAlias) {
+  EXPECT_FALSE(
+      db_.Execute("SELECT * FROM (SELECT 1)").ok());
+}
+
+TEST_F(SqlExtensionsTest, AggregateOverDerivedAggregate) {
+  // Max of per-item totals — needs the derived-table layer.
+  ResultSet rs = Query(
+      "SELECT MAX(Total) FROM (SELECT SUM(Quantity) AS Total FROM "
+      "Orders GROUP BY ItemID) t");
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(9));
+}
+
+// --- interactions ---------------------------------------------------------------------
+
+TEST_F(SqlExtensionsTest, CaseOverSubquery) {
+  ResultSet rs = Query(
+      "SELECT CASE WHEN (SELECT COUNT(*) FROM Items) > 1 "
+      "THEN 'many' ELSE 'few' END");
+  EXPECT_EQ(rs.rows()[0][0], Value::String("many"));
+}
+
+TEST_F(SqlExtensionsTest, SubqueryInUpdate) {
+  auto result = db_.Execute(
+      "UPDATE Orders SET Quantity = (SELECT MAX(Quantity) FROM Archive) "
+      "WHERE OrderID = 5");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ResultSet rs = Query("SELECT Quantity FROM Orders WHERE OrderID = 5");
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(8));
+}
+
+TEST_F(SqlExtensionsTest, SubqueryInDelete) {
+  auto result = db_.Execute(
+      "DELETE FROM Orders WHERE ItemID IN "
+      "(SELECT ItemID FROM Items WHERE Name = 'nut')");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->affected_rows(), 2);
+}
+
+TEST_F(SqlExtensionsTest, CloneSelectCoversNewNodes) {
+  auto stmt = ParseStatement(
+      "SELECT CASE WHEN a IN (SELECT b FROM t) THEN 1 ELSE 2 END "
+      "FROM u UNION ALL SELECT 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto clone = CloneSelect(*(*stmt)->select);
+  ASSERT_NE(clone, nullptr);
+  EXPECT_NE(clone->union_next, nullptr);
+  EXPECT_TRUE(clone->union_all);
+  const Expr& item = *clone->items[0].expr;
+  EXPECT_EQ(item.kind, ExprKind::kCase);
+  EXPECT_NE(item.case_else, nullptr);
+  EXPECT_EQ(item.children[0]->kind, ExprKind::kInList);
+  EXPECT_NE(item.children[0]->subquery, nullptr);
+}
+
+// --- CHECK constraints and DEFAULT values ------------------------------------------
+
+TEST_F(SqlExtensionsTest, CheckConstraintRejectsBadRows) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE c (a INTEGER CHECK (a > 0), "
+                          "b INTEGER, CHECK (b < 100))")
+                  .ok());
+  EXPECT_TRUE(db_.Execute("INSERT INTO c VALUES (1, 50)").ok());
+  auto bad_a = db_.Execute("INSERT INTO c VALUES (0, 50)");
+  ASSERT_FALSE(bad_a.ok());
+  EXPECT_EQ(bad_a.status().code(), StatusCode::kConstraintError);
+  EXPECT_FALSE(db_.Execute("INSERT INTO c VALUES (1, 100)").ok());
+}
+
+TEST_F(SqlExtensionsTest, CheckConstraintOnUpdate) {
+  ASSERT_TRUE(
+      db_.Execute("CREATE TABLE c (a INTEGER CHECK (a >= 0))").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO c VALUES (5)").ok());
+  EXPECT_FALSE(db_.Execute("UPDATE c SET a = -1").ok());
+  EXPECT_TRUE(db_.Execute("UPDATE c SET a = 7").ok());
+}
+
+TEST_F(SqlExtensionsTest, CheckWithNullIsUnknownAndPasses) {
+  ASSERT_TRUE(
+      db_.Execute("CREATE TABLE c (a INTEGER CHECK (a > 0))").ok());
+  // NULL > 0 is unknown, which does not violate the constraint.
+  EXPECT_TRUE(db_.Execute("INSERT INTO c VALUES (NULL)").ok());
+}
+
+TEST_F(SqlExtensionsTest, CheckAcrossColumns) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE r (lo INTEGER, hi INTEGER, "
+                          "CHECK (lo <= hi))")
+                  .ok());
+  EXPECT_TRUE(db_.Execute("INSERT INTO r VALUES (1, 2)").ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO r VALUES (3, 2)").ok());
+}
+
+TEST_F(SqlExtensionsTest, CheckSurvivesDropTableRollback) {
+  ASSERT_TRUE(
+      db_.Execute("CREATE TABLE c (a INTEGER CHECK (a > 0))").ok());
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("DROP TABLE c").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_FALSE(db_.Execute("INSERT INTO c VALUES (-1)").ok());
+  EXPECT_TRUE(db_.Execute("INSERT INTO c VALUES (1)").ok());
+}
+
+TEST_F(SqlExtensionsTest, DefaultValuesFillOmittedColumns) {
+  ASSERT_TRUE(db_.Execute(
+                     "CREATE TABLE d (id INTEGER, s VARCHAR(10) DEFAULT "
+                     "'none', n INTEGER DEFAULT 7, m INTEGER)")
+                  .ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO d (id) VALUES (1)").ok());
+  ResultSet rs = Query("SELECT * FROM d");
+  EXPECT_EQ(*rs.Get(0, "s"), Value::String("none"));
+  EXPECT_EQ(*rs.Get(0, "n"), Value::Integer(7));
+  EXPECT_TRUE(rs.Get(0, "m")->is_null());  // no default ⇒ NULL
+}
+
+TEST_F(SqlExtensionsTest, ExplicitValueBeatsDefault) {
+  ASSERT_TRUE(
+      db_.Execute("CREATE TABLE d (a INTEGER DEFAULT 7)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO d (a) VALUES (1)").ok());
+  ResultSet rs = Query("SELECT a FROM d");
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(1));
+}
+
+TEST_F(SqlExtensionsTest, NegativeAndExpressionDefaults) {
+  ASSERT_TRUE(db_.Execute("CREATE TABLE d (a INTEGER DEFAULT -5, "
+                          "b VARCHAR(10) DEFAULT UPPER('x'))")
+                  .ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO d (b) VALUES ('y')").ok());
+  ResultSet rs = Query("SELECT a FROM d");
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(-5));
+}
+
+// --- views -----------------------------------------------------------------------
+
+TEST_F(SqlExtensionsTest, CreateAndQueryView) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW ApprovedOrders AS "
+                          "SELECT OrderID, ItemID, Quantity FROM Orders "
+                          "WHERE Approved = TRUE")
+                  .ok());
+  ResultSet rs = Query("SELECT COUNT(*) FROM ApprovedOrders");
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(4));
+}
+
+TEST_F(SqlExtensionsTest, ViewReflectsBaseTableChanges) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW V AS SELECT * FROM Orders "
+                          "WHERE Approved = TRUE")
+                  .ok());
+  ASSERT_TRUE(
+      db_.Execute("UPDATE Orders SET Approved = TRUE WHERE OrderID = 3")
+          .ok());
+  ResultSet rs = Query("SELECT COUNT(*) FROM V");
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(5));
+}
+
+TEST_F(SqlExtensionsTest, ViewsJoinWithTablesAndAlias) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW Totals AS "
+                          "SELECT ItemID, SUM(Quantity) AS Total "
+                          "FROM Orders GROUP BY ItemID")
+                  .ok());
+  ResultSet rs = Query(
+      "SELECT i.Name, t.Total FROM Totals t "
+      "INNER JOIN Items i ON t.ItemID = i.ItemID ORDER BY i.Name");
+  ASSERT_EQ(rs.row_count(), 2u);
+  EXPECT_EQ(*rs.Get(0, "Total"), Value::Integer(8));
+}
+
+TEST_F(SqlExtensionsTest, ViewOverView) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW V1 AS SELECT * FROM Orders "
+                          "WHERE Approved = TRUE")
+                  .ok());
+  ASSERT_TRUE(db_.Execute("CREATE VIEW V2 AS SELECT * FROM V1 "
+                          "WHERE Quantity >= 3")
+                  .ok());
+  ResultSet rs = Query("SELECT COUNT(*) FROM V2");
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(2));
+}
+
+TEST_F(SqlExtensionsTest, ViewNameCollisions) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW W AS SELECT 1").ok());
+  EXPECT_FALSE(db_.Execute("CREATE VIEW W AS SELECT 2").ok());
+  EXPECT_FALSE(db_.Execute("CREATE TABLE W (a INTEGER)").ok());
+  EXPECT_FALSE(db_.Execute("CREATE VIEW Orders AS SELECT 1").ok());
+}
+
+TEST_F(SqlExtensionsTest, DropViewVariants) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW W AS SELECT 1").ok());
+  ASSERT_TRUE(db_.Execute("DROP VIEW W").ok());
+  EXPECT_FALSE(db_.Execute("SELECT * FROM W").ok());
+  EXPECT_FALSE(db_.Execute("DROP VIEW W").ok());
+  EXPECT_TRUE(db_.Execute("DROP VIEW IF EXISTS W").ok());
+}
+
+TEST_F(SqlExtensionsTest, CyclicViewsDetected) {
+  // Create V referencing a table, drop the table, create a table-named
+  // view cycle: V → U → V.
+  ASSERT_TRUE(db_.Execute("CREATE VIEW U AS SELECT * FROM Orders").ok());
+  ASSERT_TRUE(db_.Execute("CREATE VIEW V AS SELECT * FROM U").ok());
+  ASSERT_TRUE(db_.Execute("DROP VIEW U").ok());
+  ASSERT_TRUE(db_.Execute("CREATE VIEW U AS SELECT * FROM V").ok());
+  auto result = db_.Execute("SELECT * FROM V");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("too deep"),
+            std::string::npos);
+}
+
+TEST_F(SqlExtensionsTest, ViewDdlRollsBack) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW Kept AS SELECT 1").ok());
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("CREATE VIEW Fresh AS SELECT 2").ok());
+  ASSERT_TRUE(db_.Execute("DROP VIEW Kept").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(db_.catalog().FindView("Fresh"), nullptr);
+  ASSERT_NE(db_.catalog().FindView("Kept"), nullptr);
+  ResultSet rs = Query("SELECT * FROM Kept");
+  EXPECT_EQ(rs.rows()[0][0], Value::Integer(1));
+}
+
+TEST_F(SqlExtensionsTest, ViewWithParameersAtQueryTime) {
+  ASSERT_TRUE(db_.Execute("CREATE VIEW AllOrders AS "
+                          "SELECT * FROM Orders")
+                  .ok());
+  Params params;
+  params.Set("q", Value::Integer(5));
+  auto rs = db_.Execute(
+      "SELECT COUNT(*) FROM AllOrders WHERE Quantity >= :q", params);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows()[0][0], Value::Integer(2));
+}
+
+TEST_F(SqlExtensionsTest, CaseEndKeywordsAreReserved) {
+  // `case` can no longer be a bare identifier.
+  EXPECT_FALSE(db_.Execute("SELECT case FROM Orders").ok());
+}
+
+}  // namespace
+}  // namespace sqlflow::sql

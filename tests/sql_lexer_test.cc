@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+
+namespace sqlflow::sql {
+namespace {
+
+std::vector<Token> MustTokenize(std::string_view input) {
+  auto tokens = Tokenize(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  return std::move(tokens).value_or({});
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  std::vector<Token> tokens = MustTokenize("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsAreCaseInsensitiveAndNormalized) {
+  std::vector<Token> tokens = MustTokenize("select Select SELECT");
+  ASSERT_EQ(tokens.size(), 4u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kKeyword);
+    EXPECT_EQ(tokens[i].text, "SELECT");
+  }
+}
+
+TEST(LexerTest, IdentifiersKeepSpelling) {
+  std::vector<Token> tokens = MustTokenize("ItemID");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "ItemID");
+}
+
+TEST(LexerTest, NonReservedWordsAreIdentifiers) {
+  // `status` and `name` are not reserved in this dialect.
+  std::vector<Token> tokens = MustTokenize("status name start");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].type, TokenType::kIdentifier);
+  }
+}
+
+TEST(LexerTest, IntegerLiteral) {
+  std::vector<Token> tokens = MustTokenize("12345");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntegerLiteral);
+  EXPECT_EQ(tokens[0].integer, 12345);
+}
+
+TEST(LexerTest, DoubleLiterals) {
+  std::vector<Token> tokens = MustTokenize("3.25 1e3 2.5E-2");
+  EXPECT_EQ(tokens[0].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[0].dbl, 3.25);
+  EXPECT_EQ(tokens[1].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[1].dbl, 1000.0);
+  EXPECT_EQ(tokens[2].type, TokenType::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].dbl, 0.025);
+}
+
+TEST(LexerTest, IntegerFollowedByDotIsNotDouble) {
+  // "1." without digits stays integer + dot (e.g. tuple access syntax).
+  std::vector<Token> tokens = MustTokenize("1.x");
+  EXPECT_EQ(tokens[0].type, TokenType::kIntegerLiteral);
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  std::vector<Token> tokens = MustTokenize("'it''s'");
+  EXPECT_EQ(tokens[0].type, TokenType::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_FALSE(Tokenize("'abc").ok());
+}
+
+TEST(LexerTest, QuotedIdentifier) {
+  std::vector<Token> tokens = MustTokenize("\"Group\"");
+  EXPECT_EQ(tokens[0].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "Group");
+}
+
+TEST(LexerTest, NamedAndPositionalParameters) {
+  std::vector<Token> tokens = MustTokenize(":qty ?");
+  EXPECT_EQ(tokens[0].type, TokenType::kNamedParameter);
+  EXPECT_EQ(tokens[0].text, "qty");
+  EXPECT_EQ(tokens[1].type, TokenType::kPositionalParameter);
+}
+
+TEST(LexerTest, Operators) {
+  std::vector<Token> tokens =
+      MustTokenize("= <> != < <= > >= + - * / % ||");
+  std::vector<TokenType> expected = {
+      TokenType::kEq,   TokenType::kNotEq, TokenType::kNotEq,
+      TokenType::kLt,   TokenType::kLtEq,  TokenType::kGt,
+      TokenType::kGtEq, TokenType::kPlus,  TokenType::kMinus,
+      TokenType::kStar, TokenType::kSlash, TokenType::kPercent,
+      TokenType::kConcat};
+  ASSERT_EQ(tokens.size(), expected.size() + 1);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(tokens[i].type, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, LineCommentsAreSkipped) {
+  std::vector<Token> tokens =
+      MustTokenize("SELECT -- the select\n1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "SELECT");
+  EXPECT_EQ(tokens[1].type, TokenType::kIntegerLiteral);
+}
+
+TEST(LexerTest, PositionsTrackOffsets) {
+  std::vector<Token> tokens = MustTokenize("SELECT x");
+  EXPECT_EQ(tokens[0].position, 0u);
+  EXPECT_EQ(tokens[1].position, 7u);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  auto result = Tokenize("SELECT #");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kSyntaxError);
+}
+
+TEST(LexerTest, BareBangIsError) { EXPECT_FALSE(Tokenize("!x").ok()); }
+
+TEST(LexerTest, SingleVerticalBarIsError) {
+  EXPECT_FALSE(Tokenize("a | b").ok());
+}
+
+TEST(LexerTest, ColonWithoutNameIsError) {
+  EXPECT_FALSE(Tokenize(": 1").ok());
+}
+
+TEST(LexerTest, PunctuationTokens) {
+  std::vector<Token> tokens = MustTokenize("( ) , ; .");
+  EXPECT_EQ(tokens[0].type, TokenType::kLParen);
+  EXPECT_EQ(tokens[1].type, TokenType::kRParen);
+  EXPECT_EQ(tokens[2].type, TokenType::kComma);
+  EXPECT_EQ(tokens[3].type, TokenType::kSemicolon);
+  EXPECT_EQ(tokens[4].type, TokenType::kDot);
+}
+
+TEST(LexerTest, IsReservedKeyword) {
+  EXPECT_TRUE(IsReservedKeyword("SELECT"));
+  EXPECT_TRUE(IsReservedKeyword("VARCHAR"));
+  EXPECT_FALSE(IsReservedKeyword("ITEMID"));
+}
+
+}  // namespace
+}  // namespace sqlflow::sql

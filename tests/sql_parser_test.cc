@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace sqlflow::sql {
+namespace {
+
+std::unique_ptr<Statement> MustParse(std::string_view input) {
+  auto stmt = ParseStatement(input);
+  EXPECT_TRUE(stmt.ok()) << input << " → " << stmt.status().ToString();
+  return stmt.ok() ? std::move(stmt).value() : nullptr;
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = MustParse("SELECT a, b FROM t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_EQ(stmt->kind, StatementKind::kSelect);
+  EXPECT_EQ(stmt->select->items.size(), 2u);
+  ASSERT_EQ(stmt->select->from.size(), 1u);
+  EXPECT_EQ(stmt->select->from[0].table_name, "t");
+}
+
+TEST(ParserTest, SelectStarAndQualifiedStar) {
+  auto stmt = MustParse("SELECT *, t.* FROM t");
+  ASSERT_NE(stmt, nullptr);
+  EXPECT_TRUE(stmt->select->items[0].star);
+  EXPECT_TRUE(stmt->select->items[1].star);
+  EXPECT_EQ(stmt->select->items[1].star_qualifier, "t");
+}
+
+TEST(ParserTest, SelectWithAliases) {
+  auto stmt = MustParse("SELECT a AS x, b y FROM t");
+  EXPECT_EQ(stmt->select->items[0].alias, "x");
+  EXPECT_EQ(stmt->select->items[1].alias, "y");
+}
+
+TEST(ParserTest, SelectDistinct) {
+  EXPECT_TRUE(MustParse("SELECT DISTINCT a FROM t")->select->distinct);
+}
+
+TEST(ParserTest, WhereGroupHavingOrderLimitOffset) {
+  auto stmt = MustParse(
+      "SELECT a, COUNT(*) FROM t WHERE a > 1 GROUP BY a HAVING "
+      "COUNT(*) > 2 ORDER BY a DESC LIMIT 10 OFFSET 5");
+  const SelectStatement& sel = *stmt->select;
+  EXPECT_NE(sel.where, nullptr);
+  EXPECT_EQ(sel.group_by.size(), 1u);
+  EXPECT_NE(sel.having, nullptr);
+  ASSERT_EQ(sel.order_by.size(), 1u);
+  EXPECT_TRUE(sel.order_by[0].descending);
+  EXPECT_EQ(*sel.limit, 10);
+  EXPECT_EQ(*sel.offset, 5);
+}
+
+TEST(ParserTest, Joins) {
+  auto stmt = MustParse(
+      "SELECT * FROM a INNER JOIN b ON a.x = b.x "
+      "LEFT OUTER JOIN c ON b.y = c.y");
+  const SelectStatement& sel = *stmt->select;
+  ASSERT_EQ(sel.from.size(), 3u);
+  EXPECT_EQ(sel.from[1].join_type, JoinType::kInner);
+  EXPECT_NE(sel.from[1].join_condition, nullptr);
+  EXPECT_EQ(sel.from[2].join_type, JoinType::kLeftOuter);
+}
+
+TEST(ParserTest, CommaCrossJoin) {
+  auto stmt = MustParse("SELECT * FROM a, b");
+  ASSERT_EQ(stmt->select->from.size(), 2u);
+  EXPECT_EQ(stmt->select->from[1].join_type, JoinType::kCross);
+}
+
+TEST(ParserTest, BareJoinIsInner) {
+  auto stmt = MustParse("SELECT * FROM a JOIN b ON a.x = b.x");
+  EXPECT_EQ(stmt->select->from[1].join_type, JoinType::kInner);
+}
+
+TEST(ParserTest, TableAliases) {
+  auto stmt = MustParse("SELECT o.a FROM Orders AS o, Items i");
+  EXPECT_EQ(stmt->select->from[0].alias, "o");
+  EXPECT_EQ(stmt->select->from[1].alias, "i");
+}
+
+TEST(ParserTest, SelectWithoutFrom) {
+  auto stmt = MustParse("SELECT 1 + 2");
+  EXPECT_TRUE(stmt->select->from.empty());
+}
+
+TEST(ParserTest, InsertValues) {
+  auto stmt = MustParse(
+      "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')");
+  EXPECT_EQ(stmt->kind, StatementKind::kInsert);
+  EXPECT_EQ(stmt->insert->columns.size(), 2u);
+  EXPECT_EQ(stmt->insert->rows.size(), 2u);
+}
+
+TEST(ParserTest, InsertSelect) {
+  auto stmt = MustParse("INSERT INTO t SELECT * FROM s");
+  EXPECT_NE(stmt->insert->select, nullptr);
+  EXPECT_TRUE(stmt->insert->rows.empty());
+}
+
+TEST(ParserTest, Update) {
+  auto stmt = MustParse("UPDATE t SET a = 1, b = b + 1 WHERE c = 'x'");
+  EXPECT_EQ(stmt->kind, StatementKind::kUpdate);
+  EXPECT_EQ(stmt->update->assignments.size(), 2u);
+  EXPECT_NE(stmt->update->where, nullptr);
+}
+
+TEST(ParserTest, DeleteWithAndWithoutWhere) {
+  EXPECT_NE(MustParse("DELETE FROM t WHERE a = 1")->del->where, nullptr);
+  EXPECT_EQ(MustParse("DELETE FROM t")->del->where, nullptr);
+}
+
+TEST(ParserTest, CreateTable) {
+  auto stmt = MustParse(
+      "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(40) NOT "
+      "NULL, score DOUBLE, ok BOOLEAN)");
+  EXPECT_EQ(stmt->kind, StatementKind::kCreateTable);
+  const CreateTableStatement& ct = *stmt->create_table;
+  ASSERT_EQ(ct.columns.size(), 4u);
+  EXPECT_TRUE(ct.columns[0].primary_key);
+  EXPECT_TRUE(ct.columns[0].not_null);  // PK implies NOT NULL
+  EXPECT_TRUE(ct.columns[1].not_null);
+  EXPECT_EQ(ct.columns[2].type, ValueType::kDouble);
+  EXPECT_EQ(ct.columns[3].type, ValueType::kBoolean);
+}
+
+TEST(ParserTest, CreateTableIfNotExists) {
+  EXPECT_TRUE(MustParse("CREATE TABLE IF NOT EXISTS t (a INT)")
+                  ->create_table->if_not_exists);
+}
+
+TEST(ParserTest, DropTableVariants) {
+  EXPECT_FALSE(MustParse("DROP TABLE t")->drop_table->if_exists);
+  EXPECT_TRUE(
+      MustParse("DROP TABLE IF EXISTS t")->drop_table->if_exists);
+}
+
+TEST(ParserTest, Truncate) {
+  EXPECT_EQ(MustParse("TRUNCATE TABLE t")->kind, StatementKind::kTruncate);
+}
+
+TEST(ParserTest, CreateAndDropSequence) {
+  auto stmt = MustParse("CREATE SEQUENCE s START WITH 100");
+  EXPECT_EQ(stmt->create_sequence->start_with, 100);
+  EXPECT_EQ(MustParse("CREATE SEQUENCE s")->create_sequence->start_with,
+            1);
+  EXPECT_EQ(MustParse("DROP SEQUENCE s")->kind,
+            StatementKind::kDropSequence);
+}
+
+TEST(ParserTest, CreateIndex) {
+  auto stmt = MustParse("CREATE UNIQUE INDEX idx ON t (a, b)");
+  EXPECT_TRUE(stmt->create_index->unique);
+  EXPECT_EQ(stmt->create_index->columns.size(), 2u);
+}
+
+TEST(ParserTest, Call) {
+  auto stmt = MustParse("CALL TopItems(3, 'x')");
+  EXPECT_EQ(stmt->kind, StatementKind::kCall);
+  EXPECT_EQ(stmt->call->procedure_name, "TopItems");
+  EXPECT_EQ(stmt->call->arguments.size(), 2u);
+}
+
+TEST(ParserTest, TransactionStatements) {
+  EXPECT_EQ(MustParse("BEGIN")->kind, StatementKind::kBegin);
+  EXPECT_EQ(MustParse("BEGIN TRANSACTION")->kind, StatementKind::kBegin);
+  EXPECT_EQ(MustParse("COMMIT")->kind, StatementKind::kCommit);
+  EXPECT_EQ(MustParse("ROLLBACK")->kind, StatementKind::kRollback);
+}
+
+TEST(ParserTest, ParameterIndexAssignment) {
+  auto stmt = MustParse("SELECT * FROM t WHERE a = ? AND b = :x AND c = ?");
+  EXPECT_EQ(stmt->parameter_count, 3);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  // 1 + 2 * 3 parses as 1 + (2 * 3).
+  auto expr = ParseExpression("1 + 2 * 3");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ((*expr)->children[1]->binary_op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, LogicalPrecedence) {
+  // a OR b AND c parses as a OR (b AND c).
+  auto expr = ParseExpression("a OR b AND c");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->binary_op, BinaryOp::kOr);
+  EXPECT_EQ((*expr)->children[1]->binary_op, BinaryOp::kAnd);
+}
+
+TEST(ParserTest, InBetweenLikeIsNull) {
+  EXPECT_TRUE(ParseExpression("a IN (1, 2, 3)").ok());
+  EXPECT_TRUE(ParseExpression("a NOT IN (1)").ok());
+  EXPECT_TRUE(ParseExpression("a BETWEEN 1 AND 10").ok());
+  EXPECT_TRUE(ParseExpression("a NOT BETWEEN 1 AND 10").ok());
+  EXPECT_TRUE(ParseExpression("a LIKE 'x%'").ok());
+  EXPECT_TRUE(ParseExpression("a IS NULL").ok());
+  EXPECT_TRUE(ParseExpression("a IS NOT NULL").ok());
+}
+
+TEST(ParserTest, FunctionCalls) {
+  auto expr = ParseExpression("COUNT(DISTINCT a)");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind, ExprKind::kFunctionCall);
+  EXPECT_TRUE((*expr)->distinct_arg);
+  EXPECT_TRUE(ParseExpression("COUNT(*)").ok());
+  EXPECT_TRUE(ParseExpression("COALESCE(a, b, 0)").ok());
+}
+
+TEST(ParserTest, ExprToStringRoundTripsThroughParser) {
+  // Canonical rendering re-parses to the same rendering (fixpoint).
+  const char* inputs[] = {
+      "(a + 1) * 2",
+      "a IN (1, 2)",
+      "NOT (a = 1)",
+      "x BETWEEN 1 AND 2",
+      "UPPER(name) LIKE 'A%'",
+  };
+  for (const char* input : inputs) {
+    auto first = ParseExpression(input);
+    ASSERT_TRUE(first.ok()) << input;
+    std::string rendered = (*first)->ToString();
+    auto second = ParseExpression(rendered);
+    ASSERT_TRUE(second.ok()) << rendered;
+    EXPECT_EQ((*second)->ToString(), rendered);
+  }
+}
+
+TEST(ParserTest, ScriptSplitting) {
+  auto script = ParseScript("SELECT 1; ; SELECT 2;");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->size(), 2u);
+}
+
+TEST(ParserTest, TrailingGarbageIsError) {
+  EXPECT_FALSE(ParseStatement("SELECT 1 SELECT 2").ok());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("INSERT t VALUES (1)").ok());
+  EXPECT_FALSE(ParseStatement("UPDATE t a = 1").ok());
+  EXPECT_FALSE(ParseStatement("CREATE t (a INT)").ok());
+  EXPECT_FALSE(ParseStatement("DELETE t").ok());
+  EXPECT_FALSE(ParseStatement("").ok());
+}
+
+TEST(ParserTest, CloneExprDeepCopies) {
+  auto expr = ParseExpression("a + b * 2");
+  ASSERT_TRUE(expr.ok());
+  ExprPtr copy = CloneExpr(**expr);
+  EXPECT_EQ(copy->ToString(), (*expr)->ToString());
+  EXPECT_NE(copy.get(), expr->get());
+}
+
+TEST(ParserTest, ContainsAggregateDetection) {
+  auto with = ParseExpression("1 + SUM(x)");
+  auto without = ParseExpression("1 + x");
+  EXPECT_TRUE(ContainsAggregate(**with));
+  EXPECT_FALSE(ContainsAggregate(**without));
+}
+
+}  // namespace
+}  // namespace sqlflow::sql

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "sql/database.h"
+#include "sql/table.h"
+
+namespace sqlflow::sql {
+namespace {
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(10));
+      INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c');
+    )sql")
+                    .ok());
+  }
+
+  std::string Snapshot() {
+    auto rs = db_.Execute("SELECT * FROM t ORDER BY id");
+    EXPECT_TRUE(rs.ok());
+    return rs->ToAsciiTable(1000);
+  }
+
+  Database db_{"txn"};
+};
+
+TEST_F(TransactionTest, CommitKeepsChanges) {
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (4, 'd')").ok());
+  ASSERT_TRUE(db_.Commit().ok());
+  auto rs = db_.Execute("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(rs->rows()[0][0], Value::Integer(4));
+}
+
+TEST_F(TransactionTest, RollbackUndoesInsert) {
+  std::string before = Snapshot();
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (4, 'd')").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(Snapshot(), before);
+}
+
+TEST_F(TransactionTest, RollbackUndoesUpdate) {
+  std::string before = Snapshot();
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("UPDATE t SET v = 'zzz'").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(Snapshot(), before);
+}
+
+TEST_F(TransactionTest, RollbackUndoesDelete) {
+  std::string before = Snapshot();
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("DELETE FROM t WHERE id >= 2").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(Snapshot(), before);
+}
+
+TEST_F(TransactionTest, RollbackUndoesTruncate) {
+  std::string before = Snapshot();
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("TRUNCATE TABLE t").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(Snapshot(), before);
+}
+
+TEST_F(TransactionTest, RollbackUndoesCreateTable) {
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("CREATE TABLE fresh (a INTEGER)").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO fresh VALUES (1)").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(db_.catalog().FindTable("fresh"), nullptr);
+}
+
+TEST_F(TransactionTest, RollbackRestoresDroppedTableWithData) {
+  std::string before = Snapshot();
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("DROP TABLE t").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(Snapshot(), before);
+  // Constraints survive the round-trip too.
+  EXPECT_FALSE(db_.Execute("INSERT INTO t VALUES (1, 'dup')").ok());
+}
+
+TEST_F(TransactionTest, RollbackUndoesSequenceOps) {
+  ASSERT_TRUE(db_.Execute("CREATE SEQUENCE s START WITH 10").ok());
+  ASSERT_TRUE(db_.Begin().ok());
+  auto v1 = db_.Execute("SELECT NEXTVAL('s')");
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->rows()[0][0], Value::Integer(10));
+  ASSERT_TRUE(db_.Rollback().ok());
+  auto v2 = db_.Execute("SELECT NEXTVAL('s')");
+  EXPECT_EQ(v2->rows()[0][0], Value::Integer(10));  // advance undone
+}
+
+TEST_F(TransactionTest, RollbackUndoesCreateSequence) {
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("CREATE SEQUENCE s2").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(db_.catalog().FindSequence("s2"), nullptr);
+}
+
+TEST_F(TransactionTest, RollbackRestoresDroppedSequenceValue) {
+  ASSERT_TRUE(db_.Execute("CREATE SEQUENCE s3 START WITH 5").ok());
+  ASSERT_TRUE(db_.Execute("SELECT NEXTVAL('s3')").ok());  // now 6
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("DROP SEQUENCE s3").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  auto v = db_.Execute("SELECT NEXTVAL('s3')");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->rows()[0][0], Value::Integer(6));
+}
+
+TEST_F(TransactionTest, RollbackUndoesCreateIndex) {
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("CREATE UNIQUE INDEX uq ON t (v)").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  // Constraint gone again: duplicate values insert fine.
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (10, 'a')").ok());
+}
+
+TEST_F(TransactionTest, MixedOperationsRollBackInOrder) {
+  std::string before = Snapshot();
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (4, 'd')").ok());
+  ASSERT_TRUE(db_.Execute("UPDATE t SET v = 'x' WHERE id = 1").ok());
+  ASSERT_TRUE(db_.Execute("DELETE FROM t WHERE id = 2").ok());
+  ASSERT_TRUE(db_.Execute("INSERT INTO t VALUES (5, 'e')").ok());
+  ASSERT_TRUE(db_.Execute("DELETE FROM t WHERE id = 4").ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(Snapshot(), before);
+}
+
+TEST_F(TransactionTest, NoNestedTransactions) {
+  ASSERT_TRUE(db_.Begin().ok());
+  EXPECT_FALSE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Commit().ok());
+}
+
+TEST_F(TransactionTest, CommitWithoutBeginIsError) {
+  EXPECT_FALSE(db_.Commit().ok());
+  EXPECT_FALSE(db_.Rollback().ok());
+}
+
+TEST_F(TransactionTest, SqlLevelBeginCommitRollback) {
+  ASSERT_TRUE(db_.Execute("BEGIN").ok());
+  ASSERT_TRUE(db_.Execute("DELETE FROM t").ok());
+  ASSERT_TRUE(db_.Execute("ROLLBACK").ok());
+  auto rs = db_.Execute("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(rs->rows()[0][0], Value::Integer(3));
+}
+
+TEST_F(TransactionTest, StatsTrackOutcomes) {
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Commit().ok());
+  ASSERT_TRUE(db_.Begin().ok());
+  ASSERT_TRUE(db_.Rollback().ok());
+  EXPECT_EQ(db_.stats().transactions_committed, 1u);
+  EXPECT_EQ(db_.stats().transactions_rolled_back, 1u);
+}
+
+// Property test: random DML batches roll back to a byte-identical
+// snapshot, across several seeds and batch sizes.
+class RandomRollbackTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, int>> {};
+
+TEST_P(RandomRollbackTest, RollbackRestoresExactState) {
+  auto [seed, operations] = GetParam();
+  Database db("prop");
+  ASSERT_TRUE(db.ExecuteScript(R"sql(
+    CREATE TABLE p (id INTEGER PRIMARY KEY, v INTEGER);
+    CREATE SEQUENCE ids START WITH 1000;
+  )sql")
+                  .ok());
+  std::mt19937 rng(seed);
+  for (int i = 0; i < 20; ++i) {
+    Params params;
+    params.Add(Value::Integer(i));
+    params.Add(Value::Integer(static_cast<int64_t>(rng() % 100)));
+    ASSERT_TRUE(db.Execute("INSERT INTO p VALUES (?, ?)", params).ok());
+  }
+  auto snapshot = [&db] {
+    auto rs = db.Execute("SELECT * FROM p ORDER BY id");
+    EXPECT_TRUE(rs.ok());
+    return rs->ToAsciiTable(1000);
+  };
+  std::string before = snapshot();
+
+  ASSERT_TRUE(db.Begin().ok());
+  for (int i = 0; i < operations; ++i) {
+    switch (rng() % 4) {
+      case 0: {
+        Params params;
+        params.Add(Value::Integer(static_cast<int64_t>(1000 + i)));
+        params.Add(Value::Integer(static_cast<int64_t>(rng() % 100)));
+        ASSERT_TRUE(
+            db.Execute("INSERT INTO p VALUES (?, ?)", params).ok());
+        break;
+      }
+      case 1: {
+        Params params;
+        params.Add(Value::Integer(static_cast<int64_t>(rng() % 100)));
+        params.Add(Value::Integer(static_cast<int64_t>(rng() % 20)));
+        ASSERT_TRUE(
+            db.Execute("UPDATE p SET v = ? WHERE id = ?", params).ok());
+        break;
+      }
+      case 2: {
+        Params params;
+        params.Add(Value::Integer(static_cast<int64_t>(rng() % 20)));
+        ASSERT_TRUE(db.Execute("DELETE FROM p WHERE id = ?", params).ok());
+        break;
+      }
+      case 3:
+        ASSERT_TRUE(db.Execute("SELECT NEXTVAL('ids')").ok());
+        break;
+    }
+  }
+  ASSERT_TRUE(db.Rollback().ok());
+  EXPECT_EQ(snapshot(), before);
+  // Sequence value also restored.
+  auto v = db.Execute("SELECT NEXTVAL('ids')");
+  EXPECT_EQ(v->rows()[0][0], Value::Integer(1000));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomRollbackTest,
+    ::testing::Combine(::testing::Values(1u, 7u, 42u, 1234u, 99999u),
+                       ::testing::Values(5, 25, 100)));
+
+}  // namespace
+}  // namespace sqlflow::sql

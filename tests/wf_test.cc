@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include "dataset/data_set.h"
+#include "patterns/fixture.h"
+#include "wf/cursor.h"
+#include "wf/sql_database_activity.h"
+
+namespace sqlflow::wf {
+namespace {
+
+using dataset::DataSet;
+using dataset::DataTablePtr;
+using patterns::Fixture;
+using patterns::MakeFixture;
+
+class WfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fixture = MakeFixture("wf");
+    ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+    fixture_ = std::move(*fixture);
+  }
+
+  Result<wfc::InstanceResult> Run(
+      wfc::ActivityPtr root,
+      const std::function<void(wfc::ProcessDefinition&)>& configure = {}) {
+    auto definition =
+        std::make_shared<wfc::ProcessDefinition>("p", std::move(root));
+    if (configure) configure(*definition);
+    fixture_.engine->DeployOrReplace(definition);
+    return fixture_.engine->RunProcess("p");
+  }
+
+  Fixture fixture_;
+};
+
+TEST_F(WfTest, QueryMaterializesDataSet) {
+  SqlDatabaseActivity::Config config;
+  config.connection_string = Fixture::kConnection;
+  config.statement = "SELECT * FROM Items ORDER BY ItemID";
+  config.result_variable = "DS_Items";
+  config.result_table_name = "Items";
+  auto result = Run(std::make_shared<SqlDatabaseActivity>("q", config));
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  auto set = result->variables.GetObjectAs<DataSet>("DS_Items");
+  ASSERT_TRUE(set.ok());
+  auto table = (*set)->GetTable("Items");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->rows().size(), 5u);
+  EXPECT_EQ((*table)->columns().size(), 2u);
+}
+
+TEST_F(WfTest, DmlReportsAffectedWithoutDataSet) {
+  SqlDatabaseActivity::Config config;
+  config.connection_string = Fixture::kConnection;
+  config.statement = "DELETE FROM Orders WHERE Approved = FALSE";
+  config.affected_variable = "N";
+  config.result_variable = "ShouldStayUnset";
+  auto result = Run(std::make_shared<SqlDatabaseActivity>("d", config));
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_GT(result->variables.GetScalar("N")->integer(), 0);
+  // DML produced no columns ⇒ no DataSet was stored.
+  EXPECT_FALSE(result->variables.Has("ShouldStayUnset"));
+}
+
+TEST_F(WfTest, StaticConnectionStringPerActivity) {
+  // Two activities, two different static connections.
+  auto other = fixture_.engine->data_sources().Open("memdb://second");
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(
+      (*other)->Execute("CREATE TABLE T2 (a INTEGER)").ok());
+  SqlDatabaseActivity::Config c1;
+  c1.connection_string = Fixture::kConnection;
+  c1.statement = "INSERT INTO Items VALUES (100, 'from-1')";
+  SqlDatabaseActivity::Config c2;
+  c2.connection_string = "memdb://second";
+  c2.statement = "INSERT INTO T2 VALUES (1)";
+  std::vector<wfc::ActivityPtr> steps{
+      std::make_shared<SqlDatabaseActivity>("a1", c1),
+      std::make_shared<SqlDatabaseActivity>("a2", c2)};
+  auto result = Run(
+      std::make_shared<wfc::SequenceActivity>("seq", std::move(steps)));
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ((*other)
+                ->Execute("SELECT COUNT(*) FROM T2")
+                ->rows()[0][0],
+            Value::Integer(1));
+}
+
+TEST_F(WfTest, HostVariableParameters) {
+  SqlDatabaseActivity::Config config;
+  config.connection_string = Fixture::kConnection;
+  config.statement =
+      "SELECT COUNT(*) AS n FROM Orders WHERE Quantity >= :q";
+  config.result_variable = "R";
+  auto result = Run(std::make_shared<SqlDatabaseActivity>("q", config),
+                    [](wfc::ProcessDefinition& d) {
+                      d.DeclareVariable("Min",
+                                        wfc::VarValue(Value::Integer(5)));
+                    });
+  // :q unbound → fault.
+  EXPECT_FALSE(result->status.ok());
+
+  SqlDatabaseActivity::Config bound = config;
+  bound.parameters = {{"q", "$Min"}};
+  auto ok_result =
+      Run(std::make_shared<SqlDatabaseActivity>("q", bound),
+          [](wfc::ProcessDefinition& d) {
+            d.DeclareVariable("Min", wfc::VarValue(Value::Integer(5)));
+          });
+  ASSERT_TRUE(ok_result->status.ok()) << ok_result->status.ToString();
+}
+
+TEST_F(WfTest, BeforeAndAfterEventHandlers) {
+  std::vector<std::string> events;
+  SqlDatabaseActivity::Config config;
+  config.connection_string = Fixture::kConnection;
+  config.statement = "SELECT COUNT(*) FROM Orders WHERE Quantity >= :q";
+  config.parameters = {{"q", "$Min"}};
+  config.before = [&events](wfc::ProcessContext& ctx) -> Status {
+    // Classic use: initialize parameter values before the statement.
+    events.push_back("before");
+    ctx.variables().Set("Min", wfc::VarValue(Value::Integer(1)));
+    return Status::OK();
+  };
+  config.after = [&events](wfc::ProcessContext&,
+                           sql::ResultSet& result) -> Status {
+    events.push_back("after:" + std::to_string(result.row_count()));
+    return Status::OK();
+  };
+  auto result = Run(std::make_shared<SqlDatabaseActivity>("q", config));
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "before");
+  EXPECT_EQ(events[1], "after:1");
+}
+
+TEST_F(WfTest, BeforeHandlerFaultAbortsStatement) {
+  SqlDatabaseActivity::Config config;
+  config.connection_string = Fixture::kConnection;
+  config.statement = "DELETE FROM Orders";
+  config.before = [](wfc::ProcessContext&) {
+    return Status::ExecutionError("abort");
+  };
+  auto result = Run(std::make_shared<SqlDatabaseActivity>("d", config));
+  EXPECT_FALSE(result->status.ok());
+  auto count = fixture_.db->Execute("SELECT COUNT(*) FROM Orders");
+  EXPECT_GT(count->rows()[0][0].integer(), 0);
+}
+
+TEST_F(WfTest, StoredProcedureCallMaterializes) {
+  SqlDatabaseActivity::Config config;
+  config.connection_string = Fixture::kConnection;
+  config.statement = "CALL TopItems(2)";
+  config.result_variable = "Top";
+  auto result = Run(std::make_shared<SqlDatabaseActivity>("c", config));
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  auto set = result->variables.GetObjectAs<DataSet>("Top");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ((*(*set)->SoleTable())->rows().size(), 2u);
+}
+
+TEST_F(WfTest, CursorHelpersIterate) {
+  SqlDatabaseActivity::Config config;
+  config.connection_string = Fixture::kConnection;
+  config.statement = "SELECT ItemID FROM Items ORDER BY ItemID";
+  config.result_variable = "DS";
+  auto fetch = FetchRowSnippet("fetch", "DS", "Pos",
+                               {{"ItemID", "Current"}});
+  auto collect = std::make_shared<wfc::SnippetActivity>(
+      "collect", [](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(Value current,
+                                 ctx.variables().GetScalar("Current"));
+        SQLFLOW_ASSIGN_OR_RETURN(Value acc,
+                                 ctx.variables().GetScalar("Acc"));
+        ctx.variables().Set(
+            "Acc", wfc::VarValue(Value::String(
+                       acc.AsString() + current.AsString() + ",")));
+        return Status::OK();
+      });
+  std::vector<wfc::ActivityPtr> body_steps{fetch, collect};
+  auto loop = std::make_shared<wfc::WhileActivity>(
+      "w", DataSetHasMoreRows("DS", "Pos"),
+      std::make_shared<wfc::SequenceActivity>("b",
+                                              std::move(body_steps)));
+  std::vector<wfc::ActivityPtr> steps{
+      std::make_shared<SqlDatabaseActivity>("q", config), loop};
+  auto result = Run(
+      std::make_shared<wfc::SequenceActivity>("seq", std::move(steps)),
+      [](wfc::ProcessDefinition& d) {
+        d.DeclareVariable("Pos", wfc::VarValue(Value::Integer(0)));
+        d.DeclareVariable("Acc", wfc::VarValue(Value::String("")));
+      });
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(*result->variables.GetScalar("Acc"),
+            Value::String("1,2,3,4,5,"));
+}
+
+TEST_F(WfTest, CursorSkipsDeletedRows) {
+  auto seed = std::make_shared<wfc::SnippetActivity>(
+      "seed", [](wfc::ProcessContext& ctx) -> Status {
+        auto set = std::make_shared<DataSet>();
+        SQLFLOW_ASSIGN_OR_RETURN(DataTablePtr table,
+                                 set->AddTable("T", {"V"}));
+        table->LoadRow({Value::Integer(1)});
+        table->LoadRow({Value::Integer(2)});
+        table->LoadRow({Value::Integer(3)});
+        SQLFLOW_RETURN_IF_ERROR(table->MarkDeleted(1));
+        ctx.variables().Set("DS", wfc::VarValue(wfc::ObjectPtr(set)));
+        return Status::OK();
+      });
+  auto fetch = FetchRowSnippet("fetch", "DS", "Pos", {{"V", "Cur"}});
+  auto collect = std::make_shared<wfc::SnippetActivity>(
+      "collect", [](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(Value cur,
+                                 ctx.variables().GetScalar("Cur"));
+        SQLFLOW_ASSIGN_OR_RETURN(Value acc,
+                                 ctx.variables().GetScalar("Acc"));
+        ctx.variables().Set(
+            "Acc",
+            wfc::VarValue(Value::String(acc.AsString() + cur.AsString())));
+        return Status::OK();
+      });
+  std::vector<wfc::ActivityPtr> body{fetch, collect};
+  auto loop = std::make_shared<wfc::WhileActivity>(
+      "w", DataSetHasMoreRows("DS", "Pos"),
+      std::make_shared<wfc::SequenceActivity>("b", std::move(body)));
+  std::vector<wfc::ActivityPtr> steps{seed, loop};
+  auto result = Run(
+      std::make_shared<wfc::SequenceActivity>("seq", std::move(steps)),
+      [](wfc::ProcessDefinition& d) {
+        d.DeclareVariable("Pos", wfc::VarValue(Value::Integer(0)));
+        d.DeclareVariable("Acc", wfc::VarValue(Value::String("")));
+      });
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(*result->variables.GetScalar("Acc"), Value::String("13"));
+}
+
+TEST_F(WfTest, DataSetHasMoreRowsRequiresDataSetVariable) {
+  auto loop = std::make_shared<wfc::WhileActivity>(
+      "w", DataSetHasMoreRows("Missing", "Pos"),
+      std::make_shared<wfc::EmptyActivity>("e"));
+  auto result = Run(loop, [](wfc::ProcessDefinition& d) {
+    d.DeclareVariable("Pos", wfc::VarValue(Value::Integer(0)));
+  });
+  EXPECT_FALSE(result->status.ok());
+}
+
+TEST_F(WfTest, BadSqlFaultsActivity) {
+  SqlDatabaseActivity::Config config;
+  config.connection_string = Fixture::kConnection;
+  config.statement = "SELEKT broken";
+  auto result = Run(std::make_shared<SqlDatabaseActivity>("q", config));
+  EXPECT_FALSE(result->status.ok());
+  EXPECT_EQ(result->audit.CountKind(
+                wfc::AuditEventKind::kActivityFaulted),
+            1u);
+}
+
+TEST_F(WfTest, BadConnectionStringFaults) {
+  SqlDatabaseActivity::Config config;
+  config.connection_string = "bogus";
+  config.statement = "SELECT 1";
+  auto result = Run(std::make_shared<SqlDatabaseActivity>("q", config));
+  EXPECT_FALSE(result->status.ok());
+}
+
+}  // namespace
+}  // namespace sqlflow::wf

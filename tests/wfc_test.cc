@@ -1,0 +1,582 @@
+#include <gtest/gtest.h>
+
+#include "wfc/engine.h"
+#include "xml/parser.h"
+
+namespace sqlflow::wfc {
+namespace {
+
+// --- VariableSet ----------------------------------------------------------------
+
+TEST(VariableSetTest, DeclareAndGet) {
+  VariableSet vars;
+  ASSERT_TRUE(vars.Declare("x", VarValue(Value::Integer(1))).ok());
+  EXPECT_TRUE(vars.Has("x"));
+  EXPECT_FALSE(vars.Has("y"));
+  EXPECT_EQ(*vars.GetScalar("x"), Value::Integer(1));
+  EXPECT_FALSE(vars.Declare("x").ok());  // duplicate
+  EXPECT_FALSE(vars.Get("y").ok());
+}
+
+TEST(VariableSetTest, SetImplicitlyDeclares) {
+  VariableSet vars;
+  vars.Set("x", VarValue(Value::String("v")));
+  EXPECT_TRUE(vars.Has("x"));
+}
+
+TEST(VariableSetTest, TypedAccessorsCheckKind) {
+  VariableSet vars;
+  vars.Set("s", VarValue(Value::Integer(1)));
+  vars.Set("x", VarValue(xml::Node::Element("doc")));
+  EXPECT_TRUE(vars.GetScalar("s").ok());
+  EXPECT_FALSE(vars.GetXml("s").ok());
+  EXPECT_TRUE(vars.GetXml("x").ok());
+  EXPECT_FALSE(vars.GetScalar("x").ok());
+  EXPECT_FALSE(vars.GetObject("x").ok());
+}
+
+class FakeObject : public Object {
+ public:
+  std::string TypeName() const override { return "Fake"; }
+};
+class OtherObject : public Object {
+ public:
+  std::string TypeName() const override { return "Other"; }
+};
+
+TEST(VariableSetTest, GetObjectAsHandlesNullObject) {
+  VariableSet vars;
+  vars.Set("o", VarValue(ObjectPtr(nullptr)));
+  auto result = vars.GetObjectAs<FakeObject>("o");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTypeError);
+}
+
+TEST(VariableSetTest, GetObjectAsChecksDynamicType) {
+  VariableSet vars;
+  vars.Set("o", VarValue(ObjectPtr(std::make_shared<FakeObject>())));
+  EXPECT_TRUE(vars.GetObjectAs<FakeObject>("o").ok());
+  auto wrong = vars.GetObjectAs<OtherObject>("o");
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kTypeError);
+}
+
+TEST(VariableSetTest, DescribeVarValue) {
+  EXPECT_EQ(DescribeVarValue(VarValue{}), "(unset)");
+  EXPECT_EQ(DescribeVarValue(VarValue(Value::Integer(5))), "5");
+  xml::NodePtr doc = xml::Node::Element("R");
+  doc->AddElement("c", "x");
+  EXPECT_EQ(DescribeVarValue(VarValue(doc)), "<R> (1 children)");
+  EXPECT_EQ(DescribeVarValue(
+                VarValue(ObjectPtr(std::make_shared<FakeObject>()))),
+            "Fake");
+}
+
+// --- engine / activities ------------------------------------------------------
+
+class EngineTest : public ::testing::Test {
+ protected:
+  Result<InstanceResult> Run(
+      ActivityPtr root,
+      const std::function<void(ProcessDefinition&)>& configure = {}) {
+    auto definition =
+        std::make_shared<ProcessDefinition>("p", std::move(root));
+    if (configure) configure(*definition);
+    engine_.DeployOrReplace(definition);
+    return engine_.RunProcess("p");
+  }
+
+  WorkflowEngine engine_{"test-engine"};
+};
+
+TEST_F(EngineTest, DeployAndRunEmptyProcess) {
+  auto result = Run(std::make_shared<EmptyActivity>("noop"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok());
+  EXPECT_EQ(engine_.stats().instances_completed, 1u);
+}
+
+TEST_F(EngineTest, DuplicateDeployRejectedReplaceAllowed) {
+  auto def = std::make_shared<ProcessDefinition>(
+      "dup", std::make_shared<EmptyActivity>("e"));
+  ASSERT_TRUE(engine_.Deploy(def).ok());
+  EXPECT_FALSE(engine_.Deploy(def).ok());
+  engine_.DeployOrReplace(def);  // fine
+  EXPECT_TRUE(engine_.IsDeployed("dup"));
+  ASSERT_TRUE(engine_.Undeploy("dup").ok());
+  EXPECT_FALSE(engine_.Undeploy("dup").ok());
+}
+
+TEST_F(EngineTest, UnknownProcessIsNotFound) {
+  EXPECT_EQ(engine_.RunProcess("nope").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(EngineTest, InputsOverrideDeclaredVariables) {
+  auto result =
+      Run(std::make_shared<EmptyActivity>("e"),
+          [](ProcessDefinition& d) {
+            d.DeclareVariable("x", VarValue(Value::Integer(1)));
+          });
+  EXPECT_EQ(*result->variables.GetScalar("x"), Value::Integer(1));
+
+  std::map<std::string, VarValue> inputs{
+      {"x", VarValue(Value::Integer(9))}};
+  auto overridden = engine_.RunProcess("p", inputs);
+  EXPECT_EQ(*overridden->variables.GetScalar("x"), Value::Integer(9));
+}
+
+TEST_F(EngineTest, SequenceRunsInOrder) {
+  std::vector<int> order;
+  std::vector<ActivityPtr> children;
+  for (int i = 0; i < 3; ++i) {
+    children.push_back(std::make_shared<SnippetActivity>(
+        "s" + std::to_string(i), [i, &order](ProcessContext&) {
+          order.push_back(i);
+          return Status::OK();
+        }));
+  }
+  auto result = Run(std::make_shared<SequenceActivity>(
+      "seq", std::move(children)));
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST_F(EngineTest, SequenceStopsAtFault) {
+  int ran = 0;
+  std::vector<ActivityPtr> children;
+  children.push_back(std::make_shared<SnippetActivity>(
+      "ok", [&ran](ProcessContext&) {
+        ++ran;
+        return Status::OK();
+      }));
+  children.push_back(std::make_shared<SnippetActivity>(
+      "fail", [](ProcessContext&) {
+        return Status::ExecutionError("boom");
+      }));
+  children.push_back(std::make_shared<SnippetActivity>(
+      "never", [&ran](ProcessContext&) {
+        ++ran;
+        return Status::OK();
+      }));
+  auto result = Run(
+      std::make_shared<SequenceActivity>("seq", std::move(children)));
+  EXPECT_FALSE(result->status.ok());
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(engine_.stats().instances_faulted, 1u);
+}
+
+TEST_F(EngineTest, WhileLoopWithXPathCondition) {
+  auto body = std::make_shared<SnippetActivity>(
+      "inc", [](ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(Value i, ctx.variables().GetScalar("i"));
+        ctx.variables().Set(
+            "i", VarValue(Value::Integer(i.integer() + 1)));
+        return Status::OK();
+      });
+  auto result = Run(
+      std::make_shared<WhileActivity>("w", Condition::XPath("$i < 5"),
+                                      body),
+      [](ProcessDefinition& d) {
+        d.DeclareVariable("i", VarValue(Value::Integer(0)));
+      });
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(*result->variables.GetScalar("i"), Value::Integer(5));
+}
+
+TEST_F(EngineTest, WhileGuardsAgainstRunaway) {
+  auto body = std::make_shared<EmptyActivity>("noop");
+  auto loop = std::make_shared<WhileActivity>(
+      "w", Condition::XPath("true()"), body, /*max_iterations=*/10);
+  auto result = Run(loop);
+  EXPECT_FALSE(result->status.ok());
+}
+
+TEST_F(EngineTest, FlowRunsAllBranches) {
+  std::vector<int> ran;
+  std::vector<ActivityPtr> branches;
+  for (int i = 0; i < 3; ++i) {
+    branches.push_back(std::make_shared<SnippetActivity>(
+        "b" + std::to_string(i), [i, &ran](ProcessContext&) {
+          ran.push_back(i);
+          return Status::OK();
+        }));
+  }
+  auto result =
+      Run(std::make_shared<FlowActivity>("flow", std::move(branches)));
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(ran.size(), 3u);
+}
+
+TEST_F(EngineTest, FlowAttemptsAllBranchesDespiteFault) {
+  int ran = 0;
+  std::vector<ActivityPtr> branches;
+  branches.push_back(std::make_shared<SnippetActivity>(
+      "bad", [](ProcessContext&) {
+        return Status::ExecutionError("branch one down");
+      }));
+  branches.push_back(std::make_shared<SnippetActivity>(
+      "good", [&ran](ProcessContext&) {
+        ++ran;
+        return Status::OK();
+      }));
+  auto result =
+      Run(std::make_shared<FlowActivity>("flow", std::move(branches)));
+  EXPECT_FALSE(result->status.ok());
+  EXPECT_NE(result->status.message().find("branch one down"),
+            std::string::npos);
+  EXPECT_EQ(ran, 1);  // the healthy branch still ran
+}
+
+TEST_F(EngineTest, RepeatUntilRunsBodyAtLeastOnce) {
+  int ran = 0;
+  auto body = std::make_shared<SnippetActivity>(
+      "body", [&ran](ProcessContext&) {
+        ++ran;
+        return Status::OK();
+      });
+  // Condition true immediately: exactly one iteration.
+  auto result = Run(std::make_shared<RepeatUntilActivity>(
+      "r", body, Condition::XPath("true()")));
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(ran, 1);
+}
+
+TEST_F(EngineTest, RepeatUntilLoopsUntilConditionHolds) {
+  auto body = std::make_shared<SnippetActivity>(
+      "inc", [](ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(Value i, ctx.variables().GetScalar("i"));
+        ctx.variables().Set("i",
+                            VarValue(Value::Integer(i.integer() + 1)));
+        return Status::OK();
+      });
+  auto result = Run(std::make_shared<RepeatUntilActivity>(
+                        "r", body, Condition::XPath("$i >= 5")),
+                    [](ProcessDefinition& d) {
+                      d.DeclareVariable("i",
+                                        VarValue(Value::Integer(0)));
+                    });
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(*result->variables.GetScalar("i"), Value::Integer(5));
+}
+
+TEST_F(EngineTest, RepeatUntilGuardsAgainstRunaway) {
+  auto body = std::make_shared<EmptyActivity>("noop");
+  auto result = Run(std::make_shared<RepeatUntilActivity>(
+      "r", body, Condition::XPath("false()"), /*max_iterations=*/8));
+  EXPECT_FALSE(result->status.ok());
+}
+
+TEST_F(EngineTest, IfElseTakesCorrectBranch) {
+  auto make = [this](int x) {
+    auto then_branch = std::make_shared<SnippetActivity>(
+        "then", [](ProcessContext& ctx) {
+          ctx.variables().Set("out", VarValue(Value::String("then")));
+          return Status::OK();
+        });
+    auto else_branch = std::make_shared<SnippetActivity>(
+        "else", [](ProcessContext& ctx) {
+          ctx.variables().Set("out", VarValue(Value::String("else")));
+          return Status::OK();
+        });
+    return Run(std::make_shared<IfElseActivity>(
+                   "if", Condition::XPath("$x > 0"), then_branch,
+                   else_branch),
+               [x](ProcessDefinition& d) {
+                 d.DeclareVariable("x", VarValue(Value::Integer(x)));
+               });
+  };
+  EXPECT_EQ(*make(1)->variables.GetScalar("out"), Value::String("then"));
+  EXPECT_EQ(*make(-1)->variables.GetScalar("out"), Value::String("else"));
+}
+
+TEST_F(EngineTest, IfElseWithNullBranchIsNoop) {
+  auto result = Run(std::make_shared<IfElseActivity>(
+      "if", Condition::XPath("false()"), nullptr, nullptr));
+  EXPECT_TRUE(result->status.ok());
+}
+
+TEST_F(EngineTest, NativeCondition) {
+  bool called = false;
+  auto cond = Condition::Native([&called](ProcessContext&) {
+    called = true;
+    return Result<bool>(false);
+  });
+  auto result = Run(std::make_shared<IfElseActivity>(
+      "if", std::move(cond), std::make_shared<EmptyActivity>("t"),
+      nullptr));
+  EXPECT_TRUE(result->status.ok());
+  EXPECT_TRUE(called);
+}
+
+TEST_F(EngineTest, EmptyConditionIsError) {
+  auto result = Run(std::make_shared<IfElseActivity>(
+      "if", Condition(), std::make_shared<EmptyActivity>("t"), nullptr));
+  EXPECT_FALSE(result->status.ok());
+}
+
+TEST_F(EngineTest, AssignLiteralAndExpr) {
+  auto assign = std::make_shared<AssignActivity>("a");
+  assign->CopyLiteral(Value::Integer(7), "lit");
+  assign->CopyExpr("$lit + 1", "computed");
+  assign->CopyExpr("concat('v=', string($lit))", "text");
+  auto result = Run(assign, [](ProcessDefinition& d) {
+    d.DeclareVariable("lit");
+  });
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(*result->variables.GetScalar("lit"), Value::Integer(7));
+  EXPECT_EQ(*result->variables.GetScalar("computed"), Value::Integer(8));
+  EXPECT_EQ(*result->variables.GetScalar("text"), Value::String("v=7"));
+}
+
+TEST_F(EngineTest, AssignNodeSetStoresXmlClone) {
+  xml::NodePtr doc = xml::Node::Element("R");
+  doc->AddElement("c", "1");
+  auto assign = std::make_shared<AssignActivity>("a");
+  assign->CopyExpr("$doc/c", "copy");
+  auto result = Run(assign, [&doc](ProcessDefinition& d) {
+    d.DeclareVariable("doc", VarValue(doc));
+  });
+  ASSERT_TRUE(result->status.ok());
+  auto copy = result->variables.GetXml("copy");
+  ASSERT_TRUE(copy.ok());
+  EXPECT_EQ((*copy)->name(), "c");
+  EXPECT_NE(copy->get(), doc->children()[0].get());  // clone
+}
+
+TEST_F(EngineTest, AssignToNodeWritesIntoDocument) {
+  xml::NodePtr doc = xml::Node::Element("R");
+  doc->AddElement("c", "old");
+  auto assign = std::make_shared<AssignActivity>("a");
+  assign->CopyExprToNode("'new'", "doc", "$doc/c");
+  auto result = Run(assign, [&doc](ProcessDefinition& d) {
+    d.DeclareVariable("doc", VarValue(doc));
+  });
+  ASSERT_TRUE(result->status.ok());
+  auto out = result->variables.GetXml("doc");
+  EXPECT_EQ((*out)->FindFirst("c")->TextContent(), "new");
+}
+
+TEST_F(EngineTest, AssignToMissingNodeIsNotFound) {
+  xml::NodePtr doc = xml::Node::Element("R");
+  auto assign = std::make_shared<AssignActivity>("a");
+  assign->CopyExprToNode("'x'", "doc", "$doc/nope");
+  auto result = Run(assign, [&doc](ProcessDefinition& d) {
+    d.DeclareVariable("doc", VarValue(doc));
+  });
+  EXPECT_FALSE(result->status.ok());
+}
+
+TEST_F(EngineTest, AssignFnSource) {
+  auto assign = std::make_shared<AssignActivity>("a");
+  assign->CopyFn(
+      [](ProcessContext&) -> Result<VarValue> {
+        return VarValue(Value::String("from-fn"));
+      },
+      "out");
+  auto result = Run(assign);
+  EXPECT_EQ(*result->variables.GetScalar("out"),
+            Value::String("from-fn"));
+}
+
+TEST_F(EngineTest, InvokeCallsServiceAndStoresResponse) {
+  auto echo = std::make_shared<SimpleWebService>(
+      "Echo", std::vector<std::string>{"a", "b"},
+      [](const std::vector<Value>& args) -> Result<Value> {
+        return Value::String(args[0].AsString() + "+" +
+                             args[1].AsString());
+      });
+  ASSERT_TRUE(engine_.services().Register(echo).ok());
+  auto invoke = std::make_shared<InvokeActivity>(
+      "inv", "Echo",
+      std::vector<std::pair<std::string, std::string>>{{"a", "$x"},
+                                                       {"b", "'two'"}},
+      "out");
+  auto result = Run(invoke, [](ProcessDefinition& d) {
+    d.DeclareVariable("x", VarValue(Value::Integer(1)));
+  });
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(*result->variables.GetScalar("out"), Value::String("1+two"));
+  EXPECT_EQ(echo->invocation_count(), 1u);
+  EXPECT_EQ(result->audit.CountKind(AuditEventKind::kServiceInvoked), 1u);
+}
+
+TEST_F(EngineTest, InvokeUnknownServiceFaults) {
+  auto invoke = std::make_shared<InvokeActivity>(
+      "inv", "NoSuch",
+      std::vector<std::pair<std::string, std::string>>{}, "");
+  EXPECT_FALSE(Run(invoke)->status.ok());
+}
+
+TEST_F(EngineTest, TerminateSkipsRemainingActivities) {
+  int ran = 0;
+  std::vector<ActivityPtr> children;
+  children.push_back(std::make_shared<TerminateActivity>("stop"));
+  children.push_back(std::make_shared<SnippetActivity>(
+      "after", [&ran](ProcessContext&) {
+        ++ran;
+        return Status::OK();
+      }));
+  auto result = Run(
+      std::make_shared<SequenceActivity>("seq", std::move(children)));
+  EXPECT_TRUE(result->status.ok());
+  EXPECT_EQ(ran, 0);
+}
+
+TEST_F(EngineTest, ScopeFaultHandlerRecovers) {
+  auto body = std::make_shared<SnippetActivity>(
+      "bad", [](ProcessContext&) {
+        return Status::ExecutionError("boom");
+      });
+  auto handler = std::make_shared<SnippetActivity>(
+      "handler", [](ProcessContext& ctx) {
+        ctx.variables().Set("handled", VarValue(Value::Boolean(true)));
+        return Status::OK();
+      });
+  auto result = Run(std::make_shared<ScopeActivity>("s", body, handler));
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(*result->variables.GetScalar("handled"),
+            Value::Boolean(true));
+}
+
+TEST_F(EngineTest, ScopeWithoutHandlerPropagates) {
+  auto body = std::make_shared<SnippetActivity>(
+      "bad", [](ProcessContext&) {
+        return Status::ExecutionError("boom");
+      });
+  auto result =
+      Run(std::make_shared<ScopeActivity>("s", body, nullptr));
+  EXPECT_FALSE(result->status.ok());
+}
+
+TEST_F(EngineTest, AuditTrailBracketsActivities) {
+  auto result = Run(std::make_shared<EmptyActivity>("probe"));
+  const AuditTrail& audit = result->audit;
+  ASSERT_GE(audit.size(), 4u);
+  EXPECT_EQ(audit.events().front().kind,
+            AuditEventKind::kInstanceStarted);
+  EXPECT_EQ(audit.events().back().kind,
+            AuditEventKind::kInstanceCompleted);
+  EXPECT_EQ(audit.CountKind(AuditEventKind::kActivityStarted), 1u);
+  EXPECT_EQ(audit.CountKind(AuditEventKind::kActivityCompleted), 1u);
+  EXPECT_NE(audit.ToString().find("probe"), std::string::npos);
+}
+
+TEST_F(EngineTest, AuditRecordsFaults) {
+  auto result = Run(std::make_shared<SnippetActivity>(
+      "bad",
+      [](ProcessContext&) { return Status::ExecutionError("x"); }));
+  EXPECT_EQ(result->audit.CountKind(AuditEventKind::kActivityFaulted),
+            1u);
+  EXPECT_EQ(result->audit.CountKind(AuditEventKind::kInstanceFaulted),
+            1u);
+}
+
+TEST_F(EngineTest, StartAndCompleteHooksRun) {
+  std::vector<std::string> events;
+  auto result = Run(std::make_shared<EmptyActivity>("e"),
+                    [&events](ProcessDefinition& d) {
+                      d.OnStart([&events](ProcessContext&) {
+                        events.push_back("start");
+                        return Status::OK();
+                      });
+                      d.OnComplete([&events](ProcessContext&) {
+                        events.push_back("complete");
+                        return Status::OK();
+                      });
+                    });
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(events, (std::vector<std::string>{"start", "complete"}));
+}
+
+TEST_F(EngineTest, CompleteHooksRunEvenOnFault) {
+  bool cleanup_ran = false;
+  auto result = Run(
+      std::make_shared<SnippetActivity>(
+          "bad",
+          [](ProcessContext&) { return Status::ExecutionError("x"); }),
+      [&cleanup_ran](ProcessDefinition& d) {
+        d.OnComplete([&cleanup_ran](ProcessContext&) {
+          cleanup_ran = true;
+          return Status::OK();
+        });
+      });
+  EXPECT_FALSE(result->status.ok());
+  EXPECT_TRUE(cleanup_ran);
+}
+
+TEST_F(EngineTest, InstanceListenersObserveOutcomes) {
+  std::vector<std::pair<uint64_t, bool>> seen;
+  engine_.AddInstanceListener([&seen](const InstanceResult& result) {
+    seen.emplace_back(result.instance_id, result.status.ok());
+  });
+  ASSERT_TRUE(Run(std::make_shared<EmptyActivity>("ok")).ok());
+  ASSERT_TRUE(Run(std::make_shared<SnippetActivity>(
+                      "bad",
+                      [](ProcessContext&) {
+                        return Status::ExecutionError("x");
+                      }))
+                  .ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_TRUE(seen[0].second);
+  EXPECT_FALSE(seen[1].second);
+  EXPECT_LT(seen[0].first, seen[1].first);
+}
+
+TEST_F(EngineTest, InstanceIdsIncrement) {
+  auto def = std::make_shared<ProcessDefinition>(
+      "p", std::make_shared<EmptyActivity>("e"));
+  engine_.DeployOrReplace(def);
+  auto r1 = engine_.RunProcess("p");
+  auto r2 = engine_.RunProcess("p");
+  EXPECT_LT(r1->instance_id, r2->instance_id);
+}
+
+// --- services ------------------------------------------------------------------
+
+TEST(ServiceTest, RequestResponseHelpers) {
+  xml::NodePtr request = MakeRequest(
+      {{"a", Value::Integer(1)}, {"b", Value::String("x")}});
+  EXPECT_EQ(*GetRequestParam(request, "a"), Value::Integer(1));
+  EXPECT_EQ(*GetRequestParam(request, "b"), Value::String("x"));
+  EXPECT_FALSE(GetRequestParam(request, "c").ok());
+
+  xml::NodePtr response = MakeResponse(Value::Boolean(true));
+  EXPECT_EQ(*GetResponseValue(response), Value::Boolean(true));
+}
+
+TEST(ServiceTest, TypedValuesRoundTripThroughMessages) {
+  for (const Value& v :
+       {Value::Integer(-5), Value::Double(2.5), Value::Boolean(false),
+        Value::String("hello"), Value::Null()}) {
+    xml::NodePtr request = MakeRequest({{"p", v}});
+    EXPECT_EQ(*GetRequestParam(request, "p"), v) << v.ToString();
+  }
+}
+
+TEST(ServiceTest, RegistryRejectsDuplicates) {
+  ServiceRegistry registry;
+  auto service = std::make_shared<SimpleWebService>(
+      "S", std::vector<std::string>{},
+      [](const std::vector<Value>&) -> Result<Value> {
+        return Value::Null();
+      });
+  ASSERT_TRUE(registry.Register(service).ok());
+  EXPECT_FALSE(registry.Register(service).ok());
+  EXPECT_TRUE(registry.Find("S").ok());
+  EXPECT_FALSE(registry.Find("T").ok());
+  EXPECT_EQ(registry.ServiceNames().size(), 1u);
+}
+
+TEST(ServiceTest, MissingParameterFaultsInvocation) {
+  SimpleWebService service(
+      "S", std::vector<std::string>{"needed"},
+      [](const std::vector<Value>&) -> Result<Value> {
+        return Value::Null();
+      });
+  xml::NodePtr request = MakeRequest({});
+  EXPECT_FALSE(service.Invoke(request).ok());
+}
+
+}  // namespace
+}  // namespace sqlflow::wfc

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace sqlflow::xml {
+namespace {
+
+TEST(NodeTest, ElementConstruction) {
+  NodePtr e = Node::Element("Row");
+  EXPECT_TRUE(e->is_element());
+  EXPECT_EQ(e->name(), "Row");
+  EXPECT_EQ(e->child_count(), 0u);
+}
+
+TEST(NodeTest, TextConstruction) {
+  NodePtr t = Node::Text("hello");
+  EXPECT_TRUE(t->is_text());
+  EXPECT_EQ(t->text(), "hello");
+}
+
+TEST(NodeTest, AppendChildSetsParent) {
+  NodePtr parent = Node::Element("p");
+  NodePtr child = parent->AppendChild(Node::Element("c"));
+  EXPECT_EQ(child->parent(), parent);
+  EXPECT_EQ(child->IndexInParent(), 0);
+}
+
+TEST(NodeTest, AppendChildReparents) {
+  NodePtr a = Node::Element("a");
+  NodePtr b = Node::Element("b");
+  NodePtr child = a->AppendChild(Node::Element("c"));
+  b->AppendChild(child);
+  EXPECT_EQ(a->child_count(), 0u);
+  EXPECT_EQ(child->parent(), b);
+}
+
+TEST(NodeTest, InsertAndRemoveChildren) {
+  NodePtr parent = Node::Element("p");
+  parent->AppendChild(Node::Element("a"));
+  parent->AppendChild(Node::Element("c"));
+  ASSERT_TRUE(parent->InsertChild(1, Node::Element("b")).ok());
+  EXPECT_EQ(parent->children()[1]->name(), "b");
+  ASSERT_TRUE(parent->RemoveChildAt(0).ok());
+  EXPECT_EQ(parent->children()[0]->name(), "b");
+  EXPECT_FALSE(parent->RemoveChildAt(9).ok());
+  EXPECT_FALSE(parent->InsertChild(9, Node::Element("x")).ok());
+}
+
+TEST(NodeTest, RemoveChildByPointer) {
+  NodePtr parent = Node::Element("p");
+  NodePtr child = parent->AppendChild(Node::Element("c"));
+  EXPECT_TRUE(parent->RemoveChild(child).ok());
+  EXPECT_FALSE(parent->RemoveChild(child).ok());
+  EXPECT_EQ(child->parent(), nullptr);
+}
+
+TEST(NodeTest, Attributes) {
+  NodePtr e = Node::Element("e");
+  e->SetAttribute("a", "1");
+  e->SetAttribute("b", "2");
+  e->SetAttribute("a", "3");  // overwrite keeps position
+  EXPECT_EQ(*e->GetAttribute("a"), "3");
+  EXPECT_EQ(e->attributes().size(), 2u);
+  EXPECT_FALSE(e->GetAttribute("c").has_value());
+  EXPECT_TRUE(e->RemoveAttribute("a"));
+  EXPECT_FALSE(e->RemoveAttribute("a"));
+}
+
+TEST(NodeTest, TextContentIsRecursive) {
+  NodePtr root = Node::Element("r");
+  root->AddElement("a", "x");
+  root->AddElement("b", "y");
+  EXPECT_EQ(root->TextContent(), "xy");
+}
+
+TEST(NodeTest, SetTextContentReplacesChildren) {
+  NodePtr root = Node::Element("r");
+  root->AddElement("a", "x");
+  root->SetTextContent("new");
+  EXPECT_EQ(root->child_count(), 1u);
+  EXPECT_EQ(root->TextContent(), "new");
+  root->SetTextContent("");
+  EXPECT_EQ(root->child_count(), 0u);
+}
+
+TEST(NodeTest, FindFirstAndFindAll) {
+  NodePtr root = Node::Element("r");
+  root->AddElement("a", "1");
+  root->AddElement("b", "2");
+  root->AddElement("a", "3");
+  EXPECT_EQ(root->FindFirst("a")->TextContent(), "1");
+  EXPECT_EQ(root->FindFirst("z"), nullptr);
+  EXPECT_EQ(root->FindAll("a").size(), 2u);
+}
+
+TEST(NodeTest, CloneIsDeepAndIndependent) {
+  NodePtr root = Node::Element("r");
+  root->SetAttribute("k", "v");
+  root->AddElement("a", "x");
+  NodePtr copy = root->Clone();
+  EXPECT_TRUE(copy->Equals(*root));
+  copy->FindFirst("a")->SetTextContent("changed");
+  EXPECT_EQ(root->FindFirst("a")->TextContent(), "x");
+  EXPECT_FALSE(copy->Equals(*root));
+}
+
+TEST(NodeTest, EqualsComparesStructure) {
+  NodePtr a = Node::Element("r");
+  a->AddElement("c", "1");
+  NodePtr b = Node::Element("r");
+  b->AddElement("c", "1");
+  EXPECT_TRUE(a->Equals(*b));
+  b->SetAttribute("x", "y");
+  EXPECT_FALSE(a->Equals(*b));
+}
+
+TEST(SerializerTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(EscapeText("a<b>&\"'"),
+            "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(SerializerTest, CompactForm) {
+  NodePtr root = Node::Element("r");
+  root->SetAttribute("k", "v");
+  root->AddElement("c", "x<y");
+  EXPECT_EQ(Serialize(*root), "<r k=\"v\"><c>x&lt;y</c></r>");
+}
+
+TEST(SerializerTest, SelfClosingEmptyElement) {
+  EXPECT_EQ(Serialize(*Node::Element("e")), "<e/>");
+}
+
+TEST(SerializerTest, PrettyFormIndents) {
+  NodePtr root = Node::Element("r");
+  root->AddElement("c", "x");
+  std::string pretty = Serialize(*root, /*pretty=*/true);
+  EXPECT_NE(pretty.find("<r>\n"), std::string::npos);
+  EXPECT_NE(pretty.find("  <c>x</c>"), std::string::npos);
+}
+
+TEST(ParserTest, ParsesElementsAttributesText) {
+  auto doc = Parse("<r k=\"v\"><c>x</c><d/></r>");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ((*doc)->name(), "r");
+  EXPECT_EQ(*(*doc)->GetAttribute("k"), "v");
+  EXPECT_EQ((*doc)->FindFirst("c")->TextContent(), "x");
+  EXPECT_NE((*doc)->FindFirst("d"), nullptr);
+}
+
+TEST(ParserTest, DecodesEntities) {
+  auto doc = Parse("<r a=\"&lt;&amp;&gt;\">&quot;&apos;&#65;</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*(*doc)->GetAttribute("a"), "<&>");
+  EXPECT_EQ((*doc)->TextContent(), "\"'A");
+}
+
+TEST(ParserTest, SkipsDeclarationAndComments) {
+  auto doc = Parse(
+      "<?xml version=\"1.0\"?><!-- head --><r><!-- inner -->x</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->TextContent(), "x");
+}
+
+TEST(ParserTest, CData) {
+  auto doc = Parse("<r><![CDATA[a<b&c]]></r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->TextContent(), "a<b&c");
+}
+
+TEST(ParserTest, WhitespaceOnlyTextDropped) {
+  auto doc = Parse("<r>\n  <c>x</c>\n</r>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->child_count(), 1u);
+}
+
+TEST(ParserTest, SingleQuotedAttributes) {
+  auto doc = Parse("<r a='v'/>");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(*(*doc)->GetAttribute("a"), "v");
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("<r>").ok());                  // unclosed
+  EXPECT_FALSE(Parse("<r></s>").ok());              // mismatch
+  EXPECT_FALSE(Parse("<r a=v/>").ok());             // unquoted attr
+  EXPECT_FALSE(Parse("<r/><extra/>").ok());         // two roots
+  EXPECT_FALSE(Parse("<r>&bogus;</r>").ok());       // unknown entity
+  EXPECT_FALSE(Parse("<r><![CDATA[x]]</r>").ok());  // unclosed CDATA
+}
+
+TEST(ParserTest, MismatchedTagMessageNamesBothTags) {
+  auto doc = Parse("<outer><a></b></outer>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("</b>"), std::string::npos);
+}
+
+// Round-trip property: serialize(parse(x)) is stable.
+class XmlRoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(XmlRoundTripTest, SerializeParseFixpoint) {
+  auto doc = Parse(GetParam());
+  ASSERT_TRUE(doc.ok()) << GetParam();
+  std::string once = Serialize(**doc);
+  auto again = Parse(once);
+  ASSERT_TRUE(again.ok()) << once;
+  EXPECT_TRUE((*doc)->Equals(**again));
+  EXPECT_EQ(Serialize(**again), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, XmlRoundTripTest,
+    ::testing::Values(
+        "<r/>", "<r a=\"1\" b=\"two\"/>", "<r>text</r>",
+        "<r><a>1</a><b><c k=\"v\">deep</c></b></r>",
+        "<RowSet columns=\"A,B\"><Row num=\"1\"><A>1</A><B>x</B></Row>"
+        "</RowSet>",
+        "<r>mixed <b>bold</b> tail</r>",
+        "<r a=\"&lt;&amp;&gt;\">&quot;esc&apos;</r>"));
+
+}  // namespace
+}  // namespace sqlflow::xml

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "wf/sql_database_activity.h"
+#include "wfc/xoml.h"
+
+namespace sqlflow::wfc {
+namespace {
+
+class XomlTest : public ::testing::Test {
+ protected:
+  Result<InstanceResult> LoadAndRun(const std::string& markup) {
+    SQLFLOW_ASSIGN_OR_RETURN(ProcessDefinitionPtr definition,
+                             loader_.LoadProcess(markup));
+    engine_.DeployOrReplace(definition);
+    return engine_.RunProcess(definition->name());
+  }
+
+  XomlLoader loader_;
+  WorkflowEngine engine_{"xoml-engine"};
+};
+
+TEST_F(XomlTest, MinimalProcess) {
+  auto result = LoadAndRun(R"(<Process name="p"><Empty/></Process>)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->status.ok());
+}
+
+TEST_F(XomlTest, VariablesWithTypes) {
+  auto result = LoadAndRun(R"(
+    <Process name="p">
+      <Variables>
+        <Variable name="i" type="integer" value="5"/>
+        <Variable name="d" type="double" value="2.5"/>
+        <Variable name="b" type="boolean" value="true"/>
+        <Variable name="s" type="string" value="hi"/>
+        <Variable name="x" type="xml"><Doc><v>1</v></Doc></Variable>
+      </Variables>
+      <Empty/>
+    </Process>)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(*result->variables.GetScalar("i"), Value::Integer(5));
+  EXPECT_EQ(*result->variables.GetScalar("d"), Value::Double(2.5));
+  EXPECT_EQ(*result->variables.GetScalar("b"), Value::Boolean(true));
+  EXPECT_EQ(*result->variables.GetScalar("s"), Value::String("hi"));
+  auto doc = result->variables.GetXml("x");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ((*doc)->name(), "Doc");
+}
+
+TEST_F(XomlTest, SequenceAssignWhile) {
+  auto result = LoadAndRun(R"(
+    <Process name="count">
+      <Variables>
+        <Variable name="i" type="integer" value="0"/>
+        <Variable name="sum" type="integer" value="0"/>
+      </Variables>
+      <Sequence>
+        <While condition="$i &lt; 4">
+          <Assign>
+            <Copy to="sum" expr="$sum + $i"/>
+            <Copy to="i" expr="$i + 1"/>
+          </Assign>
+        </While>
+        <Assign><Copy to="done" value="yes"/></Assign>
+      </Sequence>
+    </Process>)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(*result->variables.GetScalar("sum"),
+            Value::Integer(0 + 1 + 2 + 3));
+  EXPECT_EQ(*result->variables.GetScalar("done"), Value::String("yes"));
+}
+
+TEST_F(XomlTest, IfElseBranches) {
+  const char* markup = R"(
+    <Process name="branch">
+      <Variables><Variable name="x" type="integer" value="%d"/></Variables>
+      <IfElse condition="$x &gt; 0">
+        <Then><Assign><Copy to="out" value="pos"/></Assign></Then>
+        <Else><Assign><Copy to="out" value="neg"/></Assign></Else>
+      </IfElse>
+    </Process>)";
+  char buffer[1024];
+  snprintf(buffer, sizeof(buffer), markup, 5);
+  auto pos = LoadAndRun(buffer);
+  EXPECT_EQ(*pos->variables.GetScalar("out"), Value::String("pos"));
+  snprintf(buffer, sizeof(buffer), markup, -5);
+  auto neg = LoadAndRun(buffer);
+  EXPECT_EQ(*neg->variables.GetScalar("out"), Value::String("neg"));
+}
+
+TEST_F(XomlTest, FlowElement) {
+  auto result = LoadAndRun(R"(
+    <Process name="p">
+      <Flow>
+        <Assign><Copy to="a" value="1"/></Assign>
+        <Assign><Copy to="b" value="2"/></Assign>
+      </Flow>
+    </Process>)");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(*result->variables.GetScalar("a"), Value::String("1"));
+  EXPECT_EQ(*result->variables.GetScalar("b"), Value::String("2"));
+}
+
+TEST_F(XomlTest, RepeatUntilElement) {
+  auto result = LoadAndRun(R"(
+    <Process name="p">
+      <Variables><Variable name="i" type="integer" value="0"/></Variables>
+      <RepeatUntil until="$i &gt;= 3">
+        <Assign><Copy to="i" expr="$i + 1"/></Assign>
+      </RepeatUntil>
+    </Process>)");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(*result->variables.GetScalar("i"), Value::Integer(3));
+}
+
+TEST_F(XomlTest, RepeatUntilRequiresCondition) {
+  EXPECT_FALSE(loader_
+                   .LoadProcess(R"(<Process name="p"><RepeatUntil>
+                       <Empty/></RepeatUntil></Process>)")
+                   .ok());
+}
+
+TEST_F(XomlTest, InvokeElement) {
+  auto echo = std::make_shared<SimpleWebService>(
+      "Echo", std::vector<std::string>{"v"},
+      [](const std::vector<Value>& args) -> Result<Value> {
+        return Value::String("echo:" + args[0].AsString());
+      });
+  ASSERT_TRUE(engine_.services().Register(echo).ok());
+  auto result = LoadAndRun(R"(
+    <Process name="p">
+      <Invoke service="Echo" output="out">
+        <Input param="v" expr="'hi'"/>
+      </Invoke>
+    </Process>)");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(*result->variables.GetScalar("out"),
+            Value::String("echo:hi"));
+}
+
+TEST_F(XomlTest, TerminateElement) {
+  auto result = LoadAndRun(R"(
+    <Process name="p">
+      <Sequence>
+        <Terminate/>
+        <Assign><Copy to="after" value="ran"/></Assign>
+      </Sequence>
+    </Process>)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok());
+  EXPECT_FALSE(result->variables.Has("after"));
+}
+
+TEST_F(XomlTest, CopyToNode) {
+  auto result = LoadAndRun(R"(
+    <Process name="p">
+      <Variables>
+        <Variable name="doc" type="xml"><R><c>old</c></R></Variable>
+      </Variables>
+      <Assign><Copy to="doc" toNode="$doc/c" expr="'new'"/></Assign>
+    </Process>)");
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  auto doc = result->variables.GetXml("doc");
+  EXPECT_EQ((*doc)->FindFirst("c")->TextContent(), "new");
+}
+
+TEST_F(XomlTest, CustomActivityRegistration) {
+  bool built = false;
+  ASSERT_TRUE(loader_
+                  .RegisterActivityType(
+                      "Custom",
+                      [&built](const xml::Node&, XomlLoader&)
+                          -> Result<ActivityPtr> {
+                        built = true;
+                        return ActivityPtr(
+                            std::make_shared<EmptyActivity>("custom"));
+                      })
+                  .ok());
+  EXPECT_FALSE(loader_.RegisterActivityType("Custom", nullptr).ok());
+  auto result =
+      LoadAndRun(R"(<Process name="p"><Custom/></Process>)");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(built);
+}
+
+TEST_F(XomlTest, SqlDatabaseElementIntegrates) {
+  ASSERT_TRUE(wf::RegisterSqlDatabaseXomlActivity(&loader_).ok());
+  auto db = engine_.data_sources().Open("memdb://x");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)
+                  ->ExecuteScript("CREATE TABLE t (a INTEGER); "
+                                  "INSERT INTO t VALUES (1), (2)")
+                  .ok());
+  auto result = LoadAndRun(R"(
+    <Process name="p">
+      <SqlDatabase connection="memdb://x"
+                   statement="SELECT COUNT(*) AS n FROM t"
+                   result="ds"/>
+    </Process>)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_TRUE(result->variables.GetObject("ds").ok());
+}
+
+TEST_F(XomlTest, LoadErrors) {
+  EXPECT_FALSE(loader_.LoadProcess("<NotProcess/>").ok());
+  EXPECT_FALSE(loader_.LoadProcess("<Process/>").ok());  // no name
+  EXPECT_FALSE(
+      loader_.LoadProcess(R"(<Process name="p"/>)").ok());  // no body
+  EXPECT_FALSE(loader_
+                   .LoadProcess(R"(<Process name="p"><Empty/><Empty/>
+                       </Process>)")
+                   .ok());  // two roots
+  EXPECT_FALSE(loader_
+                   .LoadProcess(R"(<Process name="p"><Unknown/>
+                       </Process>)")
+                   .ok());
+  EXPECT_FALSE(loader_
+                   .LoadProcess(R"(<Process name="p"><While><Empty/>
+                       </While></Process>)")
+                   .ok());  // missing condition
+  EXPECT_FALSE(loader_
+                   .LoadProcess(R"(<Process name="p">
+                       <Assign><Copy expr="1"/></Assign></Process>)")
+                   .ok());  // copy without target
+  EXPECT_FALSE(loader_
+                   .LoadProcess(R"(<Process name="p">
+                       <Assign><Copy to="x" expr="1" value="2"/></Assign>
+                       </Process>)")
+                   .ok());  // both sources
+  EXPECT_FALSE(loader_
+                   .LoadProcess(R"(<Process name="p"><Variables>
+                       <Variable name="v" type="nope"/></Variables>
+                       <Empty/></Process>)")
+                   .ok());
+}
+
+TEST_F(XomlTest, RegisteredTypesListed) {
+  std::vector<std::string> types = loader_.RegisteredActivityTypes();
+  EXPECT_GE(types.size(), 7u);
+}
+
+}  // namespace
+}  // namespace sqlflow::wfc
