@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_atomic_sequence.dir/bench_ablation_atomic_sequence.cc.o"
+  "CMakeFiles/bench_ablation_atomic_sequence.dir/bench_ablation_atomic_sequence.cc.o.d"
+  "bench_ablation_atomic_sequence"
+  "bench_ablation_atomic_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_atomic_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_byref_vs_byvalue.dir/bench_ablation_byref_vs_byvalue.cc.o"
+  "CMakeFiles/bench_ablation_byref_vs_byvalue.dir/bench_ablation_byref_vs_byvalue.cc.o.d"
+  "bench_ablation_byref_vs_byvalue"
+  "bench_ablation_byref_vs_byvalue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_byref_vs_byvalue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rowset_vs_dataset.dir/bench_ablation_rowset_vs_dataset.cc.o"
+  "CMakeFiles/bench_ablation_rowset_vs_dataset.dir/bench_ablation_rowset_vs_dataset.cc.o.d"
+  "bench_ablation_rowset_vs_dataset"
+  "bench_ablation_rowset_vs_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rowset_vs_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ablation_rowset_vs_dataset.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_adapter_vs_inline.dir/bench_fig1_adapter_vs_inline.cc.o"
+  "CMakeFiles/bench_fig1_adapter_vs_inline.dir/bench_fig1_adapter_vs_inline.cc.o.d"
+  "bench_fig1_adapter_vs_inline"
+  "bench_fig1_adapter_vs_inline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_adapter_vs_inline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_datasource.dir/dynamic_datasource.cpp.o"
+  "CMakeFiles/dynamic_datasource.dir/dynamic_datasource.cpp.o.d"
+  "dynamic_datasource"
+  "dynamic_datasource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_datasource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

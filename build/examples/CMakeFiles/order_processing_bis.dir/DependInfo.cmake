@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/order_processing_bis.cpp" "examples/CMakeFiles/order_processing_bis.dir/order_processing_bis.cpp.o" "gcc" "examples/CMakeFiles/order_processing_bis.dir/order_processing_bis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workflows/CMakeFiles/sqlflow_workflows.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/sqlflow_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapter/CMakeFiles/sqlflow_adapter.dir/DependInfo.cmake"
+  "/root/repo/build/src/bis/CMakeFiles/sqlflow_bis.dir/DependInfo.cmake"
+  "/root/repo/build/src/wf/CMakeFiles/sqlflow_wf.dir/DependInfo.cmake"
+  "/root/repo/build/src/soa/CMakeFiles/sqlflow_soa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/sqlflow_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/rowset/CMakeFiles/sqlflow_rowset.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfc/CMakeFiles/sqlflow_wfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/sqlflow_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sqlflow_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sqlflow_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

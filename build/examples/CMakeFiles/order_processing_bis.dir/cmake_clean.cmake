@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_processing_bis.dir/order_processing_bis.cpp.o"
+  "CMakeFiles/order_processing_bis.dir/order_processing_bis.cpp.o.d"
+  "order_processing_bis"
+  "order_processing_bis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_processing_bis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_processing_soa.dir/order_processing_soa.cpp.o"
+  "CMakeFiles/order_processing_soa.dir/order_processing_soa.cpp.o.d"
+  "order_processing_soa"
+  "order_processing_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_processing_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

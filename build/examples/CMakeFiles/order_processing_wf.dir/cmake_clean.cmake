@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_processing_wf.dir/order_processing_wf.cpp.o"
+  "CMakeFiles/order_processing_wf.dir/order_processing_wf.cpp.o.d"
+  "order_processing_wf"
+  "order_processing_wf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_processing_wf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

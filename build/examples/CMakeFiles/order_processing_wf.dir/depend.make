@@ -1,0 +1,2 @@
+# Empty dependencies file for order_processing_wf.
+# This may be replaced when dependencies are built.

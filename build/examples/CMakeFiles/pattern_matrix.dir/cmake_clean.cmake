@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_matrix.dir/pattern_matrix.cpp.o"
+  "CMakeFiles/pattern_matrix.dir/pattern_matrix.cpp.o.d"
+  "pattern_matrix"
+  "pattern_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xoml_workflow.dir/xoml_workflow.cpp.o"
+  "CMakeFiles/xoml_workflow.dir/xoml_workflow.cpp.o.d"
+  "xoml_workflow"
+  "xoml_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xoml_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xoml_workflow.
+# This may be replaced when dependencies are built.

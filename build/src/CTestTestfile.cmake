@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sql")
+subdirs("xml")
+subdirs("xpath")
+subdirs("wfc")
+subdirs("rowset")
+subdirs("dataset")
+subdirs("bis")
+subdirs("wf")
+subdirs("soa")
+subdirs("adapter")
+subdirs("patterns")
+subdirs("workflows")

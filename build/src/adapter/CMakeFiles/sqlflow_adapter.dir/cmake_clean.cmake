@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_adapter.dir/data_access_service.cc.o"
+  "CMakeFiles/sqlflow_adapter.dir/data_access_service.cc.o.d"
+  "libsqlflow_adapter.a"
+  "libsqlflow_adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_bis.dir/atomic_sql_sequence.cc.o"
+  "CMakeFiles/sqlflow_bis.dir/atomic_sql_sequence.cc.o.d"
+  "CMakeFiles/sqlflow_bis.dir/lifecycle.cc.o"
+  "CMakeFiles/sqlflow_bis.dir/lifecycle.cc.o.d"
+  "CMakeFiles/sqlflow_bis.dir/retrieve_set_activity.cc.o"
+  "CMakeFiles/sqlflow_bis.dir/retrieve_set_activity.cc.o.d"
+  "CMakeFiles/sqlflow_bis.dir/sql_activity.cc.o"
+  "CMakeFiles/sqlflow_bis.dir/sql_activity.cc.o.d"
+  "libsqlflow_bis.a"
+  "libsqlflow_bis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_bis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_common.dir/status.cc.o"
+  "CMakeFiles/sqlflow_common.dir/status.cc.o.d"
+  "CMakeFiles/sqlflow_common.dir/string_util.cc.o"
+  "CMakeFiles/sqlflow_common.dir/string_util.cc.o.d"
+  "CMakeFiles/sqlflow_common.dir/value.cc.o"
+  "CMakeFiles/sqlflow_common.dir/value.cc.o.d"
+  "libsqlflow_common.a"
+  "libsqlflow_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

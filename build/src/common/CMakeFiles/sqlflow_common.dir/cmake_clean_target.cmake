@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsqlflow_common.a"
+)

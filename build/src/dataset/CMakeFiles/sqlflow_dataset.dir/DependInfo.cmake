@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/data_adapter.cc" "src/dataset/CMakeFiles/sqlflow_dataset.dir/data_adapter.cc.o" "gcc" "src/dataset/CMakeFiles/sqlflow_dataset.dir/data_adapter.cc.o.d"
+  "/root/repo/src/dataset/data_set.cc" "src/dataset/CMakeFiles/sqlflow_dataset.dir/data_set.cc.o" "gcc" "src/dataset/CMakeFiles/sqlflow_dataset.dir/data_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/sqlflow_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/wfc/CMakeFiles/sqlflow_wfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/sqlflow_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sqlflow_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

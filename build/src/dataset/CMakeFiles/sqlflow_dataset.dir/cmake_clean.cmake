@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_dataset.dir/data_adapter.cc.o"
+  "CMakeFiles/sqlflow_dataset.dir/data_adapter.cc.o.d"
+  "CMakeFiles/sqlflow_dataset.dir/data_set.cc.o"
+  "CMakeFiles/sqlflow_dataset.dir/data_set.cc.o.d"
+  "libsqlflow_dataset.a"
+  "libsqlflow_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_patterns.dir/bis_evaluator.cc.o"
+  "CMakeFiles/sqlflow_patterns.dir/bis_evaluator.cc.o.d"
+  "CMakeFiles/sqlflow_patterns.dir/capability.cc.o"
+  "CMakeFiles/sqlflow_patterns.dir/capability.cc.o.d"
+  "CMakeFiles/sqlflow_patterns.dir/evaluators.cc.o"
+  "CMakeFiles/sqlflow_patterns.dir/evaluators.cc.o.d"
+  "CMakeFiles/sqlflow_patterns.dir/fixture.cc.o"
+  "CMakeFiles/sqlflow_patterns.dir/fixture.cc.o.d"
+  "CMakeFiles/sqlflow_patterns.dir/patterns.cc.o"
+  "CMakeFiles/sqlflow_patterns.dir/patterns.cc.o.d"
+  "CMakeFiles/sqlflow_patterns.dir/realization.cc.o"
+  "CMakeFiles/sqlflow_patterns.dir/realization.cc.o.d"
+  "CMakeFiles/sqlflow_patterns.dir/report.cc.o"
+  "CMakeFiles/sqlflow_patterns.dir/report.cc.o.d"
+  "CMakeFiles/sqlflow_patterns.dir/soa_evaluator.cc.o"
+  "CMakeFiles/sqlflow_patterns.dir/soa_evaluator.cc.o.d"
+  "CMakeFiles/sqlflow_patterns.dir/wf_evaluator.cc.o"
+  "CMakeFiles/sqlflow_patterns.dir/wf_evaluator.cc.o.d"
+  "libsqlflow_patterns.a"
+  "libsqlflow_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_rowset.dir/xml_rowset.cc.o"
+  "CMakeFiles/sqlflow_rowset.dir/xml_rowset.cc.o.d"
+  "libsqlflow_rowset.a"
+  "libsqlflow_rowset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_rowset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_soa.dir/bpelx.cc.o"
+  "CMakeFiles/sqlflow_soa.dir/bpelx.cc.o.d"
+  "CMakeFiles/sqlflow_soa.dir/xpath_extensions.cc.o"
+  "CMakeFiles/sqlflow_soa.dir/xpath_extensions.cc.o.d"
+  "CMakeFiles/sqlflow_soa.dir/xsql.cc.o"
+  "CMakeFiles/sqlflow_soa.dir/xsql.cc.o.d"
+  "libsqlflow_soa.a"
+  "libsqlflow_soa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_soa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/ast.cc" "src/sql/CMakeFiles/sqlflow_sql.dir/ast.cc.o" "gcc" "src/sql/CMakeFiles/sqlflow_sql.dir/ast.cc.o.d"
+  "/root/repo/src/sql/catalog.cc" "src/sql/CMakeFiles/sqlflow_sql.dir/catalog.cc.o" "gcc" "src/sql/CMakeFiles/sqlflow_sql.dir/catalog.cc.o.d"
+  "/root/repo/src/sql/data_source.cc" "src/sql/CMakeFiles/sqlflow_sql.dir/data_source.cc.o" "gcc" "src/sql/CMakeFiles/sqlflow_sql.dir/data_source.cc.o.d"
+  "/root/repo/src/sql/database.cc" "src/sql/CMakeFiles/sqlflow_sql.dir/database.cc.o" "gcc" "src/sql/CMakeFiles/sqlflow_sql.dir/database.cc.o.d"
+  "/root/repo/src/sql/eval.cc" "src/sql/CMakeFiles/sqlflow_sql.dir/eval.cc.o" "gcc" "src/sql/CMakeFiles/sqlflow_sql.dir/eval.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/sqlflow_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/sqlflow_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/sql/CMakeFiles/sqlflow_sql.dir/lexer.cc.o" "gcc" "src/sql/CMakeFiles/sqlflow_sql.dir/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/sqlflow_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/sqlflow_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/result_set.cc" "src/sql/CMakeFiles/sqlflow_sql.dir/result_set.cc.o" "gcc" "src/sql/CMakeFiles/sqlflow_sql.dir/result_set.cc.o.d"
+  "/root/repo/src/sql/schema.cc" "src/sql/CMakeFiles/sqlflow_sql.dir/schema.cc.o" "gcc" "src/sql/CMakeFiles/sqlflow_sql.dir/schema.cc.o.d"
+  "/root/repo/src/sql/table.cc" "src/sql/CMakeFiles/sqlflow_sql.dir/table.cc.o" "gcc" "src/sql/CMakeFiles/sqlflow_sql.dir/table.cc.o.d"
+  "/root/repo/src/sql/transaction.cc" "src/sql/CMakeFiles/sqlflow_sql.dir/transaction.cc.o" "gcc" "src/sql/CMakeFiles/sqlflow_sql.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sqlflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

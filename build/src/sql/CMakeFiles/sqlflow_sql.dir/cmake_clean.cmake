@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_sql.dir/ast.cc.o"
+  "CMakeFiles/sqlflow_sql.dir/ast.cc.o.d"
+  "CMakeFiles/sqlflow_sql.dir/catalog.cc.o"
+  "CMakeFiles/sqlflow_sql.dir/catalog.cc.o.d"
+  "CMakeFiles/sqlflow_sql.dir/data_source.cc.o"
+  "CMakeFiles/sqlflow_sql.dir/data_source.cc.o.d"
+  "CMakeFiles/sqlflow_sql.dir/database.cc.o"
+  "CMakeFiles/sqlflow_sql.dir/database.cc.o.d"
+  "CMakeFiles/sqlflow_sql.dir/eval.cc.o"
+  "CMakeFiles/sqlflow_sql.dir/eval.cc.o.d"
+  "CMakeFiles/sqlflow_sql.dir/executor.cc.o"
+  "CMakeFiles/sqlflow_sql.dir/executor.cc.o.d"
+  "CMakeFiles/sqlflow_sql.dir/lexer.cc.o"
+  "CMakeFiles/sqlflow_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/sqlflow_sql.dir/parser.cc.o"
+  "CMakeFiles/sqlflow_sql.dir/parser.cc.o.d"
+  "CMakeFiles/sqlflow_sql.dir/result_set.cc.o"
+  "CMakeFiles/sqlflow_sql.dir/result_set.cc.o.d"
+  "CMakeFiles/sqlflow_sql.dir/schema.cc.o"
+  "CMakeFiles/sqlflow_sql.dir/schema.cc.o.d"
+  "CMakeFiles/sqlflow_sql.dir/table.cc.o"
+  "CMakeFiles/sqlflow_sql.dir/table.cc.o.d"
+  "CMakeFiles/sqlflow_sql.dir/transaction.cc.o"
+  "CMakeFiles/sqlflow_sql.dir/transaction.cc.o.d"
+  "libsqlflow_sql.a"
+  "libsqlflow_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

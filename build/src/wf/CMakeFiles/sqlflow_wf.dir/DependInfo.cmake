@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wf/cursor.cc" "src/wf/CMakeFiles/sqlflow_wf.dir/cursor.cc.o" "gcc" "src/wf/CMakeFiles/sqlflow_wf.dir/cursor.cc.o.d"
+  "/root/repo/src/wf/sql_database_activity.cc" "src/wf/CMakeFiles/sqlflow_wf.dir/sql_database_activity.cc.o" "gcc" "src/wf/CMakeFiles/sqlflow_wf.dir/sql_database_activity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wfc/CMakeFiles/sqlflow_wfc.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/sqlflow_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/sqlflow_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlflow_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/sqlflow_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sqlflow_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_wf.dir/cursor.cc.o"
+  "CMakeFiles/sqlflow_wf.dir/cursor.cc.o.d"
+  "CMakeFiles/sqlflow_wf.dir/sql_database_activity.cc.o"
+  "CMakeFiles/sqlflow_wf.dir/sql_database_activity.cc.o.d"
+  "libsqlflow_wf.a"
+  "libsqlflow_wf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_wf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

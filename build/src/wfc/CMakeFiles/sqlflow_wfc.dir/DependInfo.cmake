@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wfc/activities.cc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/activities.cc.o" "gcc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/activities.cc.o.d"
+  "/root/repo/src/wfc/activity.cc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/activity.cc.o" "gcc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/activity.cc.o.d"
+  "/root/repo/src/wfc/audit.cc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/audit.cc.o" "gcc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/audit.cc.o.d"
+  "/root/repo/src/wfc/context.cc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/context.cc.o" "gcc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/context.cc.o.d"
+  "/root/repo/src/wfc/engine.cc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/engine.cc.o" "gcc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/engine.cc.o.d"
+  "/root/repo/src/wfc/process.cc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/process.cc.o" "gcc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/process.cc.o.d"
+  "/root/repo/src/wfc/service.cc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/service.cc.o" "gcc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/service.cc.o.d"
+  "/root/repo/src/wfc/variable.cc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/variable.cc.o" "gcc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/variable.cc.o.d"
+  "/root/repo/src/wfc/xoml.cc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/xoml.cc.o" "gcc" "src/wfc/CMakeFiles/sqlflow_wfc.dir/xoml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/sqlflow_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpath/CMakeFiles/sqlflow_xpath.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/sqlflow_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

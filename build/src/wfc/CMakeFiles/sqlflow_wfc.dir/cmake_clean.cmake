@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_wfc.dir/activities.cc.o"
+  "CMakeFiles/sqlflow_wfc.dir/activities.cc.o.d"
+  "CMakeFiles/sqlflow_wfc.dir/activity.cc.o"
+  "CMakeFiles/sqlflow_wfc.dir/activity.cc.o.d"
+  "CMakeFiles/sqlflow_wfc.dir/audit.cc.o"
+  "CMakeFiles/sqlflow_wfc.dir/audit.cc.o.d"
+  "CMakeFiles/sqlflow_wfc.dir/context.cc.o"
+  "CMakeFiles/sqlflow_wfc.dir/context.cc.o.d"
+  "CMakeFiles/sqlflow_wfc.dir/engine.cc.o"
+  "CMakeFiles/sqlflow_wfc.dir/engine.cc.o.d"
+  "CMakeFiles/sqlflow_wfc.dir/process.cc.o"
+  "CMakeFiles/sqlflow_wfc.dir/process.cc.o.d"
+  "CMakeFiles/sqlflow_wfc.dir/service.cc.o"
+  "CMakeFiles/sqlflow_wfc.dir/service.cc.o.d"
+  "CMakeFiles/sqlflow_wfc.dir/variable.cc.o"
+  "CMakeFiles/sqlflow_wfc.dir/variable.cc.o.d"
+  "CMakeFiles/sqlflow_wfc.dir/xoml.cc.o"
+  "CMakeFiles/sqlflow_wfc.dir/xoml.cc.o.d"
+  "libsqlflow_wfc.a"
+  "libsqlflow_wfc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_wfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

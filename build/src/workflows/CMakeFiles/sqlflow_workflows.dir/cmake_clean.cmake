@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_workflows.dir/order_process.cc.o"
+  "CMakeFiles/sqlflow_workflows.dir/order_process.cc.o.d"
+  "libsqlflow_workflows.a"
+  "libsqlflow_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

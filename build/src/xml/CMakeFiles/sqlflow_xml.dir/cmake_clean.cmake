@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_xml.dir/node.cc.o"
+  "CMakeFiles/sqlflow_xml.dir/node.cc.o.d"
+  "CMakeFiles/sqlflow_xml.dir/parser.cc.o"
+  "CMakeFiles/sqlflow_xml.dir/parser.cc.o.d"
+  "CMakeFiles/sqlflow_xml.dir/serializer.cc.o"
+  "CMakeFiles/sqlflow_xml.dir/serializer.cc.o.d"
+  "libsqlflow_xml.a"
+  "libsqlflow_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

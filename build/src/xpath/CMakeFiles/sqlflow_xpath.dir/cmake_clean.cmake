@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_xpath.dir/evaluator.cc.o"
+  "CMakeFiles/sqlflow_xpath.dir/evaluator.cc.o.d"
+  "CMakeFiles/sqlflow_xpath.dir/functions.cc.o"
+  "CMakeFiles/sqlflow_xpath.dir/functions.cc.o.d"
+  "CMakeFiles/sqlflow_xpath.dir/parser.cc.o"
+  "CMakeFiles/sqlflow_xpath.dir/parser.cc.o.d"
+  "CMakeFiles/sqlflow_xpath.dir/value.cc.o"
+  "CMakeFiles/sqlflow_xpath.dir/value.cc.o.d"
+  "libsqlflow_xpath.a"
+  "libsqlflow_xpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_xpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_common_tests.dir/common_test.cc.o"
+  "CMakeFiles/sqlflow_common_tests.dir/common_test.cc.o.d"
+  "sqlflow_common_tests"
+  "sqlflow_common_tests.pdb"
+  "sqlflow_common_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_common_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_engines_tests.dir/adapter_test.cc.o"
+  "CMakeFiles/sqlflow_engines_tests.dir/adapter_test.cc.o.d"
+  "CMakeFiles/sqlflow_engines_tests.dir/bis_test.cc.o"
+  "CMakeFiles/sqlflow_engines_tests.dir/bis_test.cc.o.d"
+  "CMakeFiles/sqlflow_engines_tests.dir/dataset_test.cc.o"
+  "CMakeFiles/sqlflow_engines_tests.dir/dataset_test.cc.o.d"
+  "CMakeFiles/sqlflow_engines_tests.dir/rowset_test.cc.o"
+  "CMakeFiles/sqlflow_engines_tests.dir/rowset_test.cc.o.d"
+  "CMakeFiles/sqlflow_engines_tests.dir/soa_test.cc.o"
+  "CMakeFiles/sqlflow_engines_tests.dir/soa_test.cc.o.d"
+  "CMakeFiles/sqlflow_engines_tests.dir/wf_test.cc.o"
+  "CMakeFiles/sqlflow_engines_tests.dir/wf_test.cc.o.d"
+  "sqlflow_engines_tests"
+  "sqlflow_engines_tests.pdb"
+  "sqlflow_engines_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_engines_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

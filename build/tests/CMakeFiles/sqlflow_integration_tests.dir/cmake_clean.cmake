@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_integration_tests.dir/integration_test.cc.o"
+  "CMakeFiles/sqlflow_integration_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/sqlflow_integration_tests.dir/patterns_test.cc.o"
+  "CMakeFiles/sqlflow_integration_tests.dir/patterns_test.cc.o.d"
+  "sqlflow_integration_tests"
+  "sqlflow_integration_tests.pdb"
+  "sqlflow_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sql_database_test.cc" "tests/CMakeFiles/sqlflow_sql_tests.dir/sql_database_test.cc.o" "gcc" "tests/CMakeFiles/sqlflow_sql_tests.dir/sql_database_test.cc.o.d"
+  "/root/repo/tests/sql_executor_test.cc" "tests/CMakeFiles/sqlflow_sql_tests.dir/sql_executor_test.cc.o" "gcc" "tests/CMakeFiles/sqlflow_sql_tests.dir/sql_executor_test.cc.o.d"
+  "/root/repo/tests/sql_extensions_test.cc" "tests/CMakeFiles/sqlflow_sql_tests.dir/sql_extensions_test.cc.o" "gcc" "tests/CMakeFiles/sqlflow_sql_tests.dir/sql_extensions_test.cc.o.d"
+  "/root/repo/tests/sql_lexer_test.cc" "tests/CMakeFiles/sqlflow_sql_tests.dir/sql_lexer_test.cc.o" "gcc" "tests/CMakeFiles/sqlflow_sql_tests.dir/sql_lexer_test.cc.o.d"
+  "/root/repo/tests/sql_parser_test.cc" "tests/CMakeFiles/sqlflow_sql_tests.dir/sql_parser_test.cc.o" "gcc" "tests/CMakeFiles/sqlflow_sql_tests.dir/sql_parser_test.cc.o.d"
+  "/root/repo/tests/sql_transaction_test.cc" "tests/CMakeFiles/sqlflow_sql_tests.dir/sql_transaction_test.cc.o" "gcc" "tests/CMakeFiles/sqlflow_sql_tests.dir/sql_transaction_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/sqlflow_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sqlflow_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

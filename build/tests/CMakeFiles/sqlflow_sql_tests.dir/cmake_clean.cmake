@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_sql_tests.dir/sql_database_test.cc.o"
+  "CMakeFiles/sqlflow_sql_tests.dir/sql_database_test.cc.o.d"
+  "CMakeFiles/sqlflow_sql_tests.dir/sql_executor_test.cc.o"
+  "CMakeFiles/sqlflow_sql_tests.dir/sql_executor_test.cc.o.d"
+  "CMakeFiles/sqlflow_sql_tests.dir/sql_extensions_test.cc.o"
+  "CMakeFiles/sqlflow_sql_tests.dir/sql_extensions_test.cc.o.d"
+  "CMakeFiles/sqlflow_sql_tests.dir/sql_lexer_test.cc.o"
+  "CMakeFiles/sqlflow_sql_tests.dir/sql_lexer_test.cc.o.d"
+  "CMakeFiles/sqlflow_sql_tests.dir/sql_parser_test.cc.o"
+  "CMakeFiles/sqlflow_sql_tests.dir/sql_parser_test.cc.o.d"
+  "CMakeFiles/sqlflow_sql_tests.dir/sql_transaction_test.cc.o"
+  "CMakeFiles/sqlflow_sql_tests.dir/sql_transaction_test.cc.o.d"
+  "sqlflow_sql_tests"
+  "sqlflow_sql_tests.pdb"
+  "sqlflow_sql_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_sql_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

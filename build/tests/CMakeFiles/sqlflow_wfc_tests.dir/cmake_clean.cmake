@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_wfc_tests.dir/wfc_test.cc.o"
+  "CMakeFiles/sqlflow_wfc_tests.dir/wfc_test.cc.o.d"
+  "CMakeFiles/sqlflow_wfc_tests.dir/xoml_test.cc.o"
+  "CMakeFiles/sqlflow_wfc_tests.dir/xoml_test.cc.o.d"
+  "sqlflow_wfc_tests"
+  "sqlflow_wfc_tests.pdb"
+  "sqlflow_wfc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_wfc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

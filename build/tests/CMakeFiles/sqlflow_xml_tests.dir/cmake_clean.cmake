@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqlflow_xml_tests.dir/xml_test.cc.o"
+  "CMakeFiles/sqlflow_xml_tests.dir/xml_test.cc.o.d"
+  "CMakeFiles/sqlflow_xml_tests.dir/xpath_test.cc.o"
+  "CMakeFiles/sqlflow_xml_tests.dir/xpath_test.cc.o.d"
+  "sqlflow_xml_tests"
+  "sqlflow_xml_tests.pdb"
+  "sqlflow_xml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqlflow_xml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sqlflow_common_tests[1]_include.cmake")
+include("/root/repo/build/tests/sqlflow_sql_tests[1]_include.cmake")
+include("/root/repo/build/tests/sqlflow_xml_tests[1]_include.cmake")
+include("/root/repo/build/tests/sqlflow_wfc_tests[1]_include.cmake")
+include("/root/repo/build/tests/sqlflow_engines_tests[1]_include.cmake")
+include("/root/repo/build/tests/sqlflow_integration_tests[1]_include.cmake")
