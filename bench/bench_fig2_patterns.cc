@@ -34,13 +34,18 @@ Fixture MakeSized(int64_t orders) {
 
 void BM_External_Query(benchmark::State& state) {
   Fixture fixture = MakeSized(state.range(0));
+  obs::Histogram query_latency;
   for (auto _ : state) {
+    int64_t start_ns = obs::NowNanos();
     auto result = fixture.db->Execute(
         "SELECT ItemID, SUM(Quantity) FROM Orders WHERE Approved = TRUE "
         "GROUP BY ItemID");
     bench::CheckOk(result.status(), "query");
     benchmark::DoNotOptimize(result);
+    query_latency.Record(
+        static_cast<uint64_t>(obs::NowNanos() - start_ns));
   }
+  bench::ReportLatencyPercentiles(state, query_latency);
 }
 BENCHMARK(BM_External_Query)
     ->Arg(10)

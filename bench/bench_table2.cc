@@ -24,15 +24,23 @@ void BM_EvaluateProduct(benchmark::State& state) {
     }
   };
   size_t cells = 0;
+  obs::Histogram iteration_latency;
   for (auto _ : state) {
+    int64_t start_ns = obs::NowNanos();
     auto evaluator = make();
     auto matrix = evaluator->EvaluateAll();
     bench::CheckOk(matrix.status(), "EvaluateAll");
     cells = matrix->cells.size();
     benchmark::DoNotOptimize(matrix);
+    iteration_latency.Record(
+        static_cast<uint64_t>(obs::NowNanos() - start_ns));
   }
   state.SetLabel(make()->short_name() + " (" + std::to_string(cells) +
                  " verified cells)");
+  bench::ReportLatencyPercentiles(state, iteration_latency, "eval_");
+  bench::ReportLatencyPercentiles(
+      state, obs::MetricsRegistry::Global().GetHistogram("sql.exec"),
+      "sql_");
 }
 BENCHMARK(BM_EvaluateProduct)
     ->Arg(0)

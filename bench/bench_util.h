@@ -8,6 +8,8 @@
 #include <string>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sqlflow::bench {
 
@@ -32,14 +34,35 @@ T ValueOrDie(Result<T> result, const char* what) {
 }
 
 /// Prints the experiment banner: which paper artifact this binary
-/// regenerates and what shape to expect.
+/// regenerates and what shape to expect. Also disables the span buffer
+/// for the benchmark run — benchmark loops would only fill it to its
+/// cap — while the (cheap, bounded) metrics registry stays on so benches
+/// can report real latency percentiles.
 inline void PrintBanner(const char* experiment, const char* expectation) {
+  obs::TraceBuffer::Global().set_enabled(false);
   std::printf("==============================================================="
               "=\n");
   std::printf("%s\n", experiment);
   std::printf("expected shape: %s\n", expectation);
   std::printf("==============================================================="
               "=\n");
+}
+
+/// Publishes a histogram's percentiles as benchmark counters, so they
+/// land in the console table and in --benchmark_format=json output
+/// (giving BENCH_*.json a real latency trajectory). Histogram samples
+/// are nanoseconds; counters are exported in microseconds.
+inline void ReportLatencyPercentiles(benchmark::State& state,
+                                     const obs::Histogram& histogram,
+                                     const std::string& prefix = "") {
+  state.counters[prefix + "p50_us"] =
+      static_cast<double>(histogram.p50()) / 1e3;
+  state.counters[prefix + "p95_us"] =
+      static_cast<double>(histogram.p95()) / 1e3;
+  state.counters[prefix + "p99_us"] =
+      static_cast<double>(histogram.p99()) / 1e3;
+  state.counters[prefix + "max_us"] =
+      static_cast<double>(histogram.max()) / 1e3;
 }
 
 }  // namespace sqlflow::bench

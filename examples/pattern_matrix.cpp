@@ -5,16 +5,40 @@
 //   Table II — data management pattern support; every `x` is backed by
 //              an executed-and-checked scenario.
 //
-// Run:  ./pattern_matrix
+// Every scenario runs under the obs tracer, so alongside the tables the
+// binary prints an instrumented matrix (SQL statements & latency per
+// cell) and can export the full span forest as Chrome trace JSON.
+//
+// Run:  ./pattern_matrix [--trace=FILE] [--spans]
+//   --trace=FILE  write a chrome://tracing / Perfetto-loadable JSON file
+//   --spans       print the span tree of the whole evaluation
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "patterns/evaluators.h"
 #include "patterns/report.h"
 
 using namespace sqlflow;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_file;
+  bool print_spans = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0 && argv[i][8] != '\0') {
+      trace_file = argv[i] + 8;
+    } else if (std::strcmp(argv[i], "--spans") == 0) {
+      print_spans = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--trace=FILE] [--spans]\n", argv[0]);
+      return 2;
+    }
+  }
+
   auto profiles = patterns::BuildProductProfiles();
   if (!profiles.ok()) {
     std::fprintf(stderr, "profile probe failed: %s\n",
@@ -22,6 +46,10 @@ int main() {
     return 1;
   }
   std::printf("%s\n", patterns::RenderTableOne(*profiles).c_str());
+
+  // Profile probing ran SQL too; the trace should cover exactly the
+  // pattern evaluation.
+  obs::TraceBuffer::Global().Clear();
 
   std::vector<patterns::ProductMatrix> matrices;
   for (auto& evaluator : patterns::MakeAllEvaluators()) {
@@ -37,6 +65,9 @@ int main() {
   }
   std::printf("\n%s", patterns::RenderTableTwo(matrices).c_str());
 
+  std::printf("\n%s",
+              patterns::RenderInstrumentationTable(matrices).c_str());
+
   // Per-cell evidence.
   std::printf("\nverification notes:\n");
   for (const patterns::ProductMatrix& matrix : matrices) {
@@ -50,6 +81,25 @@ int main() {
                   patterns::RealizationLevelName(cell.level),
                   restriction.c_str(), cell.note.c_str());
     }
+  }
+
+  std::printf("\nprocess metrics:\n%s",
+              obs::MetricsRegistry::Global().ToString().c_str());
+
+  if (print_spans) {
+    std::printf("\nspan tree:\n%s",
+                obs::RenderSpanTree(obs::TraceBuffer::Global().Snapshot())
+                    .c_str());
+  }
+  if (!trace_file.empty()) {
+    Status st = obs::WriteChromeTraceFile(trace_file);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace export failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %zu spans to %s (load in chrome://tracing)\n",
+                obs::TraceBuffer::Global().size(), trace_file.c_str());
   }
   return 0;
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus an AddressSanitizer build of the concurrency-adjacent
+# observability code. Run from the repository root:
+#
+#   scripts/check.sh           # regular build + full ctest, then ASan
+#   SKIP_ASAN=1 scripts/check.sh   # tier-1 only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: regular build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j
+
+if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
+  echo "== ASan: sanitized build + obs/integration tests =="
+  cmake -B build-asan -S . -DSQLFLOW_SANITIZE=address
+  cmake --build build-asan -j --target sqlflow_obs_tests \
+    sqlflow_integration_tests
+  ./build-asan/tests/sqlflow_obs_tests
+  ./build-asan/tests/sqlflow_integration_tests
+fi
+
+echo "== all checks passed =="

@@ -1,0 +1,116 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace sqlflow::obs {
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < 16) return static_cast<size_t>(value);
+  int width = std::bit_width(value);  // 5..64
+  uint64_t sub = (value >> (width - 4)) - 8;  // top 3 bits below the MSB
+  return 16 + static_cast<size_t>(width - 5) * 8 +
+         static_cast<size_t>(sub);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < 16) return index;
+  size_t rel = index - 16;
+  int width = 5 + static_cast<int>(rel / 8);
+  uint64_t sub = rel % 8;
+  uint64_t lower = (8 + sub) << (width - 4);
+  return lower + ((uint64_t{1} << (width - 4)) - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (prev < value &&
+         !max_.compare_exchange_weak(prev, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::ValueAtPercentile(double p) const {
+  uint64_t n = count();
+  if (n == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  uint64_t target = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (target == 0) target = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target) {
+      return std::min(BucketUpperBound(i), max());
+    }
+  }
+  return max();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+std::vector<std::string> MetricsRegistry::CounterNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> MetricsRegistry::HistogramNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) names.push_back(name);
+  return names;
+}
+
+std::string MetricsRegistry::ToString() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    os << "counter " << name << " = " << counter->value() << "\n";
+  }
+  char buf[160];
+  for (const auto& [name, histogram] : histograms_) {
+    std::snprintf(buf, sizeof buf,
+                  "histogram %s: count=%llu p50=%.3fms p95=%.3fms "
+                  "p99=%.3fms max=%.3fms\n",
+                  name.c_str(),
+                  static_cast<unsigned long long>(histogram->count()),
+                  histogram->p50() / 1e6, histogram->p95() / 1e6,
+                  histogram->p99() / 1e6, histogram->max() / 1e6);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace sqlflow::obs

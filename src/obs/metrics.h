@@ -1,0 +1,92 @@
+#ifndef SQLFLOW_OBS_METRICS_H_
+#define SQLFLOW_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sqlflow::obs {
+
+/// Monotonic named counter. Cheap enough (one relaxed atomic add) to
+/// stay enabled inside benchmark loops.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-bucket log-scale latency histogram. Values 0..15 are recorded
+/// exactly; larger values land in one of 8 sub-buckets per power of two,
+/// bounding the relative quantile error at 12.5%. Recording is lock-free
+/// (relaxed atomics); accessors fold the buckets on demand.
+class Histogram {
+ public:
+  // 16 exact buckets + 8 sub-buckets for each power of two 2^4..2^63.
+  static constexpr size_t kNumBuckets = 16 + 60 * 8;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  /// Upper bound of the bucket holding the p-th percentile sample
+  /// (p in [0, 100]); 0 when empty. Exact for values < 16, within 12.5%
+  /// above that.
+  uint64_t ValueAtPercentile(double p) const;
+
+  uint64_t p50() const { return ValueAtPercentile(50); }
+  uint64_t p95() const { return ValueAtPercentile(95); }
+  uint64_t p99() const { return ValueAtPercentile(99); }
+
+  /// Bucket mapping, exposed for tests.
+  static size_t BucketIndex(uint64_t value);
+  static uint64_t BucketUpperBound(size_t index);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Process-wide registry of named counters and histograms. Lookup takes
+/// a mutex; returned references stay valid for the process lifetime, so
+/// hot paths can cache them.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  std::vector<std::string> CounterNames() const;
+  std::vector<std::string> HistogramNames() const;
+
+  /// Human-readable dump: one line per counter, one per histogram with
+  /// count / p50 / p95 / p99 / max (histogram samples are nanoseconds,
+  /// printed as milliseconds).
+  std::string ToString() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sqlflow::obs
+
+#endif  // SQLFLOW_OBS_METRICS_H_

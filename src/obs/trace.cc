@@ -1,0 +1,219 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace sqlflow::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+std::atomic<uint64_t> g_next_span_id{1};
+
+thread_local Span* g_current_span = nullptr;
+
+}  // namespace
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+const std::string* SpanRecord::FindAttribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+void TraceBuffer::Append(SpanRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  spans_.push_back(std::move(record));
+}
+
+std::vector<SpanRecord> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  dropped_ = 0;
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+Span::Span(std::string name) : parent_(g_current_span) {
+  record_.id = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  record_.name = std::move(name);
+  if (parent_ != nullptr) {
+    record_.parent_id = parent_->record_.id;
+    record_.depth = parent_->record_.depth + 1;
+  }
+  record_.start_ns = NowNanos();
+  g_current_span = this;
+}
+
+Span::~Span() {
+  record_.duration_ns = NowNanos() - record_.start_ns;
+  g_current_span = parent_;
+  TraceBuffer& buffer = TraceBuffer::Global();
+  if (buffer.enabled()) buffer.Append(std::move(record_));
+}
+
+void Span::Set(const std::string& key, std::string value) {
+  record_.attributes.emplace_back(key, std::move(value));
+}
+
+int64_t Span::ElapsedNanos() const {
+  return NowNanos() - record_.start_ns;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void WriteChromeTrace(const std::vector<SpanRecord>& spans,
+                      std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& span : spans) {
+    if (!first) os << ",";
+    first = false;
+    // Chrome's ts/dur are microseconds; keep fractions for sub-us spans.
+    os << "\n{\"name\":\"" << JsonEscape(span.name)
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":1"
+       << ",\"ts\":" << span.start_ns / 1e3
+       << ",\"dur\":" << span.duration_ns / 1e3 << ",\"args\":{";
+    os << "\"span_id\":" << span.id << ",\"parent_id\":" << span.parent_id;
+    for (const auto& [key, value] : span.attributes) {
+      os << ",\"" << JsonEscape(key) << "\":\"" << JsonEscape(value)
+         << "\"";
+    }
+    os << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+Status WriteChromeTraceFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::ExecutionError("cannot open trace file '" + path + "'");
+  }
+  WriteChromeTrace(TraceBuffer::Global().Snapshot(), out);
+  out.flush();
+  if (!out) {
+    return Status::ExecutionError("failed writing trace file '" + path +
+                                  "'");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+std::string FormatMillis(int64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fms", ns / 1e6);
+  return buf;
+}
+
+void RenderNode(const SpanRecord& span,
+                const std::multimap<uint64_t, const SpanRecord*>& children,
+                int indent, std::ostringstream* os) {
+  *os << std::string(static_cast<size_t>(indent) * 2, ' ') << span.name
+      << ' ' << FormatMillis(span.duration_ns);
+  if (!span.attributes.empty()) {
+    *os << " (";
+    for (size_t i = 0; i < span.attributes.size(); ++i) {
+      if (i > 0) *os << ' ';
+      *os << span.attributes[i].first << '=' << span.attributes[i].second;
+    }
+    *os << ')';
+  }
+  *os << '\n';
+  auto [begin, end] = children.equal_range(span.id);
+  for (auto it = begin; it != end; ++it) {
+    RenderNode(*it->second, children, indent + 1, os);
+  }
+}
+
+}  // namespace
+
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans) {
+  std::vector<const SpanRecord*> ordered;
+  ordered.reserve(spans.size());
+  for (const SpanRecord& span : spans) ordered.push_back(&span);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const SpanRecord* a, const SpanRecord* b) {
+                     return a->start_ns < b->start_ns;
+                   });
+  std::multimap<uint64_t, const SpanRecord*> children;
+  for (const SpanRecord* span : ordered) {
+    if (span->parent_id != 0) children.emplace(span->parent_id, span);
+  }
+  std::ostringstream os;
+  for (const SpanRecord* span : ordered) {
+    if (span->parent_id == 0) RenderNode(*span, children, 0, &os);
+  }
+  return os.str();
+}
+
+}  // namespace sqlflow::obs

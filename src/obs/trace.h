@@ -1,0 +1,113 @@
+#ifndef SQLFLOW_OBS_TRACE_H_
+#define SQLFLOW_OBS_TRACE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlflow::obs {
+
+/// Nanoseconds on the process-wide monotonic trace clock (zero at the
+/// first observability call of the process). All span timestamps and
+/// audit timestamps share this clock, so the tracer and the audit trail
+/// tell one consistent story.
+int64_t NowNanos();
+
+/// One finished span: a named, timed section of execution with
+/// parent-child nesting and string attributes. Spans model the paper's
+/// monitoring runtime service (IBM BIS monitoring, Oracle BPEL audit
+/// pages) as structured data instead of log lines.
+struct SpanRecord {
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  // 0 = root
+  uint32_t depth = 0;      // root spans have depth 0
+  std::string name;
+  int64_t start_ns = 0;     // trace-clock time of construction
+  int64_t duration_ns = 0;  // filled when the guard closes
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  const std::string* FindAttribute(const std::string& key) const;
+};
+
+/// Process-wide buffer of completed spans. Appends are mutex-protected
+/// and bounded: past `capacity()` new spans are dropped (and counted)
+/// rather than growing without limit inside benchmark loops.
+class TraceBuffer {
+ public:
+  static TraceBuffer& Global();
+
+  void Append(SpanRecord record);
+  std::vector<SpanRecord> Snapshot() const;
+  void Clear();
+
+  size_t size() const;
+  uint64_t dropped() const;
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+ private:
+  TraceBuffer() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> spans_;
+  uint64_t dropped_ = 0;
+  bool enabled_ = true;
+  size_t capacity_ = 1 << 16;
+};
+
+/// RAII span guard: opens a span on construction, measures with the
+/// monotonic clock, and appends the finished record to the global
+/// TraceBuffer on destruction. Nesting is tracked per thread — a Span
+/// constructed while another is open becomes its child. Stack-only.
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a key-value attribute (exported into Chrome-trace args).
+  void Set(const std::string& key, std::string value);
+
+  /// Nanoseconds since this span opened.
+  int64_t ElapsedNanos() const;
+
+  uint64_t id() const { return record_.id; }
+
+ private:
+  SpanRecord record_;
+  Span* parent_;  // thread-local stack link
+};
+
+// --- exporters --------------------------------------------------------------
+
+/// Writes the buffer as Chrome trace_event JSON ("X" complete events,
+/// attributes as args) — loadable in chrome://tracing / Perfetto.
+void WriteChromeTrace(const std::vector<SpanRecord>& spans,
+                      std::ostream& os);
+
+/// Convenience: snapshot the global buffer into `path`.
+Status WriteChromeTraceFile(const std::string& path);
+
+/// Compact indented text rendering of the span forest, in start order:
+///   process scenario 1.23ms (engine=bis)
+///     activity SQL1 0.80ms
+///       sql.exec 0.41ms (kind=select rows=5)
+std::string RenderSpanTree(const std::vector<SpanRecord>& spans);
+
+/// JSON string escaping shared by the exporters (and the metrics dump).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace sqlflow::obs
+
+#endif  // SQLFLOW_OBS_TRACE_H_

@@ -2,6 +2,7 @@
 #include "bis/lifecycle.h"
 #include "bis/retrieve_set_activity.h"
 #include "bis/sql_activity.h"
+#include "obs/trace.h"
 #include "patterns/evaluators.h"
 #include "patterns/fixture.h"
 #include "rowset/xml_rowset.h"
@@ -417,6 +418,9 @@ class BisEvaluator : public ProductEvaluator {
 
   Result<std::vector<CellRealization>> EvaluatePattern(
       Pattern pattern) override {
+    obs::Span span("pattern.eval");
+    span.Set("engine", short_name());
+    span.Set("pattern", PatternName(pattern));
     std::vector<CellRealization> cells;
     switch (pattern) {
       case Pattern::kQuery:

@@ -1,14 +1,27 @@
 #include "patterns/evaluators.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sqlflow::patterns {
 
 Result<ProductMatrix> ProductEvaluator::EvaluateAll() {
   ProductMatrix matrix;
   matrix.product = product_name();
+  obs::Span span("matrix.eval");
+  span.Set("engine", short_name());
+  obs::Counter& sql_statements =
+      obs::MetricsRegistry::Global().GetCounter("sql.statements");
   for (Pattern pattern : kAllPatterns) {
+    uint64_t statements_before = sql_statements.value();
+    int64_t start_ns = obs::NowNanos();
     SQLFLOW_ASSIGN_OR_RETURN(std::vector<CellRealization> cells,
                              EvaluatePattern(pattern));
+    double micros = (obs::NowNanos() - start_ns) / 1e3;
+    uint64_t statements = sql_statements.value() - statements_before;
     for (CellRealization& cell : cells) {
+      cell.sql_statements = statements;
+      cell.eval_micros = micros;
       matrix.cells.push_back(std::move(cell));
     }
   }

@@ -28,6 +28,13 @@ struct CellRealization {
   std::string restriction;  // "" or "only UPDATE" / "only DELETE and INSERT"
   bool verified = false;    // scenario executed and checked
   std::string note;         // how it was verified / why it failed
+
+  // Instrumentation stamped by ProductEvaluator::EvaluateAll: how many
+  // SQL statements the pattern's scenarios issued (including fixture
+  // seeding) and how long the evaluation took. Cells of the same
+  // pattern share one measurement.
+  uint64_t sql_statements = 0;
+  double eval_micros = 0.0;
 };
 
 /// All verified cells for one product.

@@ -20,6 +20,14 @@ std::string RenderTableOne(const std::vector<ProductProfile>& profiles);
 /// regression is visible in the table itself.
 std::string RenderTableTwo(const std::vector<ProductMatrix>& matrices);
 
+/// Renders the instrumentation companion to Table II: one row per
+/// (product, pattern, mechanism) cell with the SQL statement count and
+/// evaluation latency the obs hooks measured while the cell's scenario
+/// ran. This is the "which mechanism costs what" view the paper's
+/// monitoring services would give an administrator.
+std::string RenderInstrumentationTable(
+    const std::vector<ProductMatrix>& matrices);
+
 }  // namespace sqlflow::patterns
 
 #endif  // SQLFLOW_PATTERNS_REPORT_H_

@@ -1,3 +1,4 @@
+#include "obs/trace.h"
 #include "patterns/evaluators.h"
 #include "patterns/fixture.h"
 #include "rowset/xml_rowset.h"
@@ -326,6 +327,9 @@ class SoaEvaluator : public ProductEvaluator {
 
   Result<std::vector<CellRealization>> EvaluatePattern(
       Pattern pattern) override {
+    obs::Span span("pattern.eval");
+    span.Set("engine", short_name());
+    span.Set("pattern", PatternName(pattern));
     std::vector<CellRealization> cells;
     switch (pattern) {
       case Pattern::kQuery:

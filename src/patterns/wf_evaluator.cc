@@ -1,4 +1,5 @@
 #include "dataset/data_adapter.h"
+#include "obs/trace.h"
 #include "patterns/evaluators.h"
 #include "patterns/fixture.h"
 #include "sql/table.h"
@@ -322,6 +323,9 @@ class WfEvaluator : public ProductEvaluator {
 
   Result<std::vector<CellRealization>> EvaluatePattern(
       Pattern pattern) override {
+    obs::Span span("pattern.eval");
+    span.Set("engine", short_name());
+    span.Set("pattern", PatternName(pattern));
     std::vector<CellRealization> cells;
     switch (pattern) {
       case Pattern::kQuery:

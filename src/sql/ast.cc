@@ -240,6 +240,44 @@ bool IsAggregateFunctionName(const std::string& upper_name) {
          upper_name == "AVG" || upper_name == "MIN" || upper_name == "MAX";
 }
 
+const char* StatementKindName(StatementKind kind) {
+  switch (kind) {
+    case StatementKind::kSelect:
+      return "select";
+    case StatementKind::kInsert:
+      return "insert";
+    case StatementKind::kUpdate:
+      return "update";
+    case StatementKind::kDelete:
+      return "delete";
+    case StatementKind::kCreateTable:
+      return "create-table";
+    case StatementKind::kDropTable:
+      return "drop-table";
+    case StatementKind::kTruncate:
+      return "truncate";
+    case StatementKind::kCreateIndex:
+      return "create-index";
+    case StatementKind::kCreateView:
+      return "create-view";
+    case StatementKind::kDropView:
+      return "drop-view";
+    case StatementKind::kCreateSequence:
+      return "create-sequence";
+    case StatementKind::kDropSequence:
+      return "drop-sequence";
+    case StatementKind::kCall:
+      return "call";
+    case StatementKind::kBegin:
+      return "begin";
+    case StatementKind::kCommit:
+      return "commit";
+    case StatementKind::kRollback:
+      return "rollback";
+  }
+  return "unknown";
+}
+
 bool ContainsAggregate(const Expr& e) {
   if (e.kind == ExprKind::kFunctionCall &&
       IsAggregateFunctionName(e.function_name)) {

@@ -122,6 +122,10 @@ enum class StatementKind {
   kRollback,
 };
 
+/// Stable lower-case name ("select", "create-table", ...) for audit
+/// events, trace attributes, and metrics labels.
+const char* StatementKindName(StatementKind kind);
+
 struct SelectItem {
   ExprPtr expr;          // null for plain `*`
   std::string alias;     // optional AS alias

@@ -1,6 +1,8 @@
 #include "sql/database.h"
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
 
@@ -23,8 +25,26 @@ Result<ResultSet> Database::Execute(std::string_view sql,
 
 Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
                                              const Params& params) {
+  obs::Span span("sql.exec");
+  span.Set("db", name_);
+  span.Set("kind", StatementKindName(stmt.kind));
   Executor executor(this);
-  return executor.Execute(stmt, params);
+  Result<ResultSet> result = executor.Execute(stmt, params);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetHistogram("sql.exec")
+      .Record(static_cast<uint64_t>(span.ElapsedNanos()));
+  metrics.GetCounter("sql.statements").Increment();
+  if (result.ok()) {
+    // Rows touched: result rows for queries, change count for DML.
+    int64_t rows = result->row_count() > 0
+                       ? static_cast<int64_t>(result->row_count())
+                       : result->affected_rows();
+    span.Set("rows", std::to_string(rows));
+  } else {
+    metrics.GetCounter("sql.errors").Increment();
+    span.Set("error", result.status().ToString());
+  }
+  return result;
 }
 
 Result<ResultSet> Database::ExecuteSelect(const SelectStatement& select,
@@ -36,8 +56,8 @@ Result<ResultSet> Database::ExecuteSelect(const SelectStatement& select,
 Status Database::ExecuteScript(std::string_view sql) {
   SQLFLOW_ASSIGN_OR_RETURN(auto statements, ParseScript(sql));
   for (const auto& stmt : statements) {
-    Executor executor(this);
-    auto result = executor.Execute(*stmt, Params::None());
+    // Route through ExecuteStatement so scripts are traced per statement.
+    auto result = ExecuteStatement(*stmt, Params::None());
     if (!result.ok()) return result.status();
   }
   return Status::OK();

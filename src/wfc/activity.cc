@@ -1,18 +1,30 @@
 #include "wfc/activity.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sqlflow::wfc {
 
 Status Activity::Run(ProcessContext& ctx) {
   if (ctx.terminate_requested()) {
     return Status::OK();  // silently skip the rest of the flow
   }
+  obs::Span span("activity " + name_);
+  span.Set("type", TypeName());
   ctx.audit().Record(AuditEventKind::kActivityStarted, name_, TypeName());
   Status st = Execute(ctx);
+  int64_t elapsed_ns = span.ElapsedNanos();
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("wfc.activities").Increment();
+  metrics.GetHistogram("wfc.activity")
+      .Record(static_cast<uint64_t>(elapsed_ns));
   if (st.ok()) {
-    ctx.audit().Record(AuditEventKind::kActivityCompleted, name_);
+    ctx.audit().Record(AuditEventKind::kActivityCompleted, name_, "",
+                       elapsed_ns);
   } else {
+    span.Set("error", st.ToString());
     ctx.audit().Record(AuditEventKind::kActivityFaulted, name_,
-                       st.ToString());
+                       st.ToString(), elapsed_ns);
   }
   return st;
 }

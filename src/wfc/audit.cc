@@ -1,6 +1,9 @@
 #include "wfc/audit.h"
 
+#include <cstdio>
 #include <sstream>
+
+#include "obs/trace.h"
 
 namespace sqlflow::wfc {
 
@@ -29,12 +32,14 @@ const char* AuditEventKindName(AuditEventKind kind) {
 }
 
 void AuditTrail::Record(AuditEventKind kind, const std::string& activity,
-                        const std::string& detail) {
+                        const std::string& detail, int64_t duration_ns) {
   AuditEvent e;
   e.sequence = next_sequence_++;
   e.kind = kind;
   e.activity = activity;
   e.detail = detail;
+  e.timestamp_ns = obs::NowNanos();
+  e.duration_ns = duration_ns;
   events_.push_back(std::move(e));
 }
 
@@ -46,11 +51,29 @@ size_t AuditTrail::CountKind(AuditEventKind kind) const {
   return n;
 }
 
-std::string AuditTrail::ToString() const {
-  std::ostringstream os;
+std::vector<AuditEvent> AuditTrail::FilterKind(AuditEventKind kind) const {
+  std::vector<AuditEvent> out;
   for (const AuditEvent& e : events_) {
-    os << e.sequence << " " << AuditEventKindName(e.kind) << " "
-       << e.activity;
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+std::string AuditTrail::ToString() const {
+  // Timestamps print relative to the trail's first event, so a trail
+  // reads as "time into this instance" rather than process uptime.
+  int64_t base_ns = events_.empty() ? 0 : events_.front().timestamp_ns;
+  std::ostringstream os;
+  char buf[48];
+  for (const AuditEvent& e : events_) {
+    std::snprintf(buf, sizeof buf, "%+.3fms",
+                  (e.timestamp_ns - base_ns) / 1e6);
+    os << e.sequence << " " << buf << " " << AuditEventKindName(e.kind)
+       << " " << e.activity;
+    if (e.duration_ns >= 0) {
+      std::snprintf(buf, sizeof buf, " (%.3fms)", e.duration_ns / 1e6);
+      os << buf;
+    }
     if (!e.detail.empty()) os << " :: " << e.detail;
     os << "\n";
   }

@@ -22,24 +22,30 @@ enum class AuditEventKind {
 const char* AuditEventKindName(AuditEventKind kind);
 
 /// One event of an instance's execution history (the paper's "monitoring"
-/// / "tracking" runtime services).
+/// / "tracking" runtime services). Timestamps are on the obs trace
+/// clock (obs::NowNanos), so audit events line up with tracer spans.
 struct AuditEvent {
   uint64_t sequence = 0;
   AuditEventKind kind = AuditEventKind::kNote;
   std::string activity;  // activity or component name
   std::string detail;
+  int64_t timestamp_ns = 0;   // when the event was recorded
+  int64_t duration_ns = -1;   // completed/faulted events; -1 = not timed
 };
 
 /// Append-only execution trace of one process instance.
 class AuditTrail {
  public:
   void Record(AuditEventKind kind, const std::string& activity,
-              const std::string& detail = "");
+              const std::string& detail = "", int64_t duration_ns = -1);
   const std::vector<AuditEvent>& events() const { return events_; }
   size_t size() const { return events_.size(); }
 
   /// Number of events of one kind (e.g. how many SQL statements ran).
   size_t CountKind(AuditEventKind kind) const;
+
+  /// All events of one kind, in sequence order.
+  std::vector<AuditEvent> FilterKind(AuditEventKind kind) const;
 
   std::string ToString() const;
 

@@ -1,5 +1,8 @@
 #include "wfc/engine.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sqlflow::wfc {
 
 WorkflowEngine::WorkflowEngine(std::string name)
@@ -48,8 +51,13 @@ Result<InstanceResult> WorkflowEngine::RunProcess(
   }
   const ProcessDefinition& def = *it->second;
 
+  obs::Span span("process " + process_name);
+  span.Set("engine", name_);
+  span.Set("process", process_name);
+
   ProcessContext ctx(next_instance_id_++, process_name, &services_,
                      &data_sources_, &xpath_functions_);
+  span.Set("instance", std::to_string(ctx.instance_id()));
   for (const auto& [var_name, initial] : def.variables()) {
     ctx.variables().Set(var_name, initial);
   }
@@ -78,12 +86,24 @@ Result<InstanceResult> WorkflowEngine::RunProcess(
 
   if (st.ok()) {
     stats_.instances_completed++;
-    ctx.audit().Record(AuditEventKind::kInstanceCompleted, process_name);
+    ctx.audit().Record(AuditEventKind::kInstanceCompleted, process_name,
+                       "", span.ElapsedNanos());
   } else {
     stats_.instances_faulted++;
+    span.Set("error", st.ToString());
     ctx.audit().Record(AuditEventKind::kInstanceFaulted, process_name,
-                       st.ToString());
+                       st.ToString(), span.ElapsedNanos());
   }
+  // Roll the instance's monitoring data up into engine-level stats; the
+  // audit trail is the single source of truth for both counters.
+  stats_.activities_executed +=
+      ctx.audit().CountKind(AuditEventKind::kActivityStarted);
+  stats_.sql_statements_executed +=
+      ctx.audit().CountKind(AuditEventKind::kSqlExecuted);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("wfc.instances").Increment();
+  metrics.GetHistogram("wfc.instance")
+      .Record(static_cast<uint64_t>(span.ElapsedNanos()));
 
   InstanceResult result;
   result.instance_id = ctx.instance_id();

@@ -32,6 +32,11 @@ class WorkflowEngine {
     uint64_t instances_started = 0;
     uint64_t instances_completed = 0;
     uint64_t instances_faulted = 0;
+    /// Fed from each finished instance's audit trail, so engine-level
+    /// stats agree with the per-instance monitoring data (and with the
+    /// obs::MetricsRegistry counters the hooks maintain).
+    uint64_t activities_executed = 0;
+    uint64_t sql_statements_executed = 0;
   };
 
   explicit WorkflowEngine(std::string name);

@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "wfc/audit.h"
+
+namespace sqlflow::obs {
+namespace {
+
+// --- minimal JSON checker ---------------------------------------------------
+// Enough of a recursive-descent validator to prove the Chrome-trace
+// export is well-formed JSON (objects, arrays, strings with escapes,
+// numbers, literals). Returns the index after the parsed value or -1.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipSpace();
+    if (!Value()) return false;
+    SkipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Peek() == '}') return ++pos_, true;
+    while (true) {
+      SkipSpace();
+      if (!String()) return false;
+      SkipSpace();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipSpace();
+    if (Peek() == ']') return ++pos_, true;
+    while (true) {
+      SkipSpace();
+      if (!Value()) return false;
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') return ++pos_, true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char esc = text_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(text_[pos_])) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) ==
+                   std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(text_[pos_]) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const std::string& word) {
+    if (text_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(text_[pos_])) ++pos_;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// --- spans ------------------------------------------------------------------
+
+TEST(SpanTest, RecordsNameDurationAndAttributes) {
+  TraceBuffer::Global().Clear();
+  {
+    Span span("unit");
+    span.Set("k", "v");
+    EXPECT_GE(span.ElapsedNanos(), 0);
+  }
+  auto spans = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "unit");
+  EXPECT_GE(spans[0].duration_ns, 0);
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[0].depth, 0u);
+  ASSERT_NE(spans[0].FindAttribute("k"), nullptr);
+  EXPECT_EQ(*spans[0].FindAttribute("k"), "v");
+  EXPECT_EQ(spans[0].FindAttribute("missing"), nullptr);
+}
+
+TEST(SpanTest, NestingLinksParentAndDepth) {
+  TraceBuffer::Global().Clear();
+  {
+    Span outer("outer");
+    uint64_t outer_id = outer.id();
+    {
+      Span middle("middle");
+      EXPECT_NE(middle.id(), outer_id);
+      { Span inner("inner"); }
+    }
+    { Span sibling("sibling"); }
+  }
+  auto spans = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  // Spans complete innermost-first.
+  const SpanRecord& inner = spans[0];
+  const SpanRecord& middle = spans[1];
+  const SpanRecord& sibling = spans[2];
+  const SpanRecord& outer = spans[3];
+  EXPECT_EQ(inner.name, "inner");
+  EXPECT_EQ(outer.name, "outer");
+  EXPECT_EQ(middle.parent_id, outer.id);
+  EXPECT_EQ(inner.parent_id, middle.id);
+  EXPECT_EQ(sibling.parent_id, outer.id);
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(middle.depth, 1u);
+  EXPECT_EQ(inner.depth, 2u);
+  EXPECT_GE(outer.duration_ns, middle.duration_ns);
+}
+
+TEST(SpanTest, NestingIsPerThread) {
+  TraceBuffer::Global().Clear();
+  Span outer("outer");
+  std::thread other([] {
+    Span span("other-thread");
+    EXPECT_EQ(span.id() == 0, false);
+  });
+  other.join();
+  auto spans = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  // The other thread's span must not claim this thread's open span as
+  // its parent.
+  EXPECT_EQ(spans[0].parent_id, 0u);
+}
+
+TEST(TraceBufferTest, CapacityBoundsAndCountsDrops) {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  size_t original = buffer.capacity();
+  buffer.set_capacity(2);
+  { Span a("a"); }
+  { Span b("b"); }
+  { Span c("c"); }
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.dropped(), 1u);
+  buffer.set_capacity(original);
+  buffer.Clear();
+  EXPECT_EQ(buffer.dropped(), 0u);
+}
+
+TEST(TraceBufferTest, DisabledBufferRecordsNothing) {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  buffer.set_enabled(false);
+  { Span span("invisible"); }
+  buffer.set_enabled(true);
+  EXPECT_EQ(buffer.size(), 0u);
+}
+
+TEST(ChromeTraceTest, ExportIsWellFormedJsonWithArgs) {
+  TraceBuffer::Global().Clear();
+  {
+    Span outer("parent \"quoted\"\n");
+    outer.Set("engine", "IBM BIS");
+    { Span inner("child"); }
+  }
+  std::ostringstream os;
+  WriteChromeTrace(TraceBuffer::Global().Snapshot(), os);
+  std::string json = os.str();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("IBM BIS"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyBufferStillValidJson) {
+  std::ostringstream os;
+  WriteChromeTrace({}, os);
+  EXPECT_TRUE(JsonChecker(os.str()).Valid()) << os.str();
+}
+
+TEST(SpanTreeTest, RendersNestingAsIndentation) {
+  TraceBuffer::Global().Clear();
+  {
+    Span outer("root-span");
+    { Span inner("child-span"); }
+  }
+  std::string tree = RenderSpanTree(TraceBuffer::Global().Snapshot());
+  size_t root_at = tree.find("root-span");
+  size_t child_at = tree.find("  child-span");
+  EXPECT_NE(root_at, std::string::npos);
+  EXPECT_NE(child_at, std::string::npos);
+  EXPECT_LT(root_at, child_at);  // parent printed before child
+}
+
+// --- metrics ----------------------------------------------------------------
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("test.counter.unique");
+  uint64_t before = counter.value();
+  counter.Increment();
+  counter.Increment(4);
+  EXPECT_EQ(counter.value(), before + 5);
+  // Same name returns the same counter.
+  EXPECT_EQ(&MetricsRegistry::Global().GetCounter("test.counter.unique"),
+            &counter);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (uint64_t v = 0; v < 16; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.sum(), 120u);
+  EXPECT_EQ(h.max(), 15u);
+  // With 16 exact buckets the percentiles are exact.
+  EXPECT_EQ(h.ValueAtPercentile(50), 7u);
+  EXPECT_EQ(h.ValueAtPercentile(100), 15u);
+}
+
+TEST(HistogramTest, PercentilesWithinLogBucketTolerance) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 10000; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 10000u);
+  EXPECT_EQ(h.max(), 10000u);
+  // 8 sub-buckets per octave → reported value within 12.5% above truth.
+  for (auto [p, expected] : std::vector<std::pair<double, uint64_t>>{
+           {50, 5000}, {95, 9500}, {99, 9900}}) {
+    uint64_t got = h.ValueAtPercentile(p);
+    EXPECT_GE(got, expected) << "p" << p;
+    EXPECT_LE(got, expected + expected / 8 + 1) << "p" << p;
+  }
+  EXPECT_NEAR(h.mean(), 5000.5, 0.5);
+}
+
+TEST(HistogramTest, BucketMappingRoundTrips) {
+  for (uint64_t v :
+       {uint64_t{0}, uint64_t{15}, uint64_t{16}, uint64_t{17},
+        uint64_t{31}, uint64_t{1000}, uint64_t{123456789},
+        uint64_t{1} << 62}) {
+    size_t index = Histogram::BucketIndex(v);
+    ASSERT_LT(index, Histogram::kNumBuckets) << v;
+    uint64_t upper = Histogram::BucketUpperBound(index);
+    EXPECT_GE(upper, v) << v;
+    // Upper bound within 12.5% of the value (exact below 16).
+    EXPECT_LE(upper, v + v / 8 + 1) << v;
+  }
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(MetricsRegistryTest, ToStringListsEverything) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.tostring.counter").Increment();
+  registry.GetHistogram("test.tostring.hist").Record(1000000);
+  std::string dump = registry.ToString();
+  EXPECT_NE(dump.find("test.tostring.counter"), std::string::npos);
+  EXPECT_NE(dump.find("test.tostring.hist"), std::string::npos);
+  EXPECT_NE(dump.find("p95"), std::string::npos);
+}
+
+// --- audit timestamps / durations -------------------------------------------
+
+TEST(AuditTest, EventsCarryMonotonicTimestamps) {
+  wfc::AuditTrail trail;
+  trail.Record(wfc::AuditEventKind::kInstanceStarted, "p");
+  trail.Record(wfc::AuditEventKind::kActivityStarted, "a");
+  trail.Record(wfc::AuditEventKind::kActivityCompleted, "a", "", 1500000);
+  ASSERT_EQ(trail.size(), 3u);
+  const auto& events = trail.events();
+  EXPECT_GT(events[0].timestamp_ns, 0);
+  EXPECT_LE(events[0].timestamp_ns, events[1].timestamp_ns);
+  EXPECT_LE(events[1].timestamp_ns, events[2].timestamp_ns);
+  EXPECT_EQ(events[0].duration_ns, -1);  // untimed event
+  EXPECT_EQ(events[2].duration_ns, 1500000);
+}
+
+TEST(AuditTest, FilterKindSelectsInSequenceOrder) {
+  wfc::AuditTrail trail;
+  trail.Record(wfc::AuditEventKind::kSqlExecuted, "s1");
+  trail.Record(wfc::AuditEventKind::kNote, "n");
+  trail.Record(wfc::AuditEventKind::kSqlExecuted, "s2");
+  auto sql = trail.FilterKind(wfc::AuditEventKind::kSqlExecuted);
+  ASSERT_EQ(sql.size(), 2u);
+  EXPECT_EQ(sql[0].activity, "s1");
+  EXPECT_EQ(sql[1].activity, "s2");
+  EXPECT_LT(sql[0].sequence, sql[1].sequence);
+  EXPECT_EQ(sql.size(),
+            trail.CountKind(wfc::AuditEventKind::kSqlExecuted));
+  EXPECT_TRUE(
+      trail.FilterKind(wfc::AuditEventKind::kInstanceFaulted).empty());
+}
+
+TEST(AuditTest, ToStringShowsRelativeTimesAndDurations) {
+  wfc::AuditTrail trail;
+  trail.Record(wfc::AuditEventKind::kActivityStarted, "step");
+  trail.Record(wfc::AuditEventKind::kActivityCompleted, "step", "",
+               2000000);
+  std::string text = trail.ToString();
+  EXPECT_NE(text.find("+0.000ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("(2.000ms)"), std::string::npos) << text;
+  EXPECT_NE(text.find("activity-completed step"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqlflow::obs

@@ -1,9 +1,14 @@
 #include <gtest/gtest.h>
 
+#include "bis/data_source_variable.h"
+#include "bis/sql_activity.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "patterns/capability.h"
 #include "patterns/evaluators.h"
 #include "patterns/fixture.h"
 #include "patterns/report.h"
+#include "wfc/activities.h"
 
 namespace sqlflow::patterns {
 namespace {
@@ -246,6 +251,129 @@ TEST(ReportTest, TableTwoRendersFootnotes) {
   EXPECT_EQ(table.find("FAIL"), std::string::npos)
       << "a cell failed verification:\n"
       << table;
+}
+
+TEST(ReportTest, InstrumentationTableRendersCells) {
+  std::vector<ProductMatrix> matrices;
+  for (auto& evaluator : MakeAllEvaluators()) {
+    auto matrix = evaluator->EvaluateAll();
+    ASSERT_TRUE(matrix.ok());
+    matrices.push_back(*matrix);
+  }
+  std::string table = RenderInstrumentationTable(matrices);
+  EXPECT_NE(table.find("sql_statements"), std::string::npos);
+  EXPECT_NE(table.find("latency"), std::string::npos);
+  for (const ProductMatrix& matrix : matrices) {
+    EXPECT_NE(table.find(matrix.product), std::string::npos);
+  }
+}
+
+// --- observability integration ----------------------------------------------
+
+TEST(ObservabilityIntegrationTest, EveryCellProducesTaggedSpan) {
+  obs::TraceBuffer& buffer = obs::TraceBuffer::Global();
+  buffer.set_enabled(true);
+  buffer.Clear();
+
+  std::vector<std::pair<std::string, ProductMatrix>> results;
+  for (auto& evaluator : MakeAllEvaluators()) {
+    auto matrix = evaluator->EvaluateAll();
+    ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+    results.emplace_back(evaluator->short_name(), *matrix);
+  }
+  std::vector<obs::SpanRecord> spans = buffer.Snapshot();
+  EXPECT_EQ(buffer.dropped(), 0u)
+      << "trace buffer overflowed during one full matrix evaluation";
+
+  for (const auto& [engine, matrix] : results) {
+    for (const CellRealization& cell : matrix.cells) {
+      bool tagged = false;
+      for (const obs::SpanRecord& span : spans) {
+        if (span.name != "pattern.eval") continue;
+        const std::string* e = span.FindAttribute("engine");
+        const std::string* p = span.FindAttribute("pattern");
+        if (e != nullptr && p != nullptr && *e == engine &&
+            *p == PatternName(cell.pattern)) {
+          tagged = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(tagged) << engine << " / " << PatternName(cell.pattern)
+                          << " left no tagged span";
+      // Every scenario at least seeds its fixture through SQL, and the
+      // evaluation cannot have taken zero time.
+      EXPECT_GE(cell.sql_statements, 1u)
+          << engine << " / " << PatternName(cell.pattern);
+      EXPECT_GT(cell.eval_micros, 0.0)
+          << engine << " / " << PatternName(cell.pattern);
+    }
+  }
+
+  // The layers nest: at least one sql.exec span hangs off a parent.
+  bool nested_sql = false;
+  for (const obs::SpanRecord& span : spans) {
+    if (span.name == "sql.exec" && span.parent_id != 0) {
+      nested_sql = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(nested_sql);
+}
+
+TEST(ObservabilityIntegrationTest, EngineStatsAgreeWithAuditAndMetrics) {
+  auto fixture = MakeFixture("obs");
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  uint64_t activities_before =
+      metrics.GetCounter("wfc.activities").value();
+  uint64_t instances_before = metrics.GetCounter("wfc.instances").value();
+
+  bis::SqlActivity::Config config;
+  config.data_source_variable = "DS";
+  config.statement = "SELECT COUNT(*) FROM Orders";
+  std::vector<wfc::ActivityPtr> steps;
+  steps.push_back(std::make_shared<bis::SqlActivity>("SQL1", config));
+  steps.push_back(std::make_shared<bis::SqlActivity>("SQL2", config));
+  auto root =
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps));
+  auto definition =
+      std::make_shared<wfc::ProcessDefinition>("obs-probe", root);
+  definition->DeclareVariable(
+      "DS", wfc::VarValue(wfc::ObjectPtr(
+                std::make_shared<bis::DataSourceVariable>(
+                    Fixture::kConnection))));
+  fixture->engine->DeployOrReplace(definition);
+
+  uint64_t audit_activities = 0;
+  uint64_t audit_sql = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto result = fixture->engine->RunProcess("obs-probe");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->ok()) << result->status.ToString();
+    audit_activities +=
+        result->audit.CountKind(wfc::AuditEventKind::kActivityStarted);
+    audit_sql +=
+        result->audit.CountKind(wfc::AuditEventKind::kSqlExecuted);
+    // Completed activities carry their measured duration.
+    for (const wfc::AuditEvent& e : result->audit.FilterKind(
+             wfc::AuditEventKind::kActivityCompleted)) {
+      EXPECT_GE(e.duration_ns, 0) << e.activity;
+    }
+  }
+
+  const wfc::WorkflowEngine::EngineStats& stats =
+      fixture->engine->stats();
+  // 3 runs × (1 sequence + 2 SQL activities) and 3 runs × 2 statements.
+  EXPECT_EQ(stats.activities_executed, 9u);
+  EXPECT_EQ(stats.sql_statements_executed, 6u);
+  EXPECT_EQ(stats.activities_executed, audit_activities);
+  EXPECT_EQ(stats.sql_statements_executed, audit_sql);
+  EXPECT_EQ(metrics.GetCounter("wfc.activities").value() -
+                activities_before,
+            audit_activities);
+  EXPECT_EQ(metrics.GetCounter("wfc.instances").value() -
+                instances_before,
+            3u);
 }
 
 }  // namespace
