@@ -1,0 +1,237 @@
+// Access-path optimizer ablation: index-backed point lookups, hash
+// equi-joins, and statement-plan caching versus the scan/nested-loop/
+// reparse baselines, at 100 / 1k / 10k rows.
+//
+// Writes BENCH_sql_plans.json (scan-vs-indexed speedups per workload)
+// next to the working directory on a full run; `--quick` runs a smoke
+// pass with minimal iteration counts and skips the JSON.
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sql/database.h"
+
+namespace sqlflow {
+namespace {
+
+using sql::Database;
+using sql::Params;
+
+constexpr int kDeptCount = 64;
+
+// Seeds `rows` employees over kDeptCount departments. Optimization is
+// toggled per measurement through set_optimizer_enabled, so one fixture
+// shape serves both the indexed and the scan variants.
+std::unique_ptr<Database> MakeDb(int rows) {
+  auto db = std::make_unique<Database>("bench_plans");
+  bench::CheckOk(db->ExecuteScript(R"sql(
+    CREATE TABLE emp (id INTEGER PRIMARY KEY, dept INTEGER,
+                      name VARCHAR(24), salary DOUBLE);
+    CREATE TABLE dept (id INTEGER PRIMARY KEY, title VARCHAR(24));
+    CREATE INDEX idx_emp_dept ON emp (dept);
+  )sql"),
+                "create schema");
+  auto ins_dept = bench::ValueOrDie(
+      db->Prepare("INSERT INTO dept VALUES (?, ?)"), "prepare dept");
+  for (int d = 0; d < kDeptCount; ++d) {
+    Params p;
+    p.Add(Value::Integer(d));
+    p.Add(Value::String("dept-" + std::to_string(d)));
+    bench::CheckOk(ins_dept.Execute(p).status(), "insert dept");
+  }
+  auto ins_emp = bench::ValueOrDie(
+      db->Prepare("INSERT INTO emp VALUES (?, ?, ?, ?)"), "prepare emp");
+  for (int i = 0; i < rows; ++i) {
+    Params p;
+    p.Add(Value::Integer(i));
+    p.Add(Value::Integer((i * 7919) % kDeptCount));
+    p.Add(Value::String("emp-" + std::to_string(i)));
+    p.Add(Value::Double(1000.0 + i));
+    bench::CheckOk(ins_emp.Execute(p).status(), "insert emp");
+  }
+  return db;
+}
+
+void BM_PointLookup(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const bool indexed = state.range(1) != 0;
+  auto db = MakeDb(rows);
+  db->set_optimizer_enabled(indexed);
+  auto lookup = bench::ValueOrDie(
+      db->Prepare("SELECT name FROM emp WHERE id = ?"), "prepare lookup");
+  int64_t i = 0;
+  for (auto _ : state) {
+    Params p;
+    p.Add(Value::Integer((++i * 7919) % rows));
+    auto rs = lookup.Execute(p);
+    bench::CheckOk(rs.status(), "lookup");
+    benchmark::DoNotOptimize(rs->row_count());
+  }
+  state.SetLabel(indexed ? "index_lookup" : "scan");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PointLookup)
+    ->ArgNames({"rows", "indexed"})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_EquiJoin(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const bool indexed = state.range(1) != 0;
+  auto db = MakeDb(rows);
+  db->set_optimizer_enabled(indexed);
+  const char* q =
+      "SELECT COUNT(*) FROM emp e JOIN dept d ON e.dept = d.id "
+      "WHERE e.salary > 0";
+  for (auto _ : state) {
+    auto rs = db->Execute(q);
+    bench::CheckOk(rs.status(), "join");
+    benchmark::DoNotOptimize(rs->row_count());
+  }
+  state.SetLabel(indexed ? "hash_join" : "nested_loop");
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_EquiJoin)
+    ->ArgNames({"rows", "indexed"})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+// Same statement text executed repeatedly: full reparse (cache off)
+// versus the LRU plan cache versus an explicit PreparedStatement.
+void BM_RepeatedStatement(benchmark::State& state) {
+  const int mode = static_cast<int>(state.range(0));
+  auto db = MakeDb(1000);
+  const char* q =
+      "SELECT name, salary FROM emp WHERE id = 123 AND salary > 500";
+  if (mode == 0) db->set_plan_cache_capacity(0);
+  if (mode == 2) {
+    auto prepared = bench::ValueOrDie(db->Prepare(q), "prepare");
+    for (auto _ : state) {
+      auto rs = prepared.Execute();
+      bench::CheckOk(rs.status(), "prepared");
+      benchmark::DoNotOptimize(rs->row_count());
+    }
+  } else {
+    for (auto _ : state) {
+      auto rs = db->Execute(q);
+      bench::CheckOk(rs.status(), "execute");
+      benchmark::DoNotOptimize(rs->row_count());
+    }
+  }
+  state.SetLabel(mode == 0   ? "reparse"
+                 : mode == 1 ? "plan_cache"
+                             : "prepared");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RepeatedStatement)
+    ->ArgNames({"mode"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Console reporter that also captures per-run ns/op so main() can emit
+/// the scan-vs-indexed speedup summary as JSON.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      ns_per_op_[run.benchmark_name()] =
+          run.GetAdjustedRealTime() *
+          (run.time_unit == benchmark::kMicrosecond ? 1e3 : 1.0);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  double NsPerOp(const std::string& name) const {
+    auto it = ns_per_op_.find(name);
+    return it == ns_per_op_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::map<std::string, double> ns_per_op_;
+};
+
+void WriteJson(const CapturingReporter& reporter, const char* path) {
+  auto pair_name = [](const char* bm, int rows, int indexed) {
+    return std::string(bm) + "/rows:" + std::to_string(rows) +
+           "/indexed:" + std::to_string(indexed);
+  };
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"sql_plans\",\n  \"comparisons\": [\n";
+  bool first = true;
+  for (const char* bm : {"BM_PointLookup", "BM_EquiJoin"}) {
+    for (int rows : {100, 1000, 10000}) {
+      double scan = reporter.NsPerOp(pair_name(bm, rows, 0));
+      double indexed = reporter.NsPerOp(pair_name(bm, rows, 1));
+      if (scan == 0.0 || indexed == 0.0) continue;
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"workload\": \""
+          << (std::strcmp(bm, "BM_PointLookup") == 0 ? "point_lookup"
+                                                     : "equi_join")
+          << "\", \"rows\": " << rows << ", \"scan_ns_per_op\": " << scan
+          << ", \"indexed_ns_per_op\": " << indexed
+          << ", \"speedup\": " << scan / indexed << "}";
+    }
+  }
+  double reparse = reporter.NsPerOp("BM_RepeatedStatement/mode:0");
+  double cached = reporter.NsPerOp("BM_RepeatedStatement/mode:1");
+  double prepared = reporter.NsPerOp("BM_RepeatedStatement/mode:2");
+  if (reparse > 0.0 && cached > 0.0 && prepared > 0.0) {
+    if (!first) out << ",\n";
+    out << "    {\"workload\": \"repeated_statement\", \"rows\": 1000"
+        << ", \"reparse_ns_per_op\": " << reparse
+        << ", \"plan_cache_ns_per_op\": " << cached
+        << ", \"prepared_ns_per_op\": " << prepared
+        << ", \"plan_cache_speedup\": " << reparse / cached
+        << ", \"prepared_speedup\": " << reparse / prepared << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace sqlflow
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--quick") == 0) {
+      quick = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (quick) args.push_back(min_time);
+  int adjusted_argc = static_cast<int>(args.size());
+
+  sqlflow::bench::PrintBanner(
+      "SQL access paths — index lookups, hash joins, plan cache",
+      "indexed point lookups and hash joins pull ahead of scans as rows "
+      "grow (>=5x at 10k); plan cache / prepared statements beat "
+      "per-call reparsing");
+  benchmark::Initialize(&adjusted_argc, args.data());
+  sqlflow::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!quick) sqlflow::WriteJson(reporter, "BENCH_sql_plans.json");
+  return 0;
+}

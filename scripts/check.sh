@@ -13,12 +13,19 @@ cmake --build build -j
 ctest --test-dir build --output-on-failure -j
 
 if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
-  echo "== ASan: sanitized build + obs/integration tests =="
+  echo "== ASan: sanitized build + obs/integration/plan tests =="
   cmake -B build-asan -S . -DSQLFLOW_SANITIZE=address
   cmake --build build-asan -j --target sqlflow_obs_tests \
-    sqlflow_integration_tests
+    sqlflow_integration_tests sqlflow_sql_tests
   ./build-asan/tests/sqlflow_obs_tests
   ./build-asan/tests/sqlflow_integration_tests
+  # The optimizer differential battery (index/hash-join/plan-cache paths
+  # exercise raw slot bookkeeping — worth the sanitized pass).
+  ./build-asan/tests/sqlflow_sql_tests \
+    --gtest_filter='PlansTest.*:LookupKeyTest.*'
 fi
+
+echo "== bench smoke: sql plans =="
+./build/bench/bench_sql_plans --quick > /dev/null
 
 echo "== all checks passed =="

@@ -1,5 +1,7 @@
 #include "sql/database.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -8,9 +10,19 @@
 
 namespace sqlflow::sql {
 
-Database::Database(std::string name) : name_(std::move(name)) {}
+Database::Database(std::string name)
+    : name_(std::move(name)), optimizer_enabled_(OptimizerDefaultFlag()) {}
 
 Database::~Database() = default;
+
+bool& Database::OptimizerDefaultFlag() {
+  static bool enabled = true;
+  return enabled;
+}
+
+void Database::SetOptimizerDefault(bool on) {
+  OptimizerDefaultFlag() = on;
+}
 
 Result<ResultSet> Database::Execute(std::string_view sql) {
   return Execute(sql, Params::None());
@@ -18,22 +30,131 @@ Result<ResultSet> Database::Execute(std::string_view sql) {
 
 Result<ResultSet> Database::Execute(std::string_view sql,
                                     const Params& params) {
-  SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
-                           ParseStatement(sql));
-  return ExecuteStatement(*stmt, params);
+  if (plan_cache_capacity_ == 0) {
+    SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                             ParseStatement(sql));
+    return ExecuteStatement(*stmt, params);
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  std::string key(sql);
+  auto it = plan_cache_.find(key);
+  if (it == plan_cache_.end()) {
+    plan_cache_stats_.misses++;
+    metrics.GetCounter("sql.plan_cache.miss").Increment();
+    SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                             ParseStatement(sql));
+    bool cacheable = stmt->kind == StatementKind::kSelect ||
+                     stmt->kind == StatementKind::kInsert ||
+                     stmt->kind == StatementKind::kUpdate ||
+                     stmt->kind == StatementKind::kDelete;
+    if (!cacheable) return ExecuteStatement(*stmt, params);
+    CachedStatement entry;
+    entry.statement = std::shared_ptr<const Statement>(std::move(stmt));
+    entry.tables = CollectReferencedTables(*entry.statement);
+    entry.last_used_tick = ++plan_cache_tick_;
+    it = plan_cache_.emplace(std::move(key), std::move(entry)).first;
+    EvictPlanCacheOverflow();
+  } else {
+    plan_cache_stats_.hits++;
+    metrics.GetCounter("sql.plan_cache.hit").Increment();
+    it->second.last_used_tick = ++plan_cache_tick_;
+  }
+  if (it->second.plan == nullptr ||
+      it->second.plan->schema_epoch != schema_epoch_) {
+    it->second.plan = std::make_shared<const StatementPlan>(
+        PlanStatement(*it->second.statement, this));
+  }
+  // Local refs: execution can re-enter this cache (stored procedures)
+  // and evict or invalidate the entry mid-flight.
+  std::shared_ptr<const Statement> stmt = it->second.statement;
+  std::shared_ptr<const StatementPlan> plan = it->second.plan;
+  return ExecuteStatement(*stmt, params, plan.get());
+}
+
+void Database::EvictPlanCacheOverflow() {
+  while (plan_cache_.size() > plan_cache_capacity_) {
+    auto victim = plan_cache_.begin();
+    for (auto it = plan_cache_.begin(); it != plan_cache_.end(); ++it) {
+      if (it->second.last_used_tick < victim->second.last_used_tick) {
+        victim = it;
+      }
+    }
+    plan_cache_.erase(victim);
+    plan_cache_stats_.evictions++;
+  }
+}
+
+void Database::set_plan_cache_capacity(size_t capacity) {
+  plan_cache_capacity_ = capacity;
+  if (capacity == 0) {
+    plan_cache_.clear();
+  } else {
+    EvictPlanCacheOverflow();
+  }
+}
+
+void Database::InvalidatePlans(const std::string& table_name) {
+  std::string upper = ToUpperAscii(table_name);
+  for (auto it = plan_cache_.begin(); it != plan_cache_.end();) {
+    const std::vector<std::string>& tables = it->second.tables;
+    if (std::find(tables.begin(), tables.end(), upper) != tables.end()) {
+      it = plan_cache_.erase(it);
+      plan_cache_stats_.invalidations++;
+      obs::MetricsRegistry::Global()
+          .GetCounter("sql.plan_cache.invalidation")
+          .Increment();
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Database::NotePlanChoice(PlanChoice choice) {
+  plan_mask_ |= static_cast<unsigned>(choice);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  switch (choice) {
+    case PlanChoice::kScan:
+      metrics.GetCounter("sql.plan.scan").Increment();
+      break;
+    case PlanChoice::kIndexLookup:
+      metrics.GetCounter("sql.plan.index_lookup").Increment();
+      break;
+    case PlanChoice::kHashJoin:
+      metrics.GetCounter("sql.plan.hash_join").Increment();
+      break;
+  }
 }
 
 Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
-                                             const Params& params) {
+                                             const Params& params,
+                                             const StatementPlan* plan) {
   obs::Span span("sql.exec");
   span.Set("db", name_);
   span.Set("kind", StatementKindName(stmt.kind));
+  // Each statement records its own plan choices; nested statements
+  // (stored procedures, scripts) tag their own spans and fold back into
+  // the enclosing statement's attribute.
+  unsigned saved_mask = plan_mask_;
+  plan_mask_ = 0;
   Executor executor(this);
-  Result<ResultSet> result = executor.Execute(stmt, params);
+  Result<ResultSet> result = executor.Execute(stmt, params, plan);
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.GetHistogram("sql.exec")
       .Record(static_cast<uint64_t>(span.ElapsedNanos()));
   metrics.GetCounter("sql.statements").Increment();
+  if (plan_mask_ != 0) {
+    std::string attr;
+    auto append = [&](PlanChoice bit, const char* label) {
+      if ((plan_mask_ & static_cast<unsigned>(bit)) == 0) return;
+      if (!attr.empty()) attr += '+';
+      attr += label;
+    };
+    append(PlanChoice::kIndexLookup, "index_lookup");
+    append(PlanChoice::kHashJoin, "hash_join");
+    append(PlanChoice::kScan, "scan");
+    span.Set("plan", attr);
+  }
+  plan_mask_ |= saved_mask;
   if (result.ok()) {
     // Rows touched: result rows for queries, change count for DML.
     int64_t rows = result->row_count() > 0
@@ -70,7 +191,13 @@ Result<PreparedStatement> Database::Prepare(std::string_view sql) {
 }
 
 Result<ResultSet> PreparedStatement::Execute(const Params& params) const {
-  return db_->ExecuteStatement(*statement_, params);
+  if (plan_ == nullptr || plan_->schema_epoch != db_->schema_epoch()) {
+    plan_ = std::make_shared<const StatementPlan>(
+        PlanStatement(*statement_, db_));
+  }
+  // Keep a local ref in case execution replans re-entrantly.
+  std::shared_ptr<const StatementPlan> plan = plan_;
+  return db_->ExecuteStatement(*statement_, params, plan.get());
 }
 
 int PreparedStatement::parameter_count() const {
@@ -104,6 +231,8 @@ Status Database::Rollback() {
   in_transaction_ = false;  // raw undo replay must not re-log
   undo_log_.RollbackInto(this);
   stats_.transactions_rolled_back++;
+  // Rollback may have undone DDL; force memoized plans to revalidate.
+  BumpSchemaEpoch();
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include "common/status.h"
 #include "sql/catalog.h"
 #include "sql/eval.h"
+#include "sql/planner.h"
 #include "sql/result_set.h"
 #include "sql/transaction.h"
 
@@ -50,6 +51,9 @@ class PreparedStatement {
 
   Database* db_;
   std::unique_ptr<Statement> statement_;
+  /// Memoized access-path plan, rebuilt whenever the database's schema
+  /// epoch moves past the one the plan was computed under.
+  mutable std::shared_ptr<const StatementPlan> plan_;
 };
 
 /// An in-memory relational database: catalog + executor + one transaction
@@ -68,6 +72,14 @@ class Database {
     uint64_t transactions_rolled_back = 0;
   };
 
+  /// Statement-plan cache counters (monotonic).
+  struct PlanCacheStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+  };
+
   explicit Database(std::string name);
   ~Database();
 
@@ -80,9 +92,12 @@ class Database {
   Result<ResultSet> Execute(std::string_view sql);
   /// Parses and executes one statement with host-variable bindings.
   Result<ResultSet> Execute(std::string_view sql, const Params& params);
-  /// Executes an already-parsed statement.
+  /// Executes an already-parsed statement. `plan` is an optional
+  /// memoized access-path plan for `stmt` (from the plan cache or a
+  /// PreparedStatement); when null the executor plans inline.
   Result<ResultSet> ExecuteStatement(const Statement& stmt,
-                                     const Params& params);
+                                     const Params& params,
+                                     const StatementPlan* plan = nullptr);
   /// Executes a parsed SELECT (used for subquery evaluation).
   Result<ResultSet> ExecuteSelect(const SelectStatement& select,
                                   const Params& params);
@@ -118,7 +133,54 @@ class Database {
   /// through subqueries, which spawn fresh executors).
   int* MutableViewDepth() { return &view_expansion_depth_; }
 
+  // --- query optimization ----------------------------------------------------
+  /// When disabled, every predicate scans and every join nested-loops
+  /// (the pre-optimizer behavior); used by differential tests and the
+  /// scan-baseline benches.
+  bool optimizer_enabled() const { return optimizer_enabled_; }
+  void set_optimizer_enabled(bool on) { optimizer_enabled_ = on; }
+  /// Process-wide default for newly constructed databases, so whole
+  /// fixtures can be re-run un-optimized without threading a flag.
+  static void SetOptimizerDefault(bool on);
+
+  /// Monotonic counter bumped by any DDL (and by rollback, which can
+  /// undo DDL); memoized StatementPlans stamped with an older epoch are
+  /// recomputed before use.
+  uint64_t schema_epoch() const { return schema_epoch_; }
+  void BumpSchemaEpoch() { ++schema_epoch_; }
+
+  /// Records which access path the executor took for the statement
+  /// currently running (aggregated into the `sql.plan` span attribute
+  /// and the sql.plan.* metrics counters).
+  void NotePlanChoice(PlanChoice choice);
+
+  /// Drops cached plans that reference `table_name` (DROP TABLE /
+  /// TRUNCATE call this so stale statements cannot be replayed).
+  void InvalidatePlans(const std::string& table_name);
+
+  /// LRU statement-plan cache configuration; capacity 0 disables caching.
+  void set_plan_cache_capacity(size_t capacity);
+  size_t plan_cache_size() const { return plan_cache_.size(); }
+  const PlanCacheStats& plan_cache_stats() const {
+    return plan_cache_stats_;
+  }
+
  private:
+  /// One parse+plan cache entry. shared_ptrs keep statements and plans
+  /// alive across re-entrant executions (a stored procedure running the
+  /// same SQL may evict the entry the outer execution still uses).
+  struct CachedStatement {
+    std::shared_ptr<const Statement> statement;
+    std::shared_ptr<const StatementPlan> plan;
+    std::vector<std::string> tables;  // upper-cased referenced tables
+    uint64_t last_used_tick = 0;
+  };
+
+  static bool& OptimizerDefaultFlag();
+  void EvictPlanCacheOverflow();
+
+  static constexpr size_t kDefaultPlanCacheCapacity = 64;
+
   std::string name_;
   Catalog catalog_;
   std::map<std::string, StoredProcedure> procedures_;
@@ -126,6 +188,14 @@ class Database {
   bool in_transaction_ = false;
   Stats stats_;
   int view_expansion_depth_ = 0;
+
+  bool optimizer_enabled_;
+  uint64_t schema_epoch_ = 0;
+  unsigned plan_mask_ = 0;  // PlanChoice bits for the running statement
+  size_t plan_cache_capacity_ = kDefaultPlanCacheCapacity;
+  uint64_t plan_cache_tick_ = 0;
+  std::map<std::string, CachedStatement> plan_cache_;  // keyed by SQL text
+  PlanCacheStats plan_cache_stats_;
 };
 
 }  // namespace sqlflow::sql

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_map>
 #include <utility>
 
 #include "common/string_util.h"
 #include "sql/database.h"
+#include "sql/planner.h"
 #include "sql/table.h"
 #include "sql/transaction.h"
 
@@ -164,6 +166,77 @@ std::string DeriveColumnName(const Expr& e, size_t ordinal) {
   return "col" + std::to_string(ordinal + 1);
 }
 
+// ---------------------------------------------------------------------------
+// Hash-join support
+// ---------------------------------------------------------------------------
+
+// Scope ordinal of a column reference, mirroring ScopeBinding::Resolve;
+// -1 when absent or ambiguous (the nested loop then surfaces the same
+// resolution error the hash join would have hidden).
+int FindScopeColumn(const std::vector<ScopeColumn>& cols, const Expr& e) {
+  if (e.kind != ExprKind::kColumnRef) return -1;
+  int found = -1;
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const ScopeColumn& sc = cols[i];
+    if (!e.table_qualifier.empty() &&
+        !EqualsIgnoreCase(sc.qualifier, e.table_qualifier)) {
+      continue;
+    }
+    if (!EqualsIgnoreCase(sc.name, e.column_name)) continue;
+    if (found >= 0) return -1;
+    found = static_cast<int>(i);
+  }
+  return found;
+}
+
+// Value-class bits for the comparability prescan. NULL contributes
+// nothing (NULL keys never match, never error).
+constexpr unsigned kClassBool = 1u;
+constexpr unsigned kClassNumeric = 2u;
+constexpr unsigned kClassNumString = 4u;
+constexpr unsigned kClassRawString = 8u;
+
+unsigned ValueClassBit(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBoolean:
+      return kClassBool;
+    case ValueType::kInteger:
+    case ValueType::kDouble:
+      return kClassNumeric;
+    case ValueType::kString:
+      return v.AsDouble().ok() ? kClassNumString : kClassRawString;
+  }
+  return kClassRawString;
+}
+
+// True when some left/right value pair could raise a TypeError under the
+// executor's comparison rules (bool vs anything else, number vs
+// non-numeric string). The nested loop evaluates the ON clause for every
+// pair and surfaces such errors; a hash join would silently skip them,
+// so it must decline.
+bool ClassesMayError(unsigned a, unsigned b) {
+  if ((a & kClassBool) != 0 && (b & ~kClassBool) != 0) return true;
+  if ((b & kClassBool) != 0 && (a & ~kClassBool) != 0) return true;
+  if ((a & kClassNumeric) != 0 && (b & kClassRawString) != 0) return true;
+  if ((b & kClassNumeric) != 0 && (a & kClassRawString) != 0) return true;
+  return false;
+}
+
+bool JoinKeysComparable(
+    const std::vector<Row>& left_rows, const std::vector<Row>& right_rows,
+    const std::vector<std::pair<size_t, size_t>>& key_pairs) {
+  for (const auto& [lo, ro] : key_pairs) {
+    unsigned lmask = 0;
+    unsigned rmask = 0;
+    for (const Row& row : left_rows) lmask |= ValueClassBit(row[lo]);
+    for (const Row& row : right_rows) rmask |= ValueClassBit(row[ro]);
+    if (ClassesMayError(lmask, rmask)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -171,9 +244,13 @@ std::string DeriveColumnName(const Expr& e, size_t ordinal) {
 // ---------------------------------------------------------------------------
 
 Result<ResultSet> Executor::ExecuteSelect(const SelectStatement& sel,
-                                          const Params& params) {
-  SQLFLOW_ASSIGN_OR_RETURN(ResultSet left, ExecuteSelectCore(sel, params));
+                                          const Params& params,
+                                          const StatementPlan* plan) {
+  SQLFLOW_ASSIGN_OR_RETURN(ResultSet left,
+                           ExecuteSelectCore(sel, params, plan));
   if (sel.union_next == nullptr) return left;
+  // A memoized plan covers only the first SELECT core; union branches
+  // plan inline.
   SQLFLOW_ASSIGN_OR_RETURN(ResultSet right,
                            ExecuteSelect(*sel.union_next, params));
   if (left.column_count() != right.column_count()) {
@@ -194,11 +271,43 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStatement& sel,
   return combined;
 }
 
+std::optional<std::vector<size_t>> Executor::ResolveCandidates(
+    Table* table, const std::string& alias, const Expr* where,
+    const StatementPlan* plan, const Params& params) {
+  if (!db_->optimizer_enabled() || where == nullptr) {
+    db_->NotePlanChoice(PlanChoice::kScan);
+    return std::nullopt;
+  }
+  const IndexLookupPlan* access = nullptr;
+  std::optional<IndexLookupPlan> local;
+  if (plan != nullptr) {
+    // Memoized plan (epoch-validated by the caller); has_access == false
+    // memoizes "nothing sargable" and skips re-planning.
+    if (plan->has_access) access = &plan->access;
+  } else {
+    local = PlanTableAccess(*table, alias, where);
+    if (local.has_value()) access = &*local;
+  }
+  if (access != nullptr &&
+      EqualsIgnoreCase(access->table_name, table->schema().table_name())) {
+    std::optional<std::vector<size_t>> candidates =
+        IndexCandidates(*table, *access, params, db_);
+    if (candidates.has_value()) {
+      db_->NotePlanChoice(PlanChoice::kIndexLookup);
+      return candidates;
+    }
+  }
+  db_->NotePlanChoice(PlanChoice::kScan);
+  return std::nullopt;
+}
+
 Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
-                                              const Params& params) {
-  // 1. Build the FROM scope (nested-loop joins in declaration order).
-  // Each reference resolves to either a base table or a view (whose
-  // defining SELECT is executed inline).
+                                              const Params& params,
+                                              const StatementPlan* plan) {
+  // 1. Build the FROM scope (joins in declaration order). Each reference
+  // resolves to either a base table or a view (whose defining SELECT is
+  // executed inline). Equi-joins run as build/probe hash joins; other
+  // joins nested-loop.
   FromScope scope;
   bool first_ref = true;
   for (const TableRef& ref : sel.from) {
@@ -217,7 +326,25 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
       for (const ColumnDef& col : table->schema().columns()) {
         right_cols.push_back({qual, col.name});
       }
-      right_rows = table->rows();
+      // A single-base-table SELECT can satisfy sargable WHERE conjuncts
+      // through an index instead of materializing the whole table. The
+      // full WHERE still runs over the candidates below, so collisions
+      // and residual conjuncts are re-checked.
+      std::optional<std::vector<size_t>> candidates;
+      if (first_ref && sel.from.size() == 1) {
+        candidates = ResolveCandidates(table, qual, sel.where.get(), plan,
+                                       params);
+      } else if (first_ref) {
+        db_->NotePlanChoice(PlanChoice::kScan);
+      }
+      if (candidates.has_value()) {
+        right_rows.reserve(candidates->size());
+        for (size_t slot : *candidates) {
+          right_rows.push_back(table->rows()[slot]);
+        }
+      } else {
+        right_rows = table->rows();
+      }
     } else if (const SelectStatement* view =
                    db_->catalog().FindView(ref.table_name)) {
       int* depth = db_->MutableViewDepth();
@@ -247,6 +374,7 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
     std::vector<ScopeColumn> combined_cols = scope.columns;
     combined_cols.insert(combined_cols.end(), right_cols.begin(),
                          right_cols.end());
+    const size_t left_width = scope.columns.size();
     std::vector<Row> combined_rows;
     Row probe;
     ScopeBinding binding(&combined_cols, &probe);
@@ -254,26 +382,120 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
     ctx.binding = &binding;
     ctx.params = &params;
     ctx.database = db_;
-    for (const Row& left : scope.rows) {
-      bool matched = false;
-      for (const Row& right : right_rows) {
-        probe = left;
-        probe.insert(probe.end(), right.begin(), right.end());
-        bool keep = true;
-        if (ref.join_condition != nullptr) {
-          SQLFLOW_ASSIGN_OR_RETURN(Value cond,
-                                   EvaluateExpr(*ref.join_condition, ctx));
-          keep = IsTrue(cond);
+
+    // Extract equality conjuncts joining a left-scope column to a
+    // right-side column; if any exist (and no key pairing could change
+    // error behavior versus the nested loop), build/probe hash join.
+    std::vector<std::pair<size_t, size_t>> key_pairs;
+    bool hash_join = db_->optimizer_enabled() &&
+                     ref.join_condition != nullptr &&
+                     (ref.join_type == JoinType::kInner ||
+                      ref.join_type == JoinType::kLeftOuter);
+    if (hash_join) {
+      std::vector<const Expr*> conjuncts;
+      SplitConjuncts(*ref.join_condition, &conjuncts);
+      for (const Expr* c : conjuncts) {
+        if (c->kind != ExprKind::kBinary ||
+            c->binary_op != BinaryOp::kEq) {
+          continue;
         }
-        if (keep) {
-          matched = true;
-          combined_rows.push_back(probe);
+        int a = FindScopeColumn(combined_cols, *c->children[0]);
+        int b = FindScopeColumn(combined_cols, *c->children[1]);
+        if (a < 0 || b < 0) continue;
+        size_t ua = static_cast<size_t>(a);
+        size_t ub = static_cast<size_t>(b);
+        if (ua < left_width && ub >= left_width) {
+          key_pairs.emplace_back(ua, ub - left_width);
+        } else if (ub < left_width && ua >= left_width) {
+          key_pairs.emplace_back(ub, ua - left_width);
         }
       }
-      if (!matched && ref.join_type == JoinType::kLeftOuter) {
-        Row padded = left;
-        padded.resize(combined_cols.size(), Value::Null());
-        combined_rows.push_back(std::move(padded));
+      hash_join = !key_pairs.empty() &&
+                  JoinKeysComparable(scope.rows, right_rows, key_pairs);
+    }
+
+    if (hash_join) {
+      db_->NotePlanChoice(PlanChoice::kHashJoin);
+      // Build on the right side; rows with a NULL key part can never
+      // match and stay out of the table entirely.
+      std::unordered_map<std::string, std::vector<size_t>> buckets;
+      buckets.reserve(right_rows.size());
+      for (size_t ri = 0; ri < right_rows.size(); ++ri) {
+        std::string key;
+        bool null_key = false;
+        for (const auto& [lo, ro] : key_pairs) {
+          const Value& v = right_rows[ri][ro];
+          if (v.is_null()) {
+            null_key = true;
+            break;
+          }
+          AppendLookupKeyPart(v, &key);
+        }
+        if (!null_key) buckets[std::move(key)].push_back(ri);
+      }
+      for (const Row& left : scope.rows) {
+        bool matched = false;
+        std::string key;
+        bool null_key = false;
+        for (const auto& [lo, ro] : key_pairs) {
+          (void)ro;
+          const Value& v = left[lo];
+          if (v.is_null()) {
+            null_key = true;
+            break;
+          }
+          AppendLookupKeyPart(v, &key);
+        }
+        if (!null_key) {
+          auto bucket = buckets.find(key);
+          if (bucket != buckets.end()) {
+            // Bucket slots ascend, so output order matches the nested
+            // loop's. The full ON clause re-runs per candidate: key
+            // collisions and residual conjuncts filter here.
+            for (size_t ri : bucket->second) {
+              probe = left;
+              probe.insert(probe.end(), right_rows[ri].begin(),
+                           right_rows[ri].end());
+              SQLFLOW_ASSIGN_OR_RETURN(
+                  Value cond, EvaluateExpr(*ref.join_condition, ctx));
+              if (IsTrue(cond)) {
+                matched = true;
+                combined_rows.push_back(probe);
+              }
+            }
+          }
+        }
+        if (!matched && ref.join_type == JoinType::kLeftOuter) {
+          Row padded = left;
+          padded.resize(combined_cols.size(), Value::Null());
+          combined_rows.push_back(std::move(padded));
+        }
+      }
+    } else {
+      if (ref.join_condition != nullptr) {
+        db_->NotePlanChoice(PlanChoice::kScan);
+      }
+      for (const Row& left : scope.rows) {
+        bool matched = false;
+        for (const Row& right : right_rows) {
+          probe = left;
+          probe.insert(probe.end(), right.begin(), right.end());
+          bool keep = true;
+          if (ref.join_condition != nullptr) {
+            SQLFLOW_ASSIGN_OR_RETURN(
+                Value cond, EvaluateExpr(*ref.join_condition, ctx));
+            keep = IsTrue(cond);
+          }
+          if (keep) {
+            matched = true;
+            combined_rows.push_back(probe);
+          }
+        }
+        if (!matched && ref.join_type == JoinType::kLeftOuter) {
+          Row padded = left;
+          padded.resize(combined_cols.size(), Value::Null());
+          combined_rows.push_back(std::move(padded));
+        }
       }
     }
     scope.columns = std::move(combined_cols);
@@ -636,7 +858,8 @@ Result<ResultSet> Executor::ExecuteInsert(const InsertStatement& ins,
 }
 
 Result<ResultSet> Executor::ExecuteUpdate(const UpdateStatement& upd,
-                                          const Params& params) {
+                                          const Params& params,
+                                          const StatementPlan* plan) {
   SQLFLOW_ASSIGN_OR_RETURN(Table * table,
                            db_->catalog().GetTable(upd.table_name));
   const TableSchema& schema = table->schema();
@@ -663,16 +886,29 @@ Result<ResultSet> Executor::ExecuteUpdate(const UpdateStatement& upd,
   ctx.database = db_;
 
   // Two passes: find matching indexes, then apply (stable positions).
+  std::optional<std::vector<size_t>> candidates =
+      ResolveCandidates(table, upd.table_name, upd.where.get(), plan,
+                        params);
   std::vector<size_t> matches;
-  for (size_t i = 0; i < table->row_count(); ++i) {
-    current = table->rows()[i];
-    if (upd.where != nullptr) {
+  if (candidates.has_value()) {
+    for (size_t i : *candidates) {
+      current = table->rows()[i];
       SQLFLOW_ASSIGN_OR_RETURN(Value cond, EvaluateExpr(*upd.where, ctx));
-      if (!IsTrue(cond)) continue;
+      if (IsTrue(cond)) matches.push_back(i);
     }
-    matches.push_back(i);
+    db_->MutableStats()->rows_read += candidates->size();
+  } else {
+    for (size_t i = 0; i < table->row_count(); ++i) {
+      current = table->rows()[i];
+      if (upd.where != nullptr) {
+        SQLFLOW_ASSIGN_OR_RETURN(Value cond,
+                                 EvaluateExpr(*upd.where, ctx));
+        if (!IsTrue(cond)) continue;
+      }
+      matches.push_back(i);
+    }
+    db_->MutableStats()->rows_read += table->row_count();
   }
-  db_->MutableStats()->rows_read += table->row_count();
 
   for (size_t idx : matches) {
     current = table->rows()[idx];
@@ -691,7 +927,8 @@ Result<ResultSet> Executor::ExecuteUpdate(const UpdateStatement& upd,
 }
 
 Result<ResultSet> Executor::ExecuteDelete(const DeleteStatement& del,
-                                          const Params& params) {
+                                          const Params& params,
+                                          const StatementPlan* plan) {
   SQLFLOW_ASSIGN_OR_RETURN(Table * table,
                            db_->catalog().GetTable(del.table_name));
   std::vector<ScopeColumn> columns;
@@ -705,16 +942,29 @@ Result<ResultSet> Executor::ExecuteDelete(const DeleteStatement& del,
   ctx.params = &params;
   ctx.database = db_;
 
+  std::optional<std::vector<size_t>> candidates =
+      ResolveCandidates(table, del.table_name, del.where.get(), plan,
+                        params);
   std::vector<size_t> matches;
-  for (size_t i = 0; i < table->row_count(); ++i) {
-    current = table->rows()[i];
-    if (del.where != nullptr) {
+  if (candidates.has_value()) {
+    for (size_t i : *candidates) {
+      current = table->rows()[i];
       SQLFLOW_ASSIGN_OR_RETURN(Value cond, EvaluateExpr(*del.where, ctx));
-      if (!IsTrue(cond)) continue;
+      if (IsTrue(cond)) matches.push_back(i);
     }
-    matches.push_back(i);
+    db_->MutableStats()->rows_read += candidates->size();
+  } else {
+    for (size_t i = 0; i < table->row_count(); ++i) {
+      current = table->rows()[i];
+      if (del.where != nullptr) {
+        SQLFLOW_ASSIGN_OR_RETURN(Value cond,
+                                 EvaluateExpr(*del.where, ctx));
+        if (!IsTrue(cond)) continue;
+      }
+      matches.push_back(i);
+    }
+    db_->MutableStats()->rows_read += table->row_count();
   }
-  db_->MutableStats()->rows_read += table->row_count();
 
   // Delete back-to-front so earlier indexes stay valid.
   for (auto it = matches.rbegin(); it != matches.rend(); ++it) {
@@ -744,17 +994,23 @@ Result<ResultSet> Executor::ExecuteCall(const CallStatement& call,
 // ---------------------------------------------------------------------------
 
 Result<ResultSet> Executor::Execute(const Statement& stmt,
-                                    const Params& params) {
+                                    const Params& params,
+                                    const StatementPlan* plan) {
   db_->MutableStats()->statements_executed++;
+  // A memoized plan is only trusted at the epoch it was computed for;
+  // otherwise the executor plans inline.
+  if (plan != nullptr && plan->schema_epoch != db_->schema_epoch()) {
+    plan = nullptr;
+  }
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      return ExecuteSelect(*stmt.select, params);
+      return ExecuteSelect(*stmt.select, params, plan);
     case StatementKind::kInsert:
       return ExecuteInsert(*stmt.insert, params);
     case StatementKind::kUpdate:
-      return ExecuteUpdate(*stmt.update, params);
+      return ExecuteUpdate(*stmt.update, params, plan);
     case StatementKind::kDelete:
-      return ExecuteDelete(*stmt.del, params);
+      return ExecuteDelete(*stmt.del, params, plan);
     case StatementKind::kCall:
       return ExecuteCall(*stmt.call, params);
 
@@ -788,6 +1044,7 @@ Result<ResultSet> Executor::Execute(const Statement& stmt,
       }
       SQLFLOW_RETURN_IF_ERROR(
           db_->catalog().CreateTable(std::move(schema)));
+      db_->BumpSchemaEpoch();
       if (db_->active_undo() != nullptr) {
         UndoEntry e;
         e.kind = UndoEntry::Kind::kCreateTable;
@@ -817,8 +1074,11 @@ Result<ResultSet> Executor::Execute(const Statement& stmt,
           }
           e.saved_constraints.emplace_back(uc.name, std::move(cols));
         }
+        e.saved_indexes = db_->catalog().IndexesOnTable(dt.table_name);
         db_->active_undo()->Record(std::move(e));
       }
+      db_->InvalidatePlans(dt.table_name);
+      db_->BumpSchemaEpoch();
       return db_->catalog().DropTable(dt.table_name).ok()
                  ? Result<ResultSet>(ResultSet())
                  : Result<ResultSet>(
@@ -830,6 +1090,7 @@ Result<ResultSet> Executor::Execute(const Statement& stmt,
           Table * table, db_->catalog().GetTable(stmt.truncate->table_name));
       int64_t removed = static_cast<int64_t>(table->row_count());
       table->Clear(db_->active_undo());
+      db_->InvalidatePlans(stmt.truncate->table_name);
       ResultSet rs;
       rs.set_affected_rows(removed);
       return rs;
@@ -843,6 +1104,14 @@ Result<ResultSet> Executor::Execute(const Statement& stmt,
         SQLFLOW_RETURN_IF_ERROR(
             table->AddUniqueConstraint(ci.index_name, ci.columns));
       }
+      Status hst =
+          table->AddSecondaryIndex(ci.index_name, ci.columns, ci.unique);
+      if (!hst.ok()) {
+        if (ci.unique) {
+          (void)table->DropUniqueConstraint(ci.index_name);
+        }
+        return hst;
+      }
       IndexInfo info;
       info.name = ci.index_name;
       info.table_name = ci.table_name;
@@ -850,11 +1119,13 @@ Result<ResultSet> Executor::Execute(const Statement& stmt,
       info.unique = ci.unique;
       Status st = db_->catalog().CreateIndex(info);
       if (!st.ok()) {
+        (void)table->DropSecondaryIndex(ci.index_name);
         if (ci.unique) {
           (void)table->DropUniqueConstraint(ci.index_name);
         }
         return st;
       }
+      db_->BumpSchemaEpoch();
       if (db_->active_undo() != nullptr) {
         UndoEntry e;
         e.kind = UndoEntry::Kind::kCreateIndex;
@@ -869,6 +1140,7 @@ Result<ResultSet> Executor::Execute(const Statement& stmt,
       CreateViewStatement& cv = *stmt.create_view;
       SQLFLOW_RETURN_IF_ERROR(db_->catalog().CreateView(
           cv.view_name, CloneSelect(*cv.select)));
+      db_->BumpSchemaEpoch();
       if (db_->active_undo() != nullptr) {
         UndoEntry e;
         e.kind = UndoEntry::Kind::kCreateView;
@@ -886,6 +1158,7 @@ Result<ResultSet> Executor::Execute(const Statement& stmt,
       }
       std::unique_ptr<SelectStatement> saved =
           db_->catalog().TakeView(dv.view_name);
+      db_->BumpSchemaEpoch();
       if (db_->active_undo() != nullptr) {
         UndoEntry e;
         e.kind = UndoEntry::Kind::kDropView;

@@ -1,14 +1,19 @@
 #ifndef SQLFLOW_SQL_EXECUTOR_H_
 #define SQLFLOW_SQL_EXECUTOR_H_
 
+#include <optional>
+#include <vector>
+
 #include "common/status.h"
 #include "sql/ast.h"
 #include "sql/eval.h"
+#include "sql/planner.h"
 #include "sql/result_set.h"
 
 namespace sqlflow::sql {
 
 class Database;
+class Table;
 
 /// Statement interpreter. Stateless apart from the owning database; one
 /// executor per database, invoked through Database::Execute.
@@ -16,25 +21,39 @@ class Executor {
  public:
   explicit Executor(Database* db) : db_(db) {}
 
-  Result<ResultSet> Execute(const Statement& stmt, const Params& params);
+  /// `plan` is an optional memoized access-path plan for `stmt` (the
+  /// executor plans inline when it is null).
+  Result<ResultSet> Execute(const Statement& stmt, const Params& params,
+                            const StatementPlan* plan = nullptr);
 
   /// Runs a SELECT (including any UNION chain); public so subquery
   /// evaluation can reuse it without re-wrapping into a Statement.
   Result<ResultSet> ExecuteSelect(const SelectStatement& sel,
-                                  const Params& params);
+                                  const Params& params,
+                                  const StatementPlan* plan = nullptr);
 
  private:
   /// One SELECT body, ignoring `union_next`.
   Result<ResultSet> ExecuteSelectCore(const SelectStatement& sel,
-                                      const Params& params);
+                                      const Params& params,
+                                      const StatementPlan* plan);
   Result<ResultSet> ExecuteInsert(const InsertStatement& ins,
                                   const Params& params);
   Result<ResultSet> ExecuteUpdate(const UpdateStatement& upd,
-                                  const Params& params);
+                                  const Params& params,
+                                  const StatementPlan* plan);
   Result<ResultSet> ExecuteDelete(const DeleteStatement& del,
-                                  const Params& params);
+                                  const Params& params,
+                                  const StatementPlan* plan);
   Result<ResultSet> ExecuteCall(const CallStatement& call,
                                 const Params& params);
+
+  /// Resolves the WHERE clause of a single-table statement to candidate
+  /// row slots through `plan` (or inline planning when plan is null).
+  /// nullopt ⇒ scan. Notes the plan choice either way.
+  std::optional<std::vector<size_t>> ResolveCandidates(
+      Table* table, const std::string& alias, const Expr* where,
+      const StatementPlan* plan, const Params& params);
 
   static constexpr int kMaxViewDepth = 16;
 

@@ -1,0 +1,354 @@
+#include "sql/planner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "sql/database.h"
+#include "sql/table.h"
+
+namespace sqlflow::sql {
+
+namespace {
+
+/// How a probe value behaves under the executor's comparison rules.
+/// Strings split on whether they parse as a number, because Comparison()
+/// coerces string↔numeric through AsDouble and raises a TypeError when
+/// the string does not parse.
+enum class ProbeClass { kNull, kBool, kNumeric, kNumString, kRawString };
+
+ProbeClass ClassifyValue(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return ProbeClass::kNull;
+    case ValueType::kBoolean:
+      return ProbeClass::kBool;
+    case ValueType::kInteger:
+    case ValueType::kDouble:
+      return ProbeClass::kNumeric;
+    case ValueType::kString:
+      return v.AsDouble().ok() ? ProbeClass::kNumString
+                               : ProbeClass::kRawString;
+  }
+  return ProbeClass::kRawString;
+}
+
+/// True when comparing a probe of class `cls` against any value the
+/// column can store is guaranteed not to raise a TypeError — a scan would
+/// surface that error, so the index path must decline and fall back.
+bool ProbeCompatible(ValueType column_type, ProbeClass cls) {
+  if (cls == ProbeClass::kNull) return true;  // NULL probe ⇒ no rows
+  switch (column_type) {
+    case ValueType::kInteger:
+    case ValueType::kDouble:
+      return cls == ProbeClass::kNumeric || cls == ProbeClass::kNumString;
+    case ValueType::kString:
+      return cls == ProbeClass::kNumString ||
+             cls == ProbeClass::kRawString;
+    case ValueType::kBoolean:
+      return cls == ProbeClass::kBool;
+    case ValueType::kNull:
+      return false;  // untyped column: stored values are unconstrained
+  }
+  return false;
+}
+
+/// Schema ordinal of a column reference that resolves against this
+/// table's scope (unqualified or qualified with `alias`); -1 otherwise.
+int ResolveColumn(const Table& table, const std::string& alias,
+                  const Expr& e) {
+  if (e.kind != ExprKind::kColumnRef) return -1;
+  if (!e.table_qualifier.empty() &&
+      !EqualsIgnoreCase(e.table_qualifier, alias)) {
+    return -1;
+  }
+  return table.schema().FindColumn(e.column_name);
+}
+
+bool IsProbeExpr(const Expr& e) {
+  return e.kind == ExprKind::kLiteral || e.kind == ExprKind::kParameter;
+}
+
+/// Plan-time type gate for literal probes; parameters are gated at
+/// execution time in IndexCandidates.
+bool ProbeExprCompatible(ValueType column_type, const Expr& e) {
+  if (e.kind != ExprKind::kLiteral) return true;
+  return ProbeCompatible(column_type, ClassifyValue(e.literal));
+}
+
+void CollectTablesFromSelect(const SelectStatement& sel,
+                             std::set<std::string>* out);
+
+void CollectTablesFromExpr(const Expr& e, std::set<std::string>* out) {
+  if (e.subquery != nullptr) CollectTablesFromSelect(*e.subquery, out);
+  for (const ExprPtr& child : e.children) {
+    CollectTablesFromExpr(*child, out);
+  }
+  if (e.case_else != nullptr) CollectTablesFromExpr(*e.case_else, out);
+}
+
+void CollectTablesFromSelect(const SelectStatement& sel,
+                             std::set<std::string>* out) {
+  for (const TableRef& ref : sel.from) {
+    if (!ref.table_name.empty()) out->insert(ToUpperAscii(ref.table_name));
+    if (ref.derived != nullptr) CollectTablesFromSelect(*ref.derived, out);
+    if (ref.join_condition != nullptr) {
+      CollectTablesFromExpr(*ref.join_condition, out);
+    }
+  }
+  for (const SelectItem& item : sel.items) {
+    if (item.expr != nullptr) CollectTablesFromExpr(*item.expr, out);
+  }
+  if (sel.where != nullptr) CollectTablesFromExpr(*sel.where, out);
+  for (const ExprPtr& g : sel.group_by) CollectTablesFromExpr(*g, out);
+  if (sel.having != nullptr) CollectTablesFromExpr(*sel.having, out);
+  for (const OrderByItem& ob : sel.order_by) {
+    CollectTablesFromExpr(*ob.expr, out);
+  }
+  if (sel.union_next != nullptr) {
+    CollectTablesFromSelect(*sel.union_next, out);
+  }
+}
+
+}  // namespace
+
+void SplitConjuncts(const Expr& e, std::vector<const Expr*>* out) {
+  if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kAnd) {
+    SplitConjuncts(*e.children[0], out);
+    SplitConjuncts(*e.children[1], out);
+    return;
+  }
+  out->push_back(&e);
+}
+
+std::optional<IndexLookupPlan> PlanTableAccess(const Table& table,
+                                               const std::string& alias,
+                                               const Expr* where) {
+  if (where == nullptr || table.secondary_indexes().empty()) {
+    return std::nullopt;
+  }
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(*where, &conjuncts);
+
+  // Equality probes per schema ordinal (first conjunct wins; duplicates
+  // are re-checked by the residual WHERE anyway), plus IN-list probes.
+  std::vector<const Expr*> eq_probe(table.schema().column_count(),
+                                    nullptr);
+  std::vector<const Expr*> in_probe(table.schema().column_count(),
+                                    nullptr);
+  for (const Expr* c : conjuncts) {
+    if (c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq) {
+      const Expr& lhs = *c->children[0];
+      const Expr& rhs = *c->children[1];
+      int col = -1;
+      const Expr* probe = nullptr;
+      if ((col = ResolveColumn(table, alias, lhs)) >= 0 &&
+          IsProbeExpr(rhs)) {
+        probe = &rhs;
+      } else if ((col = ResolveColumn(table, alias, rhs)) >= 0 &&
+                 IsProbeExpr(lhs)) {
+        probe = &lhs;
+      } else {
+        continue;
+      }
+      ValueType type = table.schema().columns()[col].type;
+      if (type == ValueType::kNull) continue;  // untyped: never sargable
+      if (!ProbeExprCompatible(type, *probe)) continue;
+      if (eq_probe[col] == nullptr) eq_probe[col] = probe;
+    } else if (c->kind == ExprKind::kInList && !c->negated &&
+               c->subquery == nullptr && !c->children.empty()) {
+      int col = ResolveColumn(table, alias, *c->children[0]);
+      if (col < 0) continue;
+      ValueType type = table.schema().columns()[col].type;
+      if (type == ValueType::kNull) continue;
+      bool all_probes = true;
+      for (size_t i = 1; i < c->children.size(); ++i) {
+        if (!IsProbeExpr(*c->children[i]) ||
+            !ProbeExprCompatible(type, *c->children[i])) {
+          all_probes = false;
+          break;
+        }
+      }
+      if (all_probes && in_probe[col] == nullptr) in_probe[col] = c;
+    }
+  }
+
+  // Pick the best index fully covered by equality probes: unique beats
+  // non-unique, then longer keys (fewer expected candidates).
+  const SecondaryIndex* best = nullptr;
+  int best_score = -1;
+  for (const SecondaryIndex& index : table.secondary_indexes()) {
+    bool covered = !index.column_indexes.empty();
+    for (size_t col : index.column_indexes) {
+      if (eq_probe[col] == nullptr) {
+        covered = false;
+        break;
+      }
+    }
+    if (!covered) continue;
+    int score = (index.unique ? 1000 : 0) +
+                static_cast<int>(index.column_indexes.size());
+    if (score > best_score) {
+      best = &index;
+      best_score = score;
+    }
+  }
+  if (best != nullptr) {
+    IndexLookupPlan plan;
+    plan.table_name = table.schema().table_name();
+    plan.index_name = best->name;
+    plan.key_columns = best->column_indexes;
+    for (size_t col : best->column_indexes) {
+      plan.key_values.push_back(eq_probe[col]);
+    }
+    return plan;
+  }
+
+  // Otherwise a single-column IN list over a single-column index.
+  for (const SecondaryIndex& index : table.secondary_indexes()) {
+    if (index.column_indexes.size() != 1) continue;
+    if (in_probe[index.column_indexes[0]] == nullptr) continue;
+    IndexLookupPlan plan;
+    plan.table_name = table.schema().table_name();
+    plan.index_name = index.name;
+    plan.key_columns = index.column_indexes;
+    plan.in_list = in_probe[index.column_indexes[0]];
+    return plan;
+  }
+  return std::nullopt;
+}
+
+StatementPlan PlanStatement(const Statement& stmt, Database* db) {
+  StatementPlan plan;
+  plan.schema_epoch = db->schema_epoch();
+  const Expr* where = nullptr;
+  const std::string* table_name = nullptr;
+  const std::string* alias = nullptr;
+  switch (stmt.kind) {
+    case StatementKind::kSelect: {
+      const SelectStatement& sel = *stmt.select;
+      if (sel.from.size() != 1 || sel.from[0].derived != nullptr ||
+          sel.where == nullptr) {
+        return plan;
+      }
+      where = sel.where.get();
+      table_name = &sel.from[0].table_name;
+      alias = sel.from[0].alias.empty() ? table_name : &sel.from[0].alias;
+      break;
+    }
+    case StatementKind::kUpdate:
+      if (stmt.update->where == nullptr) return plan;
+      where = stmt.update->where.get();
+      table_name = &stmt.update->table_name;
+      alias = table_name;
+      break;
+    case StatementKind::kDelete:
+      if (stmt.del->where == nullptr) return plan;
+      where = stmt.del->where.get();
+      table_name = &stmt.del->table_name;
+      alias = table_name;
+      break;
+    default:
+      return plan;
+  }
+  const Table* table = db->catalog().FindTable(*table_name);
+  if (table == nullptr) return plan;
+  std::optional<IndexLookupPlan> access =
+      PlanTableAccess(*table, *alias, where);
+  if (access.has_value()) {
+    plan.has_access = true;
+    plan.access = std::move(*access);
+    plan.access.table_name = *table_name;
+  }
+  return plan;
+}
+
+std::optional<std::vector<size_t>> IndexCandidates(
+    const Table& table, const IndexLookupPlan& plan, const Params& params,
+    Database* db) {
+  const SecondaryIndex* index = table.FindSecondaryIndex(plan.index_name);
+  if (index == nullptr ||
+      index->column_indexes != plan.key_columns) {
+    return std::nullopt;  // index vanished or was redefined: scan
+  }
+  EvalContext ctx;
+  ctx.params = &params;
+  ctx.database = db;
+
+  if (plan.in_list != nullptr) {
+    ValueType type =
+        table.schema().columns()[plan.key_columns[0]].type;
+    std::vector<size_t> out;
+    for (size_t i = 1; i < plan.in_list->children.size(); ++i) {
+      Result<Value> v = EvaluateExpr(*plan.in_list->children[i], ctx);
+      if (!v.ok()) return std::nullopt;  // e.g. unbound parameter: scan
+      ProbeClass cls = ClassifyValue(*v);
+      if (cls == ProbeClass::kNull) continue;  // NULL element never matches
+      if (!ProbeCompatible(type, cls)) return std::nullopt;
+      std::string key;
+      AppendLookupKeyPart(*v, &key);
+      if (const std::vector<size_t>* slots = table.IndexBucket(*index, key)) {
+        out.insert(out.end(), slots->begin(), slots->end());
+      }
+    }
+    // Distinct IN elements can normalize to the same key (1 and '1.0'):
+    // dedupe and restore table order.
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  std::string key;
+  for (size_t i = 0; i < plan.key_columns.size(); ++i) {
+    Result<Value> v = EvaluateExpr(*plan.key_values[i], ctx);
+    if (!v.ok()) return std::nullopt;
+    ProbeClass cls = ClassifyValue(*v);
+    if (cls == ProbeClass::kNull) {
+      return std::vector<size_t>{};  // col = NULL is never true
+    }
+    ValueType type = table.schema().columns()[plan.key_columns[i]].type;
+    if (!ProbeCompatible(type, cls)) return std::nullopt;
+    AppendLookupKeyPart(*v, &key);
+  }
+  const std::vector<size_t>* slots = table.IndexBucket(*index, key);
+  if (slots == nullptr) return std::vector<size_t>{};
+  return *slots;
+}
+
+std::vector<std::string> CollectReferencedTables(const Statement& stmt) {
+  std::set<std::string> names;
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      CollectTablesFromSelect(*stmt.select, &names);
+      break;
+    case StatementKind::kInsert:
+      names.insert(ToUpperAscii(stmt.insert->table_name));
+      if (stmt.insert->select != nullptr) {
+        CollectTablesFromSelect(*stmt.insert->select, &names);
+      }
+      for (const auto& row : stmt.insert->rows) {
+        for (const ExprPtr& e : row) CollectTablesFromExpr(*e, &names);
+      }
+      break;
+    case StatementKind::kUpdate:
+      names.insert(ToUpperAscii(stmt.update->table_name));
+      if (stmt.update->where != nullptr) {
+        CollectTablesFromExpr(*stmt.update->where, &names);
+      }
+      for (const auto& [col, e] : stmt.update->assignments) {
+        CollectTablesFromExpr(*e, &names);
+      }
+      break;
+    case StatementKind::kDelete:
+      names.insert(ToUpperAscii(stmt.del->table_name));
+      if (stmt.del->where != nullptr) {
+        CollectTablesFromExpr(*stmt.del->where, &names);
+      }
+      break;
+    default:
+      break;
+  }
+  return {names.begin(), names.end()};
+}
+
+}  // namespace sqlflow::sql

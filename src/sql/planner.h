@@ -1,0 +1,84 @@
+#ifndef SQLFLOW_SQL_PLANNER_H_
+#define SQLFLOW_SQL_PLANNER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sql/ast.h"
+#include "sql/eval.h"
+
+namespace sqlflow::sql {
+
+class Database;
+class Table;
+
+/// Access paths the executor can take; bitmask values so one statement's
+/// trace span can report every choice made during its execution.
+enum class PlanChoice : unsigned {
+  kScan = 1u,
+  kIndexLookup = 2u,
+  kHashJoin = 4u,
+};
+
+/// An equality/IN access path against one base table: the planner proved
+/// that every row satisfying the WHERE clause carries one of finitely
+/// many index keys. The executor re-evaluates the full WHERE on every
+/// candidate row, so normalized-key collisions cost time, never
+/// correctness — only a *missing* candidate would be a bug.
+struct IndexLookupPlan {
+  std::string table_name;
+  std::string index_name;
+  /// Schema ordinals in index-column order, paired with `key_values`.
+  std::vector<size_t> key_columns;
+  /// Literal/parameter probe per key column (non-owning pointers into
+  /// the planned statement, which must outlive the plan). Empty when
+  /// `in_list` is set.
+  std::vector<const Expr*> key_values;
+  /// Single-column IN probe: children[0] is the column, children[1..]
+  /// the list elements. Null for plain equality plans.
+  const Expr* in_list = nullptr;
+};
+
+/// Cached planning result for one statement, validated against the
+/// database's schema epoch (any DDL — including DDL undone by rollback —
+/// bumps the epoch and forces a replan).
+struct StatementPlan {
+  uint64_t schema_epoch = 0;
+  bool has_access = false;
+  IndexLookupPlan access;
+};
+
+/// Flattens nested ANDs: `a AND (b AND c)` → {a, b, c}. Any non-AND
+/// expression (including OR trees) is one conjunct.
+void SplitConjuncts(const Expr& e, std::vector<const Expr*>* out);
+
+/// Extracts a sargable access path from `where` for a single-table scope
+/// whose rows come from `table` under qualifier `alias`. Returns nullopt
+/// when no index covers the equality/IN conjuncts, or when probe/column
+/// types could change error behavior versus a scan.
+std::optional<IndexLookupPlan> PlanTableAccess(const Table& table,
+                                               const std::string& alias,
+                                               const Expr* where);
+
+/// Plans the top-level statement (single-table SELECT/UPDATE/DELETE);
+/// other kinds yield an empty plan stamped with the current epoch.
+StatementPlan PlanStatement(const Statement& stmt, Database* db);
+
+/// Evaluates the plan's probe expressions and collects candidate row
+/// slots (ascending, deduplicated). nullopt ⇒ fall back to a scan (probe
+/// type mismatch, evaluation failure, vanished index); an engaged empty
+/// vector means provably zero matching rows (e.g. a NULL probe).
+std::optional<std::vector<size_t>> IndexCandidates(
+    const Table& table, const IndexLookupPlan& plan, const Params& params,
+    Database* db);
+
+/// Upper-cased, deduplicated names of every table the statement mentions
+/// (FROM refs, DML targets, subqueries) — used by the plan cache to drop
+/// entries when DROP TABLE / TRUNCATE hits one of them.
+std::vector<std::string> CollectReferencedTables(const Statement& stmt);
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_PLANNER_H_

@@ -1,5 +1,7 @@
 #include "sql/table.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "common/string_util.h"
@@ -74,6 +76,50 @@ void AppendKeyPart(const Value& v, std::string* out) {
 
 }  // namespace
 
+void AppendLookupKeyPart(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out->push_back('N');
+      break;
+    case ValueType::kBoolean:
+      out->push_back('B');
+      out->push_back(v.boolean() ? '1' : '0');
+      break;
+    case ValueType::kInteger:
+    case ValueType::kDouble:
+    case ValueType::kString: {
+      // The executor compares numbers (and numeric strings) through
+      // double, so normalize all of them to one representation; strings
+      // that don't parse keep their raw bytes.
+      bool numeric = true;
+      double d = 0.0;
+      if (v.type() == ValueType::kString) {
+        Result<double> parsed = v.AsDouble();
+        if (parsed.ok()) {
+          d = *parsed;
+        } else {
+          numeric = false;
+        }
+      } else {
+        d = v.type() == ValueType::kInteger
+                ? static_cast<double>(v.integer())
+                : v.dbl();
+      }
+      if (numeric) {
+        if (d == 0.0) d = 0.0;  // collapse -0.0 (compares equal to +0.0)
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "D%.17g", d);
+        *out += buf;
+      } else {
+        out->push_back('S');
+        *out += v.str();
+      }
+      break;
+    }
+  }
+  out->push_back('\x1f');
+}
+
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   int pk = schema_.primary_key_index();
   if (pk >= 0) {
@@ -81,6 +127,74 @@ Table::Table(TableSchema schema) : schema_(std::move(schema)) {
     uc.name = "__pk_" + schema_.table_name();
     uc.column_indexes.push_back(static_cast<size_t>(pk));
     unique_constraints_.push_back(std::move(uc));
+    // The primary key also gets a point-lookup index, so every table
+    // with a PK supports O(1) key access out of the box.
+    SecondaryIndex idx;
+    idx.name = "__pk_" + schema_.table_name();
+    idx.column_indexes.push_back(static_cast<size_t>(pk));
+    idx.unique = true;
+    secondary_indexes_.push_back(std::move(idx));
+  }
+}
+
+std::string Table::MakeIndexKey(const SecondaryIndex& index,
+                                const Row& row) const {
+  std::string key;
+  for (size_t idx : index.column_indexes) {
+    AppendLookupKeyPart(row[idx], &key);
+  }
+  return key;
+}
+
+void Table::IndexRow(const Row& row, size_t slot) {
+  for (SecondaryIndex& index : secondary_indexes_) {
+    std::vector<size_t>& slots = index.buckets[MakeIndexKey(index, row)];
+    if (slots.empty() || slots.back() < slot) {
+      slots.push_back(slot);
+    } else {
+      slots.insert(std::lower_bound(slots.begin(), slots.end(), slot),
+                   slot);
+    }
+  }
+}
+
+void Table::UnindexRow(const Row& row, size_t slot) {
+  for (SecondaryIndex& index : secondary_indexes_) {
+    auto it = index.buckets.find(MakeIndexKey(index, row));
+    if (it == index.buckets.end()) continue;
+    std::vector<size_t>& slots = it->second;
+    auto pos = std::lower_bound(slots.begin(), slots.end(), slot);
+    if (pos != slots.end() && *pos == slot) slots.erase(pos);
+    if (slots.empty()) index.buckets.erase(it);
+  }
+}
+
+void Table::ShiftIndexSlotsUp(size_t at) {
+  for (SecondaryIndex& index : secondary_indexes_) {
+    for (auto& [key, slots] : index.buckets) {
+      for (size_t& slot : slots) {
+        if (slot >= at) ++slot;
+      }
+    }
+  }
+}
+
+void Table::ShiftIndexSlotsDown(size_t at) {
+  for (SecondaryIndex& index : secondary_indexes_) {
+    for (auto& [key, slots] : index.buckets) {
+      for (size_t& slot : slots) {
+        if (slot > at) --slot;
+      }
+    }
+  }
+}
+
+void Table::RebuildSecondaryIndexes() {
+  for (SecondaryIndex& index : secondary_indexes_) {
+    index.buckets.clear();
+    for (size_t slot = 0; slot < rows_.size(); ++slot) {
+      index.buckets[MakeIndexKey(index, rows_[slot])].push_back(slot);
+    }
   }
 }
 
@@ -173,6 +287,7 @@ Status Table::Insert(const Row& row, UndoLog* undo) {
   SQLFLOW_RETURN_IF_ERROR(CheckRowConstraints(coerced));
   AddKeys(coerced);
   rows_.push_back(std::move(coerced));
+  IndexRow(rows_.back(), rows_.size() - 1);
   if (undo != nullptr) {
     UndoEntry e;
     e.kind = UndoEntry::Kind::kInsert;
@@ -199,8 +314,10 @@ Status Table::Update(size_t index, const Row& new_row, UndoLog* undo) {
   SQLFLOW_RETURN_IF_ERROR(CheckRowConstraints(coerced));
   Row old_row = rows_[index];
   RemoveKeys(old_row);
+  UnindexRow(old_row, index);
   AddKeys(coerced);
   rows_[index] = std::move(coerced);
+  IndexRow(rows_[index], index);
   if (undo != nullptr) {
     UndoEntry e;
     e.kind = UndoEntry::Kind::kUpdate;
@@ -218,7 +335,9 @@ Status Table::Delete(size_t index, UndoLog* undo) {
   }
   Row old_row = std::move(rows_[index]);
   RemoveKeys(old_row);
+  UnindexRow(old_row, index);
   rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(index));
+  if (index < rows_.size()) ShiftIndexSlotsDown(index);
   if (undo != nullptr) {
     UndoEntry e;
     e.kind = UndoEntry::Kind::kDelete;
@@ -240,6 +359,7 @@ void Table::Clear(UndoLog* undo) {
   }
   rows_.clear();
   for (UniqueConstraint& uc : unique_constraints_) uc.keys.clear();
+  for (SecondaryIndex& index : secondary_indexes_) index.buckets.clear();
 }
 
 Status Table::AddUniqueConstraint(
@@ -305,23 +425,30 @@ void Table::RawInsertAt(size_t index, Row row) {
   AddKeys(row);
   if (index >= rows_.size()) {
     rows_.push_back(std::move(row));
+    IndexRow(rows_.back(), rows_.size() - 1);
   } else {
+    ShiftIndexSlotsUp(index);
     rows_.insert(rows_.begin() + static_cast<ptrdiff_t>(index),
                  std::move(row));
+    IndexRow(rows_[index], index);
   }
 }
 
 Row Table::RawRemoveAt(size_t index) {
   Row row = std::move(rows_[index]);
   RemoveKeys(row);
+  UnindexRow(row, index);
   rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(index));
+  if (index < rows_.size()) ShiftIndexSlotsDown(index);
   return row;
 }
 
 void Table::RawReplaceAt(size_t index, Row row) {
   RemoveKeys(rows_[index]);
+  UnindexRow(rows_[index], index);
   AddKeys(row);
   rows_[index] = std::move(row);
+  IndexRow(rows_[index], index);
 }
 
 void Table::RawRestoreAll(std::vector<Row> rows) {
@@ -330,6 +457,61 @@ void Table::RawRestoreAll(std::vector<Row> rows) {
     uc.keys.clear();
     for (const Row& row : rows_) uc.keys.insert(MakeKey(uc, row));
   }
+  RebuildSecondaryIndexes();
+}
+
+Status Table::AddSecondaryIndex(const std::string& name,
+                                const std::vector<std::string>& columns,
+                                bool unique) {
+  for (const SecondaryIndex& index : secondary_indexes_) {
+    if (EqualsIgnoreCase(index.name, name)) {
+      return Status::AlreadyExists("index '" + name +
+                                   "' already exists on table '" +
+                                   schema_.table_name() + "'");
+    }
+  }
+  SecondaryIndex index;
+  index.name = name;
+  index.unique = unique;
+  for (const std::string& col : columns) {
+    int idx = schema_.FindColumn(col);
+    if (idx < 0) {
+      return Status::NotFound("no column '" + col + "' in table '" +
+                              schema_.table_name() + "'");
+    }
+    index.column_indexes.push_back(static_cast<size_t>(idx));
+  }
+  for (size_t slot = 0; slot < rows_.size(); ++slot) {
+    index.buckets[MakeIndexKey(index, rows_[slot])].push_back(slot);
+  }
+  secondary_indexes_.push_back(std::move(index));
+  return Status::OK();
+}
+
+Status Table::DropSecondaryIndex(const std::string& name) {
+  for (auto it = secondary_indexes_.begin();
+       it != secondary_indexes_.end(); ++it) {
+    if (EqualsIgnoreCase(it->name, name)) {
+      secondary_indexes_.erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("no index '" + name + "'");
+}
+
+const SecondaryIndex* Table::FindSecondaryIndex(
+    const std::string& name) const {
+  for (const SecondaryIndex& index : secondary_indexes_) {
+    if (EqualsIgnoreCase(index.name, name)) return &index;
+  }
+  return nullptr;
+}
+
+const std::vector<size_t>* Table::IndexBucket(
+    const SecondaryIndex& index, const std::string& serialized_key) const {
+  auto it = index.buckets.find(serialized_key);
+  if (it == index.buckets.end()) return nullptr;
+  return &it->second;
 }
 
 }  // namespace sqlflow::sql

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -21,6 +22,24 @@ struct UniqueConstraint {
   std::string name;
   std::vector<size_t> column_indexes;
   std::unordered_set<std::string> keys;
+};
+
+/// Serializes one value into `out` under *SQL equality* normalization:
+/// two values that compare equal under the executor's comparison rules
+/// (Integer 1, Double 1.0, String "1") produce the same bytes. Distinct
+/// values may collide (e.g. byte-different numeric strings "1.0"/"1.00");
+/// index consumers must re-check the predicate on every candidate, so a
+/// collision costs time, never correctness.
+void AppendLookupKeyPart(const Value& v, std::string* out);
+
+/// Point-lookup hash index: serialized key → row slots (ascending). Slots
+/// are positions in Table::rows() and are kept consistent by every
+/// mutation path, including the Raw* undo-replay entry points.
+struct SecondaryIndex {
+  std::string name;
+  std::vector<size_t> column_indexes;
+  bool unique = false;
+  std::unordered_map<std::string, std::vector<size_t>> buckets;
 };
 
 /// Heap-organized in-memory table. All mutations go through Insert/Update/
@@ -58,6 +77,23 @@ class Table {
     return unique_constraints_;
   }
 
+  /// Builds a point-lookup hash index over the named columns from the
+  /// current data. Never fails on duplicates (uniqueness is enforced
+  /// separately through AddUniqueConstraint).
+  Status AddSecondaryIndex(const std::string& name,
+                           const std::vector<std::string>& columns,
+                           bool unique);
+  Status DropSecondaryIndex(const std::string& name);
+  const std::vector<SecondaryIndex>& secondary_indexes() const {
+    return secondary_indexes_;
+  }
+  /// nullptr if absent (case-insensitive).
+  const SecondaryIndex* FindSecondaryIndex(const std::string& name) const;
+  /// Row slots whose index key equals `serialized_key`, or nullptr when
+  /// the bucket is empty. Slots are ascending table positions.
+  const std::vector<size_t>* IndexBucket(
+      const SecondaryIndex& index, const std::string& serialized_key) const;
+
   /// Copies all rows (with column names) into a ResultSet.
   ResultSet Scan() const;
 
@@ -82,9 +118,22 @@ class Table {
   void RemoveKeys(const Row& row);
   std::string MakeKey(const UniqueConstraint& uc, const Row& row) const;
 
+  std::string MakeIndexKey(const SecondaryIndex& index, const Row& row) const;
+  /// Registers/unregisters `row` (living at `slot`) in every secondary
+  /// index, keeping each bucket's slot list sorted.
+  void IndexRow(const Row& row, size_t slot);
+  void UnindexRow(const Row& row, size_t slot);
+  /// Renumbers slots after a row insertion/removal at `at`: every slot
+  /// >= `at` (insert) or > `at` (remove) moves by one. No-ops when the
+  /// affected row was at the end of the table.
+  void ShiftIndexSlotsUp(size_t at);
+  void ShiftIndexSlotsDown(size_t at);
+  void RebuildSecondaryIndexes();
+
   TableSchema schema_;
   std::vector<Row> rows_;
   std::vector<UniqueConstraint> unique_constraints_;
+  std::vector<SecondaryIndex> secondary_indexes_;
   /// Parsed CHECK expressions, built lazily from the schema's text.
   struct ParsedChecks;
   std::shared_ptr<ParsedChecks> parsed_checks_;

@@ -53,6 +53,14 @@ void UndoLog::RollbackInto(Database* db) {
             (void)table->AddUniqueConstraint(name, cols);
           }
         }
+        // Re-register dropped index metadata and rebuild the hash
+        // structures (DropTable erased both). The PRIMARY KEY secondary
+        // index is re-created by the Table constructor.
+        for (const IndexInfo& info : e.saved_indexes) {
+          (void)catalog.CreateIndex(info);
+          (void)table->AddSecondaryIndex(info.name, info.columns,
+                                         info.unique);
+        }
         table->RawRestoreAll(std::move(e.saved_rows));
         catalog.RestoreTable(std::move(table));
         break;
@@ -77,6 +85,7 @@ void UndoLog::RollbackInto(Database* db) {
         Table* table = catalog.FindTable(e.index_table);
         if (table != nullptr) {
           (void)table->DropUniqueConstraint(e.table_name);
+          (void)table->DropSecondaryIndex(e.table_name);
         }
         (void)catalog.DropIndex(e.table_name);
         break;

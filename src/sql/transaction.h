@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sql/ast.h"
+#include "sql/catalog.h"
 #include "sql/result_set.h"
 #include "sql/schema.h"
 
@@ -44,6 +45,7 @@ struct UndoEntry {
   std::vector<Row> saved_rows;
   std::vector<std::pair<std::string, std::vector<std::string>>>
       saved_constraints;  // name → column names
+  std::vector<IndexInfo> saved_indexes;  // for kDropTable
   std::string index_table;           // for kCreateIndex
   std::unique_ptr<SelectStatement> saved_view;  // for kDropView
 };
