@@ -1,0 +1,251 @@
+// Range-access ablation: bounded ordered-index scans, ORDER BY served
+// from index order, and WHERE pushdown below hash joins, versus the
+// full-scan / sort / unfiltered-build baselines at 100 / 1k / 10k rows.
+//
+// Writes BENCH_sql_range.json (scan-vs-indexed speedups per workload,
+// plus a rows_read shrink measurement proving pushdown cuts the join's
+// build input) on a full run; `--quick` runs a smoke pass with minimal
+// iteration counts and skips the JSON.
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sql/database.h"
+
+namespace sqlflow {
+namespace {
+
+using sql::Database;
+using sql::Params;
+
+constexpr int kDeptCount = 64;
+
+// Seeds `rows` employees with distinct ascending salaries so a BETWEEN
+// window of width rows/100 selects ~1% of the table. Optimization is
+// toggled per measurement through set_optimizer_enabled.
+std::unique_ptr<Database> MakeDb(int rows) {
+  auto db = std::make_unique<Database>("bench_range");
+  bench::CheckOk(db->ExecuteScript(R"sql(
+    CREATE TABLE emp (id INTEGER PRIMARY KEY, dept INTEGER,
+                      name VARCHAR(24), salary DOUBLE);
+    CREATE TABLE dept (id INTEGER PRIMARY KEY, title VARCHAR(24));
+    CREATE INDEX idx_emp_salary ON emp (salary);
+  )sql"),
+                "create schema");
+  auto ins_dept = bench::ValueOrDie(
+      db->Prepare("INSERT INTO dept VALUES (?, ?)"), "prepare dept");
+  for (int d = 0; d < kDeptCount; ++d) {
+    Params p;
+    p.Add(Value::Integer(d));
+    p.Add(Value::String("dept-" + std::to_string(d)));
+    bench::CheckOk(ins_dept.Execute(p).status(), "insert dept");
+  }
+  auto ins_emp = bench::ValueOrDie(
+      db->Prepare("INSERT INTO emp VALUES (?, ?, ?, ?)"), "prepare emp");
+  for (int i = 0; i < rows; ++i) {
+    Params p;
+    p.Add(Value::Integer(i));
+    p.Add(Value::Integer((i * 7919) % kDeptCount));
+    p.Add(Value::String("emp-" + std::to_string(i)));
+    p.Add(Value::Double(1000.0 + i));
+    bench::CheckOk(ins_emp.Execute(p).status(), "insert emp");
+  }
+  return db;
+}
+
+// Selective BETWEEN over the salary index: ~1% of rows per query.
+void BM_RangeScan(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const bool indexed = state.range(1) != 0;
+  auto db = MakeDb(rows);
+  db->set_optimizer_enabled(indexed);
+  auto query = bench::ValueOrDie(
+      db->Prepare("SELECT name FROM emp WHERE salary BETWEEN ? AND ?"),
+      "prepare range");
+  const int width = rows / 100 > 0 ? rows / 100 : 1;
+  int64_t i = 0;
+  for (auto _ : state) {
+    double lo = 1000.0 + static_cast<double>((++i * 7919) % (rows - width));
+    Params p;
+    p.Add(Value::Double(lo));
+    p.Add(Value::Double(lo + width));
+    auto rs = query.Execute(p);
+    bench::CheckOk(rs.status(), "range");
+    benchmark::DoNotOptimize(rs->row_count());
+  }
+  state.SetLabel(indexed ? "range_scan" : "scan");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RangeScan)
+    ->ArgNames({"rows", "indexed"})
+    ->Args({100, 0})
+    ->Args({100, 1})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+// ORDER BY over an indexed column: ordered traversal versus sort.
+void BM_OrderByIndex(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const bool indexed = state.range(1) != 0;
+  auto db = MakeDb(rows);
+  db->set_optimizer_enabled(indexed);
+  const char* q = "SELECT name, salary FROM emp ORDER BY salary LIMIT 10";
+  for (auto _ : state) {
+    auto rs = db->Execute(q);
+    bench::CheckOk(rs.status(), "order by");
+    benchmark::DoNotOptimize(rs->row_count());
+  }
+  state.SetLabel(indexed ? "index_order" : "sort");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OrderByIndex)
+    ->ArgNames({"rows", "indexed"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+// Selective single-table predicate below a hash join: pushdown shrinks
+// the emp side to ~1% before the join runs.
+const char* kPushdownQuery =
+    "SELECT e.name, d.title FROM emp e JOIN dept d ON e.dept = d.id "
+    "WHERE e.salary BETWEEN 1000 AND 1099";
+
+void BM_PushdownJoin(benchmark::State& state) {
+  const int rows = static_cast<int>(state.range(0));
+  const bool indexed = state.range(1) != 0;
+  auto db = MakeDb(rows);
+  db->set_optimizer_enabled(indexed);
+  for (auto _ : state) {
+    auto rs = db->Execute(kPushdownQuery);
+    bench::CheckOk(rs.status(), "pushdown join");
+    benchmark::DoNotOptimize(rs->row_count());
+  }
+  state.SetLabel(indexed ? "pushdown" : "filter_after_join");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PushdownJoin)
+    ->ArgNames({"rows", "indexed"})
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10000, 0})
+    ->Args({10000, 1})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Console reporter that also captures per-run ns/op so main() can emit
+/// the scan-vs-indexed speedup summary as JSON.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      ns_per_op_[run.benchmark_name()] =
+          run.GetAdjustedRealTime() *
+          (run.time_unit == benchmark::kMicrosecond ? 1e3 : 1.0);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  double NsPerOp(const std::string& name) const {
+    auto it = ns_per_op_.find(name);
+    return it == ns_per_op_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::map<std::string, double> ns_per_op_;
+};
+
+// Executes `sql` once and reports how many rows the executor had to
+// materialize — the direct evidence that pushdown shrinks join input.
+uint64_t RowsReadOnce(Database& db, const char* sql) {
+  uint64_t before = db.stats().rows_read;
+  bench::CheckOk(db.Execute(sql).status(), "rows_read probe");
+  return db.stats().rows_read - before;
+}
+
+void WriteJson(const CapturingReporter& reporter, const char* path) {
+  auto pair_name = [](const char* bm, int rows, int indexed) {
+    return std::string(bm) + "/rows:" + std::to_string(rows) +
+           "/indexed:" + std::to_string(indexed);
+  };
+  auto workload = [](const char* bm) {
+    if (std::strcmp(bm, "BM_RangeScan") == 0) return "range_scan";
+    if (std::strcmp(bm, "BM_OrderByIndex") == 0) return "order_by";
+    return "pushdown_join";
+  };
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"sql_range\",\n  \"comparisons\": [\n";
+  bool first = true;
+  for (const char* bm :
+       {"BM_RangeScan", "BM_OrderByIndex", "BM_PushdownJoin"}) {
+    for (int rows : {100, 1000, 10000}) {
+      double scan = reporter.NsPerOp(pair_name(bm, rows, 0));
+      double indexed = reporter.NsPerOp(pair_name(bm, rows, 1));
+      if (scan == 0.0 || indexed == 0.0) continue;
+      if (!first) out << ",\n";
+      first = false;
+      out << "    {\"workload\": \"" << workload(bm)
+          << "\", \"rows\": " << rows << ", \"scan_ns_per_op\": " << scan
+          << ", \"indexed_ns_per_op\": " << indexed
+          << ", \"speedup\": " << scan / indexed << "}";
+    }
+  }
+  out << "\n  ],\n";
+  // One-off rows_read measurement: with pushdown the join materializes
+  // only the ~1% of emp inside the window (plus dept), without it the
+  // whole emp table feeds the join.
+  {
+    auto db = MakeDb(10000);
+    db->set_optimizer_enabled(true);
+    uint64_t optimized = RowsReadOnce(*db, kPushdownQuery);
+    db->set_optimizer_enabled(false);
+    uint64_t scan = RowsReadOnce(*db, kPushdownQuery);
+    out << "  \"pushdown_evidence\": {\"rows\": 10000"
+        << ", \"optimized_rows_read\": " << optimized
+        << ", \"scan_rows_read\": " << scan
+        << ", \"build_input_shrink\": "
+        << static_cast<double>(scan) /
+               static_cast<double>(optimized ? optimized : 1)
+        << "}\n";
+  }
+  out << "}\n";
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace sqlflow
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--quick") == 0) {
+      quick = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (quick) args.push_back(min_time);
+  int adjusted_argc = static_cast<int>(args.size());
+
+  sqlflow::bench::PrintBanner(
+      "SQL range access — bounded index scans, ordered output, pushdown",
+      "selective BETWEEN windows resolve through the ordered index "
+      "(>=10x over scans at 10k rows); ORDER BY rides index order; "
+      "pushdown shrinks hash-join build input to the selected slice");
+  benchmark::Initialize(&adjusted_argc, args.data());
+  sqlflow::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!quick) sqlflow::WriteJson(reporter, "BENCH_sql_range.json");
+  return 0;
+}

@@ -16,16 +16,23 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   echo "== ASan: sanitized build + obs/integration/plan tests =="
   cmake -B build-asan -S . -DSQLFLOW_SANITIZE=address
   cmake --build build-asan -j --target sqlflow_obs_tests \
-    sqlflow_integration_tests sqlflow_sql_tests
+    sqlflow_integration_tests sqlflow_sql_tests \
+    sqlflow_sql_range_tests sqlflow_sql_fuzz_tests
   ./build-asan/tests/sqlflow_obs_tests
   ./build-asan/tests/sqlflow_integration_tests
   # The optimizer differential battery (index/hash-join/plan-cache paths
   # exercise raw slot bookkeeping — worth the sanitized pass).
   ./build-asan/tests/sqlflow_sql_tests \
     --gtest_filter='PlansTest.*:LookupKeyTest.*'
+  # Range/boundary semantics + the index-consistency property battery,
+  # then the 600-query differential fuzzer (ordered-map slot vectors get
+  # spliced on every DML — exactly the code ASan should watch).
+  ./build-asan/tests/sqlflow_sql_range_tests
+  ./build-asan/tests/sqlflow_sql_fuzz_tests
 fi
 
-echo "== bench smoke: sql plans =="
+echo "== bench smoke: sql plans + range =="
 ./build/bench/bench_sql_plans --quick > /dev/null
+./build/bench/bench_sql_range --quick > /dev/null
 
 echo "== all checks passed =="

@@ -258,6 +258,8 @@ const char* StatementKindName(StatementKind kind) {
       return "truncate";
     case StatementKind::kCreateIndex:
       return "create-index";
+    case StatementKind::kDropIndex:
+      return "drop-index";
     case StatementKind::kCreateView:
       return "create-view";
     case StatementKind::kDropView:

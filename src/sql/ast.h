@@ -112,6 +112,7 @@ enum class StatementKind {
   kDropTable,
   kTruncate,
   kCreateIndex,
+  kDropIndex,
   kCreateView,
   kDropView,
   kCreateSequence,
@@ -219,6 +220,11 @@ struct CreateIndexStatement {
   bool unique = false;
 };
 
+struct DropIndexStatement {
+  std::string index_name;
+  bool if_exists = false;
+};
+
 struct CreateViewStatement {
   std::string view_name;
   std::unique_ptr<SelectStatement> select;
@@ -255,6 +261,7 @@ struct Statement {
   std::unique_ptr<DropTableStatement> drop_table;
   std::unique_ptr<TruncateStatement> truncate;
   std::unique_ptr<CreateIndexStatement> create_index;
+  std::unique_ptr<DropIndexStatement> drop_index;
   std::unique_ptr<CreateViewStatement> create_view;
   std::unique_ptr<DropViewStatement> drop_view;
   std::unique_ptr<CreateSequenceStatement> create_sequence;

@@ -122,6 +122,12 @@ void Database::NotePlanChoice(PlanChoice choice) {
     case PlanChoice::kHashJoin:
       metrics.GetCounter("sql.plan.hash_join").Increment();
       break;
+    case PlanChoice::kRangeScan:
+      metrics.GetCounter("sql.plan.range_scan").Increment();
+      break;
+    case PlanChoice::kPushdown:
+      metrics.GetCounter("sql.plan.pushdown").Increment();
+      break;
   }
 }
 
@@ -150,7 +156,9 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
       attr += label;
     };
     append(PlanChoice::kIndexLookup, "index_lookup");
+    append(PlanChoice::kRangeScan, "range_scan");
     append(PlanChoice::kHashJoin, "hash_join");
+    append(PlanChoice::kPushdown, "pushdown");
     append(PlanChoice::kScan, "scan");
     span.Set("plan", attr);
   }

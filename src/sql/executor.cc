@@ -167,6 +167,100 @@ std::string DeriveColumnName(const Expr& e, size_t ordinal) {
 }
 
 // ---------------------------------------------------------------------------
+// ORDER BY elision
+// ---------------------------------------------------------------------------
+
+/// Maps each ORDER BY item of a single-base-table SELECT to a schema
+/// column ordinal, mirroring the executor's sort-key resolution (output
+/// ordinal / output name / scope reference) exactly. Returns false when
+/// any item is descending, when grouped/DISTINCT execution reorders rows,
+/// or when an item is not a plain stored-column reference — an ordered
+/// index traversal can replace the sort only in the exact-match case
+/// (ties then fall back to slot order, which is the same table order
+/// stable_sort preserves).
+bool OrderBySargColumns(const SelectStatement& sel, const std::string& qual,
+                        const TableSchema& schema,
+                        std::vector<size_t>* out) {
+  if (sel.order_by.empty() || sel.distinct || !sel.group_by.empty() ||
+      sel.having != nullptr) {
+    return false;
+  }
+  for (const OrderByItem& ob : sel.order_by) {
+    if (ob.descending || ContainsAggregate(*ob.expr)) return false;
+  }
+  for (const SelectItem& item : sel.items) {
+    if (!item.star && ContainsAggregate(*item.expr)) return false;
+  }
+
+  // Replicate star expansion so output ordinals/names line up with what
+  // the projection will build.
+  struct Out {
+    const Expr* expr = nullptr;  // null ⇒ scope passthrough
+    size_t scope_index = 0;
+    std::string name;
+  };
+  std::vector<Out> outputs;
+  for (const SelectItem& item : sel.items) {
+    if (item.star) {
+      if (!item.star_qualifier.empty() &&
+          !EqualsIgnoreCase(item.star_qualifier, qual)) {
+        continue;
+      }
+      for (size_t i = 0; i < schema.column_count(); ++i) {
+        outputs.push_back({nullptr, i, schema.columns()[i].name});
+      }
+      continue;
+    }
+    Out o;
+    o.expr = item.expr.get();
+    o.name = !item.alias.empty()
+                 ? item.alias
+                 : DeriveColumnName(*item.expr, outputs.size());
+    outputs.push_back(std::move(o));
+  }
+
+  auto scope_ordinal = [&](const Expr& e) -> int {
+    if (e.kind != ExprKind::kColumnRef) return -1;
+    if (!e.table_qualifier.empty() &&
+        !EqualsIgnoreCase(e.table_qualifier, qual)) {
+      return -1;
+    }
+    return schema.FindColumn(e.column_name);
+  };
+
+  for (const OrderByItem& ob : sel.order_by) {
+    const Expr& e = *ob.expr;
+    int output_idx = -1;
+    if (e.kind == ExprKind::kLiteral &&
+        e.literal.type() == ValueType::kInteger) {
+      int64_t ordinal = e.literal.integer();
+      if (ordinal < 1 || ordinal > static_cast<int64_t>(outputs.size())) {
+        return false;
+      }
+      output_idx = static_cast<int>(ordinal - 1);
+    } else if (e.kind == ExprKind::kColumnRef && e.table_qualifier.empty()) {
+      for (size_t j = 0; j < outputs.size(); ++j) {
+        if (EqualsIgnoreCase(outputs[j].name, e.column_name)) {
+          output_idx = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+    int col = -1;
+    if (output_idx >= 0) {
+      const Out& o = outputs[static_cast<size_t>(output_idx)];
+      col = o.expr == nullptr ? static_cast<int>(o.scope_index)
+                              : scope_ordinal(*o.expr);
+    } else {
+      col = scope_ordinal(e);
+    }
+    if (col < 0) return false;
+    out->push_back(static_cast<size_t>(col));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
 // Hash-join support
 // ---------------------------------------------------------------------------
 
@@ -271,22 +365,26 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStatement& sel,
   return combined;
 }
 
-std::optional<std::vector<size_t>> Executor::ResolveCandidates(
+std::optional<Executor::ResolvedAccess> Executor::ResolveCandidates(
     Table* table, const std::string& alias, const Expr* where,
-    const StatementPlan* plan, const Params& params) {
-  if (!db_->optimizer_enabled() || where == nullptr) {
+    const StatementPlan* plan, const Params& params,
+    const std::vector<size_t>* desired_order) {
+  if (!db_->optimizer_enabled()) {
     db_->NotePlanChoice(PlanChoice::kScan);
     return std::nullopt;
   }
   const IndexLookupPlan* access = nullptr;
-  std::optional<IndexLookupPlan> local;
+  const RangeScanPlan* range = nullptr;
+  StatementPlan local;
   if (plan != nullptr) {
-    // Memoized plan (epoch-validated by the caller); has_access == false
+    // Memoized plan (epoch-validated by the caller); neither path set
     // memoizes "nothing sargable" and skips re-planning.
     if (plan->has_access) access = &plan->access;
-  } else {
-    local = PlanTableAccess(*table, alias, where);
-    if (local.has_value()) access = &*local;
+    if (plan->has_range) range = &plan->range;
+  } else if (where != nullptr) {
+    ChooseAccessPath(*table, alias, where, &local);
+    if (local.has_access) access = &local.access;
+    if (local.has_range) range = &local.range;
   }
   if (access != nullptr &&
       EqualsIgnoreCase(access->table_name, table->schema().table_name())) {
@@ -294,11 +392,204 @@ std::optional<std::vector<size_t>> Executor::ResolveCandidates(
         IndexCandidates(*table, *access, params, db_);
     if (candidates.has_value()) {
       db_->NotePlanChoice(PlanChoice::kIndexLookup);
-      return candidates;
+      return ResolvedAccess{std::move(*candidates), false};
+    }
+  }
+  if (range != nullptr &&
+      EqualsIgnoreCase(range->table_name, table->schema().table_name())) {
+    std::optional<std::vector<size_t>> candidates =
+        RangeCandidates(*table, *range, params, db_);
+    if (candidates.has_value()) {
+      db_->NotePlanChoice(PlanChoice::kRangeScan);
+      // Slots arrive in index-key order; that satisfies the caller's
+      // ORDER BY only when the key columns match it exactly.
+      bool key_ordered = desired_order != nullptr &&
+                         *desired_order == range->key_columns;
+      if (!key_ordered) std::sort(candidates->begin(), candidates->end());
+      return ResolvedAccess{std::move(*candidates), key_ordered};
+    }
+  }
+  // Nothing sargable: an ordered index matching the desired ORDER BY can
+  // still hand back the whole table pre-sorted (NULL keys included —
+  // they sort first, exactly where ascending ORDER BY wants them).
+  if (desired_order != nullptr && !desired_order->empty()) {
+    for (const SecondaryIndex& index : table->secondary_indexes()) {
+      if (index.column_indexes != *desired_order) continue;
+      ResolvedAccess out;
+      out.key_ordered = true;
+      out.slots.reserve(table->row_count());
+      for (const auto& [key, slots] : index.ordered) {
+        out.slots.insert(out.slots.end(), slots.begin(), slots.end());
+      }
+      db_->NotePlanChoice(PlanChoice::kRangeScan);
+      return out;
     }
   }
   db_->NotePlanChoice(PlanChoice::kScan);
   return std::nullopt;
+}
+
+bool Executor::TryPushdown(Table* table, const std::string& qual,
+                           const SelectStatement& sel, size_t ref_index,
+                           const Params& params,
+                           std::vector<Row>* out_rows) {
+  if (!db_->optimizer_enabled() || sel.where == nullptr) return false;
+  const TableRef& ref = sel.from[ref_index];
+  // Filtering the right side of a LEFT OUTER join is unsound: a left row
+  // whose only matches are filtered away becomes NULL-padded, and a
+  // pushed conjunct like `r.x IS NULL` would then accept rows the
+  // unpushed plan rejects.
+  if (ref_index > 0 && ref.join_type == JoinType::kLeftOuter) return false;
+  // The qualifier must name this table reference unambiguously.
+  size_t alias_count = 0;
+  for (const TableRef& other : sel.from) {
+    const std::string& other_qual =
+        other.alias.empty() ? other.table_name : other.alias;
+    if (EqualsIgnoreCase(other_qual, qual)) ++alias_count;
+  }
+  if (alias_count != 1) return false;
+
+  const TableSchema& schema = table->schema();
+  auto qualified_col = [&](const Expr& e) -> int {
+    if (e.kind != ExprKind::kColumnRef) return -1;
+    if (e.table_qualifier.empty() ||
+        !EqualsIgnoreCase(e.table_qualifier, qual)) {
+      return -1;
+    }
+    return schema.FindColumn(e.column_name);
+  };
+
+  // Collect conjuncts that (a) mention only this table's columns, all
+  // explicitly qualified, and (b) cannot raise a TypeError the un-pushed
+  // WHERE would have short-circuited past — never-erroring forms
+  // (IS [NOT] NULL, BETWEEN, IN over probes, LIKE) plus class-gated
+  // comparisons. Parameters re-gate at evaluation time below.
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(*sel.where, &conjuncts);
+  std::vector<const Expr*> pushable;
+  for (const Expr* c : conjuncts) {
+    switch (c->kind) {
+      case ExprKind::kUnary:
+        if ((c->unary_op == UnaryOp::kIsNull ||
+             c->unary_op == UnaryOp::kIsNotNull) &&
+            qualified_col(*c->children[0]) >= 0) {
+          pushable.push_back(c);
+        }
+        break;
+      case ExprKind::kBetween:
+        if (qualified_col(*c->children[0]) >= 0 &&
+            IsProbeExpr(*c->children[1]) && IsProbeExpr(*c->children[2])) {
+          pushable.push_back(c);
+        }
+        break;
+      case ExprKind::kInList: {
+        if (qualified_col(*c->children[0]) < 0) break;
+        bool all_probes = true;
+        for (size_t i = 1; i < c->children.size(); ++i) {
+          if (!IsProbeExpr(*c->children[i])) {
+            all_probes = false;
+            break;
+          }
+        }
+        if (all_probes) pushable.push_back(c);
+        break;
+      }
+      case ExprKind::kBinary: {
+        BinaryOp op = c->binary_op;
+        if (op == BinaryOp::kLike) {
+          if (qualified_col(*c->children[0]) >= 0 &&
+              IsProbeExpr(*c->children[1])) {
+            pushable.push_back(c);
+          }
+          break;
+        }
+        if (op != BinaryOp::kEq && op != BinaryOp::kNotEq &&
+            op != BinaryOp::kLt && op != BinaryOp::kLtEq &&
+            op != BinaryOp::kGt && op != BinaryOp::kGtEq) {
+          break;
+        }
+        int col = qualified_col(*c->children[0]);
+        const Expr* probe = c->children[1].get();
+        if (col < 0) {
+          col = qualified_col(*c->children[1]);
+          probe = c->children[0].get();
+        }
+        if (col < 0 || !IsProbeExpr(*probe)) break;
+        ValueType type = schema.columns()[static_cast<size_t>(col)].type;
+        if (type == ValueType::kNull) break;  // untyped: anything stored
+        if (!ProbeExprCompatible(type, *probe)) break;
+        pushable.push_back(c);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (pushable.empty()) return false;
+
+  // Let the planner find an index over just the pushed conjuncts.
+  ExprPtr pushed_where = CloneExpr(*pushable[0]);
+  for (size_t i = 1; i < pushable.size(); ++i) {
+    pushed_where = MakeBinary(BinaryOp::kAnd, std::move(pushed_where),
+                              CloneExpr(*pushable[i]));
+  }
+  StatementPlan local;
+  ChooseAccessPath(*table, qual, pushed_where.get(), &local);
+  std::optional<std::vector<size_t>> candidates;
+  bool used_index = false;
+  bool used_range = false;
+  if (local.has_access) {
+    candidates = IndexCandidates(*table, local.access, params, db_);
+    used_index = candidates.has_value();
+  } else if (local.has_range) {
+    candidates = RangeCandidates(*table, local.range, params, db_);
+    if (candidates.has_value()) {
+      used_range = true;
+      std::sort(candidates->begin(), candidates->end());  // table order
+    }
+  }
+
+  std::vector<ScopeColumn> columns;
+  for (const ColumnDef& col : schema.columns()) {
+    columns.push_back({qual, col.name});
+  }
+  Row current;
+  ScopeBinding binding(&columns, &current);
+  EvalContext ctx;
+  ctx.binding = &binding;
+  ctx.params = &params;
+  ctx.database = db_;
+
+  std::vector<Row> kept;
+  // nullopt ⇒ a conjunct errored: abandon the whole pushdown so the
+  // un-pushed WHERE surfaces (or short-circuits past) the error itself.
+  auto eval_row = [&](const Row& row) -> std::optional<bool> {
+    current = row;
+    for (const Expr* c : pushable) {
+      Result<Value> v = EvaluateExpr(*c, ctx);
+      if (!v.ok()) return std::nullopt;
+      if (!IsTrue(*v)) return false;
+    }
+    return true;
+  };
+  if (candidates.has_value()) {
+    for (size_t slot : *candidates) {
+      std::optional<bool> keep = eval_row(table->rows()[slot]);
+      if (!keep.has_value()) return false;
+      if (*keep) kept.push_back(table->rows()[slot]);
+    }
+  } else {
+    for (const Row& row : table->rows()) {
+      std::optional<bool> keep = eval_row(row);
+      if (!keep.has_value()) return false;
+      if (*keep) kept.push_back(row);
+    }
+  }
+  if (used_index) db_->NotePlanChoice(PlanChoice::kIndexLookup);
+  if (used_range) db_->NotePlanChoice(PlanChoice::kRangeScan);
+  db_->NotePlanChoice(PlanChoice::kPushdown);
+  *out_rows = std::move(kept);
+  return true;
 }
 
 Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
@@ -310,7 +601,11 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
   // joins nested-loop.
   FromScope scope;
   bool first_ref = true;
-  for (const TableRef& ref : sel.from) {
+  // Set when a single-base-table scope comes back in the order its
+  // ORDER BY asks for (index traversal); step 6 then skips the sort.
+  bool order_by_presorted = false;
+  for (size_t ref_index = 0; ref_index < sel.from.size(); ++ref_index) {
+    const TableRef& ref = sel.from[ref_index];
     const std::string& qual =
         ref.alias.empty() ? ref.table_name : ref.alias;
     std::vector<ScopeColumn> right_cols;
@@ -327,22 +622,35 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
         right_cols.push_back({qual, col.name});
       }
       // A single-base-table SELECT can satisfy sargable WHERE conjuncts
-      // through an index instead of materializing the whole table. The
-      // full WHERE still runs over the candidates below, so collisions
-      // and residual conjuncts are re-checked.
-      std::optional<std::vector<size_t>> candidates;
+      // through an index instead of materializing the whole table (and
+      // satisfy its ORDER BY through index order). The full WHERE still
+      // runs over the candidates below, so collisions and residual
+      // conjuncts are re-checked. Base tables joined to others instead
+      // get their single-table conjuncts pushed below the join.
+      std::optional<ResolvedAccess> resolved;
+      bool pushed = false;
       if (first_ref && sel.from.size() == 1) {
-        candidates = ResolveCandidates(table, qual, sel.where.get(), plan,
-                                       params);
+        std::vector<size_t> order_cols;
+        bool have_order = OrderBySargColumns(sel, qual, table->schema(),
+                                             &order_cols);
+        resolved = ResolveCandidates(table, qual, sel.where.get(), plan,
+                                     params,
+                                     have_order ? &order_cols : nullptr);
+        if (resolved.has_value() && resolved->key_ordered) {
+          order_by_presorted = true;
+        }
+      } else if (TryPushdown(table, qual, sel, ref_index, params,
+                             &right_rows)) {
+        pushed = true;
       } else if (first_ref) {
         db_->NotePlanChoice(PlanChoice::kScan);
       }
-      if (candidates.has_value()) {
-        right_rows.reserve(candidates->size());
-        for (size_t slot : *candidates) {
+      if (resolved.has_value()) {
+        right_rows.reserve(resolved->slots.size());
+        for (size_t slot : resolved->slots) {
           right_rows.push_back(table->rows()[slot]);
         }
-      } else {
+      } else if (!pushed) {
         right_rows = table->rows();
       }
     } else if (const SelectStatement* view =
@@ -416,53 +724,70 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
 
     if (hash_join) {
       db_->NotePlanChoice(PlanChoice::kHashJoin);
-      // Build on the right side; rows with a NULL key part can never
-      // match and stay out of the table entirely.
+      // Build the hash table on the smaller input (row-count cost
+      // model); rows with a NULL key part can never match and stay out
+      // of the build table entirely.
+      auto key_of = [&key_pairs](const Row& row, bool left_side,
+                                 std::string* key) -> bool {
+        for (const auto& [lo, ro] : key_pairs) {
+          const Value& v = row[left_side ? lo : ro];
+          if (v.is_null()) return false;
+          AppendLookupKeyPart(v, key);
+        }
+        return true;
+      };
+      // Candidate right slots per left row, ascending either way, so the
+      // emitted order matches the nested loop's regardless of build
+      // side.
+      std::vector<std::vector<size_t>> right_of_left(scope.rows.size());
+      const bool build_left = scope.rows.size() < right_rows.size();
       std::unordered_map<std::string, std::vector<size_t>> buckets;
-      buckets.reserve(right_rows.size());
-      for (size_t ri = 0; ri < right_rows.size(); ++ri) {
-        std::string key;
-        bool null_key = false;
-        for (const auto& [lo, ro] : key_pairs) {
-          const Value& v = right_rows[ri][ro];
-          if (v.is_null()) {
-            null_key = true;
-            break;
+      if (build_left) {
+        buckets.reserve(scope.rows.size());
+        for (size_t li = 0; li < scope.rows.size(); ++li) {
+          std::string key;
+          if (key_of(scope.rows[li], true, &key)) {
+            buckets[std::move(key)].push_back(li);
           }
-          AppendLookupKeyPart(v, &key);
         }
-        if (!null_key) buckets[std::move(key)].push_back(ri);
-      }
-      for (const Row& left : scope.rows) {
-        bool matched = false;
-        std::string key;
-        bool null_key = false;
-        for (const auto& [lo, ro] : key_pairs) {
-          (void)ro;
-          const Value& v = left[lo];
-          if (v.is_null()) {
-            null_key = true;
-            break;
-          }
-          AppendLookupKeyPart(v, &key);
-        }
-        if (!null_key) {
+        for (size_t ri = 0; ri < right_rows.size(); ++ri) {
+          std::string key;
+          if (!key_of(right_rows[ri], false, &key)) continue;
           auto bucket = buckets.find(key);
-          if (bucket != buckets.end()) {
-            // Bucket slots ascend, so output order matches the nested
-            // loop's. The full ON clause re-runs per candidate: key
-            // collisions and residual conjuncts filter here.
-            for (size_t ri : bucket->second) {
-              probe = left;
-              probe.insert(probe.end(), right_rows[ri].begin(),
-                           right_rows[ri].end());
-              SQLFLOW_ASSIGN_OR_RETURN(
-                  Value cond, EvaluateExpr(*ref.join_condition, ctx));
-              if (IsTrue(cond)) {
-                matched = true;
-                combined_rows.push_back(probe);
-              }
-            }
+          if (bucket == buckets.end()) continue;
+          for (size_t li : bucket->second) {
+            right_of_left[li].push_back(ri);
+          }
+        }
+      } else {
+        buckets.reserve(right_rows.size());
+        for (size_t ri = 0; ri < right_rows.size(); ++ri) {
+          std::string key;
+          if (key_of(right_rows[ri], false, &key)) {
+            buckets[std::move(key)].push_back(ri);
+          }
+        }
+        for (size_t li = 0; li < scope.rows.size(); ++li) {
+          std::string key;
+          if (!key_of(scope.rows[li], true, &key)) continue;
+          auto bucket = buckets.find(key);
+          if (bucket != buckets.end()) right_of_left[li] = bucket->second;
+        }
+      }
+      for (size_t li = 0; li < scope.rows.size(); ++li) {
+        const Row& left = scope.rows[li];
+        bool matched = false;
+        // The full ON clause re-runs per candidate: key collisions and
+        // residual conjuncts filter here.
+        for (size_t ri : right_of_left[li]) {
+          probe = left;
+          probe.insert(probe.end(), right_rows[ri].begin(),
+                       right_rows[ri].end());
+          SQLFLOW_ASSIGN_OR_RETURN(Value cond,
+                                   EvaluateExpr(*ref.join_condition, ctx));
+          if (IsTrue(cond)) {
+            matched = true;
+            combined_rows.push_back(probe);
           }
         }
         if (!matched && ref.join_type == JoinType::kLeftOuter) {
@@ -746,8 +1071,9 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
     produced = std::move(unique);
   }
 
-  // 6. ORDER BY (stable, so equal keys keep input order).
-  if (!sel.order_by.empty()) {
+  // 6. ORDER BY (stable, so equal keys keep input order). Skipped when
+  // an ordered-index traversal already produced this exact order.
+  if (!sel.order_by.empty() && !order_by_presorted) {
     std::stable_sort(
         produced.begin(), produced.end(),
         [&sel](const SortableRow& a, const SortableRow& b) {
@@ -886,17 +1212,17 @@ Result<ResultSet> Executor::ExecuteUpdate(const UpdateStatement& upd,
   ctx.database = db_;
 
   // Two passes: find matching indexes, then apply (stable positions).
-  std::optional<std::vector<size_t>> candidates =
+  std::optional<ResolvedAccess> candidates =
       ResolveCandidates(table, upd.table_name, upd.where.get(), plan,
                         params);
   std::vector<size_t> matches;
   if (candidates.has_value()) {
-    for (size_t i : *candidates) {
+    for (size_t i : candidates->slots) {
       current = table->rows()[i];
       SQLFLOW_ASSIGN_OR_RETURN(Value cond, EvaluateExpr(*upd.where, ctx));
       if (IsTrue(cond)) matches.push_back(i);
     }
-    db_->MutableStats()->rows_read += candidates->size();
+    db_->MutableStats()->rows_read += candidates->slots.size();
   } else {
     for (size_t i = 0; i < table->row_count(); ++i) {
       current = table->rows()[i];
@@ -942,17 +1268,17 @@ Result<ResultSet> Executor::ExecuteDelete(const DeleteStatement& del,
   ctx.params = &params;
   ctx.database = db_;
 
-  std::optional<std::vector<size_t>> candidates =
+  std::optional<ResolvedAccess> candidates =
       ResolveCandidates(table, del.table_name, del.where.get(), plan,
                         params);
   std::vector<size_t> matches;
   if (candidates.has_value()) {
-    for (size_t i : *candidates) {
+    for (size_t i : candidates->slots) {
       current = table->rows()[i];
       SQLFLOW_ASSIGN_OR_RETURN(Value cond, EvaluateExpr(*del.where, ctx));
       if (IsTrue(cond)) matches.push_back(i);
     }
-    db_->MutableStats()->rows_read += candidates->size();
+    db_->MutableStats()->rows_read += candidates->slots.size();
   } else {
     for (size_t i = 0; i < table->row_count(); ++i) {
       current = table->rows()[i];
@@ -1131,6 +1457,36 @@ Result<ResultSet> Executor::Execute(const Statement& stmt,
         e.kind = UndoEntry::Kind::kCreateIndex;
         e.table_name = ci.index_name;
         e.index_table = ci.table_name;
+        db_->active_undo()->Record(std::move(e));
+      }
+      return ResultSet();
+    }
+
+    case StatementKind::kDropIndex: {
+      const DropIndexStatement& di = *stmt.drop_index;
+      const IndexInfo* found = db_->catalog().FindIndex(di.index_name);
+      if (found == nullptr) {
+        if (di.if_exists) return ResultSet();
+        return Status::NotFound("no index '" + di.index_name + "'");
+      }
+      IndexInfo info = *found;  // catalog entry dies below
+      SQLFLOW_ASSIGN_OR_RETURN(Table * table,
+                               db_->catalog().GetTable(info.table_name));
+      SQLFLOW_RETURN_IF_ERROR(table->DropSecondaryIndex(info.name));
+      if (info.unique) {
+        SQLFLOW_RETURN_IF_ERROR(table->DropUniqueConstraint(info.name));
+      }
+      SQLFLOW_RETURN_IF_ERROR(db_->catalog().DropIndex(info.name));
+      // Cached plans may name the dropped index; epoch bump forces a
+      // replan (IndexCandidates would also decline, but replanning can
+      // pick a different index).
+      db_->BumpSchemaEpoch();
+      if (db_->active_undo() != nullptr) {
+        UndoEntry e;
+        e.kind = UndoEntry::Kind::kDropIndex;
+        e.table_name = info.name;
+        e.index_table = info.table_name;
+        e.saved_indexes.push_back(std::move(info));
         db_->active_undo()->Record(std::move(e));
       }
       return ResultSet();

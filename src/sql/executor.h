@@ -48,12 +48,37 @@ class Executor {
   Result<ResultSet> ExecuteCall(const CallStatement& call,
                                 const Params& params);
 
+  /// Result of ResolveCandidates: candidate row slots plus whether they
+  /// come back in the order of an index matching the caller's desired
+  /// sort (so the caller may skip its ORDER BY sort). When key_ordered
+  /// is false the slots ascend (table order).
+  struct ResolvedAccess {
+    std::vector<size_t> slots;
+    bool key_ordered = false;
+  };
+
   /// Resolves the WHERE clause of a single-table statement to candidate
   /// row slots through `plan` (or inline planning when plan is null).
-  /// nullopt ⇒ scan. Notes the plan choice either way.
-  std::optional<std::vector<size_t>> ResolveCandidates(
+  /// nullopt ⇒ scan. Notes the plan choice either way. `desired_order`,
+  /// when set, names the schema columns of an ascending ORDER BY the
+  /// caller would like satisfied by index order; an exact match against
+  /// an ordered index yields key_ordered slots (possibly a full sorted
+  /// traversal when the WHERE has nothing sargable).
+  std::optional<ResolvedAccess> ResolveCandidates(
       Table* table, const std::string& alias, const Expr* where,
-      const StatementPlan* plan, const Params& params);
+      const StatementPlan* plan, const Params& params,
+      const std::vector<size_t>* desired_order = nullptr);
+
+  /// Pushes the single-table conjuncts of `sel.where` that mention only
+  /// `qual`'s columns below the join: fills `out_rows` with the rows of
+  /// `table` passing them (using an index when one matches) and returns
+  /// true. Returns false — leaving `out_rows` untouched — when nothing is
+  /// pushable, pushdown would be unsound (right side of a LEFT OUTER
+  /// join, ambiguous alias), or a pushed conjunct errors on some row
+  /// (the un-pushed WHERE must surface that error itself).
+  bool TryPushdown(Table* table, const std::string& qual,
+                   const SelectStatement& sel, size_t ref_index,
+                   const Params& params, std::vector<Row>* out_rows);
 
   static constexpr int kMaxViewDepth = 16;
 

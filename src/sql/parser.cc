@@ -200,7 +200,19 @@ class Parser {
         stmt->drop_view = std::move(drop);
         return stmt;
       }
-      return Error("expected TABLE, SEQUENCE or VIEW after DROP");
+      if (AcceptKeyword("INDEX")) {
+        stmt->kind = StatementKind::kDropIndex;
+        auto drop = std::make_unique<DropIndexStatement>();
+        if (AcceptKeyword("IF")) {
+          SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("EXISTS"));
+          drop->if_exists = true;
+        }
+        SQLFLOW_ASSIGN_OR_RETURN(drop->index_name,
+                                 ExpectIdentifier("index name"));
+        stmt->drop_index = std::move(drop);
+        return stmt;
+      }
+      return Error("expected TABLE, SEQUENCE, VIEW or INDEX after DROP");
     }
     if (AcceptKeyword("TRUNCATE")) {
       SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("TABLE"));

@@ -1,6 +1,7 @@
 #include "sql/planner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 #include "common/string_util.h"
@@ -65,17 +66,6 @@ int ResolveColumn(const Table& table, const std::string& alias,
   return table.schema().FindColumn(e.column_name);
 }
 
-bool IsProbeExpr(const Expr& e) {
-  return e.kind == ExprKind::kLiteral || e.kind == ExprKind::kParameter;
-}
-
-/// Plan-time type gate for literal probes; parameters are gated at
-/// execution time in IndexCandidates.
-bool ProbeExprCompatible(ValueType column_type, const Expr& e) {
-  if (e.kind != ExprKind::kLiteral) return true;
-  return ProbeCompatible(column_type, ClassifyValue(e.literal));
-}
-
 void CollectTablesFromSelect(const SelectStatement& sel,
                              std::set<std::string>* out);
 
@@ -111,6 +101,17 @@ void CollectTablesFromSelect(const SelectStatement& sel,
 }
 
 }  // namespace
+
+bool IsProbeExpr(const Expr& e) {
+  return e.kind == ExprKind::kLiteral || e.kind == ExprKind::kParameter;
+}
+
+/// Plan-time type gate for literal probes; parameters are gated at
+/// execution time in IndexCandidates / RangeCandidates.
+bool ProbeExprCompatible(ValueType column_type, const Expr& e) {
+  if (e.kind != ExprKind::kLiteral) return true;
+  return ProbeCompatible(column_type, ClassifyValue(e.literal));
+}
 
 void SplitConjuncts(const Expr& e, std::vector<const Expr*>* out) {
   if (e.kind == ExprKind::kBinary && e.binary_op == BinaryOp::kAnd) {
@@ -173,10 +174,14 @@ std::optional<IndexLookupPlan> PlanTableAccess(const Table& table,
     }
   }
 
-  // Pick the best index fully covered by equality probes: unique beats
-  // non-unique, then longer keys (fewer expected candidates).
+  // Pick the cheapest index fully covered by equality probes under the
+  // row-count cost model: a unique key yields one candidate, a
+  // non-unique key rows/distinct-keys. Ties break toward unique, then
+  // longer keys, for determinism.
   const SecondaryIndex* best = nullptr;
-  int best_score = -1;
+  double best_cost = 0.0;
+  int best_tie = -1;
+  const double rows = static_cast<double>(table.row_count());
   for (const SecondaryIndex& index : table.secondary_indexes()) {
     bool covered = !index.column_indexes.empty();
     for (size_t col : index.column_indexes) {
@@ -186,11 +191,18 @@ std::optional<IndexLookupPlan> PlanTableAccess(const Table& table,
       }
     }
     if (!covered) continue;
-    int score = (index.unique ? 1000 : 0) +
-                static_cast<int>(index.column_indexes.size());
-    if (score > best_score) {
+    double cost =
+        index.unique
+            ? 1.0
+            : rows / std::max<double>(
+                         1.0, static_cast<double>(index.buckets.size()));
+    int tie = (index.unique ? 1000 : 0) +
+              static_cast<int>(index.column_indexes.size());
+    if (best == nullptr || cost < best_cost ||
+        (cost == best_cost && tie > best_tie)) {
       best = &index;
-      best_score = score;
+      best_cost = cost;
+      best_tie = tie;
     }
   }
   if (best != nullptr) {
@@ -216,6 +228,183 @@ std::optional<IndexLookupPlan> PlanTableAccess(const Table& table,
     return plan;
   }
   return std::nullopt;
+}
+
+std::optional<RangeScanPlan> PlanTableRange(const Table& table,
+                                            const std::string& alias,
+                                            const Expr* where) {
+  if (where == nullptr || table.secondary_indexes().empty()) {
+    return std::nullopt;
+  }
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(*where, &conjuncts);
+
+  // Candidate interval per schema ordinal (first conjunct wins per side;
+  // the residual WHERE re-checks everything anyway).
+  struct ColumnRange {
+    RangeBound lower;
+    RangeBound upper;
+    const Expr* like = nullptr;
+  };
+  std::vector<ColumnRange> ranges(table.schema().column_count());
+  auto note_bound = [&ranges](int col, const Expr* probe, bool is_lower,
+                              bool inclusive, bool raw) {
+    RangeBound& b =
+        is_lower ? ranges[static_cast<size_t>(col)].lower
+                 : ranges[static_cast<size_t>(col)].upper;
+    if (b.probe == nullptr) {
+      b.probe = probe;
+      b.inclusive = inclusive;
+      b.raw_compare = raw;
+    }
+  };
+
+  for (const Expr* c : conjuncts) {
+    if (c->kind == ExprKind::kBinary) {
+      BinaryOp op = c->binary_op;
+      if (op == BinaryOp::kLike) {
+        // col LIKE <probe> over a string column: the literal prefix (up
+        // to the first wildcard) bounds a byte-order interval, which is
+        // exactly the ordered index's order for strings.
+        int col = ResolveColumn(table, alias, *c->children[0]);
+        if (col < 0 || !IsProbeExpr(*c->children[1])) continue;
+        if (table.schema().columns()[col].type != ValueType::kString) {
+          continue;
+        }
+        ColumnRange& r = ranges[static_cast<size_t>(col)];
+        if (r.like == nullptr) r.like = c->children[1].get();
+        continue;
+      }
+      if (op != BinaryOp::kLt && op != BinaryOp::kLtEq &&
+          op != BinaryOp::kGt && op != BinaryOp::kGtEq) {
+        continue;
+      }
+      const Expr& lhs = *c->children[0];
+      const Expr& rhs = *c->children[1];
+      int col = -1;
+      const Expr* probe = nullptr;
+      bool col_on_left = true;
+      if ((col = ResolveColumn(table, alias, lhs)) >= 0 &&
+          IsProbeExpr(rhs)) {
+        probe = &rhs;
+      } else if ((col = ResolveColumn(table, alias, rhs)) >= 0 &&
+                 IsProbeExpr(lhs)) {
+        probe = &lhs;
+        col_on_left = false;
+      } else {
+        continue;
+      }
+      ValueType type = table.schema().columns()[col].type;
+      // Untyped columns store unconstrained values (comparisons can
+      // error on any probe); booleans have no meaningful range order.
+      if (type == ValueType::kNull || type == ValueType::kBoolean) {
+        continue;
+      }
+      if (!ProbeExprCompatible(type, *probe)) continue;
+      bool is_upper = col_on_left
+                          ? (op == BinaryOp::kLt || op == BinaryOp::kLtEq)
+                          : (op == BinaryOp::kGt || op == BinaryOp::kGtEq);
+      bool inclusive = op == BinaryOp::kLtEq || op == BinaryOp::kGtEq;
+      note_bound(col, probe, !is_upper, inclusive, false);
+    } else if (c->kind == ExprKind::kBetween && !c->negated) {
+      // BETWEEN compares through Value::Compare (no coercion, no
+      // errors), which is the ordered index's own order — sargable on
+      // any column type, bounds used raw.
+      int col = ResolveColumn(table, alias, *c->children[0]);
+      if (col < 0) continue;
+      if (!IsProbeExpr(*c->children[1]) || !IsProbeExpr(*c->children[2])) {
+        continue;
+      }
+      note_bound(col, c->children[1].get(), true, true, true);
+      note_bound(col, c->children[2].get(), false, true, true);
+    }
+  }
+
+  // Choose the cheapest bounded column that leads an ordered index.
+  std::optional<RangeScanPlan> best;
+  double best_cost = 0.0;
+  for (size_t col = 0; col < ranges.size(); ++col) {
+    const ColumnRange& r = ranges[col];
+    bool has_bounds = r.lower.probe != nullptr || r.upper.probe != nullptr;
+    if (!has_bounds && r.like == nullptr) continue;
+    // Shortest index led by this column (all carry the same postings
+    // for the first column; fewer key columns ⇒ cheaper keys).
+    const SecondaryIndex* index = nullptr;
+    for (const SecondaryIndex& candidate : table.secondary_indexes()) {
+      if (candidate.column_indexes.empty() ||
+          candidate.column_indexes[0] != col) {
+        continue;
+      }
+      if (index == nullptr || candidate.column_indexes.size() <
+                                  index->column_indexes.size()) {
+        index = &candidate;
+      }
+    }
+    if (index == nullptr) continue;
+    RangeScanPlan plan;
+    plan.table_name = table.schema().table_name();
+    plan.index_name = index->name;
+    plan.key_columns = index->column_indexes;
+    plan.column = col;
+    if (has_bounds) {
+      plan.lower = r.lower;
+      plan.upper = r.upper;
+    } else {
+      plan.like_pattern = r.like;
+    }
+    double cost = EstimateRangeCost(table, plan);
+    if (!best.has_value() || cost < best_cost) {
+      best = std::move(plan);
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+double EstimateLookupCost(const Table& table, const IndexLookupPlan& plan) {
+  const double rows = static_cast<double>(table.row_count());
+  const SecondaryIndex* index = table.FindSecondaryIndex(plan.index_name);
+  if (index == nullptr) return rows;
+  double per_key =
+      index->unique
+          ? 1.0
+          : rows / std::max<double>(
+                       1.0, static_cast<double>(index->buckets.size()));
+  if (plan.in_list != nullptr) {
+    return per_key *
+           static_cast<double>(plan.in_list->children.size() - 1);
+  }
+  return per_key;
+}
+
+double EstimateRangeCost(const Table& table, const RangeScanPlan& plan) {
+  const double rows = static_cast<double>(table.row_count());
+  bool bounded_both =
+      plan.like_pattern != nullptr ||
+      (plan.lower.probe != nullptr && plan.upper.probe != nullptr);
+  return bounded_both ? rows / 4.0 : rows / 3.0;
+}
+
+void ChooseAccessPath(const Table& table, const std::string& alias,
+                      const Expr* where, StatementPlan* plan) {
+  std::optional<IndexLookupPlan> access =
+      PlanTableAccess(table, alias, where);
+  std::optional<RangeScanPlan> range = PlanTableRange(table, alias, where);
+  if (access.has_value() && range.has_value()) {
+    if (EstimateLookupCost(table, *access) <=
+        EstimateRangeCost(table, *range)) {
+      range.reset();
+    } else {
+      access.reset();
+    }
+  }
+  if (access.has_value()) {
+    plan->has_access = true;
+    plan->access = std::move(*access);
+  } else if (range.has_value()) {
+    plan->has_range = true;
+    plan->range = std::move(*range);
+  }
 }
 
 StatementPlan PlanStatement(const Statement& stmt, Database* db) {
@@ -253,13 +442,9 @@ StatementPlan PlanStatement(const Statement& stmt, Database* db) {
   }
   const Table* table = db->catalog().FindTable(*table_name);
   if (table == nullptr) return plan;
-  std::optional<IndexLookupPlan> access =
-      PlanTableAccess(*table, *alias, where);
-  if (access.has_value()) {
-    plan.has_access = true;
-    plan.access = std::move(*access);
-    plan.access.table_name = *table_name;
-  }
+  ChooseAccessPath(*table, *alias, where, &plan);
+  if (plan.has_access) plan.access.table_name = *table_name;
+  if (plan.has_range) plan.range.table_name = *table_name;
   return plan;
 }
 
@@ -313,6 +498,124 @@ std::optional<std::vector<size_t>> IndexCandidates(
   const std::vector<size_t>* slots = table.IndexBucket(*index, key);
   if (slots == nullptr) return std::vector<size_t>{};
   return *slots;
+}
+
+namespace {
+
+bool IsNaN(const Value& v) {
+  return v.type() == ValueType::kDouble && std::isnan(v.dbl());
+}
+
+/// Byte-successor of `prefix`: the smallest string greater than every
+/// string starting with `prefix`. Empty result ⇒ no finite successor
+/// (all-0xFF prefix) ⇒ unbounded above.
+std::string PrefixSuccessor(const std::string& prefix) {
+  std::string s = prefix;
+  while (!s.empty() && static_cast<unsigned char>(s.back()) == 0xFF) {
+    s.pop_back();
+  }
+  if (!s.empty()) s.back() = static_cast<char>(s.back() + 1);
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::vector<size_t>> RangeCandidates(const Table& table,
+                                                   const RangeScanPlan& plan,
+                                                   const Params& params,
+                                                   Database* db) {
+  const SecondaryIndex* index = table.FindSecondaryIndex(plan.index_name);
+  if (index == nullptr || index->column_indexes != plan.key_columns) {
+    return std::nullopt;  // index vanished or was redefined: scan
+  }
+  EvalContext ctx;
+  ctx.params = &params;
+  ctx.database = db;
+
+  // NULL keys sort first under OrderedValueCompare but never satisfy a
+  // range predicate; the default floor starts just past them.
+  OrderedBound lower{Value::Null(), true};
+  bool have_upper = false;
+  OrderedBound upper;
+
+  if (plan.like_pattern != nullptr) {
+    Result<Value> pat = EvaluateExpr(*plan.like_pattern, ctx);
+    if (!pat.ok()) return std::nullopt;
+    if (pat->is_null()) return std::vector<size_t>{};  // LIKE NULL ⇒ NULL
+    std::string pattern = pat->AsString();
+    size_t wild = pattern.find_first_of("%_");
+    std::string prefix = pattern.substr(0, wild);
+    if (prefix.empty()) return std::nullopt;  // pattern starts wild: scan
+    lower = OrderedBound{Value::String(prefix), false};
+    std::string succ = PrefixSuccessor(prefix);
+    if (!succ.empty()) {
+      upper = OrderedBound{Value::String(std::move(succ)), false};
+      have_upper = true;
+    }
+    // else: strings are the top type rank, so "no upper" is exact.
+  } else {
+    ValueType type = table.schema().columns()[plan.column].type;
+    auto resolve = [&](const RangeBound& b,
+                       Value* out) -> std::optional<bool> {
+      // nullopt ⇒ abandon (scan); false ⇒ provably empty; true ⇒ ok.
+      Result<Value> v = EvaluateExpr(*b.probe, ctx);
+      if (!v.ok()) return std::nullopt;
+      if (v->is_null()) return false;  // NULL bound ⇒ predicate is NULL
+      if (b.raw_compare) {
+        // BETWEEN compares raw; a NaN bound behaves asymmetrically
+        // under Value::Compare, which the map cannot reproduce.
+        if (IsNaN(*v)) return std::nullopt;
+        *out = *v;
+        return true;
+      }
+      ProbeClass cls = ClassifyValue(*v);
+      if (!ProbeCompatible(type, cls)) return std::nullopt;
+      Value probe = *v;
+      if ((type == ValueType::kInteger || type == ValueType::kDouble) &&
+          cls == ProbeClass::kNumString) {
+        Result<double> d = v->AsDouble();
+        if (!d.ok()) return std::nullopt;  // unreachable: cls checked
+        probe = Value::Double(*d);  // '5' probes as 5.0
+      }
+      if (IsNaN(probe)) return std::nullopt;  // x > NaN is true on scan
+      *out = std::move(probe);
+      return true;
+    };
+    if (plan.lower.probe != nullptr) {
+      Value v;
+      std::optional<bool> ok = resolve(plan.lower, &v);
+      if (!ok.has_value()) return std::nullopt;
+      if (!*ok) return std::vector<size_t>{};
+      lower = OrderedBound{std::move(v), !plan.lower.inclusive};
+    }
+    if (plan.upper.probe != nullptr) {
+      Value v;
+      std::optional<bool> ok = resolve(plan.upper, &v);
+      if (!ok.has_value()) return std::nullopt;
+      if (!*ok) return std::vector<size_t>{};
+      upper = OrderedBound{std::move(v), plan.upper.inclusive};
+      have_upper = true;
+    }
+  }
+
+  // Guard empty/inverted intervals (BETWEEN 10 AND 5): lower_bound of
+  // the floor could land past lower_bound of the ceiling, and iterating
+  // between them would run off the map.
+  if (have_upper) {
+    int cmp = OrderedValueCompare(lower.value, upper.value);
+    if (cmp > 0 || (cmp == 0 && (lower.after_equal || !upper.after_equal))) {
+      return std::vector<size_t>{};
+    }
+  }
+
+  auto it = index->ordered.lower_bound(lower);
+  auto end = have_upper ? index->ordered.lower_bound(upper)
+                        : index->ordered.end();
+  std::vector<size_t> out;
+  for (; it != end; ++it) {
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
 }
 
 std::vector<std::string> CollectReferencedTables(const Statement& stmt) {

@@ -20,6 +20,8 @@ enum class PlanChoice : unsigned {
   kScan = 1u,
   kIndexLookup = 2u,
   kHashJoin = 4u,
+  kRangeScan = 8u,
+  kPushdown = 16u,
 };
 
 /// An equality/IN access path against one base table: the planner proved
@@ -41,13 +43,47 @@ struct IndexLookupPlan {
   const Expr* in_list = nullptr;
 };
 
+/// One endpoint of a range-scan interval. The probe expression is
+/// evaluated at execution time. `raw_compare` marks bounds lifted from
+/// BETWEEN, whose evaluation uses Value::Compare directly (no numeric
+/// coercion, never a TypeError); `<`/`<=`/`>`/`>=` bounds follow the
+/// coercing Comparison() rules and are class-gated at execution.
+struct RangeBound {
+  const Expr* probe = nullptr;  // null ⇒ unbounded on this side
+  bool inclusive = false;
+  bool raw_compare = false;
+};
+
+/// A bounded scan over an ordered index whose first key column is
+/// `column`. The executor walks index entries between the bounds and
+/// re-evaluates the full WHERE per candidate, so the interval only has
+/// to be a superset of the matching rows.
+struct RangeScanPlan {
+  std::string table_name;
+  std::string index_name;
+  /// Full index key (schema ordinals), for validation at execution.
+  std::vector<size_t> key_columns;
+  /// The bounded column; always key_columns[0].
+  size_t column = 0;
+  RangeBound lower;
+  RangeBound upper;
+  /// Prefix LIKE: bounds derive from the pattern's literal prefix at
+  /// execution time (the pattern may be a parameter). Mutually exclusive
+  /// with lower/upper probes.
+  const Expr* like_pattern = nullptr;
+};
+
 /// Cached planning result for one statement, validated against the
 /// database's schema epoch (any DDL — including DDL undone by rollback —
-/// bumps the epoch and forces a replan).
+/// bumps the epoch and forces a replan). At most one of has_access /
+/// has_range is set: the planner keeps the path with the lower estimated
+/// cost.
 struct StatementPlan {
   uint64_t schema_epoch = 0;
   bool has_access = false;
   IndexLookupPlan access;
+  bool has_range = false;
+  RangeScanPlan range;
 };
 
 /// Flattens nested ANDs: `a AND (b AND c)` → {a, b, c}. Any non-AND
@@ -62,6 +98,35 @@ std::optional<IndexLookupPlan> PlanTableAccess(const Table& table,
                                                const std::string& alias,
                                                const Expr* where);
 
+/// Extracts a bounded range scan from `where`: `<`/`<=`/`>`/`>=`,
+/// BETWEEN, and prefix LIKE conjuncts over the first column of an
+/// ordered index. Returns nullopt when nothing is range-sargable.
+std::optional<RangeScanPlan> PlanTableRange(const Table& table,
+                                            const std::string& alias,
+                                            const Expr* where);
+
+/// Expected candidate row count under the row-count cost model: a unique
+/// full-key match costs 1, a non-unique lookup rows/distinct-keys (an IN
+/// list multiplies by its length), a range scan a fixed fraction of the
+/// table (1/4 when bounded on both sides or prefix-LIKE, 1/3 when
+/// half-bounded).
+double EstimateLookupCost(const Table& table, const IndexLookupPlan& plan);
+double EstimateRangeCost(const Table& table, const RangeScanPlan& plan);
+
+/// Plans both access paths for one table scope and keeps the cheaper one
+/// in `plan` (equality wins ties: point lookups touch fewer rows per
+/// candidate).
+void ChooseAccessPath(const Table& table, const std::string& alias,
+                      const Expr* where, StatementPlan* plan);
+
+/// True for literal/parameter expressions usable as index probes.
+bool IsProbeExpr(const Expr& e);
+
+/// Plan-time type gate: comparing this probe against any value the
+/// column can store never raises a TypeError. Parameters pass here and
+/// are re-gated at execution time against their actual value.
+bool ProbeExprCompatible(ValueType column_type, const Expr& e);
+
 /// Plans the top-level statement (single-table SELECT/UPDATE/DELETE);
 /// other kinds yield an empty plan stamped with the current epoch.
 StatementPlan PlanStatement(const Statement& stmt, Database* db);
@@ -73,6 +138,17 @@ StatementPlan PlanStatement(const Statement& stmt, Database* db);
 std::optional<std::vector<size_t>> IndexCandidates(
     const Table& table, const IndexLookupPlan& plan, const Params& params,
     Database* db);
+
+/// Evaluates the range plan's bounds and walks the ordered index between
+/// them. Slots come back in *index-key order* (ascending key, ascending
+/// slot within a key) — callers must re-sort to table order unless they
+/// are deliberately consuming the key order (ORDER BY elision). nullopt
+/// ⇒ fall back to a scan; an engaged empty vector means provably zero
+/// matching rows (e.g. a NULL bound).
+std::optional<std::vector<size_t>> RangeCandidates(const Table& table,
+                                                   const RangeScanPlan& plan,
+                                                   const Params& params,
+                                                   Database* db);
 
 /// Upper-cased, deduplicated names of every table the statement mentions
 /// (FROM refs, DML targets, subqueries) — used by the plan cache to drop

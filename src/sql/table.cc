@@ -1,6 +1,7 @@
 #include "sql/table.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <utility>
 
@@ -120,6 +121,43 @@ void AppendLookupKeyPart(const Value& v, std::string* out) {
   out->push_back('\x1f');
 }
 
+int OrderedValueCompare(const Value& a, const Value& b) {
+  bool a_nan = a.type() == ValueType::kDouble && std::isnan(a.dbl());
+  bool b_nan = b.type() == ValueType::kDouble && std::isnan(b.dbl());
+  if (a_nan || b_nan) {
+    auto numeric = [](const Value& v) {
+      return v.type() == ValueType::kInteger ||
+             v.type() == ValueType::kDouble;
+    };
+    if (numeric(a) && numeric(b)) {
+      if (a_nan && b_nan) return 0;
+      return a_nan ? 1 : -1;
+    }
+  }
+  return a.Compare(b);
+}
+
+bool OrderedKeyLess::operator()(const Row& a, const Row& b) const {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int cmp = OrderedValueCompare(a[i], b[i]);
+    if (cmp != 0) return cmp < 0;
+  }
+  return a.size() < b.size();
+}
+
+bool OrderedKeyLess::operator()(const Row& a, const OrderedBound& b) const {
+  int cmp = OrderedValueCompare(a[0], b.value);
+  if (cmp != 0) return cmp < 0;
+  return b.after_equal;
+}
+
+bool OrderedKeyLess::operator()(const OrderedBound& a, const Row& b) const {
+  int cmp = OrderedValueCompare(a.value, b[0]);
+  if (cmp != 0) return cmp < 0;
+  return !a.after_equal;
+}
+
 Table::Table(TableSchema schema) : schema_(std::move(schema)) {
   int pk = schema_.primary_key_index();
   if (pk >= 0) {
@@ -146,32 +184,61 @@ std::string Table::MakeIndexKey(const SecondaryIndex& index,
   return key;
 }
 
+Row Table::MakeOrderedKey(const SecondaryIndex& index,
+                          const Row& row) const {
+  Row key;
+  key.reserve(index.column_indexes.size());
+  for (size_t idx : index.column_indexes) key.push_back(row[idx]);
+  return key;
+}
+
+namespace {
+
+void InsertSlotSorted(std::vector<size_t>* slots, size_t slot) {
+  if (slots->empty() || slots->back() < slot) {
+    slots->push_back(slot);
+  } else {
+    slots->insert(std::lower_bound(slots->begin(), slots->end(), slot),
+                  slot);
+  }
+}
+
+}  // namespace
+
 void Table::IndexRow(const Row& row, size_t slot) {
   for (SecondaryIndex& index : secondary_indexes_) {
-    std::vector<size_t>& slots = index.buckets[MakeIndexKey(index, row)];
-    if (slots.empty() || slots.back() < slot) {
-      slots.push_back(slot);
-    } else {
-      slots.insert(std::lower_bound(slots.begin(), slots.end(), slot),
-                   slot);
-    }
+    InsertSlotSorted(&index.buckets[MakeIndexKey(index, row)], slot);
+    InsertSlotSorted(&index.ordered[MakeOrderedKey(index, row)], slot);
   }
 }
 
 void Table::UnindexRow(const Row& row, size_t slot) {
   for (SecondaryIndex& index : secondary_indexes_) {
     auto it = index.buckets.find(MakeIndexKey(index, row));
-    if (it == index.buckets.end()) continue;
-    std::vector<size_t>& slots = it->second;
-    auto pos = std::lower_bound(slots.begin(), slots.end(), slot);
-    if (pos != slots.end() && *pos == slot) slots.erase(pos);
-    if (slots.empty()) index.buckets.erase(it);
+    if (it != index.buckets.end()) {
+      std::vector<size_t>& slots = it->second;
+      auto pos = std::lower_bound(slots.begin(), slots.end(), slot);
+      if (pos != slots.end() && *pos == slot) slots.erase(pos);
+      if (slots.empty()) index.buckets.erase(it);
+    }
+    auto oit = index.ordered.find(MakeOrderedKey(index, row));
+    if (oit != index.ordered.end()) {
+      std::vector<size_t>& slots = oit->second;
+      auto pos = std::lower_bound(slots.begin(), slots.end(), slot);
+      if (pos != slots.end() && *pos == slot) slots.erase(pos);
+      if (slots.empty()) index.ordered.erase(oit);
+    }
   }
 }
 
 void Table::ShiftIndexSlotsUp(size_t at) {
   for (SecondaryIndex& index : secondary_indexes_) {
     for (auto& [key, slots] : index.buckets) {
+      for (size_t& slot : slots) {
+        if (slot >= at) ++slot;
+      }
+    }
+    for (auto& [key, slots] : index.ordered) {
       for (size_t& slot : slots) {
         if (slot >= at) ++slot;
       }
@@ -186,14 +253,21 @@ void Table::ShiftIndexSlotsDown(size_t at) {
         if (slot > at) --slot;
       }
     }
+    for (auto& [key, slots] : index.ordered) {
+      for (size_t& slot : slots) {
+        if (slot > at) --slot;
+      }
+    }
   }
 }
 
 void Table::RebuildSecondaryIndexes() {
   for (SecondaryIndex& index : secondary_indexes_) {
     index.buckets.clear();
+    index.ordered.clear();
     for (size_t slot = 0; slot < rows_.size(); ++slot) {
       index.buckets[MakeIndexKey(index, rows_[slot])].push_back(slot);
+      index.ordered[MakeOrderedKey(index, rows_[slot])].push_back(slot);
     }
   }
 }
@@ -359,7 +433,10 @@ void Table::Clear(UndoLog* undo) {
   }
   rows_.clear();
   for (UniqueConstraint& uc : unique_constraints_) uc.keys.clear();
-  for (SecondaryIndex& index : secondary_indexes_) index.buckets.clear();
+  for (SecondaryIndex& index : secondary_indexes_) {
+    index.buckets.clear();
+    index.ordered.clear();
+  }
 }
 
 Status Table::AddUniqueConstraint(
@@ -483,6 +560,7 @@ Status Table::AddSecondaryIndex(const std::string& name,
   }
   for (size_t slot = 0; slot < rows_.size(); ++slot) {
     index.buckets[MakeIndexKey(index, rows_[slot])].push_back(slot);
+    index.ordered[MakeOrderedKey(index, rows_[slot])].push_back(slot);
   }
   secondary_indexes_.push_back(std::move(index));
   return Status::OK();

@@ -1,6 +1,7 @@
 #ifndef SQLFLOW_SQL_TABLE_H_
 #define SQLFLOW_SQL_TABLE_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -32,14 +33,45 @@ struct UniqueConstraint {
 /// collision costs time, never correctness.
 void AppendLookupKeyPart(const Value& v, std::string* out);
 
-/// Point-lookup hash index: serialized key → row slots (ascending). Slots
-/// are positions in Table::rows() and are kept consistent by every
-/// mutation path, including the Raw* undo-replay entry points.
+/// Value order used by ordered indexes. Identical to Value::Compare
+/// except that a NaN double is pinned to the top of the numeric rank
+/// (NaN == NaN, NaN > every other numeric). Value::Compare answers
+/// "greater" for NaN against *both* operand orders, which is not a
+/// strict weak ordering and would corrupt a std::map; pinning NaN also
+/// reproduces the scan-visible behavior where a stored NaN satisfies
+/// only `>`-style predicates.
+int OrderedValueCompare(const Value& a, const Value& b);
+
+/// A lower/upper endpoint on the *first* key column of an ordered index,
+/// resolved through the transparent comparator so partial range probes
+/// work on multi-column indexes. `after_equal` positions the bound just
+/// after all keys whose first column equals `value` (vs. just before
+/// them), which encodes bound inclusivity for both map directions.
+struct OrderedBound {
+  Value value;
+  bool after_equal = false;
+};
+
+/// Lexicographic OrderedValueCompare over key rows, transparent so
+/// OrderedBound can address positions without materializing a key row.
+struct OrderedKeyLess {
+  using is_transparent = void;
+  bool operator()(const Row& a, const Row& b) const;
+  bool operator()(const Row& a, const OrderedBound& b) const;
+  bool operator()(const OrderedBound& a, const Row& b) const;
+};
+
+/// Secondary index: serialized key → row slots (ascending) for point
+/// lookups, plus the same postings keyed by the projected key row in
+/// value order for bounded range scans and sorted traversal. Slots are
+/// positions in Table::rows() and are kept consistent by every mutation
+/// path, including the Raw* undo-replay entry points.
 struct SecondaryIndex {
   std::string name;
   std::vector<size_t> column_indexes;
   bool unique = false;
   std::unordered_map<std::string, std::vector<size_t>> buckets;
+  std::map<Row, std::vector<size_t>, OrderedKeyLess> ordered;
 };
 
 /// Heap-organized in-memory table. All mutations go through Insert/Update/
@@ -119,6 +151,7 @@ class Table {
   std::string MakeKey(const UniqueConstraint& uc, const Row& row) const;
 
   std::string MakeIndexKey(const SecondaryIndex& index, const Row& row) const;
+  Row MakeOrderedKey(const SecondaryIndex& index, const Row& row) const;
   /// Registers/unregisters `row` (living at `slot`) in every secondary
   /// index, keeping each bucket's slot list sorted.
   void IndexRow(const Row& row, size_t slot);

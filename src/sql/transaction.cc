@@ -90,8 +90,22 @@ void UndoLog::RollbackInto(Database* db) {
         (void)catalog.DropIndex(e.table_name);
         break;
       }
-      case UndoEntry::Kind::kDropIndex:
-        break;  // not emitted
+      case UndoEntry::Kind::kDropIndex: {
+        // Restore the dropped index (structure + catalog metadata),
+        // rebuilt from the table's current rows; Raw* replay of any
+        // remaining data entries keeps it maintained from here on.
+        for (IndexInfo& info : e.saved_indexes) {
+          if (Table* table = catalog.FindTable(info.table_name)) {
+            if (info.unique) {
+              (void)table->AddUniqueConstraint(info.name, info.columns);
+            }
+            (void)table->AddSecondaryIndex(info.name, info.columns,
+                                           info.unique);
+          }
+          (void)catalog.CreateIndex(info);
+        }
+        break;
+      }
       case UndoEntry::Kind::kCreateView:
         (void)catalog.DropView(e.table_name);
         break;

@@ -29,7 +29,7 @@ struct UndoEntry {
     kDropSequence,    // undo: re-create with `sequence_value`
     kSequenceAdvance, // undo: restore `sequence_value`
     kCreateIndex,     // undo: drop the constraint
-    kDropIndex,       // not currently emitted (no DROP INDEX statement)
+    kDropIndex,       // saved_indexes holds the dropped index's metadata
     kCreateView,      // undo: drop the view
     kDropView,        // undo: re-register `saved_view`
   };
