@@ -17,7 +17,7 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DSQLFLOW_SANITIZE=address
   cmake --build build-asan -j --target sqlflow_obs_tests \
     sqlflow_integration_tests sqlflow_sql_tests \
-    sqlflow_sql_range_tests sqlflow_sql_fuzz_tests
+    sqlflow_sql_range_tests sqlflow_sql_fuzz_tests sqlflow_chaos_tests
   ./build-asan/tests/sqlflow_obs_tests
   ./build-asan/tests/sqlflow_integration_tests
   # The optimizer differential battery (index/hash-join/plan-cache paths
@@ -29,10 +29,18 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # spliced on every DML — exactly the code ASan should watch).
   ./build-asan/tests/sqlflow_sql_range_tests
   ./build-asan/tests/sqlflow_sql_fuzz_tests
+  # Fault injection, retry replay, compensation, and the rollback
+  # invariant — transaction undo logs and re-executed statements are
+  # fresh memory-lifetime territory, so the whole suite runs sanitized.
+  ./build-asan/tests/sqlflow_chaos_tests
 fi
 
-echo "== bench smoke: sql plans + range =="
+echo "== bench smoke: sql plans + range + chaos =="
 ./build/bench/bench_sql_plans --quick > /dev/null
 ./build/bench/bench_sql_range --quick > /dev/null
+./build/bench/bench_chaos --quick > /dev/null
+
+echo "== chaos smoke: Table II invariant under seed 1 =="
+./build/examples/pattern_matrix --chaos=1 > /dev/null
 
 echo "== all checks passed =="

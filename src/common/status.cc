@@ -24,8 +24,19 @@ const char* StatusCodeName(StatusCode code) {
       return "ExecutionError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlock:
+      return "Deadlock";
+    case StatusCode::kTimeout:
+      return "Timeout";
   }
   return "Unknown";
+}
+
+bool IsTransientCode(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlock || code == StatusCode::kTimeout;
 }
 
 std::string Status::ToString() const {

@@ -20,10 +20,19 @@ enum class StatusCode {
   kUnsupported,       // feature intentionally outside this engine's scope
   kExecutionError,    // runtime failure while executing a statement/activity
   kInternal,          // invariant violation inside sqlflow itself
+  kUnavailable,       // transient: connection lost / backend unreachable
+  kDeadlock,          // transient: statement chosen as deadlock victim
+  kTimeout,           // transient: statement or scope deadline expired
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
 const char* StatusCodeName(StatusCode code);
+
+/// Transient/permanent split of the fault taxonomy: transient faults
+/// (connection lost, deadlock victim, timeout) are expected to succeed
+/// on replay and are the ones retry layers absorb; everything else is
+/// permanent and must propagate (and, inside a transaction, roll back).
+bool IsTransientCode(StatusCode code);
 
 /// Operation outcome carried by value. `Status::OK()` is the success
 /// singleton; error statuses carry a code and a message. No exceptions are
@@ -63,8 +72,19 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
+  /// True for faults a retry can absorb (see IsTransientCode).
+  bool IsTransient() const { return IsTransientCode(code_); }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -10,18 +10,32 @@ Result<ProductMatrix> ProductEvaluator::EvaluateAll() {
   matrix.product = product_name();
   obs::Span span("matrix.eval");
   span.Set("engine", short_name());
-  obs::Counter& sql_statements =
-      obs::MetricsRegistry::Global().GetCounter("sql.statements");
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  obs::Counter& sql_statements = metrics.GetCounter("sql.statements");
+  obs::Counter& faults_injected =
+      metrics.GetCounter("sql.fault.injected");
+  obs::Counter& faults_absorbed_sql =
+      metrics.GetCounter("sql.fault.absorbed");
+  obs::Counter& faults_absorbed_wfc =
+      metrics.GetCounter("wfc.retry.absorbed");
   for (Pattern pattern : kAllPatterns) {
     uint64_t statements_before = sql_statements.value();
+    uint64_t injected_before = faults_injected.value();
+    uint64_t absorbed_before =
+        faults_absorbed_sql.value() + faults_absorbed_wfc.value();
     int64_t start_ns = obs::NowNanos();
     SQLFLOW_ASSIGN_OR_RETURN(std::vector<CellRealization> cells,
                              EvaluatePattern(pattern));
     double micros = (obs::NowNanos() - start_ns) / 1e3;
     uint64_t statements = sql_statements.value() - statements_before;
+    uint64_t injected = faults_injected.value() - injected_before;
+    uint64_t absorbed = faults_absorbed_sql.value() +
+                        faults_absorbed_wfc.value() - absorbed_before;
     for (CellRealization& cell : cells) {
       cell.sql_statements = statements;
       cell.eval_micros = micros;
+      cell.faults_injected = injected;
+      cell.faults_absorbed = absorbed;
       matrix.cells.push_back(std::move(cell));
     }
   }

@@ -35,6 +35,12 @@ struct CellRealization {
   // pattern share one measurement.
   uint64_t sql_statements = 0;
   double eval_micros = 0.0;
+  // Chaos instrumentation (same stamping): faults injected while the
+  // pattern's scenarios ran, and how many were absorbed by a retry
+  // layer (statement-level replay or wfc::RetryActivity) before they
+  // could change the scenario's outcome. Zero on fault-free runs.
+  uint64_t faults_injected = 0;
+  uint64_t faults_absorbed = 0;
 };
 
 /// All verified cells for one product.

@@ -169,8 +169,8 @@ std::string RenderTableTwo(const std::vector<ProductMatrix>& matrices) {
 std::string RenderInstrumentationTable(
     const std::vector<ProductMatrix>& matrices) {
   std::vector<std::vector<std::string>> rows;
-  rows.push_back(
-      {"Product", "Pattern", "Mechanism", "sql_statements", "latency"});
+  rows.push_back({"Product", "Pattern", "Mechanism", "sql_statements",
+                  "latency", "faults", "absorbed"});
   char latency[32];
   for (const ProductMatrix& matrix : matrices) {
     for (const CellRealization& cell : matrix.cells) {
@@ -178,7 +178,8 @@ std::string RenderInstrumentationTable(
                     cell.eval_micros / 1e3);
       rows.push_back({matrix.product, PatternName(cell.pattern),
                       cell.mechanism, std::to_string(cell.sql_statements),
-                      latency});
+                      latency, std::to_string(cell.faults_injected),
+                      std::to_string(cell.faults_absorbed)});
     }
   }
   std::vector<size_t> widths = ComputeWidths(rows);

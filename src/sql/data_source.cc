@@ -30,6 +30,7 @@ Result<std::shared_ptr<Database>> DataSourceRegistry::CreateDatabase(
     return Status::AlreadyExists("database '" + name + "' already exists");
   }
   auto db = std::make_shared<Database>(name);
+  ApplyFaultConfig(db.get());
   databases_.emplace(std::move(key), db);
   return db;
 }
@@ -42,8 +43,21 @@ Result<std::shared_ptr<Database>> DataSourceRegistry::Open(
   auto it = databases_.find(key);
   if (it != databases_.end()) return it->second;
   auto db = std::make_shared<Database>(cs.database);
+  ApplyFaultConfig(db.get());
   databases_.emplace(std::move(key), db);
   return db;
+}
+
+void DataSourceRegistry::InstallFaultInjector(
+    std::shared_ptr<FaultInjector> injector, RetryPolicy retry_policy) {
+  fault_injector_ = std::move(injector);
+  retry_policy_ = retry_policy;
+  for (auto& [key, db] : databases_) ApplyFaultConfig(db.get());
+}
+
+void DataSourceRegistry::ApplyFaultConfig(Database* db) {
+  if (fault_injector_ != nullptr) db->set_fault_injector(fault_injector_);
+  if (retry_policy_.has_value()) db->set_retry_policy(*retry_policy_);
 }
 
 Result<std::shared_ptr<Database>> DataSourceRegistry::Get(

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "common/status.h"
@@ -46,8 +47,19 @@ class DataSourceRegistry {
   bool Exists(const std::string& name) const;
   std::vector<std::string> DatabaseNames() const;
 
+  /// Installs a fault injector and retry policy on every database the
+  /// registry currently holds *and* every database it opens later —
+  /// the chaos harness's per-engine hook (the global injector on
+  /// sql::Database covers databases created outside any registry).
+  void InstallFaultInjector(std::shared_ptr<FaultInjector> injector,
+                            RetryPolicy retry_policy);
+
  private:
+  void ApplyFaultConfig(Database* db);
+
   std::map<std::string, std::shared_ptr<Database>> databases_;
+  std::shared_ptr<FaultInjector> fault_injector_;
+  std::optional<RetryPolicy> retry_policy_;
 };
 
 }  // namespace sqlflow::sql

@@ -6,12 +6,15 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sql/executor.h"
+#include "sql/fault.h"
 #include "sql/parser.h"
 
 namespace sqlflow::sql {
 
 Database::Database(std::string name)
-    : name_(std::move(name)), optimizer_enabled_(OptimizerDefaultFlag()) {}
+    : name_(std::move(name)),
+      optimizer_enabled_(OptimizerDefaultFlag()),
+      retry_policy_(RetryPolicyDefaultRef()) {}
 
 Database::~Database() = default;
 
@@ -22,6 +25,77 @@ bool& Database::OptimizerDefaultFlag() {
 
 void Database::SetOptimizerDefault(bool on) {
   OptimizerDefaultFlag() = on;
+}
+
+RetryPolicy& Database::RetryPolicyDefaultRef() {
+  static RetryPolicy policy;
+  return policy;
+}
+
+void Database::SetRetryPolicyDefault(RetryPolicy policy) {
+  RetryPolicyDefaultRef() = policy;
+}
+
+std::shared_ptr<FaultInjector>& Database::GlobalFaultInjectorRef() {
+  static std::shared_ptr<FaultInjector> injector;
+  return injector;
+}
+
+void Database::SetGlobalFaultInjector(
+    std::shared_ptr<FaultInjector> inj) {
+  GlobalFaultInjectorRef() = std::move(inj);
+}
+
+std::shared_ptr<FaultInjector> Database::GlobalFaultInjector() {
+  return GlobalFaultInjectorRef();
+}
+
+Result<ResultSet> Database::RunWithRecovery(const Statement& stmt,
+                                            const Params& params,
+                                            const StatementPlan* plan) {
+  FaultInjector* injector = fault_injector_ != nullptr
+                                ? fault_injector_.get()
+                                : GlobalFaultInjectorRef().get();
+  if (injector == nullptr && retry_policy_.max_attempts <= 1) {
+    Executor executor(this);
+    return executor.Execute(stmt, params, plan);
+  }
+  std::optional<FaultSite> site;
+  if (injector != nullptr) {
+    FaultSite s;
+    s.database = name_;
+    s.description = StatementKindName(stmt.kind);
+    for (const std::string& table : CollectReferencedTables(stmt)) {
+      s.description += ' ';
+      s.description += table;
+    }
+    site = std::move(s);
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  int max_attempts = retry_policy_.max_attempts < 1
+                         ? 1
+                         : retry_policy_.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    Result<ResultSet> result = [&]() -> Result<ResultSet> {
+      if (site.has_value()) {
+        if (std::optional<Status> fault = injector->MaybeFault(*site)) {
+          return *fault;
+        }
+      }
+      Executor executor(this);
+      return executor.Execute(stmt, params, plan);
+    }();
+    if (result.ok()) {
+      if (attempt > 1) {
+        metrics.GetCounter("sql.fault.absorbed").Increment();
+      }
+      return result;
+    }
+    if (!result.status().IsTransient() || attempt >= max_attempts) {
+      return result;
+    }
+    metrics.GetCounter("sql.retry.attempts").Increment();
+  }
 }
 
 Result<ResultSet> Database::Execute(std::string_view sql) {
@@ -142,8 +216,7 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
   // the enclosing statement's attribute.
   unsigned saved_mask = plan_mask_;
   plan_mask_ = 0;
-  Executor executor(this);
-  Result<ResultSet> result = executor.Execute(stmt, params, plan);
+  Result<ResultSet> result = RunWithRecovery(stmt, params, plan);
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.GetHistogram("sql.exec")
       .Record(static_cast<uint64_t>(span.ElapsedNanos()));

@@ -18,6 +18,20 @@
 
 namespace sqlflow::sql {
 
+class FaultInjector;
+
+/// Statement-level recovery policy: how often a statement that failed
+/// with a *transient* status (see IsTransientCode) is replayed before
+/// the fault propagates. This is the connection-layer retry every
+/// surveyed product ships below its workflow engine; the wfc layer adds
+/// the process-visible retry (backoff, deadlines) on top. Injected
+/// faults fire *before* execution, so a replay never double-applies a
+/// statement. Backoff at this layer is immediate — the in-memory engine
+/// has no network to wait out; wfc::BackoffPolicy owns simulated time.
+struct RetryPolicy {
+  int max_attempts = 1;  // 1 = retries disabled
+};
+
 /// A native stored procedure: name, expected argument count (-1 = any),
 /// and the body. Procedures receive the owning database and may run
 /// further statements through it.
@@ -165,6 +179,27 @@ class Database {
     return plan_cache_stats_;
   }
 
+  // --- fault injection & recovery --------------------------------------------
+  /// Per-database injector, consulted once per top-level statement.
+  /// Overrides the process-wide injector when both are set.
+  void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    fault_injector_ = std::move(injector);
+  }
+  const std::shared_ptr<FaultInjector>& fault_injector() const {
+    return fault_injector_;
+  }
+  /// Process-wide injector seen by every database without one of its
+  /// own — how `pattern_matrix --chaos` reaches the databases each
+  /// scenario fixture creates internally. Pass nullptr to uninstall.
+  static void SetGlobalFaultInjector(std::shared_ptr<FaultInjector> inj);
+  static std::shared_ptr<FaultInjector> GlobalFaultInjector();
+
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  /// Default policy stamped onto newly constructed databases (the
+  /// chaos harness arms this before fixtures are built).
+  static void SetRetryPolicyDefault(RetryPolicy policy);
+
  private:
   /// One parse+plan cache entry. shared_ptrs keep statements and plans
   /// alive across re-entrant executions (a stored procedure running the
@@ -177,7 +212,13 @@ class Database {
   };
 
   static bool& OptimizerDefaultFlag();
+  static RetryPolicy& RetryPolicyDefaultRef();
+  static std::shared_ptr<FaultInjector>& GlobalFaultInjectorRef();
   void EvictPlanCacheOverflow();
+  /// Injection + transient-retry wrapper around one executor run.
+  Result<ResultSet> RunWithRecovery(const Statement& stmt,
+                                    const Params& params,
+                                    const StatementPlan* plan);
 
   static constexpr size_t kDefaultPlanCacheCapacity = 64;
 
@@ -190,6 +231,8 @@ class Database {
   int view_expansion_depth_ = 0;
 
   bool optimizer_enabled_;
+  std::shared_ptr<FaultInjector> fault_injector_;
+  RetryPolicy retry_policy_;
   uint64_t schema_epoch_ = 0;
   unsigned plan_mask_ = 0;  // PlanChoice bits for the running statement
   size_t plan_cache_capacity_ = kDefaultPlanCacheCapacity;

@@ -1,0 +1,108 @@
+#include "sql/fault.h"
+
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace sqlflow::sql {
+
+namespace {
+
+/// What the injected Status says happened, per kind. Messages carry the
+/// site so audit trails and test failures point at the statement.
+std::string FaultMessage(StatusCode code, const FaultSite& site,
+                         uint64_t ordinal) {
+  std::string what;
+  switch (code) {
+    case StatusCode::kUnavailable:
+      what = "connection lost";
+      break;
+    case StatusCode::kDeadlock:
+      what = "deadlock victim";
+      break;
+    case StatusCode::kTimeout:
+      what = "statement timed out";
+      break;
+    default:
+      what = "fault";
+      break;
+  }
+  return "injected " + what + " (#" + std::to_string(ordinal) +
+         ") before [" + site.description + "] on " + site.database;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(Options options)
+    : options_(std::move(options)) {
+  if (options_.kinds.empty()) {
+    options_.kinds = {StatusCode::kUnavailable};
+  }
+  Reseed(options_.seed);
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  options_.seed = seed;
+  rng_state_ = seed == 0 ? 0x9e3779b97f4a7c15ULL : seed;
+  stats_ = Stats();
+}
+
+uint64_t FaultInjector::NextRandom() {
+  // splitmix64: tiny, seed-deterministic, platform-stable.
+  uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::optional<Status> FaultInjector::MaybeFault(const FaultSite& site) {
+  stats_.statements_seen++;
+  if (!options_.database_filter.empty() &&
+      site.database.find(options_.database_filter) == std::string::npos) {
+    return std::nullopt;
+  }
+  if (!options_.site_filter.empty() &&
+      site.description.find(options_.site_filter) == std::string::npos) {
+    return std::nullopt;
+  }
+  stats_.sites_matched++;
+
+  if (options_.budget >= 0 &&
+      stats_.faults_injected >= static_cast<uint64_t>(options_.budget)) {
+    return std::nullopt;
+  }
+
+  bool fire = false;
+  if (stats_.faults_injected < options_.fault_first_n &&
+      stats_.sites_matched <= options_.fault_first_n) {
+    // Count mode: the first N matching statements fault, then the site
+    // is healthy again — deterministic retry-absorption schedules.
+    fire = true;
+  } else if (options_.probability > 0.0) {
+    double u = static_cast<double>(NextRandom() >> 11) * 0x1.0p-53;
+    fire = u < options_.probability;
+  }
+  if (!fire) return std::nullopt;
+
+  StatusCode code =
+      options_.kinds[NextRandom() % options_.kinds.size()];
+  stats_.faults_injected++;
+  stats_.injected_by_code[code]++;
+  obs::MetricsRegistry::Global().GetCounter("sql.fault.injected")
+      .Increment();
+  return Status(code,
+                FaultMessage(code, site, stats_.faults_injected));
+}
+
+std::string DescribeFaultStats(const FaultInjector::Stats& stats) {
+  std::ostringstream os;
+  os << "injected=" << stats.faults_injected;
+  for (const auto& [code, count] : stats.injected_by_code) {
+    os << ' ' << StatusCodeName(code) << '=' << count;
+  }
+  os << " matched=" << stats.sites_matched
+     << " seen=" << stats.statements_seen;
+  return os.str();
+}
+
+}  // namespace sqlflow::sql

@@ -1,0 +1,91 @@
+#ifndef SQLFLOW_SQL_FAULT_H_
+#define SQLFLOW_SQL_FAULT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sqlflow::sql {
+
+/// Where a statement is about to run, as seen by the fault injector.
+/// `description` is "<KIND> <table> [<table>...]" (e.g. "INSERT ORDERS"),
+/// which is what site filters match against — stable across plan-cache
+/// hits and prepared statements, unlike raw SQL text.
+struct FaultSite {
+  std::string database;
+  std::string description;
+};
+
+/// Seed-deterministic transient/permanent fault source, installed on a
+/// `sql::Database` (or globally, for chaos sweeps over every database a
+/// scenario creates). Consulted once per top-level statement *before*
+/// execution — an injected fault models "connection lost / deadlock
+/// victim / statement timeout before any work happened", which is why a
+/// retry may safely replay the statement.
+///
+/// Three triggering modes compose (all gated by the same filters):
+///   - `fault_first_n`: deterministically fault the first N matching
+///     statements (exhaustion and rollback tests);
+///   - `probability`: fault each matching statement with probability p,
+///     drawn from a splitmix64 stream seeded by `seed` (chaos sweeps);
+///   - `budget`: hard cap on total injected faults (-1 = unlimited).
+class FaultInjector {
+ public:
+  struct Options {
+    uint64_t seed = 1;
+    double probability = 0.0;
+    uint64_t fault_first_n = 0;
+    int64_t budget = -1;
+    /// Substring match against FaultSite::description ("" = every site).
+    std::string site_filter;
+    /// Substring match against the database name ("" = every database).
+    std::string database_filter;
+    /// Fault kinds to rotate through (deterministically, by the same
+    /// seeded stream). Defaults to the three transient kinds; tests use
+    /// a single permanent kind (e.g. kExecutionError) for rollback
+    /// scenarios.
+    std::vector<StatusCode> kinds = {StatusCode::kUnavailable,
+                                     StatusCode::kDeadlock,
+                                     StatusCode::kTimeout};
+  };
+
+  struct Stats {
+    uint64_t statements_seen = 0;
+    uint64_t sites_matched = 0;
+    uint64_t faults_injected = 0;
+    std::map<StatusCode, uint64_t> injected_by_code;
+  };
+
+  explicit FaultInjector(Options options);
+
+  /// Returns the fault to raise instead of running the statement, or
+  /// nullopt to let it through. Increments `sql.fault.injected` on hit.
+  std::optional<Status> MaybeFault(const FaultSite& site);
+
+  const Options& options() const { return options_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Re-arms the schedule from a fresh seed (stats reset too), so one
+  /// injector can sweep many seeds.
+  void Reseed(uint64_t seed);
+
+ private:
+  uint64_t NextRandom();
+
+  Options options_;
+  Stats stats_;
+  uint64_t rng_state_;
+};
+
+/// Renders one human-readable line per injected-fault statistic
+/// ("injected=12 unavailable=5 deadlock=4 timeout=3 seen=240").
+std::string DescribeFaultStats(const FaultInjector::Stats& stats);
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_FAULT_H_

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "wfc/robustness.h"
+
 namespace sqlflow::wfc {
 
 // --- Condition --------------------------------------------------------------
@@ -314,8 +316,11 @@ Status ScopeActivity::Execute(ProcessContext& ctx) {
   Status st = body_->Run(ctx);
   if (st.ok()) return st;
   if (fault_handler_ == nullptr) return st;
-  ctx.audit().Record(AuditEventKind::kNote, name(),
-                     "fault handled: " + st.ToString());
+  // The caught fault must not vanish into the handler: expose its
+  // code/message as $fault / $faultCode and record a dedicated kFault
+  // event, so handlers can branch on what went wrong and monitoring can
+  // count faults instead of inferring them from notes.
+  ExposeFault(ctx, name(), st);
   return fault_handler_->Run(ctx);
 }
 

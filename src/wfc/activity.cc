@@ -12,7 +12,13 @@ Status Activity::Run(ProcessContext& ctx) {
   obs::Span span("activity " + name_);
   span.Set("type", TypeName());
   ctx.audit().Record(AuditEventKind::kActivityStarted, name_, TypeName());
-  Status st = Execute(ctx);
+  // Deadline propagation: once the tightest enclosing TimeoutScope has
+  // expired (on the instance's virtual clock), no further activity in
+  // that scope starts — it faults with the transient kTimeout instead.
+  Status st = ctx.DeadlineExceeded()
+                  ? Status::Timeout("deadline expired before activity '" +
+                                    name_ + "'")
+                  : Execute(ctx);
   int64_t elapsed_ns = span.ElapsedNanos();
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   metrics.GetCounter("wfc.activities").Increment();

@@ -25,6 +25,12 @@ const char* AuditEventKindName(AuditEventKind kind) {
       return "service-invoked";
     case AuditEventKind::kSqlExecuted:
       return "sql-executed";
+    case AuditEventKind::kFault:
+      return "fault";
+    case AuditEventKind::kRetry:
+      return "retry";
+    case AuditEventKind::kCompensation:
+      return "compensation";
     case AuditEventKind::kNote:
       return "note";
   }

@@ -16,6 +16,9 @@ enum class AuditEventKind {
   kActivityFaulted,
   kServiceInvoked,
   kSqlExecuted,
+  kFault,         // a fault was caught (scope/compensation boundary)
+  kRetry,         // a retry decision: backoff taken, or exhaustion
+  kCompensation,  // one compensation handler ran
   kNote,
 };
 

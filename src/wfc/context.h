@@ -1,8 +1,11 @@
 #ifndef SQLFLOW_WFC_CONTEXT_H_
 #define SQLFLOW_WFC_CONTEXT_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "sql/data_source.h"
@@ -42,6 +45,37 @@ class ProcessContext {
   bool terminate_requested() const { return terminate_requested_; }
   void RequestTerminate() { terminate_requested_ = true; }
 
+  // --- simulated time & deadlines --------------------------------------------
+  // The instance clock is *virtual*: it only advances when a robustness
+  // wrapper simulates a wait (retry backoff). That keeps every fault
+  // schedule, backoff trajectory, and timeout decision deterministic —
+  // the precondition for seed-reproducible chaos runs.
+  static constexpr int64_t kNoDeadline =
+      std::numeric_limits<int64_t>::max();
+
+  int64_t virtual_now_ns() const { return virtual_now_ns_; }
+  void AdvanceVirtualTime(int64_t ns) {
+    if (ns > 0) virtual_now_ns_ += ns;
+  }
+
+  /// Deadlines nest (BPEL scopes with onAlarm): the effective deadline
+  /// is the tightest enclosing one, so an inner TimeoutScope can never
+  /// outlive its parent. PushDeadline clamps to the current effective
+  /// deadline for that reason.
+  void PushDeadline(int64_t absolute_ns) {
+    deadlines_.push_back(std::min(absolute_ns, EffectiveDeadlineNs()));
+  }
+  void PopDeadline() {
+    if (!deadlines_.empty()) deadlines_.pop_back();
+  }
+  int64_t EffectiveDeadlineNs() const {
+    return deadlines_.empty() ? kNoDeadline : deadlines_.back();
+  }
+  bool DeadlineExceeded() const {
+    return EffectiveDeadlineNs() != kNoDeadline &&
+           virtual_now_ns_ >= EffectiveDeadlineNs();
+  }
+
   /// XPath environment whose `$name` resolves to this instance's
   /// variables: XML variables become node-sets, scalars become
   /// strings/numbers/booleans.
@@ -63,6 +97,8 @@ class ProcessContext {
   const xpath::FunctionRegistry* xpath_functions_;
   AuditTrail audit_;
   bool terminate_requested_ = false;
+  int64_t virtual_now_ns_ = 0;
+  std::vector<int64_t> deadlines_;
 };
 
 }  // namespace sqlflow::wfc

@@ -1,0 +1,177 @@
+#include "wfc/robustness.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.h"
+
+namespace sqlflow::wfc {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+int64_t BackoffPolicy::DelayForAttempt(int attempt) const {
+  if (attempt < 1) attempt = 1;
+  double base = static_cast<double>(initial_delay_ns) *
+                std::pow(multiplier, attempt - 1);
+  base = std::min(base, static_cast<double>(max_delay_ns));
+  // Keyed jitter (not a shared stream): the delay for attempt k is a
+  // pure function of (seed, k), so tests can assert trajectories and a
+  // resumed schedule cannot drift.
+  double u = static_cast<double>(
+                 SplitMix64(jitter_seed * 0x100000001b3ULL + attempt) >>
+                 11) *
+             0x1.0p-53;
+  double jittered = base * (1.0 + jitter * u);
+  return static_cast<int64_t>(jittered);
+}
+
+// --- RetryActivity ----------------------------------------------------------
+
+RetryActivity::RetryActivity(std::string name, ActivityPtr body,
+                             BackoffPolicy policy, RetryPredicate retry_on)
+    : Activity(std::move(name)),
+      body_(std::move(body)),
+      policy_(policy),
+      retry_on_(std::move(retry_on)) {}
+
+Status RetryActivity::Execute(ProcessContext& ctx) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  int max_attempts = std::max(1, policy_.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    Status st = body_->Run(ctx);
+    if (st.ok()) {
+      if (attempt > 1) {
+        metrics.GetCounter("wfc.retry.absorbed").Increment();
+        ctx.audit().Record(AuditEventKind::kRetry, name(),
+                           "absorbed after " + std::to_string(attempt) +
+                               " attempts");
+      }
+      return st;
+    }
+    bool retryable =
+        retry_on_ != nullptr ? retry_on_(st) : st.IsTransient();
+    if (!retryable) return st;
+    if (attempt >= max_attempts) {
+      metrics.GetCounter("wfc.retry.exhausted").Increment();
+      ctx.audit().Record(AuditEventKind::kRetry, name(),
+                         "exhausted after " + std::to_string(attempt) +
+                             " attempts: " + st.ToString());
+      return st;
+    }
+    int64_t delay = policy_.DelayForAttempt(attempt);
+    int64_t deadline = ctx.EffectiveDeadlineNs();
+    if (deadline != ProcessContext::kNoDeadline &&
+        ctx.virtual_now_ns() + delay >= deadline) {
+      ctx.audit().Record(
+          AuditEventKind::kRetry, name(),
+          "deadline forbids retry (backoff " + std::to_string(delay) +
+              "ns would overshoot): " + st.ToString());
+      return Status::Timeout("deadline expired while backing off in '" +
+                             name() + "' after: " + st.ToString());
+    }
+    ctx.AdvanceVirtualTime(delay);
+    metrics.GetCounter("wfc.retry.attempts").Increment();
+    ctx.audit().Record(AuditEventKind::kRetry, name(),
+                       "attempt " + std::to_string(attempt) + "/" +
+                           std::to_string(max_attempts) + " faulted (" +
+                           st.ToString() + "), backing off " +
+                           std::to_string(delay) + "ns");
+  }
+}
+
+// --- TimeoutScope -----------------------------------------------------------
+
+TimeoutScope::TimeoutScope(std::string name, ActivityPtr body,
+                           int64_t budget_ns)
+    : Activity(std::move(name)),
+      body_(std::move(body)),
+      budget_ns_(budget_ns) {}
+
+Status TimeoutScope::Execute(ProcessContext& ctx) {
+  ctx.PushDeadline(ctx.virtual_now_ns() + budget_ns_);
+  Status st = body_->Run(ctx);
+  ctx.PopDeadline();
+  if (!st.ok() && st.code() == StatusCode::kTimeout) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("wfc.timeout.expired")
+        .Increment();
+    ctx.audit().Record(AuditEventKind::kFault, name(),
+                       "timeout budget " + std::to_string(budget_ns_) +
+                           "ns exceeded: " + st.message());
+  }
+  return st;
+}
+
+// --- CompensationScope ------------------------------------------------------
+
+CompensationScope::CompensationScope(std::string name)
+    : Activity(std::move(name)) {}
+
+CompensationScope& CompensationScope::AddStep(ActivityPtr action,
+                                              ActivityPtr compensation) {
+  steps_.push_back(Step{std::move(action), std::move(compensation)});
+  return *this;
+}
+
+Status CompensationScope::Execute(ProcessContext& ctx) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  std::vector<const Step*> completed;
+  completed.reserve(steps_.size());
+  for (const Step& step : steps_) {
+    Status st = step.action->Run(ctx);
+    if (st.ok()) {
+      completed.push_back(&step);
+      if (ctx.terminate_requested()) break;
+      continue;
+    }
+    // Downstream fault: undo committed steps in reverse order, then
+    // propagate the original fault (BPEL: compensation completes the
+    // scope's fault handling but does not swallow the fault).
+    ExposeFault(ctx, name(), st);
+    metrics.GetCounter("wfc.compensation.triggered").Increment();
+    for (auto it = completed.rbegin(); it != completed.rend(); ++it) {
+      const Step* done = *it;
+      if (done->compensation == nullptr) continue;
+      ctx.audit().Record(AuditEventKind::kCompensation, name(),
+                         "compensating '" + done->action->name() +
+                             "' via '" + done->compensation->name() +
+                             "'");
+      metrics.GetCounter("wfc.compensation.handlers").Increment();
+      Status comp = done->compensation->Run(ctx);
+      if (!comp.ok()) {
+        // A failing compensation handler is recorded but does not stop
+        // the remaining handlers — partial undo is worse than noisy
+        // undo — and the original fault still propagates.
+        ctx.audit().Record(AuditEventKind::kCompensation, name(),
+                           "compensation '" +
+                               done->compensation->name() +
+                               "' failed: " + comp.ToString());
+        metrics.GetCounter("wfc.compensation.failed").Increment();
+      }
+    }
+    return st;
+  }
+  return Status::OK();
+}
+
+// --- fault exposure ---------------------------------------------------------
+
+void ExposeFault(ProcessContext& ctx, const std::string& scope_name,
+                 const Status& fault) {
+  ctx.variables().Set("fault", VarValue(Value::String(fault.message())));
+  ctx.variables().Set(
+      "faultCode", VarValue(Value::String(StatusCodeName(fault.code()))));
+  ctx.audit().Record(AuditEventKind::kFault, scope_name,
+                     fault.ToString());
+}
+
+}  // namespace sqlflow::wfc

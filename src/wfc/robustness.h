@@ -1,0 +1,112 @@
+#ifndef SQLFLOW_WFC_ROBUSTNESS_H_
+#define SQLFLOW_WFC_ROBUSTNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "wfc/activity.h"
+
+namespace sqlflow::wfc {
+
+/// Exponential backoff with deterministic jitter, on the instance's
+/// virtual clock. delay(k) = min(max_delay, initial * multiplier^(k-1))
+/// scaled by (1 + jitter * u) with u in [0,1) drawn from a splitmix64
+/// stream keyed on (jitter_seed, attempt) — the same seed always yields
+/// the same trajectory, and with multiplier >= 1 + jitter the delays are
+/// strictly non-decreasing across attempts.
+struct BackoffPolicy {
+  int max_attempts = 3;
+  int64_t initial_delay_ns = 1'000'000;        // 1ms (virtual)
+  double multiplier = 2.0;
+  int64_t max_delay_ns = 60'000'000'000;       // 60s (virtual)
+  double jitter = 0.25;
+  uint64_t jitter_seed = 1;
+
+  /// The jittered delay taken after failed attempt `attempt` (1-based).
+  int64_t DelayForAttempt(int attempt) const;
+};
+
+/// The Oracle BPEL PM retry analogue (Table I: "failed partner-link
+/// invocations are retried under a configurable policy"), generalized to
+/// wrap any activity. Re-runs the body on faults matching `retry_on`
+/// (default: transient codes), advancing the virtual clock by the
+/// backoff delay between attempts; gives up when attempts are exhausted
+/// or the enclosing deadline would expire during the wait. Emits
+/// `wfc.retry.attempts` / `wfc.retry.absorbed` / `wfc.retry.exhausted`
+/// counters and kRetry audit events.
+class RetryActivity : public Activity {
+ public:
+  using RetryPredicate = std::function<bool(const Status&)>;
+
+  RetryActivity(std::string name, ActivityPtr body,
+                BackoffPolicy policy = {},
+                RetryPredicate retry_on = {});  // {} = transient codes
+  std::string TypeName() const override { return "retry"; }
+
+  const BackoffPolicy& policy() const { return policy_; }
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  ActivityPtr body_;
+  BackoffPolicy policy_;
+  RetryPredicate retry_on_;
+};
+
+/// BPEL scope-with-onAlarm analogue: the body runs under a deadline of
+/// `budget_ns` virtual nanoseconds. Deadlines nest (the effective one
+/// is the tightest enclosing), propagate through Activity::Run (an
+/// expired deadline fails activities before they start with kTimeout),
+/// and stop retry loops whose next backoff would overshoot.
+class TimeoutScope : public Activity {
+ public:
+  TimeoutScope(std::string name, ActivityPtr body, int64_t budget_ns);
+  std::string TypeName() const override { return "timeout-scope"; }
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  ActivityPtr body_;
+  int64_t budget_ns_;
+};
+
+/// BPEL compensation analogue: an ordered list of steps, each pairing a
+/// forward action with an optional compensation handler. Steps run in
+/// order; when one faults, the compensation handlers of every
+/// *completed* step run in reverse order (undoing committed work), then
+/// the original fault propagates. Emits `wfc.compensation.*` counters
+/// and kFault/kCompensation audit events.
+class CompensationScope : public Activity {
+ public:
+  explicit CompensationScope(std::string name);
+  std::string TypeName() const override { return "compensation-scope"; }
+
+  /// `compensation` may be null for steps with nothing to undo.
+  CompensationScope& AddStep(ActivityPtr action,
+                             ActivityPtr compensation = nullptr);
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  struct Step {
+    ActivityPtr action;
+    ActivityPtr compensation;
+  };
+  std::vector<Step> steps_;
+};
+
+/// Records the caught fault in the audit trail (kFault) and exposes it
+/// to downstream activities as the process variables `fault` (message)
+/// and `faultCode` (stable code name) — shared by ScopeActivity's fault
+/// handler and CompensationScope.
+void ExposeFault(ProcessContext& ctx, const std::string& scope_name,
+                 const Status& fault);
+
+}  // namespace sqlflow::wfc
+
+#endif  // SQLFLOW_WFC_ROBUSTNESS_H_

@@ -1,6 +1,7 @@
 #include "wfc/xoml.h"
 
 #include "common/string_util.h"
+#include "wfc/robustness.h"
 #include "xml/parser.h"
 
 namespace sqlflow::wfc {
@@ -153,6 +154,115 @@ Result<ActivityPtr> BuildTerminate(const xml::Node& element, XomlLoader&) {
       std::make_shared<TerminateActivity>(NameAttr(element, "terminate")));
 }
 
+Result<int64_t> IntAttr(const xml::Node& element, const char* attr,
+                        int64_t fallback) {
+  std::optional<std::string> raw = element.GetAttribute(attr);
+  if (!raw.has_value()) return fallback;
+  return Value::String(*raw).AsInteger();
+}
+
+Result<double> DoubleAttr(const xml::Node& element, const char* attr,
+                          double fallback) {
+  std::optional<std::string> raw = element.GetAttribute(attr);
+  if (!raw.has_value()) return fallback;
+  return Value::String(*raw).AsDouble();
+}
+
+// <Retry maxAttempts="3" backoffMs="1" multiplier="2" jitter="0.25"
+//        seed="1" retryOn="transient|any"> body </Retry>
+Result<ActivityPtr> BuildRetry(const xml::Node& element,
+                               XomlLoader& loader) {
+  BackoffPolicy policy;
+  SQLFLOW_ASSIGN_OR_RETURN(
+      int64_t max_attempts,
+      IntAttr(element, "maxAttempts", policy.max_attempts));
+  policy.max_attempts = static_cast<int>(max_attempts);
+  SQLFLOW_ASSIGN_OR_RETURN(
+      int64_t backoff_ms,
+      IntAttr(element, "backoffMs", policy.initial_delay_ns / 1'000'000));
+  policy.initial_delay_ns = backoff_ms * 1'000'000;
+  SQLFLOW_ASSIGN_OR_RETURN(
+      policy.multiplier,
+      DoubleAttr(element, "multiplier", policy.multiplier));
+  SQLFLOW_ASSIGN_OR_RETURN(policy.jitter,
+                           DoubleAttr(element, "jitter", policy.jitter));
+  SQLFLOW_ASSIGN_OR_RETURN(
+      int64_t seed,
+      IntAttr(element, "seed",
+              static_cast<int64_t>(policy.jitter_seed)));
+  policy.jitter_seed = static_cast<uint64_t>(seed);
+  std::string retry_on =
+      element.GetAttribute("retryOn").value_or("transient");
+  RetryActivity::RetryPredicate predicate;  // default: transient codes
+  if (retry_on == "any") {
+    predicate = [](const Status&) { return true; };
+  } else if (retry_on != "transient") {
+    return Status::InvalidArgument(
+        "<Retry> retryOn must be 'transient' or 'any', got '" + retry_on +
+        "'");
+  }
+  SQLFLOW_ASSIGN_OR_RETURN(ActivityPtr body,
+                           loader.BuildBody(element, "retry-body"));
+  return ActivityPtr(std::make_shared<RetryActivity>(
+      NameAttr(element, "retry"), std::move(body), policy,
+      std::move(predicate)));
+}
+
+// <TimeoutScope budgetMs="100"> body </TimeoutScope>
+Result<ActivityPtr> BuildTimeoutScope(const xml::Node& element,
+                                      XomlLoader& loader) {
+  std::optional<std::string> budget = element.GetAttribute("budgetMs");
+  if (!budget.has_value()) {
+    return Status::InvalidArgument("<TimeoutScope> requires budgetMs=");
+  }
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t budget_ms,
+                           Value::String(*budget).AsInteger());
+  SQLFLOW_ASSIGN_OR_RETURN(ActivityPtr body,
+                           loader.BuildBody(element, "timeout-body"));
+  return ActivityPtr(std::make_shared<TimeoutScope>(
+      NameAttr(element, "timeout-scope"), std::move(body),
+      budget_ms * 1'000'000));
+}
+
+// <CompensationScope>
+//   <Step> <Action>one activity</Action>
+//          <Compensation>one activity</Compensation>? </Step>*
+// </CompensationScope>
+Result<ActivityPtr> BuildCompensationScope(const xml::Node& element,
+                                           XomlLoader& loader) {
+  auto scope = std::make_shared<CompensationScope>(
+      NameAttr(element, "compensation-scope"));
+  for (const xml::NodePtr& child : element.children()) {
+    if (!child->is_element()) continue;
+    if (child->name() != "Step") {
+      return Status::InvalidArgument(
+          "<CompensationScope> children must be <Step>, got <" +
+          child->name() + ">");
+    }
+    ActivityPtr action;
+    ActivityPtr compensation;
+    for (const xml::NodePtr& part : child->children()) {
+      if (!part->is_element()) continue;
+      if (part->name() == "Action") {
+        SQLFLOW_ASSIGN_OR_RETURN(action,
+                                 loader.BuildBody(*part, "step-action"));
+      } else if (part->name() == "Compensation") {
+        SQLFLOW_ASSIGN_OR_RETURN(
+            compensation, loader.BuildBody(*part, "step-compensation"));
+      } else {
+        return Status::InvalidArgument(
+            "<Step> children must be <Action>/<Compensation>, got <" +
+            part->name() + ">");
+      }
+    }
+    if (action == nullptr) {
+      return Status::InvalidArgument("<Step> requires an <Action>");
+    }
+    scope->AddStep(std::move(action), std::move(compensation));
+  }
+  return ActivityPtr(std::move(scope));
+}
+
 Result<VarValue> ParseVariableValue(const xml::Node& element) {
   std::string type = element.GetAttribute("type").value_or("string");
   if (type == "xml") {
@@ -195,6 +305,9 @@ XomlLoader::XomlLoader() {
   builders_["Invoke"] = BuildInvoke;
   builders_["Empty"] = BuildEmpty;
   builders_["Terminate"] = BuildTerminate;
+  builders_["Retry"] = BuildRetry;
+  builders_["TimeoutScope"] = BuildTimeoutScope;
+  builders_["CompensationScope"] = BuildCompensationScope;
 }
 
 Status XomlLoader::RegisterActivityType(const std::string& element_name,

@@ -29,7 +29,11 @@ namespace sqlflow::wfc {
 /// Built-in activity elements: Sequence, While (condition=XPath),
 /// IfElse (condition= + <Then>/<Else> wrappers), Assign (<Copy to=
 /// [toNode=] and one of value=/expr=>), Invoke (service=, output=,
-/// <Input param= expr=/>), Empty, Terminate.
+/// <Input param= expr=/>), Empty, Terminate, and the robustness
+/// wrappers: Retry (maxAttempts=, backoffMs=, multiplier=, jitter=,
+/// seed=, retryOn="transient|any"), TimeoutScope (budgetMs=), and
+/// CompensationScope (<Step><Action>…</Action>
+/// <Compensation>…</Compensation></Step>).
 class XomlLoader {
  public:
   using ActivityBuilder = std::function<Result<ActivityPtr>(

@@ -1,0 +1,695 @@
+// Deterministic fault-injection suite: the FaultInjector schedule
+// itself, statement-level replay in sql::Database, the wfc robustness
+// wrappers (retry / timeout / compensation), atomic-sequence rollback
+// under mid-sequence faults, and the chaos invariant that transient
+// faults never move the Table II pattern matrix.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bis/atomic_sql_sequence.h"
+#include "bis/sql_activity.h"
+#include "obs/metrics.h"
+#include "patterns/evaluators.h"
+#include "patterns/fixture.h"
+#include "patterns/report.h"
+#include "sql/database.h"
+#include "sql/fault.h"
+#include "wfc/activities.h"
+#include "wfc/engine.h"
+#include "wfc/robustness.h"
+
+namespace sqlflow {
+namespace {
+
+using sql::FaultInjector;
+using sql::FaultSite;
+
+FaultSite Site(const std::string& description,
+               const std::string& database = "d") {
+  return FaultSite{database, description};
+}
+
+// Restores the process-wide chaos configuration even when an ASSERT
+// bails out of a test body early.
+struct GlobalChaosGuard {
+  ~GlobalChaosGuard() {
+    sql::Database::SetGlobalFaultInjector(nullptr);
+    sql::Database::SetRetryPolicyDefault(sql::RetryPolicy{});
+  }
+};
+
+uint64_t CounterValue(const std::string& name) {
+  return obs::MetricsRegistry::Global().GetCounter(name).value();
+}
+
+// --- FaultInjector schedule -------------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultInjector::Options options;
+  options.seed = 99;
+  options.probability = 0.3;
+  FaultInjector a(options);
+  FaultInjector b(options);
+  for (int i = 0; i < 200; ++i) {
+    auto fa = a.MaybeFault(Site("insert Orders"));
+    auto fb = b.MaybeFault(Site("insert Orders"));
+    ASSERT_EQ(fa.has_value(), fb.has_value()) << "draw " << i;
+    if (fa.has_value()) {
+      EXPECT_EQ(fa->code(), fb->code()) << "draw " << i;
+      EXPECT_EQ(fa->message(), fb->message()) << "draw " << i;
+    }
+  }
+  EXPECT_GT(a.stats().faults_injected, 0u);
+  EXPECT_EQ(a.stats().faults_injected, b.stats().faults_injected);
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentSchedule) {
+  FaultInjector::Options options;
+  options.probability = 0.3;
+  options.seed = 1;
+  FaultInjector a(options);
+  options.seed = 2;
+  FaultInjector b(options);
+  bool diverged = false;
+  for (int i = 0; i < 200 && !diverged; ++i) {
+    diverged = a.MaybeFault(Site("x")).has_value() !=
+               b.MaybeFault(Site("x")).has_value();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjectorTest, ReseedReproducesSchedule) {
+  FaultInjector::Options options;
+  options.seed = 7;
+  options.probability = 0.5;
+  FaultInjector injector(options);
+  std::vector<bool> first;
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(injector.MaybeFault(Site("x")).has_value());
+  }
+  injector.Reseed(7);
+  EXPECT_EQ(injector.stats().statements_seen, 0u);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(injector.MaybeFault(Site("x")).has_value(), first[i])
+        << "draw " << i;
+  }
+}
+
+TEST(FaultInjectorTest, CountModeFaultsExactlyFirstN) {
+  FaultInjector::Options options;
+  options.fault_first_n = 3;
+  FaultInjector injector(options);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(injector.MaybeFault(Site("x")).has_value()) << i;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(injector.MaybeFault(Site("x")).has_value()) << i;
+  }
+  EXPECT_EQ(injector.stats().faults_injected, 3u);
+}
+
+TEST(FaultInjectorTest, BudgetCapsInjectedFaults) {
+  FaultInjector::Options options;
+  options.probability = 1.0;
+  options.budget = 2;
+  FaultInjector injector(options);
+  int injected = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (injector.MaybeFault(Site("x")).has_value()) ++injected;
+  }
+  EXPECT_EQ(injected, 2);
+}
+
+TEST(FaultInjectorTest, SiteAndDatabaseFiltersGate) {
+  FaultInjector::Options options;
+  options.fault_first_n = 100;
+  options.site_filter = "insert";
+  options.database_filter = "orders";
+  FaultInjector injector(options);
+  EXPECT_FALSE(injector.MaybeFault(Site("select Orders", "orders")));
+  EXPECT_FALSE(injector.MaybeFault(Site("insert Orders", "archive")));
+  EXPECT_TRUE(injector.MaybeFault(Site("insert Orders", "orders")));
+  EXPECT_EQ(injector.stats().statements_seen, 3u);
+  EXPECT_EQ(injector.stats().sites_matched, 1u);
+}
+
+TEST(FaultInjectorTest, RotatesThroughConfiguredKinds) {
+  FaultInjector::Options options;
+  options.fault_first_n = 30;
+  FaultInjector injector(options);
+  for (int i = 0; i < 30; ++i) injector.MaybeFault(Site("x"));
+  const auto& by_code = injector.stats().injected_by_code;
+  EXPECT_GT(by_code.at(StatusCode::kUnavailable), 0u);
+  EXPECT_GT(by_code.at(StatusCode::kDeadlock), 0u);
+  EXPECT_GT(by_code.at(StatusCode::kTimeout), 0u);
+}
+
+TEST(StatusTest, TransientTaxonomy) {
+  EXPECT_TRUE(Status::Unavailable("x").IsTransient());
+  EXPECT_TRUE(Status::Deadlock("x").IsTransient());
+  EXPECT_TRUE(Status::Timeout("x").IsTransient());
+  EXPECT_FALSE(Status::ExecutionError("x").IsTransient());
+  EXPECT_FALSE(Status::NotFound("x").IsTransient());
+  EXPECT_FALSE(Status::OK().IsTransient());
+}
+
+// --- statement-level replay in sql::Database --------------------------------
+
+class DatabaseRetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = std::make_unique<sql::Database>("orders");
+    ASSERT_TRUE(db_->Execute("CREATE TABLE T (a INTEGER)").ok());
+  }
+
+  std::unique_ptr<sql::Database> db_;
+};
+
+TEST_F(DatabaseRetryTest, TransientFaultAbsorbedByReplay) {
+  FaultInjector::Options options;
+  options.fault_first_n = 2;
+  options.kinds = {StatusCode::kUnavailable};
+  auto injector = std::make_shared<FaultInjector>(options);
+  db_->set_fault_injector(injector);
+  db_->set_retry_policy(sql::RetryPolicy{/*max_attempts=*/3});
+
+  uint64_t absorbed_before = CounterValue("sql.fault.absorbed");
+  auto result = db_->Execute("INSERT INTO T VALUES (1)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(injector->stats().faults_injected, 2u);
+  EXPECT_EQ(CounterValue("sql.fault.absorbed"), absorbed_before + 1);
+
+  auto count = db_->Execute("SELECT COUNT(*) FROM T");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows()[0][0], Value::Integer(1));
+}
+
+TEST_F(DatabaseRetryTest, ExhaustionPropagatesTransientFault) {
+  FaultInjector::Options options;
+  options.fault_first_n = 10;
+  options.kinds = {StatusCode::kDeadlock};
+  db_->set_fault_injector(std::make_shared<FaultInjector>(options));
+  db_->set_retry_policy(sql::RetryPolicy{/*max_attempts=*/3});
+
+  auto result = db_->Execute("INSERT INTO T VALUES (1)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlock);
+  EXPECT_TRUE(result.status().IsTransient());
+  // Three attempts consumed three scheduled faults, no more.
+  EXPECT_EQ(db_->fault_injector()->stats().faults_injected, 3u);
+}
+
+TEST_F(DatabaseRetryTest, PermanentFaultIsNotRetried) {
+  FaultInjector::Options options;
+  options.fault_first_n = 1;
+  options.kinds = {StatusCode::kExecutionError};
+  db_->set_fault_injector(std::make_shared<FaultInjector>(options));
+  db_->set_retry_policy(sql::RetryPolicy{/*max_attempts=*/5});
+
+  auto result = db_->Execute("INSERT INTO T VALUES (1)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+  // Only the first attempt ran: a permanent fault must not be replayed.
+  EXPECT_EQ(db_->fault_injector()->stats().statements_seen, 1u);
+}
+
+TEST_F(DatabaseRetryTest, SiteDescriptionCoversKindAndTables) {
+  FaultInjector::Options options;
+  options.fault_first_n = 1;
+  options.site_filter = "insert T";
+  db_->set_fault_injector(std::make_shared<FaultInjector>(options));
+  db_->set_retry_policy(sql::RetryPolicy{/*max_attempts=*/1});
+
+  // A select does not match the filter and passes through untouched.
+  EXPECT_TRUE(db_->Execute("SELECT COUNT(*) FROM T").ok());
+  auto result = db_->Execute("INSERT INTO T VALUES (1)");
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("insert T"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+// --- backoff policy ---------------------------------------------------------
+
+TEST(BackoffPolicyTest, DeterministicAndMonotone) {
+  wfc::BackoffPolicy policy;
+  policy.initial_delay_ns = 1'000'000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.25;
+  policy.jitter_seed = 42;
+  std::vector<int64_t> delays;
+  for (int attempt = 1; attempt <= 10; ++attempt) {
+    int64_t d = policy.DelayForAttempt(attempt);
+    // Pure function of (seed, attempt): repeated calls agree.
+    EXPECT_EQ(d, policy.DelayForAttempt(attempt));
+    if (!delays.empty()) {
+      EXPECT_GE(d, delays.back()) << "attempt " << attempt;
+    }
+    delays.push_back(d);
+  }
+  wfc::BackoffPolicy other = policy;
+  other.jitter_seed = 43;
+  bool diverged = false;
+  for (int attempt = 1; attempt <= 10 && !diverged; ++attempt) {
+    diverged = other.DelayForAttempt(attempt) != delays[attempt - 1];
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffPolicyTest, JitterStaysWithinBounds) {
+  wfc::BackoffPolicy policy;
+  policy.initial_delay_ns = 1'000'000;
+  policy.multiplier = 2.0;
+  policy.jitter = 0.25;
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    double base = 1'000'000.0 * std::pow(2.0, attempt - 1);
+    int64_t d = policy.DelayForAttempt(attempt);
+    EXPECT_GE(d, static_cast<int64_t>(base)) << "attempt " << attempt;
+    EXPECT_LE(d, static_cast<int64_t>(base * 1.25) + 1)
+        << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffPolicyTest, MaxDelayCapsGrowth) {
+  wfc::BackoffPolicy policy;
+  policy.initial_delay_ns = 1'000'000;
+  policy.multiplier = 10.0;
+  policy.max_delay_ns = 5'000'000;
+  policy.jitter = 0.0;
+  EXPECT_EQ(policy.DelayForAttempt(5), 5'000'000);
+  EXPECT_EQ(policy.DelayForAttempt(9), 5'000'000);
+}
+
+// --- wfc robustness wrappers ------------------------------------------------
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  Result<wfc::InstanceResult> Run(wfc::ActivityPtr root) {
+    auto definition =
+        std::make_shared<wfc::ProcessDefinition>("p", std::move(root));
+    engine_.DeployOrReplace(definition);
+    return engine_.RunProcess("p");
+  }
+
+  /// An activity that faults with `fault` on its first `failures` runs,
+  /// then succeeds; `runs` counts invocations.
+  wfc::ActivityPtr Flaky(int failures, int* runs,
+                         Status fault = Status::Unavailable("flaky")) {
+    return std::make_shared<wfc::SnippetActivity>(
+        "flaky", [failures, runs, fault](wfc::ProcessContext&) {
+          return ++*runs <= failures ? fault : Status::OK();
+        });
+  }
+
+  wfc::WorkflowEngine engine_{"chaos"};
+};
+
+TEST_F(RobustnessTest, RetryAbsorbsTransientFaults) {
+  int runs = 0;
+  wfc::BackoffPolicy policy;
+  policy.max_attempts = 5;
+  auto retry = std::make_shared<wfc::RetryActivity>(
+      "r", Flaky(2, &runs), policy);
+  auto result = Run(retry);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(runs, 3);
+  // Two backoff decisions plus one absorption record.
+  EXPECT_EQ(result->audit.CountKind(wfc::AuditEventKind::kRetry), 3u);
+}
+
+TEST_F(RobustnessTest, RetryAdvancesVirtualClockByBackoffSum) {
+  int runs = 0;
+  wfc::BackoffPolicy policy;
+  policy.max_attempts = 5;
+  policy.jitter_seed = 11;
+  int64_t observed_now = -1;
+  auto body = std::make_shared<wfc::SnippetActivity>(
+      "body", [&](wfc::ProcessContext& ctx) -> Status {
+        if (++runs <= 2) return Status::Deadlock("victim");
+        observed_now = ctx.virtual_now_ns();
+        return Status::OK();
+      });
+  auto result =
+      Run(std::make_shared<wfc::RetryActivity>("r", body, policy));
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->status.ok());
+  EXPECT_EQ(observed_now,
+            policy.DelayForAttempt(1) + policy.DelayForAttempt(2));
+}
+
+TEST_F(RobustnessTest, RetryExhaustionPropagatesOriginalFault) {
+  int runs = 0;
+  wfc::BackoffPolicy policy;
+  policy.max_attempts = 3;
+  uint64_t exhausted_before = CounterValue("wfc.retry.exhausted");
+  auto result = Run(std::make_shared<wfc::RetryActivity>(
+      "r", Flaky(100, &runs), policy));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(runs, 3);
+  EXPECT_EQ(CounterValue("wfc.retry.exhausted"), exhausted_before + 1);
+  auto retries = result->audit.FilterKind(wfc::AuditEventKind::kRetry);
+  ASSERT_FALSE(retries.empty());
+  EXPECT_NE(retries.back().detail.find("exhausted after 3"),
+            std::string::npos);
+}
+
+TEST_F(RobustnessTest, RetryDoesNotRetryPermanentFaults) {
+  int runs = 0;
+  auto result = Run(std::make_shared<wfc::RetryActivity>(
+      "r", Flaky(100, &runs, Status::ExecutionError("broken"))));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kExecutionError);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST_F(RobustnessTest, RetryPredicateOverridesTaxonomy) {
+  int runs = 0;
+  wfc::BackoffPolicy policy;
+  policy.max_attempts = 5;
+  auto result = Run(std::make_shared<wfc::RetryActivity>(
+      "r", Flaky(1, &runs, Status::ExecutionError("broken")), policy,
+      [](const Status&) { return true; }));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok());
+  EXPECT_EQ(runs, 2);
+}
+
+TEST_F(RobustnessTest, ExpiredDeadlineFailsActivityBeforeItRuns) {
+  bool body_ran = false;
+  auto body = std::make_shared<wfc::SnippetActivity>(
+      "body", [&](wfc::ProcessContext&) {
+        body_ran = true;
+        return Status::OK();
+      });
+  auto result = Run(std::make_shared<wfc::TimeoutScope>(
+      "ts", body, /*budget_ns=*/0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kTimeout);
+  EXPECT_FALSE(body_ran);
+}
+
+TEST_F(RobustnessTest, TimeoutStopsRetryWhoseBackoffWouldOvershoot) {
+  int runs = 0;
+  wfc::BackoffPolicy policy;
+  policy.max_attempts = 100;
+  policy.initial_delay_ns = 10'000'000;  // 10ms, doubling
+  uint64_t expired_before = CounterValue("wfc.timeout.expired");
+  auto result = Run(std::make_shared<wfc::TimeoutScope>(
+      "ts",
+      std::make_shared<wfc::RetryActivity>("r", Flaky(100, &runs),
+                                           policy),
+      /*budget_ns=*/25'000'000));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kTimeout);
+  // delay(1)≈10–12.5ms fits the 25ms budget, delay(2)≈20–25ms does not:
+  // exactly two attempts ran, far fewer than max_attempts.
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(CounterValue("wfc.timeout.expired"), expired_before + 1);
+  EXPECT_GE(result->audit.CountKind(wfc::AuditEventKind::kFault), 1u);
+}
+
+TEST_F(RobustnessTest, NestedDeadlinesClampToTightestScope) {
+  int64_t effective = -1;
+  auto probe = std::make_shared<wfc::SnippetActivity>(
+      "probe", [&](wfc::ProcessContext& ctx) {
+        effective = ctx.EffectiveDeadlineNs();
+        return Status::OK();
+      });
+  auto inner = std::make_shared<wfc::TimeoutScope>(
+      "inner", probe, /*budget_ns=*/500'000'000);
+  auto outer = std::make_shared<wfc::TimeoutScope>(
+      "outer", inner, /*budget_ns=*/5'000'000);
+  auto result = Run(outer);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok());
+  // The inner 500ms budget cannot outlive the outer 5ms one.
+  EXPECT_EQ(effective, 5'000'000);
+}
+
+// --- compensation -----------------------------------------------------------
+
+class CompensationTest : public RobustnessTest {
+ protected:
+  wfc::ActivityPtr Log(const std::string& name, Status status = {}) {
+    return std::make_shared<wfc::SnippetActivity>(
+        name, [this, name, status](wfc::ProcessContext&) {
+          log_.push_back(name);
+          return status;
+        });
+  }
+
+  std::vector<std::string> log_;
+};
+
+TEST_F(CompensationTest, CompensatesCompletedStepsInReverseOrder) {
+  auto scope = std::make_shared<wfc::CompensationScope>("scope");
+  scope->AddStep(Log("A"), Log("undoA"));
+  scope->AddStep(Log("B"), Log("undoB"));
+  scope->AddStep(Log("C"), Log("undoC"));
+  scope->AddStep(Log("D", Status::ExecutionError("boom")), Log("undoD"));
+  uint64_t handlers_before = CounterValue("wfc.compensation.handlers");
+  auto result = Run(scope);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kExecutionError);
+  EXPECT_EQ(log_, (std::vector<std::string>{"A", "B", "C", "D", "undoC",
+                                            "undoB", "undoA"}));
+  EXPECT_EQ(CounterValue("wfc.compensation.handlers"),
+            handlers_before + 3);
+  EXPECT_EQ(result->audit.CountKind(wfc::AuditEventKind::kCompensation),
+            3u);
+  // The fault is exposed to the instance before compensation runs.
+  EXPECT_EQ(*result->variables.GetScalar("faultCode"),
+            Value::String("ExecutionError"));
+  EXPECT_EQ(*result->variables.GetScalar("fault"),
+            Value::String("boom"));
+}
+
+TEST_F(CompensationTest, NoFaultMeansNoCompensation) {
+  auto scope = std::make_shared<wfc::CompensationScope>("scope");
+  scope->AddStep(Log("A"), Log("undoA"));
+  scope->AddStep(Log("B"), Log("undoB"));
+  auto result = Run(scope);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok());
+  EXPECT_EQ(log_, (std::vector<std::string>{"A", "B"}));
+}
+
+TEST_F(CompensationTest, StepsWithoutHandlersAreSkipped) {
+  auto scope = std::make_shared<wfc::CompensationScope>("scope");
+  scope->AddStep(Log("A"), Log("undoA"));
+  scope->AddStep(Log("B"));  // nothing to undo
+  scope->AddStep(Log("C", Status::ExecutionError("boom")));
+  auto result = Run(scope);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(log_,
+            (std::vector<std::string>{"A", "B", "C", "undoA"}));
+}
+
+TEST_F(CompensationTest, FailingHandlerDoesNotStopRemainingHandlers) {
+  auto scope = std::make_shared<wfc::CompensationScope>("scope");
+  scope->AddStep(Log("A"), Log("undoA"));
+  scope->AddStep(Log("B"),
+                 Log("undoB", Status::ExecutionError("undo broke")));
+  scope->AddStep(Log("C", Status::Unavailable("boom")));
+  uint64_t failed_before = CounterValue("wfc.compensation.failed");
+  auto result = Run(scope);
+  ASSERT_TRUE(result.ok());
+  // The original fault propagates, not the handler's.
+  EXPECT_EQ(result->status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(log_,
+            (std::vector<std::string>{"A", "B", "C", "undoB", "undoA"}));
+  EXPECT_EQ(CounterValue("wfc.compensation.failed"), failed_before + 1);
+}
+
+TEST_F(RobustnessTest, ScopeActivityExposesFaultToHandler) {
+  auto body = std::make_shared<wfc::SnippetActivity>(
+      "body", [](wfc::ProcessContext&) {
+        return Status::ExecutionError("scope body failed");
+      });
+  std::string seen_fault, seen_code;
+  auto handler = std::make_shared<wfc::SnippetActivity>(
+      "handler", [&](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(Value fault,
+                                 ctx.variables().GetScalar("fault"));
+        SQLFLOW_ASSIGN_OR_RETURN(Value code,
+                                 ctx.variables().GetScalar("faultCode"));
+        seen_fault = fault.AsString();
+        seen_code = code.AsString();
+        return Status::OK();
+      });
+  auto result = Run(
+      std::make_shared<wfc::ScopeActivity>("scope", body, handler));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(seen_fault, "scope body failed");
+  EXPECT_EQ(seen_code, "ExecutionError");
+  EXPECT_GE(result->audit.CountKind(wfc::AuditEventKind::kFault), 1u);
+}
+
+// --- atomic sequence under injected faults ----------------------------------
+
+class AtomicChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto fixture = patterns::MakeFixture("chaos-bis");
+    ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+    fixture_ = std::move(*fixture);
+  }
+
+  Result<wfc::InstanceResult> Run(wfc::ActivityPtr root) {
+    auto definition =
+        std::make_shared<wfc::ProcessDefinition>("p", std::move(root));
+    definition->DeclareVariable(
+        "DS", wfc::VarValue(wfc::ObjectPtr(
+                  std::make_shared<bis::DataSourceVariable>(
+                      patterns::Fixture::kConnection))));
+    fixture_.engine->DeployOrReplace(definition);
+    return fixture_.engine->RunProcess("p");
+  }
+
+  std::shared_ptr<bis::SqlActivity> Insert(const std::string& name,
+                                           const std::string& sql) {
+    bis::SqlActivity::Config config;
+    config.data_source_variable = "DS";
+    config.statement = sql;
+    return std::make_shared<bis::SqlActivity>(name, config);
+  }
+
+  /// Three inserts: two into Items, then one into OrderConfirmations —
+  /// the site filter "ORDERCONFIRMATIONS" targets exactly the third.
+  std::shared_ptr<bis::AtomicSqlSequence> ThreeStepSequence() {
+    return std::make_shared<bis::AtomicSqlSequence>(
+        "atomic", "DS",
+        std::vector<wfc::ActivityPtr>{
+            Insert("i1", "INSERT INTO Items VALUES (100, 'x')"),
+            Insert("i2", "INSERT INTO Items VALUES (101, 'y')"),
+            Insert("i3", "INSERT INTO OrderConfirmations VALUES "
+                         "(900, 100, 1, 'ok')")});
+  }
+
+  int64_t CountRows(const std::string& sql) {
+    auto result = fixture_.db->Execute(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok()) return -1;
+    auto count = result->rows()[0][0].AsInteger();
+    return count.ok() ? *count : -1;
+  }
+
+  patterns::Fixture fixture_;
+};
+
+TEST_F(AtomicChaosTest, MidSequencePermanentFaultLeavesNoPartialRows) {
+  FaultInjector::Options options;
+  options.fault_first_n = 1;
+  options.site_filter = "ORDERCONFIRMATIONS";
+  options.kinds = {StatusCode::kExecutionError};
+  fixture_.db->set_fault_injector(
+      std::make_shared<FaultInjector>(options));
+
+  uint64_t rolled_back_before =
+      fixture_.db->stats().transactions_rolled_back;
+  auto result = Run(ThreeStepSequence());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status.code(), StatusCode::kExecutionError);
+  // The two completed inserts were rolled back with the transaction:
+  // a mid-sequence fault must leave zero partial rows.
+  EXPECT_EQ(CountRows("SELECT COUNT(*) FROM Items WHERE ItemID >= 100"),
+            0);
+  EXPECT_EQ(CountRows("SELECT COUNT(*) FROM OrderConfirmations "
+                      "WHERE ConfirmationID = 900"),
+            0);
+  EXPECT_FALSE(fixture_.db->in_transaction());
+  EXPECT_EQ(fixture_.db->stats().transactions_rolled_back,
+            rolled_back_before + 1);
+}
+
+TEST_F(AtomicChaosTest, TransientMidSequenceFaultAbsorbedInTransaction) {
+  FaultInjector::Options options;
+  options.fault_first_n = 1;
+  options.site_filter = "ORDERCONFIRMATIONS";
+  options.kinds = {StatusCode::kDeadlock};
+  auto injector = std::make_shared<FaultInjector>(options);
+  fixture_.db->set_fault_injector(injector);
+  fixture_.db->set_retry_policy(sql::RetryPolicy{/*max_attempts=*/3});
+
+  auto result = Run(ThreeStepSequence());
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(injector->stats().faults_injected, 1u);
+  EXPECT_EQ(CountRows("SELECT COUNT(*) FROM Items WHERE ItemID >= 100"),
+            2);
+  EXPECT_EQ(CountRows("SELECT COUNT(*) FROM OrderConfirmations "
+                      "WHERE ConfirmationID = 900"),
+            1);
+  EXPECT_FALSE(fixture_.db->in_transaction());
+}
+
+TEST_F(AtomicChaosTest, RetryWrapperReRunsWholeRolledBackSequence) {
+  // No statement-level replay (max_attempts=1): the permanent-looking
+  // transient fault aborts the whole sequence, the wfc retry wrapper
+  // re-runs it from the top, and the second pass commits cleanly —
+  // exactly-once effects via rollback + re-execution.
+  FaultInjector::Options options;
+  options.fault_first_n = 1;
+  options.site_filter = "ORDERCONFIRMATIONS";
+  options.kinds = {StatusCode::kUnavailable};
+  fixture_.db->set_fault_injector(
+      std::make_shared<FaultInjector>(options));
+
+  wfc::BackoffPolicy policy;
+  policy.max_attempts = 3;
+  auto result = Run(std::make_shared<wfc::RetryActivity>(
+      "r", ThreeStepSequence(), policy));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(fixture_.db->stats().transactions_rolled_back, 1u);
+  EXPECT_EQ(fixture_.db->stats().transactions_committed, 1u);
+  EXPECT_EQ(CountRows("SELECT COUNT(*) FROM Items WHERE ItemID >= 100"),
+            2);
+}
+
+// --- the chaos invariant: Table II does not move ----------------------------
+
+std::string EvaluateTableTwo() {
+  std::vector<patterns::ProductMatrix> matrices;
+  for (auto& evaluator : patterns::MakeAllEvaluators()) {
+    auto matrix = evaluator->EvaluateAll();
+    EXPECT_TRUE(matrix.ok()) << matrix.status().ToString();
+    if (!matrix.ok()) return "";
+    matrices.push_back(*matrix);
+  }
+  return patterns::RenderTableTwo(matrices);
+}
+
+TEST(ChaosInvariantTest, TableTwoIsByteIdenticalAcrossFiveSeeds) {
+  GlobalChaosGuard guard;
+  std::string baseline = EvaluateTableTwo();
+  ASSERT_FALSE(baseline.empty());
+  uint64_t total_injected = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    FaultInjector::Options options;
+    options.seed = seed;
+    options.probability = 0.03;
+    auto injector = std::make_shared<FaultInjector>(options);
+    sql::Database::SetGlobalFaultInjector(injector);
+    sql::Database::SetRetryPolicyDefault(
+        sql::RetryPolicy{/*max_attempts=*/8});
+    std::string chaotic = EvaluateTableTwo();
+    sql::Database::SetGlobalFaultInjector(nullptr);
+    sql::Database::SetRetryPolicyDefault(sql::RetryPolicy{});
+    EXPECT_EQ(chaotic, baseline) << "seed " << seed;
+    total_injected += injector->stats().faults_injected;
+  }
+  // The sweep must actually have exercised the fault paths.
+  EXPECT_GT(total_injected, 0u);
+}
+
+}  // namespace
+}  // namespace sqlflow

@@ -245,5 +245,113 @@ TEST_F(XomlTest, RegisteredTypesListed) {
   EXPECT_GE(types.size(), 7u);
 }
 
+// --- robustness elements ---------------------------------------------------
+
+TEST_F(XomlTest, RetryMarkupAbsorbsTransientFault) {
+  // A custom element provides the flaky body, the markup provides the
+  // retry policy around it.
+  int runs = 0;
+  ASSERT_TRUE(loader_
+                  .RegisterActivityType(
+                      "Flaky",
+                      [&runs](const xml::Node&, XomlLoader&)
+                          -> Result<ActivityPtr> {
+                        return ActivityPtr(
+                            std::make_shared<SnippetActivity>(
+                                "flaky", [&runs](ProcessContext&) {
+                                  return ++runs <= 2
+                                             ? Status::Unavailable(
+                                                   "flaky")
+                                             : Status::OK();
+                                }));
+                      })
+                  .ok());
+  auto result = LoadAndRun(R"(
+    <Process name="p">
+      <Retry name="r" maxAttempts="5" backoffMs="2" multiplier="1.5"
+             jitter="0.1" seed="7">
+        <Flaky/>
+      </Retry>
+    </Process>)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(runs, 3);
+  EXPECT_EQ(result->audit.CountKind(AuditEventKind::kRetry), 3u);
+}
+
+TEST_F(XomlTest, TimeoutScopeMarkupExpires) {
+  auto result = LoadAndRun(R"(
+    <Process name="p">
+      <TimeoutScope name="ts" budgetMs="0"><Empty/></TimeoutScope>
+    </Process>)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status.code(), StatusCode::kTimeout);
+}
+
+TEST_F(XomlTest, CompensationScopeMarkupUndoesInReverseOrder) {
+  ASSERT_TRUE(loader_
+                  .RegisterActivityType(
+                      "Fail",
+                      [](const xml::Node&,
+                         XomlLoader&) -> Result<ActivityPtr> {
+                        return ActivityPtr(
+                            std::make_shared<SnippetActivity>(
+                                "fail", [](ProcessContext&) {
+                                  return Status::ExecutionError("boom");
+                                }));
+                      })
+                  .ok());
+  auto result = LoadAndRun(R"xml(
+    <Process name="p">
+      <Variables><Variable name="log" type="string" value=""/></Variables>
+      <CompensationScope name="cs">
+        <Step>
+          <Action><Empty/></Action>
+          <Compensation>
+            <Assign><Copy to="log" expr="concat($log, 'A')"/></Assign>
+          </Compensation>
+        </Step>
+        <Step>
+          <Action><Empty/></Action>
+          <Compensation>
+            <Assign><Copy to="log" expr="concat($log, 'B')"/></Assign>
+          </Compensation>
+        </Step>
+        <Step><Action><Fail/></Action></Step>
+      </CompensationScope>
+    </Process>)xml");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->status.code(), StatusCode::kExecutionError);
+  // Handlers ran newest-first: step 2's 'B' before step 1's 'A'.
+  EXPECT_EQ(*result->variables.GetScalar("log"), Value::String("BA"));
+  EXPECT_EQ(*result->variables.GetScalar("faultCode"),
+            Value::String("ExecutionError"));
+  EXPECT_EQ(result->audit.CountKind(AuditEventKind::kCompensation), 2u);
+}
+
+TEST_F(XomlTest, RobustnessMarkupErrors) {
+  EXPECT_FALSE(loader_
+                   .LoadProcess(R"(<Process name="p">
+                       <Retry retryOn="sometimes"><Empty/></Retry>
+                       </Process>)")
+                   .ok());  // unknown retryOn mode
+  EXPECT_FALSE(loader_
+                   .LoadProcess(R"(<Process name="p">
+                       <TimeoutScope><Empty/></TimeoutScope>
+                       </Process>)")
+                   .ok());  // missing budgetMs
+  EXPECT_FALSE(loader_
+                   .LoadProcess(R"(<Process name="p">
+                       <CompensationScope><Empty/></CompensationScope>
+                       </Process>)")
+                   .ok());  // children must be <Step>
+  EXPECT_FALSE(loader_
+                   .LoadProcess(R"(<Process name="p">
+                       <CompensationScope><Step>
+                       <Compensation><Empty/></Compensation>
+                       </Step></CompensationScope></Process>)")
+                   .ok());  // step without action
+}
+
 }  // namespace
 }  // namespace sqlflow::wfc
