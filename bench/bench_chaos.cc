@@ -139,6 +139,49 @@ BENCHMARK(BM_FaultRecovery)
     ->Arg(4)
     ->Unit(benchmark::kMicrosecond);
 
+// Mid-statement partial-write recovery: the injector kills a set UPDATE
+// after `depth` rows have really been mutated (site_filter pins the
+// per-row fault site), the engine rolls the partial writes back to the
+// byte-identical pre-statement state, and statement-level replay
+// re-executes. depth:0 is the fault-free UPDATE; ns/op minus that
+// baseline is rollback-plus-replay cost as a function of how deep the
+// partial write got.
+void BM_PartialWriteRecovery(benchmark::State& state) {
+  const int64_t depth = state.range(0);
+  patterns::OrdersScenario scenario;
+  scenario.order_count = 64;
+  Fixture fixture = bench::ValueOrDie(
+      patterns::MakeFixture("chaos-pw", scenario), "make fixture");
+  fixture.db->set_retry_policy(sql::RetryPolicy{/*max_attempts=*/2});
+  // Constant assignment — replay-safe, so the statement-level retry may
+  // legally re-execute it after the rollback.
+  const char* update = "UPDATE Orders SET Approved = TRUE";
+  for (auto _ : state) {
+    if (depth > 0) {
+      sql::FaultInjector::Options options;
+      options.fault_first_n = 1;
+      options.statement_sites = false;
+      options.mid_statement_sites = true;
+      options.site_filter = "row " + std::to_string(depth);
+      fixture.db->set_fault_injector(
+          std::make_shared<sql::FaultInjector>(options));
+    }
+    auto result = fixture.db->Execute(update);
+    bench::CheckOk(result.status(), "update under mid-statement fault");
+    benchmark::DoNotOptimize(result->affected_rows());
+  }
+  fixture.db->set_fault_injector(nullptr);
+  state.SetLabel(depth == 0 ? "fault_free" : "rolled_back+replayed");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PartialWriteRecovery)
+    ->ArgNames({"depth"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(48)
+    ->Unit(benchmark::kMicrosecond);
+
 /// Console reporter that also captures per-run ns/op so main() can emit
 /// the overhead / recovery summary as JSON.
 class CapturingReporter : public benchmark::ConsoleReporter {
@@ -186,6 +229,26 @@ void WriteJson(const CapturingReporter& reporter, const char* path) {
         << ", \"ns_per_op\": " << faulted
         << ", \"recovery_ns_per_fault\": "
         << (faulted - wrapped) / faults << "}";
+  }
+  out << "\n  ],\n";
+
+  // Partial-write recovery: cost of rolling back `depth` real row
+  // mutations to the byte-identical pre-statement state and replaying
+  // the statement, relative to the fault-free UPDATE.
+  double fault_free =
+      reporter.NsPerOp("BM_PartialWriteRecovery/depth:0");
+  out << "  \"partial_write_recovery\": [\n";
+  first = true;
+  for (int depth : {1, 16, 48}) {
+    double faulted = reporter.NsPerOp("BM_PartialWriteRecovery/depth:" +
+                                      std::to_string(depth));
+    if (faulted == 0.0) continue;
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"rows_rolled_back\": " << depth
+        << ", \"ns_per_op\": " << faulted
+        << ", \"fault_free_ns_per_op\": " << fault_free
+        << ", \"recovery_ns\": " << (faulted - fault_free) << "}";
   }
   out << "\n  ],\n";
 

@@ -15,11 +15,17 @@
 //   --spans           print the span tree of the whole evaluation
 //   --chaos=SEED      after the fault-free run, re-run every (engine,
 //                     pattern) cell with a seed-deterministic transient
-//                     fault schedule injected at statement granularity
-//                     and verify the recovery invariant: retries absorb
+//                     fault schedule injected across all enabled fault
+//                     layers and verify the recovery invariant: retries
+//                     (statement replay after partial-write rollback,
+//                     service re-invocation, workflow retry) absorb
 //                     every fault, so Table II is byte-identical to the
 //                     fault-free run. Exit 1 if the matrix changed.
-//   --chaos-prob=P    per-statement fault probability (default 0.02)
+//   --chaos-prob=P    per-site fault probability (default 0.02)
+//   --chaos-sites=L   comma list of fault layers to arm (default all):
+//                       sql      pre-execution statement faults
+//                       mid      mid-statement partial-write faults
+//                       service  service/adapter transport faults
 
 #include <cstdio>
 #include <cstdlib>
@@ -33,6 +39,8 @@
 #include "patterns/report.h"
 #include "sql/database.h"
 #include "sql/fault.h"
+#include "wfc/service.h"
+#include "workflows/order_process.h"
 
 using namespace sqlflow;
 
@@ -57,6 +65,48 @@ std::vector<patterns::ProductMatrix> EvaluateMatrices() {
   return matrices;
 }
 
+/// Runs the three order-process realizations (Figs. 4/6/8) end to end
+/// and returns their OrderConfirmations tables concatenated — the
+/// cross-layer observable: every fault layer (statement, mid-statement,
+/// service invoke, adapter bridge) fires somewhere along these paths.
+std::string RunOrderProcesses() {
+  struct Variant {
+    const char* process;
+    Result<patterns::Fixture> (*make)(const patterns::OrdersScenario&);
+  };
+  const Variant variants[] = {
+      {workflows::kBisOrderProcess, workflows::MakeBisOrderFixture},
+      {workflows::kWfOrderProcess, workflows::MakeWfOrderFixture},
+      {workflows::kSoaOrderProcess, workflows::MakeSoaOrderFixture},
+  };
+  std::string out;
+  for (const Variant& variant : variants) {
+    auto fixture = variant.make(patterns::OrdersScenario{});
+    if (!fixture.ok()) {
+      std::fprintf(stderr, "%s setup failed: %s\n", variant.process,
+                   fixture.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto run = fixture->engine->RunProcess(variant.process);
+    if (!run.ok() || !run->status.ok()) {
+      const Status& st = run.ok() ? run->status : run.status();
+      std::fprintf(stderr, "%s run failed: %s\n", variant.process,
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    auto confirmations =
+        workflows::ReadConfirmations(fixture->db.get());
+    if (!confirmations.ok()) {
+      std::fprintf(stderr, "%s readback failed: %s\n", variant.process,
+                   confirmations.status().ToString().c_str());
+      std::exit(1);
+    }
+    out += std::string(variant.process) + ":\n" +
+           confirmations->ToAsciiTable();
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -64,7 +114,10 @@ int main(int argc, char** argv) {
   bool print_spans = false;
   bool chaos = false;
   uint64_t chaos_seed = 0;
-  double chaos_prob = 0.02;
+  double chaos_prob = 0.01;
+  bool sites_sql = true;
+  bool sites_mid = true;
+  bool sites_service = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0 && argv[i][8] != '\0') {
       trace_file = argv[i] + 8;
@@ -77,10 +130,37 @@ int main(int argc, char** argv) {
     } else if (std::strncmp(argv[i], "--chaos-prob=", 13) == 0 &&
                argv[i][13] != '\0') {
       chaos_prob = std::strtod(argv[i] + 13, nullptr);
+    } else if (std::strncmp(argv[i], "--chaos-sites=", 14) == 0 &&
+               argv[i][14] != '\0') {
+      sites_sql = sites_mid = sites_service = false;
+      std::string list = argv[i] + 14;
+      size_t start = 0;
+      while (start <= list.size()) {
+        size_t comma = list.find(',', start);
+        std::string site =
+            list.substr(start, comma == std::string::npos
+                                   ? std::string::npos
+                                   : comma - start);
+        if (site == "sql") {
+          sites_sql = true;
+        } else if (site == "mid") {
+          sites_mid = true;
+        } else if (site == "service") {
+          sites_service = true;
+        } else {
+          std::fprintf(stderr,
+                       "--chaos-sites: unknown site '%s' (want "
+                       "sql|mid|service)\n",
+                       site.c_str());
+          return 2;
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--trace=FILE] [--spans] [--chaos=SEED] "
-                   "[--chaos-prob=P]\n",
+                   "[--chaos-prob=P] [--chaos-sites=sql,mid,service]\n",
                    argv[0]);
       return 2;
     }
@@ -141,30 +221,48 @@ int main(int argc, char** argv) {
   if (!chaos) return 0;
 
   // --- chaos sweep -----------------------------------------------------------
-  // Same evaluation, but every statement on every database any scenario
-  // opens may fault transiently (connection lost / deadlock victim /
-  // statement timeout) on a schedule determined entirely by the seed.
-  // Statement-level replay plus the wfc retry wrappers must absorb all
-  // of them: the Table II matrix is the observable, and it must not
-  // move. (Table I's recovery claims, made checkable.)
-  std::printf("\n== chaos sweep: seed=%llu probability=%.3f ==\n",
-              static_cast<unsigned long long>(chaos_seed), chaos_prob);
+  // Same evaluation, but faults fire on a schedule determined entirely
+  // by the seed at every armed layer: before statements (connection
+  // lost / deadlock victim / statement timeout), in the middle of
+  // multi-row DML and index maintenance (leaving real partial writes
+  // the engine must roll back before replaying), and on service/adapter
+  // invocations. Statement-level replay, InvokeWithRecovery, and the
+  // wfc retry wrappers must absorb all of them: the Table II matrix and
+  // the order-process confirmations are the observables, and neither
+  // may move. (Table I's recovery claims, made checkable.)
+  std::printf("\n== chaos sweep: seed=%llu probability=%.3f "
+              "sites=%s%s%s ==\n",
+              static_cast<unsigned long long>(chaos_seed), chaos_prob,
+              sites_sql ? "sql," : "", sites_mid ? "mid," : "",
+              sites_service ? "service" : "");
   std::string baseline = patterns::RenderTableTwo(matrices);
+  std::string order_baseline = RunOrderProcesses();
 
   sql::FaultInjector::Options options;
   options.seed = chaos_seed;
   options.probability = chaos_prob;
+  options.statement_sites = sites_sql;
+  options.mid_statement_sites = sites_mid;
+  options.service_sites = sites_service;
   auto injector = std::make_shared<sql::FaultInjector>(options);
   sql::Database::SetGlobalFaultInjector(injector);
   sql::RetryPolicy retry;
-  retry.max_attempts = 8;  // p^8 at p=0.02 → exhaustion is ~unreachable
+  // Mid-statement sites draw once per mutated row, so wide set-updates
+  // fault on most attempts; 32 attempts at p=0.01 keeps exhaustion
+  // unreachable even for 100-row statements (~0.63^32 ≈ 4e-7).
+  retry.max_attempts = 32;
   sql::Database::SetRetryPolicyDefault(retry);
+  wfc::ServiceRetryPolicy service_retry;
+  service_retry.max_attempts = 8;
+  wfc::SetServiceRetryPolicyDefault(service_retry);
 
   std::vector<patterns::ProductMatrix> chaos_matrices =
       EvaluateMatrices();
+  std::string chaos_orders = RunOrderProcesses();
 
   sql::Database::SetGlobalFaultInjector(nullptr);
   sql::Database::SetRetryPolicyDefault(sql::RetryPolicy{});
+  wfc::SetServiceRetryPolicyDefault(wfc::ServiceRetryPolicy{});
 
   std::string chaos_table = patterns::RenderTableTwo(chaos_matrices);
   std::printf("\n%s", patterns::RenderInstrumentationTable(chaos_matrices)
@@ -177,8 +275,16 @@ int main(int argc, char** argv) {
                 chaos_table.c_str());
     return 1;
   }
-  std::printf("chaos invariant holds: Table II is byte-identical to the "
-              "fault-free run (%llu faults injected, all absorbed)\n",
+  if (chaos_orders != order_baseline) {
+    std::printf("\nCHAOS INVARIANT VIOLATED — order-process "
+                "confirmations changed under transient faults:\n%s\n"
+                "expected:\n%s",
+                chaos_orders.c_str(), order_baseline.c_str());
+    return 1;
+  }
+  std::printf("chaos invariant holds: Table II and the order-process "
+              "confirmations are byte-identical to the fault-free run "
+              "(%llu faults injected, all absorbed)\n",
               static_cast<unsigned long long>(
                   injector->stats().faults_injected));
   return 0;

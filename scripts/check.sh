@@ -17,7 +17,8 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DSQLFLOW_SANITIZE=address
   cmake --build build-asan -j --target sqlflow_obs_tests \
     sqlflow_integration_tests sqlflow_sql_tests \
-    sqlflow_sql_range_tests sqlflow_sql_fuzz_tests sqlflow_chaos_tests
+    sqlflow_sql_range_tests sqlflow_sql_fuzz_tests sqlflow_chaos_tests \
+    pattern_matrix
   ./build-asan/tests/sqlflow_obs_tests
   ./build-asan/tests/sqlflow_integration_tests
   # The optimizer differential battery (index/hash-join/plan-cache paths
@@ -33,6 +34,17 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # invariant — transaction undo logs and re-executed statements are
   # fresh memory-lifetime territory, so the whole suite runs sanitized.
   ./build-asan/tests/sqlflow_chaos_tests
+  # Cross-layer chaos sweep: all fault layers (statement, mid-statement
+  # partial writes, service invoke + adapter bridge) armed at five
+  # seeds; Table II and the order-process confirmations must stay
+  # byte-identical, with mid-statement rollback running under ASan.
+  for seed in 1 2 3 4 5; do
+    ./build-asan/examples/pattern_matrix --chaos="$seed" > /dev/null
+  done
+  # The layer filter must hold the invariant with each layer alone.
+  ./build-asan/examples/pattern_matrix --chaos=1 --chaos-sites=mid > /dev/null
+  ./build-asan/examples/pattern_matrix --chaos=1 --chaos-sites=service \
+    --chaos-prob=0.3 > /dev/null
 fi
 
 echo "== bench smoke: sql plans + range + chaos =="

@@ -1,6 +1,7 @@
 #include "adapter/data_access_service.h"
 
 #include "rowset/xml_rowset.h"
+#include "sql/fault.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 
@@ -14,6 +15,21 @@ Result<xml::NodePtr> DataAccessService::Invoke(
     const xml::NodePtr& request) {
   ++traffic_.requests;
   traffic_.request_bytes += xml::Serialize(*request).size();
+
+  // Adapter-side chaos site: the request arrived but the bridge to the
+  // database "dropped" before any SQL ran, so a caller-side replay is
+  // safe. The fault propagates to InvokeWithRecovery as an ordinary
+  // transient status.
+  if (std::shared_ptr<sql::FaultInjector> injector =
+          sql::Database::GlobalFaultInjector()) {
+    sql::FaultSite site;
+    site.database = "adapter";
+    site.description = "adapter " + name_;
+    site.layer = sql::FaultLayer::kService;
+    if (std::optional<Status> fault = injector->MaybeFault(site)) {
+      return *fault;
+    }
+  }
 
   SQLFLOW_ASSIGN_OR_RETURN(Value statement,
                            wfc::GetRequestParam(request, "sql"));
@@ -40,7 +56,7 @@ Result<sql::ResultSet> CallDataAccessService(wfc::WebService* service,
   xml::NodePtr request =
       wfc::MakeRequest({{"sql", Value::String(statement)}});
   SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr response,
-                           service->Invoke(request));
+                           wfc::InvokeWithRecovery(*service, request));
   std::string kind = response->GetAttribute("kind").value_or("affected");
   if (kind == "rowset") {
     SQLFLOW_ASSIGN_OR_RETURN(Value payload,

@@ -1,0 +1,125 @@
+#include "bis/compensation.h"
+
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "sql/database.h"
+#include "wfc/audit.h"
+
+namespace sqlflow::bis {
+
+namespace {
+
+std::string StateVariableName(const std::string& step_name) {
+  return "__inverse_" + step_name;
+}
+
+/// Runs the wrapped SQL activity with effect capture armed on its data
+/// source, then turns the captured effects into the step's compensation
+/// program.
+class CapturingSqlAction : public wfc::Activity {
+ public:
+  CapturingSqlAction(std::string name, SqlActivity::Config config)
+      : Activity(std::move(name)),
+        data_source_variable_(config.data_source_variable),
+        inner_(std::make_shared<SqlActivity>(this->name() + ".sql",
+                                             std::move(config))) {}
+
+  std::string TypeName() const override { return "sql-compensable"; }
+
+ protected:
+  Status Execute(wfc::ProcessContext& ctx) override {
+    SQLFLOW_ASSIGN_OR_RETURN(
+        std::shared_ptr<sql::Database> db,
+        ResolveDataSource(ctx, data_source_variable_));
+    // Arm capture for exactly this step; drain anything a previous
+    // (non-compensable) statement may have left behind, and restore the
+    // caller's capture mode afterwards.
+    bool previous = db->capture_effects();
+    db->set_capture_effects(true);
+    (void)db->TakeCapturedEffects();
+    Status st = inner_->Run(ctx);
+    std::vector<sql::UndoEntry> effects = db->TakeCapturedEffects();
+    db->set_capture_effects(previous);
+    SQLFLOW_RETURN_IF_ERROR(st);
+    SQLFLOW_ASSIGN_OR_RETURN(
+        std::vector<sql::InverseStatement> program,
+        sql::BuildInverseStatements(*db, effects));
+    auto holder = std::make_shared<InverseProgramVariable>();
+    holder->program = std::move(program);
+    ctx.audit().Record(wfc::AuditEventKind::kNote, name(),
+                       "captured " + holder->Describe());
+    ctx.variables().Set(StateVariableName(name()),
+                        wfc::VarValue(wfc::ObjectPtr(std::move(holder))));
+    return Status::OK();
+  }
+
+ private:
+  std::string data_source_variable_;
+  wfc::ActivityPtr inner_;
+};
+
+/// Replays the inverse program parked by the matching
+/// CapturingSqlAction. A step that never ran (or wrote nothing) has no
+/// variable / an empty program — both compensate to a no-op.
+class InverseCompensation : public wfc::Activity {
+ public:
+  InverseCompensation(std::string name, std::string step_name,
+                      std::string data_source_variable)
+      : Activity(std::move(name)),
+        step_name_(std::move(step_name)),
+        data_source_variable_(std::move(data_source_variable)) {}
+
+  std::string TypeName() const override { return "sql-inverse"; }
+
+ protected:
+  Status Execute(wfc::ProcessContext& ctx) override {
+    const std::string var = StateVariableName(step_name_);
+    if (!ctx.variables().Has(var)) return Status::OK();
+    SQLFLOW_ASSIGN_OR_RETURN(
+        auto holder,
+        ctx.variables().GetObjectAs<InverseProgramVariable>(var));
+    if (holder->program.empty()) return Status::OK();
+    SQLFLOW_ASSIGN_OR_RETURN(
+        std::shared_ptr<sql::Database> db,
+        ResolveDataSource(ctx, data_source_variable_));
+    ctx.audit().Record(wfc::AuditEventKind::kCompensation, name(),
+                       "applying " + holder->Describe());
+    obs::MetricsRegistry::Global()
+        .GetCounter("wfc.compensation.inverse")
+        .Increment();
+    Status st = sql::ApplyInverseStatements(*db, holder->program);
+    if (st.ok()) holder->program.clear();  // idempotent re-compensation
+    return st;
+  }
+
+ private:
+  std::string step_name_;
+  std::string data_source_variable_;
+};
+
+}  // namespace
+
+std::string InverseProgramVariable::Describe() const {
+  std::string out = "inverse program (" +
+                    std::to_string(program.size()) + " statement" +
+                    (program.size() == 1 ? "" : "s") + ")";
+  for (const sql::InverseStatement& inv : program) {
+    out += "; " + inv.sql;
+  }
+  return out;
+}
+
+CompensableStep MakeCompensableSqlStep(const std::string& name,
+                                       SqlActivity::Config config) {
+  std::string data_source = config.data_source_variable;
+  CompensableStep step;
+  step.action =
+      std::make_shared<CapturingSqlAction>(name, std::move(config));
+  step.compensation = std::make_shared<InverseCompensation>(
+      name + ".inverse", name, std::move(data_source));
+  return step;
+}
+
+}  // namespace sqlflow::bis

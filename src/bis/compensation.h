@@ -1,0 +1,46 @@
+#ifndef SQLFLOW_BIS_COMPENSATION_H_
+#define SQLFLOW_BIS_COMPENSATION_H_
+
+#include <string>
+#include <vector>
+
+#include "bis/sql_activity.h"
+#include "sql/inverse.h"
+#include "wfc/activity.h"
+#include "wfc/object.h"
+
+namespace sqlflow::bis {
+
+/// Process-space holder for a step's auto-generated compensation
+/// program (the step's inverse SQL). Lives in an instance variable
+/// (`"__inverse_" + step name`), never in the activity — activities are
+/// shared between instances.
+class InverseProgramVariable : public wfc::Object {
+ public:
+  std::string TypeName() const override { return "InverseProgram"; }
+  std::string Describe() const override;
+
+  std::vector<sql::InverseStatement> program;
+};
+
+/// An action/compensation activity pair for wfc::CompensationScope where
+/// the compensation is *derived*, not hand-written: the action runs
+/// `config`'s SQL statement with effect capture armed, builds the
+/// inverse program from what the statement actually wrote (see
+/// sql/inverse.h), and parks it in the instance's variable pool; the
+/// compensation activity replays that program against the same data
+/// source if the scope later faults. A step whose effects cannot be
+/// inverted (e.g. it dropped a table) fails at action time — an
+/// uncompensable step inside a compensation scope is a deployment bug,
+/// not a runtime surprise.
+struct CompensableStep {
+  wfc::ActivityPtr action;
+  wfc::ActivityPtr compensation;
+};
+
+CompensableStep MakeCompensableSqlStep(const std::string& name,
+                                       SqlActivity::Config config);
+
+}  // namespace sqlflow::bis
+
+#endif  // SQLFLOW_BIS_COMPENSATION_H_

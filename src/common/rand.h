@@ -1,0 +1,34 @@
+#ifndef SQLFLOW_COMMON_RAND_H_
+#define SQLFLOW_COMMON_RAND_H_
+
+#include <cstdint>
+
+namespace sqlflow {
+
+/// splitmix64 (Steele/Lea/Flood): tiny, seed-deterministic,
+/// platform-stable. The one mixer every deterministic schedule in the
+/// repo draws from — the fault injector's site stream, the backoff
+/// policy's keyed jitter, test workload generators — so that a seed
+/// means the same thing everywhere.
+///
+/// `SplitMix64(x)` is the stateless form: a pure function of `x`, used
+/// for keyed draws (jitter for attempt k is SplitMix64(f(seed, k))).
+/// `SplitMix64Next(&state)` is the stream form: advances `state` by the
+/// golden-gamma increment and returns the mixed value, matching the
+/// canonical generator.
+inline uint64_t SplitMix64(uint64_t x) {
+  uint64_t z = x + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t SplitMix64Next(uint64_t* state) {
+  uint64_t r = SplitMix64(*state);
+  *state += 0x9e3779b97f4a7c15ULL;
+  return r;
+}
+
+}  // namespace sqlflow
+
+#endif  // SQLFLOW_COMMON_RAND_H_

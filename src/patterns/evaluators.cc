@@ -12,25 +12,40 @@ Result<ProductMatrix> ProductEvaluator::EvaluateAll() {
   span.Set("engine", short_name());
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   obs::Counter& sql_statements = metrics.GetCounter("sql.statements");
+  // Faults arrive through three layers (statement, mid-statement,
+  // service/adapter) with disjoint counters; a cell's totals must sum
+  // all of them or service-layer chaos reads as zero faults.
   obs::Counter& faults_injected =
       metrics.GetCounter("sql.fault.injected");
+  obs::Counter& faults_injected_mid =
+      metrics.GetCounter("sql.fault.injected.mid");
+  obs::Counter& faults_injected_svc =
+      metrics.GetCounter("svc.fault.injected");
   obs::Counter& faults_absorbed_sql =
       metrics.GetCounter("sql.fault.absorbed");
   obs::Counter& faults_absorbed_wfc =
       metrics.GetCounter("wfc.retry.absorbed");
+  obs::Counter& faults_absorbed_svc =
+      metrics.GetCounter("svc.fault.absorbed");
   for (Pattern pattern : kAllPatterns) {
     uint64_t statements_before = sql_statements.value();
-    uint64_t injected_before = faults_injected.value();
-    uint64_t absorbed_before =
-        faults_absorbed_sql.value() + faults_absorbed_wfc.value();
+    uint64_t injected_before = faults_injected.value() +
+                               faults_injected_mid.value() +
+                               faults_injected_svc.value();
+    uint64_t absorbed_before = faults_absorbed_sql.value() +
+                               faults_absorbed_wfc.value() +
+                               faults_absorbed_svc.value();
     int64_t start_ns = obs::NowNanos();
     SQLFLOW_ASSIGN_OR_RETURN(std::vector<CellRealization> cells,
                              EvaluatePattern(pattern));
     double micros = (obs::NowNanos() - start_ns) / 1e3;
     uint64_t statements = sql_statements.value() - statements_before;
-    uint64_t injected = faults_injected.value() - injected_before;
+    uint64_t injected = faults_injected.value() +
+                        faults_injected_mid.value() +
+                        faults_injected_svc.value() - injected_before;
     uint64_t absorbed = faults_absorbed_sql.value() +
-                        faults_absorbed_wfc.value() - absorbed_before;
+                        faults_absorbed_wfc.value() +
+                        faults_absorbed_svc.value() - absorbed_before;
     for (CellRealization& cell : cells) {
       cell.sql_statements = statements;
       cell.eval_micros = micros;

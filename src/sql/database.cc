@@ -8,8 +8,60 @@
 #include "sql/executor.h"
 #include "sql/fault.h"
 #include "sql/parser.h"
+#include "sql/table.h"
 
 namespace sqlflow::sql {
+
+namespace {
+
+/// True if evaluating `e` reads database state that an earlier partial
+/// execution could have changed — the property that makes a blind
+/// replay double-apply. Parameters and literals are replay-exact;
+/// column references and subqueries are not.
+bool ExprReadsState(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kSubquery:
+    case ExprKind::kExists:
+      return true;
+    default:
+      break;
+  }
+  if (e.subquery != nullptr) return true;
+  for (const ExprPtr& child : e.children) {
+    if (child != nullptr && ExprReadsState(*child)) return true;
+  }
+  return e.case_else != nullptr && ExprReadsState(*e.case_else);
+}
+
+}  // namespace
+
+bool IsReplaySafeStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kInsert: {
+      // INSERT ... SELECT re-reads the tables it may have changed.
+      if (stmt.insert->select != nullptr) return false;
+      for (const auto& row : stmt.insert->rows) {
+        for (const ExprPtr& value : row) {
+          if (value != nullptr && ExprReadsState(*value)) return false;
+        }
+      }
+      return true;
+    }
+    case StatementKind::kUpdate:
+      // Only the *written* values matter: a WHERE that reads state is
+      // fine (the rollback restored what it matched against), but a SET
+      // like `x = x + 1` would re-apply on top of observed state.
+      for (const auto& [column, value] : stmt.update->assignments) {
+        if (value != nullptr && ExprReadsState(*value)) return false;
+      }
+      return true;
+    case StatementKind::kCall:
+      return false;  // opaque body — cannot prove replay exactness
+    default:
+      return true;
+  }
+}
 
 Database::Database(std::string name)
     : name_(std::move(name)),
@@ -50,48 +102,139 @@ std::shared_ptr<FaultInjector> Database::GlobalFaultInjector() {
   return GlobalFaultInjectorRef();
 }
 
+Result<ResultSet> Database::RunOneAttempt(
+    const Statement& stmt, const Params& params, const StatementPlan* plan,
+    FaultInjector* injector, const std::string& site_description) {
+  // Statement scope: active_undo() goes live (statement-level atomicity
+  // in autocommit mode), mid-statement sites see the injector, and the
+  // table layer's index-maintenance hook routes back here. All state is
+  // save/restored so CALL bodies re-enter cleanly — and the hook is
+  // *not* installed during rollback, which runs after this returns.
+  ++statement_depth_;
+  FaultInjector* saved_injector = mid_injector_;
+  std::string saved_prefix = std::move(mid_site_prefix_);
+  mid_injector_ = injector;
+  mid_site_prefix_ = site_description;
+  IndexMaintenanceHook saved_hook = ExchangeIndexMaintenanceHook(
+      injector == nullptr
+          ? IndexMaintenanceHook()
+          : [this](const std::string& table, const char* op) {
+              return ConsultMidStatementFault(std::string("index ") +
+                                              table + ' ' + op);
+            });
+  Executor executor(this);
+  Result<ResultSet> result = executor.Execute(stmt, params, plan);
+  (void)ExchangeIndexMaintenanceHook(std::move(saved_hook));
+  mid_injector_ = saved_injector;
+  mid_site_prefix_ = std::move(saved_prefix);
+  --statement_depth_;
+  return result;
+}
+
+Status Database::ConsultMidStatementFault(const std::string& what) {
+  if (mid_injector_ == nullptr || statement_depth_ == 0) {
+    return Status::OK();
+  }
+  FaultSite site;
+  site.database = name_;
+  site.layer = FaultLayer::kMidStatement;
+  site.description = "mid " + mid_site_prefix_ + ' ' + what;
+  if (std::optional<Status> fault = mid_injector_->MaybeFault(site)) {
+    return *fault;
+  }
+  return Status::OK();
+}
+
+void Database::CaptureUndoEntries() {
+  for (UndoEntry& e : undo_log_.mutable_entries()) {
+    captured_effects_.push_back(std::move(e));
+  }
+  undo_log_.Clear();
+}
+
+void Database::FinishStatementScope() {
+  if (statement_depth_ > 0 || in_transaction_) return;
+  // Outermost autocommit statement finished: its writes are durable, so
+  // the statement-scope undo entries are either harvested for inverse
+  // compensation or discarded.
+  if (capture_effects_) {
+    CaptureUndoEntries();
+  } else {
+    undo_log_.Clear();
+  }
+}
+
+void Database::set_capture_effects(bool on) {
+  capture_effects_ = on;
+  undo_log_.set_capture_rows(on);
+}
+
+std::vector<UndoEntry> Database::TakeCapturedEffects() {
+  std::vector<UndoEntry> out = std::move(captured_effects_);
+  captured_effects_.clear();
+  return out;
+}
+
 Result<ResultSet> Database::RunWithRecovery(const Statement& stmt,
                                             const Params& params,
                                             const StatementPlan* plan) {
   FaultInjector* injector = fault_injector_ != nullptr
                                 ? fault_injector_.get()
                                 : GlobalFaultInjectorRef().get();
-  if (injector == nullptr && retry_policy_.max_attempts <= 1) {
-    Executor executor(this);
-    return executor.Execute(stmt, params, plan);
-  }
-  std::optional<FaultSite> site;
-  if (injector != nullptr) {
-    FaultSite s;
-    s.database = name_;
-    s.description = StatementKindName(stmt.kind);
-    for (const std::string& table : CollectReferencedTables(stmt)) {
-      s.description += ' ';
-      s.description += table;
-    }
-    site = std::move(s);
+  std::string site_description = StatementKindName(stmt.kind);
+  for (const std::string& table : CollectReferencedTables(stmt)) {
+    site_description += ' ';
+    site_description += table;
   }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   int max_attempts = retry_policy_.max_attempts < 1
                          ? 1
                          : retry_policy_.max_attempts;
   for (int attempt = 1;; ++attempt) {
+    // Pre-statement site (the PR-4 model: the statement never started).
+    const size_t mark = undo_log_.size();
     Result<ResultSet> result = [&]() -> Result<ResultSet> {
-      if (site.has_value()) {
-        if (std::optional<Status> fault = injector->MaybeFault(*site)) {
+      if (injector != nullptr) {
+        FaultSite site;
+        site.database = name_;
+        site.description = site_description;
+        if (std::optional<Status> fault = injector->MaybeFault(site)) {
           return *fault;
         }
       }
-      Executor executor(this);
-      return executor.Execute(stmt, params, plan);
+      return RunOneAttempt(stmt, params, plan, injector,
+                           site_description);
     }();
     if (result.ok()) {
       if (attempt > 1) {
         metrics.GetCounter("sql.fault.absorbed").Increment();
       }
+      FinishStatementScope();
       return result;
     }
+    // Failure: unwind the statement's own partial writes so the
+    // database is byte-identical to its pre-statement state — whether
+    // we replay, escalate, or propagate. BEGIN/COMMIT executed by this
+    // very statement may have moved the mark, hence the min().
+    const bool had_partial_writes =
+        undo_log_.size() > std::min(mark, undo_log_.size());
+    if (had_partial_writes) {
+      if (undo_log_.RollbackTo(std::min(mark, undo_log_.size()), this)) {
+        BumpSchemaEpoch();
+      }
+      metrics.GetCounter("sql.partial.rolled_back").Increment();
+    }
     if (!result.status().IsTransient() || attempt >= max_attempts) {
+      return result;
+    }
+    // Idempotence guard: replaying is only transparent if the rolled-
+    // back writes were never observable (transaction) or the statement
+    // is replay-exact. Otherwise refuse and escalate the transient
+    // fault to the workflow-level retry, which re-runs the whole
+    // activity against fresh reads.
+    if (had_partial_writes && !in_transaction_ &&
+        !IsReplaySafeStatement(stmt)) {
+      metrics.GetCounter("sql.retry.refused").Increment();
       return result;
     }
     metrics.GetCounter("sql.retry.attempts").Increment();
@@ -291,7 +434,10 @@ Status Database::Begin() {
         "transaction already open (no nesting in this engine)");
   }
   in_transaction_ = true;
-  undo_log_.Clear();
+  // Defensive reset — but only at top level: a BEGIN issued from inside
+  // a CALL body must not discard the enclosing statement's own undo
+  // entries (depth 1 is the BEGIN statement itself).
+  if (statement_depth_ <= 1) undo_log_.Clear();
   return Status::OK();
 }
 
@@ -300,7 +446,14 @@ Status Database::Commit() {
     return Status::ExecutionError("no open transaction to commit");
   }
   in_transaction_ = false;
-  undo_log_.Clear();
+  // A committed transaction's effects are durable — harvest them for
+  // inverse compensation when capturing, exactly like an autocommit
+  // statement's.
+  if (capture_effects_) {
+    CaptureUndoEntries();
+  } else {
+    undo_log_.Clear();
+  }
   stats_.transactions_committed++;
   return Status::OK();
 }

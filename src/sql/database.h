@@ -24,13 +24,29 @@ class FaultInjector;
 /// with a *transient* status (see IsTransientCode) is replayed before
 /// the fault propagates. This is the connection-layer retry every
 /// surveyed product ships below its workflow engine; the wfc layer adds
-/// the process-visible retry (backoff, deadlines) on top. Injected
-/// faults fire *before* execution, so a replay never double-applies a
-/// statement. Backoff at this layer is immediate — the in-memory engine
-/// has no network to wait out; wfc::BackoffPolicy owns simulated time.
+/// the process-visible retry (backoff, deadlines) on top. Before a
+/// replay, the statement's partial writes (if a mid-statement fault
+/// interrupted it) are rolled back to the byte-identical pre-statement
+/// state; non-replay-safe statements (see IsReplaySafeStatement) that
+/// actually wrote refuse the replay in autocommit mode and escalate to
+/// the workflow-level retry instead. Backoff at this layer is
+/// immediate — the in-memory engine has no network to wait out;
+/// wfc::BackoffPolicy owns simulated time.
 struct RetryPolicy {
   int max_attempts = 1;  // 1 = retries disabled
 };
+
+/// Whether a statement may be transparently re-executed after its
+/// partial writes were rolled back in *autocommit* mode, where partial
+/// state was externally observable between rows. Safe: statements whose
+/// written values are replay-exact — literal VALUES inserts (including
+/// NEXTVAL: sequence advances are undo-logged and restored, so the
+/// replay draws the same numbers), DELETE, DDL, SELECT. Unsafe:
+/// statements that derive written values from data they read back —
+/// `UPDATE x = x + 1`, INSERT from a subquery or SELECT, CALL (opaque
+/// body). Inside an explicit transaction the question is moot (nothing
+/// was visible), so the executor replays regardless.
+bool IsReplaySafeStatement(const Statement& stmt);
 
 /// A native stored procedure: name, expected argument count (-1 = any),
 /// and the body. Procedures receive the owning database and may run
@@ -126,10 +142,33 @@ class Database {
   Status Commit();
   Status Rollback();
   bool in_transaction() const { return in_transaction_; }
-  /// The open transaction's undo log, or nullptr in autocommit mode.
+  /// The live undo log: non-null inside an open transaction *or* while a
+  /// statement is executing (statement-scope undo is what makes a
+  /// mid-statement fault recoverable in autocommit mode — the log is
+  /// unwound to the pre-statement mark on failure and discarded on
+  /// success). Null only between autocommit statements.
   UndoLog* active_undo() {
-    return in_transaction_ ? &undo_log_ : nullptr;
+    return (in_transaction_ || statement_depth_ > 0) ? &undo_log_
+                                                     : nullptr;
   }
+
+  // --- mid-statement fault sites ---------------------------------------------
+  /// Consulted by the executor after each row mutated inside the running
+  /// statement (and, via the table-layer IndexMaintenanceHook, between a
+  /// row mutation and its index maintenance). Returns the injected fault
+  /// to abort the statement with, or OK. No-op unless a fault injector
+  /// is armed and a statement is executing.
+  Status ConsultMidStatementFault(const std::string& what);
+
+  // --- inverse-SQL effect capture --------------------------------------------
+  /// When enabled, successfully finished work (an autocommit statement,
+  /// or a committed transaction) deposits its undo entries — with row
+  /// post-images — into a capture buffer instead of discarding them, so
+  /// sql::BuildInverseStatements can turn them into compensation SQL.
+  void set_capture_effects(bool on);
+  bool capture_effects() const { return capture_effects_; }
+  /// Drains the capture buffer (entries in execution order).
+  std::vector<UndoEntry> TakeCapturedEffects();
 
   // --- stored procedures ------------------------------------------------------
   Status RegisterProcedure(StoredProcedure procedure);
@@ -219,6 +258,19 @@ class Database {
   Result<ResultSet> RunWithRecovery(const Statement& stmt,
                                     const Params& params,
                                     const StatementPlan* plan);
+  /// Executes one attempt inside a statement scope (depth bump, active
+  /// injector for mid-statement sites, index-maintenance hook).
+  Result<ResultSet> RunOneAttempt(const Statement& stmt,
+                                  const Params& params,
+                                  const StatementPlan* plan,
+                                  FaultInjector* injector,
+                                  const std::string& site_description);
+  /// On outermost autocommit success: move entries to the capture
+  /// buffer (if capturing) and clear the statement-scope undo log.
+  void FinishStatementScope();
+  /// Moves undo entries into the capture buffer (helper for
+  /// FinishStatementScope and Commit).
+  void CaptureUndoEntries();
 
   static constexpr size_t kDefaultPlanCacheCapacity = 64;
 
@@ -227,6 +279,17 @@ class Database {
   std::map<std::string, StoredProcedure> procedures_;
   UndoLog undo_log_;
   bool in_transaction_ = false;
+  /// Nesting depth of executing statements (CALL bodies re-enter); > 0
+  /// means active_undo() is live even in autocommit mode.
+  int statement_depth_ = 0;
+  /// The injector consulted by mid-statement sites, non-null only while
+  /// a statement scope is open; `mid_site_prefix_` is the enclosing
+  /// statement's site description ("UPDATE ORDERS"), prefixed onto
+  /// mid-site descriptions.
+  FaultInjector* mid_injector_ = nullptr;
+  std::string mid_site_prefix_;
+  bool capture_effects_ = false;
+  std::vector<UndoEntry> captured_effects_;
   Stats stats_;
   int view_expansion_depth_ = 0;
 

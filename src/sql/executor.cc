@@ -1153,6 +1153,8 @@ Result<ResultSet> Executor::ExecuteInsert(const InsertStatement& ins,
     return row;
   };
 
+  // Each row is a mid-statement fault site: a fault between rows k and
+  // k+1 leaves k real rows for the statement-scope undo to unwind.
   int64_t inserted = 0;
   if (ins.select != nullptr) {
     SQLFLOW_ASSIGN_OR_RETURN(ResultSet source,
@@ -1161,6 +1163,8 @@ Result<ResultSet> Executor::ExecuteInsert(const InsertStatement& ins,
       SQLFLOW_ASSIGN_OR_RETURN(Row row, build_row(src, src.size()));
       SQLFLOW_RETURN_IF_ERROR(table->Insert(row, db_->active_undo()));
       ++inserted;
+      SQLFLOW_RETURN_IF_ERROR(db_->ConsultMidStatementFault(
+          "row " + std::to_string(inserted)));
     }
   } else {
     EvalContext ctx;
@@ -1175,6 +1179,8 @@ Result<ResultSet> Executor::ExecuteInsert(const InsertStatement& ins,
       SQLFLOW_ASSIGN_OR_RETURN(Row row, build_row(values, values.size()));
       SQLFLOW_RETURN_IF_ERROR(table->Insert(row, db_->active_undo()));
       ++inserted;
+      SQLFLOW_RETURN_IF_ERROR(db_->ConsultMidStatementFault(
+          "row " + std::to_string(inserted)));
     }
   }
   db_->MutableStats()->rows_written += static_cast<uint64_t>(inserted);
@@ -1236,6 +1242,7 @@ Result<ResultSet> Executor::ExecuteUpdate(const UpdateStatement& upd,
     db_->MutableStats()->rows_read += table->row_count();
   }
 
+  size_t mutated = 0;
   for (size_t idx : matches) {
     current = table->rows()[idx];
     Row updated = current;
@@ -1245,6 +1252,9 @@ Result<ResultSet> Executor::ExecuteUpdate(const UpdateStatement& upd,
     }
     SQLFLOW_RETURN_IF_ERROR(
         table->Update(idx, updated, db_->active_undo()));
+    // Mid-statement fault site: "after N rows mutated".
+    SQLFLOW_RETURN_IF_ERROR(db_->ConsultMidStatementFault(
+        "row " + std::to_string(++mutated)));
   }
   db_->MutableStats()->rows_written += matches.size();
   ResultSet rs;
@@ -1293,8 +1303,11 @@ Result<ResultSet> Executor::ExecuteDelete(const DeleteStatement& del,
   }
 
   // Delete back-to-front so earlier indexes stay valid.
+  size_t deleted = 0;
   for (auto it = matches.rbegin(); it != matches.rend(); ++it) {
     SQLFLOW_RETURN_IF_ERROR(table->Delete(*it, db_->active_undo()));
+    SQLFLOW_RETURN_IF_ERROR(db_->ConsultMidStatementFault(
+        "row " + std::to_string(++deleted)));
   }
   db_->MutableStats()->rows_written += matches.size();
   ResultSet rs;

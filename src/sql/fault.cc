@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/rand.h"
 #include "obs/metrics.h"
 
 namespace sqlflow::sql {
@@ -10,6 +11,7 @@ namespace {
 
 /// What the injected Status says happened, per kind. Messages carry the
 /// site so audit trails and test failures point at the statement.
+/// Mid-statement faults say "during" — work had already happened.
 std::string FaultMessage(StatusCode code, const FaultSite& site,
                          uint64_t ordinal) {
   std::string what;
@@ -27,8 +29,10 @@ std::string FaultMessage(StatusCode code, const FaultSite& site,
       what = "fault";
       break;
   }
-  return "injected " + what + " (#" + std::to_string(ordinal) +
-         ") before [" + site.description + "] on " + site.database;
+  const char* when =
+      site.layer == FaultLayer::kMidStatement ? "during" : "before";
+  return "injected " + what + " (#" + std::to_string(ordinal) + ") " +
+         when + " [" + site.description + "] on " + site.database;
 }
 
 }  // namespace
@@ -47,15 +51,23 @@ void FaultInjector::Reseed(uint64_t seed) {
   stats_ = Stats();
 }
 
-uint64_t FaultInjector::NextRandom() {
-  // splitmix64: tiny, seed-deterministic, platform-stable.
-  uint64_t z = (rng_state_ += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
+uint64_t FaultInjector::NextRandom() { return SplitMix64Next(&rng_state_); }
 
 std::optional<Status> FaultInjector::MaybeFault(const FaultSite& site) {
+  // Disabled layers are invisible: no stream draw, no stats — so the
+  // statement-layer schedule at a given seed is unchanged by whether the
+  // other layers exist.
+  switch (site.layer) {
+    case FaultLayer::kStatement:
+      if (!options_.statement_sites) return std::nullopt;
+      break;
+    case FaultLayer::kMidStatement:
+      if (!options_.mid_statement_sites) return std::nullopt;
+      break;
+    case FaultLayer::kService:
+      if (!options_.service_sites) return std::nullopt;
+      break;
+  }
   stats_.statements_seen++;
   if (!options_.database_filter.empty() &&
       site.database.find(options_.database_filter) == std::string::npos) {
@@ -88,8 +100,21 @@ std::optional<Status> FaultInjector::MaybeFault(const FaultSite& site) {
       options_.kinds[NextRandom() % options_.kinds.size()];
   stats_.faults_injected++;
   stats_.injected_by_code[code]++;
-  obs::MetricsRegistry::Global().GetCounter("sql.fault.injected")
-      .Increment();
+  const char* counter = "sql.fault.injected";
+  switch (site.layer) {
+    case FaultLayer::kStatement:
+      stats_.injected_statement++;
+      break;
+    case FaultLayer::kMidStatement:
+      stats_.injected_mid_statement++;
+      counter = "sql.fault.injected.mid";
+      break;
+    case FaultLayer::kService:
+      stats_.injected_service++;
+      counter = "svc.fault.injected";
+      break;
+  }
+  obs::MetricsRegistry::Global().GetCounter(counter).Increment();
   return Status(code,
                 FaultMessage(code, site, stats_.faults_injected));
 }
@@ -99,6 +124,11 @@ std::string DescribeFaultStats(const FaultInjector::Stats& stats) {
   os << "injected=" << stats.faults_injected;
   for (const auto& [code, count] : stats.injected_by_code) {
     os << ' ' << StatusCodeName(code) << '=' << count;
+  }
+  if (stats.injected_mid_statement > 0 || stats.injected_service > 0) {
+    os << " by_layer[stmt=" << stats.injected_statement
+       << " mid=" << stats.injected_mid_statement
+       << " svc=" << stats.injected_service << ']';
   }
   os << " matched=" << stats.sites_matched
      << " seen=" << stats.statements_seen;

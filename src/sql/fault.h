@@ -12,13 +12,24 @@
 
 namespace sqlflow::sql {
 
+/// Which layer of the stack a fault site lives in. Statement sites fire
+/// *before* any work happens (the PR-4 model: connection lost en route);
+/// mid-statement sites fire *between row mutations inside* a statement,
+/// leaving real partial writes for the undo log to reverse; service
+/// sites fire around `wfc::service` / adapter invocations. Each layer is
+/// enabled independently so a sweep can isolate one failure regime.
+enum class FaultLayer { kStatement, kMidStatement, kService };
+
 /// Where a statement is about to run, as seen by the fault injector.
 /// `description` is "<KIND> <table> [<table>...]" (e.g. "INSERT ORDERS"),
 /// which is what site filters match against — stable across plan-cache
-/// hits and prepared statements, unlike raw SQL text.
+/// hits and prepared statements, unlike raw SQL text. Mid-statement
+/// sites use "mid <KIND> <table> row <n>" / "mid ... index <table> <op>";
+/// service sites use "invoke <service>" / "adapter <service>".
 struct FaultSite {
   std::string database;
   std::string description;
+  FaultLayer layer = FaultLayer::kStatement;
 };
 
 /// Seed-deterministic transient/permanent fault source, installed on a
@@ -45,6 +56,14 @@ class FaultInjector {
     std::string site_filter;
     /// Substring match against the database name ("" = every database).
     std::string database_filter;
+    /// Per-layer gates. A site in a disabled layer passes through without
+    /// consuming anything from the seeded stream (and without counting in
+    /// `statements_seen`), so enabling a new layer never perturbs the
+    /// schedule of an old one at the same seed — and the PR-4 default
+    /// (statement sites only) reproduces PR-4 schedules exactly.
+    bool statement_sites = true;
+    bool mid_statement_sites = false;
+    bool service_sites = false;
     /// Fault kinds to rotate through (deterministically, by the same
     /// seeded stream). Defaults to the three transient kinds; tests use
     /// a single permanent kind (e.g. kExecutionError) for rollback
@@ -59,12 +78,20 @@ class FaultInjector {
     uint64_t sites_matched = 0;
     uint64_t faults_injected = 0;
     std::map<StatusCode, uint64_t> injected_by_code;
+    /// Injections split by FaultLayer (statement / mid-statement /
+    /// service), so sweeps can report which regime produced the chaos.
+    uint64_t injected_statement = 0;
+    uint64_t injected_mid_statement = 0;
+    uint64_t injected_service = 0;
   };
 
   explicit FaultInjector(Options options);
 
-  /// Returns the fault to raise instead of running the statement, or
-  /// nullopt to let it through. Increments `sql.fault.injected` on hit.
+  /// Returns the fault to raise instead of running the statement (or
+  /// continuing it, for mid-statement sites), or nullopt to let it
+  /// through. Increments the layer's metric counter on hit:
+  /// `sql.fault.injected` / `sql.fault.injected.mid` /
+  /// `svc.fault.injected`.
   std::optional<Status> MaybeFault(const FaultSite& site);
 
   const Options& options() const { return options_; }

@@ -14,6 +14,11 @@ namespace sqlflow::sql {
 
 namespace {
 
+IndexMaintenanceHook& IndexMaintenanceHookRef() {
+  static IndexMaintenanceHook hook;
+  return hook;
+}
+
 /// Resolves unqualified column names against one row of this table.
 class SchemaRowBinding : public RowBinding {
  public:
@@ -205,6 +210,13 @@ void InsertSlotSorted(std::vector<size_t>* slots, size_t slot) {
 
 }  // namespace
 
+IndexMaintenanceHook ExchangeIndexMaintenanceHook(
+    IndexMaintenanceHook next) {
+  IndexMaintenanceHook previous = std::move(IndexMaintenanceHookRef());
+  IndexMaintenanceHookRef() = std::move(next);
+  return previous;
+}
+
 void Table::IndexRow(const Row& row, size_t slot) {
   for (SecondaryIndex& index : secondary_indexes_) {
     InsertSlotSorted(&index.buckets[MakeIndexKey(index, row)], slot);
@@ -361,14 +373,21 @@ Status Table::Insert(const Row& row, UndoLog* undo) {
   SQLFLOW_RETURN_IF_ERROR(CheckRowConstraints(coerced));
   AddKeys(coerced);
   rows_.push_back(std::move(coerced));
-  IndexRow(rows_.back(), rows_.size() - 1);
+  // Undo is recorded *before* index maintenance so that a fault between
+  // the two (the hook below) is recoverable: RawRemoveAt un-keys the row
+  // and tolerates the postings it never got.
   if (undo != nullptr) {
     UndoEntry e;
     e.kind = UndoEntry::Kind::kInsert;
     e.table_name = schema_.table_name();
     e.row_index = rows_.size() - 1;
+    if (undo->capture_rows()) e.new_row = rows_.back();
     undo->Record(std::move(e));
   }
+  if (const auto& hook = IndexMaintenanceHookRef(); hook) {
+    SQLFLOW_RETURN_IF_ERROR(hook(schema_.table_name(), "insert"));
+  }
+  IndexRow(rows_.back(), rows_.size() - 1);
   return Status::OK();
 }
 
@@ -391,15 +410,22 @@ Status Table::Update(size_t index, const Row& new_row, UndoLog* undo) {
   UnindexRow(old_row, index);
   AddKeys(coerced);
   rows_[index] = std::move(coerced);
-  IndexRow(rows_[index], index);
+  // Same ordering rationale as Insert: the undo entry lands before index
+  // maintenance, so a fault at the hook leaves a state RawReplaceAt can
+  // reverse (the new row's postings simply don't exist yet).
   if (undo != nullptr) {
     UndoEntry e;
     e.kind = UndoEntry::Kind::kUpdate;
     e.table_name = schema_.table_name();
     e.row_index = index;
     e.row = std::move(old_row);
+    if (undo->capture_rows()) e.new_row = rows_[index];
     undo->Record(std::move(e));
   }
+  if (const auto& hook = IndexMaintenanceHookRef(); hook) {
+    SQLFLOW_RETURN_IF_ERROR(hook(schema_.table_name(), "update"));
+  }
+  IndexRow(rows_[index], index);
   return Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef SQLFLOW_SQL_TABLE_H_
 #define SQLFLOW_SQL_TABLE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -15,6 +16,22 @@
 namespace sqlflow::sql {
 
 class UndoLog;
+
+/// Process-wide hook consulted by Insert/Update *between* recording the
+/// row's undo entry and maintaining its secondary indexes — the
+/// mid-index-maintenance fault site. A non-OK return aborts the mutation
+/// with the row applied but unindexed; the undo entry (recorded first,
+/// and tolerant of missing postings) restores the byte-identical prior
+/// state. Installed by Database::RunWithRecovery around statement
+/// execution only; the Raw* replay entry points never consult it, so
+/// rollback itself cannot fault. Single-threaded, like the engine.
+using IndexMaintenanceHook =
+    std::function<Status(const std::string& table_name, const char* op)>;
+
+/// Installs `next` and returns the previously installed hook (empty when
+/// none), so nested statement scopes can save/restore.
+IndexMaintenanceHook ExchangeIndexMaintenanceHook(
+    IndexMaintenanceHook next);
 
 /// Secondary uniqueness constraint created by CREATE UNIQUE INDEX (the
 /// PRIMARY KEY constraint is modelled the same way). Keys are serialized

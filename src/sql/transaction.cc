@@ -5,116 +5,151 @@
 
 namespace sqlflow::sql {
 
-void UndoLog::RollbackInto(Database* db) {
+namespace {
+
+/// DML undo entries restore data; everything else re-shapes the catalog
+/// and therefore invalidates memoized plans when unwound.
+bool IsDdlUndo(UndoEntry::Kind kind) {
+  switch (kind) {
+    case UndoEntry::Kind::kInsert:
+    case UndoEntry::Kind::kDelete:
+    case UndoEntry::Kind::kUpdate:
+    case UndoEntry::Kind::kTruncate:
+    case UndoEntry::Kind::kSequenceAdvance:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Reverses one recorded change. Uses only the Raw* replay entry points
+/// (which never consult fault hooks and never re-log), so rollback can
+/// run safely while a fault injector is armed.
+void UndoOne(UndoEntry& e, Database* db) {
   Catalog& catalog = db->catalog();
-  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    UndoEntry& e = *it;
-    switch (e.kind) {
-      case UndoEntry::Kind::kInsert: {
-        Table* table = catalog.FindTable(e.table_name);
-        if (table != nullptr && e.row_index < table->row_count()) {
-          table->RawRemoveAt(e.row_index);
-        }
-        break;
-      }
-      case UndoEntry::Kind::kDelete: {
-        Table* table = catalog.FindTable(e.table_name);
-        if (table != nullptr) {
-          table->RawInsertAt(e.row_index, std::move(e.row));
-        }
-        break;
-      }
-      case UndoEntry::Kind::kUpdate: {
-        Table* table = catalog.FindTable(e.table_name);
-        if (table != nullptr && e.row_index < table->row_count()) {
-          table->RawReplaceAt(e.row_index, std::move(e.row));
-        }
-        break;
-      }
-      case UndoEntry::Kind::kTruncate: {
-        Table* table = catalog.FindTable(e.table_name);
-        if (table != nullptr) {
-          table->RawRestoreAll(std::move(e.bulk_rows));
-        }
-        break;
-      }
-      case UndoEntry::Kind::kCreateTable:
-        (void)catalog.DropTable(e.table_name);
-        break;
-      case UndoEntry::Kind::kDropTable: {
-        auto table = std::make_unique<Table>(e.saved_schema);
-        // Re-create secondary constraints, then restore the data. The
-        // PRIMARY KEY constraint is rebuilt by the Table constructor;
-        // skip saved constraints with the same auto-generated name.
-        for (const auto& [name, cols] : e.saved_constraints) {
-          bool is_pk = !table->unique_constraints().empty() &&
-                       table->unique_constraints()[0].name == name;
-          if (!is_pk) {
-            (void)table->AddUniqueConstraint(name, cols);
-          }
-        }
-        // Re-register dropped index metadata and rebuild the hash
-        // structures (DropTable erased both). The PRIMARY KEY secondary
-        // index is re-created by the Table constructor.
-        for (const IndexInfo& info : e.saved_indexes) {
-          (void)catalog.CreateIndex(info);
-          (void)table->AddSecondaryIndex(info.name, info.columns,
-                                         info.unique);
-        }
-        table->RawRestoreAll(std::move(e.saved_rows));
-        catalog.RestoreTable(std::move(table));
-        break;
-      }
-      case UndoEntry::Kind::kCreateSequence:
-        (void)catalog.DropSequence(e.table_name);
-        break;
-      case UndoEntry::Kind::kDropSequence: {
-        (void)catalog.CreateSequence(e.table_name, e.sequence_value);
-        if (Sequence* seq = catalog.FindSequence(e.table_name)) {
-          seq->next_value = e.sequence_value;
-        }
-        break;
-      }
-      case UndoEntry::Kind::kSequenceAdvance: {
-        if (Sequence* seq = catalog.FindSequence(e.table_name)) {
-          seq->next_value = e.sequence_value;
-        }
-        break;
-      }
-      case UndoEntry::Kind::kCreateIndex: {
-        Table* table = catalog.FindTable(e.index_table);
-        if (table != nullptr) {
-          (void)table->DropUniqueConstraint(e.table_name);
-          (void)table->DropSecondaryIndex(e.table_name);
-        }
-        (void)catalog.DropIndex(e.table_name);
-        break;
-      }
-      case UndoEntry::Kind::kDropIndex: {
-        // Restore the dropped index (structure + catalog metadata),
-        // rebuilt from the table's current rows; Raw* replay of any
-        // remaining data entries keeps it maintained from here on.
-        for (IndexInfo& info : e.saved_indexes) {
-          if (Table* table = catalog.FindTable(info.table_name)) {
-            if (info.unique) {
-              (void)table->AddUniqueConstraint(info.name, info.columns);
-            }
-            (void)table->AddSecondaryIndex(info.name, info.columns,
-                                           info.unique);
-          }
-          (void)catalog.CreateIndex(info);
-        }
-        break;
-      }
-      case UndoEntry::Kind::kCreateView:
-        (void)catalog.DropView(e.table_name);
-        break;
-      case UndoEntry::Kind::kDropView:
-        (void)catalog.CreateView(e.table_name, std::move(e.saved_view));
-        break;
+  switch (e.kind) {
+  case UndoEntry::Kind::kInsert: {
+    Table* table = catalog.FindTable(e.table_name);
+    if (table != nullptr && e.row_index < table->row_count()) {
+      table->RawRemoveAt(e.row_index);
     }
+    break;
+  }
+  case UndoEntry::Kind::kDelete: {
+    Table* table = catalog.FindTable(e.table_name);
+    if (table != nullptr) {
+      table->RawInsertAt(e.row_index, std::move(e.row));
+    }
+    break;
+  }
+  case UndoEntry::Kind::kUpdate: {
+    Table* table = catalog.FindTable(e.table_name);
+    if (table != nullptr && e.row_index < table->row_count()) {
+      table->RawReplaceAt(e.row_index, std::move(e.row));
+    }
+    break;
+  }
+  case UndoEntry::Kind::kTruncate: {
+    Table* table = catalog.FindTable(e.table_name);
+    if (table != nullptr) {
+      table->RawRestoreAll(std::move(e.bulk_rows));
+    }
+    break;
+  }
+  case UndoEntry::Kind::kCreateTable:
+    (void)catalog.DropTable(e.table_name);
+    break;
+  case UndoEntry::Kind::kDropTable: {
+    auto table = std::make_unique<Table>(e.saved_schema);
+    // Re-create secondary constraints, then restore the data. The
+    // PRIMARY KEY constraint is rebuilt by the Table constructor;
+    // skip saved constraints with the same auto-generated name.
+    for (const auto& [name, cols] : e.saved_constraints) {
+      bool is_pk = !table->unique_constraints().empty() &&
+                   table->unique_constraints()[0].name == name;
+      if (!is_pk) {
+        (void)table->AddUniqueConstraint(name, cols);
+      }
+    }
+    // Re-register dropped index metadata and rebuild the hash
+    // structures (DropTable erased both). The PRIMARY KEY secondary
+    // index is re-created by the Table constructor.
+    for (const IndexInfo& info : e.saved_indexes) {
+      (void)catalog.CreateIndex(info);
+      (void)table->AddSecondaryIndex(info.name, info.columns,
+                                     info.unique);
+    }
+    table->RawRestoreAll(std::move(e.saved_rows));
+    catalog.RestoreTable(std::move(table));
+    break;
+  }
+  case UndoEntry::Kind::kCreateSequence:
+    (void)catalog.DropSequence(e.table_name);
+    break;
+  case UndoEntry::Kind::kDropSequence: {
+    (void)catalog.CreateSequence(e.table_name, e.sequence_value);
+    if (Sequence* seq = catalog.FindSequence(e.table_name)) {
+      seq->next_value = e.sequence_value;
+    }
+    break;
+  }
+  case UndoEntry::Kind::kSequenceAdvance: {
+    if (Sequence* seq = catalog.FindSequence(e.table_name)) {
+      seq->next_value = e.sequence_value;
+    }
+    break;
+  }
+  case UndoEntry::Kind::kCreateIndex: {
+    Table* table = catalog.FindTable(e.index_table);
+    if (table != nullptr) {
+      (void)table->DropUniqueConstraint(e.table_name);
+      (void)table->DropSecondaryIndex(e.table_name);
+    }
+    (void)catalog.DropIndex(e.table_name);
+    break;
+  }
+  case UndoEntry::Kind::kDropIndex: {
+    // Restore the dropped index (structure + catalog metadata),
+    // rebuilt from the table's current rows; Raw* replay of any
+    // remaining data entries keeps it maintained from here on.
+    for (IndexInfo& info : e.saved_indexes) {
+      if (Table* table = catalog.FindTable(info.table_name)) {
+        if (info.unique) {
+          (void)table->AddUniqueConstraint(info.name, info.columns);
+        }
+        (void)table->AddSecondaryIndex(info.name, info.columns,
+                                       info.unique);
+      }
+      (void)catalog.CreateIndex(info);
+    }
+    break;
+  }
+  case UndoEntry::Kind::kCreateView:
+    (void)catalog.DropView(e.table_name);
+    break;
+  case UndoEntry::Kind::kDropView:
+    (void)catalog.CreateView(e.table_name, std::move(e.saved_view));
+    break;
+  }
+}
+
+}  // namespace
+
+void UndoLog::RollbackInto(Database* db) {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    UndoOne(*it, db);
   }
   entries_.clear();
+}
+
+bool UndoLog::RollbackTo(size_t mark, Database* db) {
+  bool undid_ddl = false;
+  while (entries_.size() > mark) {
+    undid_ddl = undid_ddl || IsDdlUndo(entries_.back().kind);
+    UndoOne(entries_.back(), db);
+    entries_.pop_back();
+  }
+  return undid_ddl;
 }
 
 }  // namespace sqlflow::sql

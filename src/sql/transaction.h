@@ -38,6 +38,11 @@ struct UndoEntry {
   std::string table_name;   // or sequence/index name
   size_t row_index = 0;
   Row row;
+  /// Only populated when the owning log has `capture_rows()` set: the
+  /// post-image of the mutation (the inserted row for kInsert, the new
+  /// values for kUpdate). Replay never reads it; the inverse-SQL
+  /// compensation builder does (see sql/inverse.h).
+  Row new_row;
   std::vector<Row> bulk_rows;
   int64_t sequence_value = 0;
   // For kDropTable: the saved schema + data + constraints.
@@ -50,20 +55,39 @@ struct UndoEntry {
   std::unique_ptr<SelectStatement> saved_view;  // for kDropView
 };
 
-/// Ordered list of undo records for one open transaction.
+/// Ordered list of undo records. One log serves both scopes: the open
+/// transaction (entries up to the statement mark) and the statement
+/// currently executing (entries past the mark) — `RollbackTo` unwinds
+/// just the statement's tail, `RollbackInto` the whole log.
 class UndoLog {
  public:
   void Record(UndoEntry entry) { entries_.push_back(std::move(entry)); }
   size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
+  const std::vector<UndoEntry>& entries() const { return entries_; }
+  std::vector<UndoEntry>& mutable_entries() { return entries_; }
 
   /// Applies all entries in reverse and clears the log.
   void RollbackInto(Database* db);
 
+  /// Applies the entries recorded after `mark` in reverse and truncates
+  /// the log back to `mark` — the statement-scope rollback that restores
+  /// the byte-identical pre-statement state after a mid-statement fault.
+  /// Returns true if any undone entry was DDL (caller must bump the
+  /// schema epoch so memoized plans revalidate).
+  bool RollbackTo(size_t mark, Database* db);
+
   void Clear() { entries_.clear(); }
+
+  /// When set, Table mutations record post-images (`UndoEntry::new_row`)
+  /// alongside the undo data, so successful statements can be turned
+  /// into inverse SQL for compensation (sql/inverse.h).
+  bool capture_rows() const { return capture_rows_; }
+  void set_capture_rows(bool on) { capture_rows_ = on; }
 
  private:
   std::vector<UndoEntry> entries_;
+  bool capture_rows_ = false;
 };
 
 }  // namespace sqlflow::sql

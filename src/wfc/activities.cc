@@ -260,11 +260,12 @@ Status AssignActivity::Execute(ProcessContext& ctx) {
 InvokeActivity::InvokeActivity(
     std::string name, std::string service_name,
     std::vector<std::pair<std::string, std::string>> inputs,
-    std::string output_variable)
+    std::string output_variable, int retry_attempts)
     : Activity(std::move(name)),
       service_name_(std::move(service_name)),
       inputs_(std::move(inputs)),
-      output_variable_(std::move(output_variable)) {}
+      output_variable_(std::move(output_variable)),
+      retry_attempts_(retry_attempts) {}
 
 Status InvokeActivity::Execute(ProcessContext& ctx) {
   if (ctx.services() == nullptr) {
@@ -282,8 +283,9 @@ Status InvokeActivity::Execute(ProcessContext& ctx) {
   xml::NodePtr request = MakeRequest(params);
   ctx.audit().Record(AuditEventKind::kServiceInvoked, name(),
                      service_name_);
-  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr response,
-                           service->Invoke(request));
+  SQLFLOW_ASSIGN_OR_RETURN(
+      xml::NodePtr response,
+      InvokeWithRecovery(*service, request, retry_attempts_));
   if (!output_variable_.empty()) {
     SQLFLOW_ASSIGN_OR_RETURN(Value out, GetResponseValue(response));
     ctx.variables().Set(output_variable_, VarValue(std::move(out)));

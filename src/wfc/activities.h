@@ -151,12 +151,15 @@ class AssignActivity : public Activity {
 
 /// Calls a registered web service: inputs are (parameter name, XPath
 /// source) pairs; the response value lands in `output_variable` (if
-/// non-empty).
+/// non-empty). Invocations go through InvokeWithRecovery, so transient
+/// transport faults planted by the chaos harness are absorbed here;
+/// `retry_attempts` overrides the process-wide ServiceRetryPolicy
+/// default when > 0.
 class InvokeActivity : public Activity {
  public:
   InvokeActivity(std::string name, std::string service_name,
                  std::vector<std::pair<std::string, std::string>> inputs,
-                 std::string output_variable);
+                 std::string output_variable, int retry_attempts = 0);
   std::string TypeName() const override { return "invoke"; }
 
  protected:
@@ -166,6 +169,7 @@ class InvokeActivity : public Activity {
   std::string service_name_;
   std::vector<std::pair<std::string, std::string>> inputs_;
   std::string output_variable_;
+  int retry_attempts_;
 };
 
 /// Embedded native code: IBM's Java-Snippet / WF's code activity. The

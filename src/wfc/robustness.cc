@@ -3,20 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/rand.h"
 #include "obs/metrics.h"
 
 namespace sqlflow::wfc {
-
-namespace {
-
-uint64_t SplitMix64(uint64_t x) {
-  uint64_t z = x + 0x9e3779b97f4a7c15ULL;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
 
 int64_t BackoffPolicy::DelayForAttempt(int attempt) const {
   if (attempt < 1) attempt = 1;

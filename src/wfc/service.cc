@@ -1,6 +1,64 @@
 #include "wfc/service.h"
 
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "sql/database.h"
+#include "sql/fault.h"
+
 namespace sqlflow::wfc {
+
+namespace {
+
+ServiceRetryPolicy& ServiceRetryPolicyRef() {
+  static ServiceRetryPolicy policy;
+  return policy;
+}
+
+}  // namespace
+
+void SetServiceRetryPolicyDefault(ServiceRetryPolicy policy) {
+  ServiceRetryPolicyRef() = policy;
+}
+
+ServiceRetryPolicy GetServiceRetryPolicyDefault() {
+  return ServiceRetryPolicyRef();
+}
+
+Result<xml::NodePtr> InvokeWithRecovery(WebService& service,
+                                        const xml::NodePtr& request,
+                                        int max_attempts_override) {
+  std::shared_ptr<sql::FaultInjector> injector =
+      sql::Database::GlobalFaultInjector();
+  int max_attempts = max_attempts_override > 0
+                         ? max_attempts_override
+                         : std::max(1, ServiceRetryPolicyRef().max_attempts);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  for (int attempt = 1;; ++attempt) {
+    Result<xml::NodePtr> result = [&]() -> Result<xml::NodePtr> {
+      if (injector != nullptr) {
+        sql::FaultSite site;
+        site.database = "service";
+        site.description = "invoke " + service.name();
+        site.layer = sql::FaultLayer::kService;
+        if (std::optional<Status> fault = injector->MaybeFault(site)) {
+          return *fault;
+        }
+      }
+      return service.Invoke(request);
+    }();
+    if (result.ok()) {
+      if (attempt > 1) {
+        metrics.GetCounter("svc.fault.absorbed").Increment();
+      }
+      return result;
+    }
+    if (!result.status().IsTransient() || attempt >= max_attempts) {
+      return result;
+    }
+    metrics.GetCounter("svc.retry.attempts").Increment();
+  }
+}
 
 xml::NodePtr MakeRequest(
     const std::vector<std::pair<std::string, Value>>& params) {

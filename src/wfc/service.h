@@ -59,6 +59,34 @@ class SimpleWebService : public WebService {
   uint64_t invocation_count_ = 0;
 };
 
+/// Connection-layer retry for service invocations, the `Invoke`-side
+/// analogue of sql::RetryPolicy. Applied by InvokeWithRecovery.
+struct ServiceRetryPolicy {
+  int max_attempts = 1;  // 1 = retries disabled
+};
+
+/// Process-wide default consulted by InvokeWithRecovery when no
+/// per-call override is given (the chaos harness arms this the same way
+/// it arms Database::SetRetryPolicyDefault).
+void SetServiceRetryPolicyDefault(ServiceRetryPolicy policy);
+ServiceRetryPolicy GetServiceRetryPolicyDefault();
+
+/// Invokes `service` through the chaos harness: consults the
+/// process-wide sql::FaultInjector (FaultLayer::kService, site
+/// "invoke <name>" on database "service") *before* the call — the fault
+/// models a transport failure en route, so no service work happened and
+/// a replay cannot double-invoke — and absorbs transient faults by
+/// retrying up to the policy's max_attempts
+/// (`max_attempts_override > 0` replaces the process default).
+/// Counters: svc.retry.attempts per replay, svc.fault.absorbed when a
+/// retry eventually succeeds. Faults *returned by the service itself*
+/// are also retried when transient: the adapter layer plants its own
+/// kService sites inside DataAccessService (see src/adapter), and those
+/// propagate here as ordinary transient statuses.
+Result<xml::NodePtr> InvokeWithRecovery(WebService& service,
+                                        const xml::NodePtr& request,
+                                        int max_attempts_override = 0);
+
 /// Name → endpoint map, shared by all process instances of an engine.
 class ServiceRegistry {
  public:

@@ -12,6 +12,20 @@ std::string NameAttr(const xml::Node& element, const char* fallback) {
   return element.GetAttribute("name").value_or(fallback);
 }
 
+Result<int64_t> IntAttr(const xml::Node& element, const char* attr,
+                        int64_t fallback) {
+  std::optional<std::string> raw = element.GetAttribute(attr);
+  if (!raw.has_value()) return fallback;
+  return Value::String(*raw).AsInteger();
+}
+
+Result<double> DoubleAttr(const xml::Node& element, const char* attr,
+                          double fallback) {
+  std::optional<std::string> raw = element.GetAttribute(attr);
+  if (!raw.has_value()) return fallback;
+  return Value::String(*raw).AsDouble();
+}
+
 Result<ActivityPtr> BuildSequence(const xml::Node& element,
                                   XomlLoader& loader) {
   std::vector<ActivityPtr> children;
@@ -139,9 +153,12 @@ Result<ActivityPtr> BuildInvoke(const xml::Node& element, XomlLoader&) {
     }
     inputs.emplace_back(*param, *expr);
   }
+  SQLFLOW_ASSIGN_OR_RETURN(int64_t retry_attempts,
+                           IntAttr(element, "retryAttempts", 0));
   return ActivityPtr(std::make_shared<InvokeActivity>(
       NameAttr(element, "invoke"), *service, std::move(inputs),
-      element.GetAttribute("output").value_or("")));
+      element.GetAttribute("output").value_or(""),
+      static_cast<int>(retry_attempts)));
 }
 
 Result<ActivityPtr> BuildEmpty(const xml::Node& element, XomlLoader&) {
@@ -152,20 +169,6 @@ Result<ActivityPtr> BuildEmpty(const xml::Node& element, XomlLoader&) {
 Result<ActivityPtr> BuildTerminate(const xml::Node& element, XomlLoader&) {
   return ActivityPtr(
       std::make_shared<TerminateActivity>(NameAttr(element, "terminate")));
-}
-
-Result<int64_t> IntAttr(const xml::Node& element, const char* attr,
-                        int64_t fallback) {
-  std::optional<std::string> raw = element.GetAttribute(attr);
-  if (!raw.has_value()) return fallback;
-  return Value::String(*raw).AsInteger();
-}
-
-Result<double> DoubleAttr(const xml::Node& element, const char* attr,
-                          double fallback) {
-  std::optional<std::string> raw = element.GetAttribute(attr);
-  if (!raw.has_value()) return fallback;
-  return Value::String(*raw).AsDouble();
 }
 
 // <Retry maxAttempts="3" backoffMs="1" multiplier="2" jitter="0.25"

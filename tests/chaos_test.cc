@@ -22,6 +22,8 @@
 #include "wfc/activities.h"
 #include "wfc/engine.h"
 #include "wfc/robustness.h"
+#include "wfc/service.h"
+#include "workflows/order_process.h"
 
 namespace sqlflow {
 namespace {
@@ -40,6 +42,7 @@ struct GlobalChaosGuard {
   ~GlobalChaosGuard() {
     sql::Database::SetGlobalFaultInjector(nullptr);
     sql::Database::SetRetryPolicyDefault(sql::RetryPolicy{});
+    wfc::SetServiceRetryPolicyDefault(wfc::ServiceRetryPolicy{});
   }
 };
 
@@ -689,6 +692,90 @@ TEST(ChaosInvariantTest, TableTwoIsByteIdenticalAcrossFiveSeeds) {
   }
   // The sweep must actually have exercised the fault paths.
   EXPECT_GT(total_injected, 0u);
+}
+
+// Runs the three order-process realizations (BIS / WF / SOA) on fresh
+// fixtures and concatenates the confirmations they record. The Table II
+// scenarios never leave the SQL engine, so this is the workload that
+// exercises FaultLayer::kService: every run crosses the InvokeActivity
+// supplier bridge and (for the adapter tests elsewhere) the data-access
+// adapter.
+std::string RunOrderConfirmations() {
+  struct Variant {
+    const char* process;
+    Result<patterns::Fixture> (*make)(const patterns::OrdersScenario&);
+  };
+  const Variant variants[] = {
+      {workflows::kBisOrderProcess, workflows::MakeBisOrderFixture},
+      {workflows::kWfOrderProcess, workflows::MakeWfOrderFixture},
+      {workflows::kSoaOrderProcess, workflows::MakeSoaOrderFixture},
+  };
+  std::string out;
+  for (const Variant& variant : variants) {
+    auto fixture = variant.make(patterns::OrdersScenario{});
+    if (!fixture.ok()) {
+      ADD_FAILURE() << variant.process << " setup failed: "
+                    << fixture.status().ToString();
+      return "";
+    }
+    auto run = fixture->engine->RunProcess(variant.process);
+    if (!run.ok() || !run->status.ok()) {
+      const Status& st = run.ok() ? run->status : run.status();
+      ADD_FAILURE() << variant.process
+                    << " run failed: " << st.ToString();
+      return "";
+    }
+    auto confirmations = workflows::ReadConfirmations(fixture->db.get());
+    if (!confirmations.ok()) {
+      ADD_FAILURE() << variant.process << " readback failed: "
+                    << confirmations.status().ToString();
+      return "";
+    }
+    out += std::string(variant.process) + ":\n" +
+           confirmations->ToAsciiTable();
+  }
+  return out;
+}
+
+TEST(ChaosInvariantTest, TableTwoHoldsWithAllFaultLayersArmed) {
+  GlobalChaosGuard guard;
+  std::string baseline = EvaluateTableTwo();
+  std::string order_baseline = RunOrderConfirmations();
+  ASSERT_FALSE(baseline.empty());
+  ASSERT_FALSE(order_baseline.empty());
+  uint64_t total_mid = 0;
+  uint64_t total_service = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    FaultInjector::Options options;
+    options.seed = seed;
+    // Mid-statement sites fire once per mutated row, so a set-oriented
+    // UPDATE makes dozens of draws per attempt; keep the per-site
+    // probability low and the retry budget high enough that exhaustion
+    // is unreachable (at p=0.01 a 100-row statement faults with
+    // probability ~0.63 per attempt; 0.63^32 ≈ 4e-7).
+    options.probability = 0.01;
+    options.mid_statement_sites = true;
+    options.service_sites = true;
+    auto injector = std::make_shared<FaultInjector>(options);
+    sql::Database::SetGlobalFaultInjector(injector);
+    sql::Database::SetRetryPolicyDefault(
+        sql::RetryPolicy{/*max_attempts=*/32});
+    wfc::ServiceRetryPolicy service_retry;
+    service_retry.max_attempts = 8;
+    wfc::SetServiceRetryPolicyDefault(service_retry);
+    std::string chaotic = EvaluateTableTwo();
+    std::string chaotic_orders = RunOrderConfirmations();
+    sql::Database::SetGlobalFaultInjector(nullptr);
+    sql::Database::SetRetryPolicyDefault(sql::RetryPolicy{});
+    wfc::SetServiceRetryPolicyDefault(wfc::ServiceRetryPolicy{});
+    EXPECT_EQ(chaotic, baseline) << "seed " << seed;
+    EXPECT_EQ(chaotic_orders, order_baseline) << "seed " << seed;
+    total_mid += injector->stats().injected_mid_statement;
+    total_service += injector->stats().injected_service;
+  }
+  // The new layers must actually have fired somewhere in the sweep.
+  EXPECT_GT(total_mid, 0u);
+  EXPECT_GT(total_service, 0u);
 }
 
 }  // namespace
