@@ -1,0 +1,232 @@
+// Introspection cost model: (1) what EXPLAIN ANALYZE's per-operator
+// profiling adds over plain execution of the same statement (the
+// BENCH_sql_range pushdown-join query), and (2) scan throughput over
+// the sys.audit_events virtual table as the process history grows to
+// 10k / 100k / 1M events — the re-materialize-per-statement design's
+// cost curve, and the scan/aggregate stress corpus for the vectorized
+// executor work.
+//
+// Writes BENCH_introspect.json on a full run; `--quick` runs a smoke
+// pass and skips the JSON.
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sql/database.h"
+#include "wfc/audit.h"
+#include "workflows/analytics.h"
+
+namespace sqlflow {
+namespace {
+
+// The BENCH_sql_range pushdown-join query: selective single-table
+// predicate pushed below a hash join.
+const char* kPushdownQuery =
+    "SELECT e.name, d.title FROM emp e JOIN dept d ON e.dept = d.id "
+    "WHERE e.salary BETWEEN 1000 AND 1099";
+
+std::unique_ptr<sql::Database> MakeEmpDb(int rows) {
+  auto db = std::make_unique<sql::Database>("introspect-bench");
+  bench::CheckOk(db->ExecuteScript(R"sql(
+    CREATE TABLE emp (
+      id INTEGER PRIMARY KEY,
+      name VARCHAR(20) NOT NULL,
+      salary INTEGER NOT NULL,
+      dept INTEGER NOT NULL
+    );
+    CREATE TABLE dept (id INTEGER PRIMARY KEY, title VARCHAR(20));
+    CREATE INDEX idx_salary ON emp (salary);
+  )sql"),
+                "schema");
+  for (int i = 0; i < 64; ++i) {
+    bench::CheckOk(db->Execute("INSERT INTO dept VALUES (" +
+                               std::to_string(i) + ", 'd" +
+                               std::to_string(i) + "')")
+                       .status(),
+                   "dept row");
+  }
+  for (int i = 0; i < rows; ++i) {
+    bench::CheckOk(db->Execute("INSERT INTO emp VALUES (" +
+                               std::to_string(i) + ", 'e" +
+                               std::to_string(i) + "', " +
+                               std::to_string(1000 + i % 2000) + ", " +
+                               std::to_string(i % 64) + ")")
+                       .status(),
+                   "emp row");
+  }
+  return db;
+}
+
+// Plain execution vs EXPLAIN ANALYZE of the same statement: the delta
+// is the profiling hooks (one timestamp pair + one op record per
+// operator) plus rendering the op table.
+void BM_ExplainAnalyzeOverhead(benchmark::State& state) {
+  const bool analyze = state.range(0) != 0;
+  auto db = MakeEmpDb(10000);
+  const std::string sql = analyze
+                              ? std::string("EXPLAIN ANALYZE ") + kPushdownQuery
+                              : std::string(kPushdownQuery);
+  for (auto _ : state) {
+    auto rs = db->Execute(sql);
+    bench::CheckOk(rs.status(), "pushdown join");
+    benchmark::DoNotOptimize(rs->row_count());
+  }
+  state.SetLabel(analyze ? "explain_analyze" : "plain");
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExplainAnalyzeOverhead)
+    ->ArgNames({"analyze"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Fabricates a history of `events` audit events (40 per instance, a
+/// realistic fulfilment-trail shape) without running real instances.
+void PopulateHistory(workflows::ProcessHistoryStore* store,
+                     int64_t events) {
+  constexpr int kEventsPerInstance = 40;
+  const int64_t instances = events / kEventsPerInstance;
+  for (int64_t i = 1; i <= instances; ++i) {
+    workflows::InstanceRecord record;
+    record.instance_id = static_cast<uint64_t>(i);
+    record.process = "OrderFulfilment";
+    for (int e = 0; e < kEventsPerInstance; ++e) {
+      auto kind = e == 0 ? wfc::AuditEventKind::kInstanceStarted
+                  : e % 7 == 3
+                      ? wfc::AuditEventKind::kRetry
+                      : e % 11 == 5 ? wfc::AuditEventKind::kSqlExecuted
+                                    : wfc::AuditEventKind::kActivityCompleted;
+      record.audit.Record(kind, "step-" + std::to_string(e % 5), "",
+                          /*duration_ns=*/1000 + e,
+                          kind == wfc::AuditEventKind::kRetry ? 1 : 0);
+    }
+    store->Add(std::move(record));
+  }
+}
+
+// Scan + filter + aggregate over the full event log. Each statement
+// re-materializes the virtual table from the store (one consistent
+// snapshot per statement), so ns/op covers materialization + scan —
+// the honest cost of querying live engine state.
+void BM_AuditEventsScan(benchmark::State& state) {
+  const int64_t events = state.range(0);
+  // Store and db are static so the 1M-event history is built once per
+  // size, not once per benchmark repetition.
+  static workflows::ProcessHistoryStore* store = nullptr;
+  static int64_t populated = -1;
+  static std::unique_ptr<sql::Database> db;
+  if (populated != events) {
+    delete store;
+    store = new workflows::ProcessHistoryStore();
+    PopulateHistory(store, events);
+    db = std::make_unique<sql::Database>("audit-bench");
+    bench::CheckOk(workflows::RegisterAuditTables(db.get(), store),
+                   "register audit tables");
+    populated = events;
+  }
+  for (auto _ : state) {
+    auto rs = db->Execute(
+        "SELECT COUNT(*) FROM sys.audit_events WHERE KIND = 'retry'");
+    bench::CheckOk(rs.status(), "audit scan");
+    benchmark::DoNotOptimize(rs->row_count());
+  }
+  state.SetLabel("events:" + std::to_string(events));
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_AuditEventsScan)
+    ->ArgNames({"events"})
+    ->Arg(10'000)
+    ->Arg(100'000)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Console reporter that also captures per-run ns/op for the JSON
+/// summary.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      double scale = run.time_unit == benchmark::kMicrosecond ? 1e3
+                     : run.time_unit == benchmark::kMillisecond ? 1e6
+                                                                : 1.0;
+      ns_per_op_[run.benchmark_name()] =
+          run.GetAdjustedRealTime() * scale;
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  double NsPerOp(const std::string& name) const {
+    auto it = ns_per_op_.find(name);
+    return it == ns_per_op_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  std::map<std::string, double> ns_per_op_;
+};
+
+void WriteJson(const CapturingReporter& reporter, const char* path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"introspect\",\n";
+
+  double plain = reporter.NsPerOp("BM_ExplainAnalyzeOverhead/analyze:0");
+  double analyzed =
+      reporter.NsPerOp("BM_ExplainAnalyzeOverhead/analyze:1");
+  out << "  \"explain_analyze_overhead\": {\"plain_ns_per_op\": " << plain
+      << ", \"analyze_ns_per_op\": " << analyzed
+      << ", \"overhead_percent\": "
+      << (plain > 0.0 ? (analyzed - plain) / plain * 100.0 : 0.0)
+      << "},\n";
+
+  out << "  \"audit_events_scan\": [\n";
+  bool first = true;
+  for (int64_t events : {10'000, 100'000, 1'000'000}) {
+    double ns = reporter.NsPerOp("BM_AuditEventsScan/events:" +
+                                 std::to_string(events));
+    if (ns == 0.0) continue;
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"events\": " << events << ", \"ns_per_op\": " << ns
+        << ", \"events_per_sec\": "
+        << (ns > 0.0 ? static_cast<double>(events) / (ns / 1e9) : 0.0)
+        << "}";
+  }
+  out << "\n  ]\n}\n";
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+}  // namespace sqlflow
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--quick") == 0) {
+      quick = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (quick) args.push_back(min_time);
+  int adjusted_argc = static_cast<int>(args.size());
+
+  sqlflow::bench::PrintBanner(
+      "Introspection — EXPLAIN ANALYZE profiling cost and "
+      "sys.audit_events scan throughput",
+      "per-operator profiling adds a bounded fraction to statement "
+      "latency; audit-log scans re-materialize per statement, so "
+      "ns/op grows linearly in the event count");
+  benchmark::Initialize(&adjusted_argc, args.data());
+  sqlflow::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!quick) sqlflow::WriteJson(reporter, "BENCH_introspect.json");
+  return 0;
+}

@@ -12,6 +12,8 @@
 //
 // Run:  ./pattern_matrix [--trace=FILE] [--spans] [--chaos=SEED]
 //   --trace=FILE      write a chrome://tracing / Perfetto JSON file
+//   --metrics=FILE    write the full obs counter/histogram registry as
+//                     JSON at exit (after the chaos sweep, when armed)
 //   --spans           print the span tree of the whole evaluation
 //   --chaos=SEED      after the fault-free run, re-run every (engine,
 //                     pattern) cell with a seed-deterministic transient
@@ -30,6 +32,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
 
@@ -107,10 +110,24 @@ std::string RunOrderProcesses() {
   return out;
 }
 
+/// Dumps the full obs registry as JSON; exits on I/O failure so CI
+/// catches a missing dump instead of silently passing.
+void WriteMetricsJson(const std::string& path) {
+  std::ofstream out(path);
+  out << obs::MetricsRegistry::Global().ToJson() << "\n";
+  if (!out.good()) {
+    std::fprintf(stderr, "metrics export failed: cannot write %s\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  std::printf("\nwrote metrics registry to %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_file;
+  std::string metrics_file;
   bool print_spans = false;
   bool chaos = false;
   uint64_t chaos_seed = 0;
@@ -121,6 +138,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--trace=", 8) == 0 && argv[i][8] != '\0') {
       trace_file = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0 &&
+               argv[i][10] != '\0') {
+      metrics_file = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--spans") == 0) {
       print_spans = true;
     } else if (std::strncmp(argv[i], "--chaos=", 8) == 0 &&
@@ -159,8 +179,9 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--trace=FILE] [--spans] [--chaos=SEED] "
-                   "[--chaos-prob=P] [--chaos-sites=sql,mid,service]\n",
+                   "usage: %s [--trace=FILE] [--metrics=FILE] [--spans] "
+                   "[--chaos=SEED] [--chaos-prob=P] "
+                   "[--chaos-sites=sql,mid,service]\n",
                    argv[0]);
       return 2;
     }
@@ -218,7 +239,10 @@ int main(int argc, char** argv) {
                 obs::TraceBuffer::Global().size(), trace_file.c_str());
   }
 
-  if (!chaos) return 0;
+  if (!chaos) {
+    if (!metrics_file.empty()) WriteMetricsJson(metrics_file);
+    return 0;
+  }
 
   // --- chaos sweep -----------------------------------------------------------
   // Same evaluation, but faults fire on a schedule determined entirely
@@ -287,5 +311,6 @@ int main(int argc, char** argv) {
               "(%llu faults injected, all absorbed)\n",
               static_cast<unsigned long long>(
                   injector->stats().faults_injected));
+  if (!metrics_file.empty()) WriteMetricsJson(metrics_file);
   return 0;
 }

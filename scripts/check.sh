@@ -18,7 +18,7 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake --build build-asan -j --target sqlflow_obs_tests \
     sqlflow_integration_tests sqlflow_sql_tests \
     sqlflow_sql_range_tests sqlflow_sql_fuzz_tests sqlflow_chaos_tests \
-    pattern_matrix
+    sqlflow_introspect_tests pattern_matrix
   ./build-asan/tests/sqlflow_obs_tests
   ./build-asan/tests/sqlflow_integration_tests
   # The optimizer differential battery (index/hash-join/plan-cache paths
@@ -34,6 +34,10 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # invariant — transaction undo logs and re-executed statements are
   # fresh memory-lifetime territory, so the whole suite runs sanitized.
   ./build-asan/tests/sqlflow_chaos_tests
+  # Introspection surface: EXPLAIN ANALYZE profiling hooks, sys.* virtual
+  # table materialization, and the synthetic chaos history generator all
+  # hand rows across layer boundaries — run the battery sanitized.
+  ./build-asan/tests/sqlflow_introspect_tests
   # Cross-layer chaos sweep: all fault layers (statement, mid-statement
   # partial writes, service invoke + adapter bridge) armed at five
   # seeds; Table II and the order-process confirmations must stay
@@ -47,12 +51,19 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
     --chaos-prob=0.3 > /dev/null
 fi
 
-echo "== bench smoke: sql plans + range + chaos =="
+echo "== bench smoke: sql plans + range + chaos + introspect =="
 ./build/bench/bench_sql_plans --quick > /dev/null
 ./build/bench/bench_sql_range --quick > /dev/null
 ./build/bench/bench_chaos --quick > /dev/null
+./build/bench/bench_introspect --quick > /dev/null
 
 echo "== chaos smoke: Table II invariant under seed 1 =="
 ./build/examples/pattern_matrix --chaos=1 > /dev/null
+
+echo "== metrics dump smoke: registry JSON lands on disk =="
+metrics_tmp="$(mktemp)"
+./build/examples/pattern_matrix --metrics="$metrics_tmp" > /dev/null
+grep -q '"sql.plan.' "$metrics_tmp"
+rm -f "$metrics_tmp"
 
 echo "== all checks passed =="

@@ -63,18 +63,27 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
-Counter& MetricsRegistry::GetCounter(const std::string& name) {
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = counters_[name];
-  if (slot == nullptr) slot = std::make_unique<Counter>();
-  return *slot;
+  // Heterogeneous find: the common (already-registered) path never
+  // materializes a std::string key.
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
 }
 
-Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = histograms_[name];
-  if (slot == nullptr) slot = std::make_unique<Histogram>();
-  return *slot;
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
 }
 
 std::vector<std::string> MetricsRegistry::CounterNames() const {
@@ -91,6 +100,27 @@ std::vector<std::string> MetricsRegistry::HistogramNames() const {
   names.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) names.push_back(name);
   return names;
+}
+
+std::vector<CounterSnapshot> MetricsRegistry::SnapshotCounters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back({name, counter->value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSnapshot> MetricsRegistry::SnapshotHistograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.push_back({name, h->count(), h->sum(), h->p50(), h->p95(), h->p99(),
+                   h->max()});
+  }
+  return out;
 }
 
 std::string MetricsRegistry::ToString() const {
@@ -110,6 +140,41 @@ std::string MetricsRegistry::ToString() const {
                   histogram->p99() / 1e6, histogram->max() / 1e6);
     os << buf;
   }
+  return os.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  // Metric names are dotted ASCII identifiers; escape quotes/backslashes
+  // anyway so the document stays well-formed for any name.
+  auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::vector<CounterSnapshot> counters = SnapshotCounters();
+  std::vector<HistogramSnapshot> histograms = SnapshotHistograms();
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const CounterSnapshot& c : counters) {
+    os << (first ? "" : ",") << "\n    \"" << escape(c.name)
+       << "\": " << c.value;
+    first = false;
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& h : histograms) {
+    os << (first ? "" : ",") << "\n    \"" << escape(h.name)
+       << "\": {\"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"p50\": " << h.p50 << ", \"p95\": " << h.p95
+       << ", \"p99\": " << h.p99 << ", \"max\": " << h.max << "}";
+    first = false;
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
   return os.str();
 }
 

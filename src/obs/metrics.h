@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace sqlflow::obs {
@@ -61,30 +62,59 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
+/// Point-in-time view of one counter.
+struct CounterSnapshot {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// Point-in-time view of one histogram (quantiles pre-folded).
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+};
+
 /// Process-wide registry of named counters and histograms. Lookup takes
 /// a mutex; returned references stay valid for the process lifetime, so
-/// hot paths can cache them.
+/// hot paths can cache them. Lookups are heterogeneous (std::less<>),
+/// so a string_view name probes the map without allocating — only a
+/// first-time registration pays for the key copy.
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
 
-  Counter& GetCounter(const std::string& name);
-  Histogram& GetHistogram(const std::string& name);
+  Counter& GetCounter(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
 
   std::vector<std::string> CounterNames() const;
   std::vector<std::string> HistogramNames() const;
+
+  /// Consistent snapshot of every registered counter/histogram, in name
+  /// order (the backing store for `sys.metrics` and --metrics dumps).
+  std::vector<CounterSnapshot> SnapshotCounters() const;
+  std::vector<HistogramSnapshot> SnapshotHistograms() const;
 
   /// Human-readable dump: one line per counter, one per histogram with
   /// count / p50 / p95 / p99 / max (histogram samples are nanoseconds,
   /// printed as milliseconds).
   std::string ToString() const;
 
+  /// Whole-registry JSON document:
+  /// {"counters": {name: value, ...},
+  ///  "histograms": {name: {count, sum, p50, p95, p99, max}, ...}}
+  std::string ToJson() const;
+
  private:
   MetricsRegistry() = default;
 
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
 };
 
 }  // namespace sqlflow::obs

@@ -276,6 +276,8 @@ const char* StatementKindName(StatementKind kind) {
       return "commit";
     case StatementKind::kRollback:
       return "rollback";
+    case StatementKind::kExplain:
+      return "explain";
   }
   return "unknown";
 }

@@ -121,6 +121,7 @@ enum class StatementKind {
   kBegin,
   kCommit,
   kRollback,
+  kExplain,
 };
 
 /// Stable lower-case name ("select", "create-table", ...) for audit
@@ -250,6 +251,16 @@ struct CallStatement {
   std::vector<ExprPtr> arguments;
 };
 
+struct Statement;
+
+/// EXPLAIN [ANALYZE] <statement>. Plain EXPLAIN renders the plan the
+/// executor would choose without running the target; ANALYZE runs the
+/// target with per-operator profiling and renders observed rows/timings.
+struct ExplainStatement {
+  bool analyze = false;
+  std::unique_ptr<Statement> target;
+};
+
 /// A single parsed SQL statement; exactly the member matching `kind` is set.
 struct Statement {
   StatementKind kind;
@@ -267,6 +278,7 @@ struct Statement {
   std::unique_ptr<CreateSequenceStatement> create_sequence;
   std::unique_ptr<DropSequenceStatement> drop_sequence;
   std::unique_ptr<CallStatement> call;
+  std::unique_ptr<ExplainStatement> explain;
 
   /// Number of parameters (named + positional) appearing in the statement.
   int parameter_count = 0;

@@ -40,12 +40,16 @@ Status Catalog::DropTable(const std::string& name) {
 
 Table* Catalog::FindTable(const std::string& name) {
   auto it = tables_.find(Key(name));
-  return it == tables_.end() ? nullptr : it->second.get();
+  if (it != tables_.end()) return it->second.get();
+  auto vit = virtual_tables_.find(Key(name));
+  return vit == virtual_tables_.end() ? nullptr : vit->second.table.get();
 }
 
 const Table* Catalog::FindTable(const std::string& name) const {
   auto it = tables_.find(Key(name));
-  return it == tables_.end() ? nullptr : it->second.get();
+  if (it != tables_.end()) return it->second.get();
+  auto vit = virtual_tables_.find(Key(name));
+  return vit == virtual_tables_.end() ? nullptr : vit->second.table.get();
 }
 
 Result<Table*> Catalog::GetTable(const std::string& name) {
@@ -76,6 +80,48 @@ std::unique_ptr<Table> Catalog::TakeTable(const std::string& name) {
   std::unique_ptr<Table> out = std::move(it->second);
   tables_.erase(it);
   return out;
+}
+
+Status Catalog::RegisterVirtualTable(TableSchema schema,
+                                     VirtualRowGenerator generator) {
+  SQLFLOW_RETURN_IF_ERROR(schema.Validate());
+  std::string key = Key(schema.table_name());
+  if (tables_.count(key) > 0 || views_.count(key) > 0 ||
+      virtual_tables_.count(key) > 0) {
+    return Status::AlreadyExists("a table or view named '" +
+                                 schema.table_name() +
+                                 "' already exists");
+  }
+  VirtualEntry entry;
+  entry.table = std::make_unique<Table>(std::move(schema));
+  entry.table->SetReadOnly(true);
+  entry.generator = std::move(generator);
+  virtual_tables_.emplace(std::move(key), std::move(entry));
+  return Status::OK();
+}
+
+bool Catalog::IsVirtualTable(const std::string& name) const {
+  return virtual_tables_.count(Key(name)) > 0;
+}
+
+std::vector<std::string> Catalog::VirtualTableNames() const {
+  std::vector<std::string> names;
+  names.reserve(virtual_tables_.size());
+  for (const auto& [key, entry] : virtual_tables_) {
+    names.push_back(entry.table->schema().table_name());
+  }
+  return names;
+}
+
+void Catalog::RefreshVirtualTables(const std::vector<std::string>& names) {
+  for (const std::string& name : names) {
+    auto it = virtual_tables_.find(Key(name));
+    if (it == virtual_tables_.end() || !it->second.generator) continue;
+    std::vector<Row> rows = it->second.generator();
+    // RawRestoreAll bypasses the read-only gate (it is the undo-replay
+    // entry point) and rebuilds any secondary indexes.
+    it->second.table->RawRestoreAll(std::move(rows));
+  }
 }
 
 Status Catalog::CreateView(const std::string& name,

@@ -2,6 +2,7 @@
 #define SQLFLOW_SQL_CATALOG_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -51,6 +52,26 @@ class Catalog {
   /// Detaches a table (used when recording a DROP for undo).
   std::unique_ptr<Table> TakeTable(const std::string& name);
 
+  // --- virtual tables --------------------------------------------------------
+  /// Produces the current rows of one virtual table from live engine
+  /// state. Generators must only *read* engine state (no SQL execution,
+  /// no catalog mutation) — they run between statements.
+  using VirtualRowGenerator = std::function<std::vector<Row>()>;
+
+  /// Registers a read-only table (by convention named `sys.<name>`)
+  /// whose rows are regenerated on demand. Virtual tables resolve
+  /// through FindTable/GetTable like base tables but are excluded from
+  /// TableNames(), DROP and TRUNCATE.
+  Status RegisterVirtualTable(TableSchema schema,
+                              VirtualRowGenerator generator);
+  bool HasVirtualTables() const { return !virtual_tables_.empty(); }
+  bool IsVirtualTable(const std::string& name) const;
+  std::vector<std::string> VirtualTableNames() const;
+  /// Regenerates the rows of every virtual table in `names` (non-virtual
+  /// names are ignored). Called by the database before executing a
+  /// statement that references a sys.* name, never mid-statement.
+  void RefreshVirtualTables(const std::vector<std::string>& names);
+
   // --- views -----------------------------------------------------------------
   /// Stores a named SELECT; name must not collide with a table or view.
   Status CreateView(const std::string& name,
@@ -78,7 +99,13 @@ class Catalog {
  private:
   static std::string Key(const std::string& name);
 
+  struct VirtualEntry {
+    std::unique_ptr<Table> table;
+    VirtualRowGenerator generator;
+  };
+
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, VirtualEntry> virtual_tables_;
   std::map<std::string, std::unique_ptr<SelectStatement>> views_;
   std::map<std::string, Sequence> sequences_;
   std::map<std::string, IndexInfo> indexes_;

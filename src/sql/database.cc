@@ -58,6 +58,11 @@ bool IsReplaySafeStatement(const Statement& stmt) {
       return true;
     case StatementKind::kCall:
       return false;  // opaque body — cannot prove replay exactness
+    case StatementKind::kExplain:
+      // Plain EXPLAIN never writes; ANALYZE replays its target, so it
+      // inherits the target's replay safety.
+      return !stmt.explain->analyze ||
+             IsReplaySafeStatement(*stmt.explain->target);
     default:
       return true;
   }
@@ -273,6 +278,7 @@ Result<ResultSet> Database::Execute(std::string_view sql,
     EvictPlanCacheOverflow();
   } else {
     plan_cache_stats_.hits++;
+    it->second.hits++;
     metrics.GetCounter("sql.plan_cache.hit").Increment();
     it->second.last_used_tick = ++plan_cache_tick_;
   }
@@ -308,6 +314,27 @@ void Database::set_plan_cache_capacity(size_t capacity) {
   } else {
     EvictPlanCacheOverflow();
   }
+}
+
+std::vector<Database::PlanCacheEntry> Database::PlanCacheEntries() const {
+  std::vector<PlanCacheEntry> out;
+  out.reserve(plan_cache_.size());
+  for (const auto& [sql, cached] : plan_cache_) {
+    PlanCacheEntry entry;
+    entry.sql = sql;
+    for (const std::string& table : cached.tables) {
+      if (!entry.tables.empty()) entry.tables += ',';
+      entry.tables += table;
+    }
+    entry.hits = cached.hits;
+    entry.plan_epoch =
+        cached.plan == nullptr ? 0 : cached.plan->schema_epoch;
+    entry.last_used_tick = cached.last_used_tick;
+    entry.has_access_plan = cached.plan != nullptr && cached.plan->has_access;
+    entry.has_range_plan = cached.plan != nullptr && cached.plan->has_range;
+    out.push_back(std::move(entry));
+  }
+  return out;
 }
 
 void Database::InvalidatePlans(const std::string& table_name) {
@@ -354,6 +381,11 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
   obs::Span span("sql.exec");
   span.Set("db", name_);
   span.Set("kind", StatementKindName(stmt.kind));
+  // sys.* tables materialize fresh engine state before the statement
+  // (never mid-statement, so scans see one consistent snapshot).
+  if (catalog_.HasVirtualTables()) {
+    catalog_.RefreshVirtualTables(CollectReferencedTables(stmt));
+  }
   // Each statement records its own plan choices; nested statements
   // (stored procedures, scripts) tag their own spans and fold back into
   // the enclosing statement's attribute.

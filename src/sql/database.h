@@ -218,6 +218,28 @@ class Database {
     return plan_cache_stats_;
   }
 
+  /// One plan-cache entry, as exposed through `sys.plan_cache`.
+  struct PlanCacheEntry {
+    std::string sql;
+    std::string tables;  // comma-joined upper-cased referenced tables
+    uint64_t hits = 0;
+    uint64_t plan_epoch = 0;
+    uint64_t last_used_tick = 0;
+    bool has_access_plan = false;
+    bool has_range_plan = false;
+  };
+  /// Snapshot of the cache in key (SQL text) order.
+  std::vector<PlanCacheEntry> PlanCacheEntries() const;
+
+  // --- per-operator profiling (EXPLAIN ANALYZE) ------------------------------
+  /// While non-null, the executor appends one ExecProfileOp per plan
+  /// operator it runs (access paths, joins, filters, sorts, DML loops).
+  /// Installed by ExecuteExplain around the target statement only.
+  void set_exec_profile(struct ExecProfile* profile) {
+    exec_profile_ = profile;
+  }
+  struct ExecProfile* exec_profile() { return exec_profile_; }
+
   // --- fault injection & recovery --------------------------------------------
   /// Per-database injector, consulted once per top-level statement.
   /// Overrides the process-wide injector when both are set.
@@ -248,6 +270,7 @@ class Database {
     std::shared_ptr<const StatementPlan> plan;
     std::vector<std::string> tables;  // upper-cased referenced tables
     uint64_t last_used_tick = 0;
+    uint64_t hits = 0;
   };
 
   static bool& OptimizerDefaultFlag();
@@ -290,6 +313,7 @@ class Database {
   std::string mid_site_prefix_;
   bool capture_effects_ = false;
   std::vector<UndoEntry> captured_effects_;
+  struct ExecProfile* exec_profile_ = nullptr;
   Stats stats_;
   int view_expansion_depth_ = 0;
 

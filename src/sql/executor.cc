@@ -7,8 +7,11 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "sql/database.h"
+#include "sql/explain.h"
 #include "sql/planner.h"
+#include "sql/profile.h"
 #include "sql/table.h"
 #include "sql/transaction.h"
 
@@ -20,10 +23,10 @@ namespace {
 // Row scope over (possibly joined) tables
 // ---------------------------------------------------------------------------
 
-struct ScopeColumn {
-  std::string qualifier;  // table alias (or table name) the column came from
-  std::string name;
-};
+// Shared with EXPLAIN's static renderer (sql/explain.h) so both resolve
+// scope columns identically; qualifier is the table alias (or name) the
+// column came from.
+using ScopeColumn = ScopeColumnRef;
 
 /// Resolves column references against one combined row of the FROM scope.
 class ScopeBinding : public RowBinding {
@@ -167,121 +170,11 @@ std::string DeriveColumnName(const Expr& e, size_t ordinal) {
 }
 
 // ---------------------------------------------------------------------------
-// ORDER BY elision
-// ---------------------------------------------------------------------------
-
-/// Maps each ORDER BY item of a single-base-table SELECT to a schema
-/// column ordinal, mirroring the executor's sort-key resolution (output
-/// ordinal / output name / scope reference) exactly. Returns false when
-/// any item is descending, when grouped/DISTINCT execution reorders rows,
-/// or when an item is not a plain stored-column reference — an ordered
-/// index traversal can replace the sort only in the exact-match case
-/// (ties then fall back to slot order, which is the same table order
-/// stable_sort preserves).
-bool OrderBySargColumns(const SelectStatement& sel, const std::string& qual,
-                        const TableSchema& schema,
-                        std::vector<size_t>* out) {
-  if (sel.order_by.empty() || sel.distinct || !sel.group_by.empty() ||
-      sel.having != nullptr) {
-    return false;
-  }
-  for (const OrderByItem& ob : sel.order_by) {
-    if (ob.descending || ContainsAggregate(*ob.expr)) return false;
-  }
-  for (const SelectItem& item : sel.items) {
-    if (!item.star && ContainsAggregate(*item.expr)) return false;
-  }
-
-  // Replicate star expansion so output ordinals/names line up with what
-  // the projection will build.
-  struct Out {
-    const Expr* expr = nullptr;  // null ⇒ scope passthrough
-    size_t scope_index = 0;
-    std::string name;
-  };
-  std::vector<Out> outputs;
-  for (const SelectItem& item : sel.items) {
-    if (item.star) {
-      if (!item.star_qualifier.empty() &&
-          !EqualsIgnoreCase(item.star_qualifier, qual)) {
-        continue;
-      }
-      for (size_t i = 0; i < schema.column_count(); ++i) {
-        outputs.push_back({nullptr, i, schema.columns()[i].name});
-      }
-      continue;
-    }
-    Out o;
-    o.expr = item.expr.get();
-    o.name = !item.alias.empty()
-                 ? item.alias
-                 : DeriveColumnName(*item.expr, outputs.size());
-    outputs.push_back(std::move(o));
-  }
-
-  auto scope_ordinal = [&](const Expr& e) -> int {
-    if (e.kind != ExprKind::kColumnRef) return -1;
-    if (!e.table_qualifier.empty() &&
-        !EqualsIgnoreCase(e.table_qualifier, qual)) {
-      return -1;
-    }
-    return schema.FindColumn(e.column_name);
-  };
-
-  for (const OrderByItem& ob : sel.order_by) {
-    const Expr& e = *ob.expr;
-    int output_idx = -1;
-    if (e.kind == ExprKind::kLiteral &&
-        e.literal.type() == ValueType::kInteger) {
-      int64_t ordinal = e.literal.integer();
-      if (ordinal < 1 || ordinal > static_cast<int64_t>(outputs.size())) {
-        return false;
-      }
-      output_idx = static_cast<int>(ordinal - 1);
-    } else if (e.kind == ExprKind::kColumnRef && e.table_qualifier.empty()) {
-      for (size_t j = 0; j < outputs.size(); ++j) {
-        if (EqualsIgnoreCase(outputs[j].name, e.column_name)) {
-          output_idx = static_cast<int>(j);
-          break;
-        }
-      }
-    }
-    int col = -1;
-    if (output_idx >= 0) {
-      const Out& o = outputs[static_cast<size_t>(output_idx)];
-      col = o.expr == nullptr ? static_cast<int>(o.scope_index)
-                              : scope_ordinal(*o.expr);
-    } else {
-      col = scope_ordinal(e);
-    }
-    if (col < 0) return false;
-    out->push_back(static_cast<size_t>(col));
-  }
-  return true;
-}
-
-// ---------------------------------------------------------------------------
 // Hash-join support
 // ---------------------------------------------------------------------------
-
-// Scope ordinal of a column reference, mirroring ScopeBinding::Resolve;
-// -1 when absent or ambiguous (the nested loop then surfaces the same
-// resolution error the hash join would have hidden).
-int FindScopeColumn(const std::vector<ScopeColumn>& cols, const Expr& e) {
-  if (e.kind != ExprKind::kColumnRef) return -1;
-  int found = -1;
-  for (size_t i = 0; i < cols.size(); ++i) {
-    const ScopeColumn& sc = cols[i];
-    if (!e.table_qualifier.empty() &&
-        !EqualsIgnoreCase(sc.qualifier, e.table_qualifier)) {
-      continue;
-    }
-    if (!EqualsIgnoreCase(sc.name, e.column_name)) continue;
-    if (found >= 0) return -1;
-    found = static_cast<int>(i);
-  }
-  return found;
-}
+// ORDER BY elision (OrderBySargColumns) and scope-column resolution
+// (FindScopeColumnIndex) moved to sql/explain.{h,cc}, shared with the
+// EXPLAIN renderer.
 
 // Value-class bits for the comparability prescan. NULL contributes
 // nothing (NULL keys never match, never error).
@@ -362,6 +255,13 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStatement& sel,
   };
   for (const Row& row : left.rows()) add(row);
   for (const Row& row : right.rows()) add(row);
+  if (ExecProfile* prof = db_->exec_profile()) {
+    ExecProfileOp& op =
+        prof->Add(sel.union_all ? "UNION ALL" : "UNION", "");
+    op.rows_in = left.row_count() + right.row_count();
+    op.rows_out = combined.row_count();
+    op.loops = 1;
+  }
   return combined;
 }
 
@@ -369,8 +269,19 @@ std::optional<Executor::ResolvedAccess> Executor::ResolveCandidates(
     Table* table, const std::string& alias, const Expr* where,
     const StatementPlan* plan, const Params& params,
     const std::vector<size_t>* desired_order) {
+  ExecProfile* prof = db_->exec_profile();
+  const int64_t prof_start = prof != nullptr ? obs::NowNanos() : 0;
+  auto record = [&](const char* op, std::string detail, size_t rows_out) {
+    if (prof == nullptr) return;
+    ExecProfileOp& slot = prof->Add(op, std::move(detail));
+    slot.rows_in = table->row_count();
+    slot.rows_out = rows_out;
+    slot.loops = 1;
+    slot.elapsed_ns = obs::NowNanos() - prof_start;
+  };
   if (!db_->optimizer_enabled()) {
     db_->NotePlanChoice(PlanChoice::kScan);
+    record("SCAN", table->schema().table_name(), table->row_count());
     return std::nullopt;
   }
   const IndexLookupPlan* access = nullptr;
@@ -392,6 +303,9 @@ std::optional<Executor::ResolvedAccess> Executor::ResolveCandidates(
         IndexCandidates(*table, *access, params, db_);
     if (candidates.has_value()) {
       db_->NotePlanChoice(PlanChoice::kIndexLookup);
+      record("INDEX LOOKUP",
+             table->schema().table_name() + " via " + access->index_name,
+             candidates->size());
       return ResolvedAccess{std::move(*candidates), false};
     }
   }
@@ -406,6 +320,9 @@ std::optional<Executor::ResolvedAccess> Executor::ResolveCandidates(
       bool key_ordered = desired_order != nullptr &&
                          *desired_order == range->key_columns;
       if (!key_ordered) std::sort(candidates->begin(), candidates->end());
+      record("RANGE SCAN",
+             table->schema().table_name() + " via " + range->index_name,
+             candidates->size());
       return ResolvedAccess{std::move(*candidates), key_ordered};
     }
   }
@@ -422,10 +339,15 @@ std::optional<Executor::ResolvedAccess> Executor::ResolveCandidates(
         out.slots.insert(out.slots.end(), slots.begin(), slots.end());
       }
       db_->NotePlanChoice(PlanChoice::kRangeScan);
+      record("RANGE SCAN",
+             table->schema().table_name() + " via " + index.name +
+                 " (full traversal)",
+             out.slots.size());
       return out;
     }
   }
   db_->NotePlanChoice(PlanChoice::kScan);
+  record("SCAN", table->schema().table_name(), table->row_count());
   return std::nullopt;
 }
 
@@ -434,105 +356,19 @@ bool Executor::TryPushdown(Table* table, const std::string& qual,
                            const Params& params,
                            std::vector<Row>* out_rows) {
   if (!db_->optimizer_enabled() || sel.where == nullptr) return false;
-  const TableRef& ref = sel.from[ref_index];
-  // Filtering the right side of a LEFT OUTER join is unsound: a left row
-  // whose only matches are filtered away becomes NULL-padded, and a
-  // pushed conjunct like `r.x IS NULL` would then accept rows the
-  // unpushed plan rejects.
-  if (ref_index > 0 && ref.join_type == JoinType::kLeftOuter) return false;
-  // The qualifier must name this table reference unambiguously.
-  size_t alias_count = 0;
-  for (const TableRef& other : sel.from) {
-    const std::string& other_qual =
-        other.alias.empty() ? other.table_name : other.alias;
-    if (EqualsIgnoreCase(other_qual, qual)) ++alias_count;
-  }
-  if (alias_count != 1) return false;
-
+  // Structural soundness (LEFT OUTER right side, ambiguous alias) and
+  // the pushable-conjunct gate are shared with EXPLAIN's renderer.
+  if (!PushdownAllowed(sel, ref_index)) return false;
   const TableSchema& schema = table->schema();
-  auto qualified_col = [&](const Expr& e) -> int {
-    if (e.kind != ExprKind::kColumnRef) return -1;
-    if (e.table_qualifier.empty() ||
-        !EqualsIgnoreCase(e.table_qualifier, qual)) {
-      return -1;
-    }
-    return schema.FindColumn(e.column_name);
-  };
-
-  // Collect conjuncts that (a) mention only this table's columns, all
-  // explicitly qualified, and (b) cannot raise a TypeError the un-pushed
-  // WHERE would have short-circuited past — never-erroring forms
-  // (IS [NOT] NULL, BETWEEN, IN over probes, LIKE) plus class-gated
-  // comparisons. Parameters re-gate at evaluation time below.
-  std::vector<const Expr*> conjuncts;
-  SplitConjuncts(*sel.where, &conjuncts);
-  std::vector<const Expr*> pushable;
-  for (const Expr* c : conjuncts) {
-    switch (c->kind) {
-      case ExprKind::kUnary:
-        if ((c->unary_op == UnaryOp::kIsNull ||
-             c->unary_op == UnaryOp::kIsNotNull) &&
-            qualified_col(*c->children[0]) >= 0) {
-          pushable.push_back(c);
-        }
-        break;
-      case ExprKind::kBetween:
-        if (qualified_col(*c->children[0]) >= 0 &&
-            IsProbeExpr(*c->children[1]) && IsProbeExpr(*c->children[2])) {
-          pushable.push_back(c);
-        }
-        break;
-      case ExprKind::kInList: {
-        if (qualified_col(*c->children[0]) < 0) break;
-        bool all_probes = true;
-        for (size_t i = 1; i < c->children.size(); ++i) {
-          if (!IsProbeExpr(*c->children[i])) {
-            all_probes = false;
-            break;
-          }
-        }
-        if (all_probes) pushable.push_back(c);
-        break;
-      }
-      case ExprKind::kBinary: {
-        BinaryOp op = c->binary_op;
-        if (op == BinaryOp::kLike) {
-          if (qualified_col(*c->children[0]) >= 0 &&
-              IsProbeExpr(*c->children[1])) {
-            pushable.push_back(c);
-          }
-          break;
-        }
-        if (op != BinaryOp::kEq && op != BinaryOp::kNotEq &&
-            op != BinaryOp::kLt && op != BinaryOp::kLtEq &&
-            op != BinaryOp::kGt && op != BinaryOp::kGtEq) {
-          break;
-        }
-        int col = qualified_col(*c->children[0]);
-        const Expr* probe = c->children[1].get();
-        if (col < 0) {
-          col = qualified_col(*c->children[1]);
-          probe = c->children[0].get();
-        }
-        if (col < 0 || !IsProbeExpr(*probe)) break;
-        ValueType type = schema.columns()[static_cast<size_t>(col)].type;
-        if (type == ValueType::kNull) break;  // untyped: anything stored
-        if (!ProbeExprCompatible(type, *probe)) break;
-        pushable.push_back(c);
-        break;
-      }
-      default:
-        break;
-    }
-  }
+  std::vector<const Expr*> pushable =
+      CollectPushableConjuncts(schema, qual, sel);
   if (pushable.empty()) return false;
 
+  ExecProfile* prof = db_->exec_profile();
+  const int64_t prof_start = prof != nullptr ? obs::NowNanos() : 0;
+
   // Let the planner find an index over just the pushed conjuncts.
-  ExprPtr pushed_where = CloneExpr(*pushable[0]);
-  for (size_t i = 1; i < pushable.size(); ++i) {
-    pushed_where = MakeBinary(BinaryOp::kAnd, std::move(pushed_where),
-                              CloneExpr(*pushable[i]));
-  }
+  ExprPtr pushed_where = CombineConjuncts(pushable);
   StatementPlan local;
   ChooseAccessPath(*table, qual, pushed_where.get(), &local);
   std::optional<std::vector<size_t>> candidates;
@@ -588,6 +424,33 @@ bool Executor::TryPushdown(Table* table, const std::string& qual,
   if (used_index) db_->NotePlanChoice(PlanChoice::kIndexLookup);
   if (used_range) db_->NotePlanChoice(PlanChoice::kRangeScan);
   db_->NotePlanChoice(PlanChoice::kPushdown);
+  if (prof != nullptr) {
+    const size_t examined =
+        candidates.has_value() ? candidates->size() : table->row_count();
+    ExecProfileOp& op = prof->Add(
+        "PUSHDOWN", schema.table_name() + " (" +
+                        std::to_string(pushable.size()) + " conjunct" +
+                        (pushable.size() == 1 ? "" : "s") + ")");
+    op.rows_in = examined;
+    op.rows_out = kept.size();
+    op.loops = 1;
+    op.elapsed_ns = obs::NowNanos() - prof_start;
+    if (used_index) {
+      ExecProfileOp& sub = prof->Add(
+          "INDEX LOOKUP",
+          schema.table_name() + " via " + local.access.index_name, 1);
+      sub.rows_in = table->row_count();
+      sub.rows_out = examined;
+      sub.loops = 1;
+    } else if (used_range) {
+      ExecProfileOp& sub = prof->Add(
+          "RANGE SCAN",
+          schema.table_name() + " via " + local.range.index_name, 1);
+      sub.rows_in = table->row_count();
+      sub.rows_out = examined;
+      sub.loops = 1;
+    }
+  }
   *out_rows = std::move(kept);
   return true;
 }
@@ -600,6 +463,7 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
   // executed inline). Equi-joins run as build/probe hash joins; other
   // joins nested-loop.
   FromScope scope;
+  ExecProfile* prof = db_->exec_profile();
   bool first_ref = true;
   // Set when a single-base-table scope comes back in the order its
   // ORDER BY asks for (index traversal); step 6 then skips the sort.
@@ -617,6 +481,11 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
         right_cols.push_back({qual, name});
       }
       right_rows = std::move(derived.mutable_rows());
+      if (prof != nullptr) {
+        ExecProfileOp& op = prof->Add("DERIVED", qual);
+        op.rows_in = op.rows_out = right_rows.size();
+        op.loops = 1;
+      }
     } else if (Table* table = db_->catalog().FindTable(ref.table_name)) {
       for (const ColumnDef& col : table->schema().columns()) {
         right_cols.push_back({qual, col.name});
@@ -652,6 +521,15 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
         }
       } else if (!pushed) {
         right_rows = table->rows();
+        // The single-table path records its access op (including a
+        // scan) inside ResolveCandidates; joined refs that neither
+        // pushed nor resolved record their scan here.
+        if (prof != nullptr && !(first_ref && sel.from.size() == 1)) {
+          ExecProfileOp& op =
+              prof->Add("SCAN", table->schema().table_name());
+          op.rows_in = op.rows_out = right_rows.size();
+          op.loops = 1;
+        }
       }
     } else if (const SelectStatement* view =
                    db_->catalog().FindView(ref.table_name)) {
@@ -668,6 +546,11 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
         right_cols.push_back({qual, name});
       }
       right_rows = std::move(view_result->mutable_rows());
+      if (prof != nullptr) {
+        ExecProfileOp& op = prof->Add("VIEW", ref.table_name);
+        op.rows_in = op.rows_out = right_rows.size();
+        op.loops = 1;
+      }
     } else {
       return Status::NotFound("no table or view '" + ref.table_name +
                               "'");
@@ -700,28 +583,14 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
                      (ref.join_type == JoinType::kInner ||
                       ref.join_type == JoinType::kLeftOuter);
     if (hash_join) {
-      std::vector<const Expr*> conjuncts;
-      SplitConjuncts(*ref.join_condition, &conjuncts);
-      for (const Expr* c : conjuncts) {
-        if (c->kind != ExprKind::kBinary ||
-            c->binary_op != BinaryOp::kEq) {
-          continue;
-        }
-        int a = FindScopeColumn(combined_cols, *c->children[0]);
-        int b = FindScopeColumn(combined_cols, *c->children[1]);
-        if (a < 0 || b < 0) continue;
-        size_t ua = static_cast<size_t>(a);
-        size_t ub = static_cast<size_t>(b);
-        if (ua < left_width && ub >= left_width) {
-          key_pairs.emplace_back(ua, ub - left_width);
-        } else if (ub < left_width && ua >= left_width) {
-          key_pairs.emplace_back(ub, ua - left_width);
-        }
-      }
+      key_pairs = ExtractEquiJoinKeys(*ref.join_condition, combined_cols,
+                                      left_width);
       hash_join = !key_pairs.empty() &&
                   JoinKeysComparable(scope.rows, right_rows, key_pairs);
     }
 
+    const int64_t join_start = prof != nullptr ? obs::NowNanos() : 0;
+    const size_t join_rows_in = scope.rows.size() + right_rows.size();
     if (hash_join) {
       db_->NotePlanChoice(PlanChoice::kHashJoin);
       // Build the hash table on the smaller input (row-count cost
@@ -823,6 +692,18 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
         }
       }
     }
+    if (prof != nullptr) {
+      std::string op_name = hash_join ? "HASH JOIN" : "NESTED LOOP";
+      if (ref.join_type == JoinType::kLeftOuter) op_name += " LEFT OUTER";
+      ExecProfileOp& op = prof->Add(
+          std::move(op_name), ref.join_condition != nullptr
+                                  ? ref.join_condition->ToString()
+                                  : "cross");
+      op.rows_in = join_rows_in;
+      op.rows_out = combined_rows.size();
+      op.loops = 1;
+      op.elapsed_ns = obs::NowNanos() - join_start;
+    }
     scope.columns = std::move(combined_cols);
     scope.rows = std::move(combined_rows);
   }
@@ -834,6 +715,8 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
 
   // 2. WHERE.
   if (sel.where != nullptr) {
+    const int64_t filter_start = prof != nullptr ? obs::NowNanos() : 0;
+    const size_t filter_rows_in = scope.rows.size();
     std::vector<Row> kept;
     Row current;
     ScopeBinding binding(&scope.columns, &current);
@@ -847,6 +730,13 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
       if (IsTrue(cond)) kept.push_back(std::move(current));
     }
     scope.rows = std::move(kept);
+    if (prof != nullptr) {
+      ExecProfileOp& op = prof->Add("FILTER", sel.where->ToString());
+      op.rows_in = filter_rows_in;
+      op.rows_out = scope.rows.size();
+      op.loops = 1;
+      op.elapsed_ns = obs::NowNanos() - filter_start;
+    }
   }
 
   // 3. Expand stars & name output columns.
@@ -929,6 +819,8 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
     }
   }
 
+  const int64_t agg_start =
+      (prof != nullptr && grouped) ? obs::NowNanos() : 0;
   if (grouped) {
     // Collect aggregate nodes from every expression that needs them.
     std::vector<const Expr*> agg_nodes;
@@ -1058,9 +950,28 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
       produced.push_back(std::move(out_row));
     }
   }
+  if (prof != nullptr && grouped) {
+    std::string detail;
+    if (sel.group_by.empty()) {
+      detail = "implicit group";
+    } else {
+      for (size_t i = 0; i < sel.group_by.size(); ++i) {
+        if (i > 0) detail += ", ";
+        detail += sel.group_by[i]->ToString();
+      }
+      detail = "GROUP BY " + detail;
+    }
+    ExecProfileOp& op = prof->Add("AGGREGATE", std::move(detail));
+    op.rows_in = scope.rows.size();
+    op.rows_out = produced.size();
+    op.loops = 1;
+    op.elapsed_ns = obs::NowNanos() - agg_start;
+  }
 
   // 5. DISTINCT.
   if (sel.distinct) {
+    const int64_t distinct_start = prof != nullptr ? obs::NowNanos() : 0;
+    const size_t distinct_rows_in = produced.size();
     std::set<std::string> seen;
     std::vector<SortableRow> unique;
     for (SortableRow& row : produced) {
@@ -1069,11 +980,19 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
       }
     }
     produced = std::move(unique);
+    if (prof != nullptr) {
+      ExecProfileOp& op = prof->Add("DISTINCT", "");
+      op.rows_in = distinct_rows_in;
+      op.rows_out = produced.size();
+      op.loops = 1;
+      op.elapsed_ns = obs::NowNanos() - distinct_start;
+    }
   }
 
   // 6. ORDER BY (stable, so equal keys keep input order). Skipped when
   // an ordered-index traversal already produced this exact order.
   if (!sel.order_by.empty() && !order_by_presorted) {
+    const int64_t sort_start = prof != nullptr ? obs::NowNanos() : 0;
     std::stable_sort(
         produced.begin(), produced.end(),
         [&sel](const SortableRow& a, const SortableRow& b) {
@@ -1085,6 +1004,16 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
           }
           return false;
         });
+    if (prof != nullptr) {
+      ExecProfileOp& op = prof->Add("SORT", "");
+      op.rows_in = op.rows_out = produced.size();
+      op.loops = 1;
+      op.elapsed_ns = obs::NowNanos() - sort_start;
+    }
+  } else if (!sel.order_by.empty() && prof != nullptr) {
+    ExecProfileOp& op = prof->Add("SORT", "elided (index order)");
+    op.rows_in = op.rows_out = produced.size();
+    op.loops = 1;
   }
 
   // 7. OFFSET / LIMIT.
@@ -1095,6 +1024,21 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
   }
   if (sel.limit.has_value()) {
     end = std::min<size_t>(begin + static_cast<size_t>(*sel.limit), end);
+  }
+  if (prof != nullptr &&
+      (sel.offset.has_value() || sel.limit.has_value())) {
+    std::string detail;
+    if (sel.offset.has_value()) {
+      detail += "OFFSET " + std::to_string(*sel.offset);
+    }
+    if (sel.limit.has_value()) {
+      if (!detail.empty()) detail += " ";
+      detail += "LIMIT " + std::to_string(*sel.limit);
+    }
+    ExecProfileOp& op = prof->Add("LIMIT", std::move(detail));
+    op.rows_in = produced.size();
+    op.rows_out = end - begin;
+    op.loops = 1;
   }
   for (size_t i = begin; i < end; ++i) {
     result.AddRow(std::move(produced[i].output));
@@ -1184,6 +1128,11 @@ Result<ResultSet> Executor::ExecuteInsert(const InsertStatement& ins,
     }
   }
   db_->MutableStats()->rows_written += static_cast<uint64_t>(inserted);
+  if (ExecProfile* prof = db_->exec_profile()) {
+    ExecProfileOp& op = prof->Add("INSERT", ins.table_name);
+    op.rows_in = op.rows_out = static_cast<uint64_t>(inserted);
+    op.loops = 1;
+  }
   ResultSet rs;
   rs.set_affected_rows(inserted);
   return rs;
@@ -1257,6 +1206,13 @@ Result<ResultSet> Executor::ExecuteUpdate(const UpdateStatement& upd,
         "row " + std::to_string(++mutated)));
   }
   db_->MutableStats()->rows_written += matches.size();
+  if (ExecProfile* prof = db_->exec_profile()) {
+    ExecProfileOp& op = prof->Add("UPDATE", upd.table_name);
+    op.rows_in = candidates.has_value() ? candidates->slots.size()
+                                        : table->row_count();
+    op.rows_out = matches.size();
+    op.loops = 1;
+  }
   ResultSet rs;
   rs.set_affected_rows(static_cast<int64_t>(matches.size()));
   return rs;
@@ -1310,6 +1266,13 @@ Result<ResultSet> Executor::ExecuteDelete(const DeleteStatement& del,
         "row " + std::to_string(++deleted)));
   }
   db_->MutableStats()->rows_written += matches.size();
+  if (ExecProfile* prof = db_->exec_profile()) {
+    ExecProfileOp& op = prof->Add("DELETE", del.table_name);
+    op.rows_in = candidates.has_value() ? candidates->slots.size()
+                                        : table->row_count() + deleted;
+    op.rows_out = matches.size();
+    op.loops = 1;
+  }
   ResultSet rs;
   rs.set_affected_rows(static_cast<int64_t>(matches.size()));
   return rs;
@@ -1352,6 +1315,8 @@ Result<ResultSet> Executor::Execute(const Statement& stmt,
       return ExecuteDelete(*stmt.del, params, plan);
     case StatementKind::kCall:
       return ExecuteCall(*stmt.call, params);
+    case StatementKind::kExplain:
+      return ExecuteExplain(db_, *stmt.explain, params);
 
     case StatementKind::kCreateTable: {
       const CreateTableStatement& ct = *stmt.create_table;
@@ -1427,6 +1392,11 @@ Result<ResultSet> Executor::Execute(const Statement& stmt,
     case StatementKind::kTruncate: {
       SQLFLOW_ASSIGN_OR_RETURN(
           Table * table, db_->catalog().GetTable(stmt.truncate->table_name));
+      if (table->read_only()) {
+        return Status::InvalidArgument("table '" +
+                                       stmt.truncate->table_name +
+                                       "' is read-only");
+      }
       int64_t removed = static_cast<int64_t>(table->row_count());
       table->Clear(db_->active_undo());
       db_->InvalidatePlans(stmt.truncate->table_name);

@@ -1,0 +1,227 @@
+#include "sql/introspect.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sql/database.h"
+#include "sql/fault.h"
+#include "sql/table.h"
+
+namespace sqlflow::sql {
+
+namespace {
+
+TableSchema MakeSchema(std::string name,
+                       std::vector<std::pair<std::string, ValueType>> cols) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(cols.size());
+  for (auto& [col_name, type] : cols) {
+    ColumnDef def;
+    def.name = std::move(col_name);
+    def.type = type;
+    defs.push_back(std::move(def));
+  }
+  return TableSchema(std::move(name), std::move(defs));
+}
+
+std::vector<Row> MetricsRows() {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  std::vector<Row> rows;
+  for (const obs::CounterSnapshot& c : metrics.SnapshotCounters()) {
+    rows.push_back({Value::String(c.name), Value::String("counter"),
+                    Value::Integer(static_cast<int64_t>(c.value)),
+                    Value::Null(), Value::Null(), Value::Null(),
+                    Value::Null(), Value::Null(), Value::Null()});
+  }
+  for (const obs::HistogramSnapshot& h : metrics.SnapshotHistograms()) {
+    rows.push_back({Value::String(h.name), Value::String("histogram"),
+                    Value::Null(),
+                    Value::Integer(static_cast<int64_t>(h.count)),
+                    Value::Integer(static_cast<int64_t>(h.sum)),
+                    Value::Integer(static_cast<int64_t>(h.p50)),
+                    Value::Integer(static_cast<int64_t>(h.p95)),
+                    Value::Integer(static_cast<int64_t>(h.p99)),
+                    Value::Integer(static_cast<int64_t>(h.max))});
+  }
+  return rows;
+}
+
+std::vector<Row> TablesRows(Database* db) {
+  std::vector<Row> rows;
+  Catalog& catalog = db->catalog();
+  // Virtual tables report a NULL row count: they materialize only for
+  // statements that reference them, so any number read here would be a
+  // stale snapshot from some earlier statement.
+  auto add = [&](const std::string& name, const char* kind,
+                 bool live_rows) {
+    const Table* table = catalog.FindTable(name);
+    if (table == nullptr) return;
+    rows.push_back(
+        {Value::String(name), Value::String(kind),
+         live_rows
+             ? Value::Integer(static_cast<int64_t>(table->row_count()))
+             : Value::Null(),
+         Value::Integer(
+             static_cast<int64_t>(table->schema().column_count())),
+         Value::Integer(
+             static_cast<int64_t>(table->secondary_indexes().size()))});
+  };
+  for (const std::string& name : catalog.TableNames()) {
+    add(name, "base", /*live_rows=*/true);
+  }
+  for (const std::string& name : catalog.VirtualTableNames()) {
+    add(name, "virtual", /*live_rows=*/false);
+  }
+  for (const std::string& name : catalog.ViewNames()) {
+    rows.push_back({Value::String(name), Value::String("view"),
+                    Value::Null(), Value::Null(), Value::Null()});
+  }
+  return rows;
+}
+
+std::vector<Row> IndexesRows(Database* db) {
+  std::vector<Row> rows;
+  Catalog& catalog = db->catalog();
+  for (const std::string& table_name : catalog.TableNames()) {
+    const Table* table = catalog.FindTable(table_name);
+    if (table == nullptr) continue;
+    for (const SecondaryIndex& index : table->secondary_indexes()) {
+      std::string columns;
+      for (size_t i = 0; i < index.column_indexes.size(); ++i) {
+        if (i > 0) columns += ",";
+        columns += table->schema().columns()[index.column_indexes[i]].name;
+      }
+      rows.push_back(
+          {Value::String(index.name), Value::String(table_name),
+           Value::String(std::move(columns)), Value::Boolean(index.unique),
+           Value::Integer(static_cast<int64_t>(index.ordered.size()))});
+    }
+  }
+  return rows;
+}
+
+std::vector<Row> PlanCacheRows(Database* db) {
+  std::vector<Row> rows;
+  for (const Database::PlanCacheEntry& e : db->PlanCacheEntries()) {
+    rows.push_back({Value::String(e.sql), Value::String(e.tables),
+                    Value::Integer(static_cast<int64_t>(e.hits)),
+                    Value::Integer(static_cast<int64_t>(e.plan_epoch)),
+                    Value::Integer(static_cast<int64_t>(e.last_used_tick)),
+                    Value::Boolean(e.has_access_plan),
+                    Value::Boolean(e.has_range_plan)});
+  }
+  return rows;
+}
+
+std::vector<Row> FaultSitesRows(Database* db) {
+  std::shared_ptr<FaultInjector> injector = db->fault_injector();
+  if (injector == nullptr) injector = Database::GlobalFaultInjector();
+  std::vector<Row> rows;
+  if (injector == nullptr) return rows;
+  const FaultInjector::Options& options = injector->options();
+  const FaultInjector::Stats& stats = injector->stats();
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  // Per-layer row: the layer's gate plus its injected split. SEEN and
+  // MATCHED are injector-wide (the stream is shared across layers).
+  // ABSORBED maps each layer to the recovery counter that answers its
+  // faults: the statement-layer replay for statement and mid-statement
+  // sites (mid faults are rolled back, then replayed by the same
+  // wrapper), the service-layer retry for service sites.
+  struct LayerRow {
+    const char* layer;
+    bool enabled;
+    uint64_t injected;
+    const char* absorbed_counter;
+  };
+  const LayerRow layers[] = {
+      {"statement", options.statement_sites, stats.injected_statement,
+       "sql.fault.absorbed"},
+      {"mid_statement", options.mid_statement_sites,
+       stats.injected_mid_statement, "sql.fault.absorbed"},
+      {"service", options.service_sites, stats.injected_service,
+       "svc.fault.absorbed"},
+  };
+  for (const LayerRow& layer : layers) {
+    rows.push_back(
+        {Value::String(layer.layer), Value::Boolean(layer.enabled),
+         Value::Integer(static_cast<int64_t>(options.seed)),
+         Value::Double(options.probability),
+         Value::String(options.site_filter),
+         Value::String(options.database_filter),
+         Value::Integer(static_cast<int64_t>(stats.statements_seen)),
+         Value::Integer(static_cast<int64_t>(stats.sites_matched)),
+         Value::Integer(static_cast<int64_t>(layer.injected)),
+         Value::Integer(static_cast<int64_t>(
+             metrics.GetCounter(layer.absorbed_counter).value()))});
+  }
+  return rows;
+}
+
+}  // namespace
+
+Status RegisterSysTables(Database* db) {
+  Catalog& catalog = db->catalog();
+
+  SQLFLOW_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      MakeSchema("sys.metrics",
+                 {{"NAME", ValueType::kString},
+                  {"KIND", ValueType::kString},
+                  {"VALUE", ValueType::kInteger},
+                  {"COUNT", ValueType::kInteger},
+                  {"SUM", ValueType::kInteger},
+                  {"P50", ValueType::kInteger},
+                  {"P95", ValueType::kInteger},
+                  {"P99", ValueType::kInteger},
+                  {"MAX", ValueType::kInteger}}),
+      [] { return MetricsRows(); }));
+
+  SQLFLOW_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      MakeSchema("sys.tables",
+                 {{"NAME", ValueType::kString},
+                  {"KIND", ValueType::kString},
+                  {"ROW_COUNT", ValueType::kInteger},
+                  {"COLUMN_COUNT", ValueType::kInteger},
+                  {"INDEX_COUNT", ValueType::kInteger}}),
+      [db] { return TablesRows(db); }));
+
+  SQLFLOW_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      MakeSchema("sys.indexes",
+                 {{"NAME", ValueType::kString},
+                  {"TABLE_NAME", ValueType::kString},
+                  {"COLUMNS", ValueType::kString},
+                  {"IS_UNIQUE", ValueType::kBoolean},
+                  {"DISTINCT_KEYS", ValueType::kInteger}}),
+      [db] { return IndexesRows(db); }));
+
+  SQLFLOW_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      MakeSchema("sys.plan_cache",
+                 {{"SQL_TEXT", ValueType::kString},
+                  {"TABLES", ValueType::kString},
+                  {"HITS", ValueType::kInteger},
+                  {"PLAN_EPOCH", ValueType::kInteger},
+                  {"LAST_USED", ValueType::kInteger},
+                  {"HAS_ACCESS", ValueType::kBoolean},
+                  {"HAS_RANGE", ValueType::kBoolean}}),
+      [db] { return PlanCacheRows(db); }));
+
+  SQLFLOW_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      MakeSchema("sys.fault_sites",
+                 {{"LAYER", ValueType::kString},
+                  {"ENABLED", ValueType::kBoolean},
+                  {"SEED", ValueType::kInteger},
+                  {"PROBABILITY", ValueType::kDouble},
+                  {"SITE_FILTER", ValueType::kString},
+                  {"DATABASE_FILTER", ValueType::kString},
+                  {"SEEN", ValueType::kInteger},
+                  {"MATCHED", ValueType::kInteger},
+                  {"INJECTED", ValueType::kInteger},
+                  {"ABSORBED", ValueType::kInteger}}),
+      [db] { return FaultSitesRows(db); }));
+
+  return Status::OK();
+}
+
+}  // namespace sqlflow::sql

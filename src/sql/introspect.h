@@ -1,0 +1,34 @@
+#ifndef SQLFLOW_SQL_INTROSPECT_H_
+#define SQLFLOW_SQL_INTROSPECT_H_
+
+#include "common/status.h"
+
+namespace sqlflow::sql {
+
+class Database;
+
+/// Registers the engine-introspection virtual tables on `db`'s catalog:
+///
+///   sys.metrics     — every obs counter/histogram (NAME, KIND, VALUE,
+///                     COUNT, SUM, P50, P95, P99, MAX)
+///   sys.tables      — catalog entries with live row counts (NAME, KIND,
+///                     ROW_COUNT, COLUMN_COUNT, INDEX_COUNT)
+///   sys.indexes     — secondary indexes (NAME, TABLE_NAME, COLUMNS,
+///                     IS_UNIQUE, DISTINCT_KEYS)
+///   sys.plan_cache  — statement-plan cache entries (SQL_TEXT, TABLES,
+///                     HITS, PLAN_EPOCH, LAST_USED, HAS_ACCESS,
+///                     HAS_RANGE)
+///   sys.fault_sites — one row per injector layer gate (LAYER, ENABLED,
+///                     SEED, PROBABILITY, SITE_FILTER, DATABASE_FILTER,
+///                     SEEN, MATCHED, INJECTED, ABSORBED); empty when no
+///                     injector (database-local or global) is installed.
+///
+/// The tables are read-only and re-materialized from live engine state
+/// at the start of any statement that references them (one consistent
+/// snapshot per statement — see Catalog::RefreshVirtualTables), so they
+/// scan/filter/join like ordinary tables.
+Status RegisterSysTables(Database* db);
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_INTROSPECT_H_

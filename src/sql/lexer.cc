@@ -11,7 +11,7 @@ namespace {
 
 // The dialect's reserved words. Words not listed here lex as identifiers
 // even if they look keyword-ish, so column names like `status` stay usable.
-constexpr std::array<const char*, 68> kKeywords = {
+constexpr std::array<const char*, 70> kKeywords = {
     "SELECT", "FROM",     "WHERE",    "GROUP",    "BY",       "HAVING",
     "ORDER",  "ASC",      "DESC",     "LIMIT",    "OFFSET",   "AS",
     "AND",    "OR",       "NOT",      "NULL",     "TRUE",     "FALSE",
@@ -23,7 +23,7 @@ constexpr std::array<const char*, 68> kKeywords = {
     "UNIQUE", "INTEGER",  "INT",      "BIGINT",   "DOUBLE",   "FLOAT",
     "VARCHAR", "BOOLEAN", "TRANSACTION", "TRUNCATE", "CASE",  "WHEN",
     "THEN",   "ELSE",     "END",      "UNION",    "ALL",      "VIEW",
-    "CHECK",  "DEFAULT",
+    "CHECK",  "DEFAULT",  "EXPLAIN",  "ANALYZE",
 };
 
 bool IsIdentStart(char c) {

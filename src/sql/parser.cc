@@ -112,6 +112,17 @@ class Parser {
 
   Result<std::unique_ptr<Statement>> ParseStatementInternal() {
     auto stmt = std::make_unique<Statement>();
+    if (AcceptKeyword("EXPLAIN")) {
+      stmt->kind = StatementKind::kExplain;
+      auto explain = std::make_unique<ExplainStatement>();
+      explain->analyze = AcceptKeyword("ANALYZE");
+      SQLFLOW_ASSIGN_OR_RETURN(explain->target, ParseStatementInternal());
+      if (explain->target->kind == StatementKind::kExplain) {
+        return Error("EXPLAIN cannot wrap another EXPLAIN");
+      }
+      stmt->explain = std::move(explain);
+      return stmt;
+    }
     if (CheckKeyword("SELECT")) {
       stmt->kind = StatementKind::kSelect;
       SQLFLOW_ASSIGN_OR_RETURN(stmt->select, ParseSelect());
@@ -218,8 +229,7 @@ class Parser {
       SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("TABLE"));
       stmt->kind = StatementKind::kTruncate;
       auto trunc = std::make_unique<TruncateStatement>();
-      SQLFLOW_ASSIGN_OR_RETURN(trunc->table_name,
-                               ExpectIdentifier("table name"));
+      SQLFLOW_ASSIGN_OR_RETURN(trunc->table_name, ParseDottedTableName());
       stmt->truncate = std::move(trunc);
       return stmt;
     }
@@ -358,6 +368,20 @@ class Parser {
     return Status::OK();
   }
 
+  /// Table name, optionally dotted (`sys.metrics`): the catalog stores
+  /// dotted names as one flat name, so the pair composes back into a
+  /// single table name here.
+  Result<std::string> ParseDottedTableName() {
+    SQLFLOW_ASSIGN_OR_RETURN(std::string name,
+                             ExpectIdentifier("table name"));
+    if (Check(TokenType::kDot) &&
+        PeekAhead(1).type == TokenType::kIdentifier) {
+      Advance();  // '.'
+      name += "." + Advance().text;
+    }
+    return name;
+  }
+
   Result<TableRef> ParseTableRef() {
     TableRef ref;
     if (Accept(TokenType::kLParen)) {
@@ -369,7 +393,7 @@ class Parser {
           ref.alias, ExpectIdentifier("derived table alias"));
       return ref;
     }
-    SQLFLOW_ASSIGN_OR_RETURN(ref.table_name, ExpectIdentifier("table name"));
+    SQLFLOW_ASSIGN_OR_RETURN(ref.table_name, ParseDottedTableName());
     if (AcceptKeyword("AS")) {
       SQLFLOW_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
     } else if (Check(TokenType::kIdentifier)) {
@@ -381,8 +405,7 @@ class Parser {
   Result<std::unique_ptr<InsertStatement>> ParseInsert() {
     SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("INTO"));
     auto ins = std::make_unique<InsertStatement>();
-    SQLFLOW_ASSIGN_OR_RETURN(ins->table_name,
-                             ExpectIdentifier("table name"));
+    SQLFLOW_ASSIGN_OR_RETURN(ins->table_name, ParseDottedTableName());
     if (Accept(TokenType::kLParen)) {
       while (true) {
         SQLFLOW_ASSIGN_OR_RETURN(std::string col,
@@ -416,8 +439,7 @@ class Parser {
 
   Result<std::unique_ptr<UpdateStatement>> ParseUpdate() {
     auto upd = std::make_unique<UpdateStatement>();
-    SQLFLOW_ASSIGN_OR_RETURN(upd->table_name,
-                             ExpectIdentifier("table name"));
+    SQLFLOW_ASSIGN_OR_RETURN(upd->table_name, ParseDottedTableName());
     SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("SET"));
     while (true) {
       SQLFLOW_ASSIGN_OR_RETURN(std::string col,
@@ -436,8 +458,7 @@ class Parser {
   Result<std::unique_ptr<DeleteStatement>> ParseDelete() {
     SQLFLOW_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     auto del = std::make_unique<DeleteStatement>();
-    SQLFLOW_ASSIGN_OR_RETURN(del->table_name,
-                             ExpectIdentifier("table name"));
+    SQLFLOW_ASSIGN_OR_RETURN(del->table_name, ParseDottedTableName());
     if (AcceptKeyword("WHERE")) {
       SQLFLOW_ASSIGN_OR_RETURN(del->where, ParseExpr());
     }

@@ -648,6 +648,13 @@ std::vector<std::string> CollectReferencedTables(const Statement& stmt) {
         CollectTablesFromExpr(*stmt.del->where, &names);
       }
       break;
+    case StatementKind::kExplain: {
+      // EXPLAIN touches whatever its target touches (ANALYZE runs it).
+      std::vector<std::string> inner =
+          CollectReferencedTables(*stmt.explain->target);
+      names.insert(inner.begin(), inner.end());
+      break;
+    }
     default:
       break;
   }

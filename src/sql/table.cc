@@ -359,6 +359,10 @@ Status Table::CheckRowConstraints(const Row& row) {
 }
 
 Status Table::Insert(const Row& row, UndoLog* undo) {
+  if (read_only_) {
+    return Status::InvalidArgument("table '" + schema_.table_name() +
+                                   "' is read-only");
+  }
   if (row.size() != schema_.column_count()) {
     return Status::InvalidArgument(
         "row has " + std::to_string(row.size()) + " values, table '" +
@@ -392,6 +396,10 @@ Status Table::Insert(const Row& row, UndoLog* undo) {
 }
 
 Status Table::Update(size_t index, const Row& new_row, UndoLog* undo) {
+  if (read_only_) {
+    return Status::InvalidArgument("table '" + schema_.table_name() +
+                                   "' is read-only");
+  }
   if (index >= rows_.size()) {
     return Status::InvalidArgument("update index out of range");
   }
@@ -430,6 +438,10 @@ Status Table::Update(size_t index, const Row& new_row, UndoLog* undo) {
 }
 
 Status Table::Delete(size_t index, UndoLog* undo) {
+  if (read_only_) {
+    return Status::InvalidArgument("table '" + schema_.table_name() +
+                                   "' is read-only");
+  }
   if (index >= rows_.size()) {
     return Status::InvalidArgument("delete index out of range");
   }

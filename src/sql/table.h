@@ -105,6 +105,12 @@ class Table {
   const std::vector<Row>& rows() const { return rows_; }
   size_t row_count() const { return rows_.size(); }
 
+  /// Read-only tables (the sys.* virtual tables) reject DML and
+  /// TRUNCATE; the Raw* entry points still work — they are how the
+  /// catalog refreshes virtual-table contents.
+  void SetReadOnly(bool read_only) { read_only_ = read_only; }
+  bool read_only() const { return read_only_; }
+
   /// Coerces values to the schema, checks constraints, appends the row.
   Status Insert(const Row& row, UndoLog* undo);
 
@@ -181,6 +187,7 @@ class Table {
   void RebuildSecondaryIndexes();
 
   TableSchema schema_;
+  bool read_only_ = false;
   std::vector<Row> rows_;
   std::vector<UniqueConstraint> unique_constraints_;
   std::vector<SecondaryIndex> secondary_indexes_;

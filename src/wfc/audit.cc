@@ -38,7 +38,8 @@ const char* AuditEventKindName(AuditEventKind kind) {
 }
 
 void AuditTrail::Record(AuditEventKind kind, const std::string& activity,
-                        const std::string& detail, int64_t duration_ns) {
+                        const std::string& detail, int64_t duration_ns,
+                        int64_t attempt) {
   AuditEvent e;
   e.sequence = next_sequence_++;
   e.kind = kind;
@@ -46,6 +47,7 @@ void AuditTrail::Record(AuditEventKind kind, const std::string& activity,
   e.detail = detail;
   e.timestamp_ns = obs::NowNanos();
   e.duration_ns = duration_ns;
+  e.attempt = attempt;
   events_.push_back(std::move(e));
 }
 

@@ -34,13 +34,15 @@ struct AuditEvent {
   std::string detail;
   int64_t timestamp_ns = 0;   // when the event was recorded
   int64_t duration_ns = -1;   // completed/faulted events; -1 = not timed
+  int64_t attempt = 0;        // retry ordinal (1-based); 0 = not a retry
 };
 
 /// Append-only execution trace of one process instance.
 class AuditTrail {
  public:
   void Record(AuditEventKind kind, const std::string& activity,
-              const std::string& detail = "", int64_t duration_ns = -1);
+              const std::string& detail = "", int64_t duration_ns = -1,
+              int64_t attempt = 0);
   const std::vector<AuditEvent>& events() const { return events_; }
   size_t size() const { return events_.size(); }
 

@@ -43,7 +43,8 @@ Status RetryActivity::Execute(ProcessContext& ctx) {
         metrics.GetCounter("wfc.retry.absorbed").Increment();
         ctx.audit().Record(AuditEventKind::kRetry, name(),
                            "absorbed after " + std::to_string(attempt) +
-                               " attempts");
+                               " attempts",
+                           /*duration_ns=*/-1, attempt);
       }
       return st;
     }
@@ -54,7 +55,8 @@ Status RetryActivity::Execute(ProcessContext& ctx) {
       metrics.GetCounter("wfc.retry.exhausted").Increment();
       ctx.audit().Record(AuditEventKind::kRetry, name(),
                          "exhausted after " + std::to_string(attempt) +
-                             " attempts: " + st.ToString());
+                             " attempts: " + st.ToString(),
+                         /*duration_ns=*/-1, attempt);
       return st;
     }
     int64_t delay = policy_.DelayForAttempt(attempt);
@@ -64,7 +66,8 @@ Status RetryActivity::Execute(ProcessContext& ctx) {
       ctx.audit().Record(
           AuditEventKind::kRetry, name(),
           "deadline forbids retry (backoff " + std::to_string(delay) +
-              "ns would overshoot): " + st.ToString());
+              "ns would overshoot): " + st.ToString(),
+          /*duration_ns=*/-1, attempt);
       return Status::Timeout("deadline expired while backing off in '" +
                              name() + "' after: " + st.ToString());
     }
@@ -74,7 +77,8 @@ Status RetryActivity::Execute(ProcessContext& ctx) {
                        "attempt " + std::to_string(attempt) + "/" +
                            std::to_string(max_attempts) + " faulted (" +
                            st.ToString() + "), backing off " +
-                           std::to_string(delay) + "ns");
+                           std::to_string(delay) + "ns",
+                       /*duration_ns=*/-1, attempt);
   }
 }
 

@@ -1,0 +1,287 @@
+#include "workflows/analytics.h"
+
+#include <memory>
+#include <utility>
+
+#include "common/rand.h"
+#include "sql/database.h"
+#include "sql/fault.h"
+#include "sql/introspect.h"
+#include "sql/table.h"
+#include "wfc/activities.h"
+#include "wfc/process.h"
+#include "wfc/robustness.h"
+
+namespace sqlflow::workflows {
+
+namespace {
+
+sql::TableSchema MakeSchema(
+    std::string name,
+    std::vector<std::pair<std::string, ValueType>> cols) {
+  std::vector<sql::ColumnDef> defs;
+  defs.reserve(cols.size());
+  for (auto& [col_name, type] : cols) {
+    sql::ColumnDef def;
+    def.name = std::move(col_name);
+    def.type = type;
+    defs.push_back(std::move(def));
+  }
+  return sql::TableSchema(std::move(name), std::move(defs));
+}
+
+std::vector<sql::Row> AuditEventRows(const ProcessHistoryStore* store) {
+  std::vector<sql::Row> rows;
+  rows.reserve(store->event_count());
+  for (const InstanceRecord& record : store->records()) {
+    for (const wfc::AuditEvent& e : record.audit.events()) {
+      rows.push_back(
+          {Value::Integer(static_cast<int64_t>(record.instance_id)),
+           Value::String(record.process),
+           Value::Integer(static_cast<int64_t>(e.sequence)),
+           Value::String(wfc::AuditEventKindName(e.kind)),
+           Value::String(e.activity), Value::String(e.detail),
+           Value::Integer(e.timestamp_ns), Value::Integer(e.duration_ns),
+           Value::Integer(e.attempt)});
+    }
+  }
+  return rows;
+}
+
+std::vector<sql::Row> InstanceRows(const ProcessHistoryStore* store) {
+  std::vector<sql::Row> rows;
+  rows.reserve(store->records().size());
+  for (const InstanceRecord& record : store->records()) {
+    const auto& events = record.audit.events();
+    int64_t started_ns = events.empty() ? 0 : events.front().timestamp_ns;
+    int64_t completed_ns = events.empty() ? 0 : events.back().timestamp_ns;
+    rows.push_back(
+        {Value::Integer(static_cast<int64_t>(record.instance_id)),
+         Value::String(record.process),
+         Value::String(record.status.ok() ? "completed" : "faulted"),
+         record.status.ok()
+             ? Value::Null()
+             : Value::String(StatusCodeName(record.status.code())),
+         Value::Integer(static_cast<int64_t>(record.audit.size())),
+         Value::Integer(static_cast<int64_t>(
+             record.audit.CountKind(wfc::AuditEventKind::kFault))),
+         Value::Integer(static_cast<int64_t>(
+             record.audit.CountKind(wfc::AuditEventKind::kRetry))),
+         Value::Integer(static_cast<int64_t>(
+             record.audit.CountKind(wfc::AuditEventKind::kCompensation))),
+         Value::Integer(started_ns), Value::Integer(completed_ns),
+         Value::Integer(completed_ns - started_ns)});
+  }
+  return rows;
+}
+
+/// Reads the instance's OrderID variable as an integer.
+Result<int64_t> OrderIdOf(wfc::ProcessContext& ctx) {
+  SQLFLOW_ASSIGN_OR_RETURN(Value v,
+                           ctx.variables().GetScalar("OrderID"));
+  return v.AsInteger();
+}
+
+/// A fulfilment step: a SQL snippet wrapped in a retry activity so
+/// transient statement faults become kRetry audit events with attempt
+/// numbers instead of being replayed invisibly below the engine.
+wfc::ActivityPtr RetryStep(const std::string& name, wfc::SnippetActivity::Fn fn,
+                           const wfc::BackoffPolicy& policy) {
+  return std::make_shared<wfc::RetryActivity>(
+      name, std::make_shared<wfc::SnippetActivity>(name + "-sql", std::move(fn)),
+      policy);
+}
+
+}  // namespace
+
+void ProcessHistoryStore::Attach(wfc::WorkflowEngine* engine,
+                                 std::string process_label) {
+  engine->AddInstanceListener(
+      [this, label = std::move(process_label)](
+          const wfc::InstanceResult& result) {
+        InstanceRecord record;
+        record.instance_id = result.instance_id;
+        record.process = label;
+        record.status = result.status;
+        record.audit = result.audit;
+        records_.push_back(std::move(record));
+      });
+}
+
+size_t ProcessHistoryStore::event_count() const {
+  size_t n = 0;
+  for (const InstanceRecord& record : records_) n += record.audit.size();
+  return n;
+}
+
+Status RegisterAuditTables(sql::Database* db,
+                           const ProcessHistoryStore* store) {
+  sql::Catalog& catalog = db->catalog();
+
+  SQLFLOW_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      MakeSchema("sys.audit_events",
+                 {{"INSTANCE_ID", ValueType::kInteger},
+                  {"PROCESS", ValueType::kString},
+                  {"SEQ", ValueType::kInteger},
+                  {"KIND", ValueType::kString},
+                  {"ACTIVITY", ValueType::kString},
+                  {"DETAIL", ValueType::kString},
+                  {"TS_NS", ValueType::kInteger},
+                  {"DURATION_NS", ValueType::kInteger},
+                  {"ATTEMPT", ValueType::kInteger}}),
+      [store] { return AuditEventRows(store); }));
+
+  SQLFLOW_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      MakeSchema("sys.instances",
+                 {{"INSTANCE_ID", ValueType::kInteger},
+                  {"PROCESS", ValueType::kString},
+                  {"STATUS", ValueType::kString},
+                  {"FAULT_CODE", ValueType::kString},
+                  {"EVENTS", ValueType::kInteger},
+                  {"FAULTS", ValueType::kInteger},
+                  {"RETRIES", ValueType::kInteger},
+                  {"COMPENSATIONS", ValueType::kInteger},
+                  {"STARTED_NS", ValueType::kInteger},
+                  {"COMPLETED_NS", ValueType::kInteger},
+                  {"DURATION_NS", ValueType::kInteger}}),
+      [store] { return InstanceRows(store); }));
+
+  return Status::OK();
+}
+
+bool CarrierRejectsOrder(uint64_t seed, int64_t order_id,
+                         int carrier_reject_percent) {
+  uint64_t draw = SplitMix64(seed ^ (static_cast<uint64_t>(order_id) *
+                                     0x9e3779b97f4a7c15ULL));
+  return static_cast<int>(draw % 100) < carrier_reject_percent;
+}
+
+Result<patterns::Fixture> GenerateOrderHistory(
+    const ChaosHistoryOptions& options, ProcessHistoryStore* store) {
+  SQLFLOW_ASSIGN_OR_RETURN(
+      patterns::Fixture fixture,
+      patterns::MakeFixture("analytics-history"));
+  std::shared_ptr<sql::Database> db = fixture.db;
+
+  // The fulfilment tables carry a shared prefix so a single injector
+  // site filter arms exactly the statements of the fulfilment steps
+  // (and nothing else: not the seeding above, not the analytics
+  // queries run later).
+  SQLFLOW_RETURN_IF_ERROR(db->ExecuteScript(R"sql(
+    CREATE TABLE Flow_Reservations (
+      OrderID INTEGER NOT NULL,
+      Qty     INTEGER NOT NULL
+    );
+    CREATE TABLE Flow_Payments (
+      OrderID INTEGER NOT NULL,
+      Amount  INTEGER NOT NULL
+    );
+    CREATE TABLE Flow_Shipments (
+      OrderID INTEGER NOT NULL,
+      Carrier VARCHAR(20) NOT NULL
+    );
+  )sql"));
+
+  wfc::BackoffPolicy policy;
+  policy.max_attempts = options.retry_max_attempts;
+  policy.jitter_seed = options.seed;
+
+  auto exec = [db](const std::string& sql) -> Status {
+    return db->Execute(sql).status();
+  };
+
+  auto reserve = [exec](wfc::ProcessContext& ctx) -> Status {
+    SQLFLOW_ASSIGN_OR_RETURN(int64_t id, OrderIdOf(ctx));
+    return exec("INSERT INTO Flow_Reservations VALUES (" +
+                std::to_string(id) + ", " + std::to_string(1 + id % 9) +
+                ")");
+  };
+  auto release = [exec](wfc::ProcessContext& ctx) -> Status {
+    SQLFLOW_ASSIGN_OR_RETURN(int64_t id, OrderIdOf(ctx));
+    return exec("DELETE FROM Flow_Reservations WHERE OrderID = " +
+                std::to_string(id));
+  };
+  auto charge = [exec](wfc::ProcessContext& ctx) -> Status {
+    SQLFLOW_ASSIGN_OR_RETURN(int64_t id, OrderIdOf(ctx));
+    return exec("INSERT INTO Flow_Payments VALUES (" +
+                std::to_string(id) + ", " +
+                std::to_string(10 * (1 + id % 9)) + ")");
+  };
+  auto refund = [exec](wfc::ProcessContext& ctx) -> Status {
+    SQLFLOW_ASSIGN_OR_RETURN(int64_t id, OrderIdOf(ctx));
+    return exec("DELETE FROM Flow_Payments WHERE OrderID = " +
+                std::to_string(id));
+  };
+  // Ship verifies the reservation first (a faultable read, so rejected
+  // orders can still accumulate retry events on the shipping step),
+  // then either hits the carrier's permanent rejection — a
+  // non-transient fault the retry wrapper refuses to absorb, which
+  // triggers compensation of the completed steps — or records the
+  // shipment.
+  uint64_t seed = options.seed;
+  int reject_percent = options.carrier_reject_percent;
+  auto ship = [exec, seed,
+               reject_percent](wfc::ProcessContext& ctx) -> Status {
+    SQLFLOW_ASSIGN_OR_RETURN(int64_t id, OrderIdOf(ctx));
+    SQLFLOW_RETURN_IF_ERROR(
+        exec("SELECT COUNT(*) FROM Flow_Reservations WHERE OrderID = " +
+             std::to_string(id)));
+    if (CarrierRejectsOrder(seed, id, reject_percent)) {
+      return Status::ExecutionError("carrier rejected order " +
+                                    std::to_string(id));
+    }
+    return exec("INSERT INTO Flow_Shipments VALUES (" +
+                std::to_string(id) + ", 'road')");
+  };
+
+  auto scope = std::make_shared<wfc::CompensationScope>("fulfilment");
+  scope->AddStep(RetryStep("reserve-stock", reserve, policy),
+                 RetryStep("release-stock", release, policy));
+  scope->AddStep(RetryStep("charge-payment", charge, policy),
+                 RetryStep("refund-payment", refund, policy));
+  scope->AddStep(RetryStep("ship-order", ship, policy), nullptr);
+
+  auto process = std::make_shared<wfc::ProcessDefinition>(
+      kFulfilmentProcess, scope);
+  process->DeclareVariable("OrderID", wfc::VarValue(Value::Integer(0)));
+  SQLFLOW_RETURN_IF_ERROR(fixture.engine->Deploy(process));
+
+  store->Attach(fixture.engine.get(), kFulfilmentProcess);
+
+  // Arm statement-layer chaos on the fulfilment tables only, with
+  // statement replay disabled: every injected fault surfaces to a
+  // retry wrapper, so sql.fault.injected / wfc.retry.absorbed deltas
+  // correspond one-to-one with kRetry audit events.
+  sql::FaultInjector::Options fault_options;
+  fault_options.seed = options.seed;
+  fault_options.probability = options.fault_probability;
+  fault_options.statement_sites = true;
+  fault_options.mid_statement_sites = false;
+  fault_options.service_sites = false;
+  fault_options.site_filter = "FLOW_";
+  db->set_fault_injector(
+      std::make_shared<sql::FaultInjector>(fault_options));
+  sql::RetryPolicy no_replay;
+  no_replay.max_attempts = 1;
+  db->set_retry_policy(no_replay);
+
+  for (size_t i = 1; i <= options.instances; ++i) {
+    std::map<std::string, wfc::VarValue> inputs;
+    inputs["OrderID"] =
+        wfc::VarValue(Value::Integer(static_cast<int64_t>(i)));
+    SQLFLOW_ASSIGN_OR_RETURN(
+        wfc::InstanceResult result,
+        fixture.engine->RunProcess(kFulfilmentProcess, inputs));
+    (void)result;  // faulted instances are part of the history
+  }
+
+  // Disarm before the analytics phase: queries over sys.* must not
+  // draw from the fault stream.
+  db->set_fault_injector(nullptr);
+
+  SQLFLOW_RETURN_IF_ERROR(sql::RegisterSysTables(db.get()));
+  SQLFLOW_RETURN_IF_ERROR(RegisterAuditTables(db.get(), store));
+  return fixture;
+}
+
+}  // namespace sqlflow::workflows

@@ -1,0 +1,109 @@
+#ifndef SQLFLOW_WORKFLOWS_ANALYTICS_H_
+#define SQLFLOW_WORKFLOWS_ANALYTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "patterns/fixture.h"
+#include "wfc/audit.h"
+#include "wfc/engine.h"
+
+namespace sqlflow::workflows {
+
+/// One finished process instance as captured for analytics: identity,
+/// outcome, and the full audit trail (the event log of in-database
+/// process management — Calvanese et al.; the relation SIGNAL-style
+/// queries run over).
+struct InstanceRecord {
+  uint64_t instance_id = 0;
+  std::string process;
+  Status status;
+  wfc::AuditTrail audit;
+};
+
+/// Accumulates finished instances from a WorkflowEngine so their audit
+/// trails can be exposed as the sys.audit_events / sys.instances
+/// virtual tables. Attach() installs an instance listener; the store
+/// must outlive both the engine and any database the tables are
+/// registered on.
+class ProcessHistoryStore {
+ public:
+  /// Captures every instance the engine finishes from now on, labeled
+  /// with `process_label` (InstanceResult does not carry the name).
+  void Attach(wfc::WorkflowEngine* engine, std::string process_label);
+
+  /// Appends one record directly (benches synthesize large histories
+  /// without running real instances).
+  void Add(InstanceRecord record) { records_.push_back(std::move(record)); }
+
+  const std::vector<InstanceRecord>& records() const { return records_; }
+  std::vector<InstanceRecord>& mutable_records() { return records_; }
+  void Clear() { records_.clear(); }
+
+  /// Total audit events across all captured instances.
+  size_t event_count() const;
+
+ private:
+  std::vector<InstanceRecord> records_;
+};
+
+/// Registers the process-analytics virtual tables on `db`:
+///
+///   sys.audit_events — one row per audit event of every captured
+///     instance (INSTANCE_ID, PROCESS, SEQ, KIND, ACTIVITY, DETAIL,
+///     TS_NS, DURATION_NS, ATTEMPT). SEQ is the per-instance
+///     monotonically increasing sequence number, the stable ordering
+///     key for event-sequence predicates.
+///   sys.instances — one summary row per instance (INSTANCE_ID,
+///     PROCESS, STATUS, FAULT_CODE, EVENTS, FAULTS, RETRIES,
+///     COMPENSATIONS, STARTED_NS, COMPLETED_NS, DURATION_NS).
+///
+/// `store` is captured by pointer and re-read on every statement that
+/// references the tables, so new instances appear without re-registering.
+Status RegisterAuditTables(sql::Database* db,
+                           const ProcessHistoryStore* store);
+
+/// Knobs for the synthetic order-fulfilment history generator.
+struct ChaosHistoryOptions {
+  /// Number of instances to run (one per synthetic order id 1..N).
+  size_t instances = 40;
+  /// Seeds both the statement-layer fault schedule and carrier
+  /// rejection decisions.
+  uint64_t seed = 1;
+  /// Per-statement transient-fault probability inside the fulfilment
+  /// steps (statement layer only, so every injected fault surfaces to
+  /// the wfc retry wrapper and is visible in the audit trail).
+  double fault_probability = 0.08;
+  /// Retry budget of each fulfilment step (and compensation handler).
+  int retry_max_attempts = 4;
+  /// Percent of orders the carrier rejects outright — a permanent
+  /// (non-transient) fault that triggers compensation.
+  int carrier_reject_percent = 15;
+};
+
+/// Deterministic carrier-rejection decision for one order under one
+/// seed; exposed so tests can recompute the generator's ground truth.
+bool CarrierRejectsOrder(uint64_t seed, int64_t order_id,
+                         int carrier_reject_percent);
+
+/// Runs `options.instances` synthetic "OrderFulfilment" instances —
+/// reserve stock, charge payment, ship — under a seeded
+/// statement-layer fault schedule. Transient faults are absorbed by
+/// per-step retry wrappers (kRetry audit events with attempt numbers);
+/// carrier rejections propagate and undo completed steps through a
+/// compensation scope (kCompensation events). Statement-layer replay is
+/// disabled and only the fulfilment tables are armed, so counter deltas
+/// (sql.fault.injected / wfc.retry.absorbed) correspond one-to-one with
+/// kRetry audit events — the property the byte-identity acceptance test
+/// checks. Registers sys.audit_events / sys.instances (and the engine
+/// sys.* tables) on the fixture database before returning it.
+Result<patterns::Fixture> GenerateOrderHistory(
+    const ChaosHistoryOptions& options, ProcessHistoryStore* store);
+
+inline constexpr const char* kFulfilmentProcess = "OrderFulfilment";
+
+}  // namespace sqlflow::workflows
+
+#endif  // SQLFLOW_WORKFLOWS_ANALYTICS_H_

@@ -1,0 +1,579 @@
+// Introspection surface: EXPLAIN / EXPLAIN ANALYZE plan rendering, the
+// sys.* virtual tables, and the process-analytics store. The golden
+// EXPLAIN texts cover every access path the planner can choose; the
+// ANALYZE tests check per-operator row counts against the differential
+// fuzzer's oracle (optimizer-off execution) and the sql.plan.* counters;
+// the chaos-seeded battery checks that SIGNAL-style event-sequence
+// predicates over sys.audit_events agree byte-for-byte with the
+// instrumented (counter-delta) fault accounting.
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "sql/database.h"
+#include "sql/fault.h"
+#include "sql/introspect.h"
+#include "wfc/audit.h"
+#include "workflows/analytics.h"
+
+namespace sqlflow {
+namespace {
+
+using sql::Database;
+using sql::ResultSet;
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name).value();
+}
+
+ResultSet Exec(Database& db, const std::string& sql) {
+  auto result = db.Execute(sql);
+  EXPECT_TRUE(result.ok()) << sql << "\n  -> " << result.status().ToString();
+  if (!result.ok()) return ResultSet(std::vector<std::string>{});
+  return std::move(*result);
+}
+
+int64_t ScalarInt(Database& db, const std::string& sql) {
+  ResultSet rs = Exec(db, sql);
+  if (rs.row_count() == 0) return -1;
+  auto v = rs.rows()[0][0];
+  if (v.is_null()) return 0;
+  auto n = v.AsInteger();
+  EXPECT_TRUE(n.ok()) << sql;
+  return n.ok() ? *n : -1;
+}
+
+/// The PLAN column of an EXPLAIN, joined with newlines.
+std::string Plan(Database& db, const std::string& sql) {
+  ResultSet rs = Exec(db, "EXPLAIN " + sql);
+  std::string out;
+  for (const auto& row : rs.rows()) {
+    if (!out.empty()) out += "\n";
+    out += row[0].AsString();
+  }
+  return out;
+}
+
+/// One parsed EXPLAIN ANALYZE operator row.
+struct AnalyzedOp {
+  std::string op;  // trimmed of indentation
+  std::string detail;
+  int64_t rows_in = 0;
+  int64_t rows_out = 0;
+  int64_t loops = 0;
+  int64_t time_ns = 0;
+};
+
+std::vector<AnalyzedOp> Analyze(Database& db, const std::string& sql) {
+  ResultSet rs = Exec(db, "EXPLAIN ANALYZE " + sql);
+  std::vector<AnalyzedOp> ops;
+  for (const auto& row : rs.rows()) {
+    AnalyzedOp op;
+    op.op = row[0].AsString();
+    op.op.erase(0, op.op.find_first_not_of(' '));
+    op.detail = row[1].AsString();
+    auto get = [&](size_t i) {
+      auto v = row[i].AsInteger();
+      return v.ok() ? *v : -1;
+    };
+    op.rows_in = get(2);
+    op.rows_out = get(3);
+    op.loops = get(4);
+    op.time_ns = get(5);
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+const AnalyzedOp* FindOp(const std::vector<AnalyzedOp>& ops,
+                         const std::string& name) {
+  for (const AnalyzedOp& op : ops) {
+    if (op.op == name) return &op;
+  }
+  return nullptr;
+}
+
+/// Two-table schema with enough rows that every access path is
+/// attractive: point lookup (PK), range scan (idx_salary), hash join
+/// with pushdown, and a nested-loop fallback for non-equi joins.
+void PopulateEmpDb(Database& db) {
+  ASSERT_TRUE(db.ExecuteScript(R"sql(
+    CREATE TABLE emp (
+      id INTEGER PRIMARY KEY,
+      name VARCHAR(20) NOT NULL,
+      salary INTEGER NOT NULL,
+      dept INTEGER NOT NULL
+    );
+    CREATE TABLE dept (id INTEGER PRIMARY KEY, title VARCHAR(20));
+    CREATE INDEX idx_salary ON emp (salary);
+  )sql")
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO dept VALUES (" + std::to_string(i) +
+                           ", 'd" + std::to_string(i) + "')")
+                    .ok());
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO emp VALUES (" + std::to_string(i) +
+                           ", 'e" + std::to_string(i) + "', " +
+                           std::to_string(1000 + i) + ", " +
+                           std::to_string(i % 50) + ")")
+                    .ok());
+  }
+}
+
+// The BENCH_sql_range pushdown-join query (selective single-table
+// predicate below a hash join).
+constexpr const char* kPushdownJoin =
+    "SELECT e.name, d.title FROM emp e JOIN dept d ON e.dept = d.id "
+    "WHERE e.salary BETWEEN 1000 AND 1099";
+
+// --- golden EXPLAIN texts ---------------------------------------------------
+
+TEST(ExplainTest, PointLookupGolden) {
+  Database db("explain");
+  PopulateEmpDb(db);
+  EXPECT_EQ(Plan(db, "SELECT * FROM emp WHERE id = 7"),
+            "SELECT\n"
+            "  INDEX LOOKUP emp via __pk_emp (id = 7)\n"
+            "  FILTER ((id = 7))");
+}
+
+TEST(ExplainTest, RangeScanGolden) {
+  Database db("explain");
+  PopulateEmpDb(db);
+  EXPECT_EQ(
+      Plan(db, "SELECT name FROM emp WHERE salary BETWEEN 1000 AND 1099"),
+      "SELECT\n"
+      "  RANGE SCAN emp via idx_salary (salary >= 1000 AND salary <= "
+      "1099)\n"
+      "  FILTER ((salary BETWEEN 1000 AND 1099))");
+}
+
+TEST(ExplainTest, HashJoinWithPushdownGolden) {
+  Database db("explain");
+  PopulateEmpDb(db);
+  EXPECT_EQ(Plan(db, kPushdownJoin),
+            "SELECT\n"
+            "  PUSHDOWN emp ((e.salary BETWEEN 1000 AND 1099))\n"
+            "    RANGE SCAN emp via idx_salary (salary >= 1000 AND salary "
+            "<= 1099)\n"
+            "  HASH JOIN (e.dept = d.id)\n"
+            "    SCAN dept\n"
+            "  FILTER ((e.salary BETWEEN 1000 AND 1099))");
+}
+
+TEST(ExplainTest, NestedLoopFallbackGolden) {
+  Database db("explain");
+  PopulateEmpDb(db);
+  // Non-equi join condition: no hash-join keys, no pushdown target.
+  EXPECT_EQ(
+      Plan(db, "SELECT e.name, d.title FROM emp e JOIN dept d "
+               "ON e.dept > d.id"),
+      "SELECT\n"
+      "  SCAN emp\n"
+      "  NESTED LOOP ((e.dept > d.id))\n"
+      "    SCAN dept");
+}
+
+TEST(ExplainTest, OptimizerOffFallsBackToScan) {
+  Database db("explain");
+  PopulateEmpDb(db);
+  db.set_optimizer_enabled(false);
+  EXPECT_EQ(Plan(db, "SELECT * FROM emp WHERE id = 7"),
+            "SELECT\n"
+            "  SCAN emp\n"
+            "  FILTER ((id = 7))");
+}
+
+TEST(ExplainTest, AggregateSortLimitGolden) {
+  Database db("explain");
+  PopulateEmpDb(db);
+  EXPECT_EQ(Plan(db, "SELECT dept, SUM(salary) FROM emp GROUP BY dept "
+                     "HAVING SUM(salary) > 10 ORDER BY dept LIMIT 3"),
+            "SELECT\n"
+            "  SCAN emp\n"
+            "  AGGREGATE (GROUP BY dept)\n"
+            "  HAVING ((SUM(salary) > 10))\n"
+            "  SORT (dept)\n"
+            "  LIMIT 3");
+}
+
+TEST(ExplainTest, DmlPlansRender) {
+  Database db("explain");
+  PopulateEmpDb(db);
+  EXPECT_EQ(Plan(db, "UPDATE emp SET salary = 0 WHERE id = 3"),
+            "UPDATE emp\n"
+            "  INDEX LOOKUP emp via __pk_emp (id = 3)\n"
+            "  FILTER ((id = 3))");
+  EXPECT_EQ(Plan(db, "DELETE FROM emp WHERE salary BETWEEN 1000 AND 1001"),
+            "DELETE FROM emp\n"
+            "  RANGE SCAN emp via idx_salary (salary >= 1000 AND salary "
+            "<= 1001)\n"
+            "  FILTER ((salary BETWEEN 1000 AND 1001))");
+  // EXPLAIN must not execute: both targets above left the data alone.
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM emp"), 500);
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM emp WHERE salary = 0"), 0);
+}
+
+TEST(ExplainTest, NestedExplainRejected) {
+  Database db("explain");
+  auto result = db.Execute("EXPLAIN EXPLAIN SELECT 1");
+  EXPECT_FALSE(result.ok());
+}
+
+// --- EXPLAIN ANALYZE --------------------------------------------------------
+
+TEST(ExplainAnalyzeTest, RowCountsAgreeWithDifferentialOracle) {
+  Database db("analyze");
+  PopulateEmpDb(db);
+  // The differential fuzzer's oracle: optimizer-off execution of the
+  // same statement. The ANALYZE RESULT row must agree with both plans.
+  const char* queries[] = {
+      "SELECT * FROM emp WHERE id = 7",
+      "SELECT name FROM emp WHERE salary BETWEEN 1000 AND 1099",
+      kPushdownJoin,
+      "SELECT e.name, d.title FROM emp e JOIN dept d ON e.dept > d.id "
+      "WHERE d.id < 2",
+      "SELECT dept, SUM(salary) FROM emp GROUP BY dept "
+      "HAVING SUM(salary) > 10 ORDER BY dept LIMIT 3",
+      "SELECT DISTINCT dept FROM emp WHERE salary < 1250",
+  };
+  for (const char* sql : queries) {
+    db.set_optimizer_enabled(true);
+    int64_t optimized = static_cast<int64_t>(Exec(db, sql).row_count());
+    db.set_optimizer_enabled(false);
+    int64_t oracle = static_cast<int64_t>(Exec(db, sql).row_count());
+    db.set_optimizer_enabled(true);
+    ASSERT_EQ(optimized, oracle) << sql;
+
+    std::vector<AnalyzedOp> ops = Analyze(db, sql);
+    const AnalyzedOp* result = FindOp(ops, "RESULT");
+    ASSERT_NE(result, nullptr) << sql;
+    EXPECT_EQ(result->rows_out, oracle) << sql;
+  }
+}
+
+TEST(ExplainAnalyzeTest, PushdownJoinOpsConsistentWithPlanCounters) {
+  Database db("analyze");
+  PopulateEmpDb(db);
+  uint64_t pushdowns = CounterValue("sql.plan.pushdown");
+  uint64_t hash_joins = CounterValue("sql.plan.hash_join");
+  uint64_t range_scans = CounterValue("sql.plan.range_scan");
+
+  std::vector<AnalyzedOp> ops = Analyze(db, kPushdownJoin);
+
+  // One ANALYZE run = one pushdown, one hash join, one range scan —
+  // per-operator rows must sum consistently with the counter deltas.
+  EXPECT_EQ(CounterValue("sql.plan.pushdown"), pushdowns + 1);
+  EXPECT_EQ(CounterValue("sql.plan.hash_join"), hash_joins + 1);
+  EXPECT_EQ(CounterValue("sql.plan.range_scan"), range_scans + 1);
+
+  const AnalyzedOp* pushdown = FindOp(ops, "PUSHDOWN");
+  const AnalyzedOp* range = FindOp(ops, "RANGE SCAN");
+  const AnalyzedOp* scan = FindOp(ops, "SCAN");
+  const AnalyzedOp* join = FindOp(ops, "HASH JOIN");
+  const AnalyzedOp* result = FindOp(ops, "RESULT");
+  ASSERT_NE(pushdown, nullptr);
+  ASSERT_NE(range, nullptr);
+  ASSERT_NE(scan, nullptr);
+  ASSERT_NE(join, nullptr);
+  ASSERT_NE(result, nullptr);
+
+  // 100 of 500 salaries fall in [1000, 1099]; every one joins.
+  EXPECT_EQ(range->rows_in, 500);
+  EXPECT_EQ(range->rows_out, 100);
+  EXPECT_EQ(pushdown->rows_out, 100);
+  EXPECT_EQ(scan->detail, "dept");
+  EXPECT_EQ(scan->rows_out, 50);
+  EXPECT_EQ(join->rows_in, pushdown->rows_out + scan->rows_out);
+  EXPECT_EQ(join->rows_out, 100);
+  EXPECT_EQ(result->rows_out, 100);
+}
+
+TEST(ExplainAnalyzeTest, AnalyzeExecutesTheStatement) {
+  Database db("analyze");
+  PopulateEmpDb(db);
+  std::vector<AnalyzedOp> ops =
+      Analyze(db, "INSERT INTO emp VALUES (900, 'x', 1, 0)");
+  const AnalyzedOp* insert = FindOp(ops, "INSERT");
+  ASSERT_NE(insert, nullptr);
+  EXPECT_EQ(insert->rows_out, 1);
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM emp WHERE id = 900"), 1);
+}
+
+// --- sys.* virtual tables ---------------------------------------------------
+
+TEST(SysTablesTest, MetricsCatalogAndIndexesAreQueryable) {
+  Database db("sys");
+  PopulateEmpDb(db);
+  ASSERT_TRUE(sql::RegisterSysTables(&db).ok());
+
+  EXPECT_GT(ScalarInt(db, "SELECT VALUE FROM sys.metrics "
+                          "WHERE NAME = 'sql.statements'"),
+            0);
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.tables "
+                          "WHERE KIND = 'base'"),
+            2);
+  EXPECT_EQ(ScalarInt(db, "SELECT ROW_COUNT FROM sys.tables "
+                          "WHERE NAME = 'emp'"),
+            500);
+  EXPECT_EQ(ScalarInt(db, "SELECT DISTINCT_KEYS FROM sys.indexes "
+                          "WHERE NAME = 'idx_salary'"),
+            500);
+  // Virtual tables join with each other like any relation.
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.indexes i "
+                          "JOIN sys.tables t ON i.TABLE_NAME = t.NAME "
+                          "WHERE t.KIND = 'base'"),
+            3);
+}
+
+TEST(SysTablesTest, PlanCacheHitsVisible) {
+  Database db("sys");
+  PopulateEmpDb(db);
+  ASSERT_TRUE(sql::RegisterSysTables(&db).ok());
+  const std::string q = "SELECT name FROM emp WHERE id = 1";
+  Exec(db, q);
+  Exec(db, q);
+  Exec(db, q);
+  EXPECT_GE(ScalarInt(db, "SELECT HITS FROM sys.plan_cache "
+                          "WHERE SQL_TEXT = '" +
+                              q + "'"),
+            2);
+}
+
+TEST(SysTablesTest, VirtualTablesAreReadOnly) {
+  Database db("sys");
+  ASSERT_TRUE(sql::RegisterSysTables(&db).ok());
+  const char* mutations[] = {
+      "INSERT INTO sys.tables VALUES ('x', 'y', 1, 1, 1)",
+      "UPDATE sys.metrics SET VALUE = 0",
+      "DELETE FROM sys.metrics",
+      "TRUNCATE TABLE sys.metrics",
+  };
+  for (const char* sql : mutations) {
+    auto result = db.Execute(sql);
+    ASSERT_FALSE(result.ok()) << sql;
+    EXPECT_NE(result.status().ToString().find("read-only"),
+              std::string::npos)
+        << sql << " -> " << result.status().ToString();
+  }
+}
+
+TEST(SysTablesTest, FaultSitesReflectInjectorState) {
+  Database db("sys");
+  PopulateEmpDb(db);
+  ASSERT_TRUE(sql::RegisterSysTables(&db).ok());
+
+  sql::FaultInjector::Options options;
+  options.seed = 99;
+  options.probability = 1.0;
+  options.fault_first_n = 2;
+  options.site_filter = "EMP";
+  auto injector = std::make_shared<sql::FaultInjector>(options);
+  db.set_fault_injector(injector);
+  // Two statements fault (no replay: default policy is one attempt).
+  EXPECT_FALSE(db.Execute("SELECT COUNT(*) FROM emp").ok());
+  EXPECT_FALSE(db.Execute("SELECT COUNT(*) FROM emp").ok());
+
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.fault_sites"), 3);
+  EXPECT_EQ(ScalarInt(db, "SELECT INJECTED FROM sys.fault_sites "
+                          "WHERE LAYER = 'statement'"),
+            static_cast<int64_t>(injector->stats().injected_statement));
+  EXPECT_EQ(ScalarInt(db, "SELECT SEED FROM sys.fault_sites "
+                          "WHERE LAYER = 'service'"),
+            99);
+  db.set_fault_injector(nullptr);
+}
+
+// --- process-analytics store ------------------------------------------------
+
+class AuditAnalyticsTest : public ::testing::Test {
+ protected:
+  void Generate(const workflows::ChaosHistoryOptions& options) {
+    auto fixture = workflows::GenerateOrderHistory(options, &store_);
+    ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+    fixture_ = std::move(*fixture);
+  }
+
+  workflows::ProcessHistoryStore store_;
+  patterns::Fixture fixture_;
+};
+
+TEST_F(AuditAnalyticsTest, CapturesEveryInstanceWithMonotonicSequences) {
+  workflows::ChaosHistoryOptions options;
+  options.instances = 30;
+  options.seed = 7;
+  Generate(options);
+  Database& db = *fixture_.db;
+
+  ASSERT_EQ(store_.records().size(), 30u);
+  for (const auto& record : store_.records()) {
+    uint64_t previous = 0;
+    for (const auto& event : record.audit.events()) {
+      EXPECT_GT(event.sequence, previous);  // strictly increasing
+      previous = event.sequence;
+    }
+  }
+
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.instances"), 30);
+  EXPECT_EQ(static_cast<size_t>(
+                ScalarInt(db, "SELECT COUNT(*) FROM sys.audit_events")),
+            store_.event_count());
+  // SEQ never exceeds the instance's event count: the per-instance
+  // sequence is dense from 1.
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.audit_events a "
+                          "JOIN sys.instances i "
+                          "ON a.INSTANCE_ID = i.INSTANCE_ID "
+                          "WHERE a.SEQ > i.EVENTS"),
+            0);
+}
+
+TEST_F(AuditAnalyticsTest, RetryEventsCarryAttemptNumbers) {
+  workflows::ChaosHistoryOptions options;
+  options.instances = 40;
+  options.seed = 1234;
+  options.fault_probability = 0.15;
+  Generate(options);
+  Database& db = *fixture_.db;
+
+  // The chaos run must actually have produced retries.
+  EXPECT_GT(ScalarInt(db, "SELECT COUNT(*) FROM sys.audit_events "
+                          "WHERE KIND = 'retry'"),
+            0);
+  // Every retry event carries its attempt ordinal.
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.audit_events "
+                          "WHERE KIND = 'retry' AND ATTEMPT = 0"),
+            0);
+}
+
+TEST_F(AuditAnalyticsTest, RetryThenCompensateSequencePredicate) {
+  workflows::ChaosHistoryOptions options;
+  options.instances = 60;
+  options.seed = 4242;
+  options.fault_probability = 0.25;  // plenty of retries on ship
+  options.carrier_reject_percent = 30;
+  Generate(options);
+  Database& db = *fixture_.db;
+
+  // Ground truth straight from the captured trails (the injector's
+  // observable log): instances with a retry on ship-order followed by a
+  // compensation event.
+  std::set<int64_t> expected;
+  for (const auto& record : store_.records()) {
+    uint64_t first_ship_retry = 0;
+    for (const auto& e : record.audit.events()) {
+      if (e.kind == wfc::AuditEventKind::kRetry &&
+          e.activity == "ship-order") {
+        first_ship_retry = e.sequence;
+        break;
+      }
+    }
+    if (first_ship_retry == 0) continue;
+    for (const auto& e : record.audit.events()) {
+      if (e.kind == wfc::AuditEventKind::kCompensation &&
+          e.sequence > first_ship_retry) {
+        expected.insert(static_cast<int64_t>(record.instance_id));
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(expected.empty())
+      << "chaos parameters produced no retry-then-compensate instances";
+
+  // The SIGNAL-style event-sequence predicate as plain SQL: a self-join
+  // of the event log on the instance id, ordered by the sequence key.
+  ResultSet rs = Exec(
+      db,
+      "SELECT DISTINCT r.INSTANCE_ID FROM sys.audit_events r "
+      "JOIN sys.audit_events c ON r.INSTANCE_ID = c.INSTANCE_ID "
+      "WHERE r.KIND = 'retry' AND r.ACTIVITY = 'ship-order' "
+      "AND c.KIND = 'compensation' AND c.SEQ > r.SEQ "
+      "ORDER BY r.INSTANCE_ID");
+  std::set<int64_t> actual;
+  for (const auto& row : rs.rows()) {
+    auto id = row[0].AsInteger();
+    ASSERT_TRUE(id.ok());
+    actual.insert(*id);
+  }
+  EXPECT_EQ(actual, expected);
+
+  // Every carrier-rejected order faults (rejection is permanent), so
+  // the faulted-instance count is at least the rejection count.
+  int64_t rejected = 0;
+  for (size_t i = 1; i <= options.instances; ++i) {
+    if (workflows::CarrierRejectsOrder(options.seed,
+                                       static_cast<int64_t>(i),
+                                       options.carrier_reject_percent)) {
+      ++rejected;
+    }
+  }
+  EXPECT_GE(ScalarInt(db, "SELECT COUNT(*) FROM sys.instances "
+                          "WHERE STATUS = 'faulted'"),
+            rejected);
+}
+
+TEST_F(AuditAnalyticsTest, FiveSeedChaosSweepMatchesCounterAccounting) {
+  // The pattern_matrix instrumentation computes fault/absorbed totals
+  // as deltas over the three injected and three absorbed counters
+  // (patterns/evaluators.cc). The generator routes every fault through
+  // the audit trail, so the same totals must be reproducible — byte for
+  // byte — from a pure-SQL query over sys.audit_events.
+  const uint64_t seeds[] = {11, 22, 33, 44, 55};
+  for (uint64_t seed : seeds) {
+    workflows::ProcessHistoryStore store;
+    workflows::ChaosHistoryOptions options;
+    options.instances = 40;
+    options.seed = seed;
+    options.fault_probability = 0.12;
+
+    uint64_t injected_before = CounterValue("sql.fault.injected") +
+                               CounterValue("sql.fault.injected.mid") +
+                               CounterValue("svc.fault.injected");
+    uint64_t absorbed_before = CounterValue("sql.fault.absorbed") +
+                               CounterValue("wfc.retry.absorbed") +
+                               CounterValue("svc.fault.absorbed");
+    auto fixture = workflows::GenerateOrderHistory(options, &store);
+    ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+    uint64_t injected = CounterValue("sql.fault.injected") +
+                        CounterValue("sql.fault.injected.mid") +
+                        CounterValue("svc.fault.injected") -
+                        injected_before;
+    uint64_t absorbed = CounterValue("sql.fault.absorbed") +
+                        CounterValue("wfc.retry.absorbed") +
+                        CounterValue("svc.fault.absorbed") -
+                        absorbed_before;
+    std::string instrumented = "injected=" + std::to_string(injected) +
+                               " absorbed=" + std::to_string(absorbed);
+
+    // One query, two CASE-folded aggregates: faulted attempts vs
+    // absorption markers among the retry events.
+    ResultSet rs = Exec(
+        *fixture->db,
+        "SELECT SUM(CASE WHEN DETAIL LIKE 'absorbed after%' THEN 0 "
+        "ELSE 1 END), "
+        "SUM(CASE WHEN DETAIL LIKE 'absorbed after%' THEN 1 ELSE 0 END) "
+        "FROM sys.audit_events WHERE KIND = 'retry' AND ATTEMPT > 0");
+    ASSERT_EQ(rs.row_count(), 1u);
+    auto as_count = [&](size_t col) -> int64_t {
+      if (rs.rows()[0][col].is_null()) return 0;
+      auto v = rs.rows()[0][col].AsInteger();
+      return v.ok() ? *v : -1;
+    };
+    std::string from_sql =
+        "injected=" + std::to_string(as_count(0)) +
+        " absorbed=" + std::to_string(as_count(1));
+
+    EXPECT_EQ(from_sql, instrumented) << "seed=" << seed;
+    EXPECT_GT(injected, 0u) << "seed=" << seed
+                            << ": chaos sweep injected nothing";
+  }
+}
+
+}  // namespace
+}  // namespace sqlflow
