@@ -17,8 +17,8 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake -B build-asan -S . -DSQLFLOW_SANITIZE=address
   cmake --build build-asan -j --target sqlflow_obs_tests \
     sqlflow_integration_tests sqlflow_sql_tests \
-    sqlflow_sql_range_tests sqlflow_sql_fuzz_tests sqlflow_chaos_tests \
-    sqlflow_introspect_tests pattern_matrix
+    sqlflow_sql_range_tests sqlflow_sql_fuzz_tests sqlflow_vec_exec_tests \
+    sqlflow_chaos_tests sqlflow_introspect_tests pattern_matrix
   ./build-asan/tests/sqlflow_obs_tests
   ./build-asan/tests/sqlflow_integration_tests
   # The optimizer differential battery (index/hash-join/plan-cache paths
@@ -29,7 +29,14 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # then the 600-query differential fuzzer (ordered-map slot vectors get
   # spliced on every DML — exactly the code ASan should watch).
   ./build-asan/tests/sqlflow_sql_range_tests
+  # Four-way differential fuzzer (optimizer × batch) — the vectorized
+  # pipeline borrows row storage and string pointers in place, so the
+  # 600-query battery runs sanitized in all four configurations.
   ./build-asan/tests/sqlflow_sql_fuzz_tests
+  # Columnar batch primitives and window-boundary differentials: null
+  # bitmaps, selection compaction, kNullSlot padded reads — raw index
+  # arithmetic over borrowed vectors, exactly ASan's beat.
+  ./build-asan/tests/sqlflow_vec_exec_tests
   # Fault injection, retry replay, compensation, and the rollback
   # invariant — transaction undo logs and re-executed statements are
   # fresh memory-lifetime territory, so the whole suite runs sanitized.
@@ -51,9 +58,10 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
     --chaos-prob=0.3 > /dev/null
 fi
 
-echo "== bench smoke: sql plans + range + chaos + introspect =="
+echo "== bench smoke: sql plans + range + exec + chaos + introspect =="
 ./build/bench/bench_sql_plans --quick > /dev/null
 ./build/bench/bench_sql_range --quick > /dev/null
+./build/bench/bench_sql_exec --quick > /dev/null
 ./build/bench/bench_chaos --quick > /dev/null
 ./build/bench/bench_introspect --quick > /dev/null
 

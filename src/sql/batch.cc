@@ -1,0 +1,15 @@
+#include "sql/batch.h"
+
+namespace sqlflow::sql {
+
+size_t CompactSelection(Batch* batch, const std::vector<uint8_t>& keep) {
+  size_t out = 0;
+  for (size_t i = 0; i < batch->selection.size(); ++i) {
+    uint32_t pos = batch->selection[i];
+    if (keep[pos]) batch->selection[out++] = pos;
+  }
+  batch->selection.resize(out);
+  return out;
+}
+
+}  // namespace sqlflow::sql

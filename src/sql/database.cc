@@ -71,6 +71,7 @@ bool IsReplaySafeStatement(const Statement& stmt) {
 Database::Database(std::string name)
     : name_(std::move(name)),
       optimizer_enabled_(OptimizerDefaultFlag()),
+      batch_enabled_(BatchDefaultFlag()),
       retry_policy_(RetryPolicyDefaultRef()) {}
 
 Database::~Database() = default;
@@ -82,6 +83,15 @@ bool& Database::OptimizerDefaultFlag() {
 
 void Database::SetOptimizerDefault(bool on) {
   OptimizerDefaultFlag() = on;
+}
+
+bool& Database::BatchDefaultFlag() {
+  static bool enabled = true;
+  return enabled;
+}
+
+void Database::SetBatchDefault(bool on) {
+  BatchDefaultFlag() = on;
 }
 
 RetryPolicy& Database::RetryPolicyDefaultRef() {
@@ -372,6 +382,9 @@ void Database::NotePlanChoice(PlanChoice choice) {
     case PlanChoice::kPushdown:
       metrics.GetCounter("sql.plan.pushdown").Increment();
       break;
+    case PlanChoice::kBatch:
+      metrics.GetCounter("sql.plan.batch").Increment();
+      break;
   }
 }
 
@@ -408,6 +421,7 @@ Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
     append(PlanChoice::kHashJoin, "hash_join");
     append(PlanChoice::kPushdown, "pushdown");
     append(PlanChoice::kScan, "scan");
+    append(PlanChoice::kBatch, "batch");
     span.Set("plan", attr);
   }
   plan_mask_ |= saved_mask;

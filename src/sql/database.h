@@ -196,6 +196,15 @@ class Database {
   /// fixtures can be re-run un-optimized without threading a flag.
   static void SetOptimizerDefault(bool on);
 
+  /// When enabled (the default), eligible SELECT cores run the columnar
+  /// batch pipeline (vec_exec.cc); disabling forces the row-at-a-time
+  /// interpreter everywhere. The differential fuzzer toggles this to
+  /// prove the two paths byte-identical.
+  bool batch_enabled() const { return batch_enabled_; }
+  void set_batch_enabled(bool on) { batch_enabled_ = on; }
+  /// Process-wide default for newly constructed databases.
+  static void SetBatchDefault(bool on);
+
   /// Monotonic counter bumped by any DDL (and by rollback, which can
   /// undo DDL); memoized StatementPlans stamped with an older epoch are
   /// recomputed before use.
@@ -274,6 +283,7 @@ class Database {
   };
 
   static bool& OptimizerDefaultFlag();
+  static bool& BatchDefaultFlag();
   static RetryPolicy& RetryPolicyDefaultRef();
   static std::shared_ptr<FaultInjector>& GlobalFaultInjectorRef();
   void EvictPlanCacheOverflow();
@@ -318,6 +328,7 @@ class Database {
   int view_expansion_depth_ = 0;
 
   bool optimizer_enabled_;
+  bool batch_enabled_;
   std::shared_ptr<FaultInjector> fault_injector_;
   RetryPolicy retry_policy_;
   uint64_t schema_epoch_ = 0;

@@ -71,8 +71,10 @@ struct FromScope {
   std::vector<Row> rows;
 };
 
-// Serializes a row to a collision-safe key (for GROUP BY and DISTINCT).
-std::string RowKey(const Row& row) {
+}  // namespace
+
+// Shared with the batch pipeline (vec_exec.cc); see executor.h.
+std::string ExecRowKey(const Row& row) {
   std::string key;
   for (const Value& v : row) {
     key.push_back(static_cast<char>('0' + static_cast<int>(v.type())));
@@ -82,17 +84,31 @@ std::string RowKey(const Row& row) {
   return key;
 }
 
-// Collects pointers to aggregate function-call nodes (not descending into
-// nested aggregates, which our dialect rejects anyway).
-void CollectAggregates(const Expr& e, std::vector<const Expr*>* out) {
+void CollectAggregateNodes(const Expr& e, std::vector<const Expr*>* out) {
   if (e.kind == ExprKind::kFunctionCall &&
       IsAggregateFunctionName(e.function_name)) {
     out->push_back(&e);
     return;
   }
   for (const ExprPtr& child : e.children) {
-    CollectAggregates(*child, out);
+    CollectAggregateNodes(*child, out);
   }
+}
+
+std::string DeriveOutputColumnName(const Expr& e, size_t ordinal) {
+  if (e.kind == ExprKind::kColumnRef) return e.column_name;
+  if (e.kind == ExprKind::kFunctionCall) return e.function_name;
+  return "col" + std::to_string(ordinal + 1);
+}
+
+namespace {
+
+// Local aliases: the names below predate the helpers moving to
+// executor.h for sharing with vec_exec.cc.
+std::string RowKey(const Row& row) { return ExecRowKey(row); }
+
+void CollectAggregates(const Expr& e, std::vector<const Expr*>* out) {
+  CollectAggregateNodes(e, out);
 }
 
 /// Computes one aggregate over the rows of a group.
@@ -164,9 +180,7 @@ Result<Value> ComputeAggregate(const Expr& agg,
 
 // Output-column name for a select item without an alias.
 std::string DeriveColumnName(const Expr& e, size_t ordinal) {
-  if (e.kind == ExprKind::kColumnRef) return e.column_name;
-  if (e.kind == ExprKind::kFunctionCall) return e.function_name;
-  return "col" + std::to_string(ordinal + 1);
+  return DeriveOutputColumnName(e, ordinal);
 }
 
 // ---------------------------------------------------------------------------
@@ -176,14 +190,19 @@ std::string DeriveColumnName(const Expr& e, size_t ordinal) {
 // (FindScopeColumnIndex) moved to sql/explain.{h,cc}, shared with the
 // EXPLAIN renderer.
 
+}  // namespace
+
 // Value-class bits for the comparability prescan. NULL contributes
-// nothing (NULL keys never match, never error).
+// nothing (NULL keys never match, never error). Shared with the batch
+// pipeline (vec_exec.cc); see executor.h.
+namespace {
 constexpr unsigned kClassBool = 1u;
 constexpr unsigned kClassNumeric = 2u;
 constexpr unsigned kClassNumString = 4u;
 constexpr unsigned kClassRawString = 8u;
+}  // namespace
 
-unsigned ValueClassBit(const Value& v) {
+unsigned JoinValueClassBit(const Value& v) {
   switch (v.type()) {
     case ValueType::kNull:
       return 0;
@@ -203,12 +222,20 @@ unsigned ValueClassBit(const Value& v) {
 // non-numeric string). The nested loop evaluates the ON clause for every
 // pair and surfaces such errors; a hash join would silently skip them,
 // so it must decline.
-bool ClassesMayError(unsigned a, unsigned b) {
+bool JoinClassesMayError(unsigned a, unsigned b) {
   if ((a & kClassBool) != 0 && (b & ~kClassBool) != 0) return true;
   if ((b & kClassBool) != 0 && (a & ~kClassBool) != 0) return true;
   if ((a & kClassNumeric) != 0 && (b & kClassRawString) != 0) return true;
   if ((b & kClassNumeric) != 0 && (a & kClassRawString) != 0) return true;
   return false;
+}
+
+namespace {
+
+unsigned ValueClassBit(const Value& v) { return JoinValueClassBit(v); }
+
+bool ClassesMayError(unsigned a, unsigned b) {
+  return JoinClassesMayError(a, b);
 }
 
 bool JoinKeysComparable(
@@ -268,7 +295,7 @@ Result<ResultSet> Executor::ExecuteSelect(const SelectStatement& sel,
 std::optional<Executor::ResolvedAccess> Executor::ResolveCandidates(
     Table* table, const std::string& alias, const Expr* where,
     const StatementPlan* plan, const Params& params,
-    const std::vector<size_t>* desired_order) {
+    const std::vector<size_t>* desired_order, bool desired_desc) {
   ExecProfile* prof = db_->exec_profile();
   const int64_t prof_start = prof != nullptr ? obs::NowNanos() : 0;
   auto record = [&](const char* op, std::string detail, size_t rows_out) {
@@ -311,37 +338,52 @@ std::optional<Executor::ResolvedAccess> Executor::ResolveCandidates(
   }
   if (range != nullptr &&
       EqualsIgnoreCase(range->table_name, table->schema().table_name())) {
+    // Slots arrive in index-key order; that satisfies the caller's
+    // ORDER BY only when the key columns match it exactly (reversed
+    // traversal for a descending order).
+    bool key_ordered = desired_order != nullptr &&
+                       *desired_order == range->key_columns;
+    bool reversed = key_ordered && desired_desc;
     std::optional<std::vector<size_t>> candidates =
-        RangeCandidates(*table, *range, params, db_);
+        RangeCandidates(*table, *range, params, db_, reversed);
     if (candidates.has_value()) {
       db_->NotePlanChoice(PlanChoice::kRangeScan);
-      // Slots arrive in index-key order; that satisfies the caller's
-      // ORDER BY only when the key columns match it exactly.
-      bool key_ordered = desired_order != nullptr &&
-                         *desired_order == range->key_columns;
       if (!key_ordered) std::sort(candidates->begin(), candidates->end());
       record("RANGE SCAN",
-             table->schema().table_name() + " via " + range->index_name,
+             table->schema().table_name() + " via " + range->index_name +
+                 (reversed ? " (reverse)" : ""),
              candidates->size());
       return ResolvedAccess{std::move(*candidates), key_ordered};
     }
   }
   // Nothing sargable: an ordered index matching the desired ORDER BY can
   // still hand back the whole table pre-sorted (NULL keys included —
-  // they sort first, exactly where ascending ORDER BY wants them).
+  // they sort first, exactly where ascending ORDER BY wants them, and
+  // last under a reversed walk, matching descending ORDER BY).
   if (desired_order != nullptr && !desired_order->empty()) {
     for (const SecondaryIndex& index : table->secondary_indexes()) {
       if (index.column_indexes != *desired_order) continue;
       ResolvedAccess out;
       out.key_ordered = true;
       out.slots.reserve(table->row_count());
-      for (const auto& [key, slots] : index.ordered) {
-        out.slots.insert(out.slots.end(), slots.begin(), slots.end());
+      if (!desired_desc) {
+        for (const auto& [key, slots] : index.ordered) {
+          out.slots.insert(out.slots.end(), slots.begin(), slots.end());
+        }
+      } else {
+        // Descending keys, ascending slots within a key — what a
+        // descending stable sort over table order produces.
+        for (auto it = index.ordered.rbegin(); it != index.ordered.rend();
+             ++it) {
+          out.slots.insert(out.slots.end(), it->second.begin(),
+                           it->second.end());
+        }
       }
       db_->NotePlanChoice(PlanChoice::kRangeScan);
       record("RANGE SCAN",
              table->schema().table_name() + " via " + index.name +
-                 " (full traversal)",
+                 (desired_desc ? " (full traversal, reverse)"
+                               : " (full traversal)"),
              out.slots.size());
       return out;
     }
@@ -355,6 +397,20 @@ bool Executor::TryPushdown(Table* table, const std::string& qual,
                            const SelectStatement& sel, size_t ref_index,
                            const Params& params,
                            std::vector<Row>* out_rows) {
+  std::vector<size_t> slots;
+  if (!TryPushdownSlots(table, qual, sel, ref_index, params, &slots)) {
+    return false;
+  }
+  out_rows->clear();
+  out_rows->reserve(slots.size());
+  for (size_t slot : slots) out_rows->push_back(table->rows()[slot]);
+  return true;
+}
+
+bool Executor::TryPushdownSlots(Table* table, const std::string& qual,
+                                const SelectStatement& sel,
+                                size_t ref_index, const Params& params,
+                                std::vector<size_t>* out_slots) {
   if (!db_->optimizer_enabled() || sel.where == nullptr) return false;
   // Structural soundness (LEFT OUTER right side, ambiguous alias) and
   // the pushable-conjunct gate are shared with EXPLAIN's renderer.
@@ -396,7 +452,7 @@ bool Executor::TryPushdown(Table* table, const std::string& qual,
   ctx.params = &params;
   ctx.database = db_;
 
-  std::vector<Row> kept;
+  std::vector<size_t> kept;
   // nullopt ⇒ a conjunct errored: abandon the whole pushdown so the
   // un-pushed WHERE surfaces (or short-circuits past) the error itself.
   auto eval_row = [&](const Row& row) -> std::optional<bool> {
@@ -412,13 +468,13 @@ bool Executor::TryPushdown(Table* table, const std::string& qual,
     for (size_t slot : *candidates) {
       std::optional<bool> keep = eval_row(table->rows()[slot]);
       if (!keep.has_value()) return false;
-      if (*keep) kept.push_back(table->rows()[slot]);
+      if (*keep) kept.push_back(slot);
     }
   } else {
-    for (const Row& row : table->rows()) {
-      std::optional<bool> keep = eval_row(row);
+    for (size_t slot = 0; slot < table->row_count(); ++slot) {
+      std::optional<bool> keep = eval_row(table->rows()[slot]);
       if (!keep.has_value()) return false;
-      if (*keep) kept.push_back(row);
+      if (*keep) kept.push_back(slot);
     }
   }
   if (used_index) db_->NotePlanChoice(PlanChoice::kIndexLookup);
@@ -451,13 +507,27 @@ bool Executor::TryPushdown(Table* table, const std::string& qual,
       sub.loops = 1;
     }
   }
-  *out_rows = std::move(kept);
+  *out_slots = std::move(kept);
   return true;
 }
 
 Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
                                               const Params& params,
                                               const StatementPlan* plan) {
+  // Plan-selected execution mode: the memoized plan records the batch
+  // decision; unplanned cores (union branches, subqueries) decide
+  // inline. PlanBatchMode is structural, so EXPLAIN renders the same
+  // choice without executing.
+  if (db_->batch_enabled() &&
+      (plan != nullptr ? plan->use_batch : PlanBatchMode(sel))) {
+    return ExecuteSelectCoreBatch(sel, params, plan);
+  }
+  return ExecuteSelectCoreRow(sel, params, plan);
+}
+
+Result<ResultSet> Executor::ExecuteSelectCoreRow(const SelectStatement& sel,
+                                                 const Params& params,
+                                                 const StatementPlan* plan) {
   // 1. Build the FROM scope (joins in declaration order). Each reference
   // resolves to either a base table or a view (whose defining SELECT is
   // executed inline). Equi-joins run as build/probe hash joins; other
@@ -500,11 +570,13 @@ Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
       bool pushed = false;
       if (first_ref && sel.from.size() == 1) {
         std::vector<size_t> order_cols;
+        bool order_desc = false;
         bool have_order = OrderBySargColumns(sel, qual, table->schema(),
-                                             &order_cols);
+                                             &order_cols, &order_desc);
         resolved = ResolveCandidates(table, qual, sel.where.get(), plan,
                                      params,
-                                     have_order ? &order_cols : nullptr);
+                                     have_order ? &order_cols : nullptr,
+                                     order_desc);
         if (resolved.has_value() && resolved->key_ordered) {
           order_by_presorted = true;
         }

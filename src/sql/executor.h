@@ -15,6 +15,31 @@ namespace sqlflow::sql {
 class Database;
 class Table;
 
+// Helpers shared between the row-at-a-time interpreter (executor.cc) and
+// the vectorized executor (vec_exec.cc). Both paths must agree on these
+// byte-for-byte: group/DISTINCT keys, derived column names, and the
+// hash-join comparability prescan all feed user-visible results.
+
+/// Serializes a row to a collision-safe key (GROUP BY, DISTINCT, UNION).
+std::string ExecRowKey(const Row& row);
+
+/// Collects pointers to aggregate function-call nodes in tree order (not
+/// descending into nested aggregates, which the dialect rejects anyway).
+void CollectAggregateNodes(const Expr& e, std::vector<const Expr*>* out);
+
+/// Output-column name for a select item without an alias.
+std::string DeriveOutputColumnName(const Expr& e, size_t ordinal);
+
+/// Value-class bit for the hash-join comparability prescan (see
+/// executor.cc: kClassBool/kClassNumeric/kClassNumString/kClassRawString;
+/// NULL contributes nothing).
+unsigned JoinValueClassBit(const Value& v);
+
+/// True when some left/right value pair in these class masks could raise
+/// a TypeError under the comparison rules — the hash join must decline
+/// so the nested loop surfaces the error.
+bool JoinClassesMayError(unsigned a, unsigned b);
+
 /// Statement interpreter. Stateless apart from the owning database; one
 /// executor per database, invoked through Database::Execute.
 class Executor {
@@ -33,10 +58,24 @@ class Executor {
                                   const StatementPlan* plan = nullptr);
 
  private:
-  /// One SELECT body, ignoring `union_next`.
+  /// One SELECT body, ignoring `union_next`. Dispatches to the batch
+  /// pipeline (vec_exec.cc) when the plan selects it; otherwise runs the
+  /// row-at-a-time interpreter below.
   Result<ResultSet> ExecuteSelectCore(const SelectStatement& sel,
                                       const Params& params,
                                       const StatementPlan* plan);
+  /// Row-at-a-time SELECT body — the semantics oracle the batch pipeline
+  /// must match byte-for-byte (results, errors, plan counters, profile
+  /// operators).
+  Result<ResultSet> ExecuteSelectCoreRow(const SelectStatement& sel,
+                                         const Params& params,
+                                         const StatementPlan* plan);
+  /// Columnar SELECT body (defined in vec_exec.cc): same stages as the
+  /// row path, processed in kBatchCapacity windows with per-window
+  /// fallback to scalar evaluation.
+  Result<ResultSet> ExecuteSelectCoreBatch(const SelectStatement& sel,
+                                           const Params& params,
+                                           const StatementPlan* plan);
   Result<ResultSet> ExecuteInsert(const InsertStatement& ins,
                                   const Params& params);
   Result<ResultSet> ExecuteUpdate(const UpdateStatement& upd,
@@ -60,14 +99,17 @@ class Executor {
   /// Resolves the WHERE clause of a single-table statement to candidate
   /// row slots through `plan` (or inline planning when plan is null).
   /// nullopt ⇒ scan. Notes the plan choice either way. `desired_order`,
-  /// when set, names the schema columns of an ascending ORDER BY the
-  /// caller would like satisfied by index order; an exact match against
-  /// an ordered index yields key_ordered slots (possibly a full sorted
-  /// traversal when the WHERE has nothing sargable).
+  /// when set, names the schema columns of a uniform-direction ORDER BY
+  /// the caller would like satisfied by index order (`desired_desc`
+  /// gives the direction); an exact match against an ordered index
+  /// yields key_ordered slots (possibly a full sorted traversal when
+  /// the WHERE has nothing sargable), walked in reverse for descending
+  /// orders.
   std::optional<ResolvedAccess> ResolveCandidates(
       Table* table, const std::string& alias, const Expr* where,
       const StatementPlan* plan, const Params& params,
-      const std::vector<size_t>* desired_order = nullptr);
+      const std::vector<size_t>* desired_order = nullptr,
+      bool desired_desc = false);
 
   /// Pushes the single-table conjuncts of `sel.where` that mention only
   /// `qual`'s columns below the join: fills `out_rows` with the rows of
@@ -79,6 +121,15 @@ class Executor {
   bool TryPushdown(Table* table, const std::string& qual,
                    const SelectStatement& sel, size_t ref_index,
                    const Params& params, std::vector<Row>* out_rows);
+
+  /// Slot-level core of TryPushdown, shared with the batch pipeline
+  /// (which keeps slots instead of materializing rows). Same contract,
+  /// same plan counters and profile operators; fills `out_slots` with
+  /// the table slots passing the pushed conjuncts, in table order.
+  bool TryPushdownSlots(Table* table, const std::string& qual,
+                        const SelectStatement& sel, size_t ref_index,
+                        const Params& params,
+                        std::vector<size_t>* out_slots);
 
   static constexpr int kMaxViewDepth = 16;
 

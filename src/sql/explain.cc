@@ -264,23 +264,35 @@ std::string DescribeRangeScan(const TableSchema& schema,
                               const RangeScanPlan& plan) {
   const std::string col = ColumnName(schema, plan.column);
   std::string desc = plan.table_name + " via " + plan.index_name + " (";
+  bool first = true;
+  for (size_t i = 0; i < plan.prefix_values.size(); ++i) {
+    if (!first) desc += ", ";
+    desc += ColumnName(schema, plan.key_columns[i]) + " = " +
+            plan.prefix_values[i]->ToString();
+    first = false;
+  }
   if (plan.like_pattern != nullptr) {
+    if (!first) desc += ", ";
     desc += col + " LIKE " + plan.like_pattern->ToString();
+    first = false;
   } else {
-    bool first = true;
+    std::string bounds;
     if (plan.lower.probe != nullptr) {
-      desc += col + (plan.lower.inclusive ? " >= " : " > ") +
-              plan.lower.probe->ToString();
-      first = false;
+      bounds += col + (plan.lower.inclusive ? " >= " : " > ") +
+                plan.lower.probe->ToString();
     }
     if (plan.upper.probe != nullptr) {
-      if (!first) desc += " AND ";
-      desc += col + (plan.upper.inclusive ? " <= " : " < ") +
-              plan.upper.probe->ToString();
+      if (!bounds.empty()) bounds += " AND ";
+      bounds += col + (plan.upper.inclusive ? " <= " : " < ") +
+                plan.upper.probe->ToString();
+    }
+    if (!bounds.empty()) {
+      if (!first) desc += ", ";
+      desc += bounds;
       first = false;
     }
-    if (first) desc += col + " unbounded";
   }
+  if (first) desc += col + " unbounded";
   desc += ")";
   return desc;
 }
@@ -291,8 +303,9 @@ std::string DescribeRangeScan(const TableSchema& schema,
 /// still fall back to a scan (probe/param type mismatch at execution).
 void RenderAccessPath(Database* db, Table* table, const std::string& qual,
                       const Expr* where,
-                      const std::vector<size_t>* desired_order, int depth,
-                      bool* sort_elided, std::vector<std::string>* lines) {
+                      const std::vector<size_t>* desired_order,
+                      bool desired_desc, int depth, bool* sort_elided,
+                      std::vector<std::string>* lines) {
   const TableSchema& schema = table->schema();
   if (!db->optimizer_enabled()) {
     AddLine(lines, depth, "SCAN " + schema.table_name());
@@ -308,12 +321,12 @@ void RenderAccessPath(Database* db, Table* table, const std::string& qual,
     return;
   }
   if (local.has_range) {
+    bool elide = desired_order != nullptr &&
+                 *desired_order == local.range.key_columns;
     AddLine(lines, depth,
-            "RANGE SCAN " + DescribeRangeScan(schema, local.range));
-    if (sort_elided != nullptr && desired_order != nullptr &&
-        *desired_order == local.range.key_columns) {
-      *sort_elided = true;
-    }
+            "RANGE SCAN " + DescribeRangeScan(schema, local.range) +
+                (elide && desired_desc ? " (reverse)" : ""));
+    if (sort_elided != nullptr && elide) *sort_elided = true;
     return;
   }
   if (desired_order != nullptr && !desired_order->empty()) {
@@ -321,7 +334,8 @@ void RenderAccessPath(Database* db, Table* table, const std::string& qual,
       if (index.column_indexes != *desired_order) continue;
       AddLine(lines, depth,
               "RANGE SCAN " + schema.table_name() + " via " + index.name +
-                  " (full traversal)");
+                  (desired_desc ? " (full traversal, reverse)"
+                                : " (full traversal)"));
       if (sort_elided != nullptr) *sort_elided = true;
       return;
     }
@@ -359,11 +373,12 @@ void RenderFromRef(Database* db, const SelectStatement& sel,
     const bool single = sel.from.size() == 1;
     if (single) {
       std::vector<size_t> order_cols;
-      bool have_order =
-          OrderBySargColumns(sel, qual, table->schema(), &order_cols);
+      bool order_desc = false;
+      bool have_order = OrderBySargColumns(sel, qual, table->schema(),
+                                           &order_cols, &order_desc);
       RenderAccessPath(db, table, qual, sel.where.get(),
-                       have_order ? &order_cols : nullptr, depth,
-                       sort_elided, lines);
+                       have_order ? &order_cols : nullptr, order_desc,
+                       depth, sort_elided, lines);
       return;
     }
     // Joined base table: mirror TryPushdown's static decision.
@@ -376,8 +391,8 @@ void RenderFromRef(Database* db, const SelectStatement& sel,
       AddLine(lines, depth,
               "PUSHDOWN " + table->schema().table_name() + " (" +
                   pushed->ToString() + ")");
-      RenderAccessPath(db, table, qual, pushed.get(), nullptr, depth + 1,
-                       nullptr, lines);
+      RenderAccessPath(db, table, qual, pushed.get(), nullptr, false,
+                       depth + 1, nullptr, lines);
       return;
     }
     AddLine(lines, depth, "SCAN " + table->schema().table_name());
@@ -515,18 +530,28 @@ void RenderSelect(Database* db, const SelectStatement& sel, int depth,
   }
 }
 
+/// "SELECT (batch)" when the executor would run this SELECT's first core
+/// through the columnar pipeline (PlanBatchMode is structural, so the
+/// renderer reports the same decision without executing). UNION branches
+/// decide independently at run time; the header reflects the first core,
+/// matching what PlanStatement memoizes.
+std::string SelectHeader(Database* db, const SelectStatement& sel) {
+  return db->batch_enabled() && PlanBatchMode(sel) ? "SELECT (batch)"
+                                                   : "SELECT";
+}
+
 void RenderStatement(Database* db, const Statement& stmt, int depth,
                      std::vector<std::string>* lines) {
   switch (stmt.kind) {
     case StatementKind::kSelect:
-      AddLine(lines, depth, "SELECT");
+      AddLine(lines, depth, SelectHeader(db, *stmt.select));
       RenderSelect(db, *stmt.select, depth + 1, lines);
       return;
     case StatementKind::kInsert: {
       const InsertStatement& ins = *stmt.insert;
       AddLine(lines, depth, "INSERT INTO " + ins.table_name);
       if (ins.select != nullptr) {
-        AddLine(lines, depth + 1, "SELECT");
+        AddLine(lines, depth + 1, SelectHeader(db, *ins.select));
         RenderSelect(db, *ins.select, depth + 2, lines);
       } else {
         AddLine(lines, depth + 1,
@@ -540,7 +565,7 @@ void RenderStatement(Database* db, const Statement& stmt, int depth,
       AddLine(lines, depth, "UPDATE " + upd.table_name);
       if (Table* table = db->catalog().FindTable(upd.table_name)) {
         RenderAccessPath(db, table, upd.table_name, upd.where.get(),
-                         nullptr, depth + 1, nullptr, lines);
+                         nullptr, false, depth + 1, nullptr, lines);
       }
       if (upd.where != nullptr) {
         AddLine(lines, depth + 1,
@@ -553,7 +578,7 @@ void RenderStatement(Database* db, const Statement& stmt, int depth,
       AddLine(lines, depth, "DELETE FROM " + del.table_name);
       if (Table* table = db->catalog().FindTable(del.table_name)) {
         RenderAccessPath(db, table, del.table_name, del.where.get(),
-                         nullptr, depth + 1, nullptr, lines);
+                         nullptr, false, depth + 1, nullptr, lines);
       }
       if (del.where != nullptr) {
         AddLine(lines, depth + 1,
@@ -581,20 +606,22 @@ void RenderStatement(Database* db, const Statement& stmt, int depth,
 /// Maps each ORDER BY item of a single-base-table SELECT to a schema
 /// column ordinal, mirroring the executor's sort-key resolution (output
 /// ordinal / output name / scope reference) exactly. Returns false when
-/// any item is descending, when grouped/DISTINCT execution reorders rows,
-/// or when an item is not a plain stored-column reference — an ordered
-/// index traversal can replace the sort only in the exact-match case
-/// (ties then fall back to slot order, which is the same table order
+/// the items mix sort directions, when grouped/DISTINCT execution
+/// reorders rows, or when an item is not a plain stored-column
+/// reference — an ordered index traversal (forward for ASC, reversed
+/// for DESC) can replace the sort only in the exact-match case (ties
+/// then fall back to slot order, which is the same table order
 /// stable_sort preserves).
 bool OrderBySargColumns(const SelectStatement& sel, const std::string& qual,
-                        const TableSchema& schema,
-                        std::vector<size_t>* out) {
+                        const TableSchema& schema, std::vector<size_t>* out,
+                        bool* descending) {
   if (sel.order_by.empty() || sel.distinct || !sel.group_by.empty() ||
       sel.having != nullptr) {
     return false;
   }
+  const bool desc = sel.order_by[0].descending;
   for (const OrderByItem& ob : sel.order_by) {
-    if (ob.descending || ContainsAggregate(*ob.expr)) return false;
+    if (ob.descending != desc || ContainsAggregate(*ob.expr)) return false;
   }
   for (const SelectItem& item : sel.items) {
     if (!item.star && ContainsAggregate(*item.expr)) return false;
@@ -665,6 +692,7 @@ bool OrderBySargColumns(const SelectStatement& sel, const std::string& qual,
     if (col < 0) return false;
     out->push_back(static_cast<size_t>(col));
   }
+  if (descending != nullptr) *descending = desc;
   return true;
 }
 
@@ -701,8 +729,8 @@ Result<ResultSet> ExecuteExplain(Database* db,
   db->set_exec_profile(previous);
   if (!target_result.ok()) return target_result.status();
 
-  ResultSet result(
-      {"OP", "DETAIL", "ROWS_IN", "ROWS_OUT", "LOOPS", "TIME_NS"});
+  ResultSet result({"OP", "DETAIL", "ROWS_IN", "ROWS_OUT", "LOOPS",
+                    "TIME_NS", "BATCHES"});
   for (const ExecProfileOp& op : profile.ops) {
     result.AddRow(
         {Value::String(std::string(static_cast<size_t>(op.depth) * 2, ' ') +
@@ -711,7 +739,8 @@ Result<ResultSet> ExecuteExplain(Database* db,
          Value::Integer(static_cast<int64_t>(op.rows_in)),
          Value::Integer(static_cast<int64_t>(op.rows_out)),
          Value::Integer(static_cast<int64_t>(op.loops)),
-         Value::Integer(op.elapsed_ns)});
+         Value::Integer(op.elapsed_ns),
+         Value::Integer(static_cast<int64_t>(op.batches))});
   }
   uint64_t out_rows = target_result->rows().empty()
                           ? static_cast<uint64_t>(
@@ -722,7 +751,8 @@ Result<ResultSet> ExecuteExplain(Database* db,
   result.AddRow({Value::String("RESULT"), Value::String(""),
                  Value::Integer(0),
                  Value::Integer(static_cast<int64_t>(out_rows)),
-                 Value::Integer(1), Value::Integer(total_ns)});
+                 Value::Integer(1), Value::Integer(total_ns),
+                 Value::Integer(0)});
   return result;
 }
 

@@ -61,9 +61,12 @@ ExprPtr CombineConjuncts(const std::vector<const Expr*>& conjuncts);
 
 /// Maps each ORDER BY item of a single-base-table SELECT to a schema
 /// column ordinal (see executor: ORDER BY elision). False when the sort
-/// cannot be satisfied by an ascending index traversal.
+/// cannot be satisfied by an index traversal; on success `descending`
+/// (when non-null) reports the uniform direction — all-descending
+/// orders use a reversed walk, mixed directions are never sargable.
 bool OrderBySargColumns(const SelectStatement& sel, const std::string& qual,
-                        const TableSchema& schema, std::vector<size_t>* out);
+                        const TableSchema& schema, std::vector<size_t>* out,
+                        bool* descending = nullptr);
 
 // ---------------------------------------------------------------------------
 // EXPLAIN
@@ -73,7 +76,7 @@ bool OrderBySargColumns(const SelectStatement& sel, const std::string& qual,
 /// statically chosen plan as a one-column ("PLAN") result set without
 /// running the target. ANALYZE runs the target with an ExecProfile
 /// installed and renders one row per executed operator (OP, DETAIL,
-/// ROWS_IN, ROWS_OUT, LOOPS, TIME_NS) plus a final RESULT row.
+/// ROWS_IN, ROWS_OUT, LOOPS, TIME_NS, BATCHES) plus a final RESULT row.
 Result<ResultSet> ExecuteExplain(Database* db,
                                  const ExplainStatement& explain,
                                  const Params& params);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "common/string_util.h"
@@ -240,13 +241,16 @@ std::optional<RangeScanPlan> PlanTableRange(const Table& table,
   SplitConjuncts(*where, &conjuncts);
 
   // Candidate interval per schema ordinal (first conjunct wins per side;
-  // the residual WHERE re-checks everything anyway).
+  // the residual WHERE re-checks everything anyway), plus equality
+  // probes usable as leading-key-column prefixes.
   struct ColumnRange {
     RangeBound lower;
     RangeBound upper;
     const Expr* like = nullptr;
   };
   std::vector<ColumnRange> ranges(table.schema().column_count());
+  std::vector<const Expr*> eq_probe(table.schema().column_count(),
+                                    nullptr);
   auto note_bound = [&ranges](int col, const Expr* probe, bool is_lower,
                               bool inclusive, bool raw) {
     RangeBound& b =
@@ -275,8 +279,9 @@ std::optional<RangeScanPlan> PlanTableRange(const Table& table,
         if (r.like == nullptr) r.like = c->children[1].get();
         continue;
       }
-      if (op != BinaryOp::kLt && op != BinaryOp::kLtEq &&
-          op != BinaryOp::kGt && op != BinaryOp::kGtEq) {
+      if (op != BinaryOp::kEq && op != BinaryOp::kLt &&
+          op != BinaryOp::kLtEq && op != BinaryOp::kGt &&
+          op != BinaryOp::kGtEq) {
         continue;
       }
       const Expr& lhs = *c->children[0];
@@ -301,6 +306,14 @@ std::optional<RangeScanPlan> PlanTableRange(const Table& table,
         continue;
       }
       if (!ProbeExprCompatible(type, *probe)) continue;
+      if (op == BinaryOp::kEq) {
+        // Equality over an ordered-comparable column: usable to pin a
+        // leading key column of a multi-column index.
+        if (eq_probe[static_cast<size_t>(col)] == nullptr) {
+          eq_probe[static_cast<size_t>(col)] = probe;
+        }
+        continue;
+      }
       bool is_upper = col_on_left
                           ? (op == BinaryOp::kLt || op == BinaryOp::kLtEq)
                           : (op == BinaryOp::kGt || op == BinaryOp::kGtEq);
@@ -320,42 +333,50 @@ std::optional<RangeScanPlan> PlanTableRange(const Table& table,
     }
   }
 
-  // Choose the cheapest bounded column that leads an ordered index.
+  // Choose the cheapest index under the cost model: for each index, pin
+  // the longest run of leading key columns covered by equality probes,
+  // then bound the next key column if an interval (or LIKE prefix) is
+  // available for it. Cost ties break toward longer equality prefixes,
+  // then fewer key columns, then declaration order.
   std::optional<RangeScanPlan> best;
   double best_cost = 0.0;
-  for (size_t col = 0; col < ranges.size(); ++col) {
+  std::pair<size_t, size_t> best_tie{0, 0};
+  for (const SecondaryIndex& index : table.secondary_indexes()) {
+    if (index.column_indexes.empty()) continue;
+    size_t p = 0;
+    while (p < index.column_indexes.size() &&
+           eq_probe[index.column_indexes[p]] != nullptr) {
+      ++p;
+    }
+    // A fully equality-covered key is PlanTableAccess territory (hash
+    // lookup); the cost model would undercount a non-unique run here.
+    if (p == index.column_indexes.size()) continue;
+    size_t col = index.column_indexes[p];
     const ColumnRange& r = ranges[col];
     bool has_bounds = r.lower.probe != nullptr || r.upper.probe != nullptr;
-    if (!has_bounds && r.like == nullptr) continue;
-    // Shortest index led by this column (all carry the same postings
-    // for the first column; fewer key columns ⇒ cheaper keys).
-    const SecondaryIndex* index = nullptr;
-    for (const SecondaryIndex& candidate : table.secondary_indexes()) {
-      if (candidate.column_indexes.empty() ||
-          candidate.column_indexes[0] != col) {
-        continue;
-      }
-      if (index == nullptr || candidate.column_indexes.size() <
-                                  index->column_indexes.size()) {
-        index = &candidate;
-      }
-    }
-    if (index == nullptr) continue;
+    if (p == 0 && !has_bounds && r.like == nullptr) continue;
     RangeScanPlan plan;
     plan.table_name = table.schema().table_name();
-    plan.index_name = index->name;
-    plan.key_columns = index->column_indexes;
+    plan.index_name = index.name;
+    plan.key_columns = index.column_indexes;
     plan.column = col;
+    for (size_t i = 0; i < p; ++i) {
+      plan.prefix_values.push_back(eq_probe[index.column_indexes[i]]);
+    }
     if (has_bounds) {
       plan.lower = r.lower;
       plan.upper = r.upper;
-    } else {
+    } else if (r.like != nullptr) {
       plan.like_pattern = r.like;
     }
     double cost = EstimateRangeCost(table, plan);
-    if (!best.has_value() || cost < best_cost) {
+    std::pair<size_t, size_t> tie{
+        p, std::numeric_limits<size_t>::max() - index.column_indexes.size()};
+    if (!best.has_value() || cost < best_cost ||
+        (cost == best_cost && tie > best_tie)) {
       best = std::move(plan);
       best_cost = cost;
+      best_tie = tie;
     }
   }
   return best;
@@ -379,10 +400,21 @@ double EstimateLookupCost(const Table& table, const IndexLookupPlan& plan) {
 
 double EstimateRangeCost(const Table& table, const RangeScanPlan& plan) {
   const double rows = static_cast<double>(table.row_count());
+  double selectivity = 1.0;
+  for (size_t i = 0; i < plan.prefix_values.size(); ++i) {
+    selectivity /= 4.0;  // each pinned key column quarters the run
+  }
   bool bounded_both =
       plan.like_pattern != nullptr ||
       (plan.lower.probe != nullptr && plan.upper.probe != nullptr);
-  return bounded_both ? rows / 4.0 : rows / 3.0;
+  bool bounded_half =
+      plan.lower.probe != nullptr || plan.upper.probe != nullptr;
+  if (bounded_both) {
+    selectivity /= 4.0;
+  } else if (bounded_half) {
+    selectivity /= 3.0;
+  }
+  return rows * selectivity;
 }
 
 void ChooseAccessPath(const Table& table, const std::string& alias,
@@ -407,6 +439,64 @@ void ChooseAccessPath(const Table& table, const std::string& alias,
   }
 }
 
+namespace {
+
+/// True when evaluating this subtree has an observable count of
+/// evaluations: scalar/EXISTS subqueries (cursor metrics, NEXTVAL inside
+/// them) and NEXTVAL itself. Batched aggregation defers per-group
+/// argument evaluation and stops after the first error, so such
+/// arguments must keep the row path.
+bool EvalCountObservable(const Expr& e) {
+  if (e.kind == ExprKind::kSubquery || e.kind == ExprKind::kExists) {
+    return true;
+  }
+  if (e.kind == ExprKind::kFunctionCall && e.function_name == "NEXTVAL") {
+    return true;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr && EvalCountObservable(*c)) return true;
+  }
+  return e.case_else != nullptr && EvalCountObservable(*e.case_else);
+}
+
+/// Walks `e` looking for aggregate calls whose arguments are not batch
+/// safe. Does not descend into subqueries: a subquery runs its own
+/// SELECT core and makes its own batch-mode decision.
+bool AggregateArgsBatchSafe(const Expr& e) {
+  if (e.kind == ExprKind::kFunctionCall &&
+      IsAggregateFunctionName(e.function_name)) {
+    for (const ExprPtr& c : e.children) {
+      if (c != nullptr && EvalCountObservable(*c)) return false;
+    }
+    return true;  // the dialect rejects nested aggregates
+  }
+  if (e.kind == ExprKind::kSubquery || e.kind == ExprKind::kExists) {
+    return true;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr && !AggregateArgsBatchSafe(*c)) return false;
+  }
+  return e.case_else == nullptr || AggregateArgsBatchSafe(*e.case_else);
+}
+
+}  // namespace
+
+bool PlanBatchMode(const SelectStatement& sel) {
+  if (sel.from.empty()) return false;
+  for (const SelectItem& item : sel.items) {
+    if (item.expr != nullptr && !AggregateArgsBatchSafe(*item.expr)) {
+      return false;
+    }
+  }
+  if (sel.having != nullptr && !AggregateArgsBatchSafe(*sel.having)) {
+    return false;
+  }
+  for (const OrderByItem& ob : sel.order_by) {
+    if (ob.expr != nullptr && !AggregateArgsBatchSafe(*ob.expr)) return false;
+  }
+  return true;
+}
+
 StatementPlan PlanStatement(const Statement& stmt, Database* db) {
   StatementPlan plan;
   plan.schema_epoch = db->schema_epoch();
@@ -416,6 +506,7 @@ StatementPlan PlanStatement(const Statement& stmt, Database* db) {
   switch (stmt.kind) {
     case StatementKind::kSelect: {
       const SelectStatement& sel = *stmt.select;
+      plan.use_batch = PlanBatchMode(sel);
       if (sel.from.size() != 1 || sel.from[0].derived != nullptr ||
           sel.where == nullptr) {
         return plan;
@@ -523,22 +614,64 @@ std::string PrefixSuccessor(const std::string& prefix) {
 std::optional<std::vector<size_t>> RangeCandidates(const Table& table,
                                                    const RangeScanPlan& plan,
                                                    const Params& params,
-                                                   Database* db) {
+                                                   Database* db,
+                                                   bool reverse) {
   const SecondaryIndex* index = table.FindSecondaryIndex(plan.index_name);
   if (index == nullptr || index->column_indexes != plan.key_columns) {
     return std::nullopt;  // index vanished or was redefined: scan
+  }
+  if (plan.prefix_values.size() >= plan.key_columns.size()) {
+    return std::nullopt;  // malformed plan: scan
   }
   EvalContext ctx;
   ctx.params = &params;
   ctx.database = db;
 
-  // NULL keys sort first under OrderedValueCompare but never satisfy a
-  // range predicate; the default floor starts just past them.
-  OrderedBound lower{Value::Null(), true};
+  // Resolve the equality prefix: each probe pins one leading key column
+  // to the run of keys whose column compares equal under the index
+  // order. The full WHERE re-checks every candidate, so a coerced probe
+  // only has to cover all SQL-equal stored values.
+  Row eq_prefix;
+  eq_prefix.reserve(plan.prefix_values.size());
+  for (const Expr* pe : plan.prefix_values) {
+    size_t key_col = plan.key_columns[eq_prefix.size()];
+    ValueType type = table.schema().columns()[key_col].type;
+    Result<Value> v = EvaluateExpr(*pe, ctx);
+    if (!v.ok()) return std::nullopt;
+    if (v->is_null()) return std::vector<size_t>{};  // col = NULL ⇒ NULL
+    ProbeClass cls = ClassifyValue(*v);
+    if (!ProbeCompatible(type, cls)) return std::nullopt;
+    Value probe = *v;
+    if ((type == ValueType::kInteger || type == ValueType::kDouble) &&
+        cls == ProbeClass::kNumString) {
+      Result<double> d = v->AsDouble();
+      if (!d.ok()) return std::nullopt;  // unreachable: cls checked
+      probe = Value::Double(*d);  // '5' probes as 5.0
+    }
+    if (IsNaN(probe)) return std::nullopt;  // NaN equality: scan decides
+    eq_prefix.push_back(std::move(probe));
+  }
+
+  OrderedBound lower;
   bool have_upper = false;
   OrderedBound upper;
+  // The endpoint that closes the whole prefix-equal run (exact when a
+  // prefix exists; the map's end() plays that role otherwise).
+  auto prefix_end = [&eq_prefix] {
+    return OrderedBound{eq_prefix, Value::Null(), false, true};
+  };
 
-  if (plan.like_pattern != nullptr) {
+  bool pure_prefix = plan.like_pattern == nullptr &&
+                     plan.lower.probe == nullptr &&
+                     plan.upper.probe == nullptr;
+  if (pure_prefix) {
+    if (eq_prefix.empty()) return std::nullopt;  // malformed plan: scan
+    // The whole prefix-equal run, NULL next-column keys included (they
+    // satisfy the prefix equalities).
+    lower = OrderedBound{eq_prefix, Value::Null(), false, false};
+    upper = prefix_end();
+    have_upper = true;
+  } else if (plan.like_pattern != nullptr) {
     Result<Value> pat = EvaluateExpr(*plan.like_pattern, ctx);
     if (!pat.ok()) return std::nullopt;
     if (pat->is_null()) return std::vector<size_t>{};  // LIKE NULL ⇒ NULL
@@ -546,14 +679,25 @@ std::optional<std::vector<size_t>> RangeCandidates(const Table& table,
     size_t wild = pattern.find_first_of("%_");
     std::string prefix = pattern.substr(0, wild);
     if (prefix.empty()) return std::nullopt;  // pattern starts wild: scan
-    lower = OrderedBound{Value::String(prefix), false};
+    lower = OrderedBound{eq_prefix, Value::String(prefix), true, false};
     std::string succ = PrefixSuccessor(prefix);
     if (!succ.empty()) {
-      upper = OrderedBound{Value::String(std::move(succ)), false};
+      upper =
+          OrderedBound{eq_prefix, Value::String(std::move(succ)), true,
+                       false};
+      have_upper = true;
+    } else if (!eq_prefix.empty()) {
+      // No finite string successor, but the equality prefix still caps
+      // the run.
+      upper = prefix_end();
       have_upper = true;
     }
     // else: strings are the top type rank, so "no upper" is exact.
   } else {
+    // NULL keys sort first under OrderedValueCompare but never satisfy
+    // a range predicate; the default floor starts just past them
+    // (within the prefix-equal run).
+    lower = OrderedBound{eq_prefix, Value::Null(), true, true};
     ValueType type = table.schema().columns()[plan.column].type;
     auto resolve = [&](const RangeBound& b,
                        Value* out) -> std::optional<bool> {
@@ -586,22 +730,28 @@ std::optional<std::vector<size_t>> RangeCandidates(const Table& table,
       std::optional<bool> ok = resolve(plan.lower, &v);
       if (!ok.has_value()) return std::nullopt;
       if (!*ok) return std::vector<size_t>{};
-      lower = OrderedBound{std::move(v), !plan.lower.inclusive};
+      lower = OrderedBound{eq_prefix, std::move(v), true,
+                           !plan.lower.inclusive};
     }
     if (plan.upper.probe != nullptr) {
       Value v;
       std::optional<bool> ok = resolve(plan.upper, &v);
       if (!ok.has_value()) return std::nullopt;
       if (!*ok) return std::vector<size_t>{};
-      upper = OrderedBound{std::move(v), plan.upper.inclusive};
+      upper = OrderedBound{eq_prefix, std::move(v), true,
+                           plan.upper.inclusive};
+      have_upper = true;
+    } else if (!eq_prefix.empty()) {
+      upper = prefix_end();
       have_upper = true;
     }
   }
 
   // Guard empty/inverted intervals (BETWEEN 10 AND 5): lower_bound of
   // the floor could land past lower_bound of the ceiling, and iterating
-  // between them would run off the map.
-  if (have_upper) {
+  // between them would run off the map. Bounds share the same equality
+  // prefix, so only two valued endpoints can invert.
+  if (have_upper && lower.has_value && upper.has_value) {
     int cmp = OrderedValueCompare(lower.value, upper.value);
     if (cmp > 0 || (cmp == 0 && (lower.after_equal || !upper.after_equal))) {
       return std::vector<size_t>{};
@@ -612,8 +762,18 @@ std::optional<std::vector<size_t>> RangeCandidates(const Table& table,
   auto end = have_upper ? index->ordered.lower_bound(upper)
                         : index->ordered.end();
   std::vector<size_t> out;
-  for (; it != end; ++it) {
-    out.insert(out.end(), it->second.begin(), it->second.end());
+  if (!reverse) {
+    for (; it != end; ++it) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  } else {
+    // Descending key order with slots still ascending within each key —
+    // the order a descending stable sort over table-ordered rows
+    // produces.
+    while (end != it) {
+      --end;
+      out.insert(out.end(), end->second.begin(), end->second.end());
+    }
   }
   return out;
 }

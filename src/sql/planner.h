@@ -22,6 +22,7 @@ enum class PlanChoice : unsigned {
   kHashJoin = 4u,
   kRangeScan = 8u,
   kPushdown = 16u,
+  kBatch = 32u,  // SELECT core ran the columnar batch pipeline
 };
 
 /// An equality/IN access path against one base table: the planner proved
@@ -54,16 +55,22 @@ struct RangeBound {
   bool raw_compare = false;
 };
 
-/// A bounded scan over an ordered index whose first key column is
-/// `column`. The executor walks index entries between the bounds and
-/// re-evaluates the full WHERE per candidate, so the interval only has
-/// to be a superset of the matching rows.
+/// A bounded scan over an ordered index: equality probes pin the leading
+/// `prefix_values.size()` key columns, and the range bounds (or LIKE
+/// prefix) then constrain the next key column. The executor walks index
+/// entries between the bounds and re-evaluates the full WHERE per
+/// candidate, so the interval only has to be a superset of the matching
+/// rows. A plan with a non-empty prefix and no bounds at all is a pure
+/// prefix probe (`WHERE a = 1` against an index on (a, b)).
 struct RangeScanPlan {
   std::string table_name;
   std::string index_name;
   /// Full index key (schema ordinals), for validation at execution.
   std::vector<size_t> key_columns;
-  /// The bounded column; always key_columns[0].
+  /// Equality probes for key_columns[0 .. prefix_values.size()-1]
+  /// (non-owning pointers into the planned statement).
+  std::vector<const Expr*> prefix_values;
+  /// The bounded column; always key_columns[prefix_values.size()].
   size_t column = 0;
   RangeBound lower;
   RangeBound upper;
@@ -84,6 +91,11 @@ struct StatementPlan {
   IndexLookupPlan access;
   bool has_range = false;
   RangeScanPlan range;
+  /// SELECT only: run the columnar batch pipeline (vec_exec.cc) instead
+  /// of the row-at-a-time interpreter. Decided structurally by
+  /// PlanBatchMode; the pipeline still falls back to scalar evaluation
+  /// per window when a kernel cannot prove identical semantics.
+  bool use_batch = false;
 };
 
 /// Flattens nested ANDs: `a AND (b AND c)` → {a, b, c}. Any non-AND
@@ -98,9 +110,11 @@ std::optional<IndexLookupPlan> PlanTableAccess(const Table& table,
                                                const std::string& alias,
                                                const Expr* where);
 
-/// Extracts a bounded range scan from `where`: `<`/`<=`/`>`/`>=`,
-/// BETWEEN, and prefix LIKE conjuncts over the first column of an
-/// ordered index. Returns nullopt when nothing is range-sargable.
+/// Extracts a bounded range scan from `where`. Equality conjuncts may
+/// pin a leading prefix of an ordered index's key columns; the first
+/// unpinned key column is then bounded by `<`/`<=`/`>`/`>=`, BETWEEN, or
+/// prefix-LIKE conjuncts (or left unbounded when the prefix alone is
+/// selective). Returns nullopt when nothing is range-sargable.
 std::optional<RangeScanPlan> PlanTableRange(const Table& table,
                                             const std::string& alias,
                                             const Expr* where);
@@ -108,8 +122,9 @@ std::optional<RangeScanPlan> PlanTableRange(const Table& table,
 /// Expected candidate row count under the row-count cost model: a unique
 /// full-key match costs 1, a non-unique lookup rows/distinct-keys (an IN
 /// list multiplies by its length), a range scan a fixed fraction of the
-/// table (1/4 when bounded on both sides or prefix-LIKE, 1/3 when
-/// half-bounded).
+/// table — 1/4 per equality-prefix column, times 1/4 when bounded on
+/// both sides or prefix-LIKE, 1/3 when half-bounded, 1 for a pure
+/// prefix probe.
 double EstimateLookupCost(const Table& table, const IndexLookupPlan& plan);
 double EstimateRangeCost(const Table& table, const RangeScanPlan& plan);
 
@@ -131,6 +146,13 @@ bool ProbeExprCompatible(ValueType column_type, const Expr& e);
 /// other kinds yield an empty plan stamped with the current epoch.
 StatementPlan PlanStatement(const Statement& stmt, Database* db);
 
+/// Structural batch-eligibility gate for one SELECT core: true when the
+/// statement reads from at least one table and no aggregate argument
+/// contains a subquery, EXISTS, or NEXTVAL (whose evaluation counts are
+/// observable and would diverge under deferred batched accumulation).
+/// UNION branches are decided independently by the caller.
+bool PlanBatchMode(const SelectStatement& sel);
+
 /// Evaluates the plan's probe expressions and collects candidate row
 /// slots (ascending, deduplicated). nullopt ⇒ fall back to a scan (probe
 /// type mismatch, evaluation failure, vanished index); an engaged empty
@@ -141,14 +163,17 @@ std::optional<std::vector<size_t>> IndexCandidates(
 
 /// Evaluates the range plan's bounds and walks the ordered index between
 /// them. Slots come back in *index-key order* (ascending key, ascending
-/// slot within a key) — callers must re-sort to table order unless they
+/// slot within a key; `reverse` flips the key order but keeps slots
+/// ascending within a key, which is exactly what a descending stable
+/// sort would produce) — callers must re-sort to table order unless they
 /// are deliberately consuming the key order (ORDER BY elision). nullopt
 /// ⇒ fall back to a scan; an engaged empty vector means provably zero
 /// matching rows (e.g. a NULL bound).
 std::optional<std::vector<size_t>> RangeCandidates(const Table& table,
                                                    const RangeScanPlan& plan,
                                                    const Params& params,
-                                                   Database* db);
+                                                   Database* db,
+                                                   bool reverse = false);
 
 /// Upper-cased, deduplicated names of every table the statement mentions
 /// (FROM refs, DML targets, subqueries) — used by the plan cache to drop

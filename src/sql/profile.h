@@ -17,6 +17,9 @@ struct ExecProfileOp {
   uint64_t rows_in = 0;
   uint64_t rows_out = 0;
   uint64_t loops = 0;
+  /// Windows processed by the batch pipeline (0 on the row path — the
+  /// ANALYZE column renders it only when the batch executor ran).
+  uint64_t batches = 0;
   int64_t elapsed_ns = 0;
 };
 

@@ -152,13 +152,23 @@ bool OrderedKeyLess::operator()(const Row& a, const Row& b) const {
 }
 
 bool OrderedKeyLess::operator()(const Row& a, const OrderedBound& b) const {
-  int cmp = OrderedValueCompare(a[0], b.value);
+  for (size_t i = 0; i < b.prefix.size(); ++i) {
+    int cmp = OrderedValueCompare(a[i], b.prefix[i]);
+    if (cmp != 0) return cmp < 0;
+  }
+  if (!b.has_value) return b.after_equal;
+  int cmp = OrderedValueCompare(a[b.prefix.size()], b.value);
   if (cmp != 0) return cmp < 0;
   return b.after_equal;
 }
 
 bool OrderedKeyLess::operator()(const OrderedBound& a, const Row& b) const {
-  int cmp = OrderedValueCompare(a.value, b[0]);
+  for (size_t i = 0; i < a.prefix.size(); ++i) {
+    int cmp = OrderedValueCompare(a.prefix[i], b[i]);
+    if (cmp != 0) return cmp < 0;
+  }
+  if (!a.has_value) return !a.after_equal;
+  int cmp = OrderedValueCompare(a.value, b[a.prefix.size()]);
   if (cmp != 0) return cmp < 0;
   return !a.after_equal;
 }

@@ -59,13 +59,18 @@ void AppendLookupKeyPart(const Value& v, std::string* out);
 /// only `>`-style predicates.
 int OrderedValueCompare(const Value& a, const Value& b);
 
-/// A lower/upper endpoint on the *first* key column of an ordered index,
-/// resolved through the transparent comparator so partial range probes
-/// work on multi-column indexes. `after_equal` positions the bound just
-/// after all keys whose first column equals `value` (vs. just before
-/// them), which encodes bound inclusivity for both map directions.
+/// A lower/upper endpoint in an ordered index's key space, resolved
+/// through the transparent comparator so partial probes work on
+/// multi-column indexes. `prefix` pins the leading key columns to
+/// equality values; when `has_value` is set, `value` then bounds the
+/// next key column, otherwise the endpoint addresses the whole run of
+/// prefix-equal keys. `after_equal` positions the bound just after all
+/// keys matching the endpoint (vs. just before them), which encodes
+/// bound inclusivity for both map directions.
 struct OrderedBound {
+  Row prefix;
   Value value;
+  bool has_value = true;
   bool after_equal = false;
 };
 

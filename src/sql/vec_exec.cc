@@ -1,0 +1,1649 @@
+#include "sql/vec_exec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+#include "sql/database.h"
+#include "sql/executor.h"
+#include "sql/planner.h"
+#include "sql/profile.h"
+#include "sql/result_set.h"
+#include "sql/table.h"
+
+// ---------------------------------------------------------------------------
+// Vectorized SELECT pipeline
+// ---------------------------------------------------------------------------
+// This file implements Executor::ExecuteSelectCoreBatch: the same stage
+// sequence as ExecuteSelectCoreRow (FROM resolution → joins → WHERE →
+// projection/aggregation → DISTINCT → ORDER BY → LIMIT), processed in
+// kBatchCapacity-row windows over a columnar relation. Every window is
+// all-or-nothing: a kernel either evaluates the whole window with
+// provably identical results and no possible error/side effect, or the
+// window re-runs through the scalar EvaluateExpr path. The row path is
+// the semantics oracle — results, error messages, error ordering, plan
+// counters, and profile operators must match byte-for-byte.
+
+namespace sqlflow::sql {
+
+const Value& VecNullValue() {
+  static const Value kNull = Value::Null();
+  return kNull;
+}
+
+int FindVecColumn(const VecRelation& rel, const std::string& qualifier,
+                  const std::string& name) {
+  int found = -1;
+  for (size_t i = 0; i < rel.columns.size(); ++i) {
+    const ScopeColumnRef& sc = rel.columns[i];
+    if (!qualifier.empty() && !EqualsIgnoreCase(sc.qualifier, qualifier)) {
+      continue;
+    }
+    if (!EqualsIgnoreCase(sc.name, name)) continue;
+    if (found >= 0) return -2;  // ambiguous
+    found = static_cast<int>(i);
+  }
+  return found;
+}
+
+Result<Value> VecRowBinding::Resolve(const std::string& qualifier,
+                                     const std::string& column) const {
+  int found = -1;
+  for (size_t i = 0; i < rel_->columns.size(); ++i) {
+    const ScopeColumnRef& sc = rel_->columns[i];
+    if (!qualifier.empty() && !EqualsIgnoreCase(sc.qualifier, qualifier)) {
+      continue;
+    }
+    if (!EqualsIgnoreCase(sc.name, column)) continue;
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column reference '" +
+                                     column + "'");
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    return Status::NotFound(
+        "no column '" +
+        (qualifier.empty() ? column : qualifier + "." + column) +
+        "' in scope");
+  }
+  return rel_->AtRef(row_, static_cast<size_t>(found));
+}
+
+// ---------------------------------------------------------------------------
+// Expression kernels
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using Tag = VecCol::Tag;
+
+void BroadcastValue(const Value& v, size_t n, VecCol* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out->ResetNull(n);
+      return;
+    case ValueType::kInteger:
+      out->ResetTyped(Tag::kInt, n);
+      out->ints.assign(n, v.integer());
+      out->size = n;
+      return;
+    case ValueType::kDouble:
+      out->ResetTyped(Tag::kDouble, n);
+      out->dbls.assign(n, v.dbl());
+      out->size = n;
+      return;
+    case ValueType::kBoolean:
+      out->ResetTyped(Tag::kBool, n);
+      out->bools.assign(n, v.boolean() ? 1 : 0);
+      out->size = n;
+      return;
+    case ValueType::kString:
+      out->ResetTyped(Tag::kString, n);
+      out->strs.assign(n, &v.str());
+      out->size = n;
+      return;
+  }
+  out->ResetBail();
+}
+
+bool IsNumericTag(Tag t) { return t == Tag::kInt || t == Tag::kDouble; }
+
+/// Total-order rank matching Value::Compare's TypeRank (no kNull: raw
+/// compares only run on non-null elements).
+int TagRank(Tag t) {
+  switch (t) {
+    case Tag::kBool:
+      return 1;
+    case Tag::kInt:
+    case Tag::kDouble:
+      return 2;
+    case Tag::kString:
+      return 3;
+    default:
+      return 0;
+  }
+}
+
+double DblAt(const VecCol& c, size_t i) {
+  return c.tag == Tag::kInt ? static_cast<double>(c.ints[i]) : c.dbls[i];
+}
+
+/// Value::Compare over two non-null column elements (raw total order —
+/// BETWEEN and IN semantics, never an error).
+int RawCompare(const VecCol& a, size_t i, const VecCol& b, size_t j) {
+  int ra = TagRank(a.tag);
+  int rb = TagRank(b.tag);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (a.tag) {
+    case Tag::kBool: {
+      bool x = a.bools[i] != 0;
+      bool y = b.bools[j] != 0;
+      return x == y ? 0 : (x < y ? -1 : 1);
+    }
+    case Tag::kInt:
+      if (b.tag == Tag::kInt) {
+        int64_t x = a.ints[i];
+        int64_t y = b.ints[j];
+        return x == y ? 0 : (x < y ? -1 : 1);
+      }
+      [[fallthrough]];
+    case Tag::kDouble: {
+      double x = DblAt(a, i);
+      double y = DblAt(b, j);
+      return x == y ? 0 : (x < y ? -1 : 1);
+    }
+    case Tag::kString: {
+      const std::string& x = *a.strs[i];
+      const std::string& y = *b.strs[j];
+      return x.compare(y) == 0 ? 0 : (x < y ? -1 : 1);
+    }
+    default:
+      return 0;
+  }
+}
+
+/// Value::Compare between a non-null column element and a non-null Value.
+int RawCompareValue(const VecCol& a, size_t i, const Value& v) {
+  int ra = TagRank(a.tag);
+  int rb = 0;
+  switch (v.type()) {
+    case ValueType::kBoolean:
+      rb = 1;
+      break;
+    case ValueType::kInteger:
+    case ValueType::kDouble:
+      rb = 2;
+      break;
+    case ValueType::kString:
+      rb = 3;
+      break;
+    default:
+      rb = 0;
+      break;
+  }
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (a.tag) {
+    case Tag::kBool: {
+      bool x = a.bools[i] != 0;
+      bool y = v.boolean();
+      return x == y ? 0 : (x < y ? -1 : 1);
+    }
+    case Tag::kInt:
+      if (v.type() == ValueType::kInteger) {
+        int64_t x = a.ints[i];
+        int64_t y = v.integer();
+        return x == y ? 0 : (x < y ? -1 : 1);
+      }
+      [[fallthrough]];
+    case Tag::kDouble: {
+      double x = DblAt(a, i);
+      double y = v.type() == ValueType::kInteger
+                     ? static_cast<double>(v.integer())
+                     : v.dbl();
+      return x == y ? 0 : (x < y ? -1 : 1);
+    }
+    case Tag::kString: {
+      const std::string& x = *a.strs[i];
+      const std::string& y = v.str();
+      return x.compare(y) == 0 ? 0 : (x < y ? -1 : 1);
+    }
+    default:
+      return 0;
+  }
+}
+
+/// Kleene truth for AND/OR operands: AsBoolean coercion for bool/int/
+/// double tags (never errors); strings are rejected by the caller.
+/// Returns false when the element is NULL (unknown).
+bool KnownBool(const VecCol& c, size_t i, bool* out) {
+  if (c.IsNull(i)) return false;
+  switch (c.tag) {
+    case Tag::kBool:
+      *out = c.bools[i] != 0;
+      return true;
+    case Tag::kInt:
+      *out = c.ints[i] != 0;
+      return true;
+    case Tag::kDouble:
+      *out = c.dbls[i] != 0.0;
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool VecArithmetic(BinaryOp op, const VecCol& a, const VecCol& b, size_t n,
+                   VecCol* out) {
+  // Arithmetic() checks NULL before types: an all-NULL operand makes the
+  // result all-NULL no matter what the other side holds.
+  if (a.tag == Tag::kNull || b.tag == Tag::kNull) {
+    out->ResetNull(n);
+    return true;
+  }
+  // A non-numeric operand could raise "arithmetic on non-numeric values"
+  // wherever both sides are non-NULL; leave those windows to the scalar
+  // path rather than proving per-element safety.
+  if (!IsNumericTag(a.tag) || !IsNumericTag(b.tag)) return false;
+  bool both_int = a.tag == Tag::kInt && b.tag == Tag::kInt;
+  bool divmod = op == BinaryOp::kDiv || op == BinaryOp::kMod;
+  if (both_int) {
+    out->ResetTyped(Tag::kInt, n);
+    out->ints.resize(n, 0);
+    out->size = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (a.IsNull(i) || b.IsNull(i)) {
+        out->nulls.SetNull(i);
+        continue;
+      }
+      int64_t x = a.ints[i];
+      int64_t y = b.ints[i];
+      if (divmod && y == 0) return false;  // "division by zero" possible
+      switch (op) {
+        case BinaryOp::kAdd:
+          out->ints[i] = x + y;
+          break;
+        case BinaryOp::kSub:
+          out->ints[i] = x - y;
+          break;
+        case BinaryOp::kMul:
+          out->ints[i] = x * y;
+          break;
+        case BinaryOp::kDiv:
+          out->ints[i] = x / y;
+          break;
+        case BinaryOp::kMod:
+          out->ints[i] = x % y;
+          break;
+        default:
+          return false;
+      }
+    }
+    return true;
+  }
+  out->ResetTyped(Tag::kDouble, n);
+  out->dbls.resize(n, 0.0);
+  out->size = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (a.IsNull(i) || b.IsNull(i)) {
+      out->nulls.SetNull(i);
+      continue;
+    }
+    double x = DblAt(a, i);
+    double y = DblAt(b, i);
+    if (divmod && y == 0.0) return false;
+    switch (op) {
+      case BinaryOp::kAdd:
+        out->dbls[i] = x + y;
+        break;
+      case BinaryOp::kSub:
+        out->dbls[i] = x - y;
+        break;
+      case BinaryOp::kMul:
+        out->dbls[i] = x * y;
+        break;
+      case BinaryOp::kDiv:
+        out->dbls[i] = x / y;
+        break;
+      case BinaryOp::kMod:
+        out->dbls[i] = std::fmod(x, y);
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+bool VecComparison(BinaryOp op, const VecCol& a, const VecCol& b, size_t n,
+                   VecCol* out) {
+  // Comparison() checks NULL first: an all-NULL operand ⇒ all-NULL.
+  if (a.tag == Tag::kNull || b.tag == Tag::kNull) {
+    out->ResetNull(n);
+    return true;
+  }
+  // Combinations that could coerce (numeric↔string via AsDouble) or
+  // raise "cannot compare X with Y" (bool vs anything else) stay scalar.
+  bool comparable = (IsNumericTag(a.tag) && IsNumericTag(b.tag)) ||
+                    (a.tag == Tag::kString && b.tag == Tag::kString) ||
+                    (a.tag == Tag::kBool && b.tag == Tag::kBool);
+  if (!comparable) return false;
+  out->ResetTyped(Tag::kBool, n);
+  out->bools.resize(n, 0);
+  out->size = n;
+  bool both_int = a.tag == Tag::kInt && b.tag == Tag::kInt;
+  for (size_t i = 0; i < n; ++i) {
+    if (a.IsNull(i) || b.IsNull(i)) {
+      out->nulls.SetNull(i);
+      continue;
+    }
+    int cmp;
+    if (both_int) {
+      int64_t x = a.ints[i];
+      int64_t y = b.ints[i];
+      cmp = x == y ? 0 : (x < y ? -1 : 1);
+    } else if (a.tag == Tag::kString) {
+      const std::string& x = *a.strs[i];
+      const std::string& y = *b.strs[i];
+      cmp = x.compare(y) == 0 ? 0 : (x < y ? -1 : 1);
+    } else if (a.tag == Tag::kBool) {
+      bool x = a.bools[i] != 0;
+      bool y = b.bools[i] != 0;
+      cmp = x == y ? 0 : (x < y ? -1 : 1);
+    } else {
+      double x = DblAt(a, i);
+      double y = DblAt(b, i);
+      cmp = x == y ? 0 : (x < y ? -1 : 1);
+    }
+    bool v = false;
+    switch (op) {
+      case BinaryOp::kEq:
+        v = cmp == 0;
+        break;
+      case BinaryOp::kNotEq:
+        v = cmp != 0;
+        break;
+      case BinaryOp::kLt:
+        v = cmp < 0;
+        break;
+      case BinaryOp::kLtEq:
+        v = cmp <= 0;
+        break;
+      case BinaryOp::kGt:
+        v = cmp > 0;
+        break;
+      case BinaryOp::kGtEq:
+        v = cmp >= 0;
+        break;
+      default:
+        return false;
+    }
+    out->bools[i] = v ? 1 : 0;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TryVecEval(const Expr& e, const VecWindow& w, VecCol* out) {
+  const size_t n = w.count;
+  out->ResetBail();
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      BroadcastValue(e.literal, n, out);
+      return out->tag != Tag::kBail;
+    case ExprKind::kParameter: {
+      // Mirrors EvaluateExpr's parameter resolution; an unbound
+      // parameter (an error on the row path) bails so the scalar pass
+      // raises it.
+      if (w.params == nullptr) return false;
+      const Value* found = nullptr;
+      if (!e.param_name.empty()) {
+        auto it = w.params->named.find(e.param_name);
+        if (it != w.params->named.end()) found = &it->second;
+      }
+      if (found == nullptr && e.param_index >= 0 &&
+          static_cast<size_t>(e.param_index) <
+              w.params->positional.size()) {
+        found = &w.params->positional[static_cast<size_t>(e.param_index)];
+      }
+      if (found == nullptr) return false;
+      BroadcastValue(*found, n, out);
+      return out->tag != Tag::kBail;
+    }
+    case ExprKind::kColumnRef: {
+      int idx = FindVecColumn(*w.rel, e.table_qualifier, e.column_name);
+      if (idx < 0) return false;  // missing/ambiguous ⇒ scalar error path
+      size_t col = static_cast<size_t>(idx);
+      return LoadVecCol(
+          n,
+          [&](size_t i) -> const Value& {
+            return w.rel->AtRef(w.start + i, col);
+          },
+          out);
+    }
+    case ExprKind::kUnary: {
+      VecCol child;
+      if (!TryVecEval(*e.children[0], w, &child)) return false;
+      switch (e.unary_op) {
+        case UnaryOp::kNot: {
+          // AsBoolean never errors for bool/int/double; strings can.
+          if (child.tag == Tag::kNull) {
+            out->ResetNull(n);
+            return true;
+          }
+          if (child.tag == Tag::kString) return false;
+          out->ResetTyped(Tag::kBool, n);
+          out->bools.resize(n, 0);
+          out->size = n;
+          for (size_t i = 0; i < n; ++i) {
+            bool b;
+            if (!KnownBool(child, i, &b)) {
+              out->nulls.SetNull(i);
+              continue;
+            }
+            out->bools[i] = b ? 0 : 1;
+          }
+          return true;
+        }
+        case UnaryOp::kNegate: {
+          if (child.tag == Tag::kNull) {
+            out->ResetNull(n);
+            return true;
+          }
+          if (child.tag == Tag::kInt) {
+            out->ResetTyped(Tag::kInt, n);
+            out->ints.resize(n, 0);
+            out->size = n;
+            for (size_t i = 0; i < n; ++i) {
+              if (child.IsNull(i)) {
+                out->nulls.SetNull(i);
+                continue;
+              }
+              out->ints[i] = -child.ints[i];
+            }
+            return true;
+          }
+          if (child.tag == Tag::kDouble) {
+            out->ResetTyped(Tag::kDouble, n);
+            out->dbls.resize(n, 0.0);
+            out->size = n;
+            for (size_t i = 0; i < n; ++i) {
+              if (child.IsNull(i)) {
+                out->nulls.SetNull(i);
+                continue;
+              }
+              out->dbls[i] = -child.dbls[i];
+            }
+            return true;
+          }
+          return false;  // bool/string negation stays scalar
+        }
+        case UnaryOp::kIsNull:
+        case UnaryOp::kIsNotNull: {
+          bool want_null = e.unary_op == UnaryOp::kIsNull;
+          out->ResetTyped(Tag::kBool, n);
+          out->bools.resize(n, 0);
+          out->size = n;
+          for (size_t i = 0; i < n; ++i) {
+            out->bools[i] = (child.IsNull(i) == want_null) ? 1 : 0;
+          }
+          return true;
+        }
+      }
+      return false;
+    }
+    case ExprKind::kBinary: {
+      if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
+        // Both operands evaluate eagerly here; safe because successful
+        // kernels are pure and error-free, so skipping the row path's
+        // short-circuit is unobservable.
+        VecCol a;
+        VecCol b;
+        if (!TryVecEval(*e.children[0], w, &a)) return false;
+        if (!TryVecEval(*e.children[1], w, &b)) return false;
+        if (a.tag == Tag::kString || b.tag == Tag::kString) {
+          return false;  // AsBoolean on strings can error
+        }
+        bool is_and = e.binary_op == BinaryOp::kAnd;
+        out->ResetTyped(Tag::kBool, n);
+        out->bools.resize(n, 0);
+        out->size = n;
+        for (size_t i = 0; i < n; ++i) {
+          bool av = false;
+          bool bv = false;
+          bool a_known = KnownBool(a, i, &av);
+          bool b_known = KnownBool(b, i, &bv);
+          if (a_known && is_and && !av) {
+            out->bools[i] = 0;
+          } else if (a_known && !is_and && av) {
+            out->bools[i] = 1;
+          } else if (b_known && is_and && !bv) {
+            out->bools[i] = 0;
+          } else if (b_known && !is_and && bv) {
+            out->bools[i] = 1;
+          } else if (!a_known || !b_known) {
+            out->nulls.SetNull(i);
+          } else {
+            out->bools[i] = is_and ? 1 : 0;
+          }
+        }
+        return true;
+      }
+      VecCol a;
+      VecCol b;
+      if (!TryVecEval(*e.children[0], w, &a)) return false;
+      if (!TryVecEval(*e.children[1], w, &b)) return false;
+      switch (e.binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+          return VecArithmetic(e.binary_op, a, b, n, out);
+        case BinaryOp::kEq:
+        case BinaryOp::kNotEq:
+        case BinaryOp::kLt:
+        case BinaryOp::kLtEq:
+        case BinaryOp::kGt:
+        case BinaryOp::kGtEq:
+          return VecComparison(e.binary_op, a, b, n, out);
+        case BinaryOp::kLike: {
+          // LIKE via AsString never errors, but non-string operands
+          // would need materialized conversions; keep those scalar.
+          if (a.tag == Tag::kNull || b.tag == Tag::kNull) {
+            out->ResetNull(n);
+            return true;
+          }
+          if (a.tag != Tag::kString || b.tag != Tag::kString) return false;
+          out->ResetTyped(Tag::kBool, n);
+          out->bools.resize(n, 0);
+          out->size = n;
+          for (size_t i = 0; i < n; ++i) {
+            if (a.IsNull(i) || b.IsNull(i)) {
+              out->nulls.SetNull(i);
+              continue;
+            }
+            out->bools[i] = LikeMatch(*a.strs[i], *b.strs[i]) ? 1 : 0;
+          }
+          return true;
+        }
+        default:
+          // kConcat produces owned strings the column layout cannot
+          // hold; anything else is unexpected — scalar path either way.
+          return false;
+      }
+    }
+    case ExprKind::kBetween: {
+      // BETWEEN uses raw Value::Compare (never errors, any types).
+      VecCol v;
+      VecCol lo;
+      VecCol hi;
+      if (!TryVecEval(*e.children[0], w, &v)) return false;
+      if (!TryVecEval(*e.children[1], w, &lo)) return false;
+      if (!TryVecEval(*e.children[2], w, &hi)) return false;
+      out->ResetTyped(Tag::kBool, n);
+      out->bools.resize(n, 0);
+      out->size = n;
+      bool all_int = v.tag == Tag::kInt && lo.tag == Tag::kInt &&
+                     hi.tag == Tag::kInt;
+      for (size_t i = 0; i < n; ++i) {
+        if (v.IsNull(i) || lo.IsNull(i) || hi.IsNull(i)) {
+          out->nulls.SetNull(i);
+          continue;
+        }
+        bool in_range;
+        if (all_int) {
+          int64_t x = v.ints[i];
+          in_range = x >= lo.ints[i] && x <= hi.ints[i];
+        } else {
+          in_range = RawCompare(v, i, lo, i) >= 0 &&
+                     RawCompare(v, i, hi, i) <= 0;
+        }
+        out->bools[i] = (e.negated ? !in_range : in_range) ? 1 : 0;
+      }
+      return true;
+    }
+    case ExprKind::kInList: {
+      if (e.subquery != nullptr) return false;  // runs a nested SELECT
+      // Literal-only lists evaluate without errors or side effects; any
+      // computed item stays scalar.
+      for (size_t i = 1; i < e.children.size(); ++i) {
+        if (e.children[i]->kind != ExprKind::kLiteral) return false;
+      }
+      VecCol probe;
+      if (!TryVecEval(*e.children[0], w, &probe)) return false;
+      out->ResetTyped(Tag::kBool, n);
+      out->bools.resize(n, 0);
+      out->size = n;
+      for (size_t i = 0; i < n; ++i) {
+        if (probe.IsNull(i)) {
+          out->nulls.SetNull(i);
+          continue;
+        }
+        bool matched = false;
+        bool saw_null = false;
+        for (size_t k = 1; k < e.children.size(); ++k) {
+          const Value& item = e.children[k]->literal;
+          if (item.is_null()) {
+            saw_null = true;
+            continue;
+          }
+          if (RawCompareValue(probe, i, item) == 0) {
+            matched = true;
+            break;
+          }
+        }
+        if (matched) {
+          out->bools[i] = e.negated ? 0 : 1;
+        } else if (saw_null) {
+          out->nulls.SetNull(i);
+        } else {
+          out->bools[i] = e.negated ? 1 : 0;
+        }
+      }
+      return true;
+    }
+    default:
+      // kFunctionCall (may error / NEXTVAL side effect), kCase (lazy
+      // branch evaluation), kSubquery/kExists (nested execution), kStar
+      // (always an error outside COUNT(*)): scalar path only.
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched aggregation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax, kOther };
+
+AggKind AggKindOf(const std::string& fn) {
+  if (fn == "COUNT") return AggKind::kCount;
+  if (fn == "SUM") return AggKind::kSum;
+  if (fn == "AVG") return AggKind::kAvg;
+  if (fn == "MIN") return AggKind::kMin;
+  if (fn == "MAX") return AggKind::kMax;
+  return AggKind::kOther;
+}
+
+/// Streaming replica of ComputeAggregate's accumulator loop. `failed`
+/// records the first argument-evaluation error for this (group,
+/// aggregate) pair; finalization returns recorded errors in the row
+/// path's group-major, aggregate-minor order.
+struct AggState {
+  int64_t count = 0;
+  std::set<std::string> distinct_seen;
+  bool have = false;
+  Value acc;           // MIN/MAX accumulator
+  int64_t sum_i = 0;   // integer SUM
+  double sum_d = 0.0;  // double SUM
+  bool all_int = true;
+  bool failed = false;
+  Status error;
+};
+
+void FeedValue(AggState* st, AggKind kind, bool distinct, const Value& v) {
+  if (v.is_null()) return;
+  if (distinct) {
+    std::string key = ExecRowKey({v});
+    if (!st->distinct_seen.insert(std::move(key)).second) return;
+  }
+  ++st->count;
+  switch (kind) {
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      bool better = kind == AggKind::kMin ? v.Compare(st->acc) < 0
+                                          : v.Compare(st->acc) > 0;
+      if (!st->have || better) {
+        st->acc = v;
+        st->have = true;
+      }
+      break;
+    }
+    case AggKind::kSum:
+    case AggKind::kAvg: {
+      if (v.type() == ValueType::kInteger) {
+        st->sum_i += v.integer();
+        st->sum_d += static_cast<double>(v.integer());
+      } else {
+        Result<double> d = v.AsDouble();
+        if (!d.ok()) {
+          st->failed = true;
+          st->error = d.status();
+          return;
+        }
+        st->sum_d += *d;
+        st->all_int = false;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// Integer fast path: one non-null int element, no DISTINCT.
+void FeedInt(AggState* st, AggKind kind, int64_t x) {
+  ++st->count;
+  switch (kind) {
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      if (!st->have) {
+        st->acc = Value::Integer(x);
+        st->have = true;
+        break;
+      }
+      if (st->acc.type() == ValueType::kInteger) {
+        int64_t cur = st->acc.integer();
+        if (kind == AggKind::kMin ? x < cur : x > cur) {
+          st->acc = Value::Integer(x);
+        }
+      } else {
+        Value v = Value::Integer(x);
+        bool better = kind == AggKind::kMin ? v.Compare(st->acc) < 0
+                                            : v.Compare(st->acc) > 0;
+        if (better) st->acc = std::move(v);
+      }
+      break;
+    }
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      st->sum_i += x;
+      st->sum_d += static_cast<double>(x);
+      break;
+    default:
+      break;
+  }
+}
+
+/// Finalization mirror of ComputeAggregate's tail (count already
+/// includes DISTINCT filtering).
+Value FinalizeAgg(const AggState& st, AggKind kind) {
+  if (kind == AggKind::kCount) return Value::Integer(st.count);
+  if (st.count == 0) return Value::Null();
+  if (kind == AggKind::kMin || kind == AggKind::kMax) return st.acc;
+  if (kind == AggKind::kSum) {
+    return st.all_int ? Value::Integer(st.sum_i) : Value::Double(st.sum_d);
+  }
+  return Value::Double(st.sum_d / static_cast<double>(st.count));  // AVG
+}
+
+struct OutputItem {
+  const Expr* expr = nullptr;  // null ⇒ direct scope column passthrough
+  size_t scope_index = 0;
+  std::string name;
+};
+
+struct SortableRow {
+  Row output;
+  std::vector<Value> sort_keys;
+};
+
+bool VecIsTrue(const VecCol& col, size_t i) {
+  return col.tag == Tag::kBool && !col.IsNull(i) && col.bools[i] != 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Batch SELECT core
+// ---------------------------------------------------------------------------
+
+Result<ResultSet> Executor::ExecuteSelectCoreBatch(
+    const SelectStatement& sel, const Params& params,
+    const StatementPlan* plan) {
+  db_->NotePlanChoice(PlanChoice::kBatch);
+  ExecProfile* prof = db_->exec_profile();
+
+  // Side storage must outlive the relation (deque: stable addresses).
+  std::deque<VecSide> side_store;
+  VecRelation scope;
+  bool first_ref = true;
+  bool order_by_presorted = false;
+
+  // --- 1. FROM scope ------------------------------------------------------
+  for (size_t ref_index = 0; ref_index < sel.from.size(); ++ref_index) {
+    const TableRef& ref = sel.from[ref_index];
+    const std::string& qual =
+        ref.alias.empty() ? ref.table_name : ref.alias;
+    std::vector<ScopeColumnRef> right_cols;
+    side_store.emplace_back();
+    VecSide& right_side = side_store.back();
+    std::vector<uint32_t> right_slots;
+    if (ref.derived != nullptr) {
+      SQLFLOW_ASSIGN_OR_RETURN(ResultSet derived,
+                               ExecuteSelect(*ref.derived, params));
+      for (const std::string& name : derived.column_names()) {
+        right_cols.push_back({qual, name});
+      }
+      size_t width = derived.column_count();
+      right_side.OwnRows(std::move(derived.mutable_rows()), width);
+      right_slots.resize(right_side.rows->size());
+      for (size_t i = 0; i < right_slots.size(); ++i) {
+        right_slots[i] = static_cast<uint32_t>(i);
+      }
+      if (prof != nullptr) {
+        ExecProfileOp& op = prof->Add("DERIVED", qual);
+        op.rows_in = op.rows_out = right_slots.size();
+        op.loops = 1;
+      }
+    } else if (Table* table = db_->catalog().FindTable(ref.table_name)) {
+      for (const ColumnDef& col : table->schema().columns()) {
+        right_cols.push_back({qual, col.name});
+      }
+      right_side.BorrowRows(&table->rows(),
+                            table->schema().columns().size());
+      std::optional<ResolvedAccess> resolved;
+      std::vector<size_t> pushed_slots;
+      bool pushed = false;
+      if (first_ref && sel.from.size() == 1) {
+        std::vector<size_t> order_cols;
+        bool order_desc = false;
+        bool have_order = OrderBySargColumns(sel, qual, table->schema(),
+                                             &order_cols, &order_desc);
+        resolved = ResolveCandidates(table, qual, sel.where.get(), plan,
+                                     params,
+                                     have_order ? &order_cols : nullptr,
+                                     order_desc);
+        if (resolved.has_value() && resolved->key_ordered) {
+          order_by_presorted = true;
+        }
+      } else if (TryPushdownSlots(table, qual, sel, ref_index, params,
+                                  &pushed_slots)) {
+        pushed = true;
+      } else if (first_ref) {
+        db_->NotePlanChoice(PlanChoice::kScan);
+      }
+      if (resolved.has_value()) {
+        right_slots.reserve(resolved->slots.size());
+        for (size_t slot : resolved->slots) {
+          right_slots.push_back(static_cast<uint32_t>(slot));
+        }
+      } else if (pushed) {
+        right_slots.reserve(pushed_slots.size());
+        for (size_t slot : pushed_slots) {
+          right_slots.push_back(static_cast<uint32_t>(slot));
+        }
+      } else {
+        right_slots.resize(table->row_count());
+        for (size_t i = 0; i < right_slots.size(); ++i) {
+          right_slots[i] = static_cast<uint32_t>(i);
+        }
+        if (prof != nullptr && !(first_ref && sel.from.size() == 1)) {
+          ExecProfileOp& op =
+              prof->Add("SCAN", table->schema().table_name());
+          op.rows_in = op.rows_out = right_slots.size();
+          op.loops = 1;
+        }
+      }
+    } else if (const SelectStatement* view =
+                   db_->catalog().FindView(ref.table_name)) {
+      int* depth = db_->MutableViewDepth();
+      if (++*depth > kMaxViewDepth) {
+        --*depth;
+        return Status::ExecutionError(
+            "view expansion too deep (cyclic view definition?)");
+      }
+      auto view_result = ExecuteSelect(*view, params);
+      --*depth;
+      if (!view_result.ok()) return view_result.status();
+      for (const std::string& name : view_result->column_names()) {
+        right_cols.push_back({qual, name});
+      }
+      size_t width = view_result->column_count();
+      right_side.OwnRows(std::move(view_result->mutable_rows()), width);
+      right_slots.resize(right_side.rows->size());
+      for (size_t i = 0; i < right_slots.size(); ++i) {
+        right_slots[i] = static_cast<uint32_t>(i);
+      }
+      if (prof != nullptr) {
+        ExecProfileOp& op = prof->Add("VIEW", ref.table_name);
+        op.rows_in = op.rows_out = right_slots.size();
+        op.loops = 1;
+      }
+    } else {
+      return Status::NotFound("no table or view '" + ref.table_name +
+                              "'");
+    }
+    db_->MutableStats()->rows_read += right_slots.size();
+    if (first_ref) {
+      scope.AddSide(&right_side, qual, right_cols);
+      scope.slots[0] = std::move(right_slots);
+      first_ref = false;
+      continue;
+    }
+
+    // --- join step --------------------------------------------------------
+    const size_t left_width = scope.columns.size();
+    const size_t left_rows = scope.row_count();
+    const size_t right_rows = right_slots.size();
+    const size_t prev_sides = scope.sides.size();
+    std::vector<ScopeColumnRef> combined_cols = scope.columns;
+    combined_cols.insert(combined_cols.end(), right_cols.begin(),
+                         right_cols.end());
+
+    std::vector<std::pair<size_t, size_t>> key_pairs;
+    bool hash_join = db_->optimizer_enabled() &&
+                     ref.join_condition != nullptr &&
+                     (ref.join_type == JoinType::kInner ||
+                      ref.join_type == JoinType::kLeftOuter);
+    if (hash_join) {
+      key_pairs = ExtractEquiJoinKeys(*ref.join_condition, combined_cols,
+                                      left_width);
+      bool comparable = !key_pairs.empty();
+      // Comparability prescan over every input value (mirrors
+      // JoinKeysComparable over materialized rows).
+      // Key pairs are (left combined ordinal, right-relative ordinal).
+      for (const auto& [lo, ro] : key_pairs) {
+        if (!comparable) break;
+        unsigned lmask = 0;
+        unsigned rmask = 0;
+        for (size_t r = 0; r < left_rows; ++r) {
+          lmask |= JoinValueClassBit(scope.AtRef(r, lo));
+        }
+        for (uint32_t slot : right_slots) {
+          rmask |= JoinValueClassBit((*right_side.rows)[slot][ro]);
+        }
+        if (JoinClassesMayError(lmask, rmask)) comparable = false;
+      }
+      hash_join = comparable;
+    }
+
+    const int64_t join_start = prof != nullptr ? obs::NowNanos() : 0;
+    const size_t join_rows_in = left_rows + right_rows;
+
+    // Output slot vectors (previous sides + the new right side).
+    std::vector<std::vector<uint32_t>> out_slots(prev_sides + 1);
+
+    // Candidate right positions per left row (hash join), or implicit
+    // full range (nested loop).
+    std::vector<std::vector<size_t>> right_of_left;
+    if (hash_join) {
+      db_->NotePlanChoice(PlanChoice::kHashJoin);
+      auto left_key = [&](size_t li, std::string* key) -> bool {
+        for (const auto& [lo, ro] : key_pairs) {
+          (void)ro;
+          const Value& v = scope.AtRef(li, lo);
+          if (v.is_null()) return false;
+          AppendLookupKeyPart(v, key);
+        }
+        return true;
+      };
+      auto right_key = [&](size_t ri, std::string* key) -> bool {
+        for (const auto& [lo, ro] : key_pairs) {
+          (void)lo;
+          const Value& v = (*right_side.rows)[right_slots[ri]][ro];
+          if (v.is_null()) return false;
+          AppendLookupKeyPart(v, key);
+        }
+        return true;
+      };
+      right_of_left.assign(left_rows, {});
+      const bool build_left = left_rows < right_rows;
+      std::unordered_map<std::string, std::vector<size_t>> buckets;
+      if (build_left) {
+        buckets.reserve(left_rows);
+        for (size_t li = 0; li < left_rows; ++li) {
+          std::string key;
+          if (left_key(li, &key)) buckets[std::move(key)].push_back(li);
+        }
+        for (size_t ri = 0; ri < right_rows; ++ri) {
+          std::string key;
+          if (!right_key(ri, &key)) continue;
+          auto bucket = buckets.find(key);
+          if (bucket == buckets.end()) continue;
+          for (size_t li : bucket->second) {
+            right_of_left[li].push_back(ri);
+          }
+        }
+      } else {
+        buckets.reserve(right_rows);
+        for (size_t ri = 0; ri < right_rows; ++ri) {
+          std::string key;
+          if (right_key(ri, &key)) buckets[std::move(key)].push_back(ri);
+        }
+        for (size_t li = 0; li < left_rows; ++li) {
+          std::string key;
+          if (!left_key(li, &key)) continue;
+          auto bucket = buckets.find(key);
+          if (bucket != buckets.end()) right_of_left[li] = bucket->second;
+        }
+      }
+    } else if (ref.join_condition != nullptr) {
+      db_->NotePlanChoice(PlanChoice::kScan);
+    }
+
+    // Streaming pair evaluation: candidate (li, ri) pairs flow through
+    // kBatchCapacity windows in the row path's emission order; LEFT
+    // OUTER padding is inserted when a left row closes unmatched.
+    VecRelation probe;
+    probe.columns = combined_cols;
+    probe.sides = scope.sides;
+    probe.sides.push_back(&right_side);
+    probe.slots.assign(prev_sides + 1, {});
+    probe.col_side = scope.col_side;
+    probe.col_offset = scope.col_offset;
+    for (size_t i = 0; i < right_cols.size(); ++i) {
+      probe.col_side.push_back(static_cast<uint32_t>(prev_sides));
+      probe.col_offset.push_back(static_cast<uint32_t>(i));
+    }
+
+    VecRowBinding probe_binding(&probe);
+    EvalContext probe_ctx;
+    probe_ctx.binding = &probe_binding;
+    probe_ctx.params = &params;
+    probe_ctx.database = db_;
+
+    std::vector<size_t> pair_li;
+    std::vector<size_t> pair_ri;
+    pair_li.reserve(kBatchCapacity);
+    pair_ri.reserve(kBatchCapacity);
+    std::vector<uint8_t> matched(ref.join_type == JoinType::kLeftOuter
+                                     ? left_rows
+                                     : 0,
+                                 0);
+    size_t open_li = 0;  // left rows < open_li are fully emitted
+    uint64_t join_windows = 0;
+    VecCol cond_col;
+
+    auto emit_pair = [&](size_t li, size_t ri) {
+      for (size_t s = 0; s < prev_sides; ++s) {
+        out_slots[s].push_back(scope.slots[s][li]);
+      }
+      out_slots[prev_sides].push_back(right_slots[ri]);
+    };
+    auto close_through = [&](size_t next_li) {
+      // Left rows in [open_li, next_li) have no pairs left; pad the
+      // unmatched ones (LEFT OUTER) in order.
+      if (ref.join_type != JoinType::kLeftOuter) {
+        open_li = next_li;
+        return;
+      }
+      for (; open_li < next_li; ++open_li) {
+        if (matched[open_li]) continue;
+        for (size_t s = 0; s < prev_sides; ++s) {
+          out_slots[s].push_back(scope.slots[s][open_li]);
+        }
+        out_slots[prev_sides].push_back(kNullSlot);
+      }
+    };
+    auto flush_pairs = [&]() -> Status {
+      const size_t count = pair_li.size();
+      if (count == 0) return Status::OK();
+      ++join_windows;
+      std::vector<uint8_t> keep(count, 1);
+      if (ref.join_condition != nullptr) {
+        for (size_t s = 0; s < prev_sides; ++s) {
+          probe.slots[s].clear();
+          probe.slots[s].reserve(count);
+        }
+        probe.slots[prev_sides].clear();
+        probe.slots[prev_sides].reserve(count);
+        for (size_t p = 0; p < count; ++p) {
+          for (size_t s = 0; s < prev_sides; ++s) {
+            probe.slots[s].push_back(scope.slots[s][pair_li[p]]);
+          }
+          probe.slots[prev_sides].push_back(right_slots[pair_ri[p]]);
+        }
+        VecWindow w{&probe, 0, count, &params};
+        if (TryVecEval(*ref.join_condition, w, &cond_col)) {
+          for (size_t p = 0; p < count; ++p) {
+            keep[p] = VecIsTrue(cond_col, p) ? 1 : 0;
+          }
+        } else {
+          for (size_t p = 0; p < count; ++p) {
+            probe_binding.set_row(p);
+            SQLFLOW_ASSIGN_OR_RETURN(
+                Value cond, EvaluateExpr(*ref.join_condition, probe_ctx));
+            keep[p] = IsTrue(cond) ? 1 : 0;
+          }
+        }
+      }
+      for (size_t p = 0; p < count; ++p) {
+        size_t li = pair_li[p];
+        close_through(li);
+        if (!keep[p]) continue;
+        if (!matched.empty()) matched[li] = 1;
+        emit_pair(li, pair_ri[p]);
+      }
+      pair_li.clear();
+      pair_ri.clear();
+      return Status::OK();
+    };
+    auto push_pair = [&](size_t li, size_t ri) -> Status {
+      pair_li.push_back(li);
+      pair_ri.push_back(ri);
+      if (pair_li.size() >= kBatchCapacity) return flush_pairs();
+      return Status::OK();
+    };
+
+    if (hash_join) {
+      for (size_t li = 0; li < left_rows; ++li) {
+        for (size_t ri : right_of_left[li]) {
+          Status s = push_pair(li, ri);
+          if (!s.ok()) return s;
+        }
+      }
+    } else {
+      for (size_t li = 0; li < left_rows; ++li) {
+        for (size_t ri = 0; ri < right_rows; ++ri) {
+          Status s = push_pair(li, ri);
+          if (!s.ok()) return s;
+        }
+      }
+    }
+    {
+      Status s = flush_pairs();
+      if (!s.ok()) return s;
+    }
+    close_through(left_rows);
+
+    if (prof != nullptr) {
+      std::string op_name = hash_join ? "HASH JOIN" : "NESTED LOOP";
+      if (ref.join_type == JoinType::kLeftOuter) op_name += " LEFT OUTER";
+      ExecProfileOp& op = prof->Add(
+          std::move(op_name), ref.join_condition != nullptr
+                                  ? ref.join_condition->ToString()
+                                  : "cross");
+      op.rows_in = join_rows_in;
+      op.rows_out = out_slots[0].size();
+      op.loops = 1;
+      op.batches = join_windows;
+      op.elapsed_ns = obs::NowNanos() - join_start;
+    }
+
+    scope.columns = std::move(combined_cols);
+    scope.sides.push_back(&right_side);
+    scope.col_side.clear();
+    scope.col_offset.clear();
+    scope.col_side = probe.col_side;
+    scope.col_offset = probe.col_offset;
+    scope.slots = std::move(out_slots);
+  }
+
+  const size_t scope_rows = scope.row_count();
+  VecRowBinding scalar_binding(&scope);
+  EvalContext scalar_ctx;
+  scalar_ctx.binding = &scalar_binding;
+  scalar_ctx.params = &params;
+  scalar_ctx.database = db_;
+
+  // --- 2. WHERE -----------------------------------------------------------
+  if (sel.where != nullptr) {
+    const int64_t filter_start = prof != nullptr ? obs::NowNanos() : 0;
+    const size_t filter_rows_in = scope_rows;
+    std::vector<std::vector<uint32_t>> kept(scope.sides.size());
+    uint64_t filter_windows = 0;
+    VecCol cond_col;
+    Batch window;
+    std::vector<uint8_t> keep;
+    for (size_t start = 0; start < scope_rows; start += kBatchCapacity) {
+      const size_t count = std::min(kBatchCapacity, scope_rows - start);
+      ++filter_windows;
+      keep.assign(count, 0);
+      VecWindow w{&scope, start, count, &params};
+      if (TryVecEval(*sel.where, w, &cond_col)) {
+        for (size_t i = 0; i < count; ++i) {
+          keep[i] = VecIsTrue(cond_col, i) ? 1 : 0;
+        }
+      } else {
+        for (size_t i = 0; i < count; ++i) {
+          scalar_binding.set_row(start + i);
+          SQLFLOW_ASSIGN_OR_RETURN(Value cond,
+                                   EvaluateExpr(*sel.where, scalar_ctx));
+          keep[i] = IsTrue(cond) ? 1 : 0;
+        }
+      }
+      window.ResetIdentity(count);
+      CompactSelection(&window, keep);
+      for (uint32_t pos : window.selection) {
+        const size_t r = start + pos;
+        for (size_t s = 0; s < scope.sides.size(); ++s) {
+          kept[s].push_back(scope.slots[s][r]);
+        }
+      }
+    }
+    scope.slots = std::move(kept);
+    if (prof != nullptr) {
+      ExecProfileOp& op = prof->Add("FILTER", sel.where->ToString());
+      op.rows_in = filter_rows_in;
+      op.rows_out = scope.row_count();
+      op.loops = 1;
+      op.batches = filter_windows;
+      op.elapsed_ns = obs::NowNanos() - filter_start;
+    }
+  }
+  const size_t filtered_rows = scope.row_count();
+
+  // --- 3. Expand stars & name output columns ------------------------------
+  std::vector<OutputItem> outputs;
+  for (const SelectItem& item : sel.items) {
+    if (item.star) {
+      for (size_t i = 0; i < scope.columns.size(); ++i) {
+        if (!item.star_qualifier.empty() &&
+            !EqualsIgnoreCase(scope.columns[i].qualifier,
+                              item.star_qualifier)) {
+          continue;
+        }
+        OutputItem out;
+        out.scope_index = i;
+        out.name = scope.columns[i].name;
+        outputs.push_back(std::move(out));
+      }
+      continue;
+    }
+    OutputItem out;
+    out.expr = item.expr.get();
+    out.name = !item.alias.empty()
+                   ? item.alias
+                   : DeriveOutputColumnName(*item.expr, outputs.size());
+    outputs.push_back(std::move(out));
+  }
+
+  // --- 4. Grouped vs plain projection -------------------------------------
+  bool has_aggregates = false;
+  for (const OutputItem& out : outputs) {
+    if (out.expr != nullptr && ContainsAggregate(*out.expr)) {
+      has_aggregates = true;
+    }
+  }
+  if (sel.having != nullptr && ContainsAggregate(*sel.having)) {
+    has_aggregates = true;
+  }
+  bool grouped = !sel.group_by.empty() || has_aggregates;
+
+  std::vector<std::string> out_names;
+  out_names.reserve(outputs.size());
+  for (const OutputItem& out : outputs) out_names.push_back(out.name);
+  ResultSet result(out_names);
+
+  std::vector<SortableRow> produced;
+
+  std::vector<int> order_output_index(sel.order_by.size(), -1);
+  for (size_t i = 0; i < sel.order_by.size(); ++i) {
+    const Expr& e = *sel.order_by[i].expr;
+    if (e.kind == ExprKind::kLiteral &&
+        e.literal.type() == ValueType::kInteger) {
+      int64_t ordinal = e.literal.integer();
+      if (ordinal < 1 || ordinal > static_cast<int64_t>(outputs.size())) {
+        return Status::InvalidArgument("ORDER BY ordinal out of range");
+      }
+      order_output_index[i] = static_cast<int>(ordinal - 1);
+      continue;
+    }
+    if (e.kind == ExprKind::kColumnRef && e.table_qualifier.empty()) {
+      for (size_t j = 0; j < outputs.size(); ++j) {
+        if (EqualsIgnoreCase(outputs[j].name, e.column_name)) {
+          order_output_index[i] = static_cast<int>(j);
+          break;
+        }
+      }
+    }
+  }
+
+  const int64_t agg_start =
+      (prof != nullptr && grouped) ? obs::NowNanos() : 0;
+  uint64_t agg_windows = 0;
+  if (grouped) {
+    std::vector<const Expr*> agg_nodes;
+    for (const OutputItem& out : outputs) {
+      if (out.expr != nullptr) CollectAggregateNodes(*out.expr, &agg_nodes);
+    }
+    if (sel.having != nullptr) {
+      CollectAggregateNodes(*sel.having, &agg_nodes);
+    }
+    for (const OrderByItem& ob : sel.order_by) {
+      CollectAggregateNodes(*ob.expr, &agg_nodes);
+    }
+    const size_t num_aggs = agg_nodes.size();
+
+    // 4a. Partition rows into groups (one pass — the row path partitions
+    // all rows before computing any aggregate).
+    std::vector<uint32_t> group_of_row(filtered_rows, 0);
+    std::vector<size_t> group_rep;   // first row of each group
+    std::vector<int64_t> group_size;
+    size_t num_groups = 0;
+    if (sel.group_by.empty()) {
+      num_groups = 1;
+      group_rep.push_back(filtered_rows > 0 ? 0 : SIZE_MAX);
+      group_size.push_back(static_cast<int64_t>(filtered_rows));
+    } else {
+      std::map<std::string, uint32_t> group_index;
+      const size_t G = sel.group_by.size();
+      std::vector<VecCol> key_cols(G);
+      std::vector<uint8_t> key_vec(G, 0);
+      Row key_values;
+      for (size_t start = 0; start < filtered_rows;
+           start += kBatchCapacity) {
+        const size_t count = std::min(kBatchCapacity, filtered_rows - start);
+        VecWindow w{&scope, start, count, &params};
+        for (size_t j = 0; j < G; ++j) {
+          key_vec[j] = TryVecEval(*sel.group_by[j], w, &key_cols[j]) ? 1 : 0;
+        }
+        for (size_t i = 0; i < count; ++i) {
+          const size_t r = start + i;
+          key_values.clear();
+          for (size_t j = 0; j < G; ++j) {
+            if (key_vec[j]) {
+              key_values.push_back(key_cols[j].At(i));
+            } else {
+              scalar_binding.set_row(r);
+              SQLFLOW_ASSIGN_OR_RETURN(
+                  Value v, EvaluateExpr(*sel.group_by[j], scalar_ctx));
+              key_values.push_back(std::move(v));
+            }
+          }
+          std::string key = ExecRowKey(key_values);
+          auto [it, inserted] = group_index.try_emplace(
+              std::move(key), static_cast<uint32_t>(num_groups));
+          if (inserted) {
+            ++num_groups;
+            group_rep.push_back(r);
+            group_size.push_back(0);
+          }
+          group_of_row[r] = it->second;
+          ++group_size[it->second];
+        }
+      }
+    }
+
+    // 4b. Streaming accumulation, kBatchCapacity rows at a time.
+    std::vector<AggKind> agg_kinds(num_aggs);
+    std::vector<uint8_t> agg_skip(num_aggs, 0);  // COUNT(*) / argless
+    for (size_t a = 0; a < num_aggs; ++a) {
+      const Expr& agg = *agg_nodes[a];
+      agg_kinds[a] = AggKindOf(agg.function_name);
+      bool star = !agg.children.empty() &&
+                  agg.children[0]->kind == ExprKind::kStar;
+      agg_skip[a] =
+          (agg.function_name == "COUNT" && star) || agg.children.empty();
+    }
+    std::vector<AggState> states(num_groups * num_aggs);
+    bool any_accum = false;
+    for (size_t a = 0; a < num_aggs; ++a) {
+      if (!agg_skip[a]) any_accum = true;
+    }
+    if (any_accum && num_groups > 0) {
+      VecCol arg_col;
+      for (size_t start = 0; start < filtered_rows;
+           start += kBatchCapacity) {
+        const size_t count = std::min(kBatchCapacity, filtered_rows - start);
+        ++agg_windows;
+        for (size_t a = 0; a < num_aggs; ++a) {
+          if (agg_skip[a]) continue;
+          const Expr& agg = *agg_nodes[a];
+          const AggKind kind = agg_kinds[a];
+          const bool distinct = agg.distinct_arg;
+          VecWindow w{&scope, start, count, &params};
+          if (TryVecEval(*agg.children[0], w, &arg_col)) {
+            if (arg_col.tag == Tag::kInt && !distinct) {
+              for (size_t i = 0; i < count; ++i) {
+                if (arg_col.IsNull(i)) continue;
+                AggState& st =
+                    states[group_of_row[start + i] * num_aggs + a];
+                if (st.failed) continue;
+                FeedInt(&st, kind, arg_col.ints[i]);
+              }
+            } else {
+              for (size_t i = 0; i < count; ++i) {
+                AggState& st =
+                    states[group_of_row[start + i] * num_aggs + a];
+                if (st.failed) continue;
+                FeedValue(&st, kind, distinct, arg_col.At(i));
+              }
+            }
+          } else {
+            for (size_t i = 0; i < count; ++i) {
+              const size_t r = start + i;
+              AggState& st = states[group_of_row[r] * num_aggs + a];
+              if (st.failed) continue;
+              scalar_binding.set_row(r);
+              Result<Value> v = EvaluateExpr(*agg.children[0], scalar_ctx);
+              if (!v.ok()) {
+                st.failed = true;
+                st.error = v.status();
+                continue;
+              }
+              FeedValue(&st, kind, distinct, *v);
+            }
+          }
+        }
+      }
+    }
+
+    // 4c. Finalize groups in first-seen order, interleaving aggregate
+    // errors, HAVING, and output evaluation exactly like the row path's
+    // per-group loop.
+    for (size_t g = 0; g < num_groups; ++g) {
+      std::map<const Expr*, Value> agg_values;
+      for (size_t a = 0; a < num_aggs; ++a) {
+        const Expr& agg = *agg_nodes[a];
+        bool star = !agg.children.empty() &&
+                    agg.children[0]->kind == ExprKind::kStar;
+        if (agg.function_name == "COUNT" && star) {
+          agg_values[&agg] = Value::Integer(group_size[g]);
+          continue;
+        }
+        if (agg.children.empty()) {
+          return Status::InvalidArgument(agg.function_name +
+                                         " requires an argument");
+        }
+        AggState& st = states[g * num_aggs + a];
+        if (st.failed) return st.error;
+        if (agg_kinds[a] == AggKind::kOther) {
+          return Status::Internal("bad aggregate " + agg.function_name);
+        }
+        agg_values[&agg] = FinalizeAgg(st, agg_kinds[a]);
+      }
+
+      const bool empty_group = group_size[g] == 0;
+      VecRowBinding rep_binding(&scope);
+      if (!empty_group) rep_binding.set_row(group_rep[g]);
+      EvalContext ctx;
+      ctx.binding = empty_group ? nullptr : &rep_binding;
+      ctx.params = &params;
+      ctx.database = db_;
+      ctx.node_override =
+          [&agg_values](const Expr& e) -> std::optional<Value> {
+        auto it = agg_values.find(&e);
+        if (it == agg_values.end()) return std::nullopt;
+        return it->second;
+      };
+
+      if (sel.having != nullptr) {
+        SQLFLOW_ASSIGN_OR_RETURN(Value cond,
+                                 EvaluateExpr(*sel.having, ctx));
+        if (!IsTrue(cond)) continue;
+      }
+
+      SortableRow out_row;
+      for (const OutputItem& out : outputs) {
+        if (out.expr == nullptr) {
+          if (empty_group) {
+            return Status::ExecutionError(
+                "cannot select columns from an empty group");
+          }
+          out_row.output.push_back(
+              scope.AtRef(group_rep[g], out.scope_index));
+        } else {
+          SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*out.expr, ctx));
+          out_row.output.push_back(std::move(v));
+        }
+      }
+      for (size_t i = 0; i < sel.order_by.size(); ++i) {
+        if (order_output_index[i] >= 0) {
+          out_row.sort_keys.push_back(
+              out_row.output[static_cast<size_t>(order_output_index[i])]);
+        } else {
+          SQLFLOW_ASSIGN_OR_RETURN(
+              Value v, EvaluateExpr(*sel.order_by[i].expr, ctx));
+          out_row.sort_keys.push_back(std::move(v));
+        }
+      }
+      produced.push_back(std::move(out_row));
+    }
+  } else {
+    // Plain projection: per-window kernels per output column, scalar
+    // fallback per bailed column in the row path's row-major order
+    // (vectorized columns are pure, so precomputing them cannot reorder
+    // observable effects).
+    const size_t O = outputs.size();
+    const size_t K = sel.order_by.size();
+    std::vector<VecCol> out_cols(O);
+    std::vector<uint8_t> out_vec(O, 0);
+    std::vector<VecCol> key_cols(K);
+    std::vector<uint8_t> key_vec(K, 0);
+    produced.reserve(filtered_rows);
+    for (size_t start = 0; start < filtered_rows; start += kBatchCapacity) {
+      const size_t count = std::min(kBatchCapacity, filtered_rows - start);
+      VecWindow w{&scope, start, count, &params};
+      for (size_t o = 0; o < O; ++o) {
+        if (outputs[o].expr == nullptr) continue;
+        out_vec[o] = TryVecEval(*outputs[o].expr, w, &out_cols[o]) ? 1 : 0;
+      }
+      for (size_t k = 0; k < K; ++k) {
+        if (order_output_index[k] >= 0) continue;
+        key_vec[k] =
+            TryVecEval(*sel.order_by[k].expr, w, &key_cols[k]) ? 1 : 0;
+      }
+      for (size_t i = 0; i < count; ++i) {
+        const size_t r = start + i;
+        SortableRow out_row;
+        out_row.output.reserve(O);
+        for (size_t o = 0; o < O; ++o) {
+          const OutputItem& out = outputs[o];
+          if (out.expr == nullptr) {
+            out_row.output.push_back(scope.AtRef(r, out.scope_index));
+          } else if (out_vec[o]) {
+            out_row.output.push_back(out_cols[o].At(i));
+          } else {
+            scalar_binding.set_row(r);
+            SQLFLOW_ASSIGN_OR_RETURN(Value v,
+                                     EvaluateExpr(*out.expr, scalar_ctx));
+            out_row.output.push_back(std::move(v));
+          }
+        }
+        for (size_t k = 0; k < K; ++k) {
+          if (order_output_index[k] >= 0) {
+            out_row.sort_keys.push_back(
+                out_row.output[static_cast<size_t>(order_output_index[k])]);
+          } else if (key_vec[k]) {
+            out_row.sort_keys.push_back(key_cols[k].At(i));
+          } else {
+            scalar_binding.set_row(r);
+            SQLFLOW_ASSIGN_OR_RETURN(
+                Value v, EvaluateExpr(*sel.order_by[k].expr, scalar_ctx));
+            out_row.sort_keys.push_back(std::move(v));
+          }
+        }
+        produced.push_back(std::move(out_row));
+      }
+    }
+  }
+  if (prof != nullptr && grouped) {
+    std::string detail;
+    if (sel.group_by.empty()) {
+      detail = "implicit group";
+    } else {
+      for (size_t i = 0; i < sel.group_by.size(); ++i) {
+        if (i > 0) detail += ", ";
+        detail += sel.group_by[i]->ToString();
+      }
+      detail = "GROUP BY " + detail;
+    }
+    ExecProfileOp& op = prof->Add("AGGREGATE", std::move(detail));
+    op.rows_in = filtered_rows;
+    op.rows_out = produced.size();
+    op.loops = 1;
+    op.batches = agg_windows;
+    op.elapsed_ns = obs::NowNanos() - agg_start;
+  }
+
+  // --- 5. DISTINCT --------------------------------------------------------
+  if (sel.distinct) {
+    const int64_t distinct_start = prof != nullptr ? obs::NowNanos() : 0;
+    const size_t distinct_rows_in = produced.size();
+    std::set<std::string> seen;
+    std::vector<SortableRow> unique;
+    for (SortableRow& row : produced) {
+      if (seen.insert(ExecRowKey(row.output)).second) {
+        unique.push_back(std::move(row));
+      }
+    }
+    produced = std::move(unique);
+    if (prof != nullptr) {
+      ExecProfileOp& op = prof->Add("DISTINCT", "");
+      op.rows_in = distinct_rows_in;
+      op.rows_out = produced.size();
+      op.loops = 1;
+      op.elapsed_ns = obs::NowNanos() - distinct_start;
+    }
+  }
+
+  // --- 6. ORDER BY --------------------------------------------------------
+  if (!sel.order_by.empty() && !order_by_presorted) {
+    const int64_t sort_start = prof != nullptr ? obs::NowNanos() : 0;
+    std::stable_sort(
+        produced.begin(), produced.end(),
+        [&sel](const SortableRow& a, const SortableRow& b) {
+          for (size_t i = 0; i < sel.order_by.size(); ++i) {
+            int cmp = a.sort_keys[i].Compare(b.sort_keys[i]);
+            if (cmp != 0) {
+              return sel.order_by[i].descending ? cmp > 0 : cmp < 0;
+            }
+          }
+          return false;
+        });
+    if (prof != nullptr) {
+      ExecProfileOp& op = prof->Add("SORT", "");
+      op.rows_in = op.rows_out = produced.size();
+      op.loops = 1;
+      op.elapsed_ns = obs::NowNanos() - sort_start;
+    }
+  } else if (!sel.order_by.empty() && prof != nullptr) {
+    ExecProfileOp& op = prof->Add("SORT", "elided (index order)");
+    op.rows_in = op.rows_out = produced.size();
+    op.loops = 1;
+  }
+
+  // --- 7. OFFSET / LIMIT --------------------------------------------------
+  size_t begin = 0;
+  size_t end = produced.size();
+  if (sel.offset.has_value()) {
+    begin = std::min<size_t>(static_cast<size_t>(*sel.offset), end);
+  }
+  if (sel.limit.has_value()) {
+    end = std::min<size_t>(begin + static_cast<size_t>(*sel.limit), end);
+  }
+  if (prof != nullptr &&
+      (sel.offset.has_value() || sel.limit.has_value())) {
+    std::string detail;
+    if (sel.offset.has_value()) {
+      detail += "OFFSET " + std::to_string(*sel.offset);
+    }
+    if (sel.limit.has_value()) {
+      if (!detail.empty()) detail += " ";
+      detail += "LIMIT " + std::to_string(*sel.limit);
+    }
+    ExecProfileOp& op = prof->Add("LIMIT", std::move(detail));
+    op.rows_in = produced.size();
+    op.rows_out = end - begin;
+    op.loops = 1;
+  }
+  for (size_t i = begin; i < end; ++i) {
+    result.AddRow(std::move(produced[i].output));
+  }
+  db_->MutableStats()->bytes_materialized += result.ApproxByteSize();
+  return result;
+}
+
+}  // namespace sqlflow::sql

@@ -139,7 +139,7 @@ TEST(ExplainTest, PointLookupGolden) {
   Database db("explain");
   PopulateEmpDb(db);
   EXPECT_EQ(Plan(db, "SELECT * FROM emp WHERE id = 7"),
-            "SELECT\n"
+            "SELECT (batch)\n"
             "  INDEX LOOKUP emp via __pk_emp (id = 7)\n"
             "  FILTER ((id = 7))");
 }
@@ -149,7 +149,7 @@ TEST(ExplainTest, RangeScanGolden) {
   PopulateEmpDb(db);
   EXPECT_EQ(
       Plan(db, "SELECT name FROM emp WHERE salary BETWEEN 1000 AND 1099"),
-      "SELECT\n"
+      "SELECT (batch)\n"
       "  RANGE SCAN emp via idx_salary (salary >= 1000 AND salary <= "
       "1099)\n"
       "  FILTER ((salary BETWEEN 1000 AND 1099))");
@@ -159,7 +159,7 @@ TEST(ExplainTest, HashJoinWithPushdownGolden) {
   Database db("explain");
   PopulateEmpDb(db);
   EXPECT_EQ(Plan(db, kPushdownJoin),
-            "SELECT\n"
+            "SELECT (batch)\n"
             "  PUSHDOWN emp ((e.salary BETWEEN 1000 AND 1099))\n"
             "    RANGE SCAN emp via idx_salary (salary >= 1000 AND salary "
             "<= 1099)\n"
@@ -175,7 +175,7 @@ TEST(ExplainTest, NestedLoopFallbackGolden) {
   EXPECT_EQ(
       Plan(db, "SELECT e.name, d.title FROM emp e JOIN dept d "
                "ON e.dept > d.id"),
-      "SELECT\n"
+      "SELECT (batch)\n"
       "  SCAN emp\n"
       "  NESTED LOOP ((e.dept > d.id))\n"
       "    SCAN dept");
@@ -186,9 +186,44 @@ TEST(ExplainTest, OptimizerOffFallsBackToScan) {
   PopulateEmpDb(db);
   db.set_optimizer_enabled(false);
   EXPECT_EQ(Plan(db, "SELECT * FROM emp WHERE id = 7"),
-            "SELECT\n"
+            "SELECT (batch)\n"
             "  SCAN emp\n"
             "  FILTER ((id = 7))");
+}
+
+TEST(ExplainTest, DescendingOrderReverseTraversalGolden) {
+  Database db("explain");
+  PopulateEmpDb(db);
+  EXPECT_EQ(Plan(db, "SELECT name FROM emp ORDER BY salary DESC"),
+            "SELECT (batch)\n"
+            "  RANGE SCAN emp via idx_salary (full traversal, reverse)\n"
+            "  SORT elided (index order)");
+  EXPECT_EQ(Plan(db, "SELECT name FROM emp WHERE salary >= 1400 "
+                     "ORDER BY salary DESC"),
+            "SELECT (batch)\n"
+            "  RANGE SCAN emp via idx_salary (salary >= 1400) (reverse)\n"
+            "  FILTER ((salary >= 1400))\n"
+            "  SORT elided (index order)");
+  // Mixed directions cannot ride the index: explicit SORT.
+  EXPECT_EQ(Plan(db, "SELECT name FROM emp ORDER BY salary DESC, id"),
+            "SELECT (batch)\n"
+            "  SCAN emp\n"
+            "  SORT (salary DESC, id)");
+}
+
+TEST(ExplainTest, PrefixRangeScanGolden) {
+  Database db("explain");
+  PopulateEmpDb(db);
+  ASSERT_TRUE(db.Execute("CREATE INDEX idx_ds ON emp (dept, salary)").ok());
+  EXPECT_EQ(Plan(db, "SELECT name FROM emp WHERE dept = 3 AND "
+                     "salary > 1200"),
+            "SELECT (batch)\n"
+            "  RANGE SCAN emp via idx_ds (dept = 3, salary > 1200)\n"
+            "  FILTER (((dept = 3) AND (salary > 1200)))");
+  EXPECT_EQ(Plan(db, "SELECT name FROM emp WHERE dept = 3"),
+            "SELECT (batch)\n"
+            "  RANGE SCAN emp via idx_ds (dept = 3)\n"
+            "  FILTER ((dept = 3))");
 }
 
 TEST(ExplainTest, AggregateSortLimitGolden) {
@@ -196,7 +231,7 @@ TEST(ExplainTest, AggregateSortLimitGolden) {
   PopulateEmpDb(db);
   EXPECT_EQ(Plan(db, "SELECT dept, SUM(salary) FROM emp GROUP BY dept "
                      "HAVING SUM(salary) > 10 ORDER BY dept LIMIT 3"),
-            "SELECT\n"
+            "SELECT (batch)\n"
             "  SCAN emp\n"
             "  AGGREGATE (GROUP BY dept)\n"
             "  HAVING ((SUM(salary) > 10))\n"

@@ -183,6 +183,120 @@ TEST_F(RangeTest, LikePrefixScansMatchScanSemantics) {
   EXPECT_GT(CounterValue("sql.plan.range_scan"), ranges);
 }
 
+// --- multi-column prefixes ---------------------------------------------------
+
+class PrefixRangeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(R"sql(
+      CREATE TABLE ev (id INTEGER PRIMARY KEY, grp INTEGER,
+                       seq INTEGER, tag VARCHAR(20));
+      CREATE INDEX idx_grp_seq ON ev (grp, seq);
+      CREATE INDEX idx_grp_tag ON ev (grp, tag);
+    )sql")
+                    .ok());
+    // 4 groups × 25 sequence steps; every 10th row gets a NULL seq so
+    // prefix probes must still cover NULL trailing keys.
+    for (int i = 0; i < 100; ++i) {
+      std::string seq =
+          i % 10 == 9 ? "NULL" : std::to_string(i / 4);
+      std::string sql = "INSERT INTO ev VALUES (" + std::to_string(i) +
+                        ", " + std::to_string(i % 4) + ", " + seq +
+                        ", 'tag" + std::to_string(i % 7) + "')";
+      ASSERT_TRUE(db_.Execute(sql).ok()) << sql;
+    }
+  }
+
+  Database db_{"prefix_range"};
+};
+
+TEST_F(PrefixRangeTest, EqualityPrefixBoundsTrailingColumn) {
+  uint64_t ranges = CounterValue("sql.plan.range_scan");
+  uint64_t rows_before = db_.stats().rows_read;
+  auto rs = db_.Execute(
+      "SELECT id FROM ev WHERE grp = 2 AND seq >= 5 AND seq < 10");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GT(CounterValue("sql.plan.range_scan"), ranges);
+  // Candidates come from the (grp = 2) run bounded on seq, far fewer
+  // than the 25-row group or the 100-row table.
+  EXPECT_LE(db_.stats().rows_read - rows_before, 25u);
+  EXPECT_GE(rs->row_count(), 1u);
+  for (const char* where : {
+           "grp = 2 AND seq >= 5 AND seq < 10",
+           "grp = 2 AND seq > 5", "grp = 2 AND seq <= 0",
+           "grp = 2 AND seq BETWEEN 3 AND 7",
+           "grp = 2 AND seq BETWEEN 7 AND 3",
+           "grp = 0 AND seq >= 24", "grp = 9 AND seq > 0",
+           "3 = grp AND 5 <= seq",
+           // NULL pieces: NULL probe empties, NULL stored seq excluded.
+           "grp = NULL AND seq > 2", "grp = 1 AND seq > NULL",
+           // Coerced probes position correctly in the ordered map.
+           "grp = '2' AND seq > '5'", "grp = 2.0 AND seq >= 5.0",
+           // Residual conjuncts still apply after the index narrows.
+           "grp = 2 AND seq > 5 AND tag = 'tag3'",
+       }) {
+    ExpectDifferentialMatch(db_,
+                            std::string("SELECT * FROM ev WHERE ") + where);
+  }
+}
+
+TEST_F(PrefixRangeTest, PurePrefixProbeScansOneGroupRun) {
+  uint64_t ranges = CounterValue("sql.plan.range_scan");
+  uint64_t rows_before = db_.stats().rows_read;
+  auto rs = db_.Execute("SELECT id FROM ev WHERE grp = 1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->row_count(), 25u);  // NULL seq rows included
+  EXPECT_GT(CounterValue("sql.plan.range_scan"), ranges);
+  EXPECT_EQ(db_.stats().rows_read - rows_before, 25u)
+      << "pure prefix probe should touch only the grp = 1 run";
+  ExpectDifferentialMatch(db_, "SELECT * FROM ev WHERE grp = 1");
+  ExpectDifferentialMatch(db_, "SELECT * FROM ev WHERE grp = 7");
+  ExpectDifferentialMatch(db_, "SELECT * FROM ev WHERE grp = '1'");
+}
+
+TEST_F(PrefixRangeTest, PrefixPlusLikeUsesStringSecondColumn) {
+  uint64_t ranges = CounterValue("sql.plan.range_scan");
+  auto rs = db_.Execute(
+      "SELECT id FROM ev WHERE grp = 3 AND tag LIKE 'tag1%'");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_GT(CounterValue("sql.plan.range_scan"), ranges);
+  for (const char* where : {
+           "grp = 3 AND tag LIKE 'tag1%'", "grp = 3 AND tag LIKE 'tag%'",
+           "grp = 3 AND tag LIKE '%1'", "grp = 0 AND tag LIKE 'zz%'",
+           "grp = 0 AND tag BETWEEN 'tag1' AND 'tag4'",
+       }) {
+    ExpectDifferentialMatch(db_,
+                            std::string("SELECT * FROM ev WHERE ") + where);
+  }
+}
+
+TEST_F(PrefixRangeTest, CostModelPrefersLongerPrefix) {
+  // grp alone quarters the table; (grp, seq) with a bound quarters the
+  // run again — the prefix plan must win and touch only its interval.
+  uint64_t rows_before = db_.stats().rows_read;
+  auto rs = db_.Execute("SELECT id FROM ev WHERE grp = 2 AND seq < 3");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_LE(db_.stats().rows_read - rows_before, 15u)
+      << "prefix-bounded scan should not fall back to a whole-group or "
+         "whole-table read";
+  ExpectDifferentialMatch(db_, "SELECT * FROM ev WHERE grp = 2 AND seq < 3");
+}
+
+TEST_F(PrefixRangeTest, PreparedPrefixPlanSurvivesIndexChurn) {
+  auto prep = db_.Prepare("SELECT id FROM ev WHERE grp = 2 AND seq > 20");
+  ASSERT_TRUE(prep.ok());
+  auto first = prep->Execute(Params::None());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(db_.Execute("DROP INDEX idx_grp_seq").ok());
+  auto second = prep->Execute(Params::None());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->ToAsciiTable(100000), second->ToAsciiTable(100000));
+  ASSERT_TRUE(db_.Execute("CREATE INDEX idx_grp_seq ON ev (grp, seq)").ok());
+  auto third = prep->Execute(Params::None());
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(first->ToAsciiTable(100000), third->ToAsciiTable(100000));
+}
+
 // --- ORDER BY through index order -------------------------------------------
 
 TEST_F(RangeTest, OrderBySatisfiedByIndexSkipsNothingAndStaysCorrect) {
@@ -217,6 +331,71 @@ TEST_F(RangeTest, OrderBySatisfiedByIndexSkipsNothingAndStaysCorrect) {
   ASSERT_EQ(ties->row_count(), 2u);
   EXPECT_EQ(ties->rows()[0][0], Value::Integer(2));
   EXPECT_EQ(ties->rows()[1][0], Value::Integer(7));
+}
+
+TEST_F(RangeTest, DescendingOrderBySatisfiedByReverseTraversal) {
+  uint64_t ranges = CounterValue("sql.plan.range_scan");
+  auto rs = db_.Execute("SELECT id, salary FROM emp ORDER BY salary DESC");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->row_count(), 8u);
+  // Descending doubles first, NULL (lowest type rank) last.
+  EXPECT_EQ(rs->rows()[0][1], Value::Double(100.5));
+  EXPECT_EQ(rs->rows()[7][0], Value::Integer(6));
+  // The reversed traversal is surfaced as a range-scan plan choice.
+  EXPECT_GT(CounterValue("sql.plan.range_scan"), ranges);
+  // Ties keep table order, exactly like the descending stable sort: bob
+  // (2) before ann (7) at salary 90.0.
+  auto ties =
+      db_.Execute("SELECT id FROM emp ORDER BY salary DESC LIMIT 3");
+  ASSERT_TRUE(ties.ok());
+  ASSERT_EQ(ties->row_count(), 3u);
+  EXPECT_EQ(ties->rows()[0][0], Value::Integer(1));
+  EXPECT_EQ(ties->rows()[1][0], Value::Integer(2));
+  EXPECT_EQ(ties->rows()[2][0], Value::Integer(7));
+  for (const char* sql : {
+           "SELECT * FROM emp ORDER BY salary DESC",
+           "SELECT salary AS s FROM emp ORDER BY s DESC",
+           "SELECT id, salary FROM emp ORDER BY 2 DESC",
+           "SELECT * FROM emp WHERE salary > 60 ORDER BY salary DESC",
+           "SELECT * FROM emp WHERE salary BETWEEN 60 AND 95 "
+           "ORDER BY salary DESC LIMIT 3",
+           "SELECT * FROM emp ORDER BY name DESC",
+           // Mixed directions must sort, never half-reverse.
+           "SELECT * FROM emp ORDER BY salary DESC, id",
+           "SELECT * FROM emp ORDER BY salary, id DESC",
+       }) {
+    ExpectDifferentialMatch(db_, sql);
+  }
+}
+
+TEST_F(RangeTest, MultiKeyDescendingOrderUsesCompositeIndexReversed) {
+  ASSERT_TRUE(db_.Execute("CREATE INDEX idx_ds ON emp (dept, salary)").ok());
+  uint64_t ranges = CounterValue("sql.plan.range_scan");
+  auto rs =
+      db_.Execute("SELECT id FROM emp ORDER BY dept DESC, salary DESC");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->row_count(), 8u);
+  EXPECT_GT(CounterValue("sql.plan.range_scan"), ranges);
+  ExpectDifferentialMatch(db_,
+                          "SELECT * FROM emp ORDER BY dept DESC, "
+                          "salary DESC");
+  ExpectDifferentialMatch(db_,
+                          "SELECT * FROM emp ORDER BY dept, salary");
+  // Uniformity is per-statement: ASC+DESC over the same index sorts.
+  ExpectDifferentialMatch(db_,
+                          "SELECT * FROM emp ORDER BY dept, salary DESC");
+}
+
+TEST_F(RangeTest, DescendingBoundedRangeStaysReversedAndBounded) {
+  uint64_t rows_before = db_.stats().rows_read;
+  auto rs = db_.Execute(
+      "SELECT id, salary FROM emp WHERE salary >= 75 ORDER BY salary DESC");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->row_count(), 5u);  // 100.5, 90, 90, 80.25, 75
+  EXPECT_EQ(rs->rows()[0][1], Value::Double(100.5));
+  EXPECT_EQ(rs->rows()[4][1], Value::Double(75.0));
+  // Bounded interval: candidates only, not the whole table.
+  EXPECT_EQ(db_.stats().rows_read - rows_before, 5u);
 }
 
 // --- cost model -------------------------------------------------------------
