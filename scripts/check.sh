@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus an AddressSanitizer build of the concurrency-adjacent
-# observability code. Run from the repository root:
+# Tier-1 verify plus sanitizer builds of the concurrency-adjacent code:
+# an AddressSanitizer pass over the memory-lifetime hot spots and a
+# ThreadSanitizer pass over the MVCC / multi-instance scheduler suites.
+# Run from the repository root:
 #
-#   scripts/check.sh           # regular build + full ctest, then ASan
-#   SKIP_ASAN=1 scripts/check.sh   # tier-1 only
+#   scripts/check.sh               # regular build + full ctest, then ASan + TSan
+#   SKIP_ASAN=1 scripts/check.sh   # skip the ASan section
+#   SKIP_TSAN=1 scripts/check.sh   # skip the TSan section
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,7 +21,8 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   cmake --build build-asan -j --target sqlflow_obs_tests \
     sqlflow_integration_tests sqlflow_sql_tests \
     sqlflow_sql_range_tests sqlflow_sql_fuzz_tests sqlflow_vec_exec_tests \
-    sqlflow_chaos_tests sqlflow_introspect_tests pattern_matrix
+    sqlflow_chaos_tests sqlflow_introspect_tests \
+    sqlflow_mvcc_tests sqlflow_concurrency_tests pattern_matrix
   ./build-asan/tests/sqlflow_obs_tests
   ./build-asan/tests/sqlflow_integration_tests
   # The optimizer differential battery (index/hash-join/plan-cache paths
@@ -56,14 +60,35 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   ./build-asan/examples/pattern_matrix --chaos=1 --chaos-sites=mid > /dev/null
   ./build-asan/examples/pattern_matrix --chaos=1 --chaos-sites=service \
     --chaos-prob=0.3 > /dev/null
+  # MVCC snapshot isolation and the deterministic interleaving harness
+  # (five-seed sweeps live inside the suites) — sanitized for memory
+  # lifetime first; the TSan section below covers the data races.
+  ./build-asan/tests/sqlflow_mvcc_tests
+  ./build-asan/tests/sqlflow_concurrency_tests
 fi
 
-echo "== bench smoke: sql plans + range + exec + chaos + introspect =="
+if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
+  echo "== TSan: sanitized build + mvcc/conc/chaos/fuzz suites =="
+  cmake -B build-tsan -S . -DSQLFLOW_SANITIZE=thread
+  cmake --build build-tsan -j --target sqlflow_mvcc_tests \
+    sqlflow_concurrency_tests sqlflow_chaos_tests sqlflow_sql_fuzz_tests
+  # The free-running worker pool and the concurrent fuzz replay are the
+  # genuinely racy schedules; mvcc + chaos pin the lock discipline of
+  # the statement latch, version stash, and fault injector.
+  ./build-tsan/tests/sqlflow_mvcc_tests
+  ./build-tsan/tests/sqlflow_concurrency_tests
+  ./build-tsan/tests/sqlflow_chaos_tests
+  ./build-tsan/tests/sqlflow_sql_fuzz_tests \
+    --gtest_filter='SqlFuzzTest.ConcurrentReplayMatchesSingleThreadedOracle'
+fi
+
+echo "== bench smoke: sql plans + range + exec + chaos + introspect + conc =="
 ./build/bench/bench_sql_plans --quick > /dev/null
 ./build/bench/bench_sql_range --quick > /dev/null
 ./build/bench/bench_sql_exec --quick > /dev/null
 ./build/bench/bench_chaos --quick > /dev/null
 ./build/bench/bench_introspect --quick > /dev/null
+./build/bench/bench_concurrency --quick > /dev/null
 
 echo "== chaos smoke: Table II invariant under seed 1 =="
 ./build/examples/pattern_matrix --chaos=1 > /dev/null

@@ -31,9 +31,11 @@ Result<std::string> ExpandSetReferences(const std::string& statement,
   return out;
 }
 
-Status MaterializeResultIntoTable(sql::Database* db,
-                                  const std::string& table_name,
-                                  const sql::ResultSet& result) {
+namespace {
+
+Status MaterializeResultIntoTableLocked(sql::Database* db,
+                                        const std::string& table_name,
+                                        const sql::ResultSet& result) {
   sql::Table* table = db->catalog().FindTable(table_name);
   if (table == nullptr) {
     // Infer a schema: first non-null value per column decides the type;
@@ -68,6 +70,18 @@ Status MaterializeResultIntoTable(sql::Database* db,
   return Status::OK();
 }
 
+}  // namespace
+
+Status MaterializeResultIntoTable(sql::Database* db,
+                                  const std::string& table_name,
+                                  const sql::ResultSet& result) {
+  // Writes through the catalog outside the statement path, so in
+  // concurrent mode it must hold the writers' latch itself.
+  return db->WithExclusiveStatementLatch([&]() -> Status {
+    return MaterializeResultIntoTableLocked(db, table_name, result);
+  });
+}
+
 Result<std::shared_ptr<sql::Database>> ResolveDataSource(
     wfc::ProcessContext& ctx, const std::string& var_name) {
   SQLFLOW_ASSIGN_OR_RETURN(
@@ -94,13 +108,20 @@ Status SqlActivity::Execute(wfc::ProcessContext& ctx) {
     params.Set(param_name, wfc::XPathValueToScalar(v));
   }
 
-  if (compiled_ == nullptr || compiled_text_ != statement) {
-    SQLFLOW_ASSIGN_OR_RETURN(compiled_, sql::ParseStatement(statement));
-    compiled_text_ = statement;
+  std::shared_ptr<const sql::Statement> stmt;
+  {
+    std::lock_guard<std::mutex> lock(compile_mutex_);
+    if (compiled_ == nullptr || compiled_text_ != statement) {
+      SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<sql::Statement> parsed,
+                               sql::ParseStatement(statement));
+      compiled_ = std::move(parsed);
+      compiled_text_ = statement;
+    }
+    stmt = compiled_;
   }
   ctx.audit().Record(wfc::AuditEventKind::kSqlExecuted, name(), statement);
   SQLFLOW_ASSIGN_OR_RETURN(sql::ResultSet result,
-                           db->ExecuteStatement(*compiled_, params));
+                           db->ExecuteStatement(*stmt, params));
 
   if (!config_.affected_variable.empty()) {
     ctx.variables().Set(

@@ -2,6 +2,7 @@
 #define SQLFLOW_BIS_SQL_ACTIVITY_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -52,9 +53,13 @@ class SqlActivity : public wfc::Activity {
   Config config_;
   // Parse cache keyed by the set-reference-expanded statement text:
   // reparsing only happens when a reference was rebound to a different
-  // table. The engine is single-threaded per design.
+  // table. Activities are shared between concurrent instances, so the
+  // cache hands out shared_ptr copies under a mutex — an instance keeps
+  // its statement alive even when another instance's expansion replaces
+  // the cached entry mid-execution.
+  std::mutex compile_mutex_;
   std::string compiled_text_;
-  std::unique_ptr<sql::Statement> compiled_;
+  std::shared_ptr<const sql::Statement> compiled_;
 };
 
 /// Expands `{VarName}` placeholders against SetReference variables in

@@ -23,9 +23,32 @@ Result<ConnectionString> ConnectionString::Parse(const std::string& raw) {
   return cs;
 }
 
+std::unique_ptr<DataSourceRegistry> DataSourceRegistry::CreateSession() {
+  auto session = std::make_unique<DataSourceRegistry>();
+  session->parent_ = this;
+  return session;
+}
+
+std::shared_ptr<Database> DataSourceRegistry::SessionConnectionLocked(
+    const std::string& key,
+    const std::shared_ptr<Database>& primary) const {
+  auto it = databases_.find(key);
+  if (it != databases_.end()) return it->second;
+  std::shared_ptr<Database> connection = primary->CreateConnection();
+  databases_.emplace(key, connection);
+  return connection;
+}
+
 Result<std::shared_ptr<Database>> DataSourceRegistry::CreateDatabase(
     const std::string& name) {
   std::string key = ToUpperAscii(name);
+  if (parent_ != nullptr) {
+    SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<Database> primary,
+                             parent_->CreateDatabase(name));
+    std::lock_guard<std::mutex> lock(mutex_);
+    return SessionConnectionLocked(key, primary);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
   if (databases_.count(key) > 0) {
     return Status::AlreadyExists("database '" + name + "' already exists");
   }
@@ -40,6 +63,15 @@ Result<std::shared_ptr<Database>> DataSourceRegistry::Open(
   SQLFLOW_ASSIGN_OR_RETURN(ConnectionString cs,
                            ConnectionString::Parse(connection_string));
   std::string key = ToUpperAscii(cs.database);
+  if (parent_ != nullptr) {
+    // Resolve in the parent first (it creates on first open), then hand
+    // out this session's private connection to that database.
+    SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<Database> primary,
+                             parent_->Open(connection_string));
+    std::lock_guard<std::mutex> lock(mutex_);
+    return SessionConnectionLocked(key, primary);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = databases_.find(key);
   if (it != databases_.end()) return it->second;
   auto db = std::make_shared<Database>(cs.database);
@@ -50,6 +82,13 @@ Result<std::shared_ptr<Database>> DataSourceRegistry::Open(
 
 void DataSourceRegistry::InstallFaultInjector(
     std::shared_ptr<FaultInjector> injector, RetryPolicy retry_policy) {
+  if (parent_ != nullptr) {
+    // Sessions share the parent's databases (and their SharedState), so
+    // the injector belongs on the parent.
+    parent_->InstallFaultInjector(std::move(injector), retry_policy);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
   fault_injector_ = std::move(injector);
   retry_policy_ = retry_policy;
   for (auto& [key, db] : databases_) ApplyFaultConfig(db.get());
@@ -62,6 +101,13 @@ void DataSourceRegistry::ApplyFaultConfig(Database* db) {
 
 Result<std::shared_ptr<Database>> DataSourceRegistry::Get(
     const std::string& name) const {
+  if (parent_ != nullptr) {
+    SQLFLOW_ASSIGN_OR_RETURN(std::shared_ptr<Database> primary,
+                             parent_->Get(name));
+    std::lock_guard<std::mutex> lock(mutex_);
+    return SessionConnectionLocked(ToUpperAscii(name), primary);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = databases_.find(ToUpperAscii(name));
   if (it == databases_.end()) {
     return Status::NotFound("no database '" + name + "'");
@@ -70,10 +116,14 @@ Result<std::shared_ptr<Database>> DataSourceRegistry::Get(
 }
 
 bool DataSourceRegistry::Exists(const std::string& name) const {
+  if (parent_ != nullptr) return parent_->Exists(name);
+  std::lock_guard<std::mutex> lock(mutex_);
   return databases_.count(ToUpperAscii(name)) > 0;
 }
 
 std::vector<std::string> DataSourceRegistry::DatabaseNames() const {
+  if (parent_ != nullptr) return parent_->DatabaseNames();
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> names;
   names.reserve(databases_.size());
   for (const auto& [key, db] : databases_) names.push_back(db->name());

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -54,12 +55,35 @@ class DataSourceRegistry {
   void InstallFaultInjector(std::shared_ptr<FaultInjector> injector,
                             RetryPolicy retry_policy);
 
+  /// Per-instance session view over this registry. A session resolves
+  /// every name in its parent (creating the database there on first
+  /// open, exactly like a direct Open), but hands back a private
+  /// *connection* (Database::CreateConnection) sharing the parent's
+  /// storage — so concurrent workflow instances each talk to the engine
+  /// through their own session with its own transaction state, while
+  /// reads and writes land in the one shared database. Sessions are
+  /// cheap; the engine makes one per concurrent instance. The session
+  /// must not outlive its parent registry.
+  std::unique_ptr<DataSourceRegistry> CreateSession();
+
  private:
   void ApplyFaultConfig(Database* db);
+  /// Returns the cached per-session connection for `key`, creating it
+  /// from `primary` on first use; caller holds `mutex_`. Const because
+  /// the connection cache is a lookup-side detail (Get is const).
+  std::shared_ptr<Database> SessionConnectionLocked(
+      const std::string& key,
+      const std::shared_ptr<Database>& primary) const;
 
-  std::map<std::string, std::shared_ptr<Database>> databases_;
+  /// Guards the map and fault config: in concurrent runs every worker
+  /// may Open() the same name at once.
+  mutable std::mutex mutex_;
+  mutable std::map<std::string, std::shared_ptr<Database>> databases_;
   std::shared_ptr<FaultInjector> fault_injector_;
   std::optional<RetryPolicy> retry_policy_;
+  /// Non-null for session views: names resolve there, connections cache
+  /// here.
+  DataSourceRegistry* parent_ = nullptr;
 };
 
 }  // namespace sqlflow::sql

@@ -34,6 +34,73 @@ bool ExprReadsState(const Expr& e) {
   return e.case_else != nullptr && ExprReadsState(*e.case_else);
 }
 
+bool SelectAdvancesState(const SelectStatement& s);
+
+/// True if evaluating `e` *writes* engine state — today that means a
+/// NEXTVAL call (sequence advance), at any depth including subqueries.
+bool ExprAdvancesState(const Expr& e) {
+  if (e.kind == ExprKind::kFunctionCall && e.function_name == "NEXTVAL") {
+    return true;
+  }
+  for (const ExprPtr& child : e.children) {
+    if (child != nullptr && ExprAdvancesState(*child)) return true;
+  }
+  if (e.case_else != nullptr && ExprAdvancesState(*e.case_else)) {
+    return true;
+  }
+  return e.subquery != nullptr && SelectAdvancesState(*e.subquery);
+}
+
+bool SelectAdvancesState(const SelectStatement& s) {
+  for (const SelectItem& item : s.items) {
+    if (item.expr != nullptr && ExprAdvancesState(*item.expr)) return true;
+  }
+  for (const TableRef& ref : s.from) {
+    if (ref.join_condition != nullptr &&
+        ExprAdvancesState(*ref.join_condition)) {
+      return true;
+    }
+    if (ref.derived != nullptr && SelectAdvancesState(*ref.derived)) {
+      return true;
+    }
+  }
+  if (s.where != nullptr && ExprAdvancesState(*s.where)) return true;
+  for (const ExprPtr& e : s.group_by) {
+    if (e != nullptr && ExprAdvancesState(*e)) return true;
+  }
+  if (s.having != nullptr && ExprAdvancesState(*s.having)) return true;
+  for (const OrderByItem& item : s.order_by) {
+    if (item.expr != nullptr && ExprAdvancesState(*item.expr)) return true;
+  }
+  return s.union_next != nullptr && SelectAdvancesState(*s.union_next);
+}
+
+/// Whether `stmt` gets wrapped in an implicit MVCC transaction when it
+/// runs autocommit in concurrent mode: everything that may write.
+/// SELECT stays transaction-free (anonymous snapshot reader), and the
+/// transaction-control statements manage the slot themselves.
+bool StatementNeedsMvccTxn(const Statement& stmt) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+    case StatementKind::kBegin:
+    case StatementKind::kCommit:
+    case StatementKind::kRollback:
+      return false;
+    case StatementKind::kExplain:
+      return stmt.explain->analyze && stmt.explain->target != nullptr &&
+             StatementNeedsMvccTxn(*stmt.explain->target);
+    default:
+      return true;
+  }
+}
+
+/// Statement latches this thread currently holds (as SharedState
+/// addresses). Nested statements — CALL bodies, EXPLAIN ANALYZE
+/// targets, BEGIN/COMMIT executed from inside a latched statement —
+/// re-enter without re-acquiring; cross-database nesting keeps the
+/// vector honest.
+thread_local std::vector<const void*> t_held_latches;
+
 }  // namespace
 
 bool IsReplaySafeStatement(const Statement& stmt) {
@@ -68,13 +135,143 @@ bool IsReplaySafeStatement(const Statement& stmt) {
   }
 }
 
-Database::Database(std::string name)
-    : name_(std::move(name)),
-      optimizer_enabled_(OptimizerDefaultFlag()),
-      batch_enabled_(BatchDefaultFlag()),
-      retry_policy_(RetryPolicyDefaultRef()) {}
+bool IsSharedReadStatement(const Statement& stmt, const Catalog& catalog) {
+  switch (stmt.kind) {
+    case StatementKind::kSelect:
+      break;
+    case StatementKind::kExplain:
+      // Plain EXPLAIN only plans (no execution); ANALYZE runs its
+      // target and inherits the target's classification.
+      if (stmt.explain->analyze) return false;
+      return stmt.explain->target != nullptr &&
+             IsSharedReadStatement(*stmt.explain->target, catalog);
+    default:
+      return false;
+  }
+  if (stmt.select == nullptr || SelectAdvancesState(*stmt.select)) {
+    return false;
+  }
+  for (const std::string& name : CollectReferencedTables(stmt)) {
+    // Views expand re-entrantly (their bodies may hide NEXTVAL or
+    // sys.* references) and sys.* tables are re-materialized in place
+    // before the scan — both mutate shared state, so they serialize.
+    if (catalog.FindView(name) != nullptr) return false;
+    if (catalog.IsVirtualTable(name)) return false;
+  }
+  return true;
+}
 
-Database::~Database() = default;
+/// RAII over the shared statement latch. No-op until the database is in
+/// concurrent mode, and when this thread already holds the latch (a
+/// nested statement piggybacks on the outer acquisition — note that a
+/// nested statement can therefore run under a shared latch its outer
+/// SELECT took; that cannot under-lock because pure-read outer
+/// statements have no writing nested statements).
+class Database::StatementLatch {
+ public:
+  StatementLatch(Database* db, bool exclusive)
+      : state_(db->shared_.get()), exclusive_(exclusive) {
+    if (!state_->concurrent.load(std::memory_order_acquire) ||
+        std::find(t_held_latches.begin(), t_held_latches.end(),
+                  static_cast<const void*>(state_)) !=
+            t_held_latches.end()) {
+      state_ = nullptr;
+      return;
+    }
+    if (exclusive_) {
+      state_->statement_latch.lock();
+    } else {
+      state_->statement_latch.lock_shared();
+    }
+    t_held_latches.push_back(state_);
+  }
+
+  ~StatementLatch() {
+    if (state_ == nullptr) return;
+    t_held_latches.pop_back();
+    if (exclusive_) {
+      state_->statement_latch.unlock();
+    } else {
+      state_->statement_latch.unlock_shared();
+    }
+  }
+
+  StatementLatch(const StatementLatch&) = delete;
+  StatementLatch& operator=(const StatementLatch&) = delete;
+
+ private:
+  SharedState* state_;
+  bool exclusive_;
+};
+
+Status Database::WithExclusiveStatementLatch(
+    const std::function<Status()>& fn) {
+  StatementLatch latch(this, /*exclusive=*/true);
+  return fn();
+}
+
+void Database::Stats::CopyFrom(const Stats& other) {
+  statements_executed.store(
+      other.statements_executed.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  rows_read.store(other.rows_read.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  rows_written.store(other.rows_written.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  bytes_materialized.store(
+      other.bytes_materialized.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  transactions_committed.store(
+      other.transactions_committed.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  transactions_rolled_back.store(
+      other.transactions_rolled_back.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+}
+
+Database::Database(std::string name)
+    : shared_(std::make_shared<SharedState>(std::move(name))),
+      optimizer_enabled_(OptimizerDefaultFlag()),
+      batch_enabled_(BatchDefaultFlag()) {
+  shared_->retry_policy = RetryPolicyDefaultRef();
+}
+
+Database::Database(std::shared_ptr<SharedState> shared, bool optimizer_on,
+                   bool batch_on)
+    : shared_(std::move(shared)),
+      optimizer_enabled_(optimizer_on),
+      batch_enabled_(batch_on) {}
+
+Database::~Database() {
+  // A connection destroyed with a transaction still open aborts it, so
+  // the MVCC horizon cannot pin on a dead transaction forever.
+  if (txn_active_) {
+    if (in_transaction_) {
+      (void)Rollback();
+    } else {
+      AbortMvccTxn();
+    }
+  }
+}
+
+std::shared_ptr<Database> Database::CreateConnection() {
+  shared_->concurrent.store(true, std::memory_order_release);
+  return std::shared_ptr<Database>(
+      new Database(shared_, optimizer_enabled_, batch_enabled_));
+}
+
+uint64_t Database::SnapshotTs() const {
+  return txn_active_ ? txn_.begin_ts : shared_->mvcc.epoch();
+}
+
+uint64_t Database::ReaderTxnId() const {
+  return txn_active_ ? txn_.id : 0;
+}
+
+bool Database::NeedsSnapshotRead(const Table& table) const {
+  if (!concurrent_mode()) return false;
+  return table.NeedsSnapshot(ReaderTxnId(), SnapshotTs());
+}
 
 bool& Database::OptimizerDefaultFlag() {
   static bool enabled = true;
@@ -151,7 +348,7 @@ Status Database::ConsultMidStatementFault(const std::string& what) {
     return Status::OK();
   }
   FaultSite site;
-  site.database = name_;
+  site.database = shared_->name;
   site.layer = FaultLayer::kMidStatement;
   site.description = "mid " + mid_site_prefix_ + ' ' + what;
   if (std::optional<Status> fault = mid_injector_->MaybeFault(site)) {
@@ -190,11 +387,50 @@ std::vector<UndoEntry> Database::TakeCapturedEffects() {
   return out;
 }
 
+void Database::CommitMvccTxn() {
+  const uint64_t commit_ts = shared_->mvcc.Commit(txn_);
+  for (const std::string& table_name : txn_.touched_tables) {
+    if (Table* table = shared_->catalog.FindTable(table_name)) {
+      table->CommitTxn(txn_.id, commit_ts);
+    }
+  }
+  shared_->mvcc.End(txn_.id);
+  // Versions below every live snapshot can never be read again.
+  const uint64_t horizon = shared_->mvcc.Horizon();
+  size_t dropped = 0;
+  for (const std::string& table_name : txn_.touched_tables) {
+    if (Table* table = shared_->catalog.FindTable(table_name)) {
+      dropped += table->GcVersions(horizon);
+    }
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("sql.txn.commit").Increment();
+  if (dropped > 0) {
+    metrics.GetCounter("sql.mvcc.gc_versions").Increment(dropped);
+  }
+  txn_active_ = false;
+  txn_implicit_ = false;
+  undo_log_.txn = nullptr;
+}
+
+void Database::AbortMvccTxn() {
+  for (const std::string& table_name : txn_.touched_tables) {
+    if (Table* table = shared_->catalog.FindTable(table_name)) {
+      table->AbortTxn(txn_.id);
+    }
+  }
+  shared_->mvcc.End(txn_.id);
+  obs::MetricsRegistry::Global().GetCounter("sql.txn.abort").Increment();
+  txn_active_ = false;
+  txn_implicit_ = false;
+  undo_log_.txn = nullptr;
+}
+
 Result<ResultSet> Database::RunWithRecovery(const Statement& stmt,
                                             const Params& params,
                                             const StatementPlan* plan) {
-  FaultInjector* injector = fault_injector_ != nullptr
-                                ? fault_injector_.get()
+  FaultInjector* injector = shared_->fault_injector != nullptr
+                                ? shared_->fault_injector.get()
                                 : GlobalFaultInjectorRef().get();
   std::string site_description = StatementKindName(stmt.kind);
   for (const std::string& table : CollectReferencedTables(stmt)) {
@@ -202,16 +438,28 @@ Result<ResultSet> Database::RunWithRecovery(const Statement& stmt,
     site_description += table;
   }
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  int max_attempts = retry_policy_.max_attempts < 1
+  int max_attempts = shared_->retry_policy.max_attempts < 1
                          ? 1
-                         : retry_policy_.max_attempts;
+                         : shared_->retry_policy.max_attempts;
+  // In concurrent mode, a mutating autocommit statement runs inside an
+  // implicit MVCC transaction — one *per attempt*, so a replay after a
+  // first-committer-wins abort re-reads at a fresh snapshot and can
+  // succeed where the first attempt conflicted.
+  const bool wrap_txn = concurrent_mode() && !in_transaction_ &&
+                        !txn_active_ && StatementNeedsMvccTxn(stmt);
   for (int attempt = 1;; ++attempt) {
+    if (wrap_txn && !txn_active_) {
+      shared_->mvcc.Begin(&txn_);
+      txn_active_ = true;
+      txn_implicit_ = true;
+      undo_log_.txn = &txn_;
+    }
     // Pre-statement site (the PR-4 model: the statement never started).
     const size_t mark = undo_log_.size();
     Result<ResultSet> result = [&]() -> Result<ResultSet> {
       if (injector != nullptr) {
         FaultSite site;
-        site.database = name_;
+        site.database = shared_->name;
         site.description = site_description;
         if (std::optional<Status> fault = injector->MaybeFault(site)) {
           return *fault;
@@ -224,13 +472,21 @@ Result<ResultSet> Database::RunWithRecovery(const Statement& stmt,
       if (attempt > 1) {
         metrics.GetCounter("sql.fault.absorbed").Increment();
       }
+      // The statement may itself have upgraded the implicit transaction
+      // to an explicit one (a CALL body issuing BEGIN) — then it stays
+      // open; otherwise the implicit wrapper commits here.
+      if (wrap_txn && txn_active_ && txn_implicit_) {
+        CommitMvccTxn();
+      }
       FinishStatementScope();
       return result;
     }
     // Failure: unwind the statement's own partial writes so the
     // database is byte-identical to its pre-statement state — whether
     // we replay, escalate, or propagate. BEGIN/COMMIT executed by this
-    // very statement may have moved the mark, hence the min().
+    // very statement may have moved the mark, hence the min(). The
+    // undo log's txn view is still installed, so replay restores
+    // version metadata and drops stashed pre-images as it unwinds.
     const bool had_partial_writes =
         undo_log_.size() > std::min(mark, undo_log_.size());
     if (had_partial_writes) {
@@ -238,6 +494,9 @@ Result<ResultSet> Database::RunWithRecovery(const Statement& stmt,
         BumpSchemaEpoch();
       }
       metrics.GetCounter("sql.partial.rolled_back").Increment();
+    }
+    if (wrap_txn && txn_active_ && txn_implicit_) {
+      AbortMvccTxn();
     }
     if (!result.status().IsTransient() || attempt >= max_attempts) {
       return result;
@@ -262,45 +521,57 @@ Result<ResultSet> Database::Execute(std::string_view sql) {
 
 Result<ResultSet> Database::Execute(std::string_view sql,
                                     const Params& params) {
-  if (plan_cache_capacity_ == 0) {
-    SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
-                             ParseStatement(sql));
-    return ExecuteStatement(*stmt, params);
+  std::shared_ptr<const Statement> stmt;
+  std::shared_ptr<const StatementPlan> plan;
+  {
+    // The cache lock never spans execution: statements and plans are
+    // shared_ptr-pinned, copied out, and the lock dropped — execution
+    // can re-enter this cache (stored procedures) and evict or
+    // invalidate the entry mid-flight.
+    std::unique_lock<std::mutex> lock(plan_cache_mutex_);
+    if (plan_cache_capacity_ == 0) {
+      lock.unlock();
+      SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Statement> parsed,
+                               ParseStatement(sql));
+      return ExecuteStatement(*parsed, params);
+    }
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+    std::string key(sql);
+    auto it = plan_cache_.find(key);
+    if (it == plan_cache_.end()) {
+      plan_cache_stats_.misses++;
+      metrics.GetCounter("sql.plan_cache.miss").Increment();
+      SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Statement> parsed,
+                               ParseStatement(sql));
+      bool cacheable = parsed->kind == StatementKind::kSelect ||
+                       parsed->kind == StatementKind::kInsert ||
+                       parsed->kind == StatementKind::kUpdate ||
+                       parsed->kind == StatementKind::kDelete;
+      if (!cacheable) {
+        lock.unlock();
+        return ExecuteStatement(*parsed, params);
+      }
+      CachedStatement entry;
+      entry.statement =
+          std::shared_ptr<const Statement>(std::move(parsed));
+      entry.tables = CollectReferencedTables(*entry.statement);
+      entry.last_used_tick = ++plan_cache_tick_;
+      it = plan_cache_.emplace(std::move(key), std::move(entry)).first;
+      EvictPlanCacheOverflow();
+    } else {
+      plan_cache_stats_.hits++;
+      it->second.hits++;
+      metrics.GetCounter("sql.plan_cache.hit").Increment();
+      it->second.last_used_tick = ++plan_cache_tick_;
+    }
+    if (it->second.plan == nullptr ||
+        it->second.plan->schema_epoch != schema_epoch()) {
+      it->second.plan = std::make_shared<const StatementPlan>(
+          PlanStatement(*it->second.statement, this));
+    }
+    stmt = it->second.statement;
+    plan = it->second.plan;
   }
-  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
-  std::string key(sql);
-  auto it = plan_cache_.find(key);
-  if (it == plan_cache_.end()) {
-    plan_cache_stats_.misses++;
-    metrics.GetCounter("sql.plan_cache.miss").Increment();
-    SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
-                             ParseStatement(sql));
-    bool cacheable = stmt->kind == StatementKind::kSelect ||
-                     stmt->kind == StatementKind::kInsert ||
-                     stmt->kind == StatementKind::kUpdate ||
-                     stmt->kind == StatementKind::kDelete;
-    if (!cacheable) return ExecuteStatement(*stmt, params);
-    CachedStatement entry;
-    entry.statement = std::shared_ptr<const Statement>(std::move(stmt));
-    entry.tables = CollectReferencedTables(*entry.statement);
-    entry.last_used_tick = ++plan_cache_tick_;
-    it = plan_cache_.emplace(std::move(key), std::move(entry)).first;
-    EvictPlanCacheOverflow();
-  } else {
-    plan_cache_stats_.hits++;
-    it->second.hits++;
-    metrics.GetCounter("sql.plan_cache.hit").Increment();
-    it->second.last_used_tick = ++plan_cache_tick_;
-  }
-  if (it->second.plan == nullptr ||
-      it->second.plan->schema_epoch != schema_epoch_) {
-    it->second.plan = std::make_shared<const StatementPlan>(
-        PlanStatement(*it->second.statement, this));
-  }
-  // Local refs: execution can re-enter this cache (stored procedures)
-  // and evict or invalidate the entry mid-flight.
-  std::shared_ptr<const Statement> stmt = it->second.statement;
-  std::shared_ptr<const StatementPlan> plan = it->second.plan;
   return ExecuteStatement(*stmt, params, plan.get());
 }
 
@@ -318,6 +589,7 @@ void Database::EvictPlanCacheOverflow() {
 }
 
 void Database::set_plan_cache_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(plan_cache_mutex_);
   plan_cache_capacity_ = capacity;
   if (capacity == 0) {
     plan_cache_.clear();
@@ -327,6 +599,7 @@ void Database::set_plan_cache_capacity(size_t capacity) {
 }
 
 std::vector<Database::PlanCacheEntry> Database::PlanCacheEntries() const {
+  std::lock_guard<std::mutex> lock(plan_cache_mutex_);
   std::vector<PlanCacheEntry> out;
   out.reserve(plan_cache_.size());
   for (const auto& [sql, cached] : plan_cache_) {
@@ -348,6 +621,7 @@ std::vector<Database::PlanCacheEntry> Database::PlanCacheEntries() const {
 }
 
 void Database::InvalidatePlans(const std::string& table_name) {
+  std::lock_guard<std::mutex> lock(plan_cache_mutex_);
   std::string upper = ToUpperAscii(table_name);
   for (auto it = plan_cache_.begin(); it != plan_cache_.end();) {
     const std::vector<std::string>& tables = it->second.tables;
@@ -391,13 +665,19 @@ void Database::NotePlanChoice(PlanChoice choice) {
 Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
                                              const Params& params,
                                              const StatementPlan* plan) {
+  // Cross-connection statement latch: pure reads share it, everything
+  // else is exclusive. Classification only runs in concurrent mode —
+  // the latch itself is a no-op before the first CreateConnection().
+  const bool shared_read =
+      concurrent_mode() && IsSharedReadStatement(stmt, shared_->catalog);
+  StatementLatch latch(this, /*exclusive=*/!shared_read);
   obs::Span span("sql.exec");
-  span.Set("db", name_);
+  span.Set("db", shared_->name);
   span.Set("kind", StatementKindName(stmt.kind));
   // sys.* tables materialize fresh engine state before the statement
   // (never mid-statement, so scans see one consistent snapshot).
-  if (catalog_.HasVirtualTables()) {
-    catalog_.RefreshVirtualTables(CollectReferencedTables(stmt));
+  if (shared_->catalog.HasVirtualTables()) {
+    shared_->catalog.RefreshVirtualTables(CollectReferencedTables(stmt));
   }
   // Each statement records its own plan choices; nested statements
   // (stored procedures, scripts) tag their own spans and fold back into
@@ -475,6 +755,7 @@ int PreparedStatement::parameter_count() const {
 }
 
 Status Database::Begin() {
+  StatementLatch latch(this, /*exclusive=*/true);
   if (in_transaction_) {
     return Status::ExecutionError(
         "transaction already open (no nesting in this engine)");
@@ -484,10 +765,24 @@ Status Database::Begin() {
   // a CALL body must not discard the enclosing statement's own undo
   // entries (depth 1 is the BEGIN statement itself).
   if (statement_depth_ <= 1) undo_log_.Clear();
+  if (concurrent_mode()) {
+    if (txn_active_) {
+      // A CALL body issuing BEGIN upgrades the enclosing statement's
+      // implicit transaction: its writes so far become part of the
+      // explicit transaction's footprint.
+      txn_implicit_ = false;
+    } else {
+      shared_->mvcc.Begin(&txn_);
+      txn_active_ = true;
+      txn_implicit_ = false;
+      undo_log_.txn = &txn_;
+    }
+  }
   return Status::OK();
 }
 
 Status Database::Commit() {
+  StatementLatch latch(this, /*exclusive=*/true);
   if (!in_transaction_) {
     return Status::ExecutionError("no open transaction to commit");
   }
@@ -500,17 +795,20 @@ Status Database::Commit() {
   } else {
     undo_log_.Clear();
   }
-  stats_.transactions_committed++;
+  if (txn_active_) CommitMvccTxn();
+  shared_->stats.transactions_committed++;
   return Status::OK();
 }
 
 Status Database::Rollback() {
+  StatementLatch latch(this, /*exclusive=*/true);
   if (!in_transaction_) {
     return Status::ExecutionError("no open transaction to roll back");
   }
   in_transaction_ = false;  // raw undo replay must not re-log
   undo_log_.RollbackInto(this);
-  stats_.transactions_rolled_back++;
+  if (txn_active_) AbortMvccTxn();
+  shared_->stats.transactions_rolled_back++;
   // Rollback may have undone DDL; force memoized plans to revalidate.
   BumpSchemaEpoch();
   return Status::OK();
@@ -518,18 +816,18 @@ Status Database::Rollback() {
 
 Status Database::RegisterProcedure(StoredProcedure procedure) {
   std::string key = ToUpperAscii(procedure.name);
-  if (procedures_.count(key) > 0) {
+  if (shared_->procedures.count(key) > 0) {
     return Status::AlreadyExists("procedure '" + procedure.name +
                                  "' already exists");
   }
-  procedures_.emplace(std::move(key), std::move(procedure));
+  shared_->procedures.emplace(std::move(key), std::move(procedure));
   return Status::OK();
 }
 
 Result<ResultSet> Database::CallProcedure(const std::string& name,
                                           const std::vector<Value>& args) {
-  auto it = procedures_.find(ToUpperAscii(name));
-  if (it == procedures_.end()) {
+  auto it = shared_->procedures.find(ToUpperAscii(name));
+  if (it == shared_->procedures.end()) {
     return Status::NotFound("no stored procedure '" + name + "'");
   }
   const StoredProcedure& proc = it->second;
@@ -544,8 +842,10 @@ Result<ResultSet> Database::CallProcedure(const std::string& name,
 
 std::vector<std::string> Database::ProcedureNames() const {
   std::vector<std::string> names;
-  names.reserve(procedures_.size());
-  for (const auto& [key, proc] : procedures_) names.push_back(proc.name);
+  names.reserve(shared_->procedures.size());
+  for (const auto& [key, proc] : shared_->procedures) {
+    names.push_back(proc.name);
+  }
   return names;
 }
 

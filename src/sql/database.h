@@ -1,10 +1,13 @@
 #ifndef SQLFLOW_SQL_DATABASE_H_
 #define SQLFLOW_SQL_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -12,6 +15,7 @@
 #include "common/status.h"
 #include "sql/catalog.h"
 #include "sql/eval.h"
+#include "sql/mvcc.h"
 #include "sql/planner.h"
 #include "sql/result_set.h"
 #include "sql/transaction.h"
@@ -19,6 +23,7 @@
 namespace sqlflow::sql {
 
 class FaultInjector;
+class Table;
 
 /// Statement-level recovery policy: how often a statement that failed
 /// with a *transient* status (see IsTransientCode) is replayed before
@@ -47,6 +52,13 @@ struct RetryPolicy {
 /// body). Inside an explicit transaction the question is moot (nothing
 /// was visible), so the executor replays regardless.
 bool IsReplaySafeStatement(const Statement& stmt);
+
+/// Whether `stmt` only reads — eligible for the *shared* side of the
+/// statement latch when connections run concurrently. Conservative:
+/// SELECT (and plain EXPLAIN) qualifies only when it references no
+/// views, no virtual sys.* tables, and calls no state-advancing
+/// function (NEXTVAL); everything else serializes exclusively.
+bool IsSharedReadStatement(const Statement& stmt, const Catalog& catalog);
 
 /// A native stored procedure: name, expected argument count (-1 = any),
 /// and the body. Procedures receive the owning database and may run
@@ -90,16 +102,40 @@ class PreparedStatement {
 /// slot. Statements run in autocommit mode unless Begin() opened a
 /// transaction, in which case all changes are undo-logged until Commit()
 /// or Rollback().
+///
+/// Concurrency model: a Database object is a *connection* — it may only
+/// run one statement at a time (successive statements may come from
+/// different threads as long as they are externally ordered, which is
+/// how the wfc worker pool hands instances between workers). True
+/// parallelism comes from CreateConnection(): every connection shares
+/// the catalog, statistics, schema epoch, and MVCC state of the
+/// database it was opened from, and the shared statement latch lets
+/// read-only statements from different connections run concurrently
+/// while writers serialize. Each connection carries its own transaction
+/// slot, so concurrent transactions see snapshot-isolated data through
+/// the version metadata maintained by the table layer (sql/mvcc.h).
 class Database {
  public:
-  /// Execution counters (monotonic; for tests and benchmarks).
+  /// Execution counters (monotonic; for tests and benchmarks). Shared
+  /// by every connection of the same database and updated lock-free,
+  /// so concurrent workers aggregate into one set of totals.
   struct Stats {
-    uint64_t statements_executed = 0;
-    uint64_t rows_read = 0;
-    uint64_t rows_written = 0;
-    uint64_t bytes_materialized = 0;
-    uint64_t transactions_committed = 0;
-    uint64_t transactions_rolled_back = 0;
+    std::atomic<uint64_t> statements_executed{0};
+    std::atomic<uint64_t> rows_read{0};
+    std::atomic<uint64_t> rows_written{0};
+    std::atomic<uint64_t> bytes_materialized{0};
+    std::atomic<uint64_t> transactions_committed{0};
+    std::atomic<uint64_t> transactions_rolled_back{0};
+
+    Stats() = default;
+    Stats(const Stats& other) { CopyFrom(other); }
+    Stats& operator=(const Stats& other) {
+      CopyFrom(other);
+      return *this;
+    }
+
+   private:
+    void CopyFrom(const Stats& other);
   };
 
   /// Statement-plan cache counters (monotonic).
@@ -116,7 +152,38 @@ class Database {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  const std::string& name() const { return name_; }
+  const std::string& name() const { return shared_->name; }
+
+  /// Opens an additional connection onto this database: a new Database
+  /// object sharing the catalog, stats, MVCC manager, and statement
+  /// latch, with its own transaction slot, undo log, and plan cache.
+  /// The first connection flips the database into concurrent mode,
+  /// which engages the statement latch and snapshot reads (until then
+  /// the single-connection fast paths are byte-identical to the
+  /// pre-MVCC engine). Connections keep the shared state alive even if
+  /// the originating Database is destroyed first.
+  std::shared_ptr<Database> CreateConnection();
+
+  /// True once any connection has been created (statement latch and
+  /// MVCC visibility checks are engaged).
+  bool concurrent_mode() const {
+    return shared_->concurrent.load(std::memory_order_acquire);
+  }
+
+  // --- MVCC snapshot state (read by the executor) ----------------------------
+  /// The snapshot timestamp current statements read at: the open
+  /// transaction's begin timestamp, or the current epoch in autocommit.
+  uint64_t SnapshotTs() const;
+  /// This connection's transaction id (0 when no transaction is open —
+  /// autocommit readers are anonymous).
+  uint64_t ReaderTxnId() const;
+  /// Whether scans of `table` must go through Table::SnapshotRows
+  /// instead of the raw row vector: only in concurrent mode, and only
+  /// when the table actually carries version state a raw scan would
+  /// misread. Index/batch fast paths stay engaged otherwise.
+  bool NeedsSnapshotRead(const Table& table) const;
+  MvccManager& mvcc() { return shared_->mvcc; }
+  const MvccManager& mvcc() const { return shared_->mvcc; }
 
   /// Parses and executes one statement (without parameters).
   Result<ResultSet> Execute(std::string_view sql);
@@ -176,11 +243,18 @@ class Database {
                                   const std::vector<Value>& args);
   std::vector<std::string> ProcedureNames() const;
 
-  Catalog& catalog() { return catalog_; }
-  const Catalog& catalog() const { return catalog_; }
+  Catalog& catalog() { return shared_->catalog; }
+  const Catalog& catalog() const { return shared_->catalog; }
 
-  const Stats& stats() const { return stats_; }
-  Stats* MutableStats() { return &stats_; }
+  /// Runs `fn` holding the exclusive statement latch — the hook for
+  /// engine-side table maintenance that bypasses the statement path
+  /// (e.g. BIS result-set materialization writes through the catalog
+  /// directly). Re-entrant from inside a running statement; a no-op
+  /// wrapper until concurrent mode engages.
+  Status WithExclusiveStatementLatch(const std::function<Status()>& fn);
+
+  const Stats& stats() const { return shared_->stats; }
+  Stats* MutableStats() { return &shared_->stats; }
 
   /// Shared view-expansion depth guard (views may nest, including
   /// through subqueries, which spawn fresh executors).
@@ -207,9 +281,13 @@ class Database {
 
   /// Monotonic counter bumped by any DDL (and by rollback, which can
   /// undo DDL); memoized StatementPlans stamped with an older epoch are
-  /// recomputed before use.
-  uint64_t schema_epoch() const { return schema_epoch_; }
-  void BumpSchemaEpoch() { ++schema_epoch_; }
+  /// recomputed before use. Shared across connections.
+  uint64_t schema_epoch() const {
+    return shared_->schema_epoch.load(std::memory_order_acquire);
+  }
+  void BumpSchemaEpoch() {
+    shared_->schema_epoch.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   /// Records which access path the executor took for the statement
   /// currently running (aggregated into the `sql.plan` span attribute
@@ -222,8 +300,12 @@ class Database {
 
   /// LRU statement-plan cache configuration; capacity 0 disables caching.
   void set_plan_cache_capacity(size_t capacity);
-  size_t plan_cache_size() const { return plan_cache_.size(); }
-  const PlanCacheStats& plan_cache_stats() const {
+  size_t plan_cache_size() const {
+    std::lock_guard<std::mutex> lock(plan_cache_mutex_);
+    return plan_cache_.size();
+  }
+  PlanCacheStats plan_cache_stats() const {
+    std::lock_guard<std::mutex> lock(plan_cache_mutex_);
     return plan_cache_stats_;
   }
 
@@ -251,12 +333,13 @@ class Database {
 
   // --- fault injection & recovery --------------------------------------------
   /// Per-database injector, consulted once per top-level statement.
-  /// Overrides the process-wide injector when both are set.
+  /// Overrides the process-wide injector when both are set. Shared by
+  /// every connection; install before spawning concurrent work.
   void set_fault_injector(std::shared_ptr<FaultInjector> injector) {
-    fault_injector_ = std::move(injector);
+    shared_->fault_injector = std::move(injector);
   }
   const std::shared_ptr<FaultInjector>& fault_injector() const {
-    return fault_injector_;
+    return shared_->fault_injector;
   }
   /// Process-wide injector seen by every database without one of its
   /// own — how `pattern_matrix --chaos` reaches the databases each
@@ -264,13 +347,42 @@ class Database {
   static void SetGlobalFaultInjector(std::shared_ptr<FaultInjector> inj);
   static std::shared_ptr<FaultInjector> GlobalFaultInjector();
 
-  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
-  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  void set_retry_policy(RetryPolicy policy) {
+    shared_->retry_policy = policy;
+  }
+  const RetryPolicy& retry_policy() const { return shared_->retry_policy; }
   /// Default policy stamped onto newly constructed databases (the
   /// chaos harness arms this before fixtures are built).
   static void SetRetryPolicyDefault(RetryPolicy policy);
 
  private:
+  /// Everything one logical database's connections have in common. The
+  /// originating Database and every CreateConnection() product hold a
+  /// shared_ptr, so lifetime follows the last connection standing.
+  struct SharedState {
+    explicit SharedState(std::string db_name) : name(std::move(db_name)) {}
+
+    std::string name;
+    Catalog catalog;
+    std::map<std::string, StoredProcedure> procedures;
+    Stats stats;
+    MvccManager mvcc;
+    /// The statement latch: mutating statements (DML, DDL, transaction
+    /// control, CALL) hold it exclusively; pure reads share it. Only
+    /// engaged once `concurrent` flips — the single-connection engine
+    /// never touches it.
+    std::shared_mutex statement_latch;
+    std::atomic<bool> concurrent{false};
+    std::atomic<uint64_t> schema_epoch{0};
+    std::shared_ptr<FaultInjector> fault_injector;
+    RetryPolicy retry_policy;
+  };
+
+  /// RAII over the shared statement latch (defined in database.cc;
+  /// re-entrant per thread, no-op until concurrent mode).
+  class StatementLatch;
+  friend class StatementLatch;
+
   /// One parse+plan cache entry. shared_ptrs keep statements and plans
   /// alive across re-entrant executions (a stored procedure running the
   /// same SQL may evict the entry the outer execution still uses).
@@ -282,11 +394,16 @@ class Database {
     uint64_t hits = 0;
   };
 
+  /// Connection constructor: shares `shared`, inherits the creating
+  /// connection's optimizer/batch toggles.
+  Database(std::shared_ptr<SharedState> shared, bool optimizer_on,
+           bool batch_on);
+
   static bool& OptimizerDefaultFlag();
   static bool& BatchDefaultFlag();
   static RetryPolicy& RetryPolicyDefaultRef();
   static std::shared_ptr<FaultInjector>& GlobalFaultInjectorRef();
-  void EvictPlanCacheOverflow();
+  void EvictPlanCacheOverflow();  // caller holds plan_cache_mutex_
   /// Injection + transient-retry wrapper around one executor run.
   Result<ResultSet> RunWithRecovery(const Statement& stmt,
                                     const Params& params,
@@ -304,14 +421,26 @@ class Database {
   /// Moves undo entries into the capture buffer (helper for
   /// FinishStatementScope and Commit).
   void CaptureUndoEntries();
+  /// Stamps this connection's open MVCC transaction committed: assigns
+  /// the commit timestamp to every touched table's pending rows, ends
+  /// the transaction, and GCs versions below the new horizon.
+  void CommitMvccTxn();
+  /// Ends this connection's open MVCC transaction aborted: sweeps any
+  /// stray pending metadata/stash entries off touched tables (the undo
+  /// log has already restored row data).
+  void AbortMvccTxn();
 
   static constexpr size_t kDefaultPlanCacheCapacity = 64;
 
-  std::string name_;
-  Catalog catalog_;
-  std::map<std::string, StoredProcedure> procedures_;
+  std::shared_ptr<SharedState> shared_;
   UndoLog undo_log_;
   bool in_transaction_ = false;
+  /// This connection's MVCC transaction slot: live (`txn_active_`)
+  /// between Begin and Commit/Rollback in concurrent mode, or for the
+  /// span of one mutating autocommit statement (`txn_implicit_`).
+  MvccTxn txn_;
+  bool txn_active_ = false;
+  bool txn_implicit_ = false;
   /// Nesting depth of executing statements (CALL bodies re-enter); > 0
   /// means active_undo() is live even in autocommit mode.
   int statement_depth_ = 0;
@@ -324,19 +453,19 @@ class Database {
   bool capture_effects_ = false;
   std::vector<UndoEntry> captured_effects_;
   struct ExecProfile* exec_profile_ = nullptr;
-  Stats stats_;
   int view_expansion_depth_ = 0;
 
   bool optimizer_enabled_;
   bool batch_enabled_;
-  std::shared_ptr<FaultInjector> fault_injector_;
-  RetryPolicy retry_policy_;
-  uint64_t schema_epoch_ = 0;
   unsigned plan_mask_ = 0;  // PlanChoice bits for the running statement
   size_t plan_cache_capacity_ = kDefaultPlanCacheCapacity;
   uint64_t plan_cache_tick_ = 0;
   std::map<std::string, CachedStatement> plan_cache_;  // keyed by SQL text
   PlanCacheStats plan_cache_stats_;
+  /// Guards the plan cache and its stats. Uncontended in the
+  /// one-thread-per-connection discipline, but keeps the cache safe
+  /// when the wfc pool migrates an instance's session across workers.
+  mutable std::mutex plan_cache_mutex_;
 };
 
 }  // namespace sqlflow::sql

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sql/database.h"
 #include "sql/explain.h"
@@ -511,14 +512,32 @@ bool Executor::TryPushdownSlots(Table* table, const std::string& qual,
   return true;
 }
 
+namespace {
+
+/// Whether any base table in the FROM clause carries MVCC version
+/// state this connection's snapshot must filter. Derived tables and
+/// views re-enter the executor and gate themselves.
+bool AnyFromTableNeedsSnapshot(Database* db, const SelectStatement& sel) {
+  if (!db->concurrent_mode()) return false;
+  for (const TableRef& ref : sel.from) {
+    if (ref.table_name.empty()) continue;
+    Table* table = db->catalog().FindTable(ref.table_name);
+    if (table != nullptr && db->NeedsSnapshotRead(*table)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Result<ResultSet> Executor::ExecuteSelectCore(const SelectStatement& sel,
                                               const Params& params,
                                               const StatementPlan* plan) {
   // Plan-selected execution mode: the memoized plan records the batch
   // decision; unplanned cores (union branches, subqueries) decide
   // inline. PlanBatchMode is structural, so EXPLAIN renders the same
-  // choice without executing.
-  if (db_->batch_enabled() &&
+  // choice without executing. Snapshot-filtered scans force the row
+  // interpreter: the batch pipeline loads raw column slots.
+  if (db_->batch_enabled() && !AnyFromTableNeedsSnapshot(db_, sel) &&
       (plan != nullptr ? plan->use_batch : PlanBatchMode(sel))) {
     return ExecuteSelectCoreBatch(sel, params, plan);
   }
@@ -560,47 +579,69 @@ Result<ResultSet> Executor::ExecuteSelectCoreRow(const SelectStatement& sel,
       for (const ColumnDef& col : table->schema().columns()) {
         right_cols.push_back({qual, col.name});
       }
-      // A single-base-table SELECT can satisfy sargable WHERE conjuncts
-      // through an index instead of materializing the whole table (and
-      // satisfy its ORDER BY through index order). The full WHERE still
-      // runs over the candidates below, so collisions and residual
-      // conjuncts are re-checked. Base tables joined to others instead
-      // get their single-table conjuncts pushed below the join.
-      std::optional<ResolvedAccess> resolved;
-      bool pushed = false;
-      if (first_ref && sel.from.size() == 1) {
-        std::vector<size_t> order_cols;
-        bool order_desc = false;
-        bool have_order = OrderBySargColumns(sel, qual, table->schema(),
-                                             &order_cols, &order_desc);
-        resolved = ResolveCandidates(table, qual, sel.where.get(), plan,
-                                     params,
-                                     have_order ? &order_cols : nullptr,
-                                     order_desc);
-        if (resolved.has_value() && resolved->key_ordered) {
-          order_by_presorted = true;
-        }
-      } else if (TryPushdown(table, qual, sel, ref_index, params,
-                             &right_rows)) {
-        pushed = true;
-      } else if (first_ref) {
-        db_->NotePlanChoice(PlanChoice::kScan);
-      }
-      if (resolved.has_value()) {
-        right_rows.reserve(resolved->slots.size());
-        for (size_t slot : resolved->slots) {
-          right_rows.push_back(table->rows()[slot]);
-        }
-      } else if (!pushed) {
-        right_rows = table->rows();
-        // The single-table path records its access op (including a
-        // scan) inside ResolveCandidates; joined refs that neither
-        // pushed nor resolved record their scan here.
-        if (prof != nullptr && !(first_ref && sel.from.size() == 1)) {
+      if (db_->NeedsSnapshotRead(*table)) {
+        // Version state is live on this table: materialize exactly the
+        // rows this connection's snapshot admits — other transactions'
+        // pending writes hidden, later commits hidden, own writes and
+        // stashed pre-images resolved. Index lookups and pushdown read
+        // raw row slots, so they disengage for this reference.
+        right_rows =
+            table->SnapshotRows(db_->ReaderTxnId(), db_->SnapshotTs());
+        obs::MetricsRegistry::Global()
+            .GetCounter("sql.mvcc.snapshot_scan")
+            .Increment();
+        if (first_ref) db_->NotePlanChoice(PlanChoice::kScan);
+        if (prof != nullptr) {
           ExecProfileOp& op =
-              prof->Add("SCAN", table->schema().table_name());
-          op.rows_in = op.rows_out = right_rows.size();
+              prof->Add("SNAPSHOT", table->schema().table_name());
+          op.rows_in = table->row_count();
+          op.rows_out = right_rows.size();
           op.loops = 1;
+        }
+      } else {
+        // A single-base-table SELECT can satisfy sargable WHERE
+        // conjuncts through an index instead of materializing the whole
+        // table (and satisfy its ORDER BY through index order). The
+        // full WHERE still runs over the candidates below, so
+        // collisions and residual conjuncts are re-checked. Base tables
+        // joined to others instead get their single-table conjuncts
+        // pushed below the join.
+        std::optional<ResolvedAccess> resolved;
+        bool pushed = false;
+        if (first_ref && sel.from.size() == 1) {
+          std::vector<size_t> order_cols;
+          bool order_desc = false;
+          bool have_order = OrderBySargColumns(sel, qual, table->schema(),
+                                               &order_cols, &order_desc);
+          resolved = ResolveCandidates(table, qual, sel.where.get(), plan,
+                                       params,
+                                       have_order ? &order_cols : nullptr,
+                                       order_desc);
+          if (resolved.has_value() && resolved->key_ordered) {
+            order_by_presorted = true;
+          }
+        } else if (TryPushdown(table, qual, sel, ref_index, params,
+                               &right_rows)) {
+          pushed = true;
+        } else if (first_ref) {
+          db_->NotePlanChoice(PlanChoice::kScan);
+        }
+        if (resolved.has_value()) {
+          right_rows.reserve(resolved->slots.size());
+          for (size_t slot : resolved->slots) {
+            right_rows.push_back(table->rows()[slot]);
+          }
+        } else if (!pushed) {
+          right_rows = table->rows();
+          // The single-table path records its access op (including a
+          // scan) inside ResolveCandidates; joined refs that neither
+          // pushed nor resolved record their scan here.
+          if (prof != nullptr && !(first_ref && sel.from.size() == 1)) {
+            ExecProfileOp& op =
+                prof->Add("SCAN", table->schema().table_name());
+            op.rows_in = op.rows_out = right_rows.size();
+            op.loops = 1;
+          }
         }
       }
     } else if (const SelectStatement* view =
@@ -1215,6 +1256,16 @@ Result<ResultSet> Executor::ExecuteUpdate(const UpdateStatement& upd,
                                           const StatementPlan* plan) {
   SQLFLOW_ASSIGN_OR_RETURN(Table * table,
                            db_->catalog().GetTable(upd.table_name));
+  // Whole-statement conflict gate: UPDATE enumerates raw row slots, so
+  // another transaction's pending (uncommitted) rows would be visible
+  // to its WHERE. Refuse with a transient status and let the retry
+  // layers replay once the in-flight transaction resolves.
+  if (db_->concurrent_mode() &&
+      table->HasPendingWriterOther(db_->ReaderTxnId())) {
+    return Status::Deadlock("table '" + upd.table_name +
+                            "' has in-flight changes from another "
+                            "transaction");
+  }
   const TableSchema& schema = table->schema();
 
   std::vector<std::pair<size_t, const Expr*>> assignments;
@@ -1295,6 +1346,14 @@ Result<ResultSet> Executor::ExecuteDelete(const DeleteStatement& del,
                                           const StatementPlan* plan) {
   SQLFLOW_ASSIGN_OR_RETURN(Table * table,
                            db_->catalog().GetTable(del.table_name));
+  // Same whole-statement conflict gate as UPDATE: a raw-slot sweep must
+  // not act on rows another open transaction has pending.
+  if (db_->concurrent_mode() &&
+      table->HasPendingWriterOther(db_->ReaderTxnId())) {
+    return Status::Deadlock("table '" + del.table_name +
+                            "' has in-flight changes from another "
+                            "transaction");
+  }
   std::vector<ScopeColumn> columns;
   for (const ColumnDef& col : table->schema().columns()) {
     columns.push_back({del.table_name, col.name});
@@ -1437,6 +1496,15 @@ Result<ResultSet> Executor::Execute(const Statement& stmt,
         if (dt.if_exists) return ResultSet();
         return Status::NotFound("no table '" + dt.table_name + "'");
       }
+      // DDL is not versioned: dropping a table out from under another
+      // transaction's pending rows would strand its version state.
+      // Refuse transiently until the in-flight transaction resolves.
+      if (db_->concurrent_mode() &&
+          table->HasPendingWriterOther(db_->ReaderTxnId())) {
+        return Status::Deadlock("table '" + dt.table_name +
+                                "' has in-flight changes from another "
+                                "transaction");
+      }
       if (db_->active_undo() != nullptr) {
         UndoEntry e;
         e.kind = UndoEntry::Kind::kDropTable;
@@ -1468,6 +1536,14 @@ Result<ResultSet> Executor::Execute(const Statement& stmt,
         return Status::InvalidArgument("table '" +
                                        stmt.truncate->table_name +
                                        "' is read-only");
+      }
+      // TRUNCATE wipes version state wholesale (it is not versioned);
+      // refuse transiently while another transaction has pending rows.
+      if (db_->concurrent_mode() &&
+          table->HasPendingWriterOther(db_->ReaderTxnId())) {
+        return Status::Deadlock("table '" + stmt.truncate->table_name +
+                                "' has in-flight changes from another "
+                                "transaction");
       }
       int64_t removed = static_cast<int64_t>(table->row_count());
       table->Clear(db_->active_undo());

@@ -370,6 +370,14 @@ void RenderFromRef(Database* db, const SelectStatement& sel,
     for (const ColumnDef& col : table->schema().columns()) {
       cols->push_back({qual, col.name});
     }
+    if (db->NeedsSnapshotRead(*table)) {
+      // Mirrors the executor's gate: live version state forces a
+      // snapshot-filtered scan, disengaging index/pushdown paths.
+      // Never fires in single-connection mode, so goldens are stable.
+      AddLine(lines, depth,
+              "SNAPSHOT SCAN " + table->schema().table_name());
+      return;
+    }
     const bool single = sel.from.size() == 1;
     if (single) {
       std::vector<size_t> order_cols;

@@ -46,6 +46,7 @@ FaultInjector::FaultInjector(Options options)
 }
 
 void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
   options_.seed = seed;
   rng_state_ = seed == 0 ? 0x9e3779b97f4a7c15ULL : seed;
   stats_ = Stats();
@@ -68,6 +69,11 @@ std::optional<Status> FaultInjector::MaybeFault(const FaultSite& site) {
       if (!options_.service_sites) return std::nullopt;
       break;
   }
+  // Serialize the draw-and-count path: one shared injector may be hit
+  // from every worker at once, and a torn rng draw would break seed
+  // reproducibility (concurrent-mode schedules are still interleaving-
+  // dependent; only the deterministic scheduler pins them).
+  std::lock_guard<std::mutex> lock(mutex_);
   stats_.statements_seen++;
   if (!options_.database_filter.empty() &&
       site.database.find(options_.database_filter) == std::string::npos) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -95,7 +96,12 @@ class FaultInjector {
   std::optional<Status> MaybeFault(const FaultSite& site);
 
   const Options& options() const { return options_; }
-  const Stats& stats() const { return stats_; }
+  /// Copy of the counters (a concurrent MaybeFault may be mid-update;
+  /// the snapshot is internally consistent under the same mutex).
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
 
   /// Re-arms the schedule from a fresh seed (stats reset too), so one
   /// injector can sweep many seeds.
@@ -107,6 +113,10 @@ class FaultInjector {
   Options options_;
   Stats stats_;
   uint64_t rng_state_;
+  /// One injector is typically shared by every connection/worker (the
+  /// global injector especially); the draw-and-count path serializes so
+  /// concurrent statements cannot tear the stream or the stats.
+  mutable std::mutex mutex_;
 };
 
 /// Renders one human-readable line per injected-fault statistic

@@ -160,6 +160,22 @@ std::vector<Row> FaultSitesRows(Database* db) {
   return rows;
 }
 
+std::vector<Row> TransactionsRows(Database* db) {
+  const MvccManager& mvcc = db->mvcc();
+  const Database::Stats& stats = db->stats();
+  std::vector<Row> rows;
+  rows.push_back(
+      {Value::Integer(static_cast<int64_t>(mvcc.epoch())),
+       Value::Integer(static_cast<int64_t>(mvcc.active_count())),
+       Value::Integer(static_cast<int64_t>(mvcc.next_txn_id())),
+       Value::Integer(static_cast<int64_t>(mvcc.Horizon())),
+       Value::Boolean(db->concurrent_mode()),
+       Value::Integer(static_cast<int64_t>(stats.transactions_committed)),
+       Value::Integer(
+           static_cast<int64_t>(stats.transactions_rolled_back))});
+  return rows;
+}
+
 }  // namespace
 
 Status RegisterSysTables(Database* db) {
@@ -220,6 +236,17 @@ Status RegisterSysTables(Database* db) {
                   {"INJECTED", ValueType::kInteger},
                   {"ABSORBED", ValueType::kInteger}}),
       [db] { return FaultSitesRows(db); }));
+
+  SQLFLOW_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      MakeSchema("sys.transactions",
+                 {{"EPOCH", ValueType::kInteger},
+                  {"ACTIVE_TXNS", ValueType::kInteger},
+                  {"NEXT_TXN_ID", ValueType::kInteger},
+                  {"GC_HORIZON", ValueType::kInteger},
+                  {"CONCURRENT_MODE", ValueType::kBoolean},
+                  {"COMMITTED", ValueType::kInteger},
+                  {"ROLLED_BACK", ValueType::kInteger}}),
+      [db] { return TransactionsRows(db); }));
 
   return Status::OK();
 }

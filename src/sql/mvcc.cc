@@ -1,0 +1,52 @@
+#include "sql/mvcc.h"
+
+#include "obs/metrics.h"
+
+namespace sqlflow::sql {
+
+void MvccManager::Begin(MvccTxn* txn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  txn->id = next_txn_id_++;
+  txn->begin_ts = epoch_;
+  txn->touched_tables.clear();
+  active_.emplace(txn->id, txn->begin_ts);
+  obs::MetricsRegistry::Global().GetCounter("sql.txn.begin").Increment();
+}
+
+uint64_t MvccManager::Commit(const MvccTxn& txn) {
+  (void)txn;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ++epoch_;
+}
+
+void MvccManager::End(uint64_t txn_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.erase(txn_id);
+}
+
+uint64_t MvccManager::Horizon() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (active_.empty()) return epoch_;
+  uint64_t horizon = epoch_;
+  for (const auto& [id, begin_ts] : active_) {
+    if (begin_ts < horizon) horizon = begin_ts;
+  }
+  return horizon;
+}
+
+uint64_t MvccManager::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+uint64_t MvccManager::active_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_.size();
+}
+
+uint64_t MvccManager::next_txn_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_txn_id_;
+}
+
+}  // namespace sqlflow::sql

@@ -1,0 +1,77 @@
+#ifndef SQLFLOW_SQL_MVCC_H_
+#define SQLFLOW_SQL_MVCC_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sqlflow::sql {
+
+/// Commit timestamp of a row version whose writing transaction has not
+/// committed yet. Orders above every real epoch value, so "committed at
+/// or before snapshot S" is a single comparison.
+inline constexpr uint64_t kPendingTs = ~0ULL;
+
+/// The per-transaction view Table mutations consult for snapshot
+/// visibility and write-write conflict detection. Owned by the
+/// Database connection that opened the transaction and handed to Table
+/// through the UndoLog (so no mutation signature changes); `id` is
+/// process-unique and never 0.
+struct MvccTxn {
+  uint64_t id = 0;
+  uint64_t begin_ts = 0;
+  /// Upper-cased names of tables this transaction wrote (deduplicated).
+  /// Commit/rollback resolve them through the catalog — a Table* could
+  /// dangle across an in-transaction DROP TABLE.
+  std::vector<std::string> touched_tables;
+
+  void Touch(const std::string& upper_name) {
+    for (const std::string& t : touched_tables) {
+      if (t == upper_name) return;
+    }
+    touched_tables.push_back(upper_name);
+  }
+};
+
+/// Global transaction-timestamp authority for one database (shared by
+/// every connection): a monotonically increasing epoch counter hands
+/// out snapshot timestamps at BEGIN and commit timestamps at COMMIT,
+/// and the set of in-flight transactions defines the GC horizon below
+/// which superseded row versions can be reclaimed. All methods are
+/// thread-safe; calls are cheap (one small mutex).
+class MvccManager {
+ public:
+  /// Starts a transaction: assigns a fresh id and the current epoch as
+  /// the snapshot timestamp, and registers it as active.
+  void Begin(MvccTxn* txn);
+
+  /// Advances the epoch and returns the new value as `txn`'s commit
+  /// timestamp. The caller stamps the touched tables, then calls End().
+  uint64_t Commit(const MvccTxn& txn);
+
+  /// Deregisters the transaction (after commit stamping or abort).
+  void End(uint64_t txn_id);
+
+  /// Oldest snapshot any active transaction can still read (the minimum
+  /// active begin_ts), or the current epoch when none are active.
+  /// Versions superseded at or below the horizon are unreachable.
+  uint64_t Horizon() const;
+
+  /// Current epoch — the snapshot an autocommit read takes.
+  uint64_t epoch() const;
+
+  uint64_t active_count() const;
+  uint64_t next_txn_id() const;
+
+ private:
+  mutable std::mutex mutex_;
+  uint64_t epoch_ = 1;
+  uint64_t next_txn_id_ = 1;
+  std::map<uint64_t, uint64_t> active_;  // txn id -> begin_ts
+};
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_MVCC_H_

@@ -15,7 +15,10 @@ namespace sqlflow::sql {
 namespace {
 
 IndexMaintenanceHook& IndexMaintenanceHookRef() {
-  static IndexMaintenanceHook hook;
+  // Thread-local: each concurrently executing statement installs and
+  // restores its own hook without racing other connections' statements
+  // (statements never migrate threads mid-execution).
+  static thread_local IndexMaintenanceHook hook;
   return hook;
 }
 
@@ -303,23 +306,134 @@ std::string Table::MakeKey(const UniqueConstraint& uc,
   return key;
 }
 
-Status Table::CheckUnique(const Row& row, size_t ignore_index,
-                          bool has_ignore) const {
+const UniqueConstraint* Table::FindUniqueViolation(const Row& row,
+                                                   size_t ignore_index,
+                                                   bool has_ignore,
+                                                   std::string* key) const {
   for (const UniqueConstraint& uc : unique_constraints_) {
-    std::string key = MakeKey(uc, row);
-    if (uc.keys.count(key) == 0) continue;
+    std::string candidate = MakeKey(uc, row);
+    if (uc.keys.count(candidate) == 0) continue;
     // The key exists. If we're updating a row, the collision may be with
     // the row being replaced — in that case it's fine if the old row at
     // ignore_index carries the same key.
     if (has_ignore) {
       const Row& old_row = rows_[ignore_index];
-      if (MakeKey(uc, old_row) == key) continue;
+      if (MakeKey(uc, old_row) == candidate) continue;
     }
-    return Status::ConstraintError(
-        "unique constraint '" + uc.name + "' violated in table '" +
-        schema_.table_name() + "'");
+    *key = std::move(candidate);
+    return &uc;
+  }
+  return nullptr;
+}
+
+Status Table::CheckUnique(const Row& row, size_t ignore_index,
+                          bool has_ignore) const {
+  std::string key;
+  const UniqueConstraint* uc =
+      FindUniqueViolation(row, ignore_index, has_ignore, &key);
+  if (uc == nullptr) return Status::OK();
+  return Status::ConstraintError(
+      "unique constraint '" + uc->name + "' violated in table '" +
+      schema_.table_name() + "'");
+}
+
+Status Table::ClassifyUniqueViolation(const UniqueConstraint& uc,
+                                      const std::string& key,
+                                      const MvccTxn* txn) const {
+  // Under MVCC, find the row actually holding the colliding key: if it
+  // is pending under another transaction, or committed after `txn`'s
+  // snapshot, this is a transient write-write race (the other writer
+  // may yet roll back), not a durable constraint violation. Failure
+  // path only, so the scan is acceptable.
+  if (txn != nullptr) {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (MakeKey(uc, rows_[i]) != key) continue;
+      const RowMeta& m = meta_[i];
+      if (m.writer != 0 && m.writer != txn->id) {
+        return Status::Deadlock(
+            "unique key on '" + schema_.table_name() +
+            "' contended by in-flight transaction (constraint '" +
+            uc.name + "')");
+      }
+      if (m.writer == 0 && m.commit_ts != 0 && m.commit_ts > txn->begin_ts) {
+        return Status::Unavailable(
+            "unique key on '" + schema_.table_name() +
+            "' taken by a transaction committed after this snapshot "
+            "(constraint '" + uc.name + "')");
+      }
+      break;
+    }
+  }
+  return Status::ConstraintError(
+      "unique constraint '" + uc.name + "' violated in table '" +
+      schema_.table_name() + "'");
+}
+
+Status Table::CheckStashedKeyConflict(const Row& row,
+                                      const MvccTxn& txn) const {
+  if (stash_count_ == 0 || unique_constraints_.empty()) {
+    return Status::OK();
+  }
+  for (const VersionShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const StashedVersion& v : shard.stash) {
+      bool pending_other =
+          v.superseder_ts == kPendingTs && v.superseder != txn.id;
+      bool committed_after_snapshot =
+          v.superseder_ts != kPendingTs && v.superseder_ts > txn.begin_ts;
+      if (!pending_other && !committed_after_snapshot) continue;
+      for (const UniqueConstraint& uc : unique_constraints_) {
+        if (MakeKey(uc, v.image) != MakeKey(uc, row)) continue;
+        if (pending_other) {
+          return Status::Deadlock(
+              "unique key on '" + schema_.table_name() +
+              "' held by a version an in-flight transaction displaced "
+              "(constraint '" + uc.name + "')");
+        }
+        return Status::Unavailable(
+            "unique key on '" + schema_.table_name() +
+            "' released by a transaction committed after this "
+            "snapshot (constraint '" + uc.name + "')");
+      }
+    }
   }
   return Status::OK();
+}
+
+Status Table::CheckWriteConflict(size_t index, const MvccTxn& txn) const {
+  const RowMeta& m = meta_[index];
+  if (m.writer != 0 && m.writer != txn.id) {
+    return Status::Deadlock("write-write conflict on table '" +
+                            schema_.table_name() +
+                            "': row pending under another transaction");
+  }
+  if (m.writer == 0 && m.commit_ts != 0 && m.commit_ts > txn.begin_ts) {
+    return Status::Unavailable(
+        "write-write conflict on table '" + schema_.table_name() +
+        "': row committed after this transaction's snapshot "
+        "(first-committer-wins)");
+  }
+  return Status::OK();
+}
+
+void Table::StashAndMarkPending(size_t index, const MvccTxn& txn) {
+  RowMeta& m = meta_[index];
+  if (m.writer == txn.id) return;  // already pending under this txn
+  StashedVersion v;
+  v.row_id = m.row_id;
+  v.image = rows_[index];
+  v.image_ts = m.commit_ts;
+  v.superseder = txn.id;
+  v.superseder_ts = kPendingTs;
+  {
+    VersionShard& shard = ShardFor(m.row_id);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.stash.push_back(std::move(v));
+  }
+  ++stash_count_;
+  m.writer = txn.id;
+  m.commit_ts = kPendingTs;
+  ++pending_row_count_;
 }
 
 void Table::AddKeys(const Row& row) {
@@ -383,10 +497,29 @@ Status Table::Insert(const Row& row, UndoLog* undo) {
   for (size_t i = 0; i < row.size(); ++i) {
     SQLFLOW_ASSIGN_OR_RETURN(coerced[i], schema_.CoerceValue(i, row[i]));
   }
-  SQLFLOW_RETURN_IF_ERROR(CheckUnique(coerced, 0, false));
+  const MvccTxn* txn = undo != nullptr ? undo->txn : nullptr;
+  {
+    std::string key;
+    const UniqueConstraint* uc = FindUniqueViolation(coerced, 0, false, &key);
+    if (uc != nullptr) return ClassifyUniqueViolation(*uc, key, txn);
+  }
+  if (txn != nullptr) {
+    SQLFLOW_RETURN_IF_ERROR(CheckStashedKeyConflict(coerced, *txn));
+  }
   SQLFLOW_RETURN_IF_ERROR(CheckRowConstraints(coerced));
   AddKeys(coerced);
   rows_.push_back(std::move(coerced));
+  RowMeta meta;
+  meta.row_id = next_row_id_++;
+  if (txn != nullptr) {
+    meta.commit_ts = kPendingTs;
+    meta.writer = txn->id;
+    ++pending_row_count_;
+  }
+  meta_.push_back(meta);
+  if (undo != nullptr && undo->txn != nullptr) {
+    undo->txn->Touch(ToUpperAscii(schema_.table_name()));
+  }
   // Undo is recorded *before* index maintenance so that a fault between
   // the two (the hook below) is recoverable: RawRemoveAt un-keys the row
   // and tolerates the postings it never got.
@@ -395,6 +528,7 @@ Status Table::Insert(const Row& row, UndoLog* undo) {
     e.kind = UndoEntry::Kind::kInsert;
     e.table_name = schema_.table_name();
     e.row_index = rows_.size() - 1;
+    e.row_id = meta.row_id;
     if (undo->capture_rows()) e.new_row = rows_.back();
     undo->Record(std::move(e));
   }
@@ -421,8 +555,25 @@ Status Table::Update(size_t index, const Row& new_row, UndoLog* undo) {
     SQLFLOW_ASSIGN_OR_RETURN(coerced[i],
                              schema_.CoerceValue(i, new_row[i]));
   }
-  SQLFLOW_RETURN_IF_ERROR(CheckUnique(coerced, index, true));
+  const MvccTxn* txn = undo != nullptr ? undo->txn : nullptr;
+  if (txn != nullptr) {
+    SQLFLOW_RETURN_IF_ERROR(CheckWriteConflict(index, *txn));
+  }
+  {
+    std::string key;
+    const UniqueConstraint* uc = FindUniqueViolation(coerced, index, true,
+                                                     &key);
+    if (uc != nullptr) return ClassifyUniqueViolation(*uc, key, txn);
+  }
+  if (txn != nullptr) {
+    SQLFLOW_RETURN_IF_ERROR(CheckStashedKeyConflict(coerced, *txn));
+  }
   SQLFLOW_RETURN_IF_ERROR(CheckRowConstraints(coerced));
+  RowMeta prior_meta = meta_[index];
+  if (txn != nullptr) {
+    StashAndMarkPending(index, *txn);
+    undo->txn->Touch(ToUpperAscii(schema_.table_name()));
+  }
   Row old_row = rows_[index];
   RemoveKeys(old_row);
   UnindexRow(old_row, index);
@@ -437,6 +588,9 @@ Status Table::Update(size_t index, const Row& new_row, UndoLog* undo) {
     e.table_name = schema_.table_name();
     e.row_index = index;
     e.row = std::move(old_row);
+    e.row_id = prior_meta.row_id;
+    e.meta_commit_ts = prior_meta.commit_ts;
+    e.meta_writer = prior_meta.writer;
     if (undo->capture_rows()) e.new_row = rows_[index];
     undo->Record(std::move(e));
   }
@@ -455,10 +609,39 @@ Status Table::Delete(size_t index, UndoLog* undo) {
   if (index >= rows_.size()) {
     return Status::InvalidArgument("delete index out of range");
   }
+  const MvccTxn* txn = undo != nullptr ? undo->txn : nullptr;
+  if (txn != nullptr) {
+    SQLFLOW_RETURN_IF_ERROR(CheckWriteConflict(index, *txn));
+  }
+  RowMeta prior_meta = meta_[index];
+  if (txn != nullptr) {
+    if (prior_meta.writer != txn->id) {
+      // Committed row: stash its image so concurrent snapshots keep
+      // seeing it until this delete commits past their horizon. A row
+      // already pending under this txn either has its committed
+      // pre-image stashed (earlier UPDATE) or was inserted by this txn
+      // and was never visible to anyone else.
+      StashedVersion v;
+      v.row_id = prior_meta.row_id;
+      v.image = rows_[index];
+      v.image_ts = prior_meta.commit_ts;
+      v.superseder = txn->id;
+      v.superseder_ts = kPendingTs;
+      {
+        VersionShard& shard = ShardFor(prior_meta.row_id);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.stash.push_back(std::move(v));
+      }
+      ++stash_count_;
+    }
+    undo->txn->Touch(ToUpperAscii(schema_.table_name()));
+  }
   Row old_row = std::move(rows_[index]);
   RemoveKeys(old_row);
   UnindexRow(old_row, index);
   rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(index));
+  if (prior_meta.writer != 0) --pending_row_count_;
+  meta_.erase(meta_.begin() + static_cast<ptrdiff_t>(index));
   if (index < rows_.size()) ShiftIndexSlotsDown(index);
   if (undo != nullptr) {
     UndoEntry e;
@@ -466,6 +649,9 @@ Status Table::Delete(size_t index, UndoLog* undo) {
     e.table_name = schema_.table_name();
     e.row_index = index;
     e.row = std::move(old_row);
+    e.row_id = prior_meta.row_id;
+    e.meta_commit_ts = prior_meta.commit_ts;
+    e.meta_writer = prior_meta.writer;
     undo->Record(std::move(e));
   }
   return Status::OK();
@@ -478,8 +664,20 @@ void Table::Clear(UndoLog* undo) {
     e.table_name = schema_.table_name();
     e.bulk_rows = rows_;
     undo->Record(std::move(e));
+    if (undo->txn != nullptr) {
+      undo->txn->Touch(ToUpperAscii(schema_.table_name()));
+    }
   }
   rows_.clear();
+  // TRUNCATE is not versioned (the executor refuses it while other
+  // writers are in flight): drop all version state with the rows.
+  meta_.clear();
+  pending_row_count_ = 0;
+  for (VersionShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.stash.clear();
+  }
+  stash_count_ = 0;
   for (UniqueConstraint& uc : unique_constraints_) uc.keys.clear();
   for (SecondaryIndex& index : secondary_indexes_) {
     index.buckets.clear();
@@ -548,13 +746,17 @@ size_t Table::ApproxByteSize() const {
 
 void Table::RawInsertAt(size_t index, Row row) {
   AddKeys(row);
+  RowMeta meta;
+  meta.row_id = next_row_id_++;
   if (index >= rows_.size()) {
     rows_.push_back(std::move(row));
+    meta_.push_back(meta);
     IndexRow(rows_.back(), rows_.size() - 1);
   } else {
     ShiftIndexSlotsUp(index);
     rows_.insert(rows_.begin() + static_cast<ptrdiff_t>(index),
                  std::move(row));
+    meta_.insert(meta_.begin() + static_cast<ptrdiff_t>(index), meta);
     IndexRow(rows_[index], index);
   }
 }
@@ -564,6 +766,8 @@ Row Table::RawRemoveAt(size_t index) {
   RemoveKeys(row);
   UnindexRow(row, index);
   rows_.erase(rows_.begin() + static_cast<ptrdiff_t>(index));
+  if (meta_[index].writer != 0) --pending_row_count_;
+  meta_.erase(meta_.begin() + static_cast<ptrdiff_t>(index));
   if (index < rows_.size()) ShiftIndexSlotsDown(index);
   return row;
 }
@@ -578,11 +782,180 @@ void Table::RawReplaceAt(size_t index, Row row) {
 
 void Table::RawRestoreAll(std::vector<Row> rows) {
   rows_ = std::move(rows);
+  meta_.clear();
+  meta_.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    RowMeta meta;
+    meta.row_id = next_row_id_++;
+    meta_.push_back(meta);
+  }
+  pending_row_count_ = 0;
+  for (VersionShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.stash.clear();
+  }
+  stash_count_ = 0;
   for (UniqueConstraint& uc : unique_constraints_) {
     uc.keys.clear();
     for (const Row& row : rows_) uc.keys.insert(MakeKey(uc, row));
   }
   RebuildSecondaryIndexes();
+}
+
+// --- MVCC version chain -----------------------------------------------------
+
+bool Table::NeedsSnapshot(uint64_t reader_txn, uint64_t snapshot_ts) const {
+  (void)reader_txn;
+  return pending_row_count_ > 0 || stash_count_ > 0 ||
+         max_commit_ts_ > snapshot_ts;
+}
+
+std::vector<Row> Table::SnapshotRows(uint64_t reader_txn,
+                                     uint64_t snapshot_ts) const {
+  std::vector<Row> out;
+  out.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const RowMeta& m = meta_[i];
+    if (m.writer != 0) {
+      if (m.writer == reader_txn) out.push_back(rows_[i]);
+      continue;
+    }
+    if (m.commit_ts <= snapshot_ts) out.push_back(rows_[i]);
+  }
+  for (const VersionShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const StashedVersion& v : shard.stash) {
+      if (v.image_ts > snapshot_ts) continue;
+      // The version chain guarantees at most one candidate per row id:
+      // adjacent versions share image_ts == the older one's
+      // superseder_ts, so exactly one interval brackets the snapshot.
+      bool superseder_visible =
+          v.superseder == reader_txn ||
+          (v.superseder_ts != kPendingTs && v.superseder_ts <= snapshot_ts);
+      if (!superseder_visible) out.push_back(v.image);
+    }
+  }
+  return out;
+}
+
+void Table::CommitTxn(uint64_t txn_id, uint64_t commit_ts) {
+  // Pending rows cluster at the tail (INSERT appends), so walk
+  // backwards and stop once every pending row in the table has been
+  // seen — commits stay O(write set), not O(table).
+  size_t unseen = pending_row_count_;
+  for (auto it = meta_.rbegin(); it != meta_.rend() && unseen > 0; ++it) {
+    RowMeta& m = *it;
+    if (m.writer == 0) continue;
+    --unseen;
+    if (m.writer == txn_id) {
+      m.writer = 0;
+      m.commit_ts = commit_ts;
+      --pending_row_count_;
+    }
+  }
+  if (stash_count_ > 0) {
+    for (VersionShard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      for (StashedVersion& v : shard.stash) {
+        if (v.superseder == txn_id && v.superseder_ts == kPendingTs) {
+          v.superseder_ts = commit_ts;
+        }
+      }
+    }
+  }
+  if (commit_ts > max_commit_ts_) max_commit_ts_ = commit_ts;
+}
+
+void Table::AbortTxn(uint64_t txn_id) {
+  size_t unseen = pending_row_count_;
+  for (auto it = meta_.rbegin(); it != meta_.rend() && unseen > 0; ++it) {
+    RowMeta& m = *it;
+    if (m.writer == 0) continue;
+    --unseen;
+    if (m.writer == txn_id) {
+      // Undo replay restores metadata per row; anything still pending
+      // here was rolled back without a matching undo record (defensive).
+      m.writer = 0;
+      m.commit_ts = 0;
+      --pending_row_count_;
+    }
+  }
+  if (stash_count_ == 0) return;
+  for (VersionShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.stash.begin(); it != shard.stash.end();) {
+      if (it->superseder == txn_id && it->superseder_ts == kPendingTs) {
+        it = shard.stash.erase(it);
+        --stash_count_;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+size_t Table::GcVersions(uint64_t horizon) {
+  if (stash_count_ == 0) return 0;
+  size_t reclaimed = 0;
+  for (VersionShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.stash.begin(); it != shard.stash.end();) {
+      if (it->superseder_ts != kPendingTs && it->superseder_ts <= horizon) {
+        it = shard.stash.erase(it);
+        ++reclaimed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  stash_count_ -= reclaimed;
+  return reclaimed;
+}
+
+bool Table::HasPendingWriterOther(uint64_t txn_id) const {
+  if (pending_row_count_ == 0) return false;
+  // Same tail-first walk as CommitTxn: pending rows are almost always
+  // recent appends, so the gate costs O(pending set) per statement.
+  size_t unseen = pending_row_count_;
+  for (auto it = meta_.rbegin(); it != meta_.rend() && unseen > 0; ++it) {
+    if (it->writer == 0) continue;
+    --unseen;
+    if (it->writer != txn_id) return true;
+  }
+  return false;
+}
+
+size_t Table::FindSlotByRowId(uint64_t row_id, size_t hint) const {
+  if (hint < meta_.size() && meta_[hint].row_id == row_id) return hint;
+  for (size_t i = 0; i < meta_.size(); ++i) {
+    if (meta_[i].row_id == row_id) return i;
+  }
+  return meta_.size();
+}
+
+void Table::RestoreMetaAt(size_t index, RowMeta meta) {
+  bool was_pending = meta_[index].writer != 0;
+  bool now_pending = meta.writer != 0;
+  meta_[index] = meta;
+  if (was_pending && !now_pending) --pending_row_count_;
+  if (!was_pending && now_pending) ++pending_row_count_;
+}
+
+bool Table::DropStashedVersion(uint64_t row_id, uint64_t superseder) {
+  VersionShard& shard = ShardFor(row_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  for (auto it = shard.stash.begin(); it != shard.stash.end(); ++it) {
+    if (it->row_id == row_id && it->superseder == superseder) {
+      shard.stash.erase(it);
+      --stash_count_;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Table::StashDepthForTest() const {
+  return stash_count_;
 }
 
 Status Table::AddSecondaryIndex(const std::string& name,

@@ -1,15 +1,19 @@
 #ifndef SQLFLOW_SQL_TABLE_H_
 #define SQLFLOW_SQL_TABLE_H_
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "sql/mvcc.h"
 #include "sql/result_set.h"
 #include "sql/schema.h"
 
@@ -17,14 +21,15 @@ namespace sqlflow::sql {
 
 class UndoLog;
 
-/// Process-wide hook consulted by Insert/Update *between* recording the
+/// Thread-local hook consulted by Insert/Update *between* recording the
 /// row's undo entry and maintaining its secondary indexes — the
 /// mid-index-maintenance fault site. A non-OK return aborts the mutation
 /// with the row applied but unindexed; the undo entry (recorded first,
 /// and tolerant of missing postings) restores the byte-identical prior
 /// state. Installed by Database::RunWithRecovery around statement
 /// execution only; the Raw* replay entry points never consult it, so
-/// rollback itself cannot fault. Single-threaded, like the engine.
+/// rollback itself cannot fault. The hook is thread-local — each
+/// concurrently executing statement sees only its own installation.
 using IndexMaintenanceHook =
     std::function<Status(const std::string& table_name, const char* op)>;
 
@@ -96,9 +101,47 @@ struct SecondaryIndex {
   std::map<Row, std::vector<size_t>, OrderedKeyLess> ordered;
 };
 
+/// Version metadata for one live row, kept in a vector parallel to
+/// Table::rows(). `commit_ts == 0` marks a row committed before MVCC
+/// tracking began (visible to every snapshot); `writer != 0` marks a
+/// row written by an in-flight transaction (`commit_ts == kPendingTs`
+/// until that transaction commits). `row_id` is a table-unique identity
+/// that survives slot shifts, linking a live row to its stashed prior
+/// versions and to undo records.
+struct RowMeta {
+  uint64_t row_id = 0;
+  uint64_t commit_ts = 0;
+  uint64_t writer = 0;
+};
+
+/// A superseded row version kept for snapshot readers: the pre-image a
+/// transaction displaced by UPDATE or DELETE. Visible to snapshot S iff
+/// `image_ts <= S` and the superseding write is *not* visible at S
+/// (still pending by another transaction, or committed after S). GC
+/// drops entries whose superseder committed at or below the snapshot
+/// horizon.
+struct StashedVersion {
+  uint64_t row_id = 0;
+  Row image;
+  uint64_t image_ts = 0;                  // commit ts of the stashed image
+  uint64_t superseder = 0;                // txn that displaced it
+  uint64_t superseder_ts = kPendingTs;    // its commit ts once committed
+};
+
 /// Heap-organized in-memory table. All mutations go through Insert/Update/
 /// Delete so that uniqueness constraints stay maintained and undo records
-/// are written when a transaction is active (`undo != nullptr`).
+/// are written when a transaction is active (`undo != nullptr`). When the
+/// undo log carries an MVCC transaction view, mutations additionally
+/// version rows: write-write conflicts abort with a transient Status
+/// (first-committer-wins), displaced versions are stashed for snapshot
+/// readers, and commit/abort stamp or unwind the metadata.
+///
+/// Threading: row data, indexes, and row metadata are guarded by the
+/// owning Database's statement latch (writers exclusive, readers
+/// shared). The version stash is additionally sharded by row id behind
+/// per-shard mutexes — the OpenMLDB mem_table/fe_segment layout — so
+/// snapshot materialization and GC touch only small critical sections
+/// and commit stamping can later move off the global latch.
 class Table {
  public:
   explicit Table(TableSchema schema);
@@ -168,9 +211,102 @@ class Table {
   void RawReplaceAt(size_t index, Row row);
   void RawRestoreAll(std::vector<Row> rows);
 
+  // --- MVCC version chain ---------------------------------------------------
+
+  /// True when the live rows() vector is NOT the correct view for a
+  /// reader at `snapshot_ts`: another transaction has pending rows
+  /// here, something committed after the snapshot, or superseded
+  /// versions are stashed. When false the executor keeps the fast
+  /// index/batch paths; when true it materializes via SnapshotRows.
+  bool NeedsSnapshot(uint64_t reader_txn, uint64_t snapshot_ts) const;
+
+  /// Materializes the rows visible to `reader_txn` at `snapshot_ts`:
+  /// the reader's own pending writes, every version committed at or
+  /// before the snapshot, and stashed pre-images whose superseding
+  /// write is not yet visible. Row order: live rows in slot order, then
+  /// stashed versions (callers treat the result as a bag, exactly like
+  /// a scan).
+  std::vector<Row> SnapshotRows(uint64_t reader_txn,
+                                uint64_t snapshot_ts) const;
+
+  /// Stamps every row pending under `txn_id` (and every stash entry it
+  /// superseded) with `commit_ts`.
+  void CommitTxn(uint64_t txn_id, uint64_t commit_ts);
+
+  /// Defensive abort sweep: clears any metadata still pending under
+  /// `txn_id` and drops stash entries it superseded. Undo replay
+  /// restores per-row metadata exactly; this catches strays.
+  void AbortTxn(uint64_t txn_id);
+
+  /// Drops stash entries whose superseder committed at or below
+  /// `horizon`; returns how many versions were reclaimed.
+  size_t GcVersions(uint64_t horizon);
+
+  /// Pending rows written by transactions other than `txn_id` — the
+  /// DDL/TRUNCATE gate (those operations are not versioned, so they
+  /// refuse with a transient status while other writers are in
+  /// flight).
+  bool HasPendingWriterOther(uint64_t txn_id) const;
+
+  /// Slot currently holding `row_id`; `hint` is checked first (the
+  /// recorded undo position, almost always still right). Returns
+  /// rows().size() when the row is gone.
+  size_t FindSlotByRowId(uint64_t row_id, size_t hint) const;
+
+  RowMeta MetaAt(size_t index) const { return meta_[index]; }
+  /// Restores one row's metadata during undo replay (adjusting the
+  /// pending count).
+  void RestoreMetaAt(size_t index, RowMeta meta);
+  /// Drops the stash entry `{row_id, superseder}` if present (undo
+  /// replay of the write that created it). Returns whether one existed.
+  bool DropStashedVersion(uint64_t row_id, uint64_t superseder);
+
+  size_t StashDepthForTest() const;
+  uint64_t max_commit_ts() const { return max_commit_ts_; }
+
  private:
+  static constexpr size_t kVersionShards = 8;
+  struct VersionShard {
+    mutable std::mutex mutex;
+    std::vector<StashedVersion> stash;
+  };
+
   Status CheckUnique(const Row& row, size_t ignore_index,
                      bool has_ignore) const;
+  /// First violated unique constraint (with the offending key), or
+  /// nullptr when the row is unique.
+  const UniqueConstraint* FindUniqueViolation(const Row& row,
+                                              size_t ignore_index,
+                                              bool has_ignore,
+                                              std::string* key) const;
+  /// Classifies a unique violation under MVCC: a collision with a row
+  /// another transaction has in flight (or committed after `txn`'s
+  /// snapshot) is a transient write-write conflict, not a constraint
+  /// error.
+  Status ClassifyUniqueViolation(const UniqueConstraint& uc,
+                                 const std::string& key,
+                                 const MvccTxn* txn) const;
+  /// Guards writes against keys that are absent from the live indexes
+  /// only because an in-flight transaction deleted (or re-keyed) the
+  /// row holding them: if that transaction rolls back the key comes
+  /// back, so taking it now is a transient write-write conflict, not a
+  /// free slot. Also refuses keys whose holder was displaced by a
+  /// transaction that committed after `txn`'s snapshot (`txn` still
+  /// sees the stashed image — letting the write through would make its
+  /// own snapshot self-inconsistent).
+  Status CheckStashedKeyConflict(const Row& row, const MvccTxn& txn) const;
+  /// Write-write conflict check for the row at `index` against `txn`;
+  /// OK when `txn` may overwrite it.
+  Status CheckWriteConflict(size_t index, const MvccTxn& txn) const;
+  /// Stashes the pre-image of row `index` (unless `txn` already owns
+  /// its pending version) and marks the row pending under `txn`.
+  void StashAndMarkPending(size_t index, const MvccTxn& txn);
+  VersionShard& ShardFor(uint64_t row_id) {
+    return shards_[row_id % kVersionShards];
+  }
+  const VersionShard& ShardFor(uint64_t row_id) const {
+    return shards_[row_id % kVersionShards];
+  }
   /// Evaluates the schema's CHECK constraints against `row`; a FALSE
   /// result is a constraint error (NULL/unknown passes, per SQL).
   Status CheckRowConstraints(const Row& row);
@@ -194,6 +330,17 @@ class Table {
   TableSchema schema_;
   bool read_only_ = false;
   std::vector<Row> rows_;
+  /// Parallel to rows_: one RowMeta per live row.
+  std::vector<RowMeta> meta_;
+  /// Superseded versions, sharded by row id.
+  std::array<VersionShard, kVersionShards> shards_;
+  uint64_t next_row_id_ = 1;
+  /// Live rows currently pending under some transaction.
+  size_t pending_row_count_ = 0;
+  /// Stashed versions across all shards (fast NeedsSnapshot check).
+  size_t stash_count_ = 0;
+  /// Highest commit timestamp stamped onto this table's rows.
+  uint64_t max_commit_ts_ = 0;
   std::vector<UniqueConstraint> unique_constraints_;
   std::vector<SecondaryIndex> secondary_indexes_;
   /// Parsed CHECK expressions, built lazily from the schema's text.

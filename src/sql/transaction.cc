@@ -24,28 +24,64 @@ bool IsDdlUndo(UndoEntry::Kind kind) {
 
 /// Reverses one recorded change. Uses only the Raw* replay entry points
 /// (which never consult fault hooks and never re-log), so rollback can
-/// run safely while a fault injector is armed.
-void UndoOne(UndoEntry& e, Database* db) {
+/// run safely while a fault injector is armed. Under MVCC (`txn` set),
+/// rows are resolved by id (slots may have shifted) and each entry also
+/// restores the row's pre-mutation version metadata and drops the stash
+/// entry its mutation created.
+void UndoOne(UndoEntry& e, Database* db, const MvccTxn* txn) {
   Catalog& catalog = db->catalog();
   switch (e.kind) {
   case UndoEntry::Kind::kInsert: {
     Table* table = catalog.FindTable(e.table_name);
-    if (table != nullptr && e.row_index < table->row_count()) {
-      table->RawRemoveAt(e.row_index);
+    if (table == nullptr) break;
+    size_t slot = e.row_index;
+    if (txn != nullptr && e.row_id != 0) {
+      slot = table->FindSlotByRowId(e.row_id, e.row_index);
+    }
+    if (slot < table->row_count()) {
+      table->RawRemoveAt(slot);
     }
     break;
   }
   case UndoEntry::Kind::kDelete: {
     Table* table = catalog.FindTable(e.table_name);
     if (table != nullptr) {
-      table->RawInsertAt(e.row_index, std::move(e.row));
+      size_t at = e.row_index;
+      if (at > table->row_count()) at = table->row_count();
+      table->RawInsertAt(at, std::move(e.row));
+      if (txn != nullptr && e.row_id != 0) {
+        size_t slot = at < table->row_count() ? at : table->row_count() - 1;
+        RowMeta meta;
+        meta.row_id = e.row_id;
+        meta.commit_ts = e.meta_commit_ts;
+        meta.writer = e.meta_writer;
+        table->RestoreMetaAt(slot, meta);
+        if (e.meta_writer != txn->id) {
+          table->DropStashedVersion(e.row_id, txn->id);
+        }
+      }
     }
     break;
   }
   case UndoEntry::Kind::kUpdate: {
     Table* table = catalog.FindTable(e.table_name);
-    if (table != nullptr && e.row_index < table->row_count()) {
-      table->RawReplaceAt(e.row_index, std::move(e.row));
+    if (table == nullptr) break;
+    size_t slot = e.row_index;
+    if (txn != nullptr && e.row_id != 0) {
+      slot = table->FindSlotByRowId(e.row_id, e.row_index);
+    }
+    if (slot < table->row_count()) {
+      table->RawReplaceAt(slot, std::move(e.row));
+      if (txn != nullptr && e.row_id != 0) {
+        RowMeta meta;
+        meta.row_id = e.row_id;
+        meta.commit_ts = e.meta_commit_ts;
+        meta.writer = e.meta_writer;
+        table->RestoreMetaAt(slot, meta);
+        if (e.meta_writer != txn->id) {
+          table->DropStashedVersion(e.row_id, txn->id);
+        }
+      }
     }
     break;
   }
@@ -137,7 +173,7 @@ void UndoOne(UndoEntry& e, Database* db) {
 
 void UndoLog::RollbackInto(Database* db) {
   for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-    UndoOne(*it, db);
+    UndoOne(*it, db, txn);
   }
   entries_.clear();
 }
@@ -146,7 +182,7 @@ bool UndoLog::RollbackTo(size_t mark, Database* db) {
   bool undid_ddl = false;
   while (entries_.size() > mark) {
     undid_ddl = undid_ddl || IsDdlUndo(entries_.back().kind);
-    UndoOne(entries_.back(), db);
+    UndoOne(entries_.back(), db, txn);
     entries_.pop_back();
   }
   return undid_ddl;

@@ -7,6 +7,7 @@
 
 #include "sql/ast.h"
 #include "sql/catalog.h"
+#include "sql/mvcc.h"
 #include "sql/result_set.h"
 #include "sql/schema.h"
 
@@ -37,6 +38,12 @@ struct UndoEntry {
   Kind kind;
   std::string table_name;   // or sequence/index name
   size_t row_index = 0;
+  /// MVCC identity of the affected row (0 for non-row entries): replay
+  /// resolves the row by id when concurrent interleavings may have
+  /// shifted its slot, and restores the pre-mutation version metadata.
+  uint64_t row_id = 0;
+  uint64_t meta_commit_ts = 0;  // pre-mutation RowMeta (kUpdate/kDelete)
+  uint64_t meta_writer = 0;
   Row row;
   /// Only populated when the owning log has `capture_rows()` set: the
   /// post-image of the mutation (the inserted row for kInsert, the new
@@ -84,6 +91,12 @@ class UndoLog {
   /// into inverse SQL for compensation (sql/inverse.h).
   bool capture_rows() const { return capture_rows_; }
   void set_capture_rows(bool on) { capture_rows_ = on; }
+
+  /// The MVCC transaction this log belongs to, or nullptr outside a
+  /// transaction. Set by the owning Database connection; Table mutations
+  /// read it for conflict detection and version stashing, and replay
+  /// reads it to unwind version metadata. Not owned.
+  MvccTxn* txn = nullptr;
 
  private:
   std::vector<UndoEntry> entries_;

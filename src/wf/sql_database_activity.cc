@@ -29,14 +29,20 @@ Status SqlDatabaseActivity::Execute(wfc::ProcessContext& ctx) {
     params.Set(param_name, wfc::XPathValueToScalar(v));
   }
 
-  if (compiled_ == nullptr) {
-    SQLFLOW_ASSIGN_OR_RETURN(compiled_,
-                             sql::ParseStatement(config_.statement));
+  std::shared_ptr<const sql::Statement> stmt;
+  {
+    std::lock_guard<std::mutex> lock(compile_mutex_);
+    if (compiled_ == nullptr) {
+      SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<sql::Statement> parsed,
+                               sql::ParseStatement(config_.statement));
+      compiled_ = std::move(parsed);
+    }
+    stmt = compiled_;
   }
   ctx.audit().Record(wfc::AuditEventKind::kSqlExecuted, name(),
                      config_.statement);
   SQLFLOW_ASSIGN_OR_RETURN(sql::ResultSet result,
-                           db->ExecuteStatement(*compiled_, params));
+                           db->ExecuteStatement(*stmt, params));
 
   if (config_.after != nullptr) {
     SQLFLOW_RETURN_IF_ERROR(config_.after(ctx, result));

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -57,8 +58,11 @@ class SqlDatabaseActivity : public wfc::Activity {
  private:
   Config config_;
   // Statement text is static (Sec. IV-B), so it is parsed once on first
-  // execution and reused. The engine is single-threaded per design.
-  std::unique_ptr<sql::Statement> compiled_;
+  // execution and reused. Activities are shared between concurrent
+  // instances: first-compile is serialized by the mutex, and readers
+  // take a shared_ptr copy so the statement outlives any re-entry.
+  std::mutex compile_mutex_;
+  std::shared_ptr<const sql::Statement> compiled_;
 };
 
 /// Registers the `<SqlDatabase>` element with a XOML loader — the markup

@@ -6,6 +6,10 @@
 namespace sqlflow::wfc {
 
 Status Activity::Run(ProcessContext& ctx) {
+  // Activity boundaries are the interleaving points of the deterministic
+  // scheduler: yield *before* any audit/trace side effect so a context
+  // switch here leaves the instance in a clean between-activities state.
+  ctx.SchedulerYield();
   if (ctx.terminate_requested()) {
     return Status::OK();  // silently skip the rest of the flow
   }

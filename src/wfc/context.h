@@ -3,8 +3,10 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -44,6 +46,19 @@ class ProcessContext {
 
   bool terminate_requested() const { return terminate_requested_; }
   void RequestTerminate() { terminate_requested_ = true; }
+
+  // --- cooperative scheduling ------------------------------------------------
+  /// Installed by the engine's deterministic scheduler; called at every
+  /// activity boundary (Activity::Run entry) so the scheduler can hand
+  /// the execution token to another instance. Instances run by the
+  /// plain engine (or the free-running pool) have no yield function and
+  /// pay nothing here.
+  void SetSchedulerYield(std::function<void()> yield) {
+    scheduler_yield_ = std::move(yield);
+  }
+  void SchedulerYield() {
+    if (scheduler_yield_) scheduler_yield_();
+  }
 
   // --- simulated time & deadlines --------------------------------------------
   // The instance clock is *virtual*: it only advances when a robustness
@@ -96,6 +111,7 @@ class ProcessContext {
   sql::DataSourceRegistry* data_sources_;
   const xpath::FunctionRegistry* xpath_functions_;
   AuditTrail audit_;
+  std::function<void()> scheduler_yield_;
   bool terminate_requested_ = false;
   int64_t virtual_now_ns_ = 0;
   std::vector<int64_t> deadlines_;

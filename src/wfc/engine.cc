@@ -1,15 +1,110 @@
 #include "wfc/engine.h"
 
+#include <algorithm>
+#include <condition_variable>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/rand.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sql/data_source.h"
 
 namespace sqlflow::wfc {
+
+namespace {
+
+/// Token-passing scheduler for deterministic interleavings: exactly one
+/// instance holds the token (runs) at any moment; at every yield point
+/// the next holder is drawn from a splitmix64 stream over the runnable
+/// set. Because only the holder ever calls Yield/Finish, the sequence
+/// of draws — and therefore the whole interleaving — is a pure function
+/// of the seed and the instances' activity structure. One instance at a
+/// time also means the interleaving itself is race-free: the scheduler
+/// explores orderings of activities (and of the SQL transactions under
+/// them), not torn memory.
+class DeterministicScheduler {
+ public:
+  explicit DeterministicScheduler(uint64_t seed)
+      : rng_state_(seed == 0 ? 0x9e3779b97f4a7c15ULL : seed) {}
+
+  /// Adds an instance to the runnable set. Call for every instance
+  /// before Start().
+  void Register(uint64_t id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    runnable_.insert(id);
+  }
+
+  /// Grants the token for the first time; instance threads may already
+  /// be parked in WaitForTurn.
+  void Start() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    started_ = true;
+    GrantNextLocked();
+    cv_.notify_all();
+  }
+
+  /// Blocks until `id` holds the token (each instance thread's entry
+  /// gate).
+  void WaitForTurn(uint64_t id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return started_ && current_ == id; });
+  }
+
+  /// The holder offers the token back: re-enters the runnable set, a new
+  /// holder is drawn (possibly `id` again), and the call returns when
+  /// `id` next holds the token.
+  void Yield(uint64_t id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    runnable_.insert(id);
+    GrantNextLocked();
+    if (current_ != id) {
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return current_ == id; });
+    }
+  }
+
+  /// The holder is done: the token moves on permanently.
+  void Finish(uint64_t /*id*/) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GrantNextLocked();
+    cv_.notify_all();
+  }
+
+ private:
+  /// Draws the next holder from the runnable set; caller holds mutex_.
+  /// An empty set parks the token (current_ = 0; instance ids start at
+  /// 1, so 0 never matches a waiter).
+  void GrantNextLocked() {
+    if (runnable_.empty()) {
+      current_ = 0;
+      return;
+    }
+    size_t index = static_cast<size_t>(SplitMix64Next(&rng_state_) %
+                                       runnable_.size());
+    auto it = runnable_.begin();
+    std::advance(it, index);
+    current_ = *it;
+    runnable_.erase(it);
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::set<uint64_t> runnable_;
+  uint64_t current_ = 0;
+  bool started_ = false;
+  uint64_t rng_state_;
+};
+
+}  // namespace
 
 WorkflowEngine::WorkflowEngine(std::string name)
     : name_(std::move(name)) {}
 
 Status WorkflowEngine::Deploy(ProcessDefinitionPtr definition) {
   const std::string& process_name = definition->name();
+  std::lock_guard<std::mutex> lock(processes_mutex_);
   if (processes_.count(process_name) > 0) {
     return Status::AlreadyExists("process '" + process_name +
                                  "' already deployed");
@@ -19,10 +114,12 @@ Status WorkflowEngine::Deploy(ProcessDefinitionPtr definition) {
 }
 
 void WorkflowEngine::DeployOrReplace(ProcessDefinitionPtr definition) {
+  std::lock_guard<std::mutex> lock(processes_mutex_);
   processes_[definition->name()] = std::move(definition);
 }
 
 Status WorkflowEngine::Undeploy(const std::string& process_name) {
+  std::lock_guard<std::mutex> lock(processes_mutex_);
   if (processes_.erase(process_name) == 0) {
     return Status::NotFound("no deployed process '" + process_name + "'");
   }
@@ -30,10 +127,12 @@ Status WorkflowEngine::Undeploy(const std::string& process_name) {
 }
 
 bool WorkflowEngine::IsDeployed(const std::string& process_name) const {
+  std::lock_guard<std::mutex> lock(processes_mutex_);
   return processes_.count(process_name) > 0;
 }
 
 std::vector<std::string> WorkflowEngine::DeployedProcessNames() const {
+  std::lock_guard<std::mutex> lock(processes_mutex_);
   std::vector<std::string> names;
   names.reserve(processes_.size());
   for (const auto& [name, definition] : processes_) {
@@ -45,18 +144,43 @@ std::vector<std::string> WorkflowEngine::DeployedProcessNames() const {
 Result<InstanceResult> WorkflowEngine::RunProcess(
     const std::string& process_name,
     const std::map<std::string, VarValue>& inputs) {
-  auto it = processes_.find(process_name);
-  if (it == processes_.end()) {
-    return Status::NotFound("no deployed process '" + process_name + "'");
+  return RunInstance(next_instance_id_.fetch_add(1), process_name, inputs,
+                     /*private_session=*/false, /*yield=*/nullptr);
+}
+
+Result<InstanceResult> WorkflowEngine::RunInstance(
+    uint64_t instance_id, const std::string& process_name,
+    const std::map<std::string, VarValue>& inputs, bool private_session,
+    std::function<void()> yield) {
+  ProcessDefinitionPtr definition;
+  {
+    std::lock_guard<std::mutex> lock(processes_mutex_);
+    auto it = processes_.find(process_name);
+    if (it == processes_.end()) {
+      return Status::NotFound("no deployed process '" + process_name +
+                              "'");
+    }
+    definition = it->second;
   }
-  const ProcessDefinition& def = *it->second;
+  const ProcessDefinition& def = *definition;
 
   obs::Span span("process " + process_name);
   span.Set("engine", name_);
   span.Set("process", process_name);
 
-  ProcessContext ctx(next_instance_id_++, process_name, &services_,
-                     &data_sources_, &xpath_functions_);
+  // A private session gives this instance its own connection per data
+  // source: same storage, separate transaction state. The session view
+  // only lives for the instance; its connections drop with it.
+  std::unique_ptr<sql::DataSourceRegistry> session;
+  sql::DataSourceRegistry* sources = &data_sources_;
+  if (private_session) {
+    session = data_sources_.CreateSession();
+    sources = session.get();
+  }
+
+  ProcessContext ctx(instance_id, process_name, &services_, sources,
+                     &xpath_functions_);
+  if (yield) ctx.SetSchedulerYield(std::move(yield));
   span.Set("instance", std::to_string(ctx.instance_id()));
   for (const auto& [var_name, initial] : def.variables()) {
     ctx.variables().Set(var_name, initial);
@@ -110,10 +234,69 @@ Result<InstanceResult> WorkflowEngine::RunProcess(
   result.status = st;
   result.variables = ctx.variables();
   result.audit = ctx.audit();
-  for (const InstanceListener& listener : listeners_) {
-    listener(result);
+  {
+    std::lock_guard<std::mutex> lock(listeners_mutex_);
+    for (const InstanceListener& listener : listeners_) {
+      listener(result);
+    }
   }
   return result;
+}
+
+std::vector<Result<InstanceResult>> WorkflowEngine::RunConcurrent(
+    const std::vector<InstanceRequest>& requests,
+    const ConcurrencyOptions& options) {
+  const size_t n = requests.size();
+  std::vector<Result<InstanceResult>> results(
+      n, Result<InstanceResult>(
+             Status::Internal("instance was never scheduled")));
+  if (n == 0) return results;
+  // Pre-assign ids in request order: audit trails, per-instance table
+  // names, and rows keyed by the instance id come out identical no
+  // matter which interleaving or worker count ran the batch.
+  const uint64_t base_id = next_instance_id_.fetch_add(n);
+
+  if (options.deterministic) {
+    DeterministicScheduler scheduler(options.seed);
+    for (size_t i = 0; i < n; ++i) scheduler.Register(base_id + i);
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      threads.emplace_back([this, &scheduler, &requests, &results, base_id,
+                            &options, i] {
+        const uint64_t id = base_id + i;
+        scheduler.WaitForTurn(id);
+        results[i] = RunInstance(
+            id, requests[i].process_name, requests[i].inputs,
+            options.private_sessions,
+            [&scheduler, id] { scheduler.Yield(id); });
+        scheduler.Finish(id);
+      });
+    }
+    scheduler.Start();
+    for (std::thread& t : threads) t.join();
+    return results;
+  }
+
+  const size_t workers =
+      std::min(std::max<size_t>(options.workers, 1), n);
+  std::atomic<size_t> next_request{0};
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([this, &requests, &results, &next_request,
+                          base_id, &options, n] {
+      for (size_t i = next_request.fetch_add(1); i < n;
+           i = next_request.fetch_add(1)) {
+        results[i] = RunInstance(base_id + i, requests[i].process_name,
+                                 requests[i].inputs,
+                                 options.private_sessions,
+                                 /*yield=*/nullptr);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return results;
 }
 
 }  // namespace sqlflow::wfc

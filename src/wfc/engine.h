@@ -1,10 +1,13 @@
 #ifndef SQLFLOW_WFC_ENGINE_H_
 #define SQLFLOW_WFC_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "wfc/process.h"
 
@@ -21,6 +24,37 @@ struct InstanceResult {
   bool ok() const { return status.ok(); }
 };
 
+/// One unit of work for RunConcurrent: which process to start, with
+/// which inputs. Results come back in request order, under instance ids
+/// assigned in request order — so a run's outputs are addressable no
+/// matter how the instances interleaved.
+struct InstanceRequest {
+  std::string process_name;
+  std::map<std::string, VarValue> inputs;
+};
+
+/// How RunConcurrent schedules its instances.
+struct ConcurrencyOptions {
+  /// Worker threads for the free-running pool (clamped to the request
+  /// count; 0 behaves as 1). Ignored in deterministic mode, which runs
+  /// exactly one instance at a time by construction.
+  size_t workers = 4;
+  /// Replay a seed-derived interleaving instead of racing the workers:
+  /// one instance holds the execution token at a time, and at every
+  /// activity boundary the next runnable instance is drawn from a
+  /// splitmix64 stream. Same seed + same requests = same interleaving,
+  /// which is what makes concurrency bugs replayable in tests.
+  bool deterministic = false;
+  /// Seed for the deterministic interleaving stream.
+  uint64_t seed = 1;
+  /// Give each instance its own connection per data source
+  /// (sql::Database::CreateConnection): statements from different
+  /// instances then run in separate sessions with snapshot isolation
+  /// and write-write conflict detection, instead of sharing one
+  /// connection's transaction state.
+  bool private_sessions = true;
+};
+
 /// The process server: deploy process models, run instances. One engine
 /// owns the shared runtime services the paper's architecture figures
 /// show — the service registry (WSDL binding / SOA core stand-in), the
@@ -28,15 +62,18 @@ struct InstanceResult {
 /// (Oracle's integration services).
 class WorkflowEngine {
  public:
+  /// Counters are atomic because RunConcurrent finishes instances on
+  /// many worker threads at once; reads through `stats()` still look
+  /// like plain integers at call sites.
   struct EngineStats {
-    uint64_t instances_started = 0;
-    uint64_t instances_completed = 0;
-    uint64_t instances_faulted = 0;
+    std::atomic<uint64_t> instances_started{0};
+    std::atomic<uint64_t> instances_completed{0};
+    std::atomic<uint64_t> instances_faulted{0};
     /// Fed from each finished instance's audit trail, so engine-level
     /// stats agree with the per-instance monitoring data (and with the
     /// obs::MetricsRegistry counters the hooks maintain).
-    uint64_t activities_executed = 0;
-    uint64_t sql_statements_executed = 0;
+    std::atomic<uint64_t> activities_executed{0};
+    std::atomic<uint64_t> sql_statements_executed{0};
   };
 
   explicit WorkflowEngine(std::string name);
@@ -62,24 +99,54 @@ class WorkflowEngine {
       const std::string& process_name,
       const std::map<std::string, VarValue>& inputs = {});
 
+  /// Runs `requests.size()` instances concurrently and returns their
+  /// results in request order (an entry only carries an error Status
+  /// for an unknown process name — instance faults travel inside the
+  /// InstanceResult, as with RunProcess). Free-running mode races a
+  /// worker pool over the requests; deterministic mode replays the
+  /// seed-derived interleaving one activity at a time. Either way
+  /// instance ids are pre-assigned in request order.
+  std::vector<Result<InstanceResult>> RunConcurrent(
+      const std::vector<InstanceRequest>& requests,
+      const ConcurrencyOptions& options = {});
+
   /// Monitoring hook (the paper's process-monitoring tooling): called
   /// with every finished instance, after its hooks ran, before
-  /// RunProcess returns. Listeners observe; they cannot veto.
+  /// RunProcess returns. Listeners observe; they cannot veto. During
+  /// RunConcurrent, listener invocations are serialized under a mutex —
+  /// a listener sees one finished instance at a time.
   using InstanceListener = std::function<void(const InstanceResult&)>;
   void AddInstanceListener(InstanceListener listener) {
+    std::lock_guard<std::mutex> lock(listeners_mutex_);
     listeners_.push_back(std::move(listener));
   }
 
   const EngineStats& stats() const { return stats_; }
 
  private:
+  /// The shared body of RunProcess / RunConcurrent: one instance, start
+  /// to finish. `yield` (nullable) is the deterministic scheduler's
+  /// token hand-off, installed on the context; `private_session` routes
+  /// the instance's data-source lookups through a per-instance session
+  /// view.
+  Result<InstanceResult> RunInstance(uint64_t instance_id,
+                                     const std::string& process_name,
+                                     const std::map<std::string, VarValue>&
+                                         inputs,
+                                     bool private_session,
+                                     std::function<void()> yield);
+
   std::string name_;
   ServiceRegistry services_;
   sql::DataSourceRegistry data_sources_;
   xpath::FunctionRegistry xpath_functions_;
+  /// Guards the deployment map: RunConcurrent workers resolve process
+  /// names while a coordinator may still be deploying.
+  mutable std::mutex processes_mutex_;
   std::map<std::string, ProcessDefinitionPtr> processes_;
+  std::mutex listeners_mutex_;
   std::vector<InstanceListener> listeners_;
-  uint64_t next_instance_id_ = 1;
+  std::atomic<uint64_t> next_instance_id_{1};
   EngineStats stats_;
 };
 

@@ -1,6 +1,7 @@
 #ifndef SQLFLOW_WFC_SERVICE_H_
 #define SQLFLOW_WFC_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -50,13 +51,17 @@ class SimpleWebService : public WebService {
   const std::string& name() const override { return name_; }
   Result<xml::NodePtr> Invoke(const xml::NodePtr& request) override;
 
-  uint64_t invocation_count() const { return invocation_count_; }
+  uint64_t invocation_count() const {
+    return invocation_count_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string name_;
   std::vector<std::string> param_names_;
   Handler handler_;
-  uint64_t invocation_count_ = 0;
+  /// Concurrent instances share one registry entry, so the counter is
+  /// bumped from every worker thread at once.
+  std::atomic<uint64_t> invocation_count_{0};
 };
 
 /// Connection-layer retry for service invocations, the `Invoke`-side

@@ -1,0 +1,428 @@
+// Multi-instance engine concurrency: the deterministic interleaving
+// harness (one execution token, seed-derived hand-off at every activity
+// boundary), free-running worker pools, explicit transactions under
+// interleaving (MVCC first-committer-wins absorbed by retry wrappers),
+// and the accounting invariant that engine counters, captured audit
+// trails, and the sys.* analytics tables agree after a concurrent run.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bis/atomic_sql_sequence.h"
+#include "bis/sql_activity.h"
+#include "patterns/fixture.h"
+#include "sql/database.h"
+#include "sql/fault.h"
+#include "sql/introspect.h"
+#include "wfc/activities.h"
+#include "wfc/engine.h"
+#include "wfc/robustness.h"
+#include "workflows/analytics.h"
+#include "workflows/order_process.h"
+
+namespace sqlflow {
+namespace {
+
+using wfc::ConcurrencyOptions;
+using wfc::InstanceRequest;
+
+int64_t ScalarInt(sql::Database& db, const std::string& sql) {
+  auto result = db.Execute(sql);
+  EXPECT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+  if (!result.ok()) return -1;
+  auto v = result->rows()[0][0].AsInteger();
+  EXPECT_TRUE(v.ok()) << sql;
+  return v.ok() ? *v : -1;
+}
+
+/// Restores process-wide chaos configuration even when an ASSERT bails
+/// out of a test body early.
+struct GlobalChaosGuard {
+  ~GlobalChaosGuard() {
+    sql::Database::SetGlobalFaultInjector(nullptr);
+    sql::Database::SetRetryPolicyDefault(sql::RetryPolicy{});
+  }
+};
+
+// --- deterministic interleaving harness -------------------------------------
+
+/// Runs `instances` copies of a four-step snippet process under the
+/// deterministic scheduler and returns the observed interleaving: one
+/// entry per executed step, recording which instance ran it. Execution
+/// is serialized by the scheduler token, so the log needs no lock.
+std::vector<uint64_t> RecordInterleaving(uint64_t seed, size_t instances) {
+  wfc::WorkflowEngine engine("conc-det");
+  auto log = std::make_shared<std::vector<uint64_t>>();
+  std::vector<wfc::ActivityPtr> steps;
+  for (int s = 0; s < 4; ++s) {
+    steps.push_back(std::make_shared<wfc::SnippetActivity>(
+        "step" + std::to_string(s),
+        [log](wfc::ProcessContext& ctx) -> Status {
+          log->push_back(ctx.instance_id());
+          return Status::OK();
+        }));
+  }
+  auto root =
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps));
+  engine.DeployOrReplace(
+      std::make_shared<wfc::ProcessDefinition>("p", std::move(root)));
+
+  std::vector<InstanceRequest> requests(instances);
+  for (InstanceRequest& request : requests) request.process_name = "p";
+  ConcurrencyOptions options;
+  options.deterministic = true;
+  options.seed = seed;
+  auto results = engine.RunConcurrent(requests, options);
+  EXPECT_EQ(results.size(), instances);
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].ok()) << results[i].status().ToString();
+    if (!results[i].ok()) continue;
+    EXPECT_TRUE((*results[i]).status.ok())
+        << (*results[i]).status.ToString();
+    // Instance ids are pre-assigned in request order.
+    EXPECT_EQ((*results[i]).instance_id, i + 1);
+  }
+  return *log;
+}
+
+TEST(DeterministicSchedulerTest, SameSeedReplaysIdenticalInterleaving) {
+  std::vector<uint64_t> first = RecordInterleaving(42, 8);
+  std::vector<uint64_t> second = RecordInterleaving(42, 8);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // Every instance ran all four steps.
+  EXPECT_EQ(first.size(), 8u * 4u);
+}
+
+TEST(DeterministicSchedulerTest, DifferentSeedsExploreDifferentOrders) {
+  std::vector<std::vector<uint64_t>> orders;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    orders.push_back(RecordInterleaving(seed, 8));
+  }
+  // The schedules genuinely interleave (some step of a later instance
+  // runs before some step of an earlier one)...
+  bool interleaved = false;
+  for (const auto& order : orders) {
+    for (size_t i = 1; i < order.size() && !interleaved; ++i) {
+      interleaved = order[i] < order[i - 1];
+    }
+  }
+  EXPECT_TRUE(interleaved);
+  // ...and the seed actually steers them: the five orders are not all
+  // the same schedule.
+  bool diverged = false;
+  for (size_t i = 1; i < orders.size() && !diverged; ++i) {
+    diverged = orders[i] != orders[0];
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RunConcurrentTest, UnknownProcessFailsOnlyThatRequest) {
+  wfc::WorkflowEngine engine("conc-err");
+  engine.DeployOrReplace(std::make_shared<wfc::ProcessDefinition>(
+      "known", std::make_shared<wfc::SnippetActivity>(
+                   "noop", [](wfc::ProcessContext&) {
+                     return Status::OK();
+                   })));
+  std::vector<InstanceRequest> requests(3);
+  requests[0].process_name = "known";
+  requests[1].process_name = "missing";
+  requests[2].process_name = "known";
+  auto results = engine.RunConcurrent(requests, ConcurrencyOptions{});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  ASSERT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(results[2].ok());
+}
+
+// --- free-running worker pool over the order process ------------------------
+
+TEST(RunConcurrentTest, FreeRunningPoolCompletesEveryOrderInstance) {
+  auto fixture = workflows::MakeBisOrderFixture();
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  sql::Database& db = *fixture->db;
+  ASSERT_TRUE(sql::RegisterSysTables(&db).ok());
+  int64_t items = ScalarInt(
+      db, "SELECT COUNT(DISTINCT ItemID) FROM Orders WHERE Approved = TRUE");
+  ASSERT_GT(items, 0);
+
+  const size_t kInstances = 64;
+  std::vector<InstanceRequest> requests(kInstances);
+  for (InstanceRequest& request : requests) {
+    request.process_name = workflows::kBisOrderProcess;
+  }
+  ConcurrencyOptions options;
+  options.workers = 8;
+  auto results = fixture->engine->RunConcurrent(requests, options);
+  ASSERT_EQ(results.size(), kInstances);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    EXPECT_TRUE((*results[i]).status.ok())
+        << "instance " << i << ": " << (*results[i]).status.ToString();
+  }
+
+  // Every instance recorded one confirmation per approved item type.
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM OrderConfirmations"),
+            static_cast<int64_t>(kInstances) * items);
+  // All per-instance temporary tables were dropped by the lifecycle.
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.tables "
+                          "WHERE NAME LIKE 'ITEMLIST%'"),
+            0);
+
+  const auto& stats = fixture->engine->stats();
+  EXPECT_EQ(stats.instances_started.load(), kInstances);
+  EXPECT_EQ(stats.instances_completed.load(), kInstances);
+  EXPECT_EQ(stats.instances_faulted.load(), 0u);
+}
+
+// --- byte-identity of the order process under interleaving ------------------
+
+/// Confirmations left by `instances` runs of the BIS order process on a
+/// fresh fixture — sequentially when `seed` is 0, otherwise under the
+/// deterministic scheduler with that seed.
+std::string OrderConfirmationsAfter(size_t instances, uint64_t seed) {
+  auto fixture = workflows::MakeBisOrderFixture();
+  EXPECT_TRUE(fixture.ok()) << fixture.status().ToString();
+  if (!fixture.ok()) return "";
+  if (seed == 0) {
+    for (size_t i = 0; i < instances; ++i) {
+      auto run = fixture->engine->RunProcess(workflows::kBisOrderProcess);
+      EXPECT_TRUE(run.ok() && run->status.ok());
+      if (!run.ok() || !run->status.ok()) return "";
+    }
+  } else {
+    std::vector<InstanceRequest> requests(instances);
+    for (InstanceRequest& request : requests) {
+      request.process_name = workflows::kBisOrderProcess;
+    }
+    ConcurrencyOptions options;
+    options.deterministic = true;
+    options.seed = seed;
+    auto results = fixture->engine->RunConcurrent(requests, options);
+    for (const auto& result : results) {
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      if (!result.ok()) return "";
+      EXPECT_TRUE((*result).status.ok()) << (*result).status.ToString();
+      if (!(*result).status.ok()) return "";
+    }
+  }
+  auto confirmations = workflows::ReadConfirmations(fixture->db.get());
+  EXPECT_TRUE(confirmations.ok()) << confirmations.status().ToString();
+  return confirmations.ok() ? confirmations->ToAsciiTable() : "";
+}
+
+TEST(InterleavingInvariantTest, ConfirmationsMatchSequentialBaseline) {
+  for (size_t instances : {2u, 6u}) {
+    std::string baseline = OrderConfirmationsAfter(instances, /*seed=*/0);
+    ASSERT_FALSE(baseline.empty());
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+      EXPECT_EQ(OrderConfirmationsAfter(instances, seed), baseline)
+          << instances << " instances, seed " << seed;
+    }
+  }
+}
+
+TEST(InterleavingInvariantTest, ChaosPlusInterleavingKeepsConfirmations) {
+  GlobalChaosGuard guard;
+  std::string baseline = OrderConfirmationsAfter(6, /*seed=*/0);
+  ASSERT_FALSE(baseline.empty());
+  uint64_t total_injected = 0;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    sql::FaultInjector::Options options;
+    options.seed = seed;
+    options.probability = 0.03;
+    auto injector = std::make_shared<sql::FaultInjector>(options);
+    sql::Database::SetGlobalFaultInjector(injector);
+    sql::Database::SetRetryPolicyDefault(
+        sql::RetryPolicy{/*max_attempts=*/8});
+    std::string chaotic = OrderConfirmationsAfter(6, seed);
+    sql::Database::SetGlobalFaultInjector(nullptr);
+    sql::Database::SetRetryPolicyDefault(sql::RetryPolicy{});
+    EXPECT_EQ(chaotic, baseline) << "seed " << seed;
+    total_injected += injector->stats().faults_injected;
+  }
+  // The sweep must actually have exercised the fault paths.
+  EXPECT_GT(total_injected, 0u);
+}
+
+// --- explicit transactions under interleaving -------------------------------
+
+/// Each instance runs BEGIN; UPDATE shared counter; INSERT ledger row;
+/// COMMIT as an atomic sequence, yielding to the scheduler inside the
+/// open transaction. Interleaved instances collide on the counter row:
+/// MVCC aborts the later writer with a transient status, the sequence
+/// rolls back, and the retry wrapper re-runs it from the top.
+void RunLedgerInstances(uint64_t seed, size_t instances) {
+  auto fixture = patterns::MakeFixture("conc-txn");
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  sql::Database& db = *fixture->db;
+  ASSERT_TRUE(sql::RegisterSysTables(&db).ok());
+  ASSERT_TRUE(db.ExecuteScript(R"sql(
+    CREATE TABLE Counters (ID INTEGER PRIMARY KEY, N INTEGER NOT NULL);
+    INSERT INTO Counters VALUES (1, 0);
+    CREATE TABLE Ledger (OrderID INTEGER PRIMARY KEY);
+  )sql")
+                  .ok());
+
+  auto make_sql = [](const std::string& name, const std::string& sql,
+                     bool bind_order_id) {
+    bis::SqlActivity::Config config;
+    config.data_source_variable = "DS";
+    config.statement = sql;
+    if (bind_order_id) config.parameters = {{"id", "$OrderID"}};
+    return std::make_shared<bis::SqlActivity>(name, config);
+  };
+  auto sequence = std::make_shared<bis::AtomicSqlSequence>(
+      "txn", "DS",
+      std::vector<wfc::ActivityPtr>{
+          make_sql("bump", "UPDATE Counters SET N = N + 1 WHERE ID = 1",
+                   false),
+          make_sql("record", "INSERT INTO Ledger (OrderID) VALUES (:id)",
+                   true)});
+  wfc::BackoffPolicy policy;
+  policy.max_attempts = 64;  // conflict aborts are cheap; never exhaust
+  auto root = std::make_shared<wfc::RetryActivity>("retry", sequence,
+                                                   policy);
+  auto definition =
+      std::make_shared<wfc::ProcessDefinition>("ledger", std::move(root));
+  definition->DeclareVariable(
+      "DS", wfc::VarValue(wfc::ObjectPtr(
+                std::make_shared<bis::DataSourceVariable>(
+                    patterns::Fixture::kConnection))));
+  definition->DeclareVariable("OrderID",
+                              wfc::VarValue(Value::Integer(0)));
+  fixture->engine->DeployOrReplace(std::move(definition));
+
+  std::vector<InstanceRequest> requests(instances);
+  for (size_t i = 0; i < instances; ++i) {
+    requests[i].process_name = "ledger";
+    requests[i].inputs["OrderID"] =
+        wfc::VarValue(Value::Integer(static_cast<int64_t>(i + 1)));
+  }
+  ConcurrencyOptions options;
+  options.deterministic = true;
+  options.seed = seed;
+  auto results = fixture->engine->RunConcurrent(requests, options);
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    EXPECT_TRUE((*results[i]).status.ok())
+        << "instance " << i << ", seed " << seed << ": "
+        << (*results[i]).status.ToString();
+  }
+
+  // Exactly-once effects despite conflict aborts and re-runs.
+  EXPECT_EQ(ScalarInt(db, "SELECT N FROM Counters WHERE ID = 1"),
+            static_cast<int64_t>(instances))
+      << "seed " << seed;
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM Ledger"),
+            static_cast<int64_t>(instances))
+      << "seed " << seed;
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(DISTINCT OrderID) FROM Ledger"),
+            static_cast<int64_t>(instances))
+      << "seed " << seed;
+  // No transaction is left open, and the version stash drained once the
+  // last snapshot moved past the horizon.
+  EXPECT_EQ(ScalarInt(db, "SELECT ACTIVE_TXNS FROM sys.transactions"), 0)
+      << "seed " << seed;
+}
+
+TEST(InterleavedTransactionsTest, ExactlyOnceAcrossFiveSeeds) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    RunLedgerInstances(seed, 8);
+  }
+}
+
+TEST(InterleavedTransactionsTest, ScalesToLargerInstanceCounts) {
+  RunLedgerInstances(/*seed=*/7, /*instances=*/32);
+}
+
+// --- counters ↔ sys.audit_events accounting ---------------------------------
+
+TEST(ConcurrentAccountingTest, EngineCountersAgreeWithAuditAnalytics) {
+  auto fixture = patterns::MakeFixture("conc-acct");
+  ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+  sql::Database& db = *fixture->db;
+  ASSERT_TRUE(
+      db.Execute("CREATE TABLE Work (OrderID INTEGER NOT NULL)").ok());
+
+  bis::SqlActivity::Config insert_config;
+  insert_config.data_source_variable = "DS";
+  insert_config.statement = "INSERT INTO Work (OrderID) VALUES (:id)";
+  insert_config.parameters = {{"id", "$OrderID"}};
+  bis::SqlActivity::Config count_config;
+  count_config.data_source_variable = "DS";
+  count_config.statement = "SELECT COUNT(*) FROM Work";
+  auto root = std::make_shared<wfc::SequenceActivity>(
+      "main",
+      std::vector<wfc::ActivityPtr>{
+          std::make_shared<bis::SqlActivity>("insert", insert_config),
+          std::make_shared<bis::SqlActivity>("count", count_config)});
+  auto definition =
+      std::make_shared<wfc::ProcessDefinition>("acct", std::move(root));
+  definition->DeclareVariable(
+      "DS", wfc::VarValue(wfc::ObjectPtr(
+                std::make_shared<bis::DataSourceVariable>(
+                    patterns::Fixture::kConnection))));
+  definition->DeclareVariable("OrderID",
+                              wfc::VarValue(Value::Integer(0)));
+  fixture->engine->DeployOrReplace(std::move(definition));
+
+  workflows::ProcessHistoryStore store;
+  store.Attach(fixture->engine.get(), "acct");
+  ASSERT_TRUE(workflows::RegisterAuditTables(&db, &store).ok());
+
+  const size_t kInstances = 16;
+  std::vector<InstanceRequest> requests(kInstances);
+  for (size_t i = 0; i < kInstances; ++i) {
+    requests[i].process_name = "acct";
+    requests[i].inputs["OrderID"] =
+        wfc::VarValue(Value::Integer(static_cast<int64_t>(i + 1)));
+  }
+  ConcurrencyOptions options;
+  options.deterministic = true;
+  options.seed = 3;
+  auto results = fixture->engine->RunConcurrent(requests, options);
+  for (const auto& result : results) {
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE((*result).status.ok()) << (*result).status.ToString();
+  }
+
+  // The listener captured every instance exactly once.
+  ASSERT_EQ(store.records().size(), kInstances);
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.instances"),
+            static_cast<int64_t>(kInstances));
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.instances "
+                          "WHERE STATUS = 'completed'"),
+            static_cast<int64_t>(kInstances));
+  EXPECT_EQ(static_cast<size_t>(ScalarInt(
+                db, "SELECT COUNT(*) FROM sys.audit_events")),
+            store.event_count());
+
+  // Engine counters agree with pure-SQL aggregation over the captured
+  // trails — the monitoring store and the runtime counted the same run.
+  const auto& stats = fixture->engine->stats();
+  EXPECT_EQ(static_cast<int64_t>(stats.instances_started.load()),
+            ScalarInt(db, "SELECT COUNT(*) FROM sys.instances"));
+  EXPECT_EQ(static_cast<int64_t>(stats.instances_completed.load()),
+            ScalarInt(db, "SELECT COUNT(*) FROM sys.instances "
+                          "WHERE STATUS = 'completed'"));
+  EXPECT_EQ(stats.instances_faulted.load(), 0u);
+  EXPECT_EQ(static_cast<int64_t>(stats.activities_executed.load()),
+            ScalarInt(db, "SELECT COUNT(*) FROM sys.audit_events "
+                          "WHERE KIND = 'activity-started'"));
+  EXPECT_EQ(static_cast<int64_t>(stats.sql_statements_executed.load()),
+            ScalarInt(db, "SELECT COUNT(*) FROM sys.audit_events "
+                          "WHERE KIND = 'sql-executed'"));
+  // Work rows written through the per-instance sessions all committed.
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(DISTINCT OrderID) FROM Work"),
+            static_cast<int64_t>(kInstances));
+}
+
+}  // namespace
+}  // namespace sqlflow

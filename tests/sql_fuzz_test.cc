@@ -16,8 +16,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -390,6 +392,71 @@ TEST(SqlFuzzTest, OptimizedPlansMatchScanSemanticsOn600RandomQueries) {
   EXPECT_GT(CounterValue("sql.plan.hash_join"), hash_joins);
   EXPECT_GT(CounterValue("sql.plan.pushdown"), pushdowns);
   EXPECT_GT(CounterValue("sql.plan.batch"), batches);
+}
+
+// Concurrent differential mode: the same 600-query corpus replayed by
+// four connections at once, each inside explicit read-only transactions
+// (a fresh snapshot every 25 queries). Nothing writes, so every
+// connection must reproduce the single-threaded oracle byte-for-byte —
+// any divergence means snapshot reads, the shared plan cache, or the
+// statement latch corrupted a result under concurrency.
+TEST(SqlFuzzTest, ConcurrentReplayMatchesSingleThreadedOracle) {
+  Database db("fuzz-conc");
+  ASSERT_NO_FATAL_FAILURE(PopulateSchema(db));
+  Fuzzer fuzz(kSeed);
+
+  std::vector<std::string> corpus;
+  std::vector<bool> ordered;
+  std::vector<std::string> oracle;
+  corpus.reserve(kQueryCount);
+  oracle.reserve(kQueryCount);
+  for (int q = 0; q < kQueryCount; ++q) {
+    bool has_order_by = false;
+    corpus.push_back(fuzz.Generate(&has_order_by));
+    ordered.push_back(has_order_by);
+  }
+  // Single-threaded oracle on the primary connection.
+  for (int q = 0; q < kQueryCount; ++q) {
+    oracle.push_back(Canonical(db.Execute(corpus[q]), ordered[q]));
+  }
+
+  constexpr int kThreads = 4;
+  struct Mismatch {
+    int query = -1;
+    std::string got;
+  };
+  // One slot per thread; threads never touch each other's slot, and no
+  // gtest assertions run off the main thread.
+  std::vector<Mismatch> mismatches(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::shared_ptr<Database> conn = db.CreateConnection();
+      for (int q = 0; q < kQueryCount; ++q) {
+        if (q % 25 == 0) {
+          if (q > 0 && !conn->Execute("COMMIT").ok()) return;
+          if (!conn->Execute("BEGIN").ok()) return;
+        }
+        std::string got = Canonical(conn->Execute(corpus[q]), ordered[q]);
+        if (got != oracle[q] && mismatches[t].query < 0) {
+          mismatches[t].query = q;
+          mismatches[t].got = got;
+        }
+      }
+      (void)conn->Execute("COMMIT");
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    if (mismatches[t].query < 0) continue;
+    int q = mismatches[t].query;
+    ADD_FAILURE() << "concurrent replay mismatch (seed=" << kSeed
+                  << ", thread " << t << ", query #" << q
+                  << ")\n  SQL: " << corpus[q] << "\n--- concurrent ---\n"
+                  << mismatches[t].got << "--- oracle ---\n" << oracle[q];
+  }
 }
 
 }  // namespace
