@@ -22,7 +22,8 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
     sqlflow_integration_tests sqlflow_sql_tests \
     sqlflow_sql_range_tests sqlflow_sql_fuzz_tests sqlflow_vec_exec_tests \
     sqlflow_chaos_tests sqlflow_introspect_tests \
-    sqlflow_mvcc_tests sqlflow_concurrency_tests pattern_matrix
+    sqlflow_mvcc_tests sqlflow_concurrency_tests \
+    sqlflow_durability_tests pattern_matrix
   ./build-asan/tests/sqlflow_obs_tests
   ./build-asan/tests/sqlflow_integration_tests
   # The optimizer differential battery (index/hash-join/plan-cache paths
@@ -65,13 +66,19 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # lifetime first; the TSan section below covers the data races.
   ./build-asan/tests/sqlflow_mvcc_tests
   ./build-asan/tests/sqlflow_concurrency_tests
+  # Crash-recovery sweep: WAL replay, torn-tail truncation, snapshot
+  # load, and workflow rehydration all re-read bytes the previous
+  # incarnation wrote — the five-seed kill-at-LSN matrices live inside
+  # the suite, so the whole durability battery runs sanitized.
+  ./build-asan/tests/sqlflow_durability_tests
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   echo "== TSan: sanitized build + mvcc/conc/chaos/fuzz suites =="
   cmake -B build-tsan -S . -DSQLFLOW_SANITIZE=thread
   cmake --build build-tsan -j --target sqlflow_mvcc_tests \
-    sqlflow_concurrency_tests sqlflow_chaos_tests sqlflow_sql_fuzz_tests
+    sqlflow_concurrency_tests sqlflow_chaos_tests sqlflow_sql_fuzz_tests \
+    sqlflow_durability_tests
   # The free-running worker pool and the concurrent fuzz replay are the
   # genuinely racy schedules; mvcc + chaos pin the lock discipline of
   # the statement latch, version stash, and fault injector.
@@ -80,15 +87,21 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   ./build-tsan/tests/sqlflow_chaos_tests
   ./build-tsan/tests/sqlflow_sql_fuzz_tests \
     --gtest_filter='SqlFuzzTest.ConcurrentReplayMatchesSingleThreadedOracle'
+  # Durability under TSan: group commit batches appends from concurrent
+  # connections behind the WAL mutex, and the cross-connection fuzz
+  # replay (above) plus the journal/resume paths share that lock with
+  # the statement latch — run the suite to pin the discipline.
+  ./build-tsan/tests/sqlflow_durability_tests
 fi
 
-echo "== bench smoke: sql plans + range + exec + chaos + introspect + conc =="
+echo "== bench smoke: sql plans + range + exec + chaos + introspect + conc + dur =="
 ./build/bench/bench_sql_plans --quick > /dev/null
 ./build/bench/bench_sql_range --quick > /dev/null
 ./build/bench/bench_sql_exec --quick > /dev/null
 ./build/bench/bench_chaos --quick > /dev/null
 ./build/bench/bench_introspect --quick > /dev/null
 ./build/bench/bench_concurrency --quick > /dev/null
+./build/bench/bench_durability --quick > /dev/null
 
 echo "== chaos smoke: Table II invariant under seed 1 =="
 ./build/examples/pattern_matrix --chaos=1 > /dev/null

@@ -30,6 +30,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Deadlock";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
   }
   return "Unknown";
 }

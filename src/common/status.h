@@ -23,6 +23,8 @@ enum class StatusCode {
   kUnavailable,       // transient: connection lost / backend unreachable
   kDeadlock,          // transient: statement chosen as deadlock victim
   kTimeout,           // transient: statement or scope deadline expired
+  kDataLoss,          // durable log corrupt/unwritable; NOT transient —
+                      // replaying against a dead WAL cannot succeed
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -80,6 +82,9 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

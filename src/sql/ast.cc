@@ -61,11 +61,27 @@ const char* BinaryOpName(BinaryOp op) {
 Expr::Expr() = default;
 Expr::~Expr() = default;
 
+namespace {
+
+/// SQL string literal with embedded quotes doubled, so the rendering
+/// re-parses (the lexer understands '' escapes).
+std::string QuoteSqlString(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') out += "''";
+    else out += c;
+  }
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
 std::string Expr::ToString() const {
   switch (kind) {
     case ExprKind::kLiteral:
       return literal.type() == ValueType::kString
-                 ? "'" + literal.str() + "'"
+                 ? QuoteSqlString(literal.str())
                  : literal.ToString();
     case ExprKind::kColumnRef:
       return table_qualifier.empty() ? column_name
@@ -124,11 +140,83 @@ std::string Expr::ToString() const {
       return out;
     }
     case ExprKind::kSubquery:
-      return "(SELECT ...)";
+      return subquery != nullptr ? "(" + SelectToString(*subquery) + ")"
+                                 : "(SELECT ...)";
     case ExprKind::kExists:
-      return "EXISTS (SELECT ...)";
+      return subquery != nullptr
+                 ? "EXISTS (" + SelectToString(*subquery) + ")"
+                 : "EXISTS (SELECT ...)";
   }
   return "?";
+}
+
+std::string SelectToString(const SelectStatement& s) {
+  std::string out = "SELECT ";
+  if (s.distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < s.items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = s.items[i];
+    if (item.star) {
+      out += item.star_qualifier.empty() ? "*" : item.star_qualifier + ".*";
+    } else {
+      out += item.expr->ToString();
+      if (!item.alias.empty()) out += " AS " + item.alias;
+    }
+  }
+  if (!s.from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < s.from.size(); ++i) {
+      const TableRef& ref = s.from[i];
+      if (i > 0) {
+        switch (ref.join_type) {
+          case JoinType::kCross:
+            out += ", ";
+            break;
+          case JoinType::kInner:
+            out += " JOIN ";
+            break;
+          case JoinType::kLeftOuter:
+            out += " LEFT JOIN ";
+            break;
+        }
+      }
+      if (ref.derived != nullptr) {
+        out += "(" + SelectToString(*ref.derived) + ") AS " + ref.alias;
+      } else {
+        out += ref.table_name;
+        if (!ref.alias.empty() && ref.alias != ref.table_name) {
+          out += " AS " + ref.alias;
+        }
+      }
+      if (i > 0 && ref.join_condition != nullptr) {
+        out += " ON " + ref.join_condition->ToString();
+      }
+    }
+  }
+  if (s.where != nullptr) out += " WHERE " + s.where->ToString();
+  if (!s.group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < s.group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += s.group_by[i]->ToString();
+    }
+  }
+  if (s.having != nullptr) out += " HAVING " + s.having->ToString();
+  if (!s.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < s.order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += s.order_by[i].expr->ToString();
+      if (s.order_by[i].descending) out += " DESC";
+    }
+  }
+  if (s.limit.has_value()) out += " LIMIT " + std::to_string(*s.limit);
+  if (s.offset.has_value()) out += " OFFSET " + std::to_string(*s.offset);
+  if (s.union_next != nullptr) {
+    out += s.union_all ? " UNION ALL " : " UNION ";
+    out += SelectToString(*s.union_next);
+  }
+  return out;
 }
 
 ExprPtr MakeLiteral(Value v) {

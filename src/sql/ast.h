@@ -170,6 +170,11 @@ struct SelectStatement {
 /// Deep copy of a SELECT tree (used by CloneExpr for subqueries).
 std::unique_ptr<SelectStatement> CloneSelect(const SelectStatement& s);
 
+/// Renders a SELECT tree back to parseable SQL (canonical casing,
+/// parenthesized expressions). Round-trips through the parser: the WAL
+/// uses it to persist view definitions as re-executable DDL text.
+std::string SelectToString(const SelectStatement& s);
+
 struct InsertStatement {
   std::string table_name;
   std::vector<std::string> columns;         // empty ⇒ schema order

@@ -1,0 +1,54 @@
+#ifndef SQLFLOW_SQL_CHECKPOINT_H_
+#define SQLFLOW_SQL_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "sql/wal.h"
+
+namespace sqlflow::sql {
+
+class Database;
+
+/// What a snapshot file carries besides SQL state: the LSN to resume
+/// tail replay from, and the dehydrated workflow journal of every
+/// instance whose kWf* records predate the snapshot.
+struct SnapshotData {
+  uint64_t snapshot_lsn = 0;
+  std::map<uint64_t, WfInstanceLog> wf_state;
+};
+
+/// Serializes the committed logical state of `db` — catalog objects as
+/// re-executable DDL text, per-table committed rows with their row ids,
+/// sequence positions, and the workflow journal — into `dir`/snapshot.bin
+/// at `snapshot_lsn`. Written to a temp file and renamed, so a crash
+/// mid-checkpoint leaves the previous snapshot intact. The file ends in
+/// a CRC32 over everything before it; a torn or corrupt snapshot is
+/// detected at load time, not trusted. Caller must ensure no statement
+/// is concurrently mutating (Database::Checkpoint holds the exclusive
+/// statement latch around this).
+Status WriteSnapshot(Database& db, const std::string& dir,
+                     uint64_t snapshot_lsn,
+                     const std::map<uint64_t, WfInstanceLog>& wf_state);
+
+/// Loads `dir`/snapshot.bin into the freshly constructed, empty `db`:
+/// re-executes the DDL, replays row images preserving row ids, restores
+/// sequence positions. Returns snapshot_lsn == 0 (and an untouched `db`)
+/// when no snapshot file exists — recovery then replays the whole log.
+Result<SnapshotData> LoadSnapshot(Database& db, const std::string& dir);
+
+/// Canonical dump of a database's *logical* state: schemas, unique
+/// constraints, secondary indexes, catalog index metadata, sequences,
+/// views, and committed rows sorted by serialized content (row ids and
+/// slot order are physical artifacts — aborted statements burn ids, so
+/// two behaviorally identical histories may number rows differently).
+/// Byte-equal dumps ⇔ SQL-indistinguishable databases; the chaos
+/// differential compares recovered state against an uncrashed oracle
+/// with this.
+std::string CanonicalStateDump(Database& db);
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_CHECKPOINT_H_

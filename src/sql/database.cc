@@ -1,13 +1,16 @@
 #include "sql/database.h"
 
 #include <algorithm>
+#include <set>
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sql/checkpoint.h"
 #include "sql/executor.h"
 #include "sql/fault.h"
 #include "sql/parser.h"
+#include "sql/schema.h"
 #include "sql/table.h"
 
 namespace sqlflow::sql {
@@ -116,12 +119,11 @@ bool IsReplaySafeStatement(const Statement& stmt) {
       return true;
     }
     case StatementKind::kUpdate:
-      // Only the *written* values matter: a WHERE that reads state is
-      // fine (the rollback restored what it matched against), but a SET
-      // like `x = x + 1` would re-apply on top of observed state.
-      for (const auto& [column, value] : stmt.update->assignments) {
-        if (value != nullptr && ExprReadsState(*value)) return false;
-      }
+      // Replay-exact even for self-reading assignments: the executor
+      // pre-binds every written value against pre-statement state
+      // before the first mutation, so after a mid-statement rollback a
+      // replay of `x = x + 1` recomputes the same values it was about
+      // to write.
       return true;
     case StatementKind::kCall:
       return false;  // opaque body — cannot prove replay exactness
@@ -240,7 +242,11 @@ Database::Database(std::shared_ptr<SharedState> shared, bool optimizer_on,
                    bool batch_on)
     : shared_(std::move(shared)),
       optimizer_enabled_(optimizer_on),
-      batch_enabled_(batch_on) {}
+      batch_enabled_(batch_on) {
+  // Durable databases build redo records from undo post-images, so
+  // every connection's undo log must capture them.
+  if (shared_->wal != nullptr) undo_log_.set_capture_rows(true);
+}
 
 Database::~Database() {
   // A connection destroyed with a transaction still open aborts it, so
@@ -378,7 +384,9 @@ void Database::FinishStatementScope() {
 
 void Database::set_capture_effects(bool on) {
   capture_effects_ = on;
-  undo_log_.set_capture_rows(on);
+  // Post-image capture stays on regardless while the WAL is armed —
+  // redo records are built from the post-images at commit time.
+  undo_log_.set_capture_rows(on || shared_->wal != nullptr);
 }
 
 std::vector<UndoEntry> Database::TakeCapturedEffects() {
@@ -472,6 +480,22 @@ Result<ResultSet> Database::RunWithRecovery(const Statement& stmt,
       if (attempt > 1) {
         metrics.GetCounter("sql.fault.absorbed").Increment();
       }
+      // Durability point for autocommit: the statement's redo batch must
+      // be on disk before its effects commit. An append failure —
+      // including an injected crash — unwinds the statement as if it
+      // never ran and surfaces the (non-transient) kDataLoss.
+      if (shared_->wal != nullptr && statement_depth_ == 0 &&
+          !in_transaction_ &&
+          (!undo_log_.empty() || !wal_attachments_.empty())) {
+        Status wal_status = AppendWalCommitBatch();
+        if (!wal_status.ok()) {
+          if (!undo_log_.empty() && undo_log_.RollbackTo(0, this)) {
+            BumpSchemaEpoch();
+          }
+          if (wrap_txn && txn_active_ && txn_implicit_) AbortMvccTxn();
+          return wal_status;
+        }
+      }
       // The statement may itself have upgraded the implicit transaction
       // to an explicit one (a CALL body issuing BEGIN) — then it stays
       // open; otherwise the implicit wrapper commits here.
@@ -498,6 +522,10 @@ Result<ResultSet> Database::RunWithRecovery(const Statement& stmt,
     if (wrap_txn && txn_active_ && txn_implicit_) {
       AbortMvccTxn();
     }
+    // Attachments queued by the failed statement must not ride a later
+    // commit (inside a transaction they belong to the whole txn scope
+    // and survive until COMMIT or ROLLBACK decides).
+    if (!in_transaction_) wal_attachments_.clear();
     if (!result.status().IsTransient() || attempt >= max_attempts) {
       return result;
     }
@@ -786,6 +814,22 @@ Status Database::Commit() {
   if (!in_transaction_) {
     return Status::ExecutionError("no open transaction to commit");
   }
+  // Durability point: the transaction's whole redo batch (plus queued
+  // workflow attachments) goes to disk as one atomic group *before*
+  // the commit becomes visible. Append failure — including an injected
+  // crash — turns this COMMIT into a rollback.
+  if (shared_->wal != nullptr &&
+      (!undo_log_.empty() || !wal_attachments_.empty())) {
+    Status wal_status = AppendWalCommitBatch();
+    if (!wal_status.ok()) {
+      in_transaction_ = false;  // raw undo replay must not re-log
+      undo_log_.RollbackInto(this);
+      if (txn_active_) AbortMvccTxn();
+      shared_->stats.transactions_rolled_back++;
+      BumpSchemaEpoch();
+      return wal_status;
+    }
+  }
   in_transaction_ = false;
   // A committed transaction's effects are durable — harvest them for
   // inverse compensation when capturing, exactly like an autocommit
@@ -807,6 +851,7 @@ Status Database::Rollback() {
   }
   in_transaction_ = false;  // raw undo replay must not re-log
   undo_log_.RollbackInto(this);
+  wal_attachments_.clear();  // the scope they rode died with the txn
   if (txn_active_) AbortMvccTxn();
   shared_->stats.transactions_rolled_back++;
   // Rollback may have undone DDL; force memoized plans to revalidate.
@@ -847,6 +892,330 @@ std::vector<std::string> Database::ProcedureNames() const {
     names.push_back(proc.name);
   }
   return names;
+}
+
+// --- durability (WAL + snapshots) ------------------------------------------
+
+Status Database::EnableDurability(const std::string& dir,
+                                  WalOptions options) {
+  if (shared_->wal != nullptr) {
+    return Status::ExecutionError("durability already enabled on '" +
+                                  shared_->name + "'");
+  }
+  if (in_transaction_ || statement_depth_ > 0) {
+    return Status::ExecutionError(
+        "cannot enable durability inside an open transaction/statement");
+  }
+  SQLFLOW_ASSIGN_OR_RETURN(std::unique_ptr<WalManager> manager,
+                           WalManager::Open(dir, options));
+  // Recovery: snapshot first, then the committed tail past it. The WAL
+  // is not installed yet, so replayed statements do not re-log.
+  SQLFLOW_ASSIGN_OR_RETURN(SnapshotData snap, LoadSnapshot(*this, dir));
+  for (auto& [id, log] : snap.wf_state) {
+    manager->SeedWfInstance(id, std::move(log));
+  }
+  manager->set_snapshot_lsn(snap.snapshot_lsn);
+  WalManager* raw = manager.get();
+  uint64_t committed_end = snap.snapshot_lsn;
+  SQLFLOW_RETURN_IF_ERROR(WalManager::ReplayLog(
+      raw->log_path(), snap.snapshot_lsn,
+      [this, raw](const std::vector<WalRecord>& batch) {
+        return ApplyWalBatch(batch, raw);
+      },
+      &committed_end));
+  // Drop the torn tail (and any complete-but-uncommitted records before
+  // it) so the batches this incarnation appends land at the committed
+  // end — otherwise a later kCommit would sweep the orphans into its
+  // batch on the next recovery.
+  if (committed_end < raw->current_lsn()) {
+    SQLFLOW_RETURN_IF_ERROR(raw->TruncateTo(committed_end));
+  }
+  shared_->wal = std::move(manager);
+  // From here on every mutation's post-image feeds redo records.
+  undo_log_.set_capture_rows(true);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> Database::Recover(const std::string& name,
+                                                    const std::string& dir,
+                                                    WalOptions options) {
+  auto db = std::make_unique<Database>(name);
+  SQLFLOW_RETURN_IF_ERROR(db->EnableDurability(dir, options));
+  return db;
+}
+
+Status Database::Checkpoint() {
+  if (shared_->wal == nullptr) {
+    return Status::ExecutionError("durability is not enabled on '" +
+                                  shared_->name + "'");
+  }
+  return WithExclusiveStatementLatch([this]() {
+    const uint64_t lsn = shared_->wal->current_lsn();
+    SQLFLOW_RETURN_IF_ERROR(WriteSnapshot(*this, shared_->wal->dir(), lsn,
+                                          shared_->wal->WfState()));
+    shared_->wal->set_snapshot_lsn(lsn);
+    return Status::OK();
+  });
+}
+
+Status Database::AddWalAttachment(std::string payload) {
+  if (shared_->wal == nullptr) return Status::OK();
+  if (in_transaction_ || statement_depth_ > 0) {
+    wal_attachments_.push_back(std::move(payload));
+    return Status::OK();
+  }
+  // Between statements: the record forms its own committed batch.
+  FaultInjector* injector = shared_->fault_injector != nullptr
+                                ? shared_->fault_injector.get()
+                                : GlobalFaultInjectorRef().get();
+  shared_->wal->SetFaultInjector(injector, shared_->name);
+  return shared_->wal->Append(payload);
+}
+
+Status Database::AppendWalCommitBatch() {
+  std::vector<std::string> payloads = BuildWalPayloadsFromUndo();
+  for (std::string& a : wal_attachments_) payloads.push_back(std::move(a));
+  wal_attachments_.clear();
+  if (payloads.empty()) return Status::OK();
+  FaultInjector* injector = shared_->fault_injector != nullptr
+                                ? shared_->fault_injector.get()
+                                : GlobalFaultInjectorRef().get();
+  shared_->wal->SetFaultInjector(injector, shared_->name);
+  return shared_->wal->AppendCommit(payloads);
+}
+
+std::vector<std::string> Database::BuildWalPayloadsFromUndo() {
+  const std::vector<UndoEntry>& entries = undo_log_.entries();
+  Catalog& catalog = shared_->catalog;
+
+  // Pre-pass: a DROP wipes everything earlier in the scope for that
+  // name. If the object was also *created* in this scope, the drop
+  // itself vanishes too — neither side survives the commit, and redo
+  // for DML on the phantom object would replay against nothing.
+  std::vector<char> elide(entries.size(), 0);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const UndoEntry& d = entries[i];
+    UndoEntry::Kind create_kind;
+    std::function<bool(const UndoEntry&)> wiped;
+    switch (d.kind) {
+      case UndoEntry::Kind::kDropTable:
+        create_kind = UndoEntry::Kind::kCreateTable;
+        wiped = [&d](const UndoEntry& e) {
+          switch (e.kind) {
+            case UndoEntry::Kind::kInsert:
+            case UndoEntry::Kind::kUpdate:
+            case UndoEntry::Kind::kDelete:
+            case UndoEntry::Kind::kTruncate:
+            case UndoEntry::Kind::kCreateTable:
+              return EqualsIgnoreCase(e.table_name, d.table_name);
+            case UndoEntry::Kind::kCreateIndex:
+              return EqualsIgnoreCase(e.index_table, d.table_name);
+            default:
+              return false;
+          }
+        };
+        break;
+      case UndoEntry::Kind::kDropSequence:
+        create_kind = UndoEntry::Kind::kCreateSequence;
+        wiped = [&d](const UndoEntry& e) {
+          return (e.kind == UndoEntry::Kind::kCreateSequence ||
+                  e.kind == UndoEntry::Kind::kSequenceAdvance) &&
+                 EqualsIgnoreCase(e.table_name, d.table_name);
+        };
+        break;
+      case UndoEntry::Kind::kDropView:
+        create_kind = UndoEntry::Kind::kCreateView;
+        wiped = [&d](const UndoEntry& e) {
+          return e.kind == UndoEntry::Kind::kCreateView &&
+                 EqualsIgnoreCase(e.table_name, d.table_name);
+        };
+        break;
+      case UndoEntry::Kind::kDropIndex:
+        create_kind = UndoEntry::Kind::kCreateIndex;
+        wiped = [&d](const UndoEntry& e) {
+          return e.kind == UndoEntry::Kind::kCreateIndex &&
+                 EqualsIgnoreCase(e.table_name, d.table_name);
+        };
+        break;
+      default:
+        continue;
+    }
+    bool born_here = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (elide[j] || !wiped(entries[j])) continue;
+      if (entries[j].kind == create_kind) born_here = true;
+      elide[j] = 1;
+    }
+    if (born_here) elide[i] = 1;
+  }
+
+  std::vector<std::string> payloads;
+  // Repeated NEXTVALs on one sequence collapse to a single kSeqSet: at
+  // build time the catalog already holds the final position.
+  std::set<std::string> seq_emitted;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (elide[i]) continue;
+    const UndoEntry& e = entries[i];
+    switch (e.kind) {
+      case UndoEntry::Kind::kInsert:
+        payloads.push_back(
+            WalInsertRecord(e.table_name, e.row_id, e.new_row));
+        break;
+      case UndoEntry::Kind::kUpdate:
+        payloads.push_back(
+            WalUpdateRecord(e.table_name, e.row_id, e.new_row));
+        break;
+      case UndoEntry::Kind::kDelete:
+        payloads.push_back(WalDeleteRecord(e.table_name, e.row_id));
+        break;
+      case UndoEntry::Kind::kTruncate:
+        payloads.push_back(WalTruncateRecord(e.table_name));
+        break;
+      case UndoEntry::Kind::kCreateTable: {
+        const Table* table = catalog.FindTable(e.table_name);
+        if (table != nullptr) {
+          payloads.push_back(WalDdlRecord(CreateTableSql(table->schema())));
+        }
+        break;
+      }
+      case UndoEntry::Kind::kDropTable:
+        payloads.push_back(WalDdlRecord("DROP TABLE " + e.table_name));
+        break;
+      case UndoEntry::Kind::kCreateSequence: {
+        const Sequence* seq = catalog.FindSequence(e.table_name);
+        if (seq != nullptr) {
+          payloads.push_back(
+              WalDdlRecord("CREATE SEQUENCE " + seq->name + " START WITH " +
+                           std::to_string(seq->start_with)));
+        }
+        break;
+      }
+      case UndoEntry::Kind::kDropSequence:
+        payloads.push_back(WalDdlRecord("DROP SEQUENCE " + e.table_name));
+        break;
+      case UndoEntry::Kind::kSequenceAdvance: {
+        if (!seq_emitted.insert(ToUpperAscii(e.table_name)).second) break;
+        const Sequence* seq = catalog.FindSequence(e.table_name);
+        if (seq != nullptr) {
+          payloads.push_back(WalSeqSetRecord(seq->name, seq->next_value));
+        }
+        break;
+      }
+      case UndoEntry::Kind::kCreateIndex: {
+        const IndexInfo* info = catalog.FindIndex(e.table_name);
+        if (info != nullptr) {
+          std::string stmt =
+              info->unique ? "CREATE UNIQUE INDEX " : "CREATE INDEX ";
+          stmt += info->name + " ON " + info->table_name + " (";
+          for (size_t c = 0; c < info->columns.size(); ++c) {
+            if (c > 0) stmt += ", ";
+            stmt += info->columns[c];
+          }
+          stmt += ")";
+          payloads.push_back(WalDdlRecord(stmt));
+        }
+        break;
+      }
+      case UndoEntry::Kind::kDropIndex:
+        payloads.push_back(WalDdlRecord("DROP INDEX " + e.table_name));
+        break;
+      case UndoEntry::Kind::kCreateView: {
+        const SelectStatement* view = catalog.FindView(e.table_name);
+        if (view != nullptr) {
+          payloads.push_back(WalDdlRecord("CREATE VIEW " + e.table_name +
+                                          " AS " + SelectToString(*view)));
+        }
+        break;
+      }
+      case UndoEntry::Kind::kDropView:
+        payloads.push_back(WalDdlRecord("DROP VIEW " + e.table_name));
+        break;
+    }
+  }
+  return payloads;
+}
+
+Status Database::ApplyWalBatch(const std::vector<WalRecord>& batch,
+                               WalManager* manager) {
+  for (const WalRecord& rec : batch) {
+    WalReader r(rec.payload);
+    switch (rec.type) {
+      case WalRecordType::kInsert: {
+        SQLFLOW_ASSIGN_OR_RETURN(std::string table_name, r.Str());
+        SQLFLOW_ASSIGN_OR_RETURN(uint64_t row_id, r.U64());
+        SQLFLOW_ASSIGN_OR_RETURN(Row row, r.RowField());
+        Table* table = shared_->catalog.FindTable(table_name);
+        if (table == nullptr) {
+          return Status::DataLoss("wal replays INSERT into unknown table " +
+                                  table_name);
+        }
+        table->ReplayInsert(std::move(row), row_id);
+        break;
+      }
+      case WalRecordType::kUpdate: {
+        SQLFLOW_ASSIGN_OR_RETURN(std::string table_name, r.Str());
+        SQLFLOW_ASSIGN_OR_RETURN(uint64_t row_id, r.U64());
+        SQLFLOW_ASSIGN_OR_RETURN(Row row, r.RowField());
+        Table* table = shared_->catalog.FindTable(table_name);
+        if (table == nullptr) {
+          return Status::DataLoss("wal replays UPDATE of unknown table " +
+                                  table_name);
+        }
+        SQLFLOW_RETURN_IF_ERROR(table->ReplayUpdate(row_id, std::move(row)));
+        break;
+      }
+      case WalRecordType::kDelete: {
+        SQLFLOW_ASSIGN_OR_RETURN(std::string table_name, r.Str());
+        SQLFLOW_ASSIGN_OR_RETURN(uint64_t row_id, r.U64());
+        Table* table = shared_->catalog.FindTable(table_name);
+        if (table == nullptr) {
+          return Status::DataLoss("wal replays DELETE from unknown table " +
+                                  table_name);
+        }
+        SQLFLOW_RETURN_IF_ERROR(table->ReplayDelete(row_id));
+        break;
+      }
+      case WalRecordType::kTruncate: {
+        SQLFLOW_ASSIGN_OR_RETURN(std::string table_name, r.Str());
+        Table* table = shared_->catalog.FindTable(table_name);
+        if (table == nullptr) {
+          return Status::DataLoss("wal replays TRUNCATE of unknown table " +
+                                  table_name);
+        }
+        table->Clear(nullptr);
+        break;
+      }
+      case WalRecordType::kDdl: {
+        SQLFLOW_ASSIGN_OR_RETURN(std::string sql, r.Str());
+        auto result = Execute(sql);
+        if (!result.ok()) {
+          return Status::DataLoss("wal DDL replay failed: [" + sql + "]: " +
+                                  result.status().ToString());
+        }
+        break;
+      }
+      case WalRecordType::kSeqSet: {
+        SQLFLOW_ASSIGN_OR_RETURN(std::string name, r.Str());
+        SQLFLOW_ASSIGN_OR_RETURN(uint64_t next_value, r.U64());
+        Sequence* seq = shared_->catalog.FindSequence(name);
+        if (seq == nullptr) {
+          return Status::DataLoss("wal replays advance of unknown sequence " +
+                                  name);
+        }
+        seq->next_value = static_cast<int64_t>(next_value);
+        break;
+      }
+      case WalRecordType::kWfStart:
+      case WalRecordType::kWfStep:
+      case WalRecordType::kWfAttempt:
+      case WalRecordType::kWfEnd:
+        manager->NoteReplayedRecord(rec);
+        break;
+      case WalRecordType::kCommit:
+        break;  // batch terminator; ReplayLog does not deliver these
+    }
+  }
+  return Status::OK();
 }
 
 Result<Value> EvalNextval(Database* db, const std::string& sequence_name) {

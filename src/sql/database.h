@@ -19,6 +19,7 @@
 #include "sql/planner.h"
 #include "sql/result_set.h"
 #include "sql/transaction.h"
+#include "sql/wal.h"
 
 namespace sqlflow::sql {
 
@@ -46,9 +47,11 @@ struct RetryPolicy {
 /// state was externally observable between rows. Safe: statements whose
 /// written values are replay-exact — literal VALUES inserts (including
 /// NEXTVAL: sequence advances are undo-logged and restored, so the
-/// replay draws the same numbers), DELETE, DDL, SELECT. Unsafe:
-/// statements that derive written values from data they read back —
-/// `UPDATE x = x + 1`, INSERT from a subquery or SELECT, CALL (opaque
+/// replay draws the same numbers), UPDATE (the executor pre-binds all
+/// written values against pre-statement state, so even `x = x + 1`
+/// recomputes identically after the rollback), DELETE, DDL, SELECT.
+/// Unsafe: statements that derive written values from data they read
+/// back row-by-row — INSERT from a subquery or SELECT, CALL (opaque
 /// body). Inside an explicit transaction the question is moot (nothing
 /// was visible), so the executor replays regardless.
 bool IsReplaySafeStatement(const Statement& stmt);
@@ -355,6 +358,34 @@ class Database {
   /// chaos harness arms this before fixtures are built).
   static void SetRetryPolicyDefault(RetryPolicy policy);
 
+  // --- durability (WAL + snapshots) ------------------------------------------
+  /// Arms write-ahead logging on this database. If `dir` already holds
+  /// a snapshot and/or log from a previous incarnation, that state is
+  /// recovered *first* — snapshot load, then committed-batch tail
+  /// replay — into this (necessarily fresh) database; only then does
+  /// logging begin. After this returns OK, every committed effect (an
+  /// autocommit statement or an explicit transaction) is appended as
+  /// one atomic CRC-checked batch *before* it becomes visible: a WAL
+  /// append failure aborts the commit.
+  Status EnableDurability(const std::string& dir, WalOptions options = {});
+  /// Recovery as a factory: constructs a fresh database named `name`
+  /// and rehydrates it from `dir` via EnableDurability.
+  static Result<std::unique_ptr<Database>> Recover(const std::string& name,
+                                                   const std::string& dir,
+                                                   WalOptions options = {});
+  /// Writes a snapshot of the committed state at the current LSN (under
+  /// the exclusive statement latch); later recoveries load it and
+  /// replay only the log tail past it.
+  Status Checkpoint();
+  /// The WAL manager, or nullptr while durability is off.
+  WalManager* wal() const { return shared_->wal.get(); }
+  /// Queues an opaque payload (the workflow layer's dehydration
+  /// records) onto the commit batch currently forming: inside an open
+  /// transaction or statement it rides that scope's atomic batch;
+  /// between statements it is appended immediately as its own
+  /// committed batch. No-op (OK) while durability is off.
+  Status AddWalAttachment(std::string payload);
+
  private:
   /// Everything one logical database's connections have in common. The
   /// originating Database and every CreateConnection() product hold a
@@ -376,6 +407,10 @@ class Database {
     std::atomic<uint64_t> schema_epoch{0};
     std::shared_ptr<FaultInjector> fault_injector;
     RetryPolicy retry_policy;
+    /// Non-null once EnableDurability has run: the append-only redo log
+    /// shared by every connection (appends serialize internally; the
+    /// exclusive statement latch already orders mutating commits).
+    std::unique_ptr<WalManager> wal;
   };
 
   /// RAII over the shared statement latch (defined in database.cc;
@@ -429,6 +464,22 @@ class Database {
   /// stray pending metadata/stash entries off touched tables (the undo
   /// log has already restored row data).
   void AbortMvccTxn();
+  /// Builds the redo batch for the finishing commit scope from the live
+  /// undo entries plus queued attachments and appends it to the WAL as
+  /// one atomic group. Must run while the entries are still in
+  /// `undo_log_` (post-images intact) and *before* the effects commit;
+  /// on failure the caller rolls the scope back and surfaces the
+  /// (non-transient) status.
+  Status AppendWalCommitBatch();
+  /// Maps undo entries to redo payloads. DDL is re-unparsed from the
+  /// live catalog at build time; objects created *and* dropped within
+  /// the same scope — and any DML touching them — are elided, since
+  /// neither side survives the commit.
+  std::vector<std::string> BuildWalPayloadsFromUndo();
+  /// Applies one replayed committed batch during recovery (WAL not yet
+  /// armed, so nothing re-logs).
+  Status ApplyWalBatch(const std::vector<WalRecord>& batch,
+                       WalManager* manager);
 
   static constexpr size_t kDefaultPlanCacheCapacity = 64;
 
@@ -452,6 +503,9 @@ class Database {
   std::string mid_site_prefix_;
   bool capture_effects_ = false;
   std::vector<UndoEntry> captured_effects_;
+  /// Durable payloads queued by AddWalAttachment to ride the next
+  /// commit batch from this connection; cleared on rollback.
+  std::vector<std::string> wal_attachments_;
   struct ExecProfile* exec_profile_ = nullptr;
   int view_expansion_depth_ = 0;
 

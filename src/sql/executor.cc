@@ -1314,7 +1314,14 @@ Result<ResultSet> Executor::ExecuteUpdate(const UpdateStatement& upd,
     db_->MutableStats()->rows_read += table->row_count();
   }
 
-  size_t mutated = 0;
+  // Pre-bind every written value before the first mutation: all
+  // assignment expressions evaluate against pre-statement state, so a
+  // self-reading SET (`x = x + 1`) never observes this statement's own
+  // partial writes — and a replay after a mid-statement rollback
+  // recomputes identical values, which is what lets
+  // IsReplaySafeStatement accept UPDATE unconditionally.
+  std::vector<Row> updated_rows;
+  updated_rows.reserve(matches.size());
   for (size_t idx : matches) {
     current = table->rows()[idx];
     Row updated = current;
@@ -1322,8 +1329,12 @@ Result<ResultSet> Executor::ExecuteUpdate(const UpdateStatement& upd,
       SQLFLOW_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr, ctx));
       updated[col_idx] = std::move(v);
     }
-    SQLFLOW_RETURN_IF_ERROR(
-        table->Update(idx, updated, db_->active_undo()));
+    updated_rows.push_back(std::move(updated));
+  }
+  size_t mutated = 0;
+  for (size_t k = 0; k < matches.size(); ++k) {
+    SQLFLOW_RETURN_IF_ERROR(table->Update(matches[k], updated_rows[k],
+                                          db_->active_undo()));
     // Mid-statement fault site: "after N rows mutated".
     SQLFLOW_RETURN_IF_ERROR(db_->ConsultMidStatementFault(
         "row " + std::to_string(++mutated)));

@@ -68,6 +68,10 @@ std::optional<Status> FaultInjector::MaybeFault(const FaultSite& site) {
     case FaultLayer::kService:
       if (!options_.service_sites) return std::nullopt;
       break;
+    case FaultLayer::kCrash:
+      // Crash sites never yield a Status fault — they go through
+      // MaybeCrash, which returns a torn-byte count instead.
+      return std::nullopt;
   }
   // Serialize the draw-and-count path: one shared injector may be hit
   // from every worker at once, and a torn rng draw would break seed
@@ -125,16 +129,62 @@ std::optional<Status> FaultInjector::MaybeFault(const FaultSite& site) {
                 FaultMessage(code, site, stats_.faults_injected));
 }
 
+std::optional<uint64_t> FaultInjector::MaybeCrash(const FaultSite& site,
+                                                  uint64_t batch_bytes) {
+  // Mirrors MaybeFault's gating exactly, so crash schedules are
+  // seed-deterministic and a disabled crash layer leaves the other
+  // layers' schedules untouched.
+  if (!options_.crash_sites) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.statements_seen++;
+  if (!options_.database_filter.empty() &&
+      site.database.find(options_.database_filter) == std::string::npos) {
+    return std::nullopt;
+  }
+  if (!options_.site_filter.empty() &&
+      site.description.find(options_.site_filter) == std::string::npos) {
+    return std::nullopt;
+  }
+  stats_.sites_matched++;
+
+  if (options_.budget >= 0 &&
+      stats_.faults_injected >= static_cast<uint64_t>(options_.budget)) {
+    return std::nullopt;
+  }
+
+  bool fire = false;
+  if (stats_.faults_injected < options_.fault_first_n &&
+      stats_.sites_matched <= options_.fault_first_n) {
+    fire = true;
+  } else if (options_.probability > 0.0) {
+    double u = static_cast<double>(NextRandom() >> 11) * 0x1.0p-53;
+    fire = u < options_.probability;
+  }
+  if (!fire) return std::nullopt;
+
+  // The tear point: 0 = nothing of this batch survives, batch_bytes =
+  // the whole batch is durable but the process died right after.
+  uint64_t torn = NextRandom() % (batch_bytes + 1);
+  stats_.faults_injected++;
+  stats_.injected_crash++;
+  obs::MetricsRegistry::Global()
+      .GetCounter("wal.crash.injected")
+      .Increment();
+  return torn;
+}
+
 std::string DescribeFaultStats(const FaultInjector::Stats& stats) {
   std::ostringstream os;
   os << "injected=" << stats.faults_injected;
   for (const auto& [code, count] : stats.injected_by_code) {
     os << ' ' << StatusCodeName(code) << '=' << count;
   }
-  if (stats.injected_mid_statement > 0 || stats.injected_service > 0) {
+  if (stats.injected_mid_statement > 0 || stats.injected_service > 0 ||
+      stats.injected_crash > 0) {
     os << " by_layer[stmt=" << stats.injected_statement
        << " mid=" << stats.injected_mid_statement
-       << " svc=" << stats.injected_service << ']';
+       << " svc=" << stats.injected_service
+       << " crash=" << stats.injected_crash << ']';
   }
   os << " matched=" << stats.sites_matched
      << " seen=" << stats.statements_seen;

@@ -17,9 +17,11 @@ namespace sqlflow::sql {
 /// *before* any work happens (the PR-4 model: connection lost en route);
 /// mid-statement sites fire *between row mutations inside* a statement,
 /// leaving real partial writes for the undo log to reverse; service
-/// sites fire around `wfc::service` / adapter invocations. Each layer is
-/// enabled independently so a sweep can isolate one failure regime.
-enum class FaultLayer { kStatement, kMidStatement, kService };
+/// sites fire around `wfc::service` / adapter invocations; crash sites
+/// fire *inside a WAL commit append*, tearing the batch at a seed-chosen
+/// byte and killing the (simulated) process image. Each layer is enabled
+/// independently so a sweep can isolate one failure regime.
+enum class FaultLayer { kStatement, kMidStatement, kService, kCrash };
 
 /// Where a statement is about to run, as seen by the fault injector.
 /// `description` is "<KIND> <table> [<table>...]" (e.g. "INSERT ORDERS"),
@@ -65,6 +67,8 @@ class FaultInjector {
     bool statement_sites = true;
     bool mid_statement_sites = false;
     bool service_sites = false;
+    /// Crash layer (kill-at-LSN): consulted by WalManager::AppendCommit.
+    bool crash_sites = false;
     /// Fault kinds to rotate through (deterministically, by the same
     /// seeded stream). Defaults to the three transient kinds; tests use
     /// a single permanent kind (e.g. kExecutionError) for rollback
@@ -84,6 +88,7 @@ class FaultInjector {
     uint64_t injected_statement = 0;
     uint64_t injected_mid_statement = 0;
     uint64_t injected_service = 0;
+    uint64_t injected_crash = 0;
   };
 
   explicit FaultInjector(Options options);
@@ -94,6 +99,17 @@ class FaultInjector {
   /// `sql.fault.injected` / `sql.fault.injected.mid` /
   /// `svc.fault.injected`.
   std::optional<Status> MaybeFault(const FaultSite& site);
+
+  /// Crash-layer check, consulted by WalManager::AppendCommit with the
+  /// byte size of the batch about to be written. On a scheduled kill,
+  /// returns how many bytes of the batch reach the file before the
+  /// simulated process death — drawn uniformly from [0, batch_bytes], so
+  /// the tear can land on a record boundary, mid-record, or after the
+  /// whole batch (crash after durability). nullopt = no crash here.
+  /// Fires under the same filters/budget/probability machinery as
+  /// MaybeFault and increments `wal.crash.injected`.
+  std::optional<uint64_t> MaybeCrash(const FaultSite& site,
+                                     uint64_t batch_bytes);
 
   const Options& options() const { return options_; }
   /// Copy of the counters (a concurrent MaybeFault may be mid-update;

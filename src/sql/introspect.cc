@@ -143,6 +143,10 @@ std::vector<Row> FaultSitesRows(Database* db) {
        stats.injected_mid_statement, "sql.fault.absorbed"},
       {"service", options.service_sites, stats.injected_service,
        "svc.fault.absorbed"},
+      // A crash is never absorbed in-process: recovery happens in the
+      // next incarnation, which is what wfc.resume.* counts.
+      {"crash", options.crash_sites, stats.injected_crash,
+       "wfc.resume.instances"},
   };
   for (const LayerRow& layer : layers) {
     rows.push_back(
@@ -157,6 +161,22 @@ std::vector<Row> FaultSitesRows(Database* db) {
          Value::Integer(static_cast<int64_t>(
              metrics.GetCounter(layer.absorbed_counter).value()))});
   }
+  return rows;
+}
+
+std::vector<Row> WalRows(Database* db) {
+  std::vector<Row> rows;
+  WalManager* wal = db->wal();
+  if (wal == nullptr) return rows;  // durability off: empty table
+  const WalStats stats = wal->stats();
+  rows.push_back(
+      {Value::Integer(static_cast<int64_t>(stats.current_lsn)),
+       Value::Integer(static_cast<int64_t>(stats.snapshot_lsn)),
+       Value::Integer(static_cast<int64_t>(stats.records)),
+       Value::Integer(static_cast<int64_t>(stats.commits)),
+       Value::Integer(static_cast<int64_t>(stats.syncs)),
+       Value::String(FsyncPolicyName(stats.fsync_policy)),
+       Value::Boolean(wal->crashed())});
   return rows;
 }
 
@@ -247,6 +267,17 @@ Status RegisterSysTables(Database* db) {
                   {"COMMITTED", ValueType::kInteger},
                   {"ROLLED_BACK", ValueType::kInteger}}),
       [db] { return TransactionsRows(db); }));
+
+  SQLFLOW_RETURN_IF_ERROR(catalog.RegisterVirtualTable(
+      MakeSchema("sys.wal",
+                 {{"CURRENT_LSN", ValueType::kInteger},
+                  {"SNAPSHOT_LSN", ValueType::kInteger},
+                  {"RECORDS", ValueType::kInteger},
+                  {"COMMITS", ValueType::kInteger},
+                  {"SYNCS", ValueType::kInteger},
+                  {"FSYNC_POLICY", ValueType::kString},
+                  {"CRASHED", ValueType::kBoolean}}),
+      [db] { return WalRows(db); }));
 
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #include "sql/inverse.h"
 
 #include "sql/database.h"
+#include "sql/schema.h"
 #include "sql/table.h"
 
 namespace sqlflow::sql {
@@ -142,7 +143,48 @@ Result<std::vector<InverseStatement>> BuildInverseStatements(
         break;
       case UndoEntry::Kind::kSequenceAdvance:
         break;  // burned sequence numbers stay burned, by design
-      case UndoEntry::Kind::kDropTable:
+      case UndoEntry::Kind::kDropTable: {
+        // DROP TABLE captures everything needed to rebuild the object:
+        // schema, secondary indexes, and the committed rows. The
+        // inverse is a real DDL+DML program, so compensation can undo
+        // a flow that tore down a per-instance result table.
+        if (e.saved_schema.column_count() == 0) {
+          return Status::InvalidArgument(
+              "cannot invert DROP TABLE '" + e.table_name +
+              "': effect was captured without the saved schema "
+              "(set_capture_effects must be on during execution)");
+        }
+        program.push_back({CreateTableSql(e.saved_schema), Params()});
+        for (const IndexInfo& index : e.saved_indexes) {
+          std::string ddl = std::string("CREATE ") +
+                            (index.unique ? "UNIQUE " : "") + "INDEX " +
+                            index.name + " ON " + index.table_name +
+                            " (";
+          for (size_t i = 0; i < index.columns.size(); ++i) {
+            if (i > 0) ddl += ", ";
+            ddl += index.columns[i];
+          }
+          ddl += ')';
+          program.push_back({std::move(ddl), Params()});
+        }
+        for (const Row& row : e.saved_rows) {
+          InverseStatement inv;
+          inv.sql = "INSERT INTO " + e.saved_schema.table_name() + " (";
+          std::string placeholders;
+          for (size_t i = 0; i < e.saved_schema.column_count(); ++i) {
+            if (i > 0) {
+              inv.sql += ", ";
+              placeholders += ", ";
+            }
+            inv.sql += e.saved_schema.columns()[i].name;
+            placeholders += '?';
+            inv.params.Add(row[i]);
+          }
+          inv.sql += ") VALUES (" + placeholders + ')';
+          program.push_back(std::move(inv));
+        }
+        break;
+      }
       case UndoEntry::Kind::kDropSequence:
       case UndoEntry::Kind::kDropIndex:
       case UndoEntry::Kind::kDropView:

@@ -1,5 +1,7 @@
 #include "sql/schema.h"
 
+#include <cstdio>
+
 #include "common/string_util.h"
 
 namespace sqlflow::sql {
@@ -66,6 +68,75 @@ Result<Value> TableSchema::CoerceValue(size_t column_index,
       return value;  // untyped column accepts anything
   }
   return Status::Internal("bad column type");
+}
+
+std::string SqlLiteral(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBoolean:
+      return value.boolean() ? "TRUE" : "FALSE";
+    case ValueType::kInteger:
+      return std::to_string(value.integer());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", value.dbl());
+      std::string s = buf;
+      // Force a decimal marker so the literal re-parses as a double.
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : value.str()) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+std::string CreateTableSql(const TableSchema& schema) {
+  std::string out = "CREATE TABLE " + schema.table_name() + " (";
+  bool first = true;
+  for (const ColumnDef& col : schema.columns()) {
+    if (!first) out += ", ";
+    first = false;
+    out += col.name + " ";
+    switch (col.type) {
+      case ValueType::kInteger:
+        out += "INTEGER";
+        break;
+      case ValueType::kDouble:
+        out += "DOUBLE";
+        break;
+      case ValueType::kBoolean:
+        out += "BOOLEAN";
+        break;
+      case ValueType::kString:
+      case ValueType::kNull:
+        out += "VARCHAR";
+        break;
+    }
+    if (col.not_null && !col.primary_key) out += " NOT NULL";
+    if (col.primary_key) out += " PRIMARY KEY";
+    if (col.default_value.has_value()) {
+      out += " DEFAULT " + SqlLiteral(*col.default_value);
+    }
+  }
+  for (const std::string& check : schema.check_constraints()) {
+    out += ", CHECK (" + check + ")";
+  }
+  out += ")";
+  return out;
 }
 
 }  // namespace sqlflow::sql

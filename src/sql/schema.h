@@ -62,6 +62,16 @@ class TableSchema {
   std::vector<std::string> check_constraints_;
 };
 
+/// Renders `value` as a re-parseable SQL literal (quotes doubled inside
+/// strings, doubles at round-trip precision).
+std::string SqlLiteral(const Value& value);
+
+/// Unparses a schema back to `CREATE TABLE name (...)` DDL that
+/// reproduces it when re-executed: column types, NOT NULL, PRIMARY KEY,
+/// DEFAULTs, and table-level CHECK constraints. Used by the WAL (DDL
+/// redo records) and by DROP TABLE compensation (sql/inverse.cc).
+std::string CreateTableSql(const TableSchema& schema);
+
 }  // namespace sqlflow::sql
 
 #endif  // SQLFLOW_SQL_SCHEMA_H_

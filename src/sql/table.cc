@@ -802,6 +802,56 @@ void Table::RawRestoreAll(std::vector<Row> rows) {
   RebuildSecondaryIndexes();
 }
 
+void Table::ReplayInsert(Row row, uint64_t row_id) {
+  AddKeys(row);
+  RowMeta meta;
+  meta.row_id = row_id;
+  rows_.push_back(std::move(row));
+  meta_.push_back(meta);
+  IndexRow(rows_.back(), rows_.size() - 1);
+  if (row_id >= next_row_id_) next_row_id_ = row_id + 1;
+}
+
+Status Table::ReplayUpdate(uint64_t row_id, Row row) {
+  size_t slot = FindSlotByRowId(row_id, rows_.size());
+  if (slot >= rows_.size()) {
+    return Status::DataLoss("wal replays UPDATE of unknown row id " +
+                            std::to_string(row_id) + " in table " +
+                            schema_.table_name());
+  }
+  RawReplaceAt(slot, std::move(row));
+  return Status::OK();
+}
+
+Status Table::ReplayDelete(uint64_t row_id) {
+  size_t slot = FindSlotByRowId(row_id, rows_.size());
+  if (slot >= rows_.size()) {
+    return Status::DataLoss("wal replays DELETE of unknown row id " +
+                            std::to_string(row_id) + " in table " +
+                            schema_.table_name());
+  }
+  RawRemoveAt(slot);
+  if (row_id >= next_row_id_) next_row_id_ = row_id + 1;
+  return Status::OK();
+}
+
+std::vector<std::pair<uint64_t, Row>> Table::CommittedRowsWithIds() const {
+  std::vector<std::pair<uint64_t, Row>> out;
+  out.reserve(rows_.size());
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (meta_[i].writer == 0) out.emplace_back(meta_[i].row_id, rows_[i]);
+  }
+  for (const VersionShard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const StashedVersion& sv : shard.stash) {
+      if (sv.superseder_ts == kPendingTs) {
+        out.emplace_back(sv.row_id, sv.image);
+      }
+    }
+  }
+  return out;
+}
+
 // --- MVCC version chain -----------------------------------------------------
 
 bool Table::NeedsSnapshot(uint64_t reader_txn, uint64_t snapshot_ts) const {

@@ -211,6 +211,33 @@ class Table {
   void RawReplaceAt(size_t index, Row row);
   void RawRestoreAll(std::vector<Row> rows);
 
+  // --- WAL replay / snapshot entry points ----------------------------------
+  // Recovery-only: applied to a freshly built table outside any
+  // transaction. They bypass coercion (the effects were valid when they
+  // committed) but maintain uniqueness keys and secondary indexes, and
+  // they preserve the *logged* row id — unlike RawInsertAt, which mints
+  // a fresh one — so later log records can address the row.
+
+  void ReplayInsert(Row row, uint64_t row_id);
+  /// kDataLoss when `row_id` is not live (a log that updates or deletes
+  /// a row it never inserted is corrupt).
+  Status ReplayUpdate(uint64_t row_id, Row row);
+  Status ReplayDelete(uint64_t row_id);
+
+  /// Committed row images with their row ids — what a snapshot file
+  /// persists. Live rows pending under an in-flight transaction
+  /// contribute their committed pre-image from the version stash (rows
+  /// that transaction *inserted* have none and are skipped); if it later
+  /// commits, its WAL batch lands after the snapshot LSN and tail replay
+  /// applies it.
+  std::vector<std::pair<uint64_t, Row>> CommittedRowsWithIds() const;
+  uint64_t next_row_id() const { return next_row_id_; }
+  /// Snapshot load: restore the id counter past ids burned by aborted
+  /// statements (which never reach the log but did consume numbers).
+  void SetNextRowIdAtLeast(uint64_t id) {
+    if (id > next_row_id_) next_row_id_ = id;
+  }
+
   // --- MVCC version chain ---------------------------------------------------
 
   /// True when the live rows() vector is NOT the correct view for a

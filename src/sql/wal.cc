@@ -1,0 +1,512 @@
+#include "sql/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "sql/fault.h"
+
+namespace sqlflow::sql {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+uint32_t WalCrc32(const void* data, size_t n) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// --- primitive codec -------------------------------------------------------
+
+void WalPutU32(std::string& out, uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+void WalPutU64(std::string& out, uint64_t v) {
+  WalPutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  WalPutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void WalPutString(std::string& out, std::string_view s) {
+  WalPutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+void WalPutValue(std::string& out, const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out.push_back(0);
+      break;
+    case ValueType::kBoolean:
+      out.push_back(1);
+      out.push_back(v.boolean() ? 1 : 0);
+      break;
+    case ValueType::kInteger:
+      out.push_back(2);
+      WalPutU64(out, static_cast<uint64_t>(v.integer()));
+      break;
+    case ValueType::kDouble:
+      out.push_back(3);
+      WalPutU64(out, std::bit_cast<uint64_t>(v.dbl()));
+      break;
+    case ValueType::kString:
+      out.push_back(4);
+      WalPutString(out, v.str());
+      break;
+  }
+}
+
+void WalPutRow(std::string& out, const Row& row) {
+  WalPutU32(out, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) WalPutValue(out, v);
+}
+
+Result<uint8_t> WalReader::U8() {
+  if (remaining() < 1) return Status::DataLoss("wal payload truncated (u8)");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> WalReader::U32() {
+  if (remaining() < 4) return Status::DataLoss("wal payload truncated (u32)");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WalReader::U64() {
+  SQLFLOW_ASSIGN_OR_RETURN(uint32_t lo, U32());
+  SQLFLOW_ASSIGN_OR_RETURN(uint32_t hi, U32());
+  return (static_cast<uint64_t>(hi) << 32) | lo;
+}
+
+Result<std::string> WalReader::Str() {
+  SQLFLOW_ASSIGN_OR_RETURN(uint32_t len, U32());
+  if (remaining() < len) {
+    return Status::DataLoss("wal payload truncated (string)");
+  }
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+Result<Value> WalReader::Val() {
+  SQLFLOW_ASSIGN_OR_RETURN(uint8_t tag, U8());
+  switch (tag) {
+    case 0:
+      return Value::Null();
+    case 1: {
+      SQLFLOW_ASSIGN_OR_RETURN(uint8_t b, U8());
+      return Value::Boolean(b != 0);
+    }
+    case 2: {
+      SQLFLOW_ASSIGN_OR_RETURN(uint64_t v, U64());
+      return Value::Integer(static_cast<int64_t>(v));
+    }
+    case 3: {
+      SQLFLOW_ASSIGN_OR_RETURN(uint64_t v, U64());
+      return Value::Double(std::bit_cast<double>(v));
+    }
+    case 4: {
+      SQLFLOW_ASSIGN_OR_RETURN(std::string s, Str());
+      return Value::String(std::move(s));
+    }
+    default:
+      return Status::DataLoss("wal payload has unknown value tag " +
+                              std::to_string(tag));
+  }
+}
+
+Result<Row> WalReader::RowField() {
+  SQLFLOW_ASSIGN_OR_RETURN(uint32_t n, U32());
+  Row row;
+  row.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    SQLFLOW_ASSIGN_OR_RETURN(Value v, Val());
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+// --- payload builders ------------------------------------------------------
+
+namespace {
+std::string TaggedPayload(WalRecordType type) {
+  std::string out;
+  out.push_back(static_cast<char>(type));
+  return out;
+}
+}  // namespace
+
+std::string WalInsertRecord(std::string_view table, uint64_t row_id,
+                            const Row& row) {
+  std::string out = TaggedPayload(WalRecordType::kInsert);
+  WalPutString(out, table);
+  WalPutU64(out, row_id);
+  WalPutRow(out, row);
+  return out;
+}
+
+std::string WalUpdateRecord(std::string_view table, uint64_t row_id,
+                            const Row& row) {
+  std::string out = TaggedPayload(WalRecordType::kUpdate);
+  WalPutString(out, table);
+  WalPutU64(out, row_id);
+  WalPutRow(out, row);
+  return out;
+}
+
+std::string WalDeleteRecord(std::string_view table, uint64_t row_id) {
+  std::string out = TaggedPayload(WalRecordType::kDelete);
+  WalPutString(out, table);
+  WalPutU64(out, row_id);
+  return out;
+}
+
+std::string WalTruncateRecord(std::string_view table) {
+  std::string out = TaggedPayload(WalRecordType::kTruncate);
+  WalPutString(out, table);
+  return out;
+}
+
+std::string WalDdlRecord(std::string_view sql) {
+  std::string out = TaggedPayload(WalRecordType::kDdl);
+  WalPutString(out, sql);
+  return out;
+}
+
+std::string WalSeqSetRecord(std::string_view name, int64_t next_value) {
+  std::string out = TaggedPayload(WalRecordType::kSeqSet);
+  WalPutString(out, name);
+  WalPutU64(out, static_cast<uint64_t>(next_value));
+  return out;
+}
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNever:
+      return "never";
+    case FsyncPolicy::kEveryCommit:
+      return "every_commit";
+    case FsyncPolicy::kEveryN:
+      return "every_n";
+  }
+  return "unknown";
+}
+
+// --- WalManager ------------------------------------------------------------
+
+Result<std::unique_ptr<WalManager>> WalManager::Open(const std::string& dir,
+                                                     WalOptions options) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::DataLoss(ErrnoMessage("cannot create wal dir " + dir));
+  }
+  std::string path = dir + "/wal.log";
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::DataLoss(ErrnoMessage("cannot open wal log " + path));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::DataLoss(ErrnoMessage("cannot stat wal log " + path));
+  }
+  return std::unique_ptr<WalManager>(new WalManager(
+      dir, options, fd, static_cast<uint64_t>(st.st_size)));
+}
+
+WalManager::WalManager(std::string dir, WalOptions options, int fd,
+                       uint64_t size)
+    : dir_(std::move(dir)), options_(options), fd_(fd), lsn_(size) {}
+
+WalManager::~WalManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string WalManager::log_path() const { return dir_ + "/wal.log"; }
+
+Status WalManager::AppendCommit(const std::vector<std::string>& payloads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (crashed_) {
+    return Status::DataLoss("wal crashed at lsn " + std::to_string(lsn_) +
+                            "; recover into a fresh image");
+  }
+  // Frame every payload plus the terminating kCommit into one buffer so
+  // the batch becomes durable with a single write(2) — group commit.
+  std::string batch;
+  auto frame = [&batch](std::string_view payload) {
+    WalPutU32(batch, static_cast<uint32_t>(payload.size()));
+    WalPutU32(batch, WalCrc32(payload.data(), payload.size()));
+    batch.append(payload.data(), payload.size());
+  };
+  for (const std::string& p : payloads) frame(p);
+  std::string commit = TaggedPayload(WalRecordType::kCommit);
+  frame(commit);
+
+  size_t to_write = batch.size();
+  bool crash_now = false;
+  if (fault_injector_ != nullptr) {
+    FaultSite site{database_name_, "wal commit " + database_name_,
+                   FaultLayer::kCrash};
+    if (auto torn = fault_injector_->MaybeCrash(site, batch.size())) {
+      to_write = static_cast<size_t>(*torn);
+      crash_now = true;
+    }
+  }
+
+  size_t written = 0;
+  while (written < to_write) {
+    ssize_t n = ::write(fd_, batch.data() + written, to_write - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      crashed_ = true;
+      return Status::DataLoss(ErrnoMessage("wal write failed"));
+    }
+    written += static_cast<size_t>(n);
+  }
+
+  if (crash_now) {
+    // The torn prefix is on disk; everything after this instant is lost.
+    // Flush what made it so the recovery test reads exactly the torn
+    // image, then refuse all further work.
+    ::fsync(fd_);
+    crashed_ = true;
+    return Status::DataLoss("wal killed at lsn " +
+                            std::to_string(lsn_ + to_write) +
+                            " (simulated crash)");
+  }
+
+  lsn_ += batch.size();
+  records_ += payloads.size() + 1;
+  commits_ += 1;
+
+  bool want_sync = false;
+  switch (options_.fsync_policy) {
+    case FsyncPolicy::kNever:
+      break;
+    case FsyncPolicy::kEveryCommit:
+      want_sync = true;
+      break;
+    case FsyncPolicy::kEveryN:
+      if (++commits_since_sync_ >= options_.fsync_every_n) {
+        want_sync = true;
+        commits_since_sync_ = 0;
+      }
+      break;
+  }
+  if (want_sync) {
+    if (::fsync(fd_) != 0) {
+      crashed_ = true;
+      return Status::DataLoss(ErrnoMessage("wal fsync failed"));
+    }
+    syncs_ += 1;
+  }
+
+  for (const std::string& p : payloads) NoteWfPayloadLocked(p);
+  return Status::OK();
+}
+
+Status WalManager::Append(const std::string& payload) {
+  return AppendCommit({payload});
+}
+
+uint64_t WalManager::current_lsn() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lsn_;
+}
+
+WalStats WalManager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  WalStats s;
+  s.current_lsn = lsn_;
+  s.snapshot_lsn = snapshot_lsn_;
+  s.records = records_;
+  s.commits = commits_;
+  s.syncs = syncs_;
+  s.fsync_policy = options_.fsync_policy;
+  return s;
+}
+
+void WalManager::set_snapshot_lsn(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshot_lsn_ = lsn;
+}
+
+uint64_t WalManager::snapshot_lsn() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshot_lsn_;
+}
+
+bool WalManager::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+void WalManager::SetFaultInjector(FaultInjector* injector,
+                                  std::string database_name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_injector_ = injector;
+  database_name_ = std::move(database_name);
+}
+
+Status WalManager::TruncateTo(uint64_t lsn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (lsn > lsn_) {
+    return Status::InvalidArgument(
+        "cannot truncate wal forward: " + std::to_string(lsn) + " > " +
+        std::to_string(lsn_));
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(lsn)) != 0) {
+    return Status::DataLoss(ErrnoMessage("wal truncate failed"));
+  }
+  lsn_ = lsn;
+  return Status::OK();
+}
+
+Status WalManager::ReplayLog(
+    const std::string& path, uint64_t from_lsn,
+    const std::function<Status(const std::vector<WalRecord>&)>& apply,
+    uint64_t* committed_end_lsn) {
+  if (committed_end_lsn != nullptr) *committed_end_lsn = from_lsn;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::OK();  // missing log == empty log (cold start)
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string log = std::move(buf).str();
+
+  auto read_u32 = [&log](size_t at) {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<unsigned char>(log[at + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+
+  std::vector<WalRecord> batch;
+  size_t pos = static_cast<size_t>(from_lsn);
+  if (pos > log.size()) {
+    return Status::DataLoss("wal shorter than snapshot lsn " +
+                            std::to_string(from_lsn));
+  }
+  while (pos < log.size()) {
+    if (log.size() - pos < 8) break;  // torn header: clean stop
+    uint32_t len = read_u32(pos);
+    uint32_t crc = read_u32(pos + 4);
+    if (log.size() - pos - 8 < len) break;  // torn payload: clean stop
+    std::string_view payload(log.data() + pos + 8, len);
+    if (WalCrc32(payload.data(), payload.size()) != crc) {
+      return Status::DataLoss("wal record at lsn " + std::to_string(pos) +
+                              " failed CRC check");
+    }
+    if (payload.empty()) {
+      return Status::DataLoss("wal record at lsn " + std::to_string(pos) +
+                              " has no type tag");
+    }
+    WalRecord rec;
+    rec.type = static_cast<WalRecordType>(
+        static_cast<uint8_t>(payload[0]));
+    rec.lsn = pos;
+    rec.payload.assign(payload.data() + 1, payload.size() - 1);
+    pos += 8 + len;
+    if (rec.type == WalRecordType::kCommit) {
+      // The batch is complete: everything buffered since the previous
+      // commit becomes visible, in order.
+      SQLFLOW_RETURN_IF_ERROR(apply(batch));
+      batch.clear();
+      if (committed_end_lsn != nullptr) *committed_end_lsn = pos;
+    } else {
+      batch.push_back(std::move(rec));
+    }
+  }
+  // Records after the last kCommit (a torn batch) are discarded: their
+  // transaction never committed.
+  return Status::OK();
+}
+
+void WalManager::NoteReplayedRecord(const WalRecord& record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string tagged;
+  tagged.push_back(static_cast<char>(record.type));
+  tagged += record.payload;
+  NoteWfPayloadLocked(tagged);
+}
+
+void WalManager::SeedWfInstance(uint64_t instance_id, WfInstanceLog log) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wf_state_[instance_id] = std::move(log);
+}
+
+std::map<uint64_t, WfInstanceLog> WalManager::WfState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wf_state_;
+}
+
+void WalManager::NoteWfPayloadLocked(std::string_view payload) {
+  if (payload.empty()) return;
+  auto type = static_cast<WalRecordType>(static_cast<uint8_t>(payload[0]));
+  if (type != WalRecordType::kWfStart && type != WalRecordType::kWfStep &&
+      type != WalRecordType::kWfAttempt && type != WalRecordType::kWfEnd) {
+    return;
+  }
+  // Every kWf* payload leads with the instance id.
+  WalReader reader(payload.substr(1));
+  auto id = reader.U64();
+  if (!id.ok()) return;
+  WfInstanceLog& log = wf_state_[*id];
+  std::string rest(payload.substr(1));
+  switch (type) {
+    case WalRecordType::kWfStart:
+      log.start_payload = std::move(rest);
+      break;
+    case WalRecordType::kWfStep:
+      log.steps.push_back(std::move(rest));
+      break;
+    case WalRecordType::kWfAttempt:
+      log.attempts.push_back(std::move(rest));
+      break;
+    case WalRecordType::kWfEnd:
+      log.ended = true;
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace sqlflow::sql

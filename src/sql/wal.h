@@ -1,0 +1,239 @@
+#ifndef SQLFLOW_SQL_WAL_H_
+#define SQLFLOW_SQL_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/result_set.h"
+
+namespace sqlflow::sql {
+
+class FaultInjector;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `n` bytes.
+/// Every log record carries one so recovery can tell a torn tail (short
+/// bytes — clean stop) from corruption (full bytes, wrong sum — refuse).
+uint32_t WalCrc32(const void* data, size_t n);
+
+/// Redo-record kinds. The log is committed-effects-only: DML records are
+/// written at MVCC commit time from the transaction's captured
+/// post-images, so replay never needs to understand rollback. The kWf*
+/// kinds are the workflow dehydration records (ISSUE 9): they share the
+/// log so a workflow step and the SQL it committed become durable in the
+/// same atomic batch.
+enum class WalRecordType : uint8_t {
+  kInsert = 1,    // table, row_id, row post-image
+  kUpdate = 2,    // table, row_id, row post-image
+  kDelete = 3,    // table, row_id
+  kTruncate = 4,  // table
+  kDdl = 5,       // canonical SQL text, re-executed on replay
+  kSeqSet = 6,    // sequence name, next_value after the statement
+  kCommit = 7,    // batch terminator; records before it become visible
+  kWfStart = 8,   // instance_id, process name, encoded inputs
+  kWfStep = 9,    // instance_id, step name, seq, variable snapshot
+  kWfAttempt = 10,  // instance_id, step name, seq, attempt number
+  kWfEnd = 11,    // instance_id
+};
+
+// --- primitive codec -------------------------------------------------------
+// Little-endian, length-prefixed. Shared by the log payloads, the
+// snapshot files (sql/checkpoint.cc), and the workflow dehydration
+// records (wfc/persist.cc) so there is exactly one byte format.
+
+void WalPutU32(std::string& out, uint32_t v);
+void WalPutU64(std::string& out, uint64_t v);
+void WalPutString(std::string& out, std::string_view s);
+/// Value: u8 type tag (0 null, 1 bool, 2 int, 3 double, 4 string) +
+/// payload.
+void WalPutValue(std::string& out, const Value& v);
+void WalPutRow(std::string& out, const Row& row);
+
+/// Bounded forward reader over encoded bytes; every accessor checks the
+/// remaining length so corrupt input yields a Status, never a read past
+/// the end.
+class WalReader {
+ public:
+  explicit WalReader(std::string_view data) : data_(data) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<std::string> Str();
+  Result<Value> Val();
+  Result<Row> RowField();
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// --- payload builders ------------------------------------------------------
+// Each returns `[u8 type][fields...]`, ready for WalManager::AppendCommit.
+
+std::string WalInsertRecord(std::string_view table, uint64_t row_id,
+                            const Row& row);
+std::string WalUpdateRecord(std::string_view table, uint64_t row_id,
+                            const Row& row);
+std::string WalDeleteRecord(std::string_view table, uint64_t row_id);
+std::string WalTruncateRecord(std::string_view table);
+std::string WalDdlRecord(std::string_view sql);
+std::string WalSeqSetRecord(std::string_view name, int64_t next_value);
+
+/// When the OS is told to flush. kNever leans on the page cache (process
+/// crash safe, power-loss unsafe), kEveryCommit is the classic durable
+/// setting, kEveryN amortizes the flush over N commit batches.
+enum class FsyncPolicy { kNever, kEveryCommit, kEveryN };
+const char* FsyncPolicyName(FsyncPolicy policy);
+
+struct WalOptions {
+  FsyncPolicy fsync_policy = FsyncPolicy::kNever;
+  uint32_t fsync_every_n = 32;  // commits per fsync under kEveryN
+};
+
+struct WalStats {
+  uint64_t current_lsn = 0;   // next append offset == log byte size
+  uint64_t snapshot_lsn = 0;  // replay starts here after snapshot load
+  uint64_t records = 0;
+  uint64_t commits = 0;
+  uint64_t syncs = 0;
+  FsyncPolicy fsync_policy = FsyncPolicy::kNever;
+};
+
+/// One decoded log record: `payload` is the bytes *after* the type tag.
+struct WalRecord {
+  WalRecordType type;
+  uint64_t lsn = 0;
+  std::string payload;
+};
+
+/// Dehydrated state of one workflow instance, accumulated from kWf*
+/// records (both as they append and as they replay). An instance with a
+/// start but no end was in flight when the process died —
+/// wfc::WorkflowEngine::ResumeInstances rehydrates exactly these.
+struct WfInstanceLog {
+  std::string start_payload;       // kWfStart payload (after the tag)
+  std::vector<std::string> steps;  // kWfStep payloads, append order
+  std::vector<std::string> attempts;  // kWfAttempt payloads
+  bool ended = false;
+};
+
+/// The append-only redo log. One writer at a time (the owning Database's
+/// exclusive statement latch already serializes mutating statements, so
+/// append order == commit order); the internal mutex makes the stats and
+/// the workflow bookkeeping safe for concurrent readers.
+///
+/// Record framing: `[u32 payload_len][u32 crc32(payload)][payload]`,
+/// LSN = byte offset of the length word. A commit batch is written with
+/// a single write(2) call — group commit — so a crash tears at most one
+/// batch, and the missing kCommit terminator makes recovery discard the
+/// torn prefix wholesale.
+class WalManager {
+ public:
+  /// Opens (creating if needed) `dir`/wal.log and positions the append
+  /// offset at its current size. Validation of existing content is
+  /// recovery's job (ReplayLog), not Open's.
+  static Result<std::unique_ptr<WalManager>> Open(const std::string& dir,
+                                                  WalOptions options);
+  ~WalManager();
+
+  WalManager(const WalManager&) = delete;
+  WalManager& operator=(const WalManager&) = delete;
+
+  /// Appends `payloads` plus a trailing kCommit record as one atomic
+  /// write and applies the fsync policy. Consults the installed fault
+  /// injector's crash layer first: on a scheduled kill only a
+  /// seed-chosen byte prefix of the batch reaches the file (possibly
+  /// tearing mid-record), the manager enters the crashed state, and this
+  /// and every later append returns kDataLoss — the in-process analogue
+  /// of the host dying at that LSN.
+  Status AppendCommit(const std::vector<std::string>& payloads);
+
+  /// One-payload commit batch.
+  Status Append(const std::string& payload);
+
+  uint64_t current_lsn() const;
+  WalStats stats() const;
+  void set_snapshot_lsn(uint64_t lsn);
+  uint64_t snapshot_lsn() const;
+
+  /// True once a simulated crash tore an append; the log must not be
+  /// written further (recovery into a fresh image is the only way on).
+  bool crashed() const;
+
+  /// Arms the kCrash fault layer. `database_name` is what the
+  /// injector's database filter matches against.
+  void SetFaultInjector(FaultInjector* injector, std::string database_name);
+
+  std::string log_path() const;
+  const std::string& dir() const { return dir_; }
+
+  /// Reads committed batches from the log file starting at `from_lsn`
+  /// and hands each complete batch to `apply`. Records are buffered
+  /// until their batch's kCommit is seen, so effects of a torn batch
+  /// never replay. A short header or short payload is a torn tail —
+  /// replay stops cleanly before it; a full-length record with a CRC
+  /// mismatch is corruption and fails with kDataLoss. A missing file
+  /// replays as empty (cold start). When `committed_end_lsn` is
+  /// non-null it receives the byte offset just past the last applied
+  /// kCommit (or `from_lsn` when nothing replayed) — the point a
+  /// recovering writer must truncate to before reusing the log, since
+  /// complete-but-uncommitted records left in place would be swept into
+  /// the next batch that commits after them.
+  static Status ReplayLog(
+      const std::string& path, uint64_t from_lsn,
+      const std::function<Status(const std::vector<WalRecord>&)>& apply,
+      uint64_t* committed_end_lsn = nullptr);
+
+  /// Discards every byte at or past `lsn` and repositions the append
+  /// offset there. Recovery calls this with ReplayLog's
+  /// committed_end_lsn so the torn tail of the previous incarnation can
+  /// never contaminate batches this incarnation appends.
+  Status TruncateTo(uint64_t lsn);
+
+  /// Feeds one replayed record into the workflow bookkeeping (recovery
+  /// calls this for kWf* records; appends note their own).
+  void NoteReplayedRecord(const WalRecord& record);
+
+  /// Seeds bookkeeping for instances restored from a snapshot file
+  /// (their kWf* records predate the snapshot LSN and will not replay).
+  void SeedWfInstance(uint64_t instance_id, WfInstanceLog log);
+
+  /// Snapshot of the per-instance dehydration state.
+  std::map<uint64_t, WfInstanceLog> WfState() const;
+
+ private:
+  WalManager(std::string dir, WalOptions options, int fd, uint64_t size);
+
+  /// Parses `payload` (with its leading tag) and updates wf_state_ if it
+  /// is a kWf* record. Caller holds mutex_.
+  void NoteWfPayloadLocked(std::string_view payload);
+
+  std::string dir_;
+  WalOptions options_;
+  int fd_ = -1;
+  mutable std::mutex mutex_;
+  uint64_t lsn_ = 0;
+  uint64_t records_ = 0;
+  uint64_t commits_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t snapshot_lsn_ = 0;
+  uint32_t commits_since_sync_ = 0;
+  bool crashed_ = false;
+  FaultInjector* fault_injector_ = nullptr;
+  std::string database_name_;
+  std::map<uint64_t, WfInstanceLog> wf_state_;
+};
+
+}  // namespace sqlflow::sql
+
+#endif  // SQLFLOW_SQL_WAL_H_

@@ -18,6 +18,8 @@
 
 namespace sqlflow::wfc {
 
+class InstanceJournal;
+
 /// Execution state of one running process instance, passed to every
 /// activity. Bundles the variable pool, the engine's shared facilities
 /// (services, data sources, XPath extension functions), and the audit
@@ -46,6 +48,11 @@ class ProcessContext {
 
   bool terminate_requested() const { return terminate_requested_; }
   void RequestTerminate() { terminate_requested_ = true; }
+
+  /// Dehydration journal (wfc/persist.h), set by a durability-enabled
+  /// engine; null when the instance is not persisted. Not owned.
+  InstanceJournal* journal() const { return journal_; }
+  void SetJournal(InstanceJournal* journal) { journal_ = journal; }
 
   // --- cooperative scheduling ------------------------------------------------
   /// Installed by the engine's deterministic scheduler; called at every
@@ -111,6 +118,7 @@ class ProcessContext {
   sql::DataSourceRegistry* data_sources_;
   const xpath::FunctionRegistry* xpath_functions_;
   AuditTrail audit_;
+  InstanceJournal* journal_ = nullptr;
   std::function<void()> scheduler_yield_;
   bool terminate_requested_ = false;
   int64_t virtual_now_ns_ = 0;

@@ -10,6 +10,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sql/data_source.h"
+#include "sql/database.h"
+#include "wfc/persist.h"
 
 namespace sqlflow::wfc {
 
@@ -189,6 +191,25 @@ Result<InstanceResult> WorkflowEngine::RunInstance(
     ctx.variables().Set(var_name, value);
   }
 
+  // Dehydration journal: a fresh durable instance records its start
+  // before anything runs (so a crash anywhere later can resume it); a
+  // resumed one preloads the recovered log instead — the start record
+  // is already in the WAL.
+  std::unique_ptr<InstanceJournal> journal;
+  if (durable_db_ != nullptr) {
+    journal = std::make_unique<InstanceJournal>(durable_db_, instance_id);
+    auto resume_it = resume_state_.find(instance_id);
+    if (resume_it != resume_state_.end()) {
+      Status preload = journal->Preload(resume_it->second);
+      resume_state_.erase(resume_it);
+      if (!preload.ok()) return preload;
+    } else {
+      Status started = journal->RecordStart(process_name, inputs);
+      if (!started.ok()) return started;
+    }
+    ctx.SetJournal(journal.get());
+  }
+
   stats_.instances_started++;
   ctx.audit().Record(AuditEventKind::kInstanceStarted, process_name);
 
@@ -207,6 +228,12 @@ Result<InstanceResult> WorkflowEngine::RunInstance(
     Status hook_status = hook(ctx);
     if (st.ok() && !hook_status.ok()) st = hook_status;
   }
+
+  // The end record closes the instance in the log; it is attempted even
+  // on fault (a faulted instance is finished, not resumable). On a
+  // crashed WAL the append fails silently here — exactly the case where
+  // the instance must stay open so the next incarnation resumes it.
+  if (journal != nullptr) (void)journal->RecordEnd();
 
   if (st.ok()) {
     stats_.instances_completed++;
@@ -241,6 +268,51 @@ Result<InstanceResult> WorkflowEngine::RunInstance(
     }
   }
   return result;
+}
+
+Status WorkflowEngine::EnableDurability(sql::Database* db) {
+  if (db == nullptr || db->wal() == nullptr) {
+    return Status::InvalidArgument(
+        "engine durability needs a database with EnableDurability "
+        "already called");
+  }
+  durable_db_ = db;
+  // Jump the id counter past everything in the recovered log, ended or
+  // not — fresh instances must never reuse a logged id.
+  uint64_t max_seen = 0;
+  for (const auto& [id, log] : db->wal()->WfState()) {
+    max_seen = std::max(max_seen, id);
+  }
+  uint64_t expected = next_instance_id_.load();
+  while (expected <= max_seen &&
+         !next_instance_id_.compare_exchange_weak(expected, max_seen + 1)) {
+  }
+  return Status::OK();
+}
+
+std::vector<Result<InstanceResult>> WorkflowEngine::ResumeInstances() {
+  std::vector<Result<InstanceResult>> results;
+  if (durable_db_ == nullptr || durable_db_->wal() == nullptr) {
+    return results;
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  // std::map iteration gives instance-id order, so multi-instance
+  // recovery is deterministic.
+  for (auto& [id, log] : durable_db_->wal()->WfState()) {
+    if (log.ended || log.start_payload.empty()) continue;
+    Result<WfStartInfo> start = DecodeWfStart(log.start_payload);
+    if (!start.ok()) {
+      results.push_back(start.status());
+      continue;
+    }
+    resume_state_[id] = std::move(log);
+    metrics.GetCounter("wfc.resume.instances").Increment();
+    results.push_back(RunInstance(id, start->process_name, start->inputs,
+                                  /*private_session=*/false,
+                                  /*yield=*/nullptr));
+    resume_state_.erase(id);  // RunInstance erases on preload; belt and braces
+  }
+  return results;
 }
 
 std::vector<Result<InstanceResult>> WorkflowEngine::RunConcurrent(

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "sql/wal.h"
 #include "wfc/process.h"
 
 namespace sqlflow::wfc {
@@ -123,6 +124,26 @@ class WorkflowEngine {
 
   const EngineStats& stats() const { return stats_; }
 
+  // --- durability -------------------------------------------------------------
+  /// Attaches the engine to a durability-enabled database (one with
+  /// sql::Database::EnableDurability already called): every instance run
+  /// from then on dehydrates start / durable-step / retry-attempt / end
+  /// records into the database's WAL, and the instance-id counter jumps
+  /// past any ids recovered from the log so resumed and fresh instances
+  /// never collide. Durable recording is designed for sequential
+  /// RunProcess use — the journal queues records on the database's
+  /// primary connection. Fails if the database has no WAL.
+  Status EnableDurability(sql::Database* db);
+
+  /// Rehydrates every instance the recovered WAL shows as started but
+  /// not ended, and runs each to completion. Already-recorded durable
+  /// steps are skipped (their SQL effects were restored by WAL replay);
+  /// execution continues from the first unrecorded step — the
+  /// exactly-once resume the surveyed engines' dehydration store
+  /// provides. Returns one entry per resumed instance, in instance-id
+  /// order; an empty vector when nothing was interrupted.
+  std::vector<Result<InstanceResult>> ResumeInstances();
+
  private:
   /// The shared body of RunProcess / RunConcurrent: one instance, start
   /// to finish. `yield` (nullable) is the deterministic scheduler's
@@ -148,6 +169,12 @@ class WorkflowEngine {
   std::vector<InstanceListener> listeners_;
   std::atomic<uint64_t> next_instance_id_{1};
   EngineStats stats_;
+  /// Durability attachment (EnableDurability); null = ephemeral engine.
+  sql::Database* durable_db_ = nullptr;
+  /// Recovered per-instance logs awaiting rehydration, keyed by
+  /// instance id; RunInstance preloads the journal from here (and
+  /// erases the entry) when resuming.
+  std::map<uint64_t, sql::WfInstanceLog> resume_state_;
 };
 
 }  // namespace sqlflow::wfc

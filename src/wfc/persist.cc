@@ -1,0 +1,249 @@
+#include "wfc/persist.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "wfc/context.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace sqlflow::wfc {
+
+namespace {
+
+// VarValue wire tags (see persist.h header comment).
+constexpr uint8_t kVarUnset = 0;
+constexpr uint8_t kVarScalar = 1;
+constexpr uint8_t kVarXml = 2;
+
+void EncodeVarValue(std::string& out, const VarValue& v) {
+  if (const Value* scalar = std::get_if<Value>(&v)) {
+    out.push_back(static_cast<char>(kVarScalar));
+    sql::WalPutValue(out, *scalar);
+    return;
+  }
+  if (const xml::NodePtr* node = std::get_if<xml::NodePtr>(&v)) {
+    if (*node != nullptr) {
+      out.push_back(static_cast<char>(kVarXml));
+      sql::WalPutString(out, xml::Serialize(**node));
+      return;
+    }
+  }
+  // monostate, null XML, and ObjectPtr (engine-local handle — not
+  // dehydratable) all land here.
+  out.push_back(static_cast<char>(kVarUnset));
+}
+
+Result<VarValue> DecodeVarValue(sql::WalReader& r) {
+  SQLFLOW_ASSIGN_OR_RETURN(uint8_t tag, r.U8());
+  switch (tag) {
+    case kVarUnset:
+      return VarValue{};
+    case kVarScalar: {
+      SQLFLOW_ASSIGN_OR_RETURN(Value v, r.Val());
+      return VarValue{std::move(v)};
+    }
+    case kVarXml: {
+      SQLFLOW_ASSIGN_OR_RETURN(std::string markup, r.Str());
+      SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr node, xml::Parse(markup));
+      return VarValue{std::move(node)};
+    }
+    default:
+      return Status::DataLoss("workflow record has bad variable tag " +
+                              std::to_string(tag));
+  }
+}
+
+Result<std::map<std::string, VarValue>> DecodeVarMap(sql::WalReader& r) {
+  SQLFLOW_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  std::map<std::string, VarValue> vars;
+  for (uint32_t i = 0; i < n; ++i) {
+    SQLFLOW_ASSIGN_OR_RETURN(std::string name, r.Str());
+    SQLFLOW_ASSIGN_OR_RETURN(VarValue value, DecodeVarValue(r));
+    vars.emplace(std::move(name), std::move(value));
+  }
+  return vars;
+}
+
+std::string TaggedHeader(sql::WalRecordType type, uint64_t instance_id) {
+  std::string out;
+  out.push_back(static_cast<char>(type));
+  sql::WalPutU64(out, instance_id);
+  return out;
+}
+
+}  // namespace
+
+std::string WfStartRecord(uint64_t instance_id,
+                          const std::string& process_name,
+                          const std::map<std::string, VarValue>& inputs) {
+  std::string out =
+      TaggedHeader(sql::WalRecordType::kWfStart, instance_id);
+  sql::WalPutString(out, process_name);
+  sql::WalPutU32(out, static_cast<uint32_t>(inputs.size()));
+  for (const auto& [name, value] : inputs) {
+    sql::WalPutString(out, name);
+    EncodeVarValue(out, value);
+  }
+  return out;
+}
+
+std::string WfStepRecord(uint64_t instance_id, const std::string& step_name,
+                         uint32_t seq, const VariableSet& variables) {
+  std::string out = TaggedHeader(sql::WalRecordType::kWfStep, instance_id);
+  sql::WalPutString(out, step_name);
+  sql::WalPutU32(out, seq);
+  std::vector<std::string> names = variables.Names();
+  sql::WalPutU32(out, static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) {
+    sql::WalPutString(out, name);
+    auto value = variables.Get(name);
+    EncodeVarValue(out, value.ok() ? *value : VarValue{});
+  }
+  return out;
+}
+
+std::string WfAttemptRecord(uint64_t instance_id,
+                            const std::string& step_name,
+                            uint32_t attempt) {
+  std::string out =
+      TaggedHeader(sql::WalRecordType::kWfAttempt, instance_id);
+  sql::WalPutString(out, step_name);
+  sql::WalPutU32(out, attempt);
+  return out;
+}
+
+std::string WfEndRecord(uint64_t instance_id) {
+  return TaggedHeader(sql::WalRecordType::kWfEnd, instance_id);
+}
+
+Result<WfStartInfo> DecodeWfStart(const std::string& payload) {
+  sql::WalReader r(payload);
+  WfStartInfo info;
+  SQLFLOW_ASSIGN_OR_RETURN(info.instance_id, r.U64());
+  SQLFLOW_ASSIGN_OR_RETURN(info.process_name, r.Str());
+  SQLFLOW_ASSIGN_OR_RETURN(info.inputs, DecodeVarMap(r));
+  return info;
+}
+
+Result<RecordedStep> DecodeWfStep(const std::string& payload) {
+  sql::WalReader r(payload);
+  SQLFLOW_ASSIGN_OR_RETURN(uint64_t instance_id, r.U64());
+  (void)instance_id;
+  RecordedStep step;
+  SQLFLOW_ASSIGN_OR_RETURN(step.step_name, r.Str());
+  SQLFLOW_ASSIGN_OR_RETURN(step.seq, r.U32());
+  SQLFLOW_ASSIGN_OR_RETURN(step.variables, DecodeVarMap(r));
+  return step;
+}
+
+// --- InstanceJournal --------------------------------------------------------
+
+Status InstanceJournal::Preload(const sql::WfInstanceLog& log) {
+  for (const std::string& payload : log.steps) {
+    SQLFLOW_ASSIGN_OR_RETURN(RecordedStep step, DecodeWfStep(payload));
+    recorded_.push_back(std::move(step));
+  }
+  for (const std::string& payload : log.attempts) {
+    sql::WalReader r(payload);
+    SQLFLOW_ASSIGN_OR_RETURN(uint64_t id, r.U64());
+    (void)id;
+    SQLFLOW_ASSIGN_OR_RETURN(std::string step_name, r.Str());
+    SQLFLOW_ASSIGN_OR_RETURN(uint32_t attempt, r.U32());
+    int& prior = prior_attempts_[step_name];
+    prior = std::max(prior, static_cast<int>(attempt));
+  }
+  // New records continue the recorded sequence.
+  next_seq_ = recorded_.empty() ? 0 : recorded_.back().seq + 1;
+  return Status::OK();
+}
+
+bool InstanceJournal::ConsumeIfRecorded(const std::string& step_name,
+                                        ProcessContext& ctx) {
+  if (cursor_ >= recorded_.size()) return false;
+  const RecordedStep& step = recorded_[cursor_];
+  if (step.step_name != step_name) return false;
+  for (const auto& [name, value] : step.variables) {
+    ctx.variables().Set(name, value);
+  }
+  ++cursor_;
+  return true;
+}
+
+Status InstanceJournal::RecordStep(const std::string& step_name,
+                                   ProcessContext& ctx) {
+  return db_->AddWalAttachment(
+      WfStepRecord(instance_id_, step_name, next_seq_++, ctx.variables()));
+}
+
+int InstanceJournal::PriorAttempts(const std::string& step_name) const {
+  auto it = prior_attempts_.find(step_name);
+  return it == prior_attempts_.end() ? 0 : it->second;
+}
+
+Status InstanceJournal::RecordAttempt(const std::string& step_name,
+                                      int attempt) {
+  return db_->AddWalAttachment(WfAttemptRecord(
+      instance_id_, step_name, static_cast<uint32_t>(attempt)));
+}
+
+Status InstanceJournal::RecordStart(
+    const std::string& process_name,
+    const std::map<std::string, VarValue>& inputs) {
+  return db_->AddWalAttachment(
+      WfStartRecord(instance_id_, process_name, inputs));
+}
+
+Status InstanceJournal::RecordEnd() {
+  return db_->AddWalAttachment(WfEndRecord(instance_id_));
+}
+
+// --- DurableStep ------------------------------------------------------------
+
+DurableStep::DurableStep(std::string name, ActivityPtr body)
+    : Activity(std::move(name)), body_(std::move(body)) {}
+
+Status DurableStep::Execute(ProcessContext& ctx) {
+  InstanceJournal* journal = ctx.journal();
+  if (journal == nullptr) return body_->Run(ctx);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
+  if (journal->ConsumeIfRecorded(name(), ctx)) {
+    // Completed before the crash: its SQL effects were recovered by WAL
+    // replay and its variable snapshot was just restored. Re-running
+    // would double them.
+    metrics.GetCounter("wfc.resume.steps_skipped").Increment();
+    ctx.audit().Record(AuditEventKind::kActivityCompleted, name(),
+                       "replayed from journal");
+    return Status::OK();
+  }
+  sql::Database* db = journal->db();
+  if (db->in_transaction()) {
+    // An enclosing scope owns the transaction; the step record rides
+    // its commit batch.
+    SQLFLOW_RETURN_IF_ERROR(body_->Run(ctx));
+    return journal->RecordStep(name(), ctx);
+  }
+  SQLFLOW_RETURN_IF_ERROR(db->Begin());
+  Status st = body_->Run(ctx);
+  if (st.ok()) st = journal->RecordStep(name(), ctx);
+  if (!st.ok()) {
+    (void)db->Rollback();
+    return st;
+  }
+  // The atomic durability point: step SQL + completion record in one
+  // WAL batch. A crash here either tears the batch (step re-runs from
+  // scratch) or lands after it (step skips on resume).
+  return db->Commit();
+}
+
+ActivityPtr MakeDurableStep(std::string name, ActivityPtr body) {
+  return std::make_shared<DurableStep>(std::move(name), std::move(body));
+}
+
+std::string StepIdempotencyKey(const ProcessContext& ctx,
+                               const std::string& step_name) {
+  return ctx.process_name() + "#" + std::to_string(ctx.instance_id()) +
+         "#" + step_name;
+}
+
+}  // namespace sqlflow::wfc

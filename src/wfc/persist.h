@@ -1,0 +1,145 @@
+#ifndef SQLFLOW_WFC_PERSIST_H_
+#define SQLFLOW_WFC_PERSIST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/database.h"
+#include "sql/wal.h"
+#include "wfc/activity.h"
+#include "wfc/variable.h"
+
+namespace sqlflow::wfc {
+
+// Workflow dehydration: instance lifecycle and step-completion records
+// written into the SQL engine's WAL (sql/wal.h kWf* record types), so a
+// crash-interrupted instance can be rehydrated by
+// WorkflowEngine::ResumeInstances and continued exactly-once. This is
+// the paper's Table I persistence column — the surveyed engines park
+// instance state in the database so a host restart resumes rather than
+// restarts the flow.
+
+// --- record payload codecs --------------------------------------------------
+// Every payload leads with [u8 type][u64 instance_id]; the builders
+// return the bytes ready for Database::AddWalAttachment. VarValues
+// encode as [u8 tag]: 0 unset, 1 scalar (wal Value codec), 2 XML
+// (serialized markup). Object handles (tag 0 on write) do not
+// dehydrate — they are engine-local pointers; a resumed instance sees
+// such variables unset.
+
+std::string WfStartRecord(uint64_t instance_id,
+                          const std::string& process_name,
+                          const std::map<std::string, VarValue>& inputs);
+std::string WfStepRecord(uint64_t instance_id, const std::string& step_name,
+                         uint32_t seq, const VariableSet& variables);
+std::string WfAttemptRecord(uint64_t instance_id,
+                            const std::string& step_name, uint32_t attempt);
+std::string WfEndRecord(uint64_t instance_id);
+
+/// Decoded kWfStart: what ResumeInstances needs to re-run the instance.
+struct WfStartInfo {
+  uint64_t instance_id = 0;
+  std::string process_name;
+  std::map<std::string, VarValue> inputs;
+};
+/// `payload` is WfInstanceLog::start_payload (tag stripped, id included).
+Result<WfStartInfo> DecodeWfStart(const std::string& payload);
+
+/// One recorded step completion, rehydrated from a kWfStep payload.
+struct RecordedStep {
+  std::string step_name;
+  uint32_t seq = 0;
+  std::map<std::string, VarValue> variables;  // snapshot at completion
+};
+Result<RecordedStep> DecodeWfStep(const std::string& payload);
+
+// --- the per-instance journal -----------------------------------------------
+
+class ProcessContext;
+
+/// The dehydration cursor of one instance. Fresh instances record; a
+/// resumed instance first *replays*: DurableStep consults the journal,
+/// and a step whose completion record predates the crash is skipped —
+/// its SQL effects were already recovered by WAL replay — with its
+/// variable snapshot restored instead of re-executed. That skip is what
+/// makes resumption exactly-once.
+class InstanceJournal {
+ public:
+  InstanceJournal(sql::Database* db, uint64_t instance_id)
+      : db_(db), instance_id_(instance_id) {}
+
+  /// Loads the recovered per-instance state (resume path). Returns an
+  /// error if a recorded payload does not decode.
+  Status Preload(const sql::WfInstanceLog& log);
+
+  /// If the next recorded step matches `step_name`: restores its
+  /// variable snapshot into `ctx`, advances the cursor, returns true.
+  bool ConsumeIfRecorded(const std::string& step_name, ProcessContext& ctx);
+
+  /// Appends this step's completion record (with the live variable
+  /// snapshot). Inside an open transaction the record is queued and
+  /// commits atomically with the step's SQL; DurableStep arranges that.
+  Status RecordStep(const std::string& step_name, ProcessContext& ctx);
+
+  /// Retry bookkeeping: attempts recorded pre-crash reduce the budget a
+  /// resumed RetryActivity has left.
+  int PriorAttempts(const std::string& step_name) const;
+  Status RecordAttempt(const std::string& step_name, int attempt);
+
+  Status RecordStart(const std::string& process_name,
+                     const std::map<std::string, VarValue>& inputs);
+  Status RecordEnd();
+
+  sql::Database* db() const { return db_; }
+  uint64_t instance_id() const { return instance_id_; }
+  size_t steps_replayed() const { return cursor_; }
+  size_t steps_pending_replay() const { return recorded_.size() - cursor_; }
+
+ private:
+  sql::Database* db_;
+  uint64_t instance_id_;
+  std::vector<RecordedStep> recorded_;  // from recovery, replay order
+  size_t cursor_ = 0;
+  std::map<std::string, int> prior_attempts_;  // step → max attempt seen
+  uint32_t next_seq_ = 0;
+};
+
+// --- the durable step wrapper -----------------------------------------------
+
+/// Wraps an activity as one exactly-once unit of progress. Without a
+/// journal on the context it is transparent. With one: an already-
+/// recorded step is skipped (variables restored from the snapshot);
+/// otherwise the body runs inside a transaction on the journal's
+/// database — opened here unless one is already open — and the step's
+/// completion record rides the same atomic WAL commit batch as the
+/// step's SQL. A crash therefore lands strictly before (step re-runs,
+/// no effects made it) or strictly after (step skips, all effects
+/// recovered) — never in between. Service invocations inside the body
+/// are not transactional; pair them with IdempotentService keyed on
+/// StepIdempotencyKey to get the same guarantee.
+class DurableStep : public Activity {
+ public:
+  DurableStep(std::string name, ActivityPtr body);
+  std::string TypeName() const override { return "durable-step"; }
+
+ protected:
+  Status Execute(ProcessContext& ctx) override;
+
+ private:
+  ActivityPtr body_;
+};
+
+ActivityPtr MakeDurableStep(std::string name, ActivityPtr body);
+
+/// The canonical idempotence key for a service call made from within
+/// the named durable step of an instance: stable across a crash/resume
+/// of the same instance, distinct across instances.
+std::string StepIdempotencyKey(const ProcessContext& ctx,
+                               const std::string& step_name);
+
+}  // namespace sqlflow::wfc
+
+#endif  // SQLFLOW_WFC_PERSIST_H_

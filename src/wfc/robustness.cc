@@ -5,6 +5,7 @@
 
 #include "common/rand.h"
 #include "obs/metrics.h"
+#include "wfc/persist.h"
 
 namespace sqlflow::wfc {
 
@@ -36,7 +37,21 @@ RetryActivity::RetryActivity(std::string name, ActivityPtr body,
 Status RetryActivity::Execute(ProcessContext& ctx) {
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Global();
   int max_attempts = std::max(1, policy_.max_attempts);
-  for (int attempt = 1;; ++attempt) {
+  // Attempts burned before a crash stay burned: the journal remembers
+  // the highest attempt recorded pre-crash, and the resumed loop picks
+  // up from there instead of granting the step a fresh budget.
+  InstanceJournal* journal = ctx.journal();
+  int first_attempt = 1;
+  if (journal != nullptr) {
+    first_attempt = std::max(1, journal->PriorAttempts(name()) + 1);
+    first_attempt = std::min(first_attempt, max_attempts);
+  }
+  for (int attempt = first_attempt;; ++attempt) {
+    if (journal != nullptr) {
+      // Standalone append; a failure (crashed WAL) must not block the
+      // attempt itself — worst case a resumed run re-grants it.
+      (void)journal->RecordAttempt(name(), attempt);
+    }
     Status st = body_->Run(ctx);
     if (st.ok()) {
       if (attempt > 1) {

@@ -137,6 +137,43 @@ Result<xml::NodePtr> SimpleWebService::Invoke(
   return MakeResponse(out);
 }
 
+const char* IdempotentService::kKeyParam = "idempotency_key";
+
+IdempotentService::IdempotentService(WebServicePtr inner)
+    : inner_(std::move(inner)) {}
+
+const std::string& IdempotentService::name() const {
+  return inner_->name();
+}
+
+Result<xml::NodePtr> IdempotentService::Invoke(
+    const xml::NodePtr& request) {
+  Result<Value> key_param = GetRequestParam(request, kKeyParam);
+  if (!key_param.ok()) {
+    inner_invocations_.fetch_add(1, std::memory_order_relaxed);
+    // No key: caller opted out of dedup for this call.
+    return inner_->Invoke(request);
+  }
+  const std::string key = key_param->AsString();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = responses_.find(key);
+    if (it != responses_.end()) {
+      duplicates_suppressed_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::Global()
+          .GetCounter("svc.idempotent.suppressed")
+          .Increment();
+      return it->second;
+    }
+  }
+  inner_invocations_.fetch_add(1, std::memory_order_relaxed);
+  SQLFLOW_ASSIGN_OR_RETURN(xml::NodePtr response,
+                           inner_->Invoke(request));
+  std::lock_guard<std::mutex> lock(mutex_);
+  responses_.emplace(key, response);
+  return response;
+}
+
 Status ServiceRegistry::Register(WebServicePtr service) {
   const std::string& name = service->name();
   if (services_.count(name) > 0) {

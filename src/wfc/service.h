@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,43 @@ class SimpleWebService : public WebService {
   /// Concurrent instances share one registry entry, so the counter is
   /// bumped from every worker thread at once.
   std::atomic<uint64_t> invocation_count_{0};
+};
+
+/// Exactly-once decorator for a service endpoint across crash/resume:
+/// requests carrying an `idempotency_key` parameter are answered from a
+/// response cache on repeat, without re-invoking the inner service.
+/// The cache lives in the service object — which survives a simulated
+/// crash (only the database process image is rebuilt) — so a resumed
+/// workflow step that re-sends the same key gets the recorded response
+/// while the real side effect happened once. Mirrors the dedup tables
+/// real engines keep next to their dehydration store. Requests without
+/// the key pass straight through.
+class IdempotentService : public WebService {
+ public:
+  /// The reserved request-parameter name. Forwarded as-is: services
+  /// read only their declared parameters, so the extra one is inert.
+  static const char* kKeyParam;
+
+  explicit IdempotentService(WebServicePtr inner);
+
+  const std::string& name() const override;
+  Result<xml::NodePtr> Invoke(const xml::NodePtr& request) override;
+
+  uint64_t duplicates_suppressed() const {
+    return duplicates_suppressed_.load(std::memory_order_relaxed);
+  }
+  /// Calls that actually reached the wrapped service — the real side
+  /// effect count the exactly-once tests assert on.
+  uint64_t inner_invocations() const {
+    return inner_invocations_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  WebServicePtr inner_;
+  std::mutex mutex_;
+  std::map<std::string, xml::NodePtr> responses_;  // key → cached reply
+  std::atomic<uint64_t> duplicates_suppressed_{0};
+  std::atomic<uint64_t> inner_invocations_{0};
 };
 
 /// Connection-layer retry for service invocations, the `Invoke`-side

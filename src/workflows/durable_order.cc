@@ -1,0 +1,151 @@
+#include "workflows/durable_order.h"
+
+#include <utility>
+#include <vector>
+
+#include "sql/schema.h"
+#include "wfc/activities.h"
+#include "wfc/persist.h"
+#include "wfc/robustness.h"
+
+namespace sqlflow::workflows {
+
+namespace {
+
+/// SQL step body: runs one statement built from the instance's
+/// variables against the captured database.
+wfc::ActivityPtr MakeLedgerInsert(std::string name, sql::Database* db,
+                                  std::string stage,
+                                  bool with_confirmation) {
+  return std::make_shared<wfc::SnippetActivity>(
+      std::move(name),
+      [db, stage = std::move(stage),
+       with_confirmation](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(Value order_id,
+                                 ctx.variables().GetScalar("OrderID"));
+        SQLFLOW_ASSIGN_OR_RETURN(Value item,
+                                 ctx.variables().GetScalar("Item"));
+        SQLFLOW_ASSIGN_OR_RETURN(Value qty,
+                                 ctx.variables().GetScalar("Quantity"));
+        Value conf = Value::Null();
+        if (with_confirmation) {
+          SQLFLOW_ASSIGN_OR_RETURN(
+              conf, ctx.variables().GetScalar("Confirmation"));
+        }
+        std::string sql =
+            "INSERT INTO WfLedger (EntryID, OrderID, Stage, Item, "
+            "Quantity, Confirmation) VALUES (NEXTVAL('WfLedgerSeq'), " +
+            sql::SqlLiteral(order_id) + ", " +
+            sql::SqlLiteral(Value::String(stage)) + ", " +
+            sql::SqlLiteral(item) + ", " + sql::SqlLiteral(qty) + ", " +
+            sql::SqlLiteral(conf) + ")";
+        return db->Execute(sql).status();
+      });
+}
+
+/// Supplier invocation with the step-scoped idempotency key: the same
+/// instance re-running this step after a crash re-sends the same key,
+/// and the IdempotentService answers from its cache instead of
+/// re-ordering.
+wfc::ActivityPtr MakeKeyedSupplierInvoke() {
+  return std::make_shared<wfc::SnippetActivity>(
+      "call-supplier", [](wfc::ProcessContext& ctx) -> Status {
+        SQLFLOW_ASSIGN_OR_RETURN(
+            wfc::WebServicePtr service,
+            ctx.services()->Find(kDurableSupplierService));
+        SQLFLOW_ASSIGN_OR_RETURN(Value item,
+                                 ctx.variables().GetScalar("Item"));
+        SQLFLOW_ASSIGN_OR_RETURN(Value qty,
+                                 ctx.variables().GetScalar("Quantity"));
+        xml::NodePtr request = wfc::MakeRequest(
+            {{"ItemID", item},
+             {"Quantity", qty},
+             {wfc::IdempotentService::kKeyParam,
+              Value::String(
+                  wfc::StepIdempotencyKey(ctx, kStepInvoke))}});
+        SQLFLOW_ASSIGN_OR_RETURN(
+            xml::NodePtr response,
+            wfc::InvokeWithRecovery(*service, request));
+        SQLFLOW_ASSIGN_OR_RETURN(Value conf,
+                                 wfc::GetResponseValue(response));
+        ctx.variables().Set("Confirmation", wfc::VarValue(conf));
+        return Status::OK();
+      });
+}
+
+Status IgnoreAlreadyExists(const Status& st) {
+  if (st.ok() || st.code() == StatusCode::kAlreadyExists) {
+    return Status::OK();
+  }
+  return st;
+}
+
+}  // namespace
+
+Status PrepareDurableOrderSchema(sql::Database* db) {
+  SQLFLOW_RETURN_IF_ERROR(IgnoreAlreadyExists(
+      db->Execute("CREATE TABLE WfLedger (EntryID INTEGER, "
+                  "OrderID INTEGER, Stage VARCHAR, Item VARCHAR, "
+                  "Quantity INTEGER, Confirmation VARCHAR)")
+          .status()));
+  SQLFLOW_RETURN_IF_ERROR(IgnoreAlreadyExists(
+      db->Execute("CREATE SEQUENCE WfLedgerSeq").status()));
+  return Status::OK();
+}
+
+std::shared_ptr<wfc::IdempotentService> MakeDurableSupplier() {
+  auto inner = std::make_shared<wfc::SimpleWebService>(
+      kDurableSupplierService,
+      std::vector<std::string>{"ItemID", "Quantity"},
+      [](const std::vector<Value>& args) -> Result<Value> {
+        return Value::String("CONF-" + args[0].AsString() + "-" +
+                             args[1].AsString());
+      });
+  return std::make_shared<wfc::IdempotentService>(std::move(inner));
+}
+
+Status RegisterDurableSupplier(
+    wfc::WorkflowEngine* engine,
+    std::shared_ptr<wfc::IdempotentService> supplier) {
+  return engine->services().Register(std::move(supplier));
+}
+
+Status DeployDurableOrderProcess(wfc::WorkflowEngine* engine,
+                                 sql::Database* db) {
+  // Step 2 wraps the supplier call in a retry so pre-crash attempts
+  // exercise the journal's attempt accounting; the idempotency key
+  // makes both the retries and a post-crash re-run single-effect.
+  wfc::BackoffPolicy backoff;
+  backoff.max_attempts = 3;
+  backoff.initial_delay_ns = 1000;
+  auto invoke_with_retry = std::make_shared<wfc::RetryActivity>(
+      "supplier-retry", MakeKeyedSupplierInvoke(), backoff, nullptr);
+
+  std::vector<wfc::ActivityPtr> steps{
+      wfc::MakeDurableStep(
+          kStepReserve,
+          MakeLedgerInsert("sql-reserve", db, "reserved",
+                           /*with_confirmation=*/false)),
+      wfc::MakeDurableStep(kStepInvoke, invoke_with_retry),
+      wfc::MakeDurableStep(
+          kStepRecord,
+          MakeLedgerInsert("sql-record", db, "confirmed",
+                           /*with_confirmation=*/true)),
+  };
+  auto root =
+      std::make_shared<wfc::SequenceActivity>("main", std::move(steps));
+  auto definition = std::make_shared<wfc::ProcessDefinition>(
+      kDurableOrderProcess, std::move(root));
+  definition->DeclareVariable("Confirmation",
+                              wfc::VarValue(Value::Null()));
+  engine->DeployOrReplace(std::move(definition));
+  return Status::OK();
+}
+
+Result<sql::ResultSet> ReadDurableLedger(sql::Database* db) {
+  return db->Execute(
+      "SELECT EntryID, OrderID, Stage, Item, Quantity, Confirmation "
+      "FROM WfLedger ORDER BY EntryID");
+}
+
+}  // namespace sqlflow::workflows

@@ -1,0 +1,55 @@
+#ifndef SQLFLOW_WORKFLOWS_DURABLE_ORDER_H_
+#define SQLFLOW_WORKFLOWS_DURABLE_ORDER_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "sql/database.h"
+#include "wfc/engine.h"
+#include "wfc/service.h"
+
+namespace sqlflow::workflows {
+
+/// The crash-recoverable variant of the paper's order workflow: three
+/// durable steps — reserve the order in a ledger, invoke the supplier
+/// (idempotence-keyed), record the confirmation — each an atomic unit
+/// of progress whose SQL effects and completion record commit in one
+/// WAL batch. Kill the process at any LSN, recover, ResumeInstances:
+/// every ledger row lands exactly once and the supplier is invoked
+/// exactly once per instance. This is the scenario the kill-at-LSN
+/// chaos tests and bench_durability drive.
+
+inline constexpr const char* kDurableOrderProcess = "DurableOrderProcess";
+inline constexpr const char* kDurableSupplierService = "ConfirmOrder";
+
+/// Step names, exported so tests can assert journal/audit contents.
+inline constexpr const char* kStepReserve = "reserve-order";
+inline constexpr const char* kStepInvoke = "invoke-supplier";
+inline constexpr const char* kStepRecord = "record-confirmation";
+
+/// Creates the ledger schema (WfLedger + WfLedgerSeq) on `db`. Safe to
+/// call on a recovered database: existing objects are kept.
+Status PrepareDurableOrderSchema(sql::Database* db);
+
+/// Registers the idempotence-wrapped supplier service and returns the
+/// wrapper (tests read duplicates_suppressed / the inner invocation
+/// count through it). The same shared service object can be registered
+/// on successive engine incarnations to model a remote endpoint that
+/// outlives the crashed process image.
+std::shared_ptr<wfc::IdempotentService> MakeDurableSupplier();
+Status RegisterDurableSupplier(wfc::WorkflowEngine* engine,
+                               std::shared_ptr<wfc::IdempotentService>
+                                   supplier);
+
+/// Deploys the three-durable-step process onto `engine`, running its
+/// SQL against `db`. Inputs: OrderID (integer), Item (string),
+/// Quantity (integer).
+Status DeployDurableOrderProcess(wfc::WorkflowEngine* engine,
+                                 sql::Database* db);
+
+/// Reads back the ledger rows, ordered by entry id.
+Result<sql::ResultSet> ReadDurableLedger(sql::Database* db);
+
+}  // namespace sqlflow::workflows
+
+#endif  // SQLFLOW_WORKFLOWS_DURABLE_ORDER_H_

@@ -1,0 +1,620 @@
+// Durability suite: WAL append/replay roundtrips, snapshot+tail
+// recovery, torn-tail and corruption edge cases, the kill-at-LSN chaos
+// matrix (recovered state must be exactly all-or-nothing of the torn
+// commit batch), and crash-recoverable workflow state — dehydration
+// records, ResumeInstances, and the exactly-once guarantees of
+// DurableStep + IdempotentService.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sql/checkpoint.h"
+#include "sql/database.h"
+#include "sql/fault.h"
+#include "sql/introspect.h"
+#include "sql/wal.h"
+#include "wfc/engine.h"
+#include "wfc/persist.h"
+#include "wfc/service.h"
+#include "wfc/variable.h"
+#include "workflows/durable_order.h"
+#include "xml/node.h"
+
+namespace sqlflow {
+namespace {
+
+namespace fs = std::filesystem;
+
+using sql::FaultInjector;
+using sql::WalManager;
+
+/// A private, initially-empty WAL directory for one test case.
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/sqlflow_dur_" + name;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return dir;
+}
+
+void Exec(sql::Database& db, const std::string& sql) {
+  auto result = db.Execute(sql);
+  ASSERT_TRUE(result.ok()) << sql << ": " << result.status().ToString();
+}
+
+/// The scripted autocommit workload the chaos matrix kills at arbitrary
+/// LSNs: DDL, multi-row DML, sequence draws, an index, a TRUNCATE, and
+/// a DROP — every record type the log can carry.
+std::vector<std::string> StandardWorkload() {
+  return {
+      "CREATE TABLE Orders (Id INTEGER PRIMARY KEY, Item VARCHAR, "
+      "Qty INTEGER)",
+      "CREATE SEQUENCE OrderSeq",
+      "CREATE INDEX OrdersItem ON Orders (Item)",
+      "INSERT INTO Orders VALUES (NEXTVAL('OrderSeq'), 'bolt', 5)",
+      "INSERT INTO Orders VALUES (NEXTVAL('OrderSeq'), 'nut', 9)",
+      "INSERT INTO Orders VALUES (NEXTVAL('OrderSeq'), 'washer', 3)",
+      "INSERT INTO Orders VALUES (NEXTVAL('OrderSeq'), 'bolt', 7)",
+      "UPDATE Orders SET Qty = Qty + 10 WHERE Item = 'bolt'",
+      "DELETE FROM Orders WHERE Item = 'washer'",
+      "CREATE TABLE Audit (Seq INTEGER, Note VARCHAR)",
+      "INSERT INTO Audit VALUES (1, 'alpha'), (2, 'beta')",
+      "UPDATE Audit SET Note = 'gamma' WHERE Seq = 2",
+      "INSERT INTO Orders VALUES (NEXTVAL('OrderSeq'), 'screw', 11)",
+      "TRUNCATE TABLE Audit",
+      "INSERT INTO Audit VALUES (3, 'delta')",
+      "INSERT INTO Orders VALUES (NEXTVAL('OrderSeq'), 'nut', 2)",
+      "UPDATE Orders SET Qty = Qty * 2 WHERE Item = 'nut'",
+      "DROP TABLE Audit",
+      "CREATE TABLE Ledger (K INTEGER, V VARCHAR)",
+      "INSERT INTO Ledger VALUES (42, 'answer')",
+      "DELETE FROM Orders WHERE Qty > 30",
+      "INSERT INTO Orders VALUES (NEXTVAL('OrderSeq'), 'cam', 6)",
+  };
+}
+
+/// Canonical dump of a fresh in-memory database after `stmts` — the
+/// uncrashed oracle the recovered image is differentially compared to.
+std::string OracleDump(const std::vector<std::string>& stmts) {
+  sql::Database oracle("oracle");
+  for (const std::string& s : stmts) {
+    auto result = oracle.Execute(s);
+    EXPECT_TRUE(result.ok()) << s << ": " << result.status().ToString();
+  }
+  return sql::CanonicalStateDump(oracle);
+}
+
+// --- WAL roundtrip recovery -------------------------------------------------
+
+TEST(DurabilityTest, RecoveryRebuildsByteIdenticalState) {
+  std::string dir = FreshDir("roundtrip");
+  sql::Database db("d");
+  ASSERT_TRUE(db.EnableDurability(dir).ok());
+  for (const std::string& s : StandardWorkload()) Exec(db, s);
+
+  sql::WalStats stats = db.wal()->stats();
+  EXPECT_GT(stats.current_lsn, 0u);
+  EXPECT_GT(stats.records, 0u);
+  EXPECT_GT(stats.commits, 0u);
+
+  auto recovered = sql::Database::Recover("d2", dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(sql::CanonicalStateDump(**recovered),
+            sql::CanonicalStateDump(db));
+  EXPECT_EQ(sql::CanonicalStateDump(**recovered),
+            OracleDump(StandardWorkload()));
+}
+
+TEST(DurabilityTest, ColdStartFromEmptyDirectory) {
+  std::string dir = FreshDir("cold");
+  auto recovered = sql::Database::Recover("d", dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(sql::CanonicalStateDump(**recovered), OracleDump({}));
+  // The cold-started image is a normal durable database from here on.
+  Exec(**recovered, "CREATE TABLE T (A INTEGER)");
+  Exec(**recovered, "INSERT INTO T VALUES (1)");
+  auto again = sql::Database::Recover("d2", dir);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(sql::CanonicalStateDump(**again),
+            sql::CanonicalStateDump(**recovered));
+}
+
+TEST(DurabilityTest, RecoveryIsIdempotent) {
+  std::string dir = FreshDir("idem");
+  {
+    sql::Database db("d");
+    ASSERT_TRUE(db.EnableDurability(dir).ok());
+    for (const std::string& s : StandardWorkload()) Exec(db, s);
+  }
+  uintmax_t log_size = fs::file_size(dir + "/wal.log");
+  auto first = sql::Database::Recover("r1", dir);
+  auto second = sql::Database::Recover("r2", dir);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(sql::CanonicalStateDump(**first),
+            sql::CanonicalStateDump(**second));
+  // Recovery reads; it must not grow the log.
+  EXPECT_EQ(fs::file_size(dir + "/wal.log"), log_size);
+}
+
+// --- torn tails and corruption ----------------------------------------------
+
+TEST(DurabilityTest, TornTailIsDiscardedAndTruncated) {
+  std::string dir = FreshDir("torn");
+  sql::Database db("d");
+  ASSERT_TRUE(db.EnableDurability(dir).ok());
+  Exec(db, "CREATE TABLE T (A INTEGER)");
+  Exec(db, "INSERT INTO T VALUES (1), (2)");
+  std::string oracle = sql::CanonicalStateDump(db);
+  uintmax_t committed_size = fs::file_size(dir + "/wal.log");
+
+  {
+    // A torn header: the crash hit after 5 bytes of the next batch.
+    std::ofstream app(dir + "/wal.log",
+                      std::ios::binary | std::ios::app);
+    const char garbage[] = {0x20, 0x00, 0x00, 0x00, '\xAB'};
+    app.write(garbage, sizeof(garbage));
+  }
+  ASSERT_GT(fs::file_size(dir + "/wal.log"), committed_size);
+
+  auto recovered = sql::Database::Recover("d2", dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(sql::CanonicalStateDump(**recovered), oracle);
+  // Recovery truncated the tear so this incarnation appends at the
+  // committed end, not after unreachable garbage.
+  EXPECT_EQ(fs::file_size(dir + "/wal.log"), committed_size);
+
+  Exec(**recovered, "INSERT INTO T VALUES (3)");
+  auto again = sql::Database::Recover("d3", dir);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(sql::CanonicalStateDump(**again),
+            sql::CanonicalStateDump(**recovered));
+}
+
+TEST(DurabilityTest, OrphanRecordsBeforeTearNeverResurface) {
+  std::string dir = FreshDir("orphan");
+  sql::Database db("d");
+  ASSERT_TRUE(db.EnableDurability(dir).ok());
+  Exec(db, "CREATE TABLE T (A INTEGER)");
+
+  {
+    // A complete, CRC-valid record whose batch never committed (the
+    // crash ate the kCommit terminator). If recovery left it in place,
+    // the next batch's kCommit would sweep it into visibility on the
+    // following replay — the classic orphan-record bug.
+    std::string payload = sql::WalDdlRecord("CREATE TABLE Zzz (A INTEGER)");
+    std::string frame;
+    sql::WalPutU32(frame, static_cast<uint32_t>(payload.size()));
+    sql::WalPutU32(frame, sql::WalCrc32(payload.data(), payload.size()));
+    frame += payload;
+    std::ofstream app(dir + "/wal.log",
+                      std::ios::binary | std::ios::app);
+    app.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  }
+
+  auto recovered = sql::Database::Recover("d2", dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ((*recovered)->catalog().FindTable("Zzz"), nullptr);
+
+  // Commit new work after recovery, then replay the log once more: the
+  // orphan must still be gone.
+  Exec(**recovered, "INSERT INTO T VALUES (7)");
+  auto again = sql::Database::Recover("d3", dir);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ((*again)->catalog().FindTable("Zzz"), nullptr);
+  EXPECT_EQ(sql::CanonicalStateDump(**again),
+            sql::CanonicalStateDump(**recovered));
+}
+
+TEST(DurabilityTest, CrcMismatchRefusesRecovery) {
+  std::string dir = FreshDir("crc");
+  {
+    sql::Database db("d");
+    ASSERT_TRUE(db.EnableDurability(dir).ok());
+    Exec(db, "CREATE TABLE T (A INTEGER)");
+    Exec(db, "INSERT INTO T VALUES (1)");
+  }
+  {
+    // Flip one payload byte of the first record: full-length frame,
+    // wrong sum — corruption, not a tear.
+    std::fstream f(dir + "/wal.log",
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);
+    char byte = 0;
+    f.read(&byte, 1);
+    f.seekp(8);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.write(&byte, 1);
+  }
+  auto recovered = sql::Database::Recover("d2", dir);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kDataLoss);
+}
+
+// --- snapshots --------------------------------------------------------------
+
+TEST(DurabilityTest, SnapshotPlusTailMatchesFullLogReplay) {
+  std::string dir = FreshDir("snap");
+  sql::Database db("d");
+  ASSERT_TRUE(db.EnableDurability(dir).ok());
+  std::vector<std::string> workload = StandardWorkload();
+  size_t half = workload.size() / 2;
+  for (size_t i = 0; i < half; ++i) Exec(db, workload[i]);
+  ASSERT_TRUE(db.Checkpoint().ok());
+  EXPECT_TRUE(fs::exists(dir + "/snapshot.bin"));
+  EXPECT_GT(db.wal()->snapshot_lsn(), 0u);
+  for (size_t i = half; i < workload.size(); ++i) Exec(db, workload[i]);
+
+  // Same log, no snapshot: recovery replays from byte zero.
+  std::string full_dir = FreshDir("snap_fulllog");
+  fs::create_directories(full_dir);
+  fs::copy_file(dir + "/wal.log", full_dir + "/wal.log");
+
+  auto via_snapshot = sql::Database::Recover("s", dir);
+  auto via_full_log = sql::Database::Recover("f", full_dir);
+  ASSERT_TRUE(via_snapshot.ok()) << via_snapshot.status().ToString();
+  ASSERT_TRUE(via_full_log.ok()) << via_full_log.status().ToString();
+  EXPECT_EQ(sql::CanonicalStateDump(**via_snapshot),
+            sql::CanonicalStateDump(**via_full_log));
+  EXPECT_EQ(sql::CanonicalStateDump(**via_snapshot),
+            sql::CanonicalStateDump(db));
+}
+
+TEST(DurabilityTest, CheckpointAtTipRecoversFromSnapshotAlone) {
+  std::string dir = FreshDir("snap_tip");
+  sql::Database db("d");
+  ASSERT_TRUE(db.EnableDurability(dir).ok());
+  for (const std::string& s : StandardWorkload()) Exec(db, s);
+  ASSERT_TRUE(db.Checkpoint().ok());
+
+  auto recovered = sql::Database::Recover("d2", dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(sql::CanonicalStateDump(**recovered),
+            sql::CanonicalStateDump(db));
+  // The snapshot covers the whole log, so the replayed tail was empty.
+  EXPECT_EQ((*recovered)->wal()->snapshot_lsn(),
+            (*recovered)->wal()->current_lsn());
+}
+
+// --- observability ----------------------------------------------------------
+
+TEST(DurabilityTest, SysWalVirtualTableReportsLogState) {
+  std::string dir = FreshDir("syswal");
+  sql::Database db("d");
+  ASSERT_TRUE(db.EnableDurability(dir).ok());
+  ASSERT_TRUE(sql::RegisterSysTables(&db).ok());
+  Exec(db, "CREATE TABLE T (A INTEGER)");
+  Exec(db, "INSERT INTO T VALUES (1)");
+
+  auto rs = db.Execute(
+      "SELECT CURRENT_LSN, RECORDS, COMMITS, FSYNC_POLICY, CRASHED "
+      "FROM sys.wal");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows().size(), 1u);
+  const sql::Row& row = rs->rows()[0];
+  EXPECT_GT(row[0].integer(), 0);
+  EXPECT_GT(row[1].integer(), 0);
+  EXPECT_GT(row[2].integer(), 0);
+  EXPECT_EQ(row[3].str(), "never");
+  EXPECT_FALSE(row[4].boolean());
+}
+
+TEST(DurabilityTest, FsyncPolicyEveryCommitSyncsEachBatch) {
+  std::string dir = FreshDir("fsync");
+  sql::Database db("d");
+  sql::WalOptions options;
+  options.fsync_policy = sql::FsyncPolicy::kEveryCommit;
+  ASSERT_TRUE(db.EnableDurability(dir, options).ok());
+  Exec(db, "CREATE TABLE T (A INTEGER)");
+  Exec(db, "INSERT INTO T VALUES (1)");
+  Exec(db, "INSERT INTO T VALUES (2)");
+  sql::WalStats stats = db.wal()->stats();
+  EXPECT_EQ(stats.syncs, stats.commits);
+  EXPECT_GE(stats.syncs, 3u);
+}
+
+// --- kill-at-LSN chaos matrix -----------------------------------------------
+
+// For each seed: run the workload against a durable database with the
+// crash layer armed, let the injector kill the WAL at a seed-chosen
+// byte, recover into a fresh image, and demand the recovered state be
+// EXACTLY the oracle of the committed prefix — with or without the torn
+// statement, never in between (the tear may land after the whole batch,
+// in which case the commit is durable even though the client saw an
+// error: the classic ambiguous-commit outcome). Then finish the
+// workload on the recovered image and demand full-history equivalence.
+TEST(DurabilityChaosTest, KillAtLsnMatrixRecoversAllOrNothing) {
+  const std::vector<std::string> workload = StandardWorkload();
+  size_t crashes_observed = 0;
+  for (uint64_t seed : {11u, 22u, 33u, 44u, 55u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::string dir = FreshDir("chaos_" + std::to_string(seed));
+    sql::Database db("chaos");
+    ASSERT_TRUE(db.EnableDurability(dir).ok());
+    FaultInjector::Options fopts;
+    fopts.seed = seed;
+    fopts.probability = 0.18;
+    fopts.statement_sites = false;
+    fopts.crash_sites = true;
+    db.set_fault_injector(std::make_shared<FaultInjector>(fopts));
+
+    std::vector<std::string> committed;
+    int crashed_at = -1;
+    for (size_t i = 0; i < workload.size(); ++i) {
+      auto result = db.Execute(workload[i]);
+      if (result.ok()) {
+        committed.push_back(workload[i]);
+        continue;
+      }
+      ASSERT_EQ(result.status().code(), StatusCode::kDataLoss)
+          << workload[i] << ": " << result.status().ToString();
+      crashed_at = static_cast<int>(i);
+      break;
+    }
+
+    auto recovered = sql::Database::Recover("r1", dir);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    std::string dump = sql::CanonicalStateDump(**recovered);
+
+    size_t next = workload.size();
+    if (crashed_at < 0) {
+      EXPECT_EQ(dump, OracleDump(workload));
+    } else {
+      ++crashes_observed;
+      EXPECT_TRUE(db.wal()->crashed());
+      std::string pre = OracleDump(committed);
+      std::vector<std::string> with_torn = committed;
+      with_torn.push_back(workload[crashed_at]);
+      std::string post = OracleDump(with_torn);
+      EXPECT_TRUE(dump == pre || dump == post)
+          << "recovered image is neither all nor nothing of the torn "
+             "batch (crashed at statement "
+          << crashed_at << ")";
+      // Client-retry semantics: re-run the torn statement only if its
+      // commit did not survive, then finish the workload.
+      next = static_cast<size_t>(crashed_at) + (dump == post ? 1 : 0);
+    }
+    for (size_t i = next; i < workload.size(); ++i) {
+      auto result = (*recovered)->Execute(workload[i]);
+      ASSERT_TRUE(result.ok())
+          << workload[i] << ": " << result.status().ToString();
+    }
+    EXPECT_EQ(sql::CanonicalStateDump(**recovered), OracleDump(workload));
+
+    // The post-crash appends land on a truncated, clean log: a second
+    // recovery agrees byte-for-byte.
+    auto again = sql::Database::Recover("r2", dir);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(sql::CanonicalStateDump(**again),
+              sql::CanonicalStateDump(**recovered));
+  }
+  // The matrix is vacuous if no seed ever fired the crash layer.
+  EXPECT_GT(crashes_observed, 0u);
+}
+
+// --- workflow dehydration records -------------------------------------------
+
+TEST(WfPersistTest, StartRecordRoundtrips) {
+  std::map<std::string, wfc::VarValue> inputs;
+  inputs["OrderID"] = wfc::VarValue(Value::Integer(7));
+  inputs["Item"] = wfc::VarValue(Value::String("bolt"));
+  std::string rec = wfc::WfStartRecord(42, "Proc", inputs);
+  ASSERT_FALSE(rec.empty());
+  EXPECT_EQ(static_cast<sql::WalRecordType>(static_cast<uint8_t>(rec[0])),
+            sql::WalRecordType::kWfStart);
+
+  auto info = wfc::DecodeWfStart(rec.substr(1));
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->instance_id, 42u);
+  EXPECT_EQ(info->process_name, "Proc");
+  ASSERT_EQ(info->inputs.size(), 2u);
+  const Value* id = std::get_if<Value>(&info->inputs.at("OrderID"));
+  ASSERT_NE(id, nullptr);
+  EXPECT_EQ(id->AsString(), "7");
+  const Value* item = std::get_if<Value>(&info->inputs.at("Item"));
+  ASSERT_NE(item, nullptr);
+  EXPECT_EQ(item->AsString(), "bolt");
+}
+
+TEST(WfPersistTest, StepRecordRoundtripsScalarAndXmlVariables) {
+  wfc::VariableSet vars;
+  vars.Set("N", wfc::VarValue(Value::Integer(3)));
+  ASSERT_TRUE(vars.SetXml("Doc", xml::Node::Element("row")).ok());
+  std::string rec = wfc::WfStepRecord(9, "step-a", 4, vars);
+  EXPECT_EQ(static_cast<sql::WalRecordType>(static_cast<uint8_t>(rec[0])),
+            sql::WalRecordType::kWfStep);
+
+  auto step = wfc::DecodeWfStep(rec.substr(1));
+  ASSERT_TRUE(step.ok()) << step.status().ToString();
+  EXPECT_EQ(step->step_name, "step-a");
+  EXPECT_EQ(step->seq, 4u);
+  ASSERT_EQ(step->variables.size(), 2u);
+  const Value* n = std::get_if<Value>(&step->variables.at("N"));
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->AsString(), "3");
+  const xml::NodePtr* doc =
+      std::get_if<xml::NodePtr>(&step->variables.at("Doc"));
+  ASSERT_NE(doc, nullptr);
+  ASSERT_NE(*doc, nullptr);
+}
+
+TEST(WfPersistTest, JournalPreloadRestoresCursorAndAttempts) {
+  sql::WfInstanceLog log;
+  log.start_payload = wfc::WfStartRecord(7, "P", {}).substr(1);
+  wfc::VariableSet vars;
+  vars.Set("X", wfc::VarValue(Value::Integer(1)));
+  log.steps.push_back(wfc::WfStepRecord(7, "s1", 0, vars).substr(1));
+  log.steps.push_back(wfc::WfStepRecord(7, "s2", 1, vars).substr(1));
+  log.attempts.push_back(wfc::WfAttemptRecord(7, "s2", 1).substr(1));
+  log.attempts.push_back(wfc::WfAttemptRecord(7, "s2", 2).substr(1));
+
+  wfc::InstanceJournal journal(nullptr, 7);
+  ASSERT_TRUE(journal.Preload(log).ok());
+  EXPECT_EQ(journal.steps_replayed(), 0u);
+  EXPECT_EQ(journal.steps_pending_replay(), 2u);
+  EXPECT_EQ(journal.PriorAttempts("s2"), 2);
+  EXPECT_EQ(journal.PriorAttempts("s1"), 0);
+}
+
+// --- crash-recoverable workflow state ---------------------------------------
+
+namespace wf = sqlflow::workflows;
+
+struct WorkflowHarness {
+  sql::Database* db = nullptr;
+  std::unique_ptr<wfc::WorkflowEngine> engine;
+
+  static Result<WorkflowHarness> Attach(
+      sql::Database* db, std::shared_ptr<wfc::IdempotentService> supplier,
+      const std::string& engine_name) {
+    WorkflowHarness h;
+    h.db = db;
+    h.engine = std::make_unique<wfc::WorkflowEngine>(engine_name);
+    SQLFLOW_RETURN_IF_ERROR(wf::PrepareDurableOrderSchema(db));
+    SQLFLOW_RETURN_IF_ERROR(
+        wf::RegisterDurableSupplier(h.engine.get(), std::move(supplier)));
+    SQLFLOW_RETURN_IF_ERROR(
+        wf::DeployDurableOrderProcess(h.engine.get(), db));
+    SQLFLOW_RETURN_IF_ERROR(h.engine->EnableDurability(db));
+    return h;
+  }
+};
+
+std::map<std::string, wfc::VarValue> OrderInputs(int64_t order_id) {
+  return {{"OrderID", wfc::VarValue(Value::Integer(order_id))},
+          {"Item", wfc::VarValue(Value::String("widget"))},
+          {"Quantity", wfc::VarValue(Value::Integer(2))}};
+}
+
+/// Counts ledger rows per stage for one order.
+void CountLedger(sql::Database* db, int64_t order_id, size_t* reserved,
+                 size_t* confirmed) {
+  *reserved = 0;
+  *confirmed = 0;
+  auto ledger = wf::ReadDurableLedger(db);
+  ASSERT_TRUE(ledger.ok()) << ledger.status().ToString();
+  for (const sql::Row& row : ledger->rows()) {
+    if (row[1].integer() != order_id) continue;
+    if (row[2].str() == "reserved") ++*reserved;
+    if (row[2].str() == "confirmed") ++*confirmed;
+  }
+}
+
+TEST(WorkflowDurabilityTest, CompletedInstanceIsNotResumed) {
+  std::string dir = FreshDir("wf_done");
+  auto supplier = wf::MakeDurableSupplier();
+  sql::Database db("wf");
+  ASSERT_TRUE(db.EnableDurability(dir).ok());
+  auto h = WorkflowHarness::Attach(&db, supplier, "e1");
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+
+  auto result =
+      h->engine->RunProcess(wf::kDurableOrderProcess, OrderInputs(1));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->status.ok()) << result->status.ToString();
+  EXPECT_EQ(supplier->inner_invocations(), 1u);
+
+  size_t reserved = 0, confirmed = 0;
+  CountLedger(&db, 1, &reserved, &confirmed);
+  EXPECT_EQ(reserved, 1u);
+  EXPECT_EQ(confirmed, 1u);
+
+  // A fresh incarnation sees the start AND the end: nothing to resume,
+  // and the ledger recovered exactly as written.
+  auto rec = sql::Database::Recover("wf2", dir);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  auto h2 = WorkflowHarness::Attach(rec->get(), supplier, "e2");
+  ASSERT_TRUE(h2.ok()) << h2.status().ToString();
+  EXPECT_TRUE(h2->engine->ResumeInstances().empty());
+  CountLedger(rec->get(), 1, &reserved, &confirmed);
+  EXPECT_EQ(reserved, 1u);
+  EXPECT_EQ(confirmed, 1u);
+  EXPECT_EQ(supplier->inner_invocations(), 1u);
+}
+
+// Five-seed crash→recover→resume matrix. Whatever LSN the kill lands
+// on, the recovered+resumed world must satisfy exactly-once: at most
+// one reserved and one confirmed ledger row per order, exactly one real
+// supplier invocation when the order completed, zero of everything when
+// the crash predated the durable start. The idempotence cache lives in
+// the supplier object, which survives the simulated process death the
+// way a remote endpoint survives a workflow host crash.
+TEST(WorkflowDurabilityTest, CrashResumeMatrixIsExactlyOnce) {
+  size_t crashes_observed = 0;
+  size_t resumes_observed = 0;
+  for (uint64_t seed : {3u, 7u, 12u, 21u, 34u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::string dir = FreshDir("wf_chaos_" + std::to_string(seed));
+    auto supplier = wf::MakeDurableSupplier();
+    const int64_t order_id = static_cast<int64_t>(seed);
+
+    sql::Database db("wf");
+    ASSERT_TRUE(db.EnableDurability(dir).ok());
+    auto h1 = WorkflowHarness::Attach(&db, supplier, "e1");
+    ASSERT_TRUE(h1.ok()) << h1.status().ToString();
+
+    FaultInjector::Options fopts;
+    fopts.seed = seed;
+    fopts.probability = 0.3;
+    fopts.statement_sites = false;
+    fopts.crash_sites = true;
+    db.set_fault_injector(std::make_shared<FaultInjector>(fopts));
+
+    auto first =
+        h1->engine->RunProcess(wf::kDurableOrderProcess,
+                               OrderInputs(order_id));
+    bool completed_first = first.ok() && first->status.ok();
+    if (db.wal()->crashed()) ++crashes_observed;
+
+    // The host dies; recover into a fresh image and rehydrate.
+    auto rec = sql::Database::Recover("wf2", dir);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    auto h2 = WorkflowHarness::Attach(rec->get(), supplier, "e2");
+    ASSERT_TRUE(h2.ok()) << h2.status().ToString();
+    auto resumed = h2->engine->ResumeInstances();
+    ASSERT_LE(resumed.size(), 1u);
+    for (auto& r : resumed) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      EXPECT_TRUE(r->status.ok()) << r->status.ToString();
+    }
+    if (!resumed.empty()) ++resumes_observed;
+
+    size_t reserved = 0, confirmed = 0;
+    CountLedger(rec->get(), order_id, &reserved, &confirmed);
+    if (!resumed.empty() || completed_first) {
+      EXPECT_EQ(reserved, 1u) << "reserve step must run exactly once";
+      EXPECT_EQ(confirmed, 1u) << "record step must run exactly once";
+      EXPECT_EQ(supplier->inner_invocations(), 1u)
+          << "supplier must see exactly one real call";
+    } else {
+      // The kill predated the durable kWfStart: the instance never
+      // existed, so nothing may have leaked.
+      EXPECT_EQ(reserved, 0u);
+      EXPECT_EQ(confirmed, 0u);
+      EXPECT_EQ(supplier->inner_invocations(), 0u);
+    }
+
+    // A third incarnation finds the world settled: nothing to resume,
+    // ledger identical.
+    auto rec3 = sql::Database::Recover("wf3", dir);
+    ASSERT_TRUE(rec3.ok()) << rec3.status().ToString();
+    auto h3 = WorkflowHarness::Attach(rec3->get(), supplier, "e3");
+    ASSERT_TRUE(h3.ok()) << h3.status().ToString();
+    EXPECT_TRUE(h3->engine->ResumeInstances().empty());
+    EXPECT_EQ(sql::CanonicalStateDump(**rec3),
+              sql::CanonicalStateDump(**rec));
+  }
+  // The matrix is vacuous unless the sweep produced both regimes.
+  EXPECT_GT(crashes_observed, 0u);
+  EXPECT_GT(resumes_observed, 0u);
+}
+
+}  // namespace
+}  // namespace sqlflow

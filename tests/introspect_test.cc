@@ -416,7 +416,11 @@ TEST(SysTablesTest, FaultSitesReflectInjectorState) {
   EXPECT_FALSE(db.Execute("SELECT COUNT(*) FROM emp").ok());
   EXPECT_FALSE(db.Execute("SELECT COUNT(*) FROM emp").ok());
 
-  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.fault_sites"), 3);
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.fault_sites"), 4);
+  // The crash layer rides the same injector but is disabled by default.
+  EXPECT_EQ(ScalarInt(db, "SELECT INJECTED FROM sys.fault_sites "
+                          "WHERE LAYER = 'crash'"),
+            0);
   EXPECT_EQ(ScalarInt(db, "SELECT INJECTED FROM sys.fault_sites "
                           "WHERE LAYER = 'statement'"),
             static_cast<int64_t>(injector->stats().injected_statement));

@@ -268,20 +268,58 @@ TEST_F(PartialWriteTest, FailedNextvalStatementRestoresSequence) {
 
 // --- the idempotence guard --------------------------------------------------
 
-TEST_F(PartialWriteTest, GuardRefusesReplayOfSelfReadingUpdate) {
-  std::string before = DatabaseSnapshot(*db_);
+TEST_F(PartialWriteTest, SelfReadingUpdateReplayAbsorbed) {
+  // N = N + 1 reads state it also writes, but the executor pre-binds
+  // every written value against pre-statement state before the first
+  // mutation — so after the mid-statement rollback a replay recomputes
+  // identical values and the transient fault is absorbed invisibly,
+  // exactly like the constant-assignment case.
   auto injector = ArmMidFault("row 2", StatusCode::kDeadlock);
   db_->set_retry_policy(sql::RetryPolicy{/*max_attempts=*/5});
   uint64_t refused_before = CounterValue("sql.retry.refused");
+  uint64_t absorbed_before = CounterValue("sql.fault.absorbed");
 
-  // N = N + 1 reads state it also writes: statement-level replay in
-  // autocommit is refused, the transient fault escalates.
   auto result = db_->Execute("UPDATE T SET N = N + 1");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->affected_rows(), 6);
+  EXPECT_EQ(injector->stats().injected_mid_statement, 1u);
+  EXPECT_EQ(CounterValue("sql.retry.refused"), refused_before);
+  EXPECT_EQ(CounterValue("sql.fault.absorbed"), absorbed_before + 1);
+  auto sum = db_->Execute("SELECT SUM(N) FROM T");
+  ASSERT_TRUE(sum.ok());
+  // 10+..+60 = 210, +1 per row exactly once — no double increment.
+  EXPECT_EQ(sum->rows()[0][0], Value::Integer(216));
+}
+
+TEST_F(PartialWriteTest, GuardRefusesReplayOfCallWithPartialWrites) {
+  std::string before = DatabaseSnapshot(*db_);
+  // A procedure that writes and then dies transiently: the CALL's
+  // partial writes were observable in autocommit and its body is
+  // opaque, so statement-level replay is refused.
+  auto failures = std::make_shared<int>(1);
+  sql::StoredProcedure proc;
+  proc.name = "BumpThenFlake";
+  proc.arity = 0;
+  proc.body = [failures](sql::Database& db,
+                         const std::vector<Value>&)
+      -> Result<sql::ResultSet> {
+    SQLFLOW_RETURN_IF_ERROR(
+        db.Execute("INSERT INTO T VALUES (7, 'odd', 70)").status());
+    if (*failures > 0) {
+      --*failures;
+      return Status::Unavailable("supplier briefly down");
+    }
+    return sql::ResultSet();
+  };
+  ASSERT_TRUE(db_->RegisterProcedure(std::move(proc)).ok());
+  db_->set_retry_policy(sql::RetryPolicy{/*max_attempts=*/5});
+  uint64_t refused_before = CounterValue("sql.retry.refused");
+
+  auto result = db_->Execute("CALL BumpThenFlake()");
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsTransient());
-  EXPECT_EQ(CounterValue("sql.retry.refused"), refused_before + 1);
   // Only one attempt ran — no silent replay.
-  EXPECT_EQ(injector->stats().faults_injected, 1u);
+  EXPECT_EQ(CounterValue("sql.retry.refused"), refused_before + 1);
   // And the partial writes are gone.
   EXPECT_EQ(DatabaseSnapshot(*db_), before);
 }
@@ -306,25 +344,45 @@ TEST_F(PartialWriteTest, GuardAllowsReplayInsideTransaction) {
 }
 
 TEST_F(PartialWriteTest, RefusedReplayEscalatesToWorkflowRetry) {
-  ArmMidFault("row 2", StatusCode::kUnavailable);
+  // The refused CALL from above, wrapped in the workflow-level retry:
+  // the statement layer rolls back and escalates, the activity re-runs
+  // against fresh reads and succeeds — effects land exactly once.
+  auto failures = std::make_shared<int>(1);
+  sql::StoredProcedure proc;
+  proc.name = "BumpThenFlake";
+  proc.arity = 0;
+  proc.body = [failures](sql::Database& db,
+                         const std::vector<Value>&)
+      -> Result<sql::ResultSet> {
+    SQLFLOW_RETURN_IF_ERROR(
+        db.Execute("UPDATE T SET N = N + 1").status());
+    if (*failures > 0) {
+      --*failures;
+      return Status::Unavailable("supplier briefly down");
+    }
+    return sql::ResultSet();
+  };
+  ASSERT_TRUE(db_->RegisterProcedure(std::move(proc)).ok());
   db_->set_retry_policy(sql::RetryPolicy{/*max_attempts=*/5});
 
   wfc::WorkflowEngine engine("chaos");
   auto body = std::make_shared<wfc::SnippetActivity>(
       "bump", [this](wfc::ProcessContext&) -> Status {
-        return db_->Execute("UPDATE T SET N = N + 1").status();
+        return db_->Execute("CALL BumpThenFlake()").status();
       });
   wfc::BackoffPolicy policy;
   policy.max_attempts = 3;
   engine.DeployOrReplace(std::make_shared<wfc::ProcessDefinition>(
       "p", std::make_shared<wfc::RetryActivity>("r", body, policy)));
 
+  uint64_t refused_before = CounterValue("sql.retry.refused");
   uint64_t absorbed_before = CounterValue("wfc.retry.absorbed");
   auto result = engine.RunProcess("p");
   ASSERT_TRUE(result.ok());
   EXPECT_TRUE(result->status.ok()) << result->status.ToString();
   // Statement replay was refused once; the workflow retry re-ran the
   // activity against fresh reads and succeeded — increments exactly once.
+  EXPECT_EQ(CounterValue("sql.retry.refused"), refused_before + 1);
   EXPECT_EQ(CounterValue("wfc.retry.absorbed"), absorbed_before + 1);
   auto sum = db_->Execute("SELECT SUM(N) FROM T");
   ASSERT_TRUE(sum.ok());
@@ -481,6 +539,24 @@ TEST_F(InverseTest, DropEffectsAreRefusedNotGuessed) {
   auto program = sql::BuildInverseStatements(*db_, effects);
   ASSERT_FALSE(program.ok());
   EXPECT_EQ(program.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(InverseTest, DropTableInverseRebuildsSchemaIndexesAndRows) {
+  std::string before = LogicalSnapshot(*db_);
+  db_->set_capture_effects(true);
+  Exec("DROP TABLE T");
+  std::vector<sql::UndoEntry> effects = db_->TakeCapturedEffects();
+  db_->set_capture_effects(false);
+  ASSERT_FALSE(effects.empty());
+  ASSERT_EQ(db_->catalog().FindTable("T"), nullptr);
+
+  auto program = sql::BuildInverseStatements(*db_, effects);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  // DDL first (CREATE TABLE, then the secondary index), rows after.
+  ASSERT_GE(program->size(), 3u);
+  EXPECT_EQ(program->front().sql.rfind("CREATE TABLE T", 0), 0u);
+  ASSERT_TRUE(sql::ApplyInverseStatements(*db_, *program).ok());
+  EXPECT_EQ(LogicalSnapshot(*db_), before);
 }
 
 TEST_F(InverseTest, CapturedTransactionCommitYieldsInverse) {
