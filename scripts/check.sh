@@ -23,7 +23,7 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
     sqlflow_sql_range_tests sqlflow_sql_fuzz_tests sqlflow_vec_exec_tests \
     sqlflow_chaos_tests sqlflow_introspect_tests \
     sqlflow_mvcc_tests sqlflow_concurrency_tests \
-    sqlflow_durability_tests pattern_matrix
+    sqlflow_durability_tests sqlflow_net_tests pattern_matrix
   ./build-asan/tests/sqlflow_obs_tests
   ./build-asan/tests/sqlflow_integration_tests
   # The optimizer differential battery (index/hash-join/plan-cache paths
@@ -71,6 +71,12 @@ if [[ "${SKIP_ASAN:-0}" != "1" ]]; then
   # incarnation wrote — the five-seed kill-at-LSN matrices live inside
   # the suite, so the whole durability battery runs sanitized.
   ./build-asan/tests/sqlflow_durability_tests
+  # Wire protocol: frame codec buffers, per-connection sessions handed
+  # between reader and worker threads, the protocol-hardening battery
+  # (malformed frames, CRC flips, half-closes), and the five-seed
+  # network-fault + server-crash chaos matrices — socket-lifetime and
+  # buffer arithmetic are exactly ASan's beat.
+  ./build-asan/tests/sqlflow_net_tests
 fi
 
 if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
@@ -78,7 +84,7 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   cmake -B build-tsan -S . -DSQLFLOW_SANITIZE=thread
   cmake --build build-tsan -j --target sqlflow_mvcc_tests \
     sqlflow_concurrency_tests sqlflow_chaos_tests sqlflow_sql_fuzz_tests \
-    sqlflow_durability_tests
+    sqlflow_durability_tests sqlflow_net_tests
   # The free-running worker pool and the concurrent fuzz replay are the
   # genuinely racy schedules; mvcc + chaos pin the lock discipline of
   # the statement latch, version stash, and fault injector.
@@ -92,9 +98,14 @@ if [[ "${SKIP_TSAN:-0}" != "1" ]]; then
   # replay (above) plus the journal/resume paths share that lock with
   # the statement latch — run the suite to pin the discipline.
   ./build-tsan/tests/sqlflow_durability_tests
+  # The server is the raciest schedule in the tree: reader threads, a
+  # shared worker pool, per-connection write mutexes, admission gates
+  # on atomics, and the group-commit coalescing wait all interleave
+  # for real under the chaos matrices — run the suite to pin them.
+  ./build-tsan/tests/sqlflow_net_tests
 fi
 
-echo "== bench smoke: sql plans + range + exec + chaos + introspect + conc + dur =="
+echo "== bench smoke: sql plans + range + exec + chaos + introspect + conc + dur + server =="
 ./build/bench/bench_sql_plans --quick > /dev/null
 ./build/bench/bench_sql_range --quick > /dev/null
 ./build/bench/bench_sql_exec --quick > /dev/null
@@ -102,6 +113,10 @@ echo "== bench smoke: sql plans + range + exec + chaos + introspect + conc + dur
 ./build/bench/bench_introspect --quick > /dev/null
 ./build/bench/bench_concurrency --quick > /dev/null
 ./build/bench/bench_durability --quick > /dev/null
+# The server smoke also enforces the overload envelope: the binary
+# aborts if the 2x-admission run sees a non-transient failure or the
+# server is not serving afterwards.
+./build/bench/bench_server --quick > /dev/null
 
 echo "== chaos smoke: Table II invariant under seed 1 =="
 ./build/examples/pattern_matrix --chaos=1 > /dev/null

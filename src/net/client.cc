@@ -1,0 +1,260 @@
+#include "net/client.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace sqlflow::net {
+
+Client::Client(ClientOptions options) : options_(std::move(options)) {}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  session_id_ = 0;
+}
+
+ClientStats Client::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+FrameIo Client::Io() const {
+  FrameIo io;
+  io.fd = fd_;
+  io.deadline_ms = options_.response_deadline_ms;
+  io.max_frame_bytes = options_.max_frame_bytes;
+  io.injector = options_.injector;
+  io.label = options_.fault_label;
+  io.side = "client";
+  io.bytes_out = const_cast<std::atomic<uint64_t>*>(&bytes_out_);
+  io.bytes_in = const_cast<std::atomic<uint64_t>*>(&bytes_in_);
+  return io;
+}
+
+Status Client::ConnectOnce() {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket failed: ") +
+                               std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Unavailable(std::string("connect failed: ") +
+                               std::strerror(errno));
+  }
+  fd_ = fd;
+
+  // The handshake is plain frame I/O: send kHello, expect kHelloOk. An
+  // admission refusal arrives as a kResult frame instead — surface its
+  // (transient) status so the ladder backs off and retries.
+  Status sent = SendFrame(Io(), EncodeHello(options_.client_name));
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  auto reply = RecvFrame(Io(), options_.connect_timeout_ms);
+  if (!reply.ok()) {
+    Close();
+    return reply.status();
+  }
+  if (!reply->empty() &&
+      static_cast<MessageType>(static_cast<uint8_t>((*reply)[0])) ==
+          MessageType::kResult) {
+    auto refusal = DecodeResponse(*reply);
+    Close();
+    if (refusal.ok()) return refusal->status;
+    return refusal.status();
+  }
+  auto hello_ok = DecodeHelloOk(*reply);
+  if (!hello_ok.ok()) {
+    Close();
+    return hello_ok.status();
+  }
+  server_name_ = hello_ok->first;
+  session_id_ = hello_ok->second;
+  return Status::OK();
+}
+
+Status Client::Connect() {
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= std::max(1, options_.max_attempts);
+       ++attempt) {
+    if (attempt > 1) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.retry_backoff_ms * attempt));
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.retries += 1;
+    }
+    last = ConnectOnce();
+    if (last.ok()) {
+      if (attempt > 1) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats_.reconnects += 1;
+      }
+      return last;
+    }
+    if (!last.IsTransient()) return last;
+  }
+  return last;
+}
+
+Result<Response> Client::RoundTrip(const Request& request) {
+  SQLFLOW_RETURN_IF_ERROR(SendFrame(Io(), EncodeRequest(request)));
+  SQLFLOW_ASSIGN_OR_RETURN(std::string payload,
+                           RecvFrame(Io(), options_.response_deadline_ms));
+  SQLFLOW_ASSIGN_OR_RETURN(Response response, DecodeResponse(payload));
+  if (response.request_id != 0 &&
+      response.request_id != request.request_id) {
+    return Status::DataLoss("response id " +
+                            std::to_string(response.request_id) +
+                            " does not match request " +
+                            std::to_string(request.request_id));
+  }
+  return response;
+}
+
+bool Client::SafeToRepeat(const Request& request) {
+  if (!request.idempotency_key.empty()) return true;
+  switch (request.type) {
+    case MessageType::kPing:
+    case MessageType::kQueryAudit:
+      return true;  // read-only
+    default:
+      return false;
+  }
+}
+
+Result<Response> Client::Call(Request request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  request.request_id = next_request_id_++;
+  stats_.requests += 1;
+
+  const int max_attempts = std::max(1, options_.max_attempts);
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      stats_.retries += 1;
+      obs::MetricsRegistry::Global()
+          .GetCounter("net.client.retries")
+          .Increment();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.retry_backoff_ms * attempt));
+      // A fresh request id per attempt: the server replies under the
+      // id it was asked with, and dedup rides the idempotency key.
+      request.request_id = next_request_id_++;
+    }
+    if (fd_ < 0) {
+      last = ConnectOnce();
+      if (!last.ok()) {
+        if (!last.IsTransient()) return last;
+        continue;
+      }
+      if (attempt > 1) stats_.reconnects += 1;
+    }
+    auto response = RoundTrip(request);
+    if (response.ok()) {
+      // A transient *response* (shed, queue full) is retried like a
+      // transport fault — but on a healthy connection.
+      if (response->status.IsTransient() && attempt < max_attempts &&
+          SafeToRepeat(request)) {
+        last = response->status;
+        continue;
+      }
+      return response;
+    }
+    // Transport fault: the connection is unusable (torn frame, injected
+    // drop, deadline, CRC failure). Tear it down; retry only when a
+    // repeat cannot double-execute.
+    last = response.status();
+    Close();
+    if (!last.IsTransient() && last.code() != StatusCode::kDataLoss) {
+      return last;
+    }
+    if (!SafeToRepeat(request)) return last;
+  }
+  return last;
+}
+
+Result<sql::ResultSet> Client::ExecuteSql(std::string_view sql,
+                                          const sql::Params& params,
+                                          std::string idempotency_key) {
+  Request request;
+  request.type = MessageType::kExecuteSql;
+  request.sql = std::string(sql);
+  request.params = params;
+  request.idempotency_key = std::move(idempotency_key);
+  SQLFLOW_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  if (!response.status.ok()) return response.status;
+  return std::move(response.result);
+}
+
+Result<sql::ResultSet> Client::StartInstance(
+    std::string process_name,
+    std::vector<std::pair<std::string, Value>> args,
+    std::string idempotency_key) {
+  Request request;
+  request.type = MessageType::kStartInstance;
+  request.target = std::move(process_name);
+  request.args = std::move(args);
+  request.idempotency_key = std::move(idempotency_key);
+  SQLFLOW_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  if (!response.status.ok()) return response.status;
+  return std::move(response.result);
+}
+
+Result<Value> Client::InvokeService(
+    std::string service_name,
+    std::vector<std::pair<std::string, Value>> args,
+    std::string idempotency_key) {
+  Request request;
+  request.type = MessageType::kInvokeService;
+  request.target = std::move(service_name);
+  request.args = std::move(args);
+  request.idempotency_key = std::move(idempotency_key);
+  SQLFLOW_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  if (!response.status.ok()) return response.status;
+  if (response.result.row_count() < 1 ||
+      response.result.column_count() < 1) {
+    return Status::Internal("service reply carried no value");
+  }
+  return response.result.rows()[0][0];
+}
+
+Result<sql::ResultSet> Client::QueryAudit(uint64_t instance_id) {
+  Request request;
+  request.type = MessageType::kQueryAudit;
+  request.instance_id = instance_id;
+  SQLFLOW_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  if (!response.status.ok()) return response.status;
+  return std::move(response.result);
+}
+
+Status Client::Ping() {
+  Request request;
+  request.type = MessageType::kPing;
+  SQLFLOW_ASSIGN_OR_RETURN(Response response, Call(std::move(request)));
+  return response.status;
+}
+
+}  // namespace sqlflow::net

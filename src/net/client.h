@@ -1,0 +1,119 @@
+#ifndef SQLFLOW_NET_CLIENT_H_
+#define SQLFLOW_NET_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/protocol.h"
+#include "sql/eval.h"
+#include "sql/result_set.h"
+
+namespace sqlflow::net {
+
+struct ClientOptions {
+  /// The server listens on loopback only.
+  uint16_t port = 0;
+  std::string client_name = "client";
+  int connect_timeout_ms = 2000;
+  /// Budget for one response to arrive (and for sends to drain).
+  int response_deadline_ms = 10000;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Network chaos for client-side frame I/O (FaultLayer::kNetwork).
+  sql::FaultInjector* injector = nullptr;
+  std::string fault_label = "client";
+  /// Transport retry ladder: on a transient failure the client
+  /// reconnects and re-sends — but only requests that are safe to
+  /// repeat (carrying an idempotency key, or read-only). 1 = no
+  /// retries.
+  int max_attempts = 1;
+  int retry_backoff_ms = 2;
+};
+
+/// Monotonic client-side counters.
+struct ClientStats {
+  uint64_t requests = 0;
+  uint64_t retries = 0;     // re-sends after a transient failure
+  uint64_t reconnects = 0;  // successful re-handshakes after a drop
+};
+
+/// The C++ driver for the sqlflow wire protocol: one TCP connection,
+/// one server-side session (its own MVCC connection). Calls are
+/// synchronous request/response and serialized per client. Transient
+/// failures — dropped connections, shed requests, admission refusals —
+/// are absorbed by the retry ladder when the request is safe to repeat;
+/// the idempotency key makes a repeat safe by letting the server answer
+/// it from the durable request ledger instead of re-executing.
+class Client {
+ public:
+  explicit Client(ClientOptions options);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects and handshakes. Transient refusals (admission limit) are
+  /// retried through the ladder.
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  uint64_t session_id() const { return session_id_; }
+  const std::string& server_name() const { return server_name_; }
+  ClientStats stats() const;
+
+  /// One SQL statement. A non-empty `idempotency_key` makes the call
+  /// exactly-once across retries and server crashes.
+  Result<sql::ResultSet> ExecuteSql(std::string_view sql,
+                                    const sql::Params& params = {},
+                                    std::string idempotency_key = "");
+
+  /// Starts a workflow instance and waits for it to finish; the result
+  /// carries the INSTANCE_ID row. Keyed starts are exactly-once.
+  Result<sql::ResultSet> StartInstance(
+      std::string process_name,
+      std::vector<std::pair<std::string, Value>> args = {},
+      std::string idempotency_key = "");
+
+  /// Invokes a registered service; keyed invokes dedupe through the
+  /// server's IdempotentService wrapper.
+  Result<Value> InvokeService(
+      std::string service_name,
+      std::vector<std::pair<std::string, Value>> args = {},
+      std::string idempotency_key = "");
+
+  /// Audit trail of a finished instance (SEQ, KIND, ACTIVITY, DETAIL,
+  /// ATTEMPT).
+  Result<sql::ResultSet> QueryAudit(uint64_t instance_id);
+
+  Status Ping();
+
+  /// Low-level round trip with the retry ladder. Assigns the request
+  /// id; repeats keep the caller's idempotency key.
+  Result<Response> Call(Request request);
+
+ private:
+  Status ConnectOnce();
+  /// One send/receive on the current connection, no retries.
+  Result<Response> RoundTrip(const Request& request);
+  FrameIo Io() const;
+  static bool SafeToRepeat(const Request& request);
+
+  ClientOptions options_;
+  int fd_ = -1;
+  uint64_t session_id_ = 0;
+  std::string server_name_;
+  uint64_t next_request_id_ = 1;
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  mutable std::mutex mutex_;
+  ClientStats stats_;
+};
+
+}  // namespace sqlflow::net
+
+#endif  // SQLFLOW_NET_CLIENT_H_

@@ -1,0 +1,142 @@
+#ifndef SQLFLOW_NET_PROTOCOL_H_
+#define SQLFLOW_NET_PROTOCOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "sql/eval.h"
+#include "sql/fault.h"
+#include "sql/result_set.h"
+#include "sql/wal.h"
+
+namespace sqlflow::net {
+
+// The wire protocol of the sqlflow server: length-prefixed, CRC-framed
+// binary messages over TCP, reusing the WAL's framing discipline and
+// primitive codec (sql/wal.h) so the engine has exactly one byte
+// format. A frame is `[u32 payload_len][u32 crc32(payload)][payload]`;
+// the payload leads with a one-byte message type. The first frame a
+// client sends must be a kHello carrying the protocol magic — anything
+// else is garbage-before-handshake and the server closes without
+// spending further work on the peer.
+
+inline constexpr uint32_t kProtocolMagic = 0x53514657;  // "SQFW"
+inline constexpr uint32_t kProtocolVersion = 1;
+/// Frames larger than this are refused without being read — the
+/// oversized-message guard of the admission layer.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 4u << 20;
+
+enum class MessageType : uint8_t {
+  // client → server
+  kHello = 1,
+  kExecuteSql = 2,
+  kStartInstance = 3,
+  kInvokeService = 4,
+  kQueryAudit = 5,
+  kPing = 6,
+  // server → client
+  kHelloOk = 16,
+  kResult = 17,
+};
+
+/// One client request. `idempotency_key` is the exactly-once handle: a
+/// retried request re-sends the same key, and the server answers keyed
+/// repeats from its request ledger instead of re-executing (the ledger
+/// rides the WAL, so the dedup survives a server crash).
+struct Request {
+  MessageType type = MessageType::kPing;
+  uint64_t request_id = 0;
+  std::string idempotency_key;
+  // kExecuteSql
+  std::string sql;
+  sql::Params params;
+  // kStartInstance / kInvokeService: target process or service name
+  // plus named arguments.
+  std::string target;
+  std::vector<std::pair<std::string, Value>> args;
+  // kQueryAudit
+  uint64_t instance_id = 0;
+};
+
+/// One server reply: the mirrored request id, the statement/instance
+/// outcome, and the result rows (empty on error).
+struct Response {
+  uint64_t request_id = 0;
+  Status status;
+  sql::ResultSet result;
+};
+
+// --- message codecs --------------------------------------------------------
+
+std::string EncodeHello(std::string_view client_name);
+/// Validates magic + version; returns the client name.
+Result<std::string> DecodeHello(std::string_view payload);
+
+std::string EncodeHelloOk(std::string_view server_name, uint64_t session_id);
+Result<std::pair<std::string, uint64_t>> DecodeHelloOk(
+    std::string_view payload);
+
+std::string EncodeRequest(const Request& request);
+Result<Request> DecodeRequest(std::string_view payload);
+
+std::string EncodeResponse(const Response& response);
+Result<Response> DecodeResponse(std::string_view payload);
+
+/// ResultSet codec, shared by responses and the server's durable
+/// request ledger (the recorded response replays byte-identically).
+void PutResultSet(std::string& out, const sql::ResultSet& rs);
+Result<sql::ResultSet> ReadResultSet(sql::WalReader& reader);
+
+// --- frame I/O -------------------------------------------------------------
+
+/// Per-endpoint frame I/O configuration. The injector (when non-null
+/// and armed with FaultLayer::kNetwork) gets a shot at every frame on
+/// this endpoint: drop, delay, truncate, or tear down the connection,
+/// seed-deterministically.
+struct FrameIo {
+  int fd = -1;
+  /// Once the first byte of a frame is in flight, the rest must arrive
+  /// (or drain) within this budget — the slow-loris killer. -1 blocks
+  /// forever.
+  int deadline_ms = -1;
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  sql::FaultInjector* injector = nullptr;
+  /// Injector identity: `label` is matched by the database filter,
+  /// `side` ("client" / "server") lands in the site description
+  /// ("net send server").
+  std::string label;
+  std::string side;
+  /// Byte counters (bumped by payload+header bytes that actually cross
+  /// the wire); may be null. Atomic because a connection's reader and
+  /// the worker answering it run on different threads.
+  std::atomic<uint64_t>* bytes_out = nullptr;
+  std::atomic<uint64_t>* bytes_in = nullptr;
+};
+
+/// Sends one frame. Injected network faults surface as kUnavailable
+/// (the frame did not fully arrive; the connection must be considered
+/// dead) after applying their side effect — nothing written, a torn
+/// prefix written, or the socket shut down. kTimeout when the write
+/// deadline expires.
+Status SendFrame(const FrameIo& io, std::string_view payload);
+
+/// Receives one frame. `idle_ms` bounds the wait for the frame's first
+/// byte (-1 = forever); io.deadline_ms bounds the rest. A clean EOF at
+/// a frame boundary returns kUnavailable with message "eof"; EOF
+/// mid-frame is a torn frame (kUnavailable); a CRC mismatch or an
+/// oversized length word is kDataLoss (the stream cannot be resynced —
+/// close it).
+Result<std::string> RecvFrame(const FrameIo& io, int idle_ms);
+
+/// True for the clean-close sentinel RecvFrame returns at EOF.
+bool IsCleanEof(const Status& status);
+
+}  // namespace sqlflow::net
+
+#endif  // SQLFLOW_NET_PROTOCOL_H_

@@ -1,0 +1,37 @@
+#include "net/remote_service.h"
+
+#include <utility>
+#include <vector>
+
+namespace sqlflow::net {
+
+RemoteService::RemoteService(std::string local_name, std::string remote_name,
+                             std::shared_ptr<Client> client)
+    : local_name_(std::move(local_name)),
+      remote_name_(std::move(remote_name)),
+      client_(std::move(client)) {}
+
+Result<xml::NodePtr> RemoteService::Invoke(const xml::NodePtr& request) {
+  std::vector<std::pair<std::string, Value>> args;
+  std::string key;
+  for (const xml::NodePtr& child : request->children()) {
+    if (!child->is_element() || child->name() != "param") continue;
+    auto param_name = child->GetAttribute("name");
+    if (!param_name.has_value()) continue;
+    SQLFLOW_ASSIGN_OR_RETURN(Value value,
+                             wfc::GetRequestParam(request, *param_name));
+    if (*param_name == wfc::IdempotentService::kKeyParam) {
+      // The dedup key travels as the wire-level idempotency key (and is
+      // re-attached by the far server), not as an ordinary argument.
+      key = value.AsString();
+      continue;
+    }
+    args.emplace_back(*param_name, std::move(value));
+  }
+  SQLFLOW_ASSIGN_OR_RETURN(
+      Value value,
+      client_->InvokeService(remote_name_, std::move(args), std::move(key)));
+  return wfc::MakeResponse(value);
+}
+
+}  // namespace sqlflow::net

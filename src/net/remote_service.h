@@ -1,0 +1,38 @@
+#ifndef SQLFLOW_NET_REMOTE_SERVICE_H_
+#define SQLFLOW_NET_REMOTE_SERVICE_H_
+
+#include <memory>
+#include <string>
+
+#include "net/client.h"
+#include "wfc/service.h"
+
+namespace sqlflow::net {
+
+/// A wfc::WebService whose endpoint lives behind another sqlflow
+/// server: Invoke() unpacks the XML request, ships it over the wire
+/// protocol as a kInvokeService call, and re-wraps the reply — so a
+/// workflow binds to a remote service exactly like a local one (the
+/// paper's WSDL partner-link stand-in, over a real socket). The
+/// request's idempotency-key parameter (wfc::IdempotentService's
+/// reserved name) is forwarded as the wire key, which keeps
+/// DurableStep's exactly-once contract intact across the network hop.
+class RemoteService : public wfc::WebService {
+ public:
+  /// `local_name` is how this registry lists the service;
+  /// `remote_name` is the name it is registered under on the server.
+  RemoteService(std::string local_name, std::string remote_name,
+                std::shared_ptr<Client> client);
+
+  const std::string& name() const override { return local_name_; }
+  Result<xml::NodePtr> Invoke(const xml::NodePtr& request) override;
+
+ private:
+  std::string local_name_;
+  std::string remote_name_;
+  std::shared_ptr<Client> client_;
+};
+
+}  // namespace sqlflow::net
+
+#endif  // SQLFLOW_NET_REMOTE_SERVICE_H_

@@ -1,0 +1,90 @@
+#ifndef SQLFLOW_NET_SESSION_H_
+#define SQLFLOW_NET_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/protocol.h"
+#include "sql/database.h"
+#include "wfc/engine.h"
+
+namespace sqlflow::net {
+
+/// Server-side workflow runtime shared by every session: the engine, the
+/// mutex that serializes instance starts (durable dehydration records a
+/// sequential journal on the database's primary connection), and the
+/// finished-instance results the audit endpoint serves. `results` also
+/// holds instances finished by a *previous* process incarnation and
+/// completed via WorkflowEngine::ResumeInstances — the server notes them
+/// at startup so a retried start maps onto the resumed outcome instead
+/// of running a duplicate.
+struct WorkflowState {
+  wfc::WorkflowEngine* engine = nullptr;
+  std::mutex mutex;
+  std::map<uint64_t, wfc::InstanceResult> results;
+};
+
+/// Encodes a request outcome (status + rows) for the durable request
+/// ledger. The request id is *not* part of the encoding: a retry carries
+/// a fresh id and gets the recorded outcome under it.
+std::string EncodeOutcome(const Status& status, const sql::ResultSet& rs);
+Status DecodeOutcome(std::string_view encoded, Status* status,
+                     sql::ResultSet* rs);
+
+/// One connection's execution context: a private MVCC session
+/// (sql::Database::CreateConnection) plus the shared workflow runtime.
+/// Handle() is the whole server-side request dispatch; it never throws
+/// and never returns a malformed response — errors travel in
+/// Response::status.
+///
+/// Exactly-once: a request carrying an idempotency key is answered from
+/// the WAL-backed request ledger on repeat. For SQL the ledger entry is
+/// committed in the same WAL batch as the statement's effects, so a
+/// crash lands strictly before (retry re-executes) or strictly after
+/// (retry replays the recorded outcome) — never between. For workflow
+/// starts the instance id is recorded (kPending) durably *before* the
+/// run, so a retry after a crash maps onto the resumed or completed
+/// instance instead of starting a second one.
+class Session {
+ public:
+  Session(std::shared_ptr<sql::Database> conn, WorkflowState* wf);
+
+  /// Serialized per session: one statement at a time per connection,
+  /// exactly the discipline a Database connection object requires.
+  Response Handle(const Request& request);
+
+  /// For sys.connections: transaction state as of the last finished
+  /// request. Cached into atomics by the worker thread that ran the
+  /// request, so the generator thread reads them without touching the
+  /// connection's (single-threaded) internals.
+  uint64_t session_txn() const {
+    return cached_txn_.load(std::memory_order_relaxed);
+  }
+  bool in_txn_cached() const {
+    return cached_in_txn_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  Response ExecuteSql(const Request& request);
+  Response StartInstance(const Request& request);
+  Response InvokeService(const Request& request);
+  Response QueryAudit(const Request& request);
+
+  /// Ledger probe; returns true (and fills `out`) when `key` has a
+  /// recorded kDone outcome.
+  bool ReplayRecorded(const std::string& key, Response* out);
+
+  std::shared_ptr<sql::Database> conn_;
+  WorkflowState* wf_;
+  std::mutex mutex_;
+  std::atomic<uint64_t> cached_txn_{0};
+  std::atomic<bool> cached_in_txn_{false};
+};
+
+}  // namespace sqlflow::net
+
+#endif  // SQLFLOW_NET_SESSION_H_

@@ -693,6 +693,19 @@ void Database::NotePlanChoice(PlanChoice choice) {
 Result<ResultSet> Database::ExecuteStatement(const Statement& stmt,
                                              const Params& params,
                                              const StatementPlan* plan) {
+  Result<ResultSet> result = ExecuteStatementLatched(stmt, params, plan);
+  // Group-commit durability point: the redo batch was appended (and
+  // ordered) under the latch inside; the fsync wait runs here, after
+  // the latch released, so committers on other connections share one
+  // flush instead of serializing a syscall each. The commit is not
+  // acknowledged until this returns.
+  Status durable = WaitPendingWalDurability();
+  if (!durable.ok() && result.ok()) result = durable;
+  return result;
+}
+
+Result<ResultSet> Database::ExecuteStatementLatched(
+    const Statement& stmt, const Params& params, const StatementPlan* plan) {
   // Cross-connection statement latch: pure reads share it, everything
   // else is exclusive. Classification only runs in concurrent mode —
   // the latch itself is a no-op before the first CreateConnection().
@@ -810,38 +823,50 @@ Status Database::Begin() {
 }
 
 Status Database::Commit() {
-  StatementLatch latch(this, /*exclusive=*/true);
-  if (!in_transaction_) {
-    return Status::ExecutionError("no open transaction to commit");
-  }
-  // Durability point: the transaction's whole redo batch (plus queued
-  // workflow attachments) goes to disk as one atomic group *before*
-  // the commit becomes visible. Append failure — including an injected
-  // crash — turns this COMMIT into a rollback.
-  if (shared_->wal != nullptr &&
-      (!undo_log_.empty() || !wal_attachments_.empty())) {
-    Status wal_status = AppendWalCommitBatch();
-    if (!wal_status.ok()) {
-      in_transaction_ = false;  // raw undo replay must not re-log
-      undo_log_.RollbackInto(this);
-      if (txn_active_) AbortMvccTxn();
-      shared_->stats.transactions_rolled_back++;
-      BumpSchemaEpoch();
-      return wal_status;
+  Status status = [&]() -> Status {
+    StatementLatch latch(this, /*exclusive=*/true);
+    if (!in_transaction_) {
+      return Status::ExecutionError("no open transaction to commit");
     }
-  }
-  in_transaction_ = false;
-  // A committed transaction's effects are durable — harvest them for
-  // inverse compensation when capturing, exactly like an autocommit
-  // statement's.
-  if (capture_effects_) {
-    CaptureUndoEntries();
-  } else {
-    undo_log_.Clear();
-  }
-  if (txn_active_) CommitMvccTxn();
-  shared_->stats.transactions_committed++;
-  return Status::OK();
+    // Durability ordering: the transaction's whole redo batch (plus
+    // queued workflow attachments) is appended to the log as one atomic
+    // group *before* the commit becomes visible; append failure —
+    // including an injected crash — turns this COMMIT into a rollback.
+    // Under kEveryCommit the fsync wait itself is deferred past the
+    // latch (group commit): the commit is not *acknowledged* until the
+    // flush below returns, and because the log is sequential no later
+    // acknowledged commit can be durable without this one.
+    if (shared_->wal != nullptr &&
+        (!undo_log_.empty() || !wal_attachments_.empty())) {
+      Status wal_status = AppendWalCommitBatch();
+      if (!wal_status.ok()) {
+        in_transaction_ = false;  // raw undo replay must not re-log
+        undo_log_.RollbackInto(this);
+        if (txn_active_) AbortMvccTxn();
+        shared_->stats.transactions_rolled_back++;
+        BumpSchemaEpoch();
+        return wal_status;
+      }
+    }
+    in_transaction_ = false;
+    // A committed transaction's effects are durable — harvest them for
+    // inverse compensation when capturing, exactly like an autocommit
+    // statement's.
+    if (capture_effects_) {
+      CaptureUndoEntries();
+    } else {
+      undo_log_.Clear();
+    }
+    if (txn_active_) CommitMvccTxn();
+    shared_->stats.transactions_committed++;
+    return Status::OK();
+  }();
+  // Post-latch flush wait. When COMMIT arrived as SQL text this frame
+  // is nested under ExecuteStatement's latch and the wait defers to
+  // that outermost frame instead.
+  Status durable = WaitPendingWalDurability();
+  if (status.ok() && !durable.ok()) status = durable;
+  return status;
 }
 
 Status Database::Rollback() {
@@ -981,7 +1006,26 @@ Status Database::AppendWalCommitBatch() {
                                 ? shared_->fault_injector.get()
                                 : GlobalFaultInjectorRef().get();
   shared_->wal->SetFaultInjector(injector, shared_->name);
-  return shared_->wal->AppendCommit(payloads);
+  // Append-only here: the fsync wait (kEveryCommit) is deferred to
+  // WaitPendingWalDurability so it runs after the statement latch
+  // drops and coalesces with other connections' flushes.
+  return shared_->wal->AppendCommit(payloads, &pending_wal_sync_lsn_);
+}
+
+Status Database::WaitPendingWalDurability() {
+  if (pending_wal_sync_lsn_ == 0) return Status::OK();
+  // Still latched means this is a nested frame (BEGIN/COMMIT executed
+  // from SQL text, a CALL body) — the outermost frame releases the
+  // latch and discharges the wait.
+  if (std::find(t_held_latches.begin(), t_held_latches.end(),
+                static_cast<const void*>(shared_.get())) !=
+      t_held_latches.end()) {
+    return Status::OK();
+  }
+  const uint64_t lsn = pending_wal_sync_lsn_;
+  pending_wal_sync_lsn_ = 0;
+  if (shared_->wal == nullptr) return Status::OK();
+  return shared_->wal->SyncToLsn(lsn);
 }
 
 std::vector<std::string> Database::BuildWalPayloadsFromUndo() {
@@ -1209,6 +1253,7 @@ Status Database::ApplyWalBatch(const std::vector<WalRecord>& batch,
       case WalRecordType::kWfStep:
       case WalRecordType::kWfAttempt:
       case WalRecordType::kWfEnd:
+      case WalRecordType::kNetRequest:
         manager->NoteReplayedRecord(rec);
         break;
       case WalRecordType::kCommit:

@@ -471,6 +471,17 @@ class Database {
   /// on failure the caller rolls the scope back and surfaces the
   /// (non-transient) status.
   Status AppendWalCommitBatch();
+  /// Completes this connection's deferred group-commit flush (set by
+  /// AppendWalCommitBatch under kEveryCommit). Runs only once the
+  /// thread no longer holds the statement latch — nested frames defer
+  /// to the outermost one — so concurrent committers overlap in the
+  /// WAL's coalescing wait instead of flushing one-per-latch-hold.
+  Status WaitPendingWalDurability();
+  /// ExecuteStatement's latched body; the public wrapper runs the
+  /// deferred durability wait after the latch releases.
+  Result<ResultSet> ExecuteStatementLatched(const Statement& stmt,
+                                            const Params& params,
+                                            const StatementPlan* plan);
   /// Maps undo entries to redo payloads. DDL is re-unparsed from the
   /// live catalog at build time; objects created *and* dropped within
   /// the same scope — and any DML touching them — are elided, since
@@ -506,6 +517,11 @@ class Database {
   /// Durable payloads queued by AddWalAttachment to ride the next
   /// commit batch from this connection; cleared on rollback.
   std::vector<std::string> wal_attachments_;
+  /// LSN this connection's last appended commit batch must be flushed
+  /// to before the commit is acknowledged (kEveryCommit group commit).
+  /// Non-zero only between the latched append and the post-latch
+  /// WaitPendingWalDurability that discharges it.
+  uint64_t pending_wal_sync_lsn_ = 0;
   struct ExecProfile* exec_profile_ = nullptr;
   int view_expansion_depth_ = 0;
 

@@ -72,6 +72,10 @@ std::optional<Status> FaultInjector::MaybeFault(const FaultSite& site) {
       // Crash sites never yield a Status fault — they go through
       // MaybeCrash, which returns a torn-byte count instead.
       return std::nullopt;
+    case FaultLayer::kNetwork:
+      // Network sites go through MaybeNetworkFault, which returns an
+      // action on the frame instead of a Status.
+      return std::nullopt;
   }
   // Serialize the draw-and-count path: one shared injector may be hit
   // from every worker at once, and a torn rng draw would break seed
@@ -123,6 +127,8 @@ std::optional<Status> FaultInjector::MaybeFault(const FaultSite& site) {
       stats_.injected_service++;
       counter = "svc.fault.injected";
       break;
+    default:
+      break;  // kCrash / kNetwork never reach here
   }
   obs::MetricsRegistry::Global().GetCounter(counter).Increment();
   return Status(code,
@@ -173,6 +179,85 @@ std::optional<uint64_t> FaultInjector::MaybeCrash(const FaultSite& site,
   return torn;
 }
 
+std::optional<NetFault> FaultInjector::MaybeNetworkFault(
+    const FaultSite& site, uint64_t frame_bytes) {
+  // Mirrors MaybeFault's gating exactly: disabled layers draw nothing,
+  // so arming the network layer never perturbs the other layers'
+  // schedules at the same seed.
+  if (!options_.network_sites) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.statements_seen++;
+  if (!options_.database_filter.empty() &&
+      site.database.find(options_.database_filter) == std::string::npos) {
+    return std::nullopt;
+  }
+  if (!options_.site_filter.empty() &&
+      site.description.find(options_.site_filter) == std::string::npos) {
+    return std::nullopt;
+  }
+  stats_.sites_matched++;
+
+  if (options_.budget >= 0 &&
+      stats_.faults_injected >= static_cast<uint64_t>(options_.budget)) {
+    return std::nullopt;
+  }
+
+  bool fire = false;
+  if (stats_.faults_injected < options_.fault_first_n &&
+      stats_.sites_matched <= options_.fault_first_n) {
+    fire = true;
+  } else if (options_.probability > 0.0) {
+    double u = static_cast<double>(NextRandom() >> 11) * 0x1.0p-53;
+    fire = u < options_.probability;
+  }
+  if (!fire) return std::nullopt;
+
+  NetFault fault;
+  switch (NextRandom() % 4) {
+    case 0:
+      fault.kind = NetFault::Kind::kDrop;
+      break;
+    case 1:
+      fault.kind = NetFault::Kind::kDelay;
+      fault.delay_ms =
+          1 + static_cast<uint32_t>(
+                  NextRandom() %
+                  (options_.network_delay_max_ms == 0
+                       ? 1
+                       : options_.network_delay_max_ms));
+      break;
+    case 2:
+      fault.kind = NetFault::Kind::kPartialWrite;
+      fault.partial_bytes =
+          frame_bytes == 0 ? 0 : NextRandom() % frame_bytes;
+      break;
+    default:
+      fault.kind = NetFault::Kind::kAbruptClose;
+      break;
+  }
+  stats_.faults_injected++;
+  stats_.injected_network++;
+  stats_.injected_net_by_kind[fault.kind]++;
+  obs::MetricsRegistry::Global()
+      .GetCounter("net.fault.injected")
+      .Increment();
+  return fault;
+}
+
+const char* NetFaultKindName(NetFault::Kind kind) {
+  switch (kind) {
+    case NetFault::Kind::kDrop:
+      return "drop";
+    case NetFault::Kind::kDelay:
+      return "delay";
+    case NetFault::Kind::kPartialWrite:
+      return "partial_write";
+    case NetFault::Kind::kAbruptClose:
+      return "abrupt_close";
+  }
+  return "unknown";
+}
+
 std::string DescribeFaultStats(const FaultInjector::Stats& stats) {
   std::ostringstream os;
   os << "injected=" << stats.faults_injected;
@@ -180,11 +265,12 @@ std::string DescribeFaultStats(const FaultInjector::Stats& stats) {
     os << ' ' << StatusCodeName(code) << '=' << count;
   }
   if (stats.injected_mid_statement > 0 || stats.injected_service > 0 ||
-      stats.injected_crash > 0) {
+      stats.injected_crash > 0 || stats.injected_network > 0) {
     os << " by_layer[stmt=" << stats.injected_statement
        << " mid=" << stats.injected_mid_statement
        << " svc=" << stats.injected_service
-       << " crash=" << stats.injected_crash << ']';
+       << " crash=" << stats.injected_crash
+       << " net=" << stats.injected_network << ']';
   }
   os << " matched=" << stats.sites_matched
      << " seen=" << stats.statements_seen;

@@ -19,9 +19,28 @@ namespace sqlflow::sql {
 /// leaving real partial writes for the undo log to reverse; service
 /// sites fire around `wfc::service` / adapter invocations; crash sites
 /// fire *inside a WAL commit append*, tearing the batch at a seed-chosen
-/// byte and killing the (simulated) process image. Each layer is enabled
-/// independently so a sweep can isolate one failure regime.
-enum class FaultLayer { kStatement, kMidStatement, kService, kCrash };
+/// byte and killing the (simulated) process image; network sites fire in
+/// the wire-protocol frame path (net/protocol.cc) on either peer,
+/// dropping, delaying, truncating, or abruptly closing a connection.
+/// Each layer is enabled independently so a sweep can isolate one
+/// failure regime.
+enum class FaultLayer { kStatement, kMidStatement, kService, kCrash,
+                        kNetwork };
+
+/// What a fired network-layer site does to the frame in flight. Drops
+/// and partial writes surface to the peer as a dead connection (the
+/// remaining bytes never arrive); delays model congestion without
+/// losing the frame; abrupt close is a RST-style teardown mid-exchange.
+struct NetFault {
+  enum class Kind { kDrop, kDelay, kPartialWrite, kAbruptClose };
+  Kind kind = Kind::kDrop;
+  /// kDelay: how long the frame stalls before proceeding.
+  uint32_t delay_ms = 0;
+  /// kPartialWrite: how many bytes of the frame reach the wire before
+  /// the connection dies (drawn uniformly over [0, frame_bytes)).
+  uint64_t partial_bytes = 0;
+};
+const char* NetFaultKindName(NetFault::Kind kind);
 
 /// Where a statement is about to run, as seen by the fault injector.
 /// `description` is "<KIND> <table> [<table>...]" (e.g. "INSERT ORDERS"),
@@ -69,6 +88,12 @@ class FaultInjector {
     bool service_sites = false;
     /// Crash layer (kill-at-LSN): consulted by WalManager::AppendCommit.
     bool crash_sites = false;
+    /// Network layer: consulted by the wire-protocol frame I/O
+    /// (net::SendFrame / net::RecvFrame) on both peers.
+    bool network_sites = false;
+    /// Cap for kDelay network faults (milliseconds, drawn uniformly from
+    /// [1, max]). Kept small so chaos sweeps stay fast.
+    uint32_t network_delay_max_ms = 20;
     /// Fault kinds to rotate through (deterministically, by the same
     /// seeded stream). Defaults to the three transient kinds; tests use
     /// a single permanent kind (e.g. kExecutionError) for rollback
@@ -89,6 +114,9 @@ class FaultInjector {
     uint64_t injected_mid_statement = 0;
     uint64_t injected_service = 0;
     uint64_t injected_crash = 0;
+    uint64_t injected_network = 0;
+    /// Network injections split by NetFault::Kind.
+    std::map<NetFault::Kind, uint64_t> injected_net_by_kind;
   };
 
   explicit FaultInjector(Options options);
@@ -110,6 +138,16 @@ class FaultInjector {
   /// MaybeFault and increments `wal.crash.injected`.
   std::optional<uint64_t> MaybeCrash(const FaultSite& site,
                                      uint64_t batch_bytes);
+
+  /// Network-layer check, consulted by the frame I/O with the size of
+  /// the frame about to cross the wire. On a hit, returns what happens
+  /// to it (drop / delay / partial write / abrupt close), with the kind
+  /// and magnitudes drawn from the same seeded stream as every other
+  /// layer. Fires under the same filters/budget/probability machinery
+  /// as MaybeFault and increments `net.fault.injected`. nullopt = the
+  /// frame passes untouched.
+  std::optional<NetFault> MaybeNetworkFault(const FaultSite& site,
+                                            uint64_t frame_bytes);
 
   const Options& options() const { return options_; }
   /// Copy of the counters (a concurrent MaybeFault may be mid-update;

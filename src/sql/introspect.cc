@@ -147,6 +147,10 @@ std::vector<Row> FaultSitesRows(Database* db) {
       // next incarnation, which is what wfc.resume.* counts.
       {"crash", options.crash_sites, stats.injected_crash,
        "wfc.resume.instances"},
+      // Network faults are absorbed by the client driver's reconnect +
+      // idempotent-replay ladder (net.retry.absorbed).
+      {"network", options.network_sites, stats.injected_network,
+       "net.retry.absorbed"},
   };
   for (const LayerRow& layer : layers) {
     rows.push_back(
@@ -175,6 +179,7 @@ std::vector<Row> WalRows(Database* db) {
        Value::Integer(static_cast<int64_t>(stats.records)),
        Value::Integer(static_cast<int64_t>(stats.commits)),
        Value::Integer(static_cast<int64_t>(stats.syncs)),
+       Value::Integer(static_cast<int64_t>(stats.sync_coalesced)),
        Value::String(FsyncPolicyName(stats.fsync_policy)),
        Value::Boolean(wal->crashed())});
   return rows;
@@ -275,6 +280,7 @@ Status RegisterSysTables(Database* db) {
                   {"RECORDS", ValueType::kInteger},
                   {"COMMITS", ValueType::kInteger},
                   {"SYNCS", ValueType::kInteger},
+                  {"SYNC_COALESCED", ValueType::kInteger},
                   {"FSYNC_POLICY", ValueType::kString},
                   {"CRASHED", ValueType::kBoolean}}),
       [db] { return WalRows(db); }));

@@ -218,6 +218,27 @@ std::string WalSeqSetRecord(std::string_view name, int64_t next_value) {
   return out;
 }
 
+std::string WalNetRequestRecord(std::string_view key,
+                                const WalNetRequest& entry) {
+  std::string out = TaggedPayload(WalRecordType::kNetRequest);
+  WalPutString(out, key);
+  out.push_back(static_cast<char>(entry.state));
+  WalPutU64(out, entry.instance_id);
+  WalPutString(out, entry.response);
+  return out;
+}
+
+Result<std::pair<std::string, WalNetRequest>> DecodeWalNetRequest(
+    std::string_view payload) {
+  WalReader r(payload);
+  SQLFLOW_ASSIGN_OR_RETURN(std::string key, r.Str());
+  WalNetRequest entry;
+  SQLFLOW_ASSIGN_OR_RETURN(entry.state, r.U8());
+  SQLFLOW_ASSIGN_OR_RETURN(entry.instance_id, r.U64());
+  SQLFLOW_ASSIGN_OR_RETURN(entry.response, r.Str());
+  return std::make_pair(std::move(key), std::move(entry));
+}
+
 const char* FsyncPolicyName(FsyncPolicy policy) {
   switch (policy) {
     case FsyncPolicy::kNever:
@@ -262,7 +283,13 @@ WalManager::~WalManager() {
 std::string WalManager::log_path() const { return dir_ + "/wal.log"; }
 
 Status WalManager::AppendCommit(const std::vector<std::string>& payloads) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  return AppendCommit(payloads, /*defer_sync_to=*/nullptr);
+}
+
+Status WalManager::AppendCommit(const std::vector<std::string>& payloads,
+                                uint64_t* defer_sync_to) {
+  if (defer_sync_to != nullptr) *defer_sync_to = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
   if (crashed_) {
     return Status::DataLoss("wal crashed at lsn " + std::to_string(lsn_) +
                             "; recover into a fresh image");
@@ -315,30 +342,81 @@ Status WalManager::AppendCommit(const std::vector<std::string>& payloads) {
   lsn_ += batch.size();
   records_ += payloads.size() + 1;
   commits_ += 1;
+  for (const std::string& p : payloads) NoteWfPayloadLocked(p);
 
-  bool want_sync = false;
   switch (options_.fsync_policy) {
     case FsyncPolicy::kNever:
-      break;
-    case FsyncPolicy::kEveryCommit:
-      want_sync = true;
-      break;
+      return Status::OK();
     case FsyncPolicy::kEveryN:
+      // Amortized flushing keeps the simple inline fsync: the commit is
+      // not promising durability, so nobody waits on it.
       if (++commits_since_sync_ >= options_.fsync_every_n) {
-        want_sync = true;
         commits_since_sync_ = 0;
+        if (::fsync(fd_) != 0) {
+          crashed_ = true;
+          return Status::DataLoss(ErrnoMessage("wal fsync failed"));
+        }
+        syncs_ += 1;
       }
-      break;
+      return Status::OK();
+    case FsyncPolicy::kEveryCommit:
+      break;  // coalescing protocol below
   }
-  if (want_sync) {
-    if (::fsync(fd_) != 0) {
+
+  // Deferred path: the caller is still holding whatever serialized the
+  // append (the exclusive statement latch) and will wait via SyncToLsn
+  // after releasing it — that release is what lets commits overlap in
+  // the wait and actually coalesce.
+  if (defer_sync_to != nullptr) {
+    *defer_sync_to = lsn_;
+    return Status::OK();
+  }
+  return SyncToLsnLocked(lock, lsn_);
+}
+
+Status WalManager::SyncToLsn(uint64_t lsn) {
+  if (lsn == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (options_.fsync_policy != FsyncPolicy::kEveryCommit) {
+    return Status::OK();
+  }
+  return SyncToLsnLocked(lock, lsn);
+}
+
+Status WalManager::SyncToLsnLocked(std::unique_lock<std::mutex>& lock,
+                                   uint64_t my_lsn) {
+  // Group-commit fsync coalescing: this commit may not return until its
+  // bytes are flushed, but the flush need not be its own. One committer
+  // leads an fsync covering everything appended so far (the mutex drops
+  // during the syscall, so concurrent connections keep appending behind
+  // it); committers the flush already covers return without a syscall.
+  bool led_sync = false;
+  while (synced_lsn_ < my_lsn) {
+    if (crashed_) {
+      return Status::DataLoss(
+          "wal fsync failed on a concurrent connection");
+    }
+    if (sync_in_progress_) {
+      sync_cv_.wait(lock);
+      continue;
+    }
+    sync_in_progress_ = true;
+    const uint64_t target = lsn_;
+    lock.unlock();
+    const int rc = ::fsync(fd_);
+    lock.lock();
+    sync_in_progress_ = false;
+    if (rc != 0) {
       crashed_ = true;
+      sync_cv_.notify_all();
       return Status::DataLoss(ErrnoMessage("wal fsync failed"));
     }
     syncs_ += 1;
+    led_sync = true;
+    if (target > synced_lsn_) synced_lsn_ = target;
+    sync_cv_.notify_all();
   }
-
-  for (const std::string& p : payloads) NoteWfPayloadLocked(p);
+  if (!led_sync) sync_coalesced_ += 1;
   return Status::OK();
 }
 
@@ -359,6 +437,7 @@ WalStats WalManager::stats() const {
   s.records = records_;
   s.commits = commits_;
   s.syncs = syncs_;
+  s.sync_coalesced = sync_coalesced_;
   s.fsync_policy = options_.fsync_policy;
   return s;
 }
@@ -478,9 +557,30 @@ std::map<uint64_t, WfInstanceLog> WalManager::WfState() const {
   return wf_state_;
 }
 
+std::map<std::string, WalNetRequest> WalManager::NetRequestState() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return net_state_;
+}
+
+std::optional<WalNetRequest> WalManager::FindNetRequest(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = net_state_.find(key);
+  if (it == net_state_.end()) return std::nullopt;
+  return it->second;
+}
+
 void WalManager::NoteWfPayloadLocked(std::string_view payload) {
   if (payload.empty()) return;
   auto type = static_cast<WalRecordType>(static_cast<uint8_t>(payload[0]));
+  if (type == WalRecordType::kNetRequest) {
+    auto decoded = DecodeWalNetRequest(payload.substr(1));
+    if (!decoded.ok()) return;
+    // Latest state wins: a kDone record for a key supersedes the
+    // kPending one its instance start rode in on.
+    net_state_[decoded->first] = std::move(decoded->second);
+    return;
+  }
   if (type != WalRecordType::kWfStart && type != WalRecordType::kWfStep &&
       type != WalRecordType::kWfAttempt && type != WalRecordType::kWfEnd) {
     return;

@@ -1,13 +1,16 @@
 #ifndef SQLFLOW_SQL_WAL_H_
 #define SQLFLOW_SQL_WAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -40,6 +43,12 @@ enum class WalRecordType : uint8_t {
   kWfStep = 9,    // instance_id, step name, seq, variable snapshot
   kWfAttempt = 10,  // instance_id, step name, seq, attempt number
   kWfEnd = 11,    // instance_id
+  /// Wire-request dedup ledger (net/server.cc): idempotency key →
+  /// request outcome, committed in the same batch as the request's SQL
+  /// effects so a crash lands strictly before (key absent, retry
+  /// re-executes) or strictly after (key present, retry answers from
+  /// the ledger) — never between.
+  kNetRequest = 12,  // key, state, instance_id, encoded response
 };
 
 // --- primitive codec -------------------------------------------------------
@@ -89,6 +98,22 @@ std::string WalTruncateRecord(std::string_view table);
 std::string WalDdlRecord(std::string_view sql);
 std::string WalSeqSetRecord(std::string_view name, int64_t next_value);
 
+/// One entry of the durable wire-request ledger (kNetRequest).
+/// `state` kPending marks a workflow instance started on behalf of the
+/// key (crash recovery maps the key to the resumed instance);
+/// kDone carries the encoded response the retry should see verbatim.
+struct WalNetRequest {
+  enum State : uint8_t { kPending = 1, kDone = 2 };
+  uint8_t state = kPending;
+  uint64_t instance_id = 0;
+  std::string response;  // net protocol response payload (kDone only)
+};
+std::string WalNetRequestRecord(std::string_view key,
+                                const WalNetRequest& entry);
+/// `payload` is the record bytes after the type tag.
+Result<std::pair<std::string, WalNetRequest>> DecodeWalNetRequest(
+    std::string_view payload);
+
 /// When the OS is told to flush. kNever leans on the page cache (process
 /// crash safe, power-loss unsafe), kEveryCommit is the classic durable
 /// setting, kEveryN amortizes the flush over N commit batches.
@@ -106,6 +131,10 @@ struct WalStats {
   uint64_t records = 0;
   uint64_t commits = 0;
   uint64_t syncs = 0;
+  /// Commits under kEveryCommit that became durable without issuing
+  /// their own fsync — another connection's flush covered them (group
+  /// commit coalescing).
+  uint64_t sync_coalesced = 0;
   FsyncPolicy fsync_policy = FsyncPolicy::kNever;
 };
 
@@ -127,10 +156,13 @@ struct WfInstanceLog {
   bool ended = false;
 };
 
-/// The append-only redo log. One writer at a time (the owning Database's
-/// exclusive statement latch already serializes mutating statements, so
-/// append order == commit order); the internal mutex makes the stats and
-/// the workflow bookkeeping safe for concurrent readers.
+/// The append-only redo log. Appends are serialized (the owning
+/// Database's exclusive statement latch orders mutating statements, so
+/// append order == commit order), but under kEveryCommit the durability
+/// *wait* happens outside that latch via the split
+/// AppendCommit/SyncToLsn pair — that is what lets concurrent
+/// connections coalesce onto one fsync. The internal mutex makes the
+/// stats and the workflow bookkeeping safe for concurrent readers.
 ///
 /// Record framing: `[u32 payload_len][u32 crc32(payload)][payload]`,
 /// LSN = byte offset of the length word. A commit batch is written with
@@ -157,6 +189,31 @@ class WalManager {
   /// and every later append returns kDataLoss — the in-process analogue
   /// of the host dying at that LSN.
   Status AppendCommit(const std::vector<std::string>& payloads);
+
+  /// AppendCommit with the durability wait split off: under kEveryCommit
+  /// the batch is appended (ordered, counted) but this call returns
+  /// *before* it is flushed, handing the caller the LSN it must pass to
+  /// SyncToLsn once it has released whatever serialized the append.
+  /// That is the group-commit seam: the Database's exclusive statement
+  /// latch serializes appends (so append order == commit order), but
+  /// committers wait for the flush *outside* the latch, piling up
+  /// behind one leader fsync instead of issuing one syscall each.
+  /// Under kNever / kEveryN the inline policy applies as usual and
+  /// `*defer_sync_to` is 0 (nothing to wait for).
+  Status AppendCommit(const std::vector<std::string>& payloads,
+                      uint64_t* defer_sync_to);
+
+  /// Completes a deferred commit: blocks until the log is flushed at
+  /// least to `lsn`. Either joins a flush another committer is leading,
+  /// leads one itself, or — when a prior flush already covered `lsn` —
+  /// returns without a syscall (counted in `sync_coalesced`). Safe to
+  /// call without any latch held; a no-op under kNever / kEveryN and
+  /// for lsn == 0. An acknowledged commit is durable on return; a
+  /// commit that is visible but not yet acknowledged sits earlier in
+  /// the sequential log than any later acknowledged one, so a crash in
+  /// the window can never persist an effect that read it without also
+  /// persisting it.
+  Status SyncToLsn(uint64_t lsn);
 
   /// One-payload commit batch.
   Status Append(const std::string& payload);
@@ -211,12 +268,26 @@ class WalManager {
   /// Snapshot of the per-instance dehydration state.
   std::map<uint64_t, WfInstanceLog> WfState() const;
 
+  /// Snapshot of the durable wire-request ledger (kNetRequest records,
+  /// accumulated on append and on replay). The window reaches back to
+  /// the last snapshot: requests recorded before a checkpoint age out
+  /// of the dedup ledger with the log tail they rode in on.
+  std::map<std::string, WalNetRequest> NetRequestState() const;
+
+  /// Single-key ledger lookup (the per-request dedup probe).
+  std::optional<WalNetRequest> FindNetRequest(const std::string& key) const;
+
  private:
   WalManager(std::string dir, WalOptions options, int fd, uint64_t size);
 
   /// Parses `payload` (with its leading tag) and updates wf_state_ if it
   /// is a kWf* record. Caller holds mutex_.
   void NoteWfPayloadLocked(std::string_view payload);
+
+  /// The kEveryCommit coalescing wait (body shared by the inline and
+  /// deferred paths). Caller holds `lock`; it drops during the fsync.
+  Status SyncToLsnLocked(std::unique_lock<std::mutex>& lock,
+                         uint64_t my_lsn);
 
   std::string dir_;
   WalOptions options_;
@@ -232,6 +303,17 @@ class WalManager {
   FaultInjector* fault_injector_ = nullptr;
   std::string database_name_;
   std::map<uint64_t, WfInstanceLog> wf_state_;
+  std::map<std::string, WalNetRequest> net_state_;
+  /// Group-commit fsync coalescing (kEveryCommit): a committer whose
+  /// bytes are already covered by `synced_lsn_` returns without its own
+  /// fsync; otherwise one committer leads a flush (releasing the mutex,
+  /// so later appends proceed meanwhile) and the rest wait on the
+  /// condvar. `sync_coalesced_` counts the commits that never had to
+  /// lead.
+  std::condition_variable sync_cv_;
+  uint64_t synced_lsn_ = 0;
+  bool sync_in_progress_ = false;
+  uint64_t sync_coalesced_ = 0;
 };
 
 }  // namespace sqlflow::sql

@@ -150,6 +150,13 @@ Result<InstanceResult> WorkflowEngine::RunProcess(
                      /*private_session=*/false, /*yield=*/nullptr);
 }
 
+Result<InstanceResult> WorkflowEngine::RunAllocatedInstance(
+    uint64_t instance_id, const std::string& process_name,
+    const std::map<std::string, VarValue>& inputs) {
+  return RunInstance(instance_id, process_name, inputs,
+                     /*private_session=*/false, /*yield=*/nullptr);
+}
+
 Result<InstanceResult> WorkflowEngine::RunInstance(
     uint64_t instance_id, const std::string& process_name,
     const std::map<std::string, VarValue>& inputs, bool private_session,

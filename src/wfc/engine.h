@@ -100,6 +100,19 @@ class WorkflowEngine {
       const std::string& process_name,
       const std::map<std::string, VarValue>& inputs = {});
 
+  /// Draws the next instance id *without* starting a run, so a caller
+  /// can durably correlate external state (e.g. the wire server's
+  /// request ledger) with the instance before its first WAL record
+  /// exists. Pair with RunAllocatedInstance.
+  uint64_t AllocateInstanceId() { return next_instance_id_.fetch_add(1); }
+
+  /// RunProcess under an id drawn earlier by AllocateInstanceId. The id
+  /// must not have been run before; ids from other sources collide with
+  /// the internal counter.
+  Result<InstanceResult> RunAllocatedInstance(
+      uint64_t instance_id, const std::string& process_name,
+      const std::map<std::string, VarValue>& inputs = {});
+
   /// Runs `requests.size()` instances concurrently and returns their
   /// results in request order (an entry only carries an error Status
   /// for an unknown process name — instance faults travel inside the

@@ -416,10 +416,16 @@ TEST(SysTablesTest, FaultSitesReflectInjectorState) {
   EXPECT_FALSE(db.Execute("SELECT COUNT(*) FROM emp").ok());
   EXPECT_FALSE(db.Execute("SELECT COUNT(*) FROM emp").ok());
 
-  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.fault_sites"), 4);
-  // The crash layer rides the same injector but is disabled by default.
+  // One row per fault layer: statement, mid-statement, service, crash,
+  // network.
+  EXPECT_EQ(ScalarInt(db, "SELECT COUNT(*) FROM sys.fault_sites"), 5);
+  // The crash and network layers ride the same injector but are
+  // disabled by default.
   EXPECT_EQ(ScalarInt(db, "SELECT INJECTED FROM sys.fault_sites "
                           "WHERE LAYER = 'crash'"),
+            0);
+  EXPECT_EQ(ScalarInt(db, "SELECT INJECTED FROM sys.fault_sites "
+                          "WHERE LAYER = 'network'"),
             0);
   EXPECT_EQ(ScalarInt(db, "SELECT INJECTED FROM sys.fault_sites "
                           "WHERE LAYER = 'statement'"),

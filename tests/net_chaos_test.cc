@@ -1,0 +1,316 @@
+// Network chaos suite: the five-seed fault matrix for the wire
+// protocol. Seed-deterministic drop/delay/partial-write/abrupt-close
+// faults on both peers' frame I/O, with the client retry ladder and the
+// durable request ledger absorbing them — final SQL state must be
+// byte-identical to a fault-free oracle and workflow effects must land
+// exactly once. The second matrix composes the network layer with the
+// kill-at-LSN crash layer: the server process dies mid-request, a new
+// incarnation recovers + resumes, and retried keyed requests map onto
+// the already-committed work instead of duplicating it.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "sql/checkpoint.h"
+#include "sql/database.h"
+#include "sql/fault.h"
+#include "sql/introspect.h"
+#include "sql/wal.h"
+#include "wfc/engine.h"
+#include "wfc/service.h"
+#include "workflows/durable_order.h"
+
+namespace sqlflow {
+namespace {
+
+namespace fs = std::filesystem;
+namespace wf = workflows;
+
+using net::Client;
+using net::ClientOptions;
+using net::Server;
+using net::ServerOptions;
+using sql::FaultInjector;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/sqlflow_netchaos_" + name;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return dir;
+}
+
+/// One op of the keyed workload — replayable under the same key from
+/// any client against any server incarnation.
+struct Op {
+  bool is_order = false;
+  std::string key;
+  std::string sql;       // !is_order
+  int64_t order_id = 0;  // is_order
+};
+
+/// Alternating SQL inserts and durable-order starts: the mix exercises
+/// both exactly-once mechanisms (the atomic statement+ledger commit and
+/// the pending-instance handshake) at every fault position.
+std::vector<Op> StandardOps() {
+  std::vector<Op> ops;
+  for (int i = 1; i <= 3; ++i) {
+    Op ins;
+    ins.key = "ins-" + std::to_string(i);
+    ins.sql = "INSERT INTO t VALUES (" + std::to_string(i) + ", 'row" +
+              std::to_string(i) + "')";
+    ops.push_back(ins);
+    Op order;
+    order.is_order = true;
+    order.key = "order-" + std::to_string(i);
+    order.order_id = i;
+    ops.push_back(order);
+  }
+  Op last;
+  last.key = "ins-final";
+  last.sql = "INSERT INTO t VALUES (99, 'done')";
+  ops.push_back(last);
+  return ops;
+}
+
+std::vector<std::pair<std::string, Value>> OrderArgs(int64_t order_id) {
+  return {{"OrderID", Value::Integer(order_id)},
+          {"Item", Value::String("widget")},
+          {"Quantity", Value::Integer(2)}};
+}
+
+/// One call through the wire, by op kind.
+Status RunOp(Client& client, const Op& op) {
+  if (op.is_order) {
+    return client
+        .StartInstance(wf::kDurableOrderProcess, OrderArgs(op.order_id),
+                       op.key)
+        .status();
+  }
+  return client.ExecuteSql(op.sql, {}, op.key).status();
+}
+
+/// The fault-free oracle: the same schema + workload on an ephemeral
+/// database, no wire, no faults. Its canonical dump is what every
+/// chaos survivor must reproduce byte-for-byte.
+std::string OracleDump(const std::vector<Op>& ops) {
+  sql::Database db("oracle");
+  wfc::WorkflowEngine engine("oracle-engine");
+  EXPECT_TRUE(db.Execute("CREATE TABLE t (id INTEGER, name VARCHAR)")
+                  .ok());
+  EXPECT_TRUE(wf::PrepareDurableOrderSchema(&db).ok());
+  EXPECT_TRUE(
+      wf::RegisterDurableSupplier(&engine, wf::MakeDurableSupplier())
+          .ok());
+  EXPECT_TRUE(wf::DeployDurableOrderProcess(&engine, &db).ok());
+  for (const Op& op : ops) {
+    if (op.is_order) {
+      std::map<std::string, wfc::VarValue> inputs;
+      for (auto& [name, value] : OrderArgs(op.order_id)) {
+        inputs[name] = wfc::VarValue(value);
+      }
+      auto run = engine.RunProcess(wf::kDurableOrderProcess, inputs);
+      EXPECT_TRUE(run.ok() && run->status.ok());
+    } else {
+      EXPECT_TRUE(db.Execute(op.sql).ok()) << op.sql;
+    }
+  }
+  return sql::CanonicalStateDump(db);
+}
+
+/// Per-order exactly-once check against the durable ledger.
+void ExpectLedgerExactlyOnce(sql::Database* db, size_t orders) {
+  auto ledger = wf::ReadDurableLedger(db);
+  ASSERT_TRUE(ledger.ok()) << ledger.status().ToString();
+  EXPECT_EQ(ledger->row_count(), orders * 2);
+  for (int64_t order_id = 1;
+       order_id <= static_cast<int64_t>(orders); ++order_id) {
+    size_t reserved = 0, confirmed = 0;
+    for (const sql::Row& row : ledger->rows()) {
+      if (row[1].integer() != order_id) continue;
+      if (row[2].str() == "reserved") ++reserved;
+      if (row[2].str() == "confirmed") ++confirmed;
+    }
+    EXPECT_EQ(reserved, 1u) << "order " << order_id;
+    EXPECT_EQ(confirmed, 1u) << "order " << order_id;
+  }
+}
+
+// Matrix 1: lossy network, healthy server. Both peers' frame I/O runs
+// through one seeded injector; the client's retry ladder re-sends keyed
+// requests over fresh connections; the request ledger turns re-sends
+// into replays. Five seeds, each compared to the oracle.
+TEST(NetChaosTest, NetworkFaultMatrixIsExactlyOnce) {
+  const std::vector<Op> ops = StandardOps();
+  const std::string oracle = OracleDump(ops);
+  uint64_t faults_total = 0;
+
+  for (uint64_t seed : {101u, 202u, 303u, 404u, 505u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::string dir = FreshDir("net_" + std::to_string(seed));
+
+    sql::Database db("netdb");
+    ASSERT_TRUE(db.EnableDurability(dir).ok());
+    ASSERT_TRUE(
+        db.Execute("CREATE TABLE t (id INTEGER, name VARCHAR)").ok());
+    wfc::WorkflowEngine engine("netengine");
+    auto supplier = wf::MakeDurableSupplier();
+    ASSERT_TRUE(wf::PrepareDurableOrderSchema(&db).ok());
+    ASSERT_TRUE(wf::RegisterDurableSupplier(&engine, supplier).ok());
+    ASSERT_TRUE(wf::DeployDurableOrderProcess(&engine, &db).ok());
+    ASSERT_TRUE(engine.EnableDurability(&db).ok());
+
+    FaultInjector::Options fopts;
+    fopts.seed = seed;
+    fopts.probability = 0.12;
+    fopts.statement_sites = false;
+    fopts.network_sites = true;
+    fopts.network_delay_max_ms = 5;
+    FaultInjector injector(fopts);
+
+    ServerOptions sopts;
+    sopts.injector = &injector;
+    Server server(&db, &engine, sopts);
+    ASSERT_TRUE(server.Start().ok());
+
+    ClientOptions copts;
+    copts.port = server.port();
+    copts.injector = &injector;
+    copts.max_attempts = 10;
+    copts.retry_backoff_ms = 1;
+    copts.response_deadline_ms = 5000;
+    Client client(copts);
+
+    for (const Op& op : ops) {
+      SCOPED_TRACE("op " + op.key);
+      Status last = Status::OK();
+      bool done = false;
+      // The ladder already retries; the outer loop absorbs the rare
+      // streak of faults that exhausts one Call's attempt budget.
+      for (int round = 0; round < 40 && !done; ++round) {
+        last = RunOp(client, op);
+        done = last.ok();
+      }
+      ASSERT_TRUE(done) << last.ToString();
+    }
+
+    EXPECT_EQ(sql::CanonicalStateDump(db), oracle);
+    ExpectLedgerExactlyOnce(&db, 3);
+    EXPECT_EQ(supplier->inner_invocations(), 3u);
+
+    faults_total += injector.stats().injected_network;
+    server.Stop();
+  }
+  // The matrix is vacuous if the network layer never fired.
+  EXPECT_GT(faults_total, 5u);
+}
+
+// Matrix 2: the server process dies at a seed-chosen LSN mid-workload.
+// A second incarnation recovers the database, resumes interrupted
+// instances, notes their outcomes, and serves retries of every key —
+// committed work replays, torn work re-executes, nothing lands twice.
+TEST(NetChaosTest, ServerCrashRecoveryMatrixIsExactlyOnce) {
+  const std::vector<Op> ops = StandardOps();
+  const std::string oracle = OracleDump(ops);
+  size_t crashes_observed = 0;
+
+  for (uint64_t seed : {7u, 17u, 27u, 37u, 47u}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    std::string dir = FreshDir("crash_" + std::to_string(seed));
+    // The supplier outlives the crash, like a remote endpoint whose
+    // dedup cache isn't wiped by its caller's death.
+    auto supplier = wf::MakeDurableSupplier();
+
+    // --- incarnation 1: serve until the kill fires ---
+    sql::Database db("netdb");
+    ASSERT_TRUE(db.EnableDurability(dir).ok());
+    ASSERT_TRUE(
+        db.Execute("CREATE TABLE t (id INTEGER, name VARCHAR)").ok());
+    wfc::WorkflowEngine engine("e1");
+    ASSERT_TRUE(wf::PrepareDurableOrderSchema(&db).ok());
+    ASSERT_TRUE(wf::RegisterDurableSupplier(&engine, supplier).ok());
+    ASSERT_TRUE(wf::DeployDurableOrderProcess(&engine, &db).ok());
+    ASSERT_TRUE(engine.EnableDurability(&db).ok());
+
+    FaultInjector::Options fopts;
+    fopts.seed = seed;
+    fopts.probability = 0.2;
+    fopts.statement_sites = false;
+    fopts.crash_sites = true;
+    db.set_fault_injector(std::make_shared<FaultInjector>(fopts));
+
+    auto server1 = std::make_unique<Server>(&db, &engine,
+                                            ServerOptions{});
+    ASSERT_TRUE(server1->Start().ok());
+    ClientOptions copts;
+    copts.port = server1->port();
+    copts.retry_backoff_ms = 1;
+    {
+      Client client(copts);
+      for (const Op& op : ops) {
+        if (!RunOp(client, op).ok()) break;  // the process just died
+      }
+    }
+    const bool crashed = db.wal()->crashed();
+    if (crashed) ++crashes_observed;
+    server1->Stop();
+
+    // --- incarnation 2: recover, resume, serve the retries ---
+    auto recovered = sql::Database::Recover("netdb2", dir);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    sql::Database* db2 = recovered->get();
+    wfc::WorkflowEngine engine2("e2");
+    ASSERT_TRUE(wf::PrepareDurableOrderSchema(db2).ok());
+    ASSERT_TRUE(wf::RegisterDurableSupplier(&engine2, supplier).ok());
+    ASSERT_TRUE(wf::DeployDurableOrderProcess(&engine2, db2).ok());
+    ASSERT_TRUE(engine2.EnableDurability(db2).ok());
+    auto resumed = engine2.ResumeInstances();
+    for (auto& r : resumed) {
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+
+    ServerOptions sopts2;
+    Server server2(db2, &engine2, sopts2);
+    server2.NoteResumedInstances(resumed);
+    ASSERT_TRUE(server2.Start().ok());
+    ClientOptions copts2;
+    copts2.port = server2.port();
+    copts2.max_attempts = 3;
+    copts2.retry_backoff_ms = 1;
+    Client client2(copts2);
+
+    // The client-side contract after an ambiguous failure: re-send
+    // every key. Committed ops replay their recorded outcome; torn
+    // ops execute for the first time.
+    for (const Op& op : ops) {
+      SCOPED_TRACE("retry " + op.key);
+      Status st = RunOp(client2, op);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+
+    EXPECT_EQ(sql::CanonicalStateDump(*db2), oracle);
+    ExpectLedgerExactlyOnce(db2, 3);
+    EXPECT_EQ(supplier->inner_invocations(), 3u)
+        << "a supplier call leaked through the crash/retry seam";
+
+    // A third incarnation agrees: the retried world is stable.
+    server2.Stop();
+    auto again = sql::Database::Recover("netdb3", dir);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(sql::CanonicalStateDump(**again),
+              sql::CanonicalStateDump(*db2));
+  }
+  EXPECT_GT(crashes_observed, 0u);
+}
+
+}  // namespace
+}  // namespace sqlflow
